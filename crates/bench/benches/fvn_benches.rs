@@ -1,0 +1,187 @@
+//! Criterion benchmarks: one group per experiment of the reproduction index
+//! (DESIGN.md §3).  These measure the *cost* of each pipeline stage; the
+//! experiment *results* (tables) come from the `paper_tables` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fvn::verify::{best_path_strong, best_path_strong_script, path_vector_theory};
+use fvn_logic::prover::{Command, Prover};
+use fvn_mc::{check_invariant, costs_bounded, DvSystem, ExploreOptions, SppInstance};
+use metarouting::{discharge_all, generate, AlgebraSpec};
+use ndlog_runtime::{bellman_ford_all_pairs, link_facts, DistRuntime};
+use netsim::{SimConfig, Topology};
+
+/// EXP-1: the 7-step interactive proof of bestPathStrong.
+fn bench_proof_bestpath(c: &mut Criterion) {
+    let theory = path_vector_theory();
+    let script = best_path_strong_script();
+    c.bench_function("exp1_bestPathStrong_7_steps", |b| {
+        b.iter(|| {
+            let mut p = Prover::new(&theory, best_path_strong());
+            let done = p.run_script(&script).unwrap();
+            assert!(done);
+            black_box(p.finish().user_steps)
+        })
+    });
+    c.bench_function("exp1_bestPathStrong_grind", |b| {
+        b.iter(|| {
+            let mut p = Prover::new(&theory, best_path_strong());
+            p.apply(&Command::Grind).unwrap();
+            assert!(p.is_proved());
+            black_box(p.finish().automated_steps)
+        })
+    });
+}
+
+/// EXP-2: model-checking count-to-infinity.
+fn bench_count_to_infinity(c: &mut Criterion) {
+    c.bench_function("exp2_dv_counterexample", |b| {
+        b.iter(|| {
+            let dv = DvSystem::classic(16, false);
+            let r = check_invariant(&dv, ExploreOptions::default(), |s| {
+                costs_bounded(s, 10, 16)
+            });
+            assert!(r.is_err());
+            black_box(r.err().map(|t| t.labels.len()))
+        })
+    });
+    c.bench_function("exp2_pv_invariant_holds", |b| {
+        b.iter(|| {
+            let pv = DvSystem::classic(16, true);
+            let r = check_invariant(&pv, ExploreOptions::default(), |s| {
+                costs_bounded(s, 2, 16)
+            });
+            assert!(r.is_ok());
+            black_box(r.ok())
+        })
+    });
+}
+
+/// EXP-3: SPVP convergence, conflicted vs conflict-free.
+fn bench_disagree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp3_spvp");
+    for (name, spp) in
+        [("good", SppInstance::good_gadget()), ("disagree", SppInstance::disagree())]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spp, |b, spp| {
+            b.iter(|| {
+                let out = fvn::bgp::run_spvp(spp, 7, 3, 100_000);
+                black_box(out.churn)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// EXP-4: axiom obligation discharge.
+fn bench_algebra_obligations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp4_obligations");
+    for spec in [
+        AlgebraSpec::AddCost { max_label: 3, cap: 16 },
+        AlgebraSpec::bgp_system(),
+        AlgebraSpec::Lex(
+            Box::new(AlgebraSpec::GaoRexford),
+            Box::new(AlgebraSpec::HopCount { cap: 16 }),
+        ),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(spec.to_string()),
+            &spec,
+            |b, spec| b.iter(|| black_box(discharge_all(spec).len())),
+        );
+    }
+    g.finish();
+}
+
+/// EXP-5: the automated default strategy on the theorem suite.
+fn bench_automation(c: &mut Criterion) {
+    let theory = path_vector_theory();
+    c.bench_function("exp5_grind_loopfree_after_induct", |b| {
+        b.iter(|| {
+            let t = theory.find_theorem("loopFree").unwrap();
+            let mut p = Prover::new(&theory, t.statement.clone());
+            p.apply(&Command::Induct("path".into())).unwrap();
+            let _ = p.apply(&Command::Grind);
+            assert!(p.is_proved());
+            black_box(p.finish().automated_steps)
+        })
+    });
+}
+
+/// EXP-6: declarative evaluation vs imperative Bellman-Ford.
+fn bench_declarative_vs_imperative(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp6_decl_vs_imp");
+    g.sample_size(10);
+    for n in [8u32, 16] {
+        let topo = Topology::line(n);
+        g.bench_with_input(BenchmarkId::new("ndlog", n), &topo, |b, topo| {
+            let mut prog = ndlog::programs::path_vector();
+            link_facts(&mut prog, topo);
+            b.iter(|| black_box(ndlog::eval_program(&prog).unwrap().total()))
+        });
+        g.bench_with_input(BenchmarkId::new("imperative", n), &topo, |b, topo| {
+            b.iter(|| black_box(bellman_ford_all_pairs(topo).len()))
+        });
+    }
+    g.finish();
+}
+
+/// EXP-7: the three translations.
+fn bench_translation(c: &mut Criterion) {
+    let pv = ndlog::parse_program(ndlog::programs::PATH_VECTOR).unwrap();
+    c.bench_function("exp7_arc4_ndlog_to_logic", |b| {
+        b.iter(|| black_box(fvn::ndlog_to_theory(&pv, "pv").unwrap().defs.len()))
+    });
+    let model = fvn::figure3_tc();
+    c.bench_function("exp7_arc3_components_to_ndlog", |b| {
+        b.iter(|| black_box(fvn::to_ndlog(&model).rules.len()))
+    });
+    c.bench_function("exp7_metarouting_to_ndlog", |b| {
+        b.iter(|| black_box(generate(&AlgebraSpec::bgp_system()).program.rules.len()))
+    });
+}
+
+/// EXP-8: the soft-state rewrite.
+fn bench_softstate(c: &mut Criterion) {
+    let src = "materialize(link, 10, infinity, keys(1,2)).
+               materialize(path, 10, infinity, keys(1,2,3)).\n"
+        .to_string()
+        + ndlog::programs::PATH_VECTOR;
+    let prog = ndlog::parse_program(&src).unwrap();
+    c.bench_function("exp8_softstate_rewrite", |b| {
+        b.iter(|| {
+            black_box(ndlog::softstate::rewrite_soft_state(&prog).unwrap().literal_blowup())
+        })
+    });
+}
+
+/// FIG-1 / arc 7: distributed execution.
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_arc7_distributed");
+    g.sample_size(10);
+    for n in [7u32, 15] {
+        let topo = Topology::binary_tree(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            let mut prog = ndlog::programs::path_vector();
+            link_facts(&mut prog, topo);
+            b.iter(|| {
+                let mut rt = DistRuntime::new(&prog, topo, SimConfig::default()).unwrap();
+                let stats = rt.run();
+                assert!(stats.quiescent);
+                black_box(stats.messages)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_proof_bestpath, bench_count_to_infinity, bench_disagree,
+              bench_algebra_obligations, bench_automation,
+              bench_declarative_vs_imperative, bench_translation,
+              bench_softstate, bench_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark harness crate (see benches/ and src/bin/paper_tables.rs).

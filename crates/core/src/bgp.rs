@@ -1,0 +1,400 @@
+//! The component-based BGP model (Figure 2) and the operational SPVP
+//! protocol used for the EXP‑3 convergence measurements.
+//!
+//! §3.2.1 decomposes BGP into route transformations:
+//!
+//! ```text
+//! bgp(U,W,R0,R3,T): INDUCTIVE bool =
+//!   EXISTS (R1,R2): activeAS(U,W,T) AND pt(U,W,R0,R3,T) AND bestRoute(W,T,R0)
+//! pt(U,W,R0,R3,T):  INDUCTIVE bool =
+//!   export(U,W,R0,R1,T) AND pvt(U,W,R1,R2,T) AND import(U,W,R2,R3,T)
+//! ```
+//!
+//! [`figure2_bgp`] builds that model with concrete (simple) policies so the
+//! arc‑2/arc‑3 translations of [`crate::component`] apply to it verbatim.
+//!
+//! [`SpvpNode`] is the *operational* side: Griffin's Simple Path Vector
+//! Protocol running on `netsim` with real message passing.  Ref [23] (cited
+//! in §3.2.2) "observes delayed convergence in the presence of policy
+//! conflicts" on a cluster; [`measure_convergence`] reproduces that
+//! observation over seeded schedules.
+
+use crate::component::{Component, Composite, Wire};
+use fvn_mc::spvp::SppInstance;
+use ndlog::ast::{BinOp, Expr, Literal};
+use netsim::{Context, Event, Protocol, SimConfig, SimStats, Simulator, Time, Topology};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Build the Figure‑2 BGP model as a component composite.
+///
+/// Route representation: a single integer attribute (think MED/cost).
+/// Policies: `export` filters routes above a threshold, `pvt` adds the hop
+/// cost, `import` applies a local penalty — enough structure for the
+/// translations while keeping the model readable.
+pub fn figure2_bgp(export_threshold: i64, import_penalty: i64) -> Composite {
+    let mut m = Composite::new("bgp");
+    // activeAS(U,W,T): the trigger — W advertises to U at time T.
+    m.push(Component {
+        name: "activeAS".into(),
+        inputs: vec![Wire::External(vec!["U".into(), "W".into(), "T".into()])],
+        output: vec!["U".into(), "W".into(), "T".into()],
+        constraints: vec![],
+    });
+    // bestRoute(W,T,R0): W's current best route (external input here; the
+    // fixpoint closes over iterations in the executable model).
+    m.push(Component {
+        name: "bestRoute".into(),
+        inputs: vec![Wire::External(vec!["W".into(), "T".into(), "R0".into()])],
+        output: vec!["W".into(), "T".into(), "R0".into()],
+        constraints: vec![],
+    });
+    // export(U,W,R0,R1,T): filter + identity transform.
+    m.push(Component {
+        name: "export".into(),
+        inputs: vec![
+            Wire::From("activeAS".into(), vec!["U".into(), "W".into(), "T".into()]),
+            Wire::From("bestRoute".into(), vec!["W".into(), "T".into(), "R0".into()]),
+        ],
+        output: vec!["U".into(), "W".into(), "R0".into(), "R1".into(), "T".into()],
+        constraints: vec![
+            Literal::Cmp(
+                Expr::Var("R0".into()),
+                ndlog::ast::CmpOp::Lt,
+                Expr::Const(ndlog::Value::Int(export_threshold)),
+            ),
+            Literal::Assign("R1".into(), Expr::Var("R0".into())),
+        ],
+    });
+    // pvt(U,W,R1,R2,T): the path-vector propagation step (adds hop cost 1).
+    m.push(Component {
+        name: "pvt".into(),
+        inputs: vec![Wire::From(
+            "export".into(),
+            vec!["U".into(), "W".into(), "R0".into(), "R1".into(), "T".into()],
+        )],
+        output: vec!["U".into(), "W".into(), "R1".into(), "R2".into(), "T".into()],
+        constraints: vec![Literal::Assign(
+            "R2".into(),
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("R1".into())),
+                Box::new(Expr::Const(ndlog::Value::Int(1))),
+            ),
+        )],
+    });
+    // import(U,W,R2,R3,T): local policy application.
+    m.push(Component {
+        name: "import".into(),
+        inputs: vec![Wire::From(
+            "pvt".into(),
+            vec!["U".into(), "W".into(), "R1".into(), "R2".into(), "T".into()],
+        )],
+        output: vec!["U".into(), "W".into(), "R2".into(), "R3".into(), "T".into()],
+        constraints: vec![Literal::Assign(
+            "R3".into(),
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("R2".into())),
+                Box::new(Expr::Const(ndlog::Value::Int(import_penalty))),
+            ),
+        )],
+    });
+    m
+}
+
+/// An SPVP announcement: the sender's currently selected path, or a
+/// withdrawal.
+pub type Announcement = Option<Vec<u32>>;
+
+/// One SPVP speaker on the simulator.
+#[derive(Debug, Clone)]
+pub struct SpvpNode {
+    spp: Rc<SppInstance>,
+    neighbors: Vec<u32>,
+    /// Last announcement heard per neighbor.
+    rib_in: BTreeMap<u32, Announcement>,
+    /// Currently selected path (starts empty; node 0 selects `[0]`).
+    pub selected: Announcement,
+    /// Number of selection changes (update churn).
+    pub churn: u64,
+}
+
+impl SpvpNode {
+    /// Build the speakers for an SPP instance (adjacency from the instance).
+    pub fn nodes_for(spp: &SppInstance) -> Vec<SpvpNode> {
+        let spp = Rc::new(spp.clone());
+        (0..spp.n)
+            .map(|v| {
+                let neighbors: Vec<u32> = spp
+                    .edges
+                    .iter()
+                    .filter_map(|&(a, b)| {
+                        if a == v {
+                            Some(b)
+                        } else if b == v {
+                            Some(a)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                SpvpNode {
+                    spp: Rc::clone(&spp),
+                    neighbors,
+                    rib_in: BTreeMap::new(),
+                    selected: None,
+                    churn: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Best permitted path consistent with `rib_in`.
+    fn reselect(&self, me: u32) -> Announcement {
+        for p in &self.spp.permitted[me as usize] {
+            if p.len() == 2 {
+                // Direct path me-0: usable iff the edge exists.
+                if self.neighbors.contains(&0) {
+                    return Some(p.clone());
+                }
+                continue;
+            }
+            let w = p[1];
+            let rest = &p[1..];
+            if let Some(Some(heard)) = self.rib_in.get(&w) {
+                if heard == rest {
+                    return Some(p.clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Protocol for SpvpNode {
+    type Msg = Announcement;
+
+    fn handle(&mut self, event: Event<Announcement>, ctx: &mut Context<Announcement>) {
+        match event {
+            Event::Start => {
+                if ctx.me() == 0 {
+                    self.selected = Some(vec![0]);
+                    ctx.mark_changed();
+                    for &n in &self.neighbors {
+                        ctx.send(n, self.selected.clone());
+                    }
+                }
+            }
+            Event::Message { from, msg } => {
+                if ctx.me() == 0 {
+                    return;
+                }
+                self.rib_in.insert(from, msg);
+                let new = self.reselect(ctx.me());
+                if new != self.selected {
+                    self.selected = new;
+                    self.churn += 1;
+                    ctx.mark_changed();
+                    for &n in &self.neighbors {
+                        ctx.send(n, self.selected.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of one SPVP run.
+#[derive(Debug, Clone)]
+pub struct SpvpOutcome {
+    /// Simulator statistics.
+    pub stats: SimStats,
+    /// Final selection per node.
+    pub selections: Vec<Announcement>,
+    /// Total churn (selection flips) across nodes.
+    pub churn: u64,
+    /// Whether the final selections form a stable solution of the SPP.
+    pub stable: bool,
+}
+
+/// Run SPVP for one seed.
+pub fn run_spvp(spp: &SppInstance, seed: u64, jitter: Time, max_events: u64) -> SpvpOutcome {
+    let mut topo = Topology::empty(spp.n);
+    for &(a, b) in &spp.edges {
+        topo.add_edge(a, b, 1);
+    }
+    let nodes = SpvpNode::nodes_for(spp);
+    let cfg = SimConfig { jitter, seed, max_events, ..Default::default() };
+    let mut sim = Simulator::new(topo, nodes, cfg);
+    let stats = sim.run();
+    let selections: Vec<Announcement> =
+        (0..spp.n).map(|v| sim.node(v).selected.clone()).collect();
+    let churn = (0..spp.n).map(|v| sim.node(v).churn).sum();
+
+    // Stability check: every node's selection is its best given the others'.
+    let state = fvn_mc::spvp::SpvpState { selection: selections.clone() };
+    let stable = (1..spp.n).all(|v| spp.best_available(v, &state) == state.selection[v as usize]);
+    SpvpOutcome { stats, selections, churn, stable }
+}
+
+/// One row of the EXP‑3 convergence measurement.
+#[derive(Debug, Clone)]
+pub struct ConvergenceRow {
+    /// Seed of the schedule.
+    pub seed: u64,
+    /// Convergence time (last state change) if the run quiesced.
+    pub converged_at: Option<Time>,
+    /// Update churn.
+    pub churn: u64,
+}
+
+/// Measure convergence across seeded asynchronous schedules.
+pub fn measure_convergence(
+    spp: &SppInstance,
+    seeds: std::ops::Range<u64>,
+    jitter: Time,
+) -> Vec<ConvergenceRow> {
+    seeds
+        .map(|seed| {
+            let out = run_spvp(spp, seed, jitter, 200_000);
+            ConvergenceRow {
+                seed,
+                converged_at: if out.stats.quiescent && out.stable {
+                    Some(out.stats.last_change)
+                } else {
+                    None
+                },
+                churn: out.churn,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{to_ndlog, to_theory};
+
+    #[test]
+    fn figure2_structure_matches_paper() {
+        let m = figure2_bgp(100, 2);
+        let names: Vec<&str> = m.components.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["activeAS", "bestRoute", "export", "pvt", "import"]);
+        // Arc-3 translation emits the expected rule heads.
+        let prog = to_ndlog(&m);
+        let heads: Vec<String> = prog.rules.iter().map(|r| r.head.pred.clone()).collect();
+        assert!(heads.contains(&"export_out".to_string()));
+        assert!(heads.contains(&"pvt_out".to_string()));
+        assert!(heads.contains(&"import_out".to_string()));
+        // export reads activeAS and bestRoute, as in Figure 2.
+        let export = prog.rules.iter().find(|r| r.head.pred == "export_out").unwrap();
+        let body = export.to_string();
+        assert!(body.contains("activeAS_out"), "{body}");
+        assert!(body.contains("bestRoute_out"), "{body}");
+    }
+
+    #[test]
+    fn figure2_theory_has_pt_chain() {
+        let th = to_theory(&figure2_bgp(100, 2)).unwrap();
+        assert!(th.defs.contains_key("export"));
+        assert!(th.defs.contains_key("pvt"));
+        assert!(th.defs.contains_key("import"));
+        assert!(th.defs.contains_key("bgp"));
+    }
+
+    #[test]
+    fn figure2_executes_route_transformations() {
+        let m = figure2_bgp(100, 2);
+        let mut prog = to_ndlog(&m);
+        use ndlog::ast::{Atom, Term};
+        use ndlog::Value;
+        // AS 5 advertises to AS 7 at T=1, best route cost 10.
+        prog.add_fact(Atom::plain(
+            "activeAS_in",
+            vec![
+                Term::Const(Value::Addr(7)),
+                Term::Const(Value::Addr(5)),
+                Term::Const(Value::Int(1)),
+            ],
+        ));
+        prog.add_fact(Atom::plain(
+            "bestRoute_in",
+            vec![
+                Term::Const(Value::Addr(5)),
+                Term::Const(Value::Int(1)),
+                Term::Const(Value::Int(10)),
+            ],
+        ));
+        let db = ndlog::eval_program(&prog).unwrap();
+        // export keeps 10 (< 100), pvt makes 11, import adds 2 -> 13.
+        let out: Vec<_> = db.relation("import_out").cloned().collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][3], Value::Int(13));
+        // Routes above the threshold are filtered at export.
+        let mut prog2 = to_ndlog(&m);
+        prog2.add_fact(Atom::plain(
+            "activeAS_in",
+            vec![
+                Term::Const(Value::Addr(7)),
+                Term::Const(Value::Addr(5)),
+                Term::Const(Value::Int(1)),
+            ],
+        ));
+        prog2.add_fact(Atom::plain(
+            "bestRoute_in",
+            vec![
+                Term::Const(Value::Addr(5)),
+                Term::Const(Value::Int(1)),
+                Term::Const(Value::Int(500)),
+            ],
+        ));
+        let db2 = ndlog::eval_program(&prog2).unwrap();
+        assert_eq!(db2.len_of("import_out"), 0, "filtered by export policy");
+    }
+
+    #[test]
+    fn spvp_good_gadget_converges_fast_and_stable() {
+        let rows = measure_convergence(&SppInstance::good_gadget(), 0..20, 3);
+        for r in &rows {
+            assert!(r.converged_at.is_some(), "seed {} did not converge", r.seed);
+        }
+    }
+
+    #[test]
+    fn spvp_disagree_converges_to_one_of_two_solutions_with_more_churn() {
+        let disagree = SppInstance::disagree();
+        let rows = measure_convergence(&disagree, 0..30, 3);
+        let converged: Vec<_> = rows.iter().filter(|r| r.converged_at.is_some()).collect();
+        assert!(!converged.is_empty(), "some schedule must converge");
+        // Policy conflict causes strictly more churn than the conflict-free
+        // gadget on average (the "delayed convergence" observation).
+        let good_rows = measure_convergence(&SppInstance::good_gadget(), 0..30, 3);
+        let avg = |rs: &[ConvergenceRow]| {
+            rs.iter().map(|r| r.churn as f64).sum::<f64>() / rs.len() as f64
+        };
+        assert!(
+            avg(&rows) > avg(&good_rows),
+            "disagree churn {} <= good churn {}",
+            avg(&rows),
+            avg(&good_rows)
+        );
+    }
+
+    #[test]
+    fn spvp_final_state_is_a_stable_solution_when_quiescent() {
+        for seed in 0..10 {
+            let out = run_spvp(&SppInstance::disagree(), seed, 2, 100_000);
+            if out.stats.quiescent {
+                assert!(out.stable, "quiescent but unstable at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn spvp_origin_always_selects_itself() {
+        let out = run_spvp(&SppInstance::disagree(), 1, 0, 100_000);
+        assert_eq!(out.selections[0], Some(vec![0]));
+    }
+}

@@ -1,0 +1,43 @@
+//! # fvn — Formally Verifiable Networking
+//!
+//! Reproduction of *Formally Verifiable Networking* (Wang, Jia, Liu, Loo,
+//! Sokolsky, Basu — HotNets-VIII, 2009): a framework unifying the design,
+//! specification, verification and implementation of network protocols in a
+//! logic-based toolchain, with NDlog as the intermediary layer.
+//!
+//! The modules mirror the paper's Figure 1:
+//!
+//! * [`translate`] — arc 4 (NDlog → inductive logical specifications,
+//!   including the `min`-aggregate axiomatization of §3.1);
+//! * [`component`] — component-based models and arc 3 / arc 2 translations
+//!   (§3.2, Figures 2 and 3 reproduced verbatim);
+//! * [`bgp`] — the Figure‑2 BGP model and the operational SPVP protocol
+//!   with Griffin's gadgets (EXP‑3: delayed convergence under policy
+//!   conflicts);
+//! * [`verify`] — arc 5: the path-vector theory whose `bestPathStrong`
+//!   theorem proves in exactly the paper's 7 steps (EXP‑1), plus the EXP‑5
+//!   automation measurement;
+//! * [`pipeline`] — the full Figure‑1 round trip, every arc timed.
+//!
+//! The substrates live in their own crates: `ndlog` (language), `netsim`
+//! (simulator), `ndlog-runtime` (distributed execution), `fvn-logic`
+//! (theorem prover), `fvn-mc` (model checker), `metarouting` (routing
+//! algebras).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod component;
+pub mod pipeline;
+pub mod translate;
+pub mod verify;
+
+pub use bgp::{figure2_bgp, measure_convergence, run_spvp, SpvpOutcome};
+pub use component::{eval_dataflow, figure3_tc, to_ndlog, to_theory, Component, Composite, Wire};
+pub use pipeline::{full_pipeline, ArcReport, PipelineReport};
+pub use translate::{ndlog_to_theory, TranslateError};
+pub use verify::{
+    add_path_axioms, automation_stats, best_path_strong, best_path_strong_script,
+    path_vector_theory, AutomationRow,
+};

@@ -1,0 +1,471 @@
+//! The two-way NDlog ↔ logic translations (arcs 3 and 4 of Figure 1).
+//!
+//! **Arc 4** ([`ndlog_to_theory`]): an NDlog program becomes a logical
+//! theory, following the proof-theoretic semantics of Datalog — the rule set
+//! defining each predicate becomes one PVS-style `INDUCTIVE bool`
+//! definition (paper §3.1; the `path` example there is reproduced verbatim
+//! by the tests).  `min`/`max` aggregate rules become direct definitions
+//! with the standard two-part axiomatization (membership + bound).
+//!
+//! **Arc 3** ([`crate::component::to_ndlog`]): verified component-based
+//! specifications become NDlog programs (§3.2.2) — see [`crate::component`].
+//!
+//! Builtin mapping: `f_init` ↦ function `init`, `f_concatPath` ↦ `concat`,
+//! boolean builtin equations (`f_inPath(P,S) = false`) become (negated)
+//! `inPath` predicate atoms, and arithmetic becomes interpreted `+`/`-`/`*`.
+
+use fvn_logic::{Clause, Def, Formula, Term as LTerm, Theory};
+use ndlog::ast::{AggFunc, BinOp, CmpOp, Expr, HeadArg, Literal, Program, Rule, Term};
+use ndlog::Value;
+use std::collections::BTreeMap;
+
+/// Error type for translation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError(pub String);
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "translation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+fn value_to_term(v: &Value) -> Result<LTerm, TranslateError> {
+    Ok(match v {
+        Value::Bool(b) => LTerm::Const(fvn_logic::Const::Bool(*b)),
+        Value::Int(i) => LTerm::Const(fvn_logic::Const::Int(*i)),
+        Value::Addr(a) => LTerm::Const(fvn_logic::Const::Addr(*a)),
+        Value::Str(s) => LTerm::Const(fvn_logic::Const::Str(s.clone())),
+        // List constants become nil/cons terms (e.g. the empty path in
+        // generated origination rules).
+        Value::List(items) => {
+            let mut t = LTerm::App("nil".into(), vec![]);
+            for item in items.iter().rev() {
+                t = LTerm::App("cons".into(), vec![value_to_term(item)?, t]);
+            }
+            t
+        }
+    })
+}
+
+fn term_to_lterm(t: &Term) -> Result<LTerm, TranslateError> {
+    match t {
+        Term::Var(v) => Ok(LTerm::Var(v.clone())),
+        Term::Const(c) => value_to_term(c),
+    }
+}
+
+/// Map an NDlog builtin function name to its logic-level function symbol.
+fn builtin_symbol(name: &str) -> &str {
+    match name {
+        "f_init" => "init",
+        "f_concatPath" => "concat",
+        "f_append" => "append",
+        "f_head" => "head",
+        "f_last" => "last",
+        "f_size" => "size",
+        "f_min" => "min",
+        "f_max" => "max",
+        other => other,
+    }
+}
+
+/// Boolean-valued builtins that become logic *predicates*.
+fn builtin_predicate(name: &str) -> Option<&'static str> {
+    match name {
+        "f_inPath" => Some("inPath"),
+        _ => None,
+    }
+}
+
+fn expr_to_lterm(e: &Expr) -> Result<LTerm, TranslateError> {
+    match e {
+        Expr::Var(v) => Ok(LTerm::Var(v.clone())),
+        Expr::Const(c) => value_to_term(c),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => {
+                    return Err(TranslateError("division is not in the logic fragment".into()))
+                }
+            };
+            Ok(LTerm::App(sym.into(), vec![expr_to_lterm(a)?, expr_to_lterm(b)?]))
+        }
+        Expr::Call(name, args) => {
+            if builtin_predicate(name).is_some() {
+                return Err(TranslateError(format!(
+                    "boolean builtin {name} used as a term outside a boolean equation"
+                )));
+            }
+            let mut ts = Vec::with_capacity(args.len());
+            for a in args {
+                ts.push(expr_to_lterm(a)?);
+            }
+            Ok(LTerm::App(builtin_symbol(name).into(), ts))
+        }
+    }
+}
+
+/// Translate one body literal to a formula.
+pub fn literal_to_formula(lit: &Literal) -> Result<Formula, TranslateError> {
+    match lit {
+        Literal::Pos(a) => {
+            let mut args = Vec::with_capacity(a.args.len());
+            for t in &a.args {
+                args.push(term_to_lterm(t)?);
+            }
+            Ok(Formula::Pred(a.pred.clone(), args))
+        }
+        Literal::Neg(a) => {
+            let pos = literal_to_formula(&Literal::Pos(a.clone()))?;
+            Ok(Formula::not(pos))
+        }
+        Literal::Assign(v, e) => Ok(Formula::Eq(LTerm::Var(v.clone()), expr_to_lterm(e)?)),
+        Literal::Cmp(a, op, b) => {
+            // Boolean-builtin equations become predicate literals.
+            if let (Expr::Call(name, args), CmpOp::Eq, Expr::Const(Value::Bool(truth))) =
+                (a, op, b)
+            {
+                if let Some(pred) = builtin_predicate(name) {
+                    let mut ts = Vec::with_capacity(args.len());
+                    for x in args {
+                        ts.push(expr_to_lterm(x)?);
+                    }
+                    let atom = Formula::Pred(pred.into(), ts);
+                    return Ok(if *truth { atom } else { Formula::not(atom) });
+                }
+            }
+            let (la, lb) = (expr_to_lterm(a)?, expr_to_lterm(b)?);
+            Ok(match op {
+                CmpOp::Eq => Formula::Eq(la, lb),
+                CmpOp::Ne => Formula::not(Formula::Eq(la, lb)),
+                CmpOp::Lt => Formula::Lt(la, lb),
+                CmpOp::Le => Formula::Le(la, lb),
+                CmpOp::Gt => Formula::Lt(lb, la),
+                CmpOp::Ge => Formula::Le(lb, la),
+            })
+        }
+    }
+}
+
+/// Canonical parameter names for an n-ary predicate: `X1..Xn` unless every
+/// rule head uses the same distinct variables.
+fn canonical_params(rules: &[&Rule]) -> Vec<String> {
+    if let Some(first) = rules.first() {
+        let vars: Option<Vec<String>> = first
+            .head
+            .args
+            .iter()
+            .map(|a| match a {
+                HeadArg::Term(Term::Var(v)) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        if let Some(vars) = vars {
+            let distinct: std::collections::BTreeSet<&String> = vars.iter().collect();
+            if distinct.len() == vars.len() {
+                return vars;
+            }
+        }
+        (1..=first.head.args.len()).map(|i| format!("X{i}")).collect()
+    } else {
+        vec![]
+    }
+}
+
+/// Translate one plain rule into a clause of the definition with the given
+/// canonical parameters.
+fn rule_to_clause(rule: &Rule, params: &[String]) -> Result<Clause, TranslateError> {
+    // Rename head variables to the canonical parameters; head constants and
+    // repeated variables become body equations.
+    let mut rename: BTreeMap<String, LTerm> = BTreeMap::new();
+    let mut extra: Vec<Formula> = Vec::new();
+    for (i, arg) in rule.head.args.iter().enumerate() {
+        let p = LTerm::Var(params[i].clone());
+        match arg {
+            HeadArg::Term(Term::Var(v)) => {
+                if let Some(already) = rename.get(v) {
+                    extra.push(Formula::Eq(p, already.clone()));
+                } else {
+                    rename.insert(v.clone(), p);
+                }
+            }
+            HeadArg::Term(Term::Const(c)) => {
+                extra.push(Formula::Eq(p, value_to_term(c)?));
+            }
+            HeadArg::Agg(..) => {
+                return Err(TranslateError("aggregate rule in plain translation".into()))
+            }
+        }
+    }
+    let mut body = extra;
+    let mut exists: Vec<String> = Vec::new();
+    for lit in &rule.body {
+        let f = literal_to_formula(lit)?;
+        body.push(f.subst(&rename));
+    }
+    // Existentials: body variables that are not canonical parameters.
+    let mut seen = std::collections::BTreeSet::new();
+    for f in &body {
+        for v in f.free_vars() {
+            if !params.contains(&v) && seen.insert(v.clone()) {
+                exists.push(v);
+            }
+        }
+    }
+    Ok(Clause { name: rule.name.clone(), exists, body })
+}
+
+/// Translate an aggregate rule (`min<C>`/`max<C>`) into a direct definition:
+/// membership (some body instance achieves the value) plus the bound (the
+/// value is extremal among all instances).
+fn agg_rule_to_def(rule: &Rule) -> Result<(String, Def), TranslateError> {
+    let head = &rule.head;
+    let aggs: Vec<(usize, AggFunc, &String)> = head
+        .args
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| match a {
+            HeadArg::Agg(f, v) => Some((i, *f, v)),
+            _ => None,
+        })
+        .collect();
+    if aggs.len() != 1 {
+        return Err(TranslateError(format!(
+            "predicate {} must have exactly one aggregate for translation",
+            head.pred
+        )));
+    }
+    let (agg_idx, func, agg_var) = aggs[0];
+    if !matches!(func, AggFunc::Min | AggFunc::Max) {
+        return Err(TranslateError(format!(
+            "aggregate {func} of {} is not in the translated fragment (min/max only)",
+            head.pred
+        )));
+    }
+
+    // Canonical parameters: group keys keep their head variable names; the
+    // aggregate slot gets the aggregated variable's name.
+    let mut params: Vec<String> = Vec::with_capacity(head.args.len());
+    for (_i, a) in head.args.iter().enumerate() {
+        match a {
+            HeadArg::Term(Term::Var(v)) => params.push(v.clone()),
+            HeadArg::Term(Term::Const(_)) => {
+                return Err(TranslateError("constant group key not supported".into()))
+            }
+            HeadArg::Agg(..) => params.push(agg_var.clone()),
+        }
+    }
+    let _ = agg_idx;
+
+    // Body as formulas.
+    let mut body_fs = Vec::new();
+    for lit in &rule.body {
+        body_fs.push(literal_to_formula(lit)?);
+    }
+    let group_keys: Vec<String> = head
+        .args
+        .iter()
+        .filter_map(|a| match a {
+            HeadArg::Term(Term::Var(v)) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+
+    // Membership: ∃ (body vars ∖ params): body.
+    let mut member_exists: Vec<String> = Vec::new();
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &body_fs {
+            for v in f.free_vars() {
+                if !params.contains(&v) && seen.insert(v.clone()) {
+                    member_exists.push(v);
+                }
+            }
+        }
+    }
+    let membership = Formula::exists(
+        &member_exists.iter().map(String::as_str).collect::<Vec<_>>(),
+        Formula::and_all(body_fs.clone()),
+    );
+
+    // Bound: ∀ fresh copies of (body vars ∖ group keys): body' ⇒ agg ⪯ agg'.
+    let mut fresh_map: BTreeMap<String, LTerm> = BTreeMap::new();
+    let mut bound_vars: Vec<String> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for f in &body_fs {
+        for v in f.free_vars() {
+            if !group_keys.contains(&v) && seen.insert(v.clone()) {
+                let fresh = format!("{v}_all");
+                fresh_map.insert(v.clone(), LTerm::Var(fresh.clone()));
+                bound_vars.push(fresh);
+            }
+        }
+    }
+    let primed: Vec<Formula> = body_fs.iter().map(|f| f.subst(&fresh_map)).collect();
+    let agg_term = LTerm::Var(agg_var.clone());
+    let agg_primed = fresh_map
+        .get(agg_var)
+        .cloned()
+        .ok_or_else(|| TranslateError("aggregate variable unbound in body".into()))?;
+    let bound_cmp = match func {
+        AggFunc::Min => Formula::Le(agg_term, agg_primed),
+        AggFunc::Max => Formula::Le(agg_primed, agg_term),
+        _ => unreachable!(),
+    };
+    let bound = Formula::forall(
+        &bound_vars.iter().map(String::as_str).collect::<Vec<_>>(),
+        Formula::implies(Formula::and_all(primed), bound_cmp),
+    );
+
+    let body = Formula::And(Box::new(membership), Box::new(bound));
+    Ok((head.pred.clone(), Def::Direct { params, body }))
+}
+
+/// Arc 4: translate a whole NDlog program into a theory.
+///
+/// Every IDB predicate becomes a definition; extensional predicates stay
+/// uninterpreted (properties about them are supplied as axioms by the
+/// caller, e.g. `linkCostPositive`).
+pub fn ndlog_to_theory(prog: &Program, name: &str) -> Result<Theory, TranslateError> {
+    let mut theory = Theory::new(name);
+    // Group plain rules by head predicate, keeping program order.
+    let mut plain: BTreeMap<String, Vec<&Rule>> = BTreeMap::new();
+    for r in &prog.rules {
+        if r.head.has_agg() {
+            let (pred, def) = agg_rule_to_def(r)?;
+            if theory.defs.contains_key(&pred) {
+                return Err(TranslateError(format!(
+                    "aggregate predicate {pred} defined by multiple rules"
+                )));
+            }
+            theory.define(pred, def);
+        } else {
+            plain.entry(r.head.pred.clone()).or_default().push(r);
+        }
+    }
+    for (pred, rules) in plain {
+        let params = canonical_params(&rules);
+        let mut clauses = Vec::with_capacity(rules.len());
+        for r in &rules {
+            clauses.push(rule_to_clause(r, &params)?);
+        }
+        theory.define(pred, Def::Inductive { params, clauses });
+    }
+    Ok(theory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog::programs::PATH_VECTOR;
+
+    fn pv_theory() -> Theory {
+        let prog = ndlog::parse_program(PATH_VECTOR).unwrap();
+        ndlog_to_theory(&prog, "pathVector").unwrap()
+    }
+
+    #[test]
+    fn path_becomes_the_papers_inductive_definition() {
+        let th = pv_theory();
+        let Def::Inductive { params, clauses } = &th.defs["path"] else {
+            panic!("path must be inductive");
+        };
+        assert_eq!(params, &["S", "D", "P", "C"]);
+        assert_eq!(clauses.len(), 2);
+        // r1: link(S,D,C) AND P = init(S,D), no existentials.
+        assert_eq!(clauses[0].name, "r1");
+        assert!(clauses[0].exists.is_empty());
+        let r1: Vec<String> = clauses[0].body.iter().map(|f| f.to_string()).collect();
+        assert_eq!(r1, vec!["link(S,D,C)", "P = init(S,D)"]);
+        // r2: EXISTS C1,C2,P2,Z — exactly the paper's PVS snippet.
+        assert_eq!(clauses[1].name, "r2");
+        let mut ex = clauses[1].exists.clone();
+        ex.sort();
+        assert_eq!(ex, vec!["C1", "C2", "P2", "Z"]);
+        let r2: Vec<String> = clauses[1].body.iter().map(|f| f.to_string()).collect();
+        assert_eq!(
+            r2,
+            vec![
+                "link(S,Z,C1)",
+                "path(Z,D,P2,C2)",
+                "C = (C1 + C2)",
+                "P = concat(S,P2)",
+                "NOT (inPath(P2,S))",
+            ]
+        );
+    }
+
+    #[test]
+    fn best_path_cost_gets_membership_and_lower_bound() {
+        let th = pv_theory();
+        let Def::Direct { params, body } = &th.defs["bestPathCost"] else {
+            panic!("bestPathCost must be direct");
+        };
+        assert_eq!(params, &["S", "D", "C"]);
+        let s = body.to_string();
+        assert!(s.contains("EXISTS (P): path(S,D,P,C)"), "{s}");
+        assert!(s.contains("C <= C_all"), "{s}");
+        assert!(s.contains("FORALL"), "{s}");
+    }
+
+    #[test]
+    fn best_path_is_a_simple_conjunction() {
+        let th = pv_theory();
+        let Def::Inductive { params, clauses } = &th.defs["bestPath"] else {
+            panic!("bestPath must be inductive (single clause)");
+        };
+        assert_eq!(params, &["S", "D", "P", "C"]);
+        assert_eq!(clauses.len(), 1);
+        assert!(!th.defs["bestPath"].is_recursive("bestPath"));
+    }
+
+    #[test]
+    fn edb_predicates_stay_uninterpreted() {
+        let th = pv_theory();
+        assert!(!th.defs.contains_key("link"));
+    }
+
+    #[test]
+    fn boolean_builtin_polarity() {
+        let r = ndlog::parse_rule("x p(A,B) :- q(A,B), f_inPath(A,B) = true.").unwrap();
+        let f = literal_to_formula(&r.body[1]).unwrap();
+        assert_eq!(f.to_string(), "inPath(A,B)");
+        let r2 = ndlog::parse_rule("x p(A,B) :- q(A,B), f_inPath(A,B) = false.").unwrap();
+        let f2 = literal_to_formula(&r2.body[1]).unwrap();
+        assert_eq!(f2.to_string(), "NOT (inPath(A,B))");
+    }
+
+    #[test]
+    fn comparisons_translate_with_orientation() {
+        let r = ndlog::parse_rule("x p(A) :- q(A), A > 3, A != 9.").unwrap();
+        assert_eq!(literal_to_formula(&r.body[1]).unwrap().to_string(), "3 < A");
+        assert_eq!(literal_to_formula(&r.body[2]).unwrap().to_string(), "NOT (A = 9)");
+    }
+
+    #[test]
+    fn head_constants_become_equations() {
+        let prog = ndlog::parse_program("x flag(A, 1) :- q(A).").unwrap();
+        let th = ndlog_to_theory(&prog, "t").unwrap();
+        let Def::Inductive { params, clauses } = &th.defs["flag"] else { panic!() };
+        assert_eq!(params, &["X1", "X2"]);
+        assert!(clauses[0].body.iter().any(|f| f.to_string() == "X2 = 1"));
+    }
+
+    #[test]
+    fn count_aggregates_are_rejected() {
+        let prog = ndlog::parse_program("x deg(A, count<B>) :- e(A,B).").unwrap();
+        assert!(ndlog_to_theory(&prog, "t").is_err());
+    }
+
+    #[test]
+    fn max_aggregate_flips_the_bound() {
+        let prog = ndlog::parse_program("x widest(A, max<W>) :- e(A,B,W).").unwrap();
+        let th = ndlog_to_theory(&prog, "t").unwrap();
+        let Def::Direct { body, .. } = &th.defs["widest"] else { panic!() };
+        assert!(body.to_string().contains("W_all <= W"), "{body}");
+    }
+}

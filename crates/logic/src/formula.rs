@@ -1,0 +1,338 @@
+//! First-order formulas with equality and integer comparisons.
+
+use crate::term::{Const, Subst, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order formula.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Uninterpreted predicate application `p(t1,...,tn)`.
+    Pred(String, Vec<Term>),
+    /// Equality `a = b`.
+    Eq(Term, Term),
+    /// Integer comparison `a <= b`.
+    Le(Term, Term),
+    /// Integer comparison `a < b`.
+    Lt(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Universal quantification over one variable.
+    Forall(String, Box<Formula>),
+    /// Existential quantification over one variable.
+    Exists(String, Box<Formula>),
+}
+
+impl Formula {
+    /// n-ary conjunction (`True` for the empty list).
+    pub fn and_all(mut fs: Vec<Formula>) -> Formula {
+        match fs.len() {
+            0 => Formula::True,
+            1 => fs.pop().unwrap(),
+            _ => {
+                let mut it = fs.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, f| Formula::And(Box::new(acc), Box::new(f)))
+            }
+        }
+    }
+
+    /// n-ary disjunction (`False` for the empty list).
+    pub fn or_all(mut fs: Vec<Formula>) -> Formula {
+        match fs.len() {
+            0 => Formula::False,
+            1 => fs.pop().unwrap(),
+            _ => {
+                let mut it = fs.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, f| Formula::Or(Box::new(acc), Box::new(f)))
+            }
+        }
+    }
+
+    /// Close the formula under universal quantifiers for `vars`, innermost
+    /// last.
+    pub fn forall(vars: &[&str], body: Formula) -> Formula {
+        vars.iter()
+            .rev()
+            .fold(body, |acc, v| Formula::Forall((*v).to_string(), Box::new(acc)))
+    }
+
+    /// Close the formula under existential quantifiers for `vars`.
+    pub fn exists(vars: &[&str], body: Formula) -> Formula {
+        vars.iter()
+            .rev()
+            .fold(body, |acc, v| Formula::Exists((*v).to_string(), Box::new(acc)))
+    }
+
+    /// Implication helper.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Negation helper.
+    pub fn not(a: Formula) -> Formula {
+        Formula::Not(Box::new(a))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.free_vars_into(&mut out, &mut BTreeSet::new());
+        out
+    }
+
+    fn free_vars_into(&self, out: &mut BTreeSet<String>, bound: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(_, args) => {
+                let mut vs = BTreeSet::new();
+                for a in args {
+                    a.vars(&mut vs);
+                }
+                out.extend(vs.into_iter().filter(|v| !bound.contains(v)));
+            }
+            Formula::Eq(a, b) | Formula::Le(a, b) | Formula::Lt(a, b) => {
+                let mut vs = BTreeSet::new();
+                a.vars(&mut vs);
+                b.vars(&mut vs);
+                out.extend(vs.into_iter().filter(|v| !bound.contains(v)));
+            }
+            Formula::Not(f) => f.free_vars_into(out, bound),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.free_vars_into(out, bound);
+                b.free_vars_into(out, bound);
+            }
+            Formula::Forall(v, f) | Formula::Exists(v, f) => {
+                let fresh = bound.insert(v.clone());
+                f.free_vars_into(out, bound);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// All variable names occurring anywhere (free or bound) — used to pick
+    /// fresh names.
+    pub fn all_var_names(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Pred(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+            Formula::Eq(a, b) | Formula::Le(a, b) | Formula::Lt(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Formula::Not(f) => f.all_var_names(out),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.all_var_names(out);
+                b.all_var_names(out);
+            }
+            Formula::Forall(v, f) | Formula::Exists(v, f) => {
+                out.insert(v.clone());
+                f.all_var_names(out);
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution of free variables.
+    pub fn subst(&self, map: &Subst) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Pred(p, args) => {
+                Formula::Pred(p.clone(), args.iter().map(|t| t.subst(map)).collect())
+            }
+            Formula::Eq(a, b) => Formula::Eq(a.subst(map), b.subst(map)),
+            Formula::Le(a, b) => Formula::Le(a.subst(map), b.subst(map)),
+            Formula::Lt(a, b) => Formula::Lt(a.subst(map), b.subst(map)),
+            Formula::Not(f) => Formula::not(f.subst(map)),
+            Formula::And(a, b) => Formula::And(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            Formula::Or(a, b) => Formula::Or(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(a.subst(map)), Box::new(b.subst(map)))
+            }
+            Formula::Iff(a, b) => Formula::Iff(Box::new(a.subst(map)), Box::new(b.subst(map))),
+            Formula::Forall(v, f) | Formula::Exists(v, f) => {
+                let is_forall = matches!(self, Formula::Forall(..));
+                // Drop the bound variable from the substitution.
+                let mut inner = map.clone();
+                inner.remove(v);
+                // Rename the bound variable if any replacement term captures it.
+                let captures = inner.values().any(|t| t.occurs(v));
+                let (v2, body) = if captures {
+                    let fresh = fresh_name(v, &inner);
+                    let mut ren = Subst::new();
+                    ren.insert(v.clone(), Term::Var(fresh.clone()));
+                    (fresh, f.subst(&ren))
+                } else {
+                    (v.clone(), (**f).clone())
+                };
+                let body = body.subst(&inner);
+                if is_forall {
+                    Formula::Forall(v2, Box::new(body))
+                } else {
+                    Formula::Exists(v2, Box::new(body))
+                }
+            }
+        }
+    }
+
+    /// Shorthand for the boolean constant as a formula.
+    pub fn from_bool(b: bool) -> Formula {
+        if b {
+            Formula::True
+        } else {
+            Formula::False
+        }
+    }
+
+    /// Equality with a boolean constant folds to the formula or its negation.
+    pub fn eq_bool(t: Term, b: bool) -> Formula {
+        Formula::Eq(t, Term::Const(Const::Bool(b)))
+    }
+}
+
+fn fresh_name(base: &str, avoid: &Subst) -> String {
+    let mut i = 1usize;
+    loop {
+        let cand = format!("{base}_{i}");
+        if !avoid.values().any(|t| t.occurs(&cand)) && !avoid.contains_key(&cand) {
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "TRUE"),
+            Formula::False => write!(f, "FALSE"),
+            Formula::Pred(p, args) => {
+                write!(f, "{p}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Le(a, b) => write!(f, "{a} <= {b}"),
+            Formula::Lt(a, b) => write!(f, "{a} < {b}"),
+            Formula::Not(x) => write!(f, "NOT ({x})"),
+            Formula::And(a, b) => write!(f, "({a} AND {b})"),
+            Formula::Or(a, b) => write!(f, "({a} OR {b})"),
+            Formula::Implies(a, b) => write!(f, "({a} => {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} <=> {b})"),
+            Formula::Forall(v, x) => write!(f, "FORALL ({v}): {x}"),
+            Formula::Exists(v, x) => write!(f, "EXISTS ({v}): {x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::forall(
+            &["X"],
+            Formula::And(
+                Box::new(Formula::Pred("p".into(), vec![v("X")])),
+                Box::new(Formula::Pred("q".into(), vec![v("Y")])),
+            ),
+        );
+        let fv = f.free_vars();
+        assert!(fv.contains("Y"));
+        assert!(!fv.contains("X"));
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // (FORALL X: p(X, Y))[Y := X]  must rename the binder.
+        let f = Formula::Forall(
+            "X".into(),
+            Box::new(Formula::Pred("p".into(), vec![v("X"), v("Y")])),
+        );
+        let mut m = Subst::new();
+        m.insert("Y".into(), v("X"));
+        let g = f.subst(&m);
+        match g {
+            Formula::Forall(b, body) => {
+                assert_ne!(b, "X", "binder must be renamed");
+                match *body {
+                    Formula::Pred(_, args) => {
+                        assert_eq!(args[0], Term::Var(b));
+                        assert_eq!(args[1], v("X"));
+                    }
+                    _ => panic!("unexpected body"),
+                }
+            }
+            _ => panic!("expected forall"),
+        }
+    }
+
+    #[test]
+    fn subst_skips_bound_occurrences() {
+        let f = Formula::Forall(
+            "X".into(),
+            Box::new(Formula::Pred("p".into(), vec![v("X")])),
+        );
+        let mut m = Subst::new();
+        m.insert("X".into(), Term::int(1));
+        assert_eq!(f.subst(&m), f);
+    }
+
+    #[test]
+    fn and_or_helpers() {
+        assert_eq!(Formula::and_all(vec![]), Formula::True);
+        assert_eq!(Formula::or_all(vec![]), Formula::False);
+        let a = Formula::Pred("a".into(), vec![]);
+        assert_eq!(Formula::and_all(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn display_nested() {
+        let f = Formula::forall(
+            &["S", "D"],
+            Formula::implies(
+                Formula::Pred("link".into(), vec![v("S"), v("D")]),
+                Formula::Lt(Term::int(0), v("D")),
+            ),
+        );
+        assert_eq!(
+            f.to_string(),
+            "FORALL (S): FORALL (D): (link(S,D) => 0 < D)"
+        );
+    }
+}

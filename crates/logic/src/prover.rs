@@ -1,0 +1,1440 @@
+//! The PVS-style interactive prover.
+//!
+//! Proof scripts are sequences of [`Command`]s, one per "proof step" exactly
+//! as PVS transcripts count them (the paper: *"the bestPathStrong theorem
+//! takes 7 proof steps"*).  Commands operate on the first open goal; a
+//! command that branches pushes its subgoals in order.  After every command
+//! the prover automatically discharges trivially-true goals, mirroring PVS's
+//! behaviour.
+//!
+//! The `grind` command is the "default strategy" bundle the paper's §4.3
+//! refers to: flatten → expand non-recursive definitions → heuristic
+//! instantiation → propositional search → decision procedures, iterated.
+
+use crate::arith;
+use crate::formula::Formula;
+use crate::sequent::Sequent;
+use crate::term::{Subst, Term};
+use crate::theory::{Def, Theorem, Theory};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A proof command (one per PVS-style proof step).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Strip universal quantifiers in the succedent (and existentials in the
+    /// antecedent) by introducing skolem constants — PVS `(skolem!)`.
+    Skolem,
+    /// Saturate all non-branching propositional/quantifier rules — PVS
+    /// `(flatten)` (plus implicit skolemization as in `(skosimp*)`).
+    Flatten,
+    /// Apply the first branching rule — PVS `(split)`.
+    Split,
+    /// `flatten` + `split` to saturation — PVS `(prop)`.
+    Prop,
+    /// Unfold a defined predicate everywhere — PVS `(expand "name")`.
+    Expand(String),
+    /// Instantiate the last quantified antecedent formula (or succedent
+    /// existential) with the given terms — PVS `(inst ...)`.
+    Inst(Vec<Term>),
+    /// Heuristic instantiation by matching — PVS `(inst?)`.
+    InstAuto,
+    /// Bring a named axiom or proved theorem into the antecedent — PVS
+    /// `(lemma "name")`.
+    Lemma(String),
+    /// Use a universally quantified `iff`/equality axiom as a left-to-right
+    /// rewrite — PVS `(rewrite "name")`.
+    Rewrite(String),
+    /// Case split on a formula — PVS `(case ...)`.
+    Case(Formula),
+    /// Simplify with decision procedures (equality substitution, ground
+    /// evaluation, modus ponens, linear arithmetic) — PVS `(assert)`.
+    Assert,
+    /// Rule induction on an inductively defined predicate — PVS `(induct)`.
+    Induct(String),
+    /// The automated default strategy — PVS `(grind)`.
+    Grind,
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Skolem => write!(f, "(skolem!)"),
+            Command::Flatten => write!(f, "(flatten)"),
+            Command::Split => write!(f, "(split)"),
+            Command::Prop => write!(f, "(prop)"),
+            Command::Expand(n) => write!(f, "(expand \"{n}\")"),
+            Command::Inst(ts) => {
+                write!(f, "(inst")?;
+                for t in ts {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ")")
+            }
+            Command::InstAuto => write!(f, "(inst?)"),
+            Command::Lemma(n) => write!(f, "(lemma \"{n}\")"),
+            Command::Rewrite(n) => write!(f, "(rewrite \"{n}\")"),
+            Command::Case(c) => write!(f, "(case {c})"),
+            Command::Assert => write!(f, "(assert)"),
+            Command::Induct(p) => write!(f, "(induct \"{p}\")"),
+            Command::Grind => write!(f, "(grind)"),
+        }
+    }
+}
+
+/// Record of one executed proof step.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Rendered command.
+    pub command: String,
+    /// Whether this step was produced by an automated strategy (`grind`).
+    pub automated: bool,
+    /// Open goals after the step.
+    pub goals_open: usize,
+}
+
+/// Outcome of running a proof.
+#[derive(Debug, Clone)]
+pub struct ProofResult {
+    /// Did the proof close every goal?
+    pub proved: bool,
+    /// User-issued proof steps (script commands executed).
+    pub user_steps: usize,
+    /// Primitive steps executed inside automated strategies.
+    pub automated_steps: usize,
+    /// Full step log.
+    pub log: Vec<StepRecord>,
+}
+
+/// An in-progress proof.
+pub struct Prover<'t> {
+    theory: &'t Theory,
+    goals: VecDeque<Sequent>,
+    fresh: usize,
+    log: Vec<StepRecord>,
+    automated_steps: usize,
+    user_steps: usize,
+}
+
+/// Errors from command application.
+pub type ProofError = String;
+
+impl<'t> Prover<'t> {
+    /// Start proving `statement` in `theory`.
+    pub fn new(theory: &'t Theory, statement: Formula) -> Self {
+        let mut goals = VecDeque::new();
+        goals.push_back(Sequent::goal(statement));
+        Prover { theory, goals, fresh: 0, log: Vec::new(), automated_steps: 0, user_steps: 0 }
+    }
+
+    /// Number of open goals.
+    pub fn open_goals(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// The current goal, if any.
+    pub fn current(&self) -> Option<&Sequent> {
+        self.goals.front()
+    }
+
+    /// Has the proof finished?
+    pub fn is_proved(&self) -> bool {
+        self.goals.is_empty()
+    }
+
+    fn fresh_const(&mut self, base: &str) -> Term {
+        self.fresh += 1;
+        Term::App(format!("{base}!{}", self.fresh), vec![])
+    }
+
+    fn sweep_closed(&mut self) {
+        self.goals.retain(|g| !g.trivially_true());
+    }
+
+    /// Apply a user command (counts as one proof step).
+    pub fn apply(&mut self, cmd: &Command) -> Result<(), ProofError> {
+        self.user_steps += 1;
+        self.apply_inner(cmd, false)
+    }
+
+    fn record(&mut self, cmd: &Command, automated: bool) {
+        if automated {
+            self.automated_steps += 1;
+        }
+        self.log.push(StepRecord {
+            command: cmd.to_string(),
+            automated,
+            goals_open: self.goals.len(),
+        });
+    }
+
+    fn apply_inner(&mut self, cmd: &Command, automated: bool) -> Result<(), ProofError> {
+        if self.goals.is_empty() {
+            return Err("no open goals".into());
+        }
+        match cmd {
+            Command::Skolem => {
+                let mut g = self.goals.pop_front().unwrap();
+                self.skolemize(&mut g);
+                self.goals.push_front(g);
+            }
+            Command::Flatten => {
+                let mut g = self.goals.pop_front().unwrap();
+                self.flatten(&mut g);
+                self.goals.push_front(g);
+            }
+            Command::Split => {
+                let g = self.goals.pop_front().unwrap();
+                match split_goal(&g) {
+                    Some(subs) => {
+                        for s in subs.into_iter().rev() {
+                            self.goals.push_front(s);
+                        }
+                    }
+                    None => return Err("nothing to split".into()),
+                }
+            }
+            Command::Prop => {
+                let g = self.goals.pop_front().unwrap();
+                let subs = self.prop_saturate(g, 256)?;
+                for s in subs.into_iter().rev() {
+                    self.goals.push_front(s);
+                }
+            }
+            Command::Expand(name) => {
+                let def = self
+                    .theory
+                    .defs
+                    .get(name)
+                    .ok_or_else(|| format!("no definition named {name}"))?
+                    .clone();
+                let mut g = self.goals.pop_front().unwrap();
+                let mut fresh = self.fresh;
+                for f in g.ante.iter_mut().chain(g.succ.iter_mut()) {
+                    *f = expand_in_formula(f, name, &def, &mut fresh);
+                }
+                self.fresh = fresh;
+                self.goals.push_front(g);
+            }
+            Command::Inst(terms) => {
+                let mut g = self.goals.pop_front().unwrap();
+                self.instantiate(&mut g, terms)?;
+                self.goals.push_front(g);
+            }
+            Command::InstAuto => {
+                let mut g = self.goals.pop_front().unwrap();
+                inst_auto(&mut g);
+                self.goals.push_front(g);
+            }
+            Command::Lemma(name) => {
+                let f = self
+                    .theory
+                    .citable(name)
+                    .ok_or_else(|| format!("no axiom or theorem named {name}"))?
+                    .clone();
+                let mut g = self.goals.pop_front().unwrap();
+                g.push_ante(f);
+                self.goals.push_front(g);
+            }
+            Command::Rewrite(name) => {
+                let ax = self
+                    .theory
+                    .citable(name)
+                    .ok_or_else(|| format!("no axiom or theorem named {name}"))?
+                    .clone();
+                let mut g = self.goals.pop_front().unwrap();
+                rewrite_with(&mut g, &ax)?;
+                self.goals.push_front(g);
+            }
+            Command::Case(f) => {
+                let g = self.goals.pop_front().unwrap();
+                let mut with = g.clone();
+                with.push_ante(f.clone());
+                let mut without = g;
+                without.push_succ(f.clone());
+                self.goals.push_front(without);
+                self.goals.push_front(with);
+            }
+            Command::Assert => {
+                let mut g = self.goals.pop_front().unwrap();
+                assert_simplify(&mut g);
+                if !(g.trivially_true() || arith::refutes(&g.ante, &g.succ)) {
+                    self.goals.push_front(g);
+                }
+            }
+            Command::Induct(pred) => {
+                let g = self.goals.pop_front().unwrap();
+                let subs = self.rule_induction(&g, pred)?;
+                for s in subs.into_iter().rev() {
+                    self.goals.push_front(s);
+                }
+            }
+            Command::Grind => {
+                self.grind()?;
+            }
+        }
+        self.record(cmd, automated);
+        self.sweep_closed();
+        Ok(())
+    }
+
+    /// Run a whole script; returns true if the proof is complete afterwards.
+    pub fn run_script(&mut self, script: &[Command]) -> Result<bool, ProofError> {
+        for cmd in script {
+            if self.is_proved() {
+                break;
+            }
+            self.apply(cmd)?;
+        }
+        Ok(self.is_proved())
+    }
+
+    /// Finish into a result summary.
+    pub fn finish(self) -> ProofResult {
+        ProofResult {
+            proved: self.goals.is_empty(),
+            user_steps: self.user_steps,
+            automated_steps: self.automated_steps,
+            log: self.log,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // primitive rules
+    // ------------------------------------------------------------------
+
+    fn skolemize(&mut self, g: &mut Sequent) {
+        for f in g.succ.iter_mut() {
+            while let Formula::Forall(v, body) = f.clone() {
+                let sk = self.fresh_const(&v);
+                let mut m = Subst::new();
+                m.insert(v, sk);
+                *f = body.subst(&m);
+            }
+        }
+        for f in g.ante.iter_mut() {
+            while let Formula::Exists(v, body) = f.clone() {
+                let sk = self.fresh_const(&v);
+                let mut m = Subst::new();
+                m.insert(v, sk);
+                *f = body.subst(&m);
+            }
+        }
+    }
+
+    /// Non-branching saturation.
+    fn flatten(&mut self, g: &mut Sequent) {
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed && rounds < 10_000 {
+            rounds += 1;
+            changed = false;
+            // Antecedent rules.
+            let mut i = 0;
+            while i < g.ante.len() {
+                match g.ante[i].clone() {
+                    Formula::True => {
+                        g.ante.remove(i);
+                        changed = true;
+                    }
+                    Formula::And(a, b) => {
+                        g.ante.remove(i);
+                        g.push_ante(*a);
+                        g.push_ante(*b);
+                        changed = true;
+                    }
+                    Formula::Not(f) => {
+                        g.ante.remove(i);
+                        g.push_succ(*f);
+                        changed = true;
+                    }
+                    Formula::Iff(a, b) => {
+                        g.ante.remove(i);
+                        g.push_ante(Formula::implies((*a).clone(), (*b).clone()));
+                        g.push_ante(Formula::implies(*b, *a));
+                        changed = true;
+                    }
+                    Formula::Exists(v, body) => {
+                        let sk = self.fresh_const(&v);
+                        let mut m = Subst::new();
+                        m.insert(v, sk);
+                        g.ante[i] = body.subst(&m);
+                        changed = true;
+                    }
+                    _ => i += 1,
+                }
+            }
+            // Succedent rules.
+            let mut j = 0;
+            while j < g.succ.len() {
+                match g.succ[j].clone() {
+                    Formula::False => {
+                        g.succ.remove(j);
+                        changed = true;
+                    }
+                    Formula::Or(a, b) => {
+                        g.succ.remove(j);
+                        g.push_succ(*a);
+                        g.push_succ(*b);
+                        changed = true;
+                    }
+                    Formula::Implies(a, b) => {
+                        g.succ.remove(j);
+                        g.push_ante(*a);
+                        g.push_succ(*b);
+                        changed = true;
+                    }
+                    Formula::Not(f) => {
+                        g.succ.remove(j);
+                        g.push_ante(*f);
+                        changed = true;
+                    }
+                    Formula::Forall(v, body) => {
+                        let sk = self.fresh_const(&v);
+                        let mut m = Subst::new();
+                        m.insert(v, sk);
+                        g.succ[j] = body.subst(&m);
+                        changed = true;
+                    }
+                    _ => j += 1,
+                }
+            }
+        }
+    }
+
+    fn prop_saturate(&mut self, g: Sequent, max_goals: usize) -> Result<Vec<Sequent>, ProofError> {
+        let mut open = vec![g];
+        let mut done: Vec<Sequent> = Vec::new();
+        while let Some(mut g) = open.pop() {
+            if open.len() + done.len() > max_goals {
+                return Err("prop: goal explosion".into());
+            }
+            self.flatten(&mut g);
+            if g.trivially_true() {
+                continue;
+            }
+            match split_goal(&g) {
+                Some(subs) => open.extend(subs),
+                None => done.push(g),
+            }
+        }
+        Ok(done)
+    }
+
+    fn instantiate(&mut self, g: &mut Sequent, terms: &[Term]) -> Result<(), ProofError> {
+        // Scan antecedent from the end (most recent first) for a ∀ formula.
+        for f in g.ante.iter_mut().rev() {
+            if matches!(f, Formula::Forall(..)) {
+                let mut cur = f.clone();
+                for t in terms {
+                    match cur {
+                        Formula::Forall(v, body) => {
+                            let mut m = Subst::new();
+                            m.insert(v, t.clone());
+                            cur = body.subst(&m);
+                        }
+                        _ => return Err("too many instantiation terms".into()),
+                    }
+                }
+                *f = cur;
+                return Ok(());
+            }
+        }
+        // Then the succedent for an ∃ formula.
+        for f in g.succ.iter_mut().rev() {
+            if matches!(f, Formula::Exists(..)) {
+                let mut cur = f.clone();
+                for t in terms {
+                    match cur {
+                        Formula::Exists(v, body) => {
+                            let mut m = Subst::new();
+                            m.insert(v, t.clone());
+                            cur = body.subst(&m);
+                        }
+                        _ => return Err("too many instantiation terms".into()),
+                    }
+                }
+                *f = cur;
+                return Ok(());
+            }
+        }
+        Err("no quantified formula to instantiate".into())
+    }
+
+    fn rule_induction(&mut self, g: &Sequent, pred: &str) -> Result<Vec<Sequent>, ProofError> {
+        let def = self
+            .theory
+            .defs
+            .get(pred)
+            .ok_or_else(|| format!("no definition named {pred}"))?;
+        let Def::Inductive { params, clauses } = def else {
+            return Err(format!("{pred} is not inductively defined"));
+        };
+        // Goal shape: single succedent  ∀x̄: pred(x̄) ⇒ φ.
+        if g.succ.len() != 1 {
+            return Err("induct: expected exactly one succedent formula".into());
+        }
+        let mut matrix = g.succ[0].clone();
+        let mut goal_vars = Vec::new();
+        while let Formula::Forall(v, body) = matrix {
+            goal_vars.push(v);
+            matrix = *body;
+        }
+        let Formula::Implies(prem, phi) = matrix else {
+            return Err("induct: goal must be FORALL ...: pred(...) => φ".into());
+        };
+        let Formula::Pred(p, args) = *prem else {
+            return Err("induct: premise must be the inductive predicate".into());
+        };
+        if p != *pred {
+            return Err(format!("induct: premise is {p}, expected {pred}"));
+        }
+        // Arguments must be exactly the goal variables.
+        let arg_vars: Option<Vec<String>> = args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        let arg_vars = arg_vars.ok_or("induct: premise arguments must be variables")?;
+
+        let mut subgoals = Vec::new();
+        for clause in clauses {
+            // Fresh skolems for the clause parameters and locals.
+            let mut m = Subst::new();
+            let mut param_sk = Vec::new();
+            for (formal, actual) in params.iter().zip(arg_vars.iter()) {
+                let sk = self.fresh_const(actual);
+                m.insert(formal.clone(), sk.clone());
+                param_sk.push(sk);
+            }
+            for loc in &clause.exists {
+                let sk = self.fresh_const(loc);
+                m.insert(loc.clone(), sk);
+            }
+            let mut ante = Vec::new();
+            for bf in &clause.body {
+                let inst = bf.subst(&m);
+                // Add induction hypotheses for recursive occurrences.
+                for hyp in induction_hypotheses(&inst, pred, &arg_vars, &phi) {
+                    ante.push(hyp);
+                }
+                ante.push(inst);
+            }
+            // Conclusion φ with goal vars bound to the clause's parameters.
+            let mut cm = Subst::new();
+            for (gv, sk) in arg_vars.iter().zip(param_sk.iter()) {
+                cm.insert(gv.clone(), sk.clone());
+            }
+            // Other goal variables (not premise args) stay universally bound.
+            let mut concl = (*phi).clone().subst(&cm);
+            for v in goal_vars.iter().rev() {
+                if !arg_vars.contains(v) {
+                    concl = Formula::Forall(v.clone(), Box::new(concl));
+                }
+            }
+            let mut sg = Sequent { ante, succ: vec![concl] };
+            self.flatten(&mut sg);
+            subgoals.push(sg);
+        }
+        Ok(subgoals)
+    }
+
+    /// The automated default strategy: per open goal, saturate with
+    /// flatten/assert, bring in every axiom (`lemma`), expand non-recursive
+    /// definitions, apply rewrite-shaped axioms, instantiate heuristically,
+    /// do bounded propositional search, and run the decision procedures.
+    /// Iterates until no goal makes progress or the step budget runs out.
+    fn grind(&mut self) -> Result<(), ProofError> {
+        // Only expand definitions that are not (directly) recursive — PVS's
+        // grind behaves the same way to avoid unfolding forever.
+        let expandable: Vec<String> = self
+            .theory
+            .defs
+            .iter()
+            .filter(|(name, def)| !def.is_recursive(name))
+            .map(|(name, _)| name.clone())
+            .collect();
+        let is_rewrite_shaped = |f: &Formula| {
+            let mut m = f.clone();
+            while let Formula::Forall(_, body) = m {
+                m = *body;
+            }
+            matches!(m, Formula::Iff(..) | Formula::Eq(..))
+        };
+        let rewrites: Vec<String> = self
+            .theory
+            .axioms
+            .iter()
+            .filter(|(_, f)| is_rewrite_shaped(f))
+            .map(|(n, _)| n.clone())
+            .collect();
+        let lemmas: Vec<String> = self
+            .theory
+            .axioms
+            .iter()
+            .filter(|(_, f)| !is_rewrite_shaped(f))
+            .map(|(n, _)| n.clone())
+            .collect();
+
+        let mut sequence: Vec<Command> = vec![Command::Flatten, Command::Assert];
+        sequence.extend(lemmas.into_iter().map(Command::Lemma));
+        sequence.extend(expandable.into_iter().map(Command::Expand));
+        sequence.push(Command::Flatten);
+        sequence.extend(rewrites.into_iter().map(Command::Rewrite));
+        sequence.extend([Command::InstAuto, Command::Prop, Command::Assert]);
+
+        let mut stall = 0usize;
+        let mut budget = 4000usize;
+        while !self.goals.is_empty() && stall <= self.goals.len() && budget > 0 {
+            let before = self.goals.front().cloned();
+            for cmd in &sequence {
+                if self.goals.is_empty() || budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                // Prop can blow up; other commands are total. Ignore
+                // strategy-internal errors and keep going.
+                let _ = self.apply_inner(cmd, true);
+            }
+            if self.goals.front() == before.as_ref() {
+                stall += 1;
+                if let Some(g) = self.goals.pop_front() {
+                    self.goals.push_back(g);
+                }
+            } else {
+                stall = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build induction hypotheses: for each recursive occurrence `pred(ū)` inside
+/// `f`, produce `φ[x̄ := ū]`.
+fn induction_hypotheses(
+    f: &Formula,
+    pred: &str,
+    arg_vars: &[String],
+    phi: &Formula,
+) -> Vec<Formula> {
+    let mut out = Vec::new();
+    collect_rec(f, pred, &mut |args: &[Term]| {
+        let mut m = Subst::new();
+        for (v, t) in arg_vars.iter().zip(args.iter()) {
+            m.insert(v.clone(), t.clone());
+        }
+        out.push(phi.clone().subst(&m));
+    });
+    out
+}
+
+fn collect_rec(f: &Formula, pred: &str, sink: &mut impl FnMut(&[Term])) {
+    match f {
+        Formula::Pred(p, args) if p == pred => sink(args),
+        Formula::Not(x) => collect_rec(x, pred, sink),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            collect_rec(a, pred, sink);
+            collect_rec(b, pred, sink);
+        }
+        Formula::Forall(_, x) | Formula::Exists(_, x) => collect_rec(x, pred, sink),
+        _ => {}
+    }
+}
+
+/// One branching step, if any applies.
+fn split_goal(g: &Sequent) -> Option<Vec<Sequent>> {
+    // succ: And
+    for (j, f) in g.succ.iter().enumerate() {
+        if let Formula::And(a, b) = f {
+            let mut g1 = g.clone();
+            g1.succ[j] = (**a).clone();
+            let mut g2 = g.clone();
+            g2.succ[j] = (**b).clone();
+            return Some(vec![g1, g2]);
+        }
+        if let Formula::Iff(a, b) = f {
+            let mut g1 = g.clone();
+            g1.succ[j] = Formula::implies((**a).clone(), (**b).clone());
+            let mut g2 = g.clone();
+            g2.succ[j] = Formula::implies((**b).clone(), (**a).clone());
+            return Some(vec![g1, g2]);
+        }
+    }
+    // ante: Or / Implies
+    for (i, f) in g.ante.iter().enumerate() {
+        if let Formula::Or(a, b) = f {
+            let mut g1 = g.clone();
+            g1.ante[i] = (**a).clone();
+            let mut g2 = g.clone();
+            g2.ante[i] = (**b).clone();
+            return Some(vec![g1, g2]);
+        }
+        if let Formula::Implies(a, b) = f {
+            let mut g1 = g.clone();
+            g1.ante.remove(i);
+            g1.push_succ((**a).clone());
+            let mut g2 = g.clone();
+            g2.ante[i] = (**b).clone();
+            return Some(vec![g1, g2]);
+        }
+    }
+    None
+}
+
+/// Unfold `name` (defined by `def`) everywhere inside `f`.
+fn expand_in_formula(f: &Formula, name: &str, def: &Def, fresh: &mut usize) -> Formula {
+    match f {
+        Formula::Pred(p, args) if p == name => {
+            let params = def.params();
+            debug_assert_eq!(params.len(), args.len(), "arity mismatch expanding {name}");
+            let mut m = Subst::new();
+            for (formal, actual) in params.iter().zip(args.iter()) {
+                m.insert(formal.clone(), actual.clone());
+            }
+            match def {
+                Def::Direct { body, .. } => body.subst(&m),
+                Def::Inductive { clauses, .. } => {
+                    let mut disjuncts = Vec::new();
+                    for c in clauses {
+                        // Rename clause-local existentials freshly to avoid
+                        // clashes with the argument terms.
+                        let mut cm = m.clone();
+                        let mut locals = Vec::new();
+                        for loc in &c.exists {
+                            *fresh += 1;
+                            let nv = format!("{loc}_{fresh}");
+                            cm.insert(loc.clone(), Term::Var(nv.clone()));
+                            locals.push(nv);
+                        }
+                        let body =
+                            Formula::and_all(c.body.iter().map(|b| b.subst(&cm)).collect());
+                        let closed = locals
+                            .iter()
+                            .rev()
+                            .fold(body, |acc, v| Formula::Exists(v.clone(), Box::new(acc)));
+                        disjuncts.push(closed);
+                    }
+                    Formula::or_all(disjuncts)
+                }
+            }
+        }
+        Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) | Formula::Le(..)
+        | Formula::Lt(..) => f.clone(),
+        Formula::Not(x) => Formula::not(expand_in_formula(x, name, def, fresh)),
+        Formula::And(a, b) => Formula::And(
+            Box::new(expand_in_formula(a, name, def, fresh)),
+            Box::new(expand_in_formula(b, name, def, fresh)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(expand_in_formula(a, name, def, fresh)),
+            Box::new(expand_in_formula(b, name, def, fresh)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(expand_in_formula(a, name, def, fresh)),
+            Box::new(expand_in_formula(b, name, def, fresh)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(expand_in_formula(a, name, def, fresh)),
+            Box::new(expand_in_formula(b, name, def, fresh)),
+        ),
+        Formula::Forall(v, x) => {
+            Formula::Forall(v.clone(), Box::new(expand_in_formula(x, name, def, fresh)))
+        }
+        Formula::Exists(v, x) => {
+            Formula::Exists(v.clone(), Box::new(expand_in_formula(x, name, def, fresh)))
+        }
+    }
+}
+
+/// Heuristic instantiation: for each ∀-prefixed antecedent formula, match its
+/// trigger atoms against ground atoms in the sequent; add every full
+/// instantiation found (keeping the original). Also handles ∃ in succedent.
+fn inst_auto(g: &mut Sequent) {
+    const MAX_NEW: usize = 64;
+    let mut new_ante: Vec<Formula> = Vec::new();
+    let mut new_succ: Vec<Formula> = Vec::new();
+    let ground_atoms: Vec<Formula> = g
+        .ante
+        .iter()
+        .filter(|f| matches!(f, Formula::Pred(..) | Formula::Eq(..)))
+        .cloned()
+        .collect();
+
+    for f in g.ante.iter().rev() {
+        if !matches!(f, Formula::Forall(..)) {
+            continue;
+        }
+        let mut vars = Vec::new();
+        let mut matrix = f.clone();
+        while let Formula::Forall(v, body) = matrix {
+            vars.push(v);
+            matrix = *body;
+        }
+        let triggers: Vec<Formula> = trigger_atoms(&matrix);
+        let mut found: Vec<Subst> = Vec::new();
+        match_triggers(&triggers, &ground_atoms, &Subst::new(), &vars, &mut found, MAX_NEW);
+        for s in found {
+            if s.len() == vars.len() {
+                let inst = matrix.subst(&s);
+                if !g.ante.contains(&inst) && new_ante.len() < MAX_NEW {
+                    new_ante.push(inst);
+                }
+            }
+        }
+    }
+    for f in g.succ.iter().rev() {
+        if !matches!(f, Formula::Exists(..)) {
+            continue;
+        }
+        let mut vars = Vec::new();
+        let mut matrix = f.clone();
+        while let Formula::Exists(v, body) = matrix {
+            vars.push(v);
+            matrix = *body;
+        }
+        let triggers: Vec<Formula> = trigger_atoms(&matrix);
+        let mut found: Vec<Subst> = Vec::new();
+        match_triggers(&triggers, &ground_atoms, &Subst::new(), &vars, &mut found, MAX_NEW);
+        for s in found {
+            if s.len() == vars.len() {
+                let inst = matrix.subst(&s);
+                if !g.succ.contains(&inst) && new_succ.len() < MAX_NEW {
+                    new_succ.push(inst);
+                }
+            }
+        }
+    }
+    for f in new_ante {
+        g.push_ante(f);
+    }
+    for f in new_succ {
+        g.push_succ(f);
+    }
+}
+
+/// Positive atoms usable as matching triggers.
+fn trigger_atoms(f: &Formula) -> Vec<Formula> {
+    match f {
+        Formula::Pred(..) | Formula::Eq(..) => vec![f.clone()],
+        Formula::And(a, b) => {
+            let mut v = trigger_atoms(a);
+            v.extend(trigger_atoms(b));
+            v
+        }
+        Formula::Implies(a, _) => trigger_atoms(a),
+        _ => vec![],
+    }
+}
+
+fn match_triggers(
+    triggers: &[Formula],
+    atoms: &[Formula],
+    sofar: &Subst,
+    vars: &[String],
+    found: &mut Vec<Subst>,
+    cap: usize,
+) {
+    if found.len() >= cap {
+        return;
+    }
+    if sofar.len() == vars.len() || triggers.is_empty() {
+        if sofar.len() == vars.len() {
+            found.push(sofar.clone());
+        }
+        return;
+    }
+    let (first, rest) = triggers.split_first().unwrap();
+    for atom in atoms {
+        if let Some(s2) = match_formula(first, atom, sofar, vars) {
+            match_triggers(rest, atoms, &s2, vars, found, cap);
+        }
+    }
+    // Also allow skipping this trigger (it may not bind anything new).
+    match_triggers(rest, atoms, sofar, vars, found, cap);
+}
+
+/// One-way matching of formula patterns (only quantified `vars` may bind).
+fn match_formula(pat: &Formula, target: &Formula, sofar: &Subst, vars: &[String]) -> Option<Subst> {
+    match (pat, target) {
+        (Formula::Pred(p, pa), Formula::Pred(q, qa)) if p == q && pa.len() == qa.len() => {
+            let mut s = sofar.clone();
+            for (x, y) in pa.iter().zip(qa) {
+                if !match_term_restricted(x, y, &mut s, vars) {
+                    return None;
+                }
+            }
+            Some(s)
+        }
+        (Formula::Eq(a1, b1), Formula::Eq(a2, b2)) => {
+            let mut s = sofar.clone();
+            if match_term_restricted(a1, a2, &mut s, vars)
+                && match_term_restricted(b1, b2, &mut s, vars)
+            {
+                Some(s)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Like [`match_term`] but only variables in `vars` may be bound; other
+/// variables must match syntactically.
+fn match_term_restricted(pat: &Term, tgt: &Term, s: &mut Subst, vars: &[String]) -> bool {
+    match (pat, tgt) {
+        (Term::Var(v), t) if vars.contains(v) => match s.get(v) {
+            Some(b) => b == t,
+            None => {
+                s.insert(v.clone(), t.clone());
+                true
+            }
+        },
+        (Term::Var(v), Term::Var(w)) => v == w,
+        (Term::Const(a), Term::Const(b)) => a == b,
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            f == g
+                && fa.len() == ga.len()
+                && fa.iter().zip(ga).all(|(x, y)| match_term_restricted(x, y, s, vars))
+        }
+        _ => false,
+    }
+}
+
+/// Apply a ∀-closed iff/equality axiom as a left-to-right rewrite.
+fn rewrite_with(g: &mut Sequent, axiom: &Formula) -> Result<(), ProofError> {
+    let mut vars = Vec::new();
+    let mut matrix = axiom.clone();
+    while let Formula::Forall(v, body) = matrix {
+        vars.push(v);
+        matrix = *body;
+    }
+    match matrix {
+        Formula::Iff(lhs, rhs) => {
+            let Formula::Pred(..) = *lhs else {
+                return Err("rewrite: LHS must be a predicate atom".into());
+            };
+            for f in g.ante.iter_mut().chain(g.succ.iter_mut()) {
+                *f = rewrite_formula(f, &lhs, &rhs, &vars);
+            }
+            Ok(())
+        }
+        Formula::Eq(lt, rt) => {
+            for f in g.ante.iter_mut().chain(g.succ.iter_mut()) {
+                *f = rewrite_terms_in_formula(f, &lt, &rt, &vars);
+            }
+            Ok(())
+        }
+        _ => Err("rewrite: axiom must be a universally quantified iff or equality".into()),
+    }
+}
+
+fn rewrite_formula(f: &Formula, lhs: &Formula, rhs: &Formula, vars: &[String]) -> Formula {
+    if let Some(s) = match_formula(lhs, f, &Subst::new(), vars) {
+        return rhs.subst(&s);
+    }
+    match f {
+        Formula::Not(x) => Formula::not(rewrite_formula(x, lhs, rhs, vars)),
+        Formula::And(a, b) => Formula::And(
+            Box::new(rewrite_formula(a, lhs, rhs, vars)),
+            Box::new(rewrite_formula(b, lhs, rhs, vars)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(rewrite_formula(a, lhs, rhs, vars)),
+            Box::new(rewrite_formula(b, lhs, rhs, vars)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(rewrite_formula(a, lhs, rhs, vars)),
+            Box::new(rewrite_formula(b, lhs, rhs, vars)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(rewrite_formula(a, lhs, rhs, vars)),
+            Box::new(rewrite_formula(b, lhs, rhs, vars)),
+        ),
+        Formula::Forall(v, x) => {
+            Formula::Forall(v.clone(), Box::new(rewrite_formula(x, lhs, rhs, vars)))
+        }
+        Formula::Exists(v, x) => {
+            Formula::Exists(v.clone(), Box::new(rewrite_formula(x, lhs, rhs, vars)))
+        }
+        other => other.clone(),
+    }
+}
+
+fn rewrite_terms_in_formula(f: &Formula, lt: &Term, rt: &Term, vars: &[String]) -> Formula {
+    let rw = |t: &Term| rewrite_term(t, lt, rt, vars);
+    match f {
+        Formula::Pred(p, args) => Formula::Pred(p.clone(), args.iter().map(rw).collect()),
+        Formula::Eq(a, b) => Formula::Eq(rw(a), rw(b)),
+        Formula::Le(a, b) => Formula::Le(rw(a), rw(b)),
+        Formula::Lt(a, b) => Formula::Lt(rw(a), rw(b)),
+        Formula::Not(x) => Formula::not(rewrite_terms_in_formula(x, lt, rt, vars)),
+        Formula::And(a, b) => Formula::And(
+            Box::new(rewrite_terms_in_formula(a, lt, rt, vars)),
+            Box::new(rewrite_terms_in_formula(b, lt, rt, vars)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(rewrite_terms_in_formula(a, lt, rt, vars)),
+            Box::new(rewrite_terms_in_formula(b, lt, rt, vars)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(rewrite_terms_in_formula(a, lt, rt, vars)),
+            Box::new(rewrite_terms_in_formula(b, lt, rt, vars)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(rewrite_terms_in_formula(a, lt, rt, vars)),
+            Box::new(rewrite_terms_in_formula(b, lt, rt, vars)),
+        ),
+        Formula::Forall(v, x) => {
+            Formula::Forall(v.clone(), Box::new(rewrite_terms_in_formula(x, lt, rt, vars)))
+        }
+        Formula::Exists(v, x) => {
+            Formula::Exists(v.clone(), Box::new(rewrite_terms_in_formula(x, lt, rt, vars)))
+        }
+        other => other.clone(),
+    }
+}
+
+fn rewrite_term(t: &Term, lt: &Term, rt: &Term, vars: &[String]) -> Term {
+    // Restricted matching so only axiom variables bind.
+    fn go(pat: &Term, tgt: &Term, s: &mut Subst, vars: &[String]) -> bool {
+        match (pat, tgt) {
+            (Term::Var(v), x) if vars.contains(v) => match s.get(v) {
+                Some(b) => b == x,
+                None => {
+                    s.insert(v.clone(), x.clone());
+                    true
+                }
+            },
+            (Term::Var(v), Term::Var(w)) => v == w,
+            (Term::Const(a), Term::Const(b)) => a == b,
+            (Term::App(f, fa), Term::App(g, ga)) => {
+                f == g && fa.len() == ga.len() && fa.iter().zip(ga).all(|(x, y)| go(x, y, s, vars))
+            }
+            _ => false,
+        }
+    }
+    let mut s = Subst::new();
+    if go(lt, t, &mut s, vars) {
+        return rt.subst(&s);
+    }
+    match t {
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(|a| rewrite_term(a, lt, rt, vars)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// `assert`-style simplification (in place).
+fn assert_simplify(g: &mut Sequent) {
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 1000 {
+        rounds += 1;
+        changed = false;
+
+        // 1. Equality substitution: Eq(c, t) with c an "eliminable" constant
+        //    (variable or 0-ary application) not occurring in t.  Free
+        //    variables are only eliminated when no binder in the sequent
+        //    shares their name (substitution here is not capture-avoiding).
+        let safe_var = |name: &str| {
+            !g.ante.iter().chain(g.succ.iter()).any(|f| binds_var(f, name))
+        };
+        let mut idx = None;
+        for (i, f) in g.ante.iter().enumerate() {
+            if let Formula::Eq(a, b) = f {
+                if eliminable(a, b) && term_var_safe(a, &safe_var) {
+                    idx = Some((i, a.clone(), b.clone()));
+                    break;
+                }
+                if eliminable(b, a) && term_var_safe(b, &safe_var) {
+                    idx = Some((i, b.clone(), a.clone()));
+                    break;
+                }
+            }
+        }
+        if let Some((i, from, to)) = idx {
+            g.ante.remove(i);
+            for f in g.ante.iter_mut().chain(g.succ.iter_mut()) {
+                *f = replace_term_in_formula(f, &from, &to);
+            }
+            changed = true;
+            continue;
+        }
+
+        // 2. Ground evaluation.
+        let before = g.ante.len() + g.succ.len();
+        g.ante.retain(|f| Sequent::eval_ground(f) != Some(true));
+        g.succ.retain(|f| Sequent::eval_ground(f) != Some(false));
+        if g.ante.len() + g.succ.len() != before {
+            changed = true;
+        }
+
+        // 3. Modus ponens inside the antecedent.
+        let snapshot = g.ante.clone();
+        for f in g.ante.iter_mut() {
+            if let Formula::Implies(a, b) = f {
+                if snapshot.contains(a) {
+                    *f = (**b).clone();
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+fn eliminable(candidate: &Term, other: &Term) -> bool {
+    let simple = matches!(candidate, Term::Var(_))
+        || matches!(candidate, Term::App(_, args) if args.is_empty());
+    simple && candidate != other && !contains_term(other, candidate)
+}
+
+/// For `Var` candidates, ensure no capture can occur.
+fn term_var_safe(candidate: &Term, safe: &impl Fn(&str) -> bool) -> bool {
+    match candidate {
+        Term::Var(v) => safe(v),
+        _ => true,
+    }
+}
+
+/// Does any quantifier in `f` bind `name`?
+fn binds_var(f: &Formula, name: &str) -> bool {
+    match f {
+        Formula::Forall(v, x) | Formula::Exists(v, x) => v == name || binds_var(x, name),
+        Formula::Not(x) => binds_var(x, name),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            binds_var(a, name) || binds_var(b, name)
+        }
+        _ => false,
+    }
+}
+
+fn contains_term(haystack: &Term, needle: &Term) -> bool {
+    if haystack == needle {
+        return true;
+    }
+    match haystack {
+        Term::App(_, args) => args.iter().any(|a| contains_term(a, needle)),
+        _ => false,
+    }
+}
+
+fn replace_term_in_formula(f: &Formula, from: &Term, to: &Term) -> Formula {
+    let rt = |t: &Term| replace_term(t, from, to);
+    match f {
+        Formula::Pred(p, args) => Formula::Pred(p.clone(), args.iter().map(rt).collect()),
+        Formula::Eq(a, b) => Formula::Eq(rt(a), rt(b)),
+        Formula::Le(a, b) => Formula::Le(rt(a), rt(b)),
+        Formula::Lt(a, b) => Formula::Lt(rt(a), rt(b)),
+        Formula::Not(x) => Formula::not(replace_term_in_formula(x, from, to)),
+        Formula::And(a, b) => Formula::And(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(replace_term_in_formula(a, from, to)),
+            Box::new(replace_term_in_formula(b, from, to)),
+        ),
+        Formula::Forall(v, x) => {
+            Formula::Forall(v.clone(), Box::new(replace_term_in_formula(x, from, to)))
+        }
+        Formula::Exists(v, x) => {
+            Formula::Exists(v.clone(), Box::new(replace_term_in_formula(x, from, to)))
+        }
+        other => other.clone(),
+    }
+}
+
+fn replace_term(t: &Term, from: &Term, to: &Term) -> Term {
+    if t == from {
+        return to.clone();
+    }
+    match t {
+        Term::App(f, args) => {
+            Term::App(f.clone(), args.iter().map(|a| replace_term(a, from, to)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+/// Prove a theorem: runs its script, or `grind` when the script is empty.
+pub fn prove(theory: &Theory, theorem: &Theorem) -> Result<ProofResult, ProofError> {
+    let mut p = Prover::new(theory, theorem.statement.clone());
+    if theorem.script.is_empty() {
+        p.apply(&Command::Grind)?;
+    } else {
+        p.run_script(&theorem.script)?;
+    }
+    Ok(p.finish())
+}
+
+/// Check every theorem of a theory; returns per-theorem results.
+pub fn check_theory(theory: &Theory) -> Vec<(String, Result<ProofResult, ProofError>)> {
+    theory
+        .theorems
+        .iter()
+        .map(|t| (t.name.clone(), prove(theory, t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::Clause;
+
+    fn pred(name: &str, args: Vec<Term>) -> Formula {
+        Formula::Pred(name.into(), args)
+    }
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn propositional_tautology_by_prop() {
+        // |- (a AND b) => (b AND a)
+        let a = pred("a", vec![]);
+        let b = pred("b", vec![]);
+        let goal = Formula::implies(
+            Formula::And(Box::new(a.clone()), Box::new(b.clone())),
+            Formula::And(Box::new(b), Box::new(a)),
+        );
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, goal);
+        p.apply(&Command::Prop).unwrap();
+        assert!(p.is_proved());
+    }
+
+    #[test]
+    fn skolem_then_flatten_strips_quantifiers() {
+        let goal = Formula::forall(
+            &["X"],
+            Formula::implies(pred("p", vec![v("X")]), pred("p", vec![v("X")])),
+        );
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, goal);
+        p.apply(&Command::Skolem).unwrap();
+        p.apply(&Command::Flatten).unwrap();
+        assert!(p.is_proved());
+    }
+
+    #[test]
+    fn modus_ponens_via_assert() {
+        // a, a => b |- b
+        let a = pred("a", vec![]);
+        let b = pred("b", vec![]);
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, b.clone());
+        let g = p.goals.front_mut().unwrap();
+        g.push_ante(a.clone());
+        g.push_ante(Formula::implies(a, b));
+        p.apply(&Command::Assert).unwrap();
+        assert!(p.is_proved());
+    }
+
+    #[test]
+    fn arithmetic_closure_via_assert() {
+        // C = C1 + C2, 1 <= C1, 1 <= C2 |- 1 <= C
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, Formula::Le(Term::int(1), v("C")));
+        let g = p.goals.front_mut().unwrap();
+        g.push_ante(Formula::Eq(v("C"), Term::add(v("C1"), v("C2"))));
+        g.push_ante(Formula::Le(Term::int(1), v("C1")));
+        g.push_ante(Formula::Le(Term::int(1), v("C2")));
+        p.apply(&Command::Assert).unwrap();
+        assert!(p.is_proved());
+    }
+
+    #[test]
+    fn expand_direct_definition() {
+        let mut th = Theory::new("t");
+        th.define(
+            "best",
+            Def::Direct {
+                params: vec!["X".into()],
+                body: Formula::And(
+                    Box::new(pred("p", vec![v("X")])),
+                    Box::new(pred("q", vec![v("X")])),
+                ),
+            },
+        );
+        // best(c) |- p(c)
+        let c = Term::App("c".into(), vec![]);
+        let mut p = Prover::new(&th, pred("p", vec![c.clone()]));
+        p.goals.front_mut().unwrap().push_ante(pred("best", vec![c]));
+        p.apply(&Command::Expand("best".into())).unwrap();
+        p.apply(&Command::Flatten).unwrap();
+        assert!(p.is_proved());
+    }
+
+    #[test]
+    fn inst_auto_matches_ground_atoms() {
+        // forall X: p(X) => q(X), p(c) |- q(c)
+        let c = Term::App("c".into(), vec![]);
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, pred("q", vec![c.clone()]));
+        {
+            let g = p.goals.front_mut().unwrap();
+            g.push_ante(pred("p", vec![c.clone()]));
+            g.push_ante(Formula::forall(
+                &["X"],
+                Formula::implies(pred("p", vec![v("X")]), pred("q", vec![v("X")])),
+            ));
+        }
+        p.apply(&Command::InstAuto).unwrap();
+        p.apply(&Command::Assert).unwrap();
+        assert!(p.is_proved(), "open: {:?}", p.current());
+    }
+
+    #[test]
+    fn manual_inst() {
+        // forall X: q(X) |- q(c)
+        let c = Term::App("c".into(), vec![]);
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, pred("q", vec![c.clone()]));
+        p.goals
+            .front_mut()
+            .unwrap()
+            .push_ante(Formula::forall(&["X"], pred("q", vec![v("X")])));
+        p.apply(&Command::Inst(vec![c])).unwrap();
+        assert!(p.is_proved());
+    }
+
+    #[test]
+    fn case_splits_into_two_goals() {
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, pred("g", vec![]));
+        p.apply(&Command::Case(pred("c", vec![]))).unwrap();
+        assert_eq!(p.open_goals(), 2);
+    }
+
+    #[test]
+    fn rewrite_iff_axiom() {
+        // axiom: forall S,D,X: inPath(init(S,D),X) <=> (X=S or X=D)
+        let mut th = Theory::new("t");
+        th.axiom(
+            "inPathInit",
+            Formula::forall(
+                &["S", "D", "X"],
+                Formula::Iff(
+                    Box::new(pred(
+                        "inPath",
+                        vec![Term::App("init".into(), vec![v("S"), v("D")]), v("X")],
+                    )),
+                    Box::new(Formula::Or(
+                        Box::new(Formula::Eq(v("X"), v("S"))),
+                        Box::new(Formula::Eq(v("X"), v("D"))),
+                    )),
+                ),
+            ),
+        );
+        // |- inPath(init(a,b), a)
+        let a = Term::App("a".into(), vec![]);
+        let b = Term::App("b".into(), vec![]);
+        let goal = pred("inPath", vec![Term::App("init".into(), vec![a.clone(), b]), a]);
+        let mut p = Prover::new(&th, goal);
+        p.apply(&Command::Rewrite("inPathInit".into())).unwrap();
+        p.apply(&Command::Prop).unwrap();
+        assert!(p.is_proved(), "open: {:?}", p.current());
+    }
+
+    #[test]
+    fn rule_induction_on_counter() {
+        // even: even(Z) <= Z=0 ; even(Z) <= exists Y: even(Y) and Z = Y + 2
+        // theorem: forall Z: even(Z) => 0 <= Z
+        let mut th = Theory::new("t");
+        th.define(
+            "even",
+            Def::Inductive {
+                params: vec!["Z".into()],
+                clauses: vec![
+                    Clause {
+                        name: "base".into(),
+                        exists: vec![],
+                        body: vec![Formula::Eq(v("Z"), Term::int(0))],
+                    },
+                    Clause {
+                        name: "step".into(),
+                        exists: vec!["Y".into()],
+                        body: vec![
+                            pred("even", vec![v("Y")]),
+                            Formula::Eq(v("Z"), Term::add(v("Y"), Term::int(2))),
+                        ],
+                    },
+                ],
+            },
+        );
+        let goal = Formula::forall(
+            &["Z"],
+            Formula::implies(pred("even", vec![v("Z")]), Formula::Le(Term::int(0), v("Z"))),
+        );
+        let mut p = Prover::new(&th, goal);
+        p.apply(&Command::Induct("even".into())).unwrap();
+        assert_eq!(p.open_goals(), 2);
+        p.apply(&Command::Assert).unwrap(); // base: Z=0 |- 0<=Z
+        p.apply(&Command::Assert).unwrap(); // step: 0<=Y, Z=Y+2 |- 0<=Z
+        assert!(p.is_proved(), "open: {:?}", p.current());
+    }
+
+    #[test]
+    fn grind_proves_quantified_implication() {
+        let c = Term::App("c".into(), vec![]);
+        let mut th = Theory::new("t");
+        th.define(
+            "good",
+            Def::Direct {
+                params: vec!["X".into()],
+                body: Formula::And(
+                    Box::new(pred("p", vec![v("X")])),
+                    Box::new(pred("q", vec![v("X")])),
+                ),
+            },
+        );
+        // goal: forall X: good(X) => q(X)
+        let goal = Formula::forall(
+            &["X"],
+            Formula::implies(pred("good", vec![v("X")]), pred("q", vec![v("X")])),
+        );
+        let mut p = Prover::new(&th, goal);
+        p.apply(&Command::Grind).unwrap();
+        assert!(p.is_proved());
+        let r = p.finish();
+        assert_eq!(r.user_steps, 1);
+        assert!(r.automated_steps > 1);
+        let _ = c;
+    }
+
+    #[test]
+    fn unsound_goal_stays_open() {
+        // |- p() is not provable.
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, pred("p", vec![]));
+        p.apply(&Command::Grind).unwrap();
+        assert!(!p.is_proved());
+    }
+
+    #[test]
+    fn script_runner_counts_steps() {
+        let a = pred("a", vec![]);
+        let goal = Formula::implies(a.clone(), a);
+        let th = Theory::new("t");
+        let mut p = Prover::new(&th, goal);
+        let done = p.run_script(&[Command::Flatten]).unwrap();
+        assert!(done);
+        let r = p.finish();
+        assert_eq!(r.user_steps, 1);
+        assert_eq!(r.automated_steps, 0);
+    }
+}

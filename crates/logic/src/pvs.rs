@@ -1,0 +1,243 @@
+//! PVS concrete-syntax rendering.
+//!
+//! The paper presents its logical artifacts as PVS source (`INDUCTIVE
+//! bool`, `THEOREM`, theory blocks).  This module renders our [`Theory`]
+//! values in that syntax so translated programs can be compared against the
+//! paper's snippets and exported for human review.  Rendering is
+//! deterministic; a golden test reproduces the §3.1 `path` definition.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use crate::theory::{Def, Theory};
+use std::fmt::Write as _;
+
+fn render_term(t: &Term) -> String {
+    match t {
+        Term::Var(v) => v.clone(),
+        Term::Const(c) => c.to_string(),
+        Term::App(f, args) if args.len() == 2 && matches!(f.as_str(), "+" | "-" | "*") => {
+            format!("{}{}{}", render_term(&args[0]), f, render_term(&args[1]))
+        }
+        Term::App(f, args) => {
+            if args.is_empty() {
+                f.clone()
+            } else {
+                let inner: Vec<String> = args.iter().map(render_term).collect();
+                format!("{}({})", f, inner.join(","))
+            }
+        }
+    }
+}
+
+/// Render a formula in PVS style (`AND`/`OR`/`NOT`, `FORALL (X,Y): ...`).
+pub fn render_formula(f: &Formula) -> String {
+    match f {
+        Formula::True => "TRUE".into(),
+        Formula::False => "FALSE".into(),
+        Formula::Pred(p, args) => {
+            let inner: Vec<String> = args.iter().map(render_term).collect();
+            format!("{}({})", p, inner.join(","))
+        }
+        Formula::Eq(a, b) => format!("{}={}", render_term(a), render_term(b)),
+        Formula::Le(a, b) => format!("{}<={}", render_term(a), render_term(b)),
+        Formula::Lt(a, b) => format!("{}<{}", render_term(a), render_term(b)),
+        Formula::Not(x) => format!("NOT {}", render_formula_atomic(x)),
+        Formula::And(a, b) => {
+            format!("{} AND {}", render_formula_atomic(a), render_formula_atomic(b))
+        }
+        Formula::Or(a, b) => {
+            format!("{} OR {}", render_formula_atomic(a), render_formula_atomic(b))
+        }
+        Formula::Implies(a, b) => {
+            format!("{} => {}", render_formula_atomic(a), render_formula_atomic(b))
+        }
+        Formula::Iff(a, b) => {
+            format!("{} IFF {}", render_formula_atomic(a), render_formula_atomic(b))
+        }
+        Formula::Forall(..) => {
+            let (vars, body) = strip_quant(f, true);
+            format!("FORALL ({}): {}", vars.join(","), render_formula(&body))
+        }
+        Formula::Exists(..) => {
+            let (vars, body) = strip_quant(f, false);
+            format!("EXISTS ({}): {}", vars.join(","), render_formula(&body))
+        }
+    }
+}
+
+fn render_formula_atomic(f: &Formula) -> String {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Pred(..)
+        | Formula::Eq(..)
+        | Formula::Le(..)
+        | Formula::Lt(..)
+        | Formula::Not(..) => render_formula(f),
+        _ => format!("({})", render_formula(f)),
+    }
+}
+
+fn strip_quant(f: &Formula, forall: bool) -> (Vec<String>, Formula) {
+    let mut vars = Vec::new();
+    let mut cur = f.clone();
+    loop {
+        match (&cur, forall) {
+            (Formula::Forall(v, body), true) | (Formula::Exists(v, body), false) => {
+                vars.push(v.clone());
+                cur = (**body).clone();
+            }
+            _ => break,
+        }
+    }
+    (vars, cur)
+}
+
+/// Render one definition in PVS style.
+pub fn render_def(pred: &str, def: &Def) -> String {
+    match def {
+        Def::Direct { params, body } => {
+            format!("{}({}): bool =\n  {}", pred, params.join(","), render_formula(body))
+        }
+        Def::Inductive { params, clauses } => {
+            let mut out = format!("{}({}): INDUCTIVE bool =\n", pred, params.join(","));
+            let rendered: Vec<String> = clauses
+                .iter()
+                .map(|c| {
+                    let body = c
+                        .body
+                        .iter()
+                        .map(render_formula_atomic)
+                        .collect::<Vec<_>>()
+                        .join(" AND ");
+                    if c.exists.is_empty() {
+                        format!("  ({body})")
+                    } else {
+                        format!("  (EXISTS ({}): {})", c.exists.join(","), body)
+                    }
+                })
+                .collect();
+            out.push_str(&rendered.join(" OR\n"));
+            out
+        }
+    }
+}
+
+/// Render a whole theory as a PVS theory block.
+pub fn render_theory(th: &Theory) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}: THEORY", th.name).unwrap();
+    writeln!(out, "BEGIN").unwrap();
+    for (pred, def) in &th.defs {
+        for line in render_def(pred, def).lines() {
+            writeln!(out, "  {line}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    for (name, ax) in &th.axioms {
+        writeln!(out, "  {name}: AXIOM {}", render_formula(ax)).unwrap();
+    }
+    if !th.axioms.is_empty() {
+        writeln!(out).unwrap();
+    }
+    for t in &th.theorems {
+        writeln!(out, "  {}: THEOREM {}", t.name, render_formula(&t.statement)).unwrap();
+    }
+    writeln!(out, "END {}", th.name).unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::Clause;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    fn pred(name: &str, args: Vec<Term>) -> Formula {
+        Formula::Pred(name.into(), args)
+    }
+
+    #[test]
+    fn renders_inductive_definition_like_the_paper() {
+        // Mirror the paper's path definition shape.
+        let def = Def::Inductive {
+            params: vec!["S".into(), "D".into(), "P".into(), "C".into()],
+            clauses: vec![
+                Clause {
+                    name: "r1".into(),
+                    exists: vec![],
+                    body: vec![
+                        pred("link", vec![v("S"), v("D"), v("C")]),
+                        Formula::Eq(v("P"), Term::App("init".into(), vec![v("S"), v("D")])),
+                    ],
+                },
+                Clause {
+                    name: "r2".into(),
+                    exists: vec!["C1".into(), "C2".into(), "P2".into(), "Z".into()],
+                    body: vec![
+                        pred("link", vec![v("S"), v("Z"), v("C1")]),
+                        pred("path", vec![v("Z"), v("D"), v("P2"), v("C2")]),
+                        Formula::Eq(v("C"), Term::add(v("C1"), v("C2"))),
+                    ],
+                },
+            ],
+        };
+        let s = render_def("path", &def);
+        assert!(s.starts_with("path(S,D,P,C): INDUCTIVE bool ="), "{s}");
+        assert!(s.contains("(link(S,D,C) AND P=init(S,D)) OR"), "{s}");
+        assert!(s.contains("EXISTS (C1,C2,P2,Z):"), "{s}");
+        assert!(s.contains("C=C1+C2"), "{s}");
+    }
+
+    #[test]
+    fn renders_theorem_like_the_paper() {
+        let stmt = Formula::forall(
+            &["S", "D", "C", "P"],
+            Formula::implies(
+                pred("bestPath", vec![v("S"), v("D"), v("P"), v("C")]),
+                Formula::not(Formula::exists(
+                    &["C2", "P2"],
+                    Formula::And(
+                        Box::new(pred("path", vec![v("S"), v("D"), v("P2"), v("C2")])),
+                        Box::new(Formula::Lt(v("C2"), v("C"))),
+                    ),
+                )),
+            ),
+        );
+        let s = render_formula(&stmt);
+        assert_eq!(
+            s,
+            "FORALL (S,D,C,P): bestPath(S,D,P,C) => \
+             NOT (EXISTS (C2,P2): path(S,D,P2,C2) AND C2<C)"
+        );
+    }
+
+    #[test]
+    fn renders_theory_block() {
+        let mut th = Theory::new("demo");
+        th.axiom("a1", Formula::forall(&["X"], pred("p", vec![v("X")])));
+        th.define(
+            "q",
+            Def::Direct { params: vec!["X".into()], body: pred("p", vec![v("X")]) },
+        );
+        th.theorem("t1", Formula::True, vec![]);
+        let s = render_theory(&th);
+        assert!(s.starts_with("demo: THEORY\nBEGIN"), "{s}");
+        assert!(s.contains("q(X): bool =\n    p(X)"), "{s}");
+        assert!(s.contains("a1: AXIOM FORALL (X): p(X)"), "{s}");
+        assert!(s.contains("t1: THEOREM TRUE"), "{s}");
+        assert!(s.trim_end().ends_with("END demo"), "{s}");
+    }
+
+    #[test]
+    fn atomic_parenthesization() {
+        let f = Formula::And(
+            Box::new(Formula::Or(Box::new(Formula::True), Box::new(Formula::False))),
+            Box::new(Formula::True),
+        );
+        assert_eq!(render_formula(&f), "(TRUE OR FALSE) AND TRUE");
+    }
+}

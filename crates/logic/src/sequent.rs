@@ -1,0 +1,157 @@
+//! Sequents: the proof-state unit of the PVS-style prover.
+//!
+//! A sequent `Γ ⊢ Δ` claims that the conjunction of the antecedent formulas
+//! `Γ` entails the disjunction of the succedent formulas `Δ`.
+
+use crate::formula::Formula;
+use crate::term::{Const, Term};
+use std::fmt;
+
+/// A two-sided sequent. Formula lists are kept deduplicated and in insertion
+/// order (stable for step-count reproducibility).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequent {
+    /// Antecedent (assumptions).
+    pub ante: Vec<Formula>,
+    /// Succedent (goals).
+    pub succ: Vec<Formula>,
+}
+
+impl Sequent {
+    /// A sequent with a single goal formula.
+    pub fn goal(f: Formula) -> Self {
+        Sequent { ante: vec![], succ: vec![f] }
+    }
+
+    /// Add to the antecedent if not already present.
+    pub fn push_ante(&mut self, f: Formula) {
+        if !self.ante.contains(&f) {
+            self.ante.push(f);
+        }
+    }
+
+    /// Add to the succedent if not already present.
+    pub fn push_succ(&mut self, f: Formula) {
+        if !self.succ.contains(&f) {
+            self.succ.push(f);
+        }
+    }
+
+    /// Evaluate a ground interpreted literal to a boolean, if possible.
+    pub fn eval_ground(f: &Formula) -> Option<bool> {
+        match f {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::Eq(a, b) => match (a, b) {
+                (Term::Const(x), Term::Const(y)) => Some(x == y),
+                _ if a == b => Some(true),
+                _ => None,
+            },
+            Formula::Le(Term::Const(Const::Int(a)), Term::Const(Const::Int(b))) => Some(a <= b),
+            Formula::Lt(Term::Const(Const::Int(a)), Term::Const(Const::Int(b))) => Some(a < b),
+            Formula::Not(inner) => Self::eval_ground(inner).map(|b| !b),
+            _ => None,
+        }
+    }
+
+    /// Is the sequent trivially true (axiom rule / ground truths)?
+    pub fn trivially_true(&self) -> bool {
+        // Ground evaluation.
+        for f in &self.ante {
+            if Self::eval_ground(f) == Some(false) {
+                return true;
+            }
+        }
+        for f in &self.succ {
+            if Self::eval_ground(f) == Some(true) {
+                return true;
+            }
+        }
+        // Axiom rule: some formula on both sides.
+        for f in &self.ante {
+            if self.succ.contains(f) {
+                return true;
+            }
+            // `a = b` in ante matches `b = a` in succ.
+            if let Formula::Eq(a, b) = f {
+                if self.succ.contains(&Formula::Eq(b.clone(), a.clone())) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Sequent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.ante.iter().enumerate() {
+            writeln!(f, "  [-{}] {}", i + 1, a)?;
+        }
+        writeln!(f, "  |-------")?;
+        for (i, s) in self.succ.iter().enumerate() {
+            writeln!(f, "  [{}] {}", i + 1, s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> Formula {
+        Formula::Pred(name.into(), vec![])
+    }
+
+    #[test]
+    fn axiom_rule_closes() {
+        let mut s = Sequent::goal(p("a"));
+        assert!(!s.trivially_true());
+        s.push_ante(p("a"));
+        assert!(s.trivially_true());
+    }
+
+    #[test]
+    fn ground_truth_closes() {
+        let s = Sequent::goal(Formula::Le(Term::int(1), Term::int(2)));
+        assert!(s.trivially_true());
+        let s2 = Sequent { ante: vec![Formula::Lt(Term::int(2), Term::int(1))], succ: vec![] };
+        assert!(s2.trivially_true());
+    }
+
+    #[test]
+    fn reflexive_equality_closes() {
+        let t = Term::App("f".into(), vec![Term::var("X")]);
+        let s = Sequent::goal(Formula::Eq(t.clone(), t));
+        assert!(s.trivially_true());
+    }
+
+    #[test]
+    fn symmetric_equality_closes() {
+        let a = Term::var("A");
+        let b = Term::var("B");
+        let s = Sequent {
+            ante: vec![Formula::Eq(a.clone(), b.clone())],
+            succ: vec![Formula::Eq(b, a)],
+        };
+        assert!(s.trivially_true());
+    }
+
+    #[test]
+    fn dedup_on_push() {
+        let mut s = Sequent::goal(p("x"));
+        s.push_ante(p("a"));
+        s.push_ante(p("a"));
+        assert_eq!(s.ante.len(), 1);
+    }
+
+    #[test]
+    fn distinct_constants_in_ante_close() {
+        let s = Sequent {
+            ante: vec![Formula::Eq(Term::int(1), Term::int(2))],
+            succ: vec![],
+        };
+        assert!(s.trivially_true());
+    }
+}

@@ -1,0 +1,285 @@
+//! First-order terms: variables, constants, and function applications.
+//!
+//! Interpreted function symbols: `+`, `-`, `*` (integer arithmetic, used by
+//! the linear-arithmetic decision procedure).  Everything else — `init`,
+//! `concat`, skolem constants `x!1` — is uninterpreted.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Ground constants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Const {
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Network address.
+    Addr(u32),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Bool(b) => write!(f, "{b}"),
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Addr(a) => write!(f, "n{a}"),
+            Const::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// A first-order term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable (free or bound by an enclosing quantifier).
+    Var(String),
+    /// A constant.
+    Const(Const),
+    /// Function application; 0-ary applications serve as skolem constants.
+    App(String, Vec<Term>),
+}
+
+impl Term {
+    /// Integer constant shorthand.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Const::Int(i))
+    }
+
+    /// Variable shorthand.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// `a + b` as an interpreted application.
+    pub fn add(a: Term, b: Term) -> Term {
+        Term::App("+".into(), vec![a, b])
+    }
+
+    /// Collect free variables into `out`.
+    pub fn vars(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Const(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+        }
+    }
+
+    /// Apply a substitution (simultaneous).
+    pub fn subst(&self, map: &Subst) -> Term {
+        match self {
+            Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Term::Const(_) => self.clone(),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| a.subst(map)).collect())
+            }
+        }
+    }
+
+    /// Does variable `v` occur in this term?
+    pub fn occurs(&self, v: &str) -> bool {
+        match self {
+            Term::Var(x) => x == v,
+            Term::Const(_) => false,
+            Term::App(_, args) => args.iter().any(|a| a.occurs(v)),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::App(name, args) if args.len() == 2 && is_infix(name) => {
+                write!(f, "({} {} {})", args[0], name, args[1])
+            }
+            Term::App(name, args) => {
+                if args.is_empty() {
+                    return write!(f, "{name}");
+                }
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn is_infix(name: &str) -> bool {
+    matches!(name, "+" | "-" | "*")
+}
+
+/// A substitution from variable names to terms.
+pub type Subst = BTreeMap<String, Term>;
+
+/// One-way matching: find a substitution σ over the variables of `pattern`
+/// such that `pattern σ == target`. Existing bindings in `subst` must be
+/// respected. Returns false (with `subst` possibly extended) on failure —
+/// callers should clone on speculative matches.
+pub fn match_term(pattern: &Term, target: &Term, subst: &mut Subst) -> bool {
+    match (pattern, target) {
+        (Term::Var(v), t) => match subst.get(v) {
+            Some(bound) => bound == t,
+            None => {
+                subst.insert(v.clone(), t.clone());
+                true
+            }
+        },
+        (Term::Const(a), Term::Const(b)) => a == b,
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            f == g
+                && fa.len() == ga.len()
+                && fa.iter().zip(ga).all(|(p, t)| match_term(p, t, subst))
+        }
+        _ => false,
+    }
+}
+
+/// First-order unification with occurs check. Returns the most general
+/// unifier extending `subst`, or `None`.
+pub fn unify(a: &Term, b: &Term, subst: &Subst) -> Option<Subst> {
+    let mut s = subst.clone();
+    if unify_inner(a, b, &mut s) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+fn walk(t: &Term, s: &Subst) -> Term {
+    let mut cur = t.clone();
+    while let Term::Var(v) = &cur {
+        match s.get(v) {
+            Some(next) => cur = next.clone(),
+            None => break,
+        }
+    }
+    cur
+}
+
+fn unify_inner(a: &Term, b: &Term, s: &mut Subst) -> bool {
+    let a = walk(a, s);
+    let b = walk(b, s);
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) if x == y => true,
+        (Term::Var(x), t) | (t, Term::Var(x)) => {
+            if resolve_occurs(t, x, s) {
+                return false;
+            }
+            s.insert(x.clone(), t.clone());
+            true
+        }
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            f == g && fa.len() == ga.len() && fa.iter().zip(ga).all(|(x, y)| unify_inner(x, y, s))
+        }
+        _ => false,
+    }
+}
+
+fn resolve_occurs(t: &Term, v: &str, s: &Subst) -> bool {
+    match walk(t, s) {
+        Term::Var(x) => x == v,
+        Term::Const(_) => false,
+        Term::App(_, args) => args.iter().any(|a| resolve_occurs(a, v, s)),
+    }
+}
+
+/// Fully apply a substitution produced by [`unify`] (resolving chains).
+pub fn resolve(t: &Term, s: &Subst) -> Term {
+    match walk(t, s) {
+        Term::App(f, args) => Term::App(f, args.iter().map(|a| resolve(a, s)).collect()),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    #[test]
+    fn display_terms() {
+        let t = Term::App("concat".into(), vec![v("S"), v("P")]);
+        assert_eq!(t.to_string(), "concat(S,P)");
+        assert_eq!(Term::add(v("A"), Term::int(1)).to_string(), "(A + 1)");
+        assert_eq!(Term::App("sk!1".into(), vec![]).to_string(), "sk!1");
+    }
+
+    #[test]
+    fn subst_replaces_free_vars() {
+        let mut m = Subst::new();
+        m.insert("X".into(), Term::int(3));
+        let t = Term::add(v("X"), v("Y"));
+        assert_eq!(t.subst(&m), Term::add(Term::int(3), v("Y")));
+    }
+
+    #[test]
+    fn matching_is_one_way() {
+        let pat = Term::App("f".into(), vec![v("X"), v("X")]);
+        let tgt = Term::App("f".into(), vec![Term::int(1), Term::int(1)]);
+        let mut s = Subst::new();
+        assert!(match_term(&pat, &tgt, &mut s));
+        assert_eq!(s["X"], Term::int(1));
+
+        let tgt2 = Term::App("f".into(), vec![Term::int(1), Term::int(2)]);
+        let mut s2 = Subst::new();
+        assert!(!match_term(&pat, &tgt2, &mut s2));
+
+        // Matching never binds target variables.
+        let pat3 = Term::int(1);
+        let tgt3 = v("Y");
+        let mut s3 = Subst::new();
+        assert!(!match_term(&pat3, &tgt3, &mut s3));
+    }
+
+    #[test]
+    fn unification_finds_mgu() {
+        let a = Term::App("f".into(), vec![v("X"), Term::int(2)]);
+        let b = Term::App("f".into(), vec![Term::int(1), v("Y")]);
+        let s = unify(&a, &b, &Subst::new()).unwrap();
+        assert_eq!(resolve(&a, &s), resolve(&b, &s));
+    }
+
+    #[test]
+    fn unification_occurs_check() {
+        let a = v("X");
+        let b = Term::App("f".into(), vec![v("X")]);
+        assert!(unify(&a, &b, &Subst::new()).is_none());
+    }
+
+    #[test]
+    fn unification_through_chains() {
+        // X = Y, Y = 3  =>  X resolves to 3.
+        let s = unify(&v("X"), &v("Y"), &Subst::new()).unwrap();
+        let s = unify(&v("Y"), &Term::int(3), &s).unwrap();
+        assert_eq!(resolve(&v("X"), &s), Term::int(3));
+    }
+
+    #[test]
+    fn occurs_and_vars() {
+        let t = Term::App("f".into(), vec![v("A"), Term::App("g".into(), vec![v("B")])]);
+        assert!(t.occurs("B"));
+        assert!(!t.occurs("C"));
+        let mut vs = std::collections::BTreeSet::new();
+        t.vars(&mut vs);
+        assert_eq!(vs.len(), 2);
+    }
+}

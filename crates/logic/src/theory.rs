@@ -1,0 +1,277 @@
+//! Theories: named collections of definitions, axioms and theorems.
+//!
+//! Mirrors PVS's `THEORY` construct, including a small **theory
+//! interpretation** mechanism (Owre & Shankar [21], used by the paper's §3.3
+//! metarouting encoding): instantiating an abstract theory with concrete
+//! symbols yields the abstract axioms as *proof obligations* in the target
+//! theory.
+
+use crate::formula::Formula;
+use crate::prover::Command;
+use std::collections::BTreeMap;
+
+/// One clause of an inductive definition: `pred(params) ⟸ ∃ exists. ∧ body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// Clause label (typically the originating NDlog rule name).
+    pub name: String,
+    /// Existentially quantified clause-local variables.
+    pub exists: Vec<String>,
+    /// Conjunctive body.
+    pub body: Vec<Formula>,
+}
+
+/// A predicate definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Def {
+    /// PVS `INDUCTIVE bool`: disjunction of clauses, least fixpoint.
+    Inductive {
+        /// Parameter variable names (the predicate's formal arguments).
+        params: Vec<String>,
+        /// Defining clauses.
+        clauses: Vec<Clause>,
+    },
+    /// A direct (non-recursive) definition `pred(params) ⟺ body`.
+    Direct {
+        /// Parameter variable names.
+        params: Vec<String>,
+        /// Right-hand side.
+        body: Formula,
+    },
+}
+
+impl Def {
+    /// The formal parameters.
+    pub fn params(&self) -> &[String] {
+        match self {
+            Def::Inductive { params, .. } | Def::Direct { params, .. } => params,
+        }
+    }
+
+    /// Does an inductive definition mention its own predicate (recursive)?
+    pub fn is_recursive(&self, pred: &str) -> bool {
+        match self {
+            Def::Direct { body, .. } => mentions(body, pred),
+            Def::Inductive { clauses, .. } => {
+                clauses.iter().any(|c| c.body.iter().any(|f| mentions(f, pred)))
+            }
+        }
+    }
+}
+
+fn mentions(f: &Formula, pred: &str) -> bool {
+    match f {
+        Formula::Pred(p, _) => p == pred,
+        Formula::True | Formula::False | Formula::Eq(..) | Formula::Le(..) | Formula::Lt(..) => {
+            false
+        }
+        Formula::Not(x) => mentions(x, pred),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            mentions(a, pred) || mentions(b, pred)
+        }
+        Formula::Forall(_, x) | Formula::Exists(_, x) => mentions(x, pred),
+    }
+}
+
+/// A named theorem with its interactive proof script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theorem {
+    /// Theorem name (e.g. `bestPathStrong`).
+    pub name: String,
+    /// The statement (a closed formula).
+    pub statement: Formula,
+    /// The interactive proof script; empty means "prove with grind".
+    pub script: Vec<Command>,
+}
+
+/// A theory: definitions, axioms, theorems.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Theory {
+    /// Theory name.
+    pub name: String,
+    /// Predicate definitions by predicate name.
+    pub defs: BTreeMap<String, Def>,
+    /// Named axioms.
+    pub axioms: BTreeMap<String, Formula>,
+    /// Theorems, in declaration order.
+    pub theorems: Vec<Theorem>,
+}
+
+impl Theory {
+    /// Create an empty theory.
+    pub fn new(name: impl Into<String>) -> Self {
+        Theory { name: name.into(), ..Default::default() }
+    }
+
+    /// Add a definition.
+    pub fn define(&mut self, pred: impl Into<String>, def: Def) -> &mut Self {
+        self.defs.insert(pred.into(), def);
+        self
+    }
+
+    /// Add a named axiom.
+    pub fn axiom(&mut self, name: impl Into<String>, f: Formula) -> &mut Self {
+        self.axioms.insert(name.into(), f);
+        self
+    }
+
+    /// Add a theorem with a proof script.
+    pub fn theorem(
+        &mut self,
+        name: impl Into<String>,
+        statement: Formula,
+        script: Vec<Command>,
+    ) -> &mut Self {
+        self.theorems.push(Theorem { name: name.into(), statement, script });
+        self
+    }
+
+    /// Find a theorem by name.
+    pub fn find_theorem(&self, name: &str) -> Option<&Theorem> {
+        self.theorems.iter().find(|t| t.name == name)
+    }
+
+    /// Look up an axiom or a previously declared theorem statement (both can
+    /// be cited with the `lemma` command).
+    pub fn citable(&self, name: &str) -> Option<&Formula> {
+        self.axioms
+            .get(name)
+            .or_else(|| self.theorems.iter().find(|t| t.name == name).map(|t| &t.statement))
+    }
+}
+
+/// A theory interpretation: maps abstract predicate/function symbols of a
+/// source theory to concrete symbols of a target theory.
+#[derive(Debug, Clone, Default)]
+pub struct Interpretation {
+    /// Abstract symbol name → concrete symbol name (applies to both
+    /// predicates and functions).
+    pub mapping: BTreeMap<String, String>,
+}
+
+impl Interpretation {
+    /// Build from pairs.
+    pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
+        Interpretation {
+            mapping: pairs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+        }
+    }
+
+    fn rename_term(&self, t: &crate::term::Term) -> crate::term::Term {
+        use crate::term::Term;
+        match t {
+            Term::App(f, args) => Term::App(
+                self.mapping.get(f).cloned().unwrap_or_else(|| f.clone()),
+                args.iter().map(|a| self.rename_term(a)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Rename symbols throughout a formula.
+    pub fn rename(&self, f: &Formula) -> Formula {
+        match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Pred(p, args) => Formula::Pred(
+                self.mapping.get(p).cloned().unwrap_or_else(|| p.clone()),
+                args.iter().map(|a| self.rename_term(a)).collect(),
+            ),
+            Formula::Eq(a, b) => Formula::Eq(self.rename_term(a), self.rename_term(b)),
+            Formula::Le(a, b) => Formula::Le(self.rename_term(a), self.rename_term(b)),
+            Formula::Lt(a, b) => Formula::Lt(self.rename_term(a), self.rename_term(b)),
+            Formula::Not(x) => Formula::not(self.rename(x)),
+            Formula::And(a, b) => Formula::And(Box::new(self.rename(a)), Box::new(self.rename(b))),
+            Formula::Or(a, b) => Formula::Or(Box::new(self.rename(a)), Box::new(self.rename(b))),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(self.rename(a)), Box::new(self.rename(b)))
+            }
+            Formula::Iff(a, b) => Formula::Iff(Box::new(self.rename(a)), Box::new(self.rename(b))),
+            Formula::Forall(v, x) => Formula::Forall(v.clone(), Box::new(self.rename(x))),
+            Formula::Exists(v, x) => Formula::Exists(v.clone(), Box::new(self.rename(x))),
+        }
+    }
+}
+
+/// Instantiating `abstract_theory` under `interp` yields its axioms as proof
+/// obligations phrased over the concrete symbols (the PVS "IMPORTING with
+/// obligations" step the paper relies on in §3.3).
+pub fn interpretation_obligations(
+    abstract_theory: &Theory,
+    interp: &Interpretation,
+) -> Vec<(String, Formula)> {
+    abstract_theory
+        .axioms
+        .iter()
+        .map(|(name, ax)| {
+            (format!("{}_{}", abstract_theory.name, name), interp.rename(ax))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn pred(name: &str, args: Vec<Term>) -> Formula {
+        Formula::Pred(name.into(), args)
+    }
+
+    #[test]
+    fn recursive_detection() {
+        let def = Def::Inductive {
+            params: vec!["X".into()],
+            clauses: vec![Clause {
+                name: "c1".into(),
+                exists: vec!["Y".into()],
+                body: vec![pred("path", vec![Term::var("Y")])],
+            }],
+        };
+        assert!(def.is_recursive("path"));
+        assert!(!def.is_recursive("link"));
+    }
+
+    #[test]
+    fn citable_finds_axioms_and_theorems() {
+        let mut th = Theory::new("t");
+        th.axiom("a1", Formula::True);
+        th.theorem("t1", Formula::True, vec![]);
+        assert!(th.citable("a1").is_some());
+        assert!(th.citable("t1").is_some());
+        assert!(th.citable("nope").is_none());
+    }
+
+    #[test]
+    fn interpretation_renames_preds_and_functions() {
+        let f = Formula::forall(
+            &["A"],
+            Formula::implies(
+                pred("prefRel", vec![Term::var("A"), Term::App("labelApply".into(), vec![])]),
+                Formula::True,
+            ),
+        );
+        let i = Interpretation::from_pairs(&[("prefRel", "leq"), ("labelApply", "plus")]);
+        let g = i.rename(&f);
+        assert!(g.to_string().contains("leq("));
+        assert!(g.to_string().contains("plus"));
+        assert!(!g.to_string().contains("prefRel"));
+    }
+
+    #[test]
+    fn obligations_are_renamed_axioms() {
+        let mut abs = Theory::new("routeAlgebra");
+        abs.axiom(
+            "monotonicity",
+            Formula::forall(
+                &["L", "S"],
+                pred("prefRel", vec![Term::var("S"), Term::App("labelApply".into(), vec![Term::var("L"), Term::var("S")])]),
+            ),
+        );
+        let i = Interpretation::from_pairs(&[("prefRel", "le"), ("labelApply", "add")]);
+        let obs = interpretation_obligations(&abs, &i);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].0, "routeAlgebra_monotonicity");
+        assert!(obs[0].1.to_string().contains("le("));
+    }
+}

@@ -1,0 +1,192 @@
+//! Count-to-infinity in the distance-vector protocol (EXP‑2).
+//!
+//! Wang et al. [22] (the paper's §3.1) demonstrate "the presence of
+//! count-to-infinity loops in the distance-vector protocol".  This module
+//! models the post-failure dynamics of DV as a transition system: each
+//! transition lets one node re-evaluate its cost to the destination from its
+//! neighbors' *currently advertised* costs.  Without path information, two
+//! nodes that lost their real route bounce a phantom route between each
+//! other, incrementing its cost until the RIP-style `infinity` bound — the
+//! model checker produces that exact trace as an invariant counterexample.
+//! With path vectors (`with_path_vector`), a node rejects routes whose path
+//! already contains it, and the invariant holds.
+
+use crate::ts::TransitionSystem;
+use netsim::Topology;
+
+/// Cost (and, in path-vector mode, path) a node currently advertises.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Route {
+    /// Advertised cost to the destination (`infinity` = unreachable).
+    pub cost: i64,
+    /// AS-path-style node list in path-vector mode (empty in DV mode).
+    pub path: Vec<u32>,
+}
+
+/// One global protocol state: each node's current route to the destination.
+pub type DvState = Vec<Route>;
+
+/// The distance-vector dynamics after a link failure.
+#[derive(Debug, Clone)]
+pub struct DvSystem {
+    /// Topology *after* the failure.
+    pub topo: Topology,
+    /// The destination node.
+    pub dest: u32,
+    /// RIP-style infinity.
+    pub infinity: i64,
+    /// If true, routes carry paths and loops are rejected (path vector).
+    pub with_path_vector: bool,
+    /// Pre-failure routes (the poisoned starting point).
+    pub start: DvState,
+}
+
+impl DvSystem {
+    /// The classic three-node scenario: `0 - 1 - dest(2)`, link `1-2` fails
+    /// after convergence.  Node 1 is left believing node 0's stale route.
+    pub fn classic(infinity: i64, with_path_vector: bool) -> Self {
+        let mut topo = Topology::empty(3);
+        topo.add_edge(0, 1, 1);
+        // Link 1-2 existed (costs below reflect it) but is now gone.
+        let start = vec![
+            Route { cost: 2, path: if with_path_vector { vec![0, 1, 2] } else { vec![] } },
+            Route { cost: 1, path: if with_path_vector { vec![1, 2] } else { vec![] } },
+            Route { cost: 0, path: if with_path_vector { vec![2] } else { vec![] } },
+        ];
+        DvSystem { topo, dest: 2, infinity, with_path_vector, start }
+    }
+
+    /// Recompute node `v`'s best route from its neighbors' current routes.
+    fn best_route(&self, v: u32, state: &DvState) -> Route {
+        if v == self.dest {
+            return Route { cost: 0, path: if self.with_path_vector { vec![v] } else { vec![] } };
+        }
+        let mut best = Route { cost: self.infinity, path: vec![] };
+        for (n, c) in self.topo.neighbors(v) {
+            let r = &state[n as usize];
+            if r.cost >= self.infinity {
+                continue;
+            }
+            if self.with_path_vector && r.path.contains(&v) {
+                continue; // loop detected: reject
+            }
+            let cost = (r.cost + c).min(self.infinity);
+            if cost < best.cost {
+                let mut path = vec![];
+                if self.with_path_vector {
+                    path = Vec::with_capacity(r.path.len() + 1);
+                    path.push(v);
+                    path.extend_from_slice(&r.path);
+                }
+                best = Route { cost, path };
+            }
+        }
+        best
+    }
+}
+
+impl TransitionSystem for DvSystem {
+    type State = DvState;
+
+    fn initial(&self) -> Vec<DvState> {
+        vec![self.start.clone()]
+    }
+
+    fn successors(&self, s: &DvState) -> Vec<(String, DvState)> {
+        let mut out = Vec::new();
+        for v in 0..self.topo.num_nodes() {
+            if v == self.dest {
+                continue;
+            }
+            let r = self.best_route(v, s);
+            if r != s[v as usize] {
+                let mut next = s.clone();
+                next[v as usize] = r;
+                out.push((format!("update({v})"), next));
+            }
+        }
+        out
+    }
+}
+
+/// The invariant EXP‑2 checks: no node advertises a *finite* cost larger
+/// than `bound` to the (now unreachable) destination.
+pub fn costs_bounded(state: &DvState, bound: i64, infinity: i64) -> bool {
+    state.iter().all(|r| r.cost >= infinity || r.cost <= bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ts::{check_invariant, explore, stable_states, ExploreOptions};
+
+    #[test]
+    fn dv_counts_to_infinity() {
+        let sys = DvSystem::classic(16, false);
+        // Claim: costs stay below 10. The model checker refutes it with the
+        // counting trace 2,1 -> 2,3 -> 4,3 -> 4,5 -> ...
+        let err = check_invariant(&sys, ExploreOptions::default(), |s| {
+            costs_bounded(s, 10, 16)
+        })
+        .unwrap_err();
+        let last = err.states.last().unwrap();
+        assert!(last.iter().any(|r| r.cost > 10 && r.cost < 16));
+        // The labels alternate between the two live nodes.
+        assert!(err.labels.iter().any(|l| l == "update(0)"));
+        assert!(err.labels.iter().any(|l| l == "update(1)"));
+    }
+
+    #[test]
+    fn dv_eventually_hits_infinity_and_stabilizes() {
+        let sys = DvSystem::classic(16, false);
+        let stable = stable_states(&sys, ExploreOptions::default());
+        // The only stable state: both nodes at infinity.
+        assert_eq!(stable.len(), 1);
+        assert!(stable[0][0].cost >= 16 && stable[0][1].cost >= 16);
+    }
+
+    #[test]
+    fn path_vector_prevents_count_to_infinity() {
+        let sys = DvSystem::classic(16, true);
+        // With path vectors the same invariant holds for every bound >= 2.
+        let visited = check_invariant(&sys, ExploreOptions::default(), |s| {
+            costs_bounded(s, 2, 16)
+        })
+        .unwrap();
+        assert!(visited >= 1);
+        // And the system stabilizes with both nodes at infinity immediately
+        // (no phantom route is ever accepted).
+        let stable = stable_states(&sys, ExploreOptions::default());
+        assert_eq!(stable.len(), 1);
+        assert!(stable[0][0].cost >= 16 && stable[0][1].cost >= 16);
+    }
+
+    #[test]
+    fn dv_state_space_is_larger_without_paths() {
+        let dv = explore(&DvSystem::classic(16, false), ExploreOptions::default());
+        let pv = explore(&DvSystem::classic(16, true), ExploreOptions::default());
+        assert!(
+            dv.states.len() > pv.states.len(),
+            "counting creates many intermediate states ({} vs {})",
+            dv.states.len(),
+            pv.states.len()
+        );
+    }
+
+    #[test]
+    fn trace_costs_monotonically_climb() {
+        let sys = DvSystem::classic(16, false);
+        let err = check_invariant(&sys, ExploreOptions::default(), |s| {
+            costs_bounded(s, 12, 16)
+        })
+        .unwrap_err();
+        let max_costs: Vec<i64> = err
+            .states
+            .iter()
+            .map(|s| s.iter().map(|r| r.cost).filter(|c| *c < 16).max().unwrap_or(0))
+            .collect();
+        for w in max_costs.windows(2) {
+            assert!(w[1] >= w[0], "counting must not decrease: {max_costs:?}");
+        }
+    }
+}

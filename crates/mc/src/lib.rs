@@ -1,0 +1,33 @@
+//! # fvn-mc — explicit-state model checking
+//!
+//! The model-checking arm of FVN (arcs 6 and 8 of the paper's Figure 1).
+//! The paper positions model checking as the complement of theorem proving:
+//! automatic, counterexample-producing, bounded to finite instances.  This
+//! crate provides:
+//!
+//! * [`ts`] — transition systems, bounded BFS exploration, invariant
+//!   checking with minimal counterexample traces, stable-state enumeration
+//!   and oscillation (cycle) detection;
+//! * [`dv`] — the distance-vector count-to-infinity system of EXP‑2
+//!   (Wang et al. [22]), with a path-vector variant showing the fix;
+//! * [`spvp`] — the Stable Paths Problem / SPVP dynamics of Griffin et al.
+//!   with the DISAGREE, BAD GADGET and GOOD GADGET instances (EXP‑3);
+//! * [`ndlog_ts`] — NDlog programs as transition systems (the §4.3
+//!   linear-logic interface): every rule-firing order is explored, not just
+//!   the evaluator's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dv;
+pub mod ndlog_ts;
+pub mod spvp;
+pub mod ts;
+
+pub use dv::{costs_bounded, DvState, DvSystem, Route};
+pub use ndlog_ts::NdlogTs;
+pub use spvp::{Path, SppInstance, SpvpState, SpvpSystem};
+pub use ts::{
+    check_invariant, explore, find_oscillation, stable_states, Exploration, ExploreOptions,
+    Trace, TransitionSystem,
+};

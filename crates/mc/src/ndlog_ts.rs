@@ -1,0 +1,144 @@
+//! NDlog programs as transition systems (arcs 6/8 of the paper's Figure 1).
+//!
+//! §4.3: *"Extending NDlog with linear logic ... would allow us to view the
+//! declarative networking specification as a set of transition rules that
+//! determine the updates of the underlying routing tables.  We can leverage
+//! such transition system representation to directly interface with model
+//! checkers."*
+//!
+//! [`NdlogTs`] realizes exactly that interface: a state is a database, a
+//! transition is one rule firing deriving one new tuple (labelled with the
+//! rule name).  Terminal states are fixpoints; invariants over reachable
+//! databases are checkable with [`crate::ts::check_invariant`], covering
+//! *every* evaluation order rather than the single order the evaluator picks.
+
+use crate::ts::TransitionSystem;
+use ndlog::ast::Program;
+use ndlog::eval::{derive_rule, Database, Evaluator};
+use ndlog::safety::analyze;
+use ndlog::value::format_tuple;
+use ndlog::{NdlogError, Result, Rule};
+
+/// An NDlog program viewed as a (nondeterministic) transition system.
+#[derive(Debug, Clone)]
+pub struct NdlogTs {
+    rules: Vec<Rule>,
+    start: Database,
+}
+
+impl NdlogTs {
+    /// Build the transition system.  Aggregates are rejected: their
+    /// stratified semantics has no per-tuple firing order (the paper's
+    /// linear-logic extension targets plain rules, and so do we).
+    pub fn new(prog: &Program) -> Result<Self> {
+        let analysis = analyze(prog)?;
+        for r in &analysis.rules {
+            if r.head.has_agg() {
+                return Err(NdlogError::Eval {
+                    msg: format!(
+                        "rule {} has an aggregate head; NdlogTs covers plain rules only",
+                        r.name
+                    ),
+                });
+            }
+        }
+        Ok(NdlogTs { rules: analysis.rules, start: Evaluator::base_database(prog) })
+    }
+}
+
+impl TransitionSystem for NdlogTs {
+    type State = Database;
+
+    fn initial(&self) -> Vec<Database> {
+        vec![self.start.clone()]
+    }
+
+    fn successors(&self, db: &Database) -> Vec<(String, Database)> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            if let Ok(tuples) = derive_rule(rule, db) {
+                for t in tuples {
+                    if !db.contains(&rule.head.pred, &t) {
+                        let mut next = db.clone();
+                        next.insert(rule.head.pred.clone(), t.clone());
+                        out.push((format!("{}{}", rule.name, format_tuple(&t)), next));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ts::{check_invariant, explore, stable_states, ExploreOptions};
+    use ndlog::parse_program;
+    use ndlog::Value;
+
+    fn reach_prog() -> Program {
+        parse_program(
+            "r1 reach(@S,D) :- link(@S,D,C).
+             r2 reach(@S,D) :- link(@S,Z,C), reach(@Z,D).
+             link(@#0,#1,1). link(@#1,#2,1).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixpoints_match_centralized_evaluation() {
+        let prog = reach_prog();
+        let ts = NdlogTs::new(&prog).unwrap();
+        let stable = stable_states(&ts, ExploreOptions::default());
+        // All fixpoints of a positive Datalog program coincide with the
+        // least model restricted to reachable states from the base facts.
+        assert_eq!(stable.len(), 1, "confluence: unique fixpoint");
+        let central = ndlog::eval_program(&prog).unwrap();
+        assert_eq!(stable[0], central);
+    }
+
+    #[test]
+    fn every_run_order_is_covered() {
+        let prog = reach_prog();
+        let ts = NdlogTs::new(&prog).unwrap();
+        let ex = explore(&ts, ExploreOptions::default());
+        // 3 derivable tuples -> several interleavings but one fixpoint.
+        assert!(ex.states.len() > 3);
+        assert!(!ex.truncated);
+    }
+
+    #[test]
+    fn invariants_hold_across_all_orders() {
+        let prog = reach_prog();
+        let ts = NdlogTs::new(&prog).unwrap();
+        // Invariant: reach never contains a self-loop (no link is reflexive).
+        let visited = check_invariant(&ts, ExploreOptions::default(), |db| {
+            db.relation("reach").all(|t| t[0] != t[1])
+        })
+        .unwrap();
+        assert!(visited > 1);
+    }
+
+    #[test]
+    fn violated_invariant_names_the_firing() {
+        let prog = reach_prog();
+        let ts = NdlogTs::new(&prog).unwrap();
+        // Claim (false): reach never derives (0 -> 2).
+        let err = check_invariant(&ts, ExploreOptions::default(), |db| {
+            !db.contains("reach", &vec![Value::Addr(0), Value::Addr(2)])
+        })
+        .unwrap_err();
+        assert!(err.labels.last().unwrap().starts_with("r2"));
+    }
+
+    #[test]
+    fn aggregates_are_rejected() {
+        let prog = parse_program(
+            "r1 best(@S, min<C>) :- link(@S,D,C).
+             link(@#0,#1,1).",
+        )
+        .unwrap();
+        assert!(NdlogTs::new(&prog).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! The Stable Paths Problem and SPVP dynamics (Griffin–Shepherd–Wilfong,
+//! the paper's refs [7, 8]) — the substrate of EXP‑3.
+//!
+//! A *Stable Paths Problem* instance gives each node a ranked list of
+//! permitted paths to the origin (node 0).  The Simple Path Vector Protocol
+//! dynamics: an activated node adopts the best permitted path consistent
+//! with its neighbors' current selections.  Transitions cover both single
+//! activations and *simultaneous* activations (message-passing BGP lets
+//! nodes decide on stale information, which is what makes Disagree
+//! oscillate).
+//!
+//! The classic gadgets:
+//! * [`SppInstance::disagree`] — two stable solutions + an oscillation;
+//! * [`SppInstance::bad_gadget`] — no stable solution (permanent divergence);
+//! * [`SppInstance::good_gadget`] — unique stable solution (policy-conflict
+//!   free).
+
+use crate::ts::TransitionSystem;
+use std::collections::BTreeSet;
+
+/// A path to the origin as a node list starting at the owner, ending at 0.
+pub type Path = Vec<u32>;
+
+/// A Stable Paths Problem instance.
+#[derive(Debug, Clone)]
+pub struct SppInstance {
+    /// Number of nodes including the origin 0.
+    pub n: u32,
+    /// `permitted[v]` = ranked permitted paths of node `v`, best first.
+    /// Node 0's list is ignored (it owns the destination).
+    pub permitted: Vec<Vec<Path>>,
+    /// Undirected adjacency (who hears whose announcements).
+    pub edges: BTreeSet<(u32, u32)>,
+}
+
+impl SppInstance {
+    fn edge(a: u32, b: u32) -> (u32, u32) {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Build an instance from ranked path lists, inferring the edge set.
+    pub fn new(n: u32, permitted: Vec<Vec<Path>>) -> Self {
+        assert_eq!(permitted.len(), n as usize);
+        let mut edges = BTreeSet::new();
+        for paths in &permitted {
+            for p in paths {
+                for w in p.windows(2) {
+                    edges.insert(Self::edge(w[0], w[1]));
+                }
+            }
+        }
+        SppInstance { n, permitted, edges }
+    }
+
+    /// DISAGREE (paper §3.2.1, refs [8, 7]): nodes 1 and 2 each prefer the
+    /// route through the other over their direct route.
+    pub fn disagree() -> Self {
+        SppInstance::new(
+            3,
+            vec![
+                vec![],                                   // origin
+                vec![vec![1, 2, 0], vec![1, 0]],          // node 1
+                vec![vec![2, 1, 0], vec![2, 0]],          // node 2
+            ],
+        )
+    }
+
+    /// BAD GADGET: three nodes in a preference cycle — no stable solution.
+    pub fn bad_gadget() -> Self {
+        SppInstance::new(
+            4,
+            vec![
+                vec![],
+                vec![vec![1, 2, 0], vec![1, 0]],
+                vec![vec![2, 3, 0], vec![2, 0]],
+                vec![vec![3, 1, 0], vec![3, 0]],
+            ],
+        )
+    }
+
+    /// GOOD GADGET: shortest-path-style preferences — unique solution.
+    pub fn good_gadget() -> Self {
+        SppInstance::new(
+            3,
+            vec![
+                vec![],
+                vec![vec![1, 0], vec![1, 2, 0]],
+                vec![vec![2, 0], vec![2, 1, 0]],
+            ],
+        )
+    }
+
+    /// The best permitted path for `v` given everyone's current selection:
+    /// a permitted path `v, w, ...rest` is *available* when the neighbor `w`
+    /// currently selects `w, ...rest` (or the path is the direct `v, 0`).
+    pub fn best_available(&self, v: u32, state: &SpvpState) -> Option<Path> {
+        for p in &self.permitted[v as usize] {
+            debug_assert!(p.first() == Some(&v) && p.last() == Some(&0));
+            if p.len() == 2 {
+                // Direct path v-0: available if the edge exists.
+                if self.edges.contains(&Self::edge(v, 0)) {
+                    return Some(p.clone());
+                }
+                continue;
+            }
+            let w = p[1];
+            let rest = &p[1..];
+            match &state.selection[w as usize] {
+                Some(sel) if sel == rest => return Some(p.clone()),
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// A global SPVP state: each node's currently selected path (node 0 always
+/// implicitly selects the empty path to itself).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpvpState {
+    /// `selection[v]` = the path node v currently announces, if any.
+    pub selection: Vec<Option<Path>>,
+}
+
+impl SpvpState {
+    fn start(n: u32) -> Self {
+        let mut selection = vec![None; n as usize];
+        selection[0] = Some(vec![0]);
+        SpvpState { selection }
+    }
+}
+
+/// SPVP dynamics as a transition system.
+#[derive(Debug, Clone)]
+pub struct SpvpSystem {
+    /// The SPP instance.
+    pub spp: SppInstance,
+    /// Include simultaneous activation of all nodes (models message-passing
+    /// BGP deciding on stale state; required for Disagree's oscillation).
+    pub simultaneous: bool,
+}
+
+impl SpvpSystem {
+    fn activate(&self, v: u32, s: &SpvpState) -> Option<SpvpState> {
+        let best = self.spp.best_available(v, s);
+        if best != s.selection[v as usize] {
+            let mut next = s.clone();
+            next.selection[v as usize] = best;
+            Some(next)
+        } else {
+            None
+        }
+    }
+}
+
+impl TransitionSystem for SpvpSystem {
+    type State = SpvpState;
+
+    fn initial(&self) -> Vec<SpvpState> {
+        vec![SpvpState::start(self.spp.n)]
+    }
+
+    fn successors(&self, s: &SpvpState) -> Vec<(String, SpvpState)> {
+        let mut out = Vec::new();
+        for v in 1..self.spp.n {
+            if let Some(next) = self.activate(v, s) {
+                out.push((format!("activate({v})"), next));
+            }
+        }
+        if self.simultaneous {
+            // All nodes re-decide against the *current* (stale) state.
+            let mut next = s.clone();
+            let mut any = false;
+            for v in 1..self.spp.n {
+                let best = self.spp.best_available(v, s);
+                if best != s.selection[v as usize] {
+                    any = true;
+                }
+                next.selection[v as usize] = best;
+            }
+            if any && next != *s {
+                out.push(("activate(all)".into(), next));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ts::{explore, find_oscillation, stable_states, ExploreOptions};
+
+    fn stable_of(sys: &SpvpSystem) -> Vec<SpvpState> {
+        stable_states(sys, ExploreOptions::default())
+    }
+
+    #[test]
+    fn disagree_has_exactly_two_stable_states() {
+        let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: true };
+        let stable = stable_of(&sys);
+        assert_eq!(stable.len(), 2, "DISAGREE is the two-solution gadget");
+        // One solution: 1 routes through 2; the other: 2 routes through 1.
+        let has = |sel: &SpvpState, v: usize, p: &[u32]| {
+            sel.selection[v].as_deref() == Some(p)
+        };
+        assert!(stable.iter().any(|s| has(s, 1, &[1, 2, 0]) && has(s, 2, &[2, 0])));
+        assert!(stable.iter().any(|s| has(s, 2, &[2, 1, 0]) && has(s, 1, &[1, 0])));
+    }
+
+    #[test]
+    fn disagree_oscillates_under_simultaneous_activation() {
+        let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: true };
+        let cycle = find_oscillation(&sys, ExploreOptions::default())
+            .expect("DISAGREE must admit an oscillation");
+        assert!(cycle.states.len() >= 3);
+        assert!(cycle.labels.iter().any(|l| l == "activate(all)"));
+    }
+
+    #[test]
+    fn disagree_converges_under_fair_sequential_activation() {
+        // With one-node-at-a-time activations DISAGREE always reaches one of
+        // its two stable states (no oscillation in the interleaving model).
+        let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: false };
+        assert!(find_oscillation(&sys, ExploreOptions::default()).is_none());
+        assert_eq!(stable_of(&sys).len(), 2);
+    }
+
+    #[test]
+    fn bad_gadget_has_no_stable_state() {
+        let sys = SpvpSystem { spp: SppInstance::bad_gadget(), simultaneous: false };
+        let stable = stable_of(&sys);
+        assert!(stable.is_empty(), "BAD GADGET has no solution, got {stable:?}");
+        // Divergence: the reachable graph contains a cycle.
+        assert!(find_oscillation(&sys, ExploreOptions::default()).is_some());
+    }
+
+    #[test]
+    fn good_gadget_has_unique_stable_state_and_no_oscillation() {
+        let sys = SpvpSystem { spp: SppInstance::good_gadget(), simultaneous: true };
+        let stable = stable_of(&sys);
+        assert_eq!(stable.len(), 1);
+        assert!(find_oscillation(&sys, ExploreOptions::default()).is_none());
+        // Everyone uses the direct path.
+        let s = &stable[0];
+        assert_eq!(s.selection[1].as_deref(), Some(&[1, 0][..]));
+        assert_eq!(s.selection[2].as_deref(), Some(&[2, 0][..]));
+    }
+
+    #[test]
+    fn state_spaces_are_small_and_finite() {
+        for (name, sys) in [
+            ("disagree", SpvpSystem { spp: SppInstance::disagree(), simultaneous: true }),
+            ("bad", SpvpSystem { spp: SppInstance::bad_gadget(), simultaneous: true }),
+        ] {
+            let ex = explore(&sys, ExploreOptions::default());
+            assert!(!ex.truncated, "{name} truncated");
+            assert!(ex.states.len() < 200, "{name} has {} states", ex.states.len());
+        }
+    }
+
+    #[test]
+    fn best_available_respects_ranking() {
+        let spp = SppInstance::disagree();
+        // If node 2 selects (2 0), node 1's best is (1 2 0) (preferred).
+        let mut s = SpvpState::start(3);
+        s.selection[2] = Some(vec![2, 0]);
+        assert_eq!(spp.best_available(1, &s), Some(vec![1, 2, 0]));
+        // If node 2 selects (2 1 0), node 1 cannot route through 2
+        // (2's path no longer matches), so it falls back to direct.
+        s.selection[2] = Some(vec![2, 1, 0]);
+        assert_eq!(spp.best_available(1, &s), Some(vec![1, 0]));
+    }
+}

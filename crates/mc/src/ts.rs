@@ -1,0 +1,295 @@
+//! Transition systems and explicit-state exploration.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A finitely-branching transition system with totally ordered states
+/// (ordering gives deterministic exploration).
+pub trait TransitionSystem {
+    /// State type.
+    type State: Clone + Ord;
+
+    /// Initial states.
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// Labelled successors of a state, in deterministic order.
+    fn successors(&self, s: &Self::State) -> Vec<(String, Self::State)>;
+}
+
+/// A counterexample: the path of labelled transitions from an initial state
+/// to the violating state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace<S> {
+    /// Visited states, starting with an initial state.
+    pub states: Vec<S>,
+    /// Labels taken between consecutive states (`labels.len() + 1 ==
+    /// states.len()`).
+    pub labels: Vec<String>,
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions { max_states: 1_000_000 }
+    }
+}
+
+/// Result of a reachability sweep.
+#[derive(Debug, Clone)]
+pub struct Exploration<S: Ord> {
+    /// All reachable states (bounded).
+    pub states: BTreeSet<S>,
+    /// True if the bound was hit before exhausting the state space.
+    pub truncated: bool,
+    /// Transitions discovered: state → (label, successor).
+    pub edges: BTreeMap<S, Vec<(String, S)>>,
+}
+
+/// Breadth-first exploration of the reachable state space.
+pub fn explore<T: TransitionSystem>(ts: &T, opts: ExploreOptions) -> Exploration<T::State> {
+    let mut states = BTreeSet::new();
+    let mut edges = BTreeMap::new();
+    let mut q = VecDeque::new();
+    for s in ts.initial() {
+        if states.insert(s.clone()) {
+            q.push_back(s);
+        }
+    }
+    let mut truncated = false;
+    while let Some(s) = q.pop_front() {
+        let succs = ts.successors(&s);
+        for (_, next) in &succs {
+            if !states.contains(next) {
+                if states.len() >= opts.max_states {
+                    truncated = true;
+                    continue;
+                }
+                states.insert(next.clone());
+                q.push_back(next.clone());
+            }
+        }
+        edges.insert(s, succs);
+    }
+    Exploration { states, truncated, edges }
+}
+
+/// Check a state invariant; returns `Err(trace)` with a minimal-length
+/// counterexample if some reachable state violates it.
+pub fn check_invariant<T: TransitionSystem>(
+    ts: &T,
+    opts: ExploreOptions,
+    inv: impl Fn(&T::State) -> bool,
+) -> Result<usize, Trace<T::State>> {
+    // BFS keeping parent pointers for trace reconstruction.
+    let mut parent: BTreeMap<T::State, Option<(T::State, String)>> = BTreeMap::new();
+    let mut q = VecDeque::new();
+    for s in ts.initial() {
+        if !parent.contains_key(&s) {
+            parent.insert(s.clone(), None);
+            q.push_back(s);
+        }
+    }
+    let mut visited = 0usize;
+    while let Some(s) = q.pop_front() {
+        visited += 1;
+        if !inv(&s) {
+            return Err(rebuild_trace(&parent, s));
+        }
+        if parent.len() >= opts.max_states {
+            continue;
+        }
+        for (label, next) in ts.successors(&s) {
+            if !parent.contains_key(&next) {
+                parent.insert(next.clone(), Some((s.clone(), label)));
+                q.push_back(next);
+            }
+        }
+    }
+    Ok(visited)
+}
+
+fn rebuild_trace<S: Clone + Ord>(
+    parent: &BTreeMap<S, Option<(S, String)>>,
+    end: S,
+) -> Trace<S> {
+    let mut states = vec![end.clone()];
+    let mut labels = Vec::new();
+    let mut cur = end;
+    while let Some(Some((prev, label))) = parent.get(&cur) {
+        states.push(prev.clone());
+        labels.push(label.clone());
+        cur = prev.clone();
+    }
+    states.reverse();
+    labels.reverse();
+    Trace { states, labels }
+}
+
+/// All reachable *stable* states: states whose every successor equals the
+/// state itself (or that have no successors).
+pub fn stable_states<T: TransitionSystem>(ts: &T, opts: ExploreOptions) -> Vec<T::State> {
+    let ex = explore(ts, opts);
+    ex.states
+        .iter()
+        .filter(|s| {
+            ex.edges
+                .get(*s)
+                .map(|succ| succ.iter().all(|(_, n)| n == *s))
+                .unwrap_or(true)
+        })
+        .cloned()
+        .collect()
+}
+
+/// Find a reachable *oscillation*: a cycle of length ≥ 2 through distinct
+/// states (self-loops on stable states do not count).  Returns the cycle as
+/// a trace if one exists.
+pub fn find_oscillation<T: TransitionSystem>(
+    ts: &T,
+    opts: ExploreOptions,
+) -> Option<Trace<T::State>> {
+    let ex = explore(ts, opts);
+    // Iterative DFS with colors over the reachable graph.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<&T::State, Color> =
+        ex.states.iter().map(|s| (s, Color::White)).collect();
+    for start in &ex.states {
+        if color[start] != Color::White {
+            continue;
+        }
+        // stack of (state, successor index, label from parent)
+        let mut path: Vec<(&T::State, usize)> = vec![(start, 0)];
+        *color.get_mut(start).unwrap() = Color::Gray;
+        while let Some((s, i)) = path.last().copied() {
+            let succs = ex.edges.get(s);
+            let next = succs.and_then(|v| v.get(i));
+            match next {
+                None => {
+                    *color.get_mut(s).unwrap() = Color::Black;
+                    path.pop();
+                }
+                Some((label, n)) => {
+                    path.last_mut().unwrap().1 += 1;
+                    if n == s {
+                        continue; // self-loop: not an oscillation
+                    }
+                    match ex.states.get(n).map(|k| color[k]) {
+                        Some(Color::Gray) => {
+                            // Found a cycle: slice the path from n to s.
+                            let pos = path.iter().position(|(p, _)| *p == n).unwrap();
+                            let mut states: Vec<T::State> =
+                                path[pos..].iter().map(|(p, _)| (*p).clone()).collect();
+                            states.push(n.clone());
+                            // Recover labels along the cycle.
+                            let mut labels = Vec::new();
+                            for w in states.windows(2) {
+                                let lab = ex.edges[&w[0]]
+                                    .iter()
+                                    .find(|(_, nx)| *nx == w[1])
+                                    .map(|(l, _)| l.clone())
+                                    .unwrap_or_default();
+                                labels.push(lab);
+                            }
+                            let _ = label;
+                            return Some(Trace { states, labels });
+                        }
+                        Some(Color::White) => {
+                            let key = ex.states.get(n).unwrap();
+                            *color.get_mut(key).unwrap() = Color::Gray;
+                            path.push((key, 0));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bounded counter that can also "wrap" from 3 back to 1 when `cyclic`.
+    struct Counter {
+        limit: u32,
+        cyclic: bool,
+    }
+
+    impl TransitionSystem for Counter {
+        type State = u32;
+        fn initial(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn successors(&self, s: &u32) -> Vec<(String, u32)> {
+            let mut out = Vec::new();
+            if *s < self.limit {
+                out.push(("inc".into(), s + 1));
+            }
+            if self.cyclic && *s == 3 {
+                out.push(("wrap".into(), 1));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn explore_counts_states() {
+        let ts = Counter { limit: 5, cyclic: false };
+        let ex = explore(&ts, ExploreOptions::default());
+        assert_eq!(ex.states.len(), 6);
+        assert!(!ex.truncated);
+    }
+
+    #[test]
+    fn invariant_violation_yields_minimal_trace() {
+        let ts = Counter { limit: 10, cyclic: false };
+        let err = check_invariant(&ts, ExploreOptions::default(), |s| *s < 4).unwrap_err();
+        assert_eq!(*err.states.last().unwrap(), 4);
+        assert_eq!(err.labels.len(), 4);
+        assert_eq!(err.states.first().copied(), Some(0));
+    }
+
+    #[test]
+    fn invariant_holds_counts_visited() {
+        let ts = Counter { limit: 3, cyclic: false };
+        let n = check_invariant(&ts, ExploreOptions::default(), |_| true).unwrap();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn stable_states_are_terminal() {
+        let ts = Counter { limit: 4, cyclic: false };
+        let stable = stable_states(&ts, ExploreOptions::default());
+        assert_eq!(stable, vec![4]);
+    }
+
+    #[test]
+    fn oscillation_detected_only_when_cyclic() {
+        let acyclic = Counter { limit: 5, cyclic: false };
+        assert!(find_oscillation(&acyclic, ExploreOptions::default()).is_none());
+        let cyclic = Counter { limit: 5, cyclic: true };
+        let cycle = find_oscillation(&cyclic, ExploreOptions::default()).unwrap();
+        assert!(cycle.states.len() >= 3);
+        assert_eq!(cycle.states.first(), cycle.states.last());
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let ts = Counter { limit: 1000, cyclic: false };
+        let ex = explore(&ts, ExploreOptions { max_states: 10 });
+        assert!(ex.truncated);
+        assert!(ex.states.len() <= 10);
+    }
+}

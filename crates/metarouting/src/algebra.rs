@@ -1,0 +1,397 @@
+//! Routing algebras (§3.3 of the paper; Griffin & Sobrinho, SIGCOMM'05).
+//!
+//! An abstract routing algebra is `A = ⟨Σ, ⪯, L, ⊕, O, φ⟩`: signatures Σ
+//! totally preordered by ⪯ (smaller = more preferred), labels L, label
+//! application `⊕ : L × Σ → Σ`, originations O and the prohibited signature
+//! φ.  The paper encodes the abstract algebra as a PVS theory
+//! (`routeAlgebra`) and instantiates it per protocol; here the same role is
+//! played by [`AlgebraSpec`], a *syntactic* algebra description that is
+//! simultaneously
+//!
+//! * interpretable (this module gives it semantics over uniform signature
+//!   vectors, so one obligation checker covers every algebra),
+//! * composable (the `lexProduct` of the paper's `BGPSystem = lexProduct[LP,
+//!   RC]` is the [`AlgebraSpec::Lex`] node),
+//! * translatable to NDlog ([`crate::protocol_gen`], arc 3 for meta-models).
+//!
+//! Signatures are vectors of `i64` slots, one slot per leaf algebra; a
+//! composite algebra owns the concatenation of its children's slots.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A signature (path weight): one `i64` per leaf algebra slot.
+pub type Sig = Vec<i64>;
+
+/// A link label: one `i64` per leaf algebra slot.
+pub type Label = Vec<i64>;
+
+/// Gao–Rexford route classes for the relationship algebra.
+pub mod gr {
+    /// Route learned from a customer (most preferred; also origination).
+    pub const CUSTOMER: i64 = 0;
+    /// Route learned from a peer.
+    pub const PEER: i64 = 1;
+    /// Route learned from a provider.
+    pub const PROVIDER: i64 = 2;
+    /// Prohibited (φ).
+    pub const PHI: i64 = 3;
+    /// Edge label: the neighbor is a customer of the receiving node.
+    pub const TO_CUSTOMER: i64 = 0;
+    /// Edge label: the neighbor is a peer.
+    pub const TO_PEER: i64 = 1;
+    /// Edge label: the neighbor is a provider.
+    pub const TO_PROVIDER: i64 = 2;
+}
+
+/// A composable routing-algebra description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraSpec {
+    /// Hop count: `⊕` adds 1, preference is ≤. Strictly monotone, isotone.
+    /// `φ = cap`.
+    HopCount {
+        /// Cost treated as unreachable (the RIP-style infinity).
+        cap: i64,
+    },
+    /// Additive cost (the paper's `addA` / `RC`): labels are link costs in
+    /// `1..=max_label`, `⊕` adds, preference is ≤, `φ = cap`.
+    AddCost {
+        /// Maximum link cost used for sampling and NDlog generation.
+        max_label: i64,
+        /// Unreachable bound (φ).
+        cap: i64,
+    },
+    /// Widest path (bandwidth): labels are link capacities `1..=max`, `⊕`
+    /// is min, preference is ≥ (wider is better), `φ = 0`.
+    Widest {
+        /// Maximum capacity.
+        max: i64,
+    },
+    /// Local preference (the paper's `lpA` / `LP`): `⊕` *overwrites* the
+    /// signature with the label (`labelApply(l, s) = l`), preference is ≤
+    /// exactly as the paper's snippet (`prefRel(s1, s2) = (s1 <= s2)`),
+    /// `φ = levels` (the paper uses `prohibitPath = 4`). **Not monotone** —
+    /// the root cause of BGP's Disagree behaviour.
+    LocalPref {
+        /// Number of preference levels; φ equals this value.
+        levels: i64,
+    },
+    /// Gao–Rexford business relationships: signatures are route classes
+    /// (customer/peer/provider), labels are edge relationships; `⊕`
+    /// implements the export rules (only customer routes cross peer and
+    /// provider edges). Non-decreasing and isotone.
+    GaoRexford,
+    /// Lexicographic product (the paper's `lexProduct`): compare on the
+    /// first component, break ties with the second.
+    Lex(Box<AlgebraSpec>, Box<AlgebraSpec>),
+}
+
+impl fmt::Display for AlgebraSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraSpec::HopCount { .. } => write!(f, "hopCount"),
+            AlgebraSpec::AddCost { .. } => write!(f, "addA"),
+            AlgebraSpec::Widest { .. } => write!(f, "widestA"),
+            AlgebraSpec::LocalPref { .. } => write!(f, "lpA"),
+            AlgebraSpec::GaoRexford => write!(f, "gaoRexford"),
+            AlgebraSpec::Lex(a, b) => write!(f, "lexProduct[{a}, {b}]"),
+        }
+    }
+}
+
+impl AlgebraSpec {
+    /// The paper's `BGPSystem: THEORY = lexProduct[LP, RC]`.
+    pub fn bgp_system() -> Self {
+        AlgebraSpec::Lex(
+            Box::new(AlgebraSpec::LocalPref { levels: 4 }),
+            Box::new(AlgebraSpec::AddCost { max_label: 3, cap: 64 }),
+        )
+    }
+
+    /// Number of `i64` slots this algebra's signatures occupy.
+    pub fn width(&self) -> usize {
+        match self {
+            AlgebraSpec::Lex(a, b) => a.width() + b.width(),
+            _ => 1,
+        }
+    }
+
+    /// The prohibited signature φ.
+    pub fn phi(&self) -> Sig {
+        match self {
+            AlgebraSpec::HopCount { cap } => vec![*cap],
+            AlgebraSpec::AddCost { cap, .. } => vec![*cap],
+            AlgebraSpec::Widest { .. } => vec![0],
+            AlgebraSpec::LocalPref { levels } => vec![*levels],
+            AlgebraSpec::GaoRexford => vec![gr::PHI],
+            AlgebraSpec::Lex(a, b) => {
+                let mut v = a.phi();
+                v.extend(b.phi());
+                v
+            }
+        }
+    }
+
+    /// Is the signature prohibited? (Any prohibited component prohibits the
+    /// whole lexicographic signature.)
+    pub fn is_phi(&self, s: &Sig) -> bool {
+        match self {
+            AlgebraSpec::Lex(a, b) => {
+                let (sa, sb) = s.split_at(a.width());
+                a.is_phi(&sa.to_vec()) || b.is_phi(&sb.to_vec())
+            }
+            _ => s == &self.phi(),
+        }
+    }
+
+    /// The origination signature (a trivial route at the destination).
+    pub fn origin(&self) -> Sig {
+        match self {
+            AlgebraSpec::HopCount { .. } | AlgebraSpec::AddCost { .. } => vec![0],
+            AlgebraSpec::Widest { max } => vec![*max],
+            AlgebraSpec::LocalPref { .. } => vec![0],
+            AlgebraSpec::GaoRexford => vec![gr::CUSTOMER],
+            AlgebraSpec::Lex(a, b) => {
+                let mut v = a.origin();
+                v.extend(b.origin());
+                v
+            }
+        }
+    }
+
+    /// Preference: `Less` means `a` is strictly preferred to `b`.
+    pub fn pref(&self, a: &Sig, b: &Sig) -> Ordering {
+        match self {
+            AlgebraSpec::Widest { .. } => b[0].cmp(&a[0]), // wider preferred
+            AlgebraSpec::Lex(x, y) => {
+                let w = x.width();
+                // A prohibited composite is least preferred regardless of
+                // componentwise comparison.
+                let pa = self.is_phi(a);
+                let pb = self.is_phi(b);
+                match (pa, pb) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Greater,
+                    (false, true) => Ordering::Less,
+                    (false, false) => {
+                        let (a1, a2) = a.split_at(w);
+                        let (b1, b2) = b.split_at(w);
+                        x.pref(&a1.to_vec(), &b1.to_vec())
+                            .then_with(|| y.pref(&a2.to_vec(), &b2.to_vec()))
+                    }
+                }
+            }
+            // All remaining leaves prefer smaller values.
+            _ => a[0].cmp(&b[0]),
+        }
+    }
+
+    /// Label application `⊕` (clamped into the leaf's domain).
+    pub fn apply(&self, l: &Label, s: &Sig) -> Sig {
+        match self {
+            AlgebraSpec::HopCount { cap } => {
+                if s[0] >= *cap {
+                    vec![*cap]
+                } else {
+                    vec![(s[0] + 1).min(*cap)]
+                }
+            }
+            AlgebraSpec::AddCost { cap, .. } => {
+                if s[0] >= *cap {
+                    vec![*cap]
+                } else {
+                    vec![(s[0] + l[0].max(1)).min(*cap)]
+                }
+            }
+            AlgebraSpec::Widest { .. } => vec![s[0].min(l[0])],
+            AlgebraSpec::LocalPref { levels } => {
+                if s[0] >= *levels {
+                    vec![*levels] // absorption: φ stays φ
+                } else {
+                    vec![l[0].clamp(0, *levels)]
+                }
+            }
+            AlgebraSpec::GaoRexford => {
+                let class = s[0];
+                if class == gr::PHI {
+                    return vec![gr::PHI];
+                }
+                match l[0] {
+                    // The advertiser is our customer: we accept anything it
+                    // exports to a provider — it only exports customer
+                    // routes upward.
+                    gr::TO_CUSTOMER => {
+                        if class == gr::CUSTOMER {
+                            vec![gr::CUSTOMER]
+                        } else {
+                            vec![gr::PHI]
+                        }
+                    }
+                    // Peer edge: peers only export customer routes.
+                    gr::TO_PEER => {
+                        if class == gr::CUSTOMER {
+                            vec![gr::PEER]
+                        } else {
+                            vec![gr::PHI]
+                        }
+                    }
+                    // Provider edge: providers export everything downward.
+                    _ => vec![gr::PROVIDER],
+                }
+            }
+            AlgebraSpec::Lex(a, b) => {
+                let (w, lw) = (a.width(), a.width());
+                let (s1, s2) = s.split_at(w);
+                let (l1, l2) = l.split_at(lw);
+                let mut out = a.apply(&l1.to_vec(), &s1.to_vec());
+                out.extend(b.apply(&l2.to_vec(), &s2.to_vec()));
+                out
+            }
+        }
+    }
+
+    /// Bounded sample of signatures (includes φ and the origination) used by
+    /// the exhaustive obligation checker.
+    pub fn sample_sigs(&self) -> Vec<Sig> {
+        match self {
+            AlgebraSpec::HopCount { cap } => {
+                (0..=*cap.min(&6)).map(|c| vec![c]).chain([vec![*cap]]).collect()
+            }
+            AlgebraSpec::AddCost { cap, .. } => {
+                (0..=6.min(*cap)).map(|c| vec![c]).chain([vec![*cap]]).collect()
+            }
+            AlgebraSpec::Widest { max } => (0..=*max.min(&6)).map(|c| vec![c]).collect(),
+            AlgebraSpec::LocalPref { levels } => (0..=*levels).map(|c| vec![c]).collect(),
+            AlgebraSpec::GaoRexford => {
+                vec![vec![gr::CUSTOMER], vec![gr::PEER], vec![gr::PROVIDER], vec![gr::PHI]]
+            }
+            AlgebraSpec::Lex(a, b) => {
+                let mut out = Vec::new();
+                for sa in a.sample_sigs() {
+                    for sb in b.sample_sigs() {
+                        let mut v = sa.clone();
+                        v.extend(sb);
+                        out.push(v);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Bounded sample of labels for the exhaustive obligation checker.
+    pub fn sample_labels(&self) -> Vec<Label> {
+        match self {
+            AlgebraSpec::HopCount { .. } => vec![vec![1]],
+            AlgebraSpec::AddCost { max_label, .. } => {
+                (1..=*max_label.min(&4)).map(|c| vec![c]).collect()
+            }
+            AlgebraSpec::Widest { max } => (1..=*max.min(&5)).map(|c| vec![c]).collect(),
+            AlgebraSpec::LocalPref { levels } => (0..*levels).map(|c| vec![c]).collect(),
+            AlgebraSpec::GaoRexford => {
+                vec![vec![gr::TO_CUSTOMER], vec![gr::TO_PEER], vec![gr::TO_PROVIDER]]
+            }
+            AlgebraSpec::Lex(a, b) => {
+                let mut out = Vec::new();
+                for la in a.sample_labels() {
+                    for lb in b.sample_labels() {
+                        let mut v = la.clone();
+                        v.extend(lb);
+                        out.push(v);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_cost_basics() {
+        let a = AlgebraSpec::AddCost { max_label: 3, cap: 16 };
+        assert_eq!(a.apply(&vec![2], &vec![3]), vec![5]);
+        assert_eq!(a.pref(&vec![3], &vec![5]), Ordering::Less);
+        assert!(a.is_phi(&a.phi()));
+        assert_eq!(a.apply(&vec![2], &a.phi()), a.phi(), "absorption");
+    }
+
+    #[test]
+    fn widest_prefers_larger() {
+        let w = AlgebraSpec::Widest { max: 10 };
+        assert_eq!(w.pref(&vec![8], &vec![3]), Ordering::Less);
+        assert_eq!(w.apply(&vec![4], &vec![9]), vec![4]);
+        assert!(w.is_phi(&vec![0]));
+    }
+
+    #[test]
+    fn local_pref_overwrites() {
+        let lp = AlgebraSpec::LocalPref { levels: 4 };
+        assert_eq!(lp.apply(&vec![2], &vec![0]), vec![2]);
+        assert_eq!(lp.apply(&vec![0], &vec![3]), vec![0], "overwrite ignores input");
+        assert_eq!(lp.apply(&vec![1], &lp.phi()), lp.phi(), "absorption");
+    }
+
+    #[test]
+    fn gao_rexford_export_rules() {
+        let g = AlgebraSpec::GaoRexford;
+        // Customer routes propagate everywhere.
+        assert_eq!(g.apply(&vec![gr::TO_PEER], &vec![gr::CUSTOMER]), vec![gr::PEER]);
+        assert_eq!(g.apply(&vec![gr::TO_CUSTOMER], &vec![gr::CUSTOMER]), vec![gr::CUSTOMER]);
+        // Peer/provider routes do not cross peer edges.
+        assert_eq!(g.apply(&vec![gr::TO_PEER], &vec![gr::PEER]), vec![gr::PHI]);
+        assert_eq!(g.apply(&vec![gr::TO_PEER], &vec![gr::PROVIDER]), vec![gr::PHI]);
+        // Everything flows down provider->customer edges.
+        assert_eq!(g.apply(&vec![gr::TO_PROVIDER], &vec![gr::PEER]), vec![gr::PROVIDER]);
+        // Customer routes are preferred.
+        assert_eq!(g.pref(&vec![gr::CUSTOMER], &vec![gr::PROVIDER]), Ordering::Less);
+    }
+
+    #[test]
+    fn lex_product_compares_lexicographically() {
+        let bgp = AlgebraSpec::bgp_system();
+        assert_eq!(bgp.width(), 2);
+        // Lower local-pref wins regardless of cost.
+        assert_eq!(bgp.pref(&vec![0, 9], &vec![1, 1]), Ordering::Less);
+        // Tie on local-pref: cost decides.
+        assert_eq!(bgp.pref(&vec![1, 3], &vec![1, 5]), Ordering::Less);
+        // Apply is componentwise.
+        assert_eq!(bgp.apply(&vec![2, 1], &vec![0, 3]), vec![2, 4]);
+    }
+
+    #[test]
+    fn lex_phi_is_least_preferred() {
+        let bgp = AlgebraSpec::bgp_system();
+        let phi = bgp.phi();
+        for s in bgp.sample_sigs() {
+            if !bgp.is_phi(&s) {
+                assert_eq!(bgp.pref(&s, &phi), Ordering::Less, "{s:?} vs phi");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_bounded_and_contains_phi() {
+        for spec in [
+            AlgebraSpec::HopCount { cap: 16 },
+            AlgebraSpec::AddCost { max_label: 3, cap: 16 },
+            AlgebraSpec::Widest { max: 8 },
+            AlgebraSpec::LocalPref { levels: 4 },
+            AlgebraSpec::GaoRexford,
+            AlgebraSpec::bgp_system(),
+        ] {
+            let sigs = spec.sample_sigs();
+            assert!(sigs.len() < 200, "{spec}: {}", sigs.len());
+            assert!(sigs.contains(&spec.phi()), "{spec} sample missing phi");
+            assert!(!spec.sample_labels().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(AlgebraSpec::bgp_system().to_string(), "lexProduct[lpA, addA]");
+    }
+}

@@ -1,0 +1,34 @@
+//! # metarouting — routing algebras with automatic obligation discharge
+//!
+//! The meta-theoretic model of FVN's design phase (paper §3.3).  Metarouting
+//! (Griffin & Sobrinho) describes routing protocols as algebras
+//! `⟨Σ, ⪯, L, ⊕, O, φ⟩` whose convergence follows from four axioms
+//! (maximality, absorption, monotonicity, isotonicity).  The paper encodes
+//! the abstract algebra as a PVS theory and lets PVS discharge the axiom
+//! obligations per instance; this crate plays both roles:
+//!
+//! * [`algebra`] — base algebras (`addA`, `lpA`, hop count, widest path,
+//!   Gao–Rexford) and the `lexProduct` composition, including the paper's
+//!   `BGPSystem = lexProduct[LP, RC]`;
+//! * [`props`] — analytic property inference (the "type checker");
+//! * [`obligation`] — the discharge engine with counterexamples, plus
+//!   cross-validation of analytic claims against exhaustive checks;
+//! * [`vectoring`] — Sobrinho's generalized path-vector protocol over any
+//!   algebra, executed on `netsim` (convergence measurements for EXP‑4);
+//! * [`protocol_gen`] — the metarouting → NDlog translation (§4.1),
+//!   differential-tested against exhaustive path enumeration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod obligation;
+pub mod props;
+pub mod protocol_gen;
+pub mod vectoring;
+
+pub use algebra::{AlgebraSpec, Label, Sig};
+pub use obligation::{check_axiom, cross_validate, discharge_all, Axiom, Obligation, ALL_AXIOMS};
+pub use props::{infer, AlgebraProps, ConvergenceClass, Monotonicity};
+pub use protocol_gen::{add_topology_facts, best_signatures, generate, GeneratedProtocol};
+pub use vectoring::{optimal_by_enumeration, run_vectoring, EdgeLabels, VectoringOutcome};

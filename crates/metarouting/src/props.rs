@@ -1,0 +1,244 @@
+//! Analytic property inference — the role PVS's type checker plays in §3.3.
+//!
+//! Each base algebra's axiom status is established once by a closed-form
+//! argument (documented on [`infer`]); composition operators *propagate*
+//! properties via the lexicographic-product lemmas of Gurney & Griffin.
+//! [`crate::obligation::cross_validate`] checks every claim against the
+//! exhaustive semantics, so an unsound propagation rule cannot survive the
+//! test suite.
+
+use crate::algebra::AlgebraSpec;
+
+/// Monotonicity strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Monotonicity {
+    /// No monotonicity: a label application may *improve* a route
+    /// (the Disagree ingredient).
+    None,
+    /// `σ ⪯ l ⊕ σ` — paths never get better as they grow.
+    NonDecreasing,
+    /// `σ ≺ l ⊕ σ` — paths get strictly worse (Sobrinho's condition for
+    /// convergence to optimal routes).
+    Strict,
+}
+
+/// Property bundle for an algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgebraProps {
+    /// φ is least preferred.
+    pub maximality: bool,
+    /// φ absorbs label application.
+    pub absorption: bool,
+    /// Monotonicity strength.
+    pub monotone: Monotonicity,
+    /// Isotonicity claim: `Some(b)` when derivable analytically, `None`
+    /// when only the exhaustive checker can decide (lexicographic products
+    /// with tie-collapsing first components).
+    pub isotone: Option<bool>,
+    /// Does application preserve *strict* preference (`σ1 ≺ σ2 ⇒ l⊕σ1 ≺
+    /// l⊕σ2`)? Needed to propagate isotonicity through `lexProduct`.
+    pub strict_isotone: bool,
+    /// Does application never map a non-prohibited signature to φ?
+    /// A φ-introducing *second* component breaks lexicographic isotonicity:
+    /// the composite φ jumps below everything regardless of the first
+    /// component (counterexample found by the property-based test suite:
+    /// `lexProduct[hopCount, gaoRexford]` with a peer route knocked to φ).
+    pub phi_free: bool,
+}
+
+/// Convergence guarantee derived from the properties (Sobrinho; the
+/// metarouting correctness story the paper builds on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceClass {
+    /// Strictly monotone and isotone: vectoring protocols converge to
+    /// globally optimal routes.
+    GuaranteedOptimal,
+    /// Monotone: convergence guaranteed (possibly to locally optimal
+    /// routes when isotonicity fails).
+    Guaranteed,
+    /// No guarantee — divergence (Disagree/Bad-Gadget behaviour) possible.
+    NotGuaranteed,
+}
+
+impl AlgebraProps {
+    /// Classify the convergence guarantee.
+    pub fn convergence(&self) -> ConvergenceClass {
+        match (self.monotone, self.isotone) {
+            (Monotonicity::Strict, Some(true)) => ConvergenceClass::GuaranteedOptimal,
+            (Monotonicity::Strict, _) | (Monotonicity::NonDecreasing, _) => {
+                ConvergenceClass::Guaranteed
+            }
+            (Monotonicity::None, _) => ConvergenceClass::NotGuaranteed,
+        }
+    }
+}
+
+/// Infer properties analytically.
+///
+/// Base-algebra arguments (each mirrors a lemma of refs [9, 24]):
+///
+/// * `hopCount` / `addA` — labels are ≥ 1, addition strictly increases a
+///   bounded cost, ≤ is preserved by `+l`: strictly monotone, isotone, and
+///   strictly isotone.
+/// * `widestA` — `min(l, ·)` can only shrink bandwidth (non-decreasing) and
+///   is order-preserving (isotone) but collapses ties (`min(2, 5) = min(2,
+///   3)`): not strict in either sense.
+/// * `lpA` — `labelApply(l, s) = l` discards the input: monotonicity fails
+///   outright (a label can overwrite a bad preference with a good one);
+///   constant maps are trivially isotone.
+/// * `gaoRexford` — export rules only ever degrade the route class
+///   (customer → peer/provider or φ): non-decreasing; the class mapping is
+///   order-preserving: isotone; `customer → customer` over customer edges
+///   is a tie: not strict.
+///
+/// `lexProduct[A, B]` (Gurney & Griffin lexicographic lemmas):
+///
+/// * monotone: strict if `A` strict, or `A` non-decreasing and `B` strict;
+///   non-decreasing if both components are at least non-decreasing.
+/// * isotone: derivable only when `A` is *strictly* isotone (never turns a
+///   strict preference into a tie) and `B` is isotone; otherwise the
+///   composite's isotonicity is left to the exhaustive checker (`None`).
+pub fn infer(spec: &AlgebraSpec) -> AlgebraProps {
+    match spec {
+        AlgebraSpec::HopCount { .. } | AlgebraSpec::AddCost { .. } => AlgebraProps {
+            maximality: true,
+            absorption: true,
+            monotone: Monotonicity::Strict,
+            isotone: Some(true),
+            strict_isotone: true,
+            // Additive costs saturate at the cap: non-φ can become φ.
+            phi_free: false,
+        },
+        AlgebraSpec::Widest { .. } => AlgebraProps {
+            maximality: true,
+            absorption: true,
+            monotone: Monotonicity::NonDecreasing,
+            isotone: Some(true),
+            strict_isotone: false,
+            // min(l, s) with l, s >= 1 stays >= 1 > φ = 0.
+            phi_free: true,
+        },
+        AlgebraSpec::LocalPref { .. } => AlgebraProps {
+            maximality: true,
+            absorption: true,
+            monotone: Monotonicity::None,
+            isotone: Some(true),
+            strict_isotone: false,
+            // Labels range over non-φ preference levels.
+            phi_free: true,
+        },
+        AlgebraSpec::GaoRexford => AlgebraProps {
+            maximality: true,
+            absorption: true,
+            monotone: Monotonicity::NonDecreasing,
+            isotone: Some(true),
+            strict_isotone: false,
+            // Export rules prohibit peer/provider routes over peer edges.
+            phi_free: false,
+        },
+        AlgebraSpec::Lex(a, b) => {
+            let pa = infer(a);
+            let pb = infer(b);
+            let monotone = match (pa.monotone, pb.monotone) {
+                (Monotonicity::Strict, _) => Monotonicity::Strict,
+                (Monotonicity::NonDecreasing, Monotonicity::Strict) => Monotonicity::Strict,
+                (Monotonicity::NonDecreasing, Monotonicity::NonDecreasing) => {
+                    Monotonicity::NonDecreasing
+                }
+                _ => Monotonicity::None,
+            };
+            // Isotonicity survives lexicographic composition only when the
+            // first component never collapses strict preferences into ties
+            // AND the second component never knocks a route to φ (which
+            // would reorder the composite past the first component's
+            // verdict).
+            let isotone = if pa.strict_isotone && pb.isotone == Some(true) && pb.phi_free {
+                Some(true)
+            } else {
+                None
+            };
+            AlgebraProps {
+                maximality: pa.maximality && pb.maximality,
+                absorption: pa.absorption && pb.absorption,
+                monotone,
+                isotone,
+                strict_isotone: pa.strict_isotone
+                    && pb.strict_isotone
+                    && pa.phi_free
+                    && pb.phi_free,
+                phi_free: pa.phi_free && pb.phi_free,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_algebra_claims() {
+        assert_eq!(infer(&AlgebraSpec::HopCount { cap: 16 }).monotone, Monotonicity::Strict);
+        assert_eq!(
+            infer(&AlgebraSpec::Widest { max: 8 }).monotone,
+            Monotonicity::NonDecreasing
+        );
+        assert_eq!(infer(&AlgebraSpec::LocalPref { levels: 4 }).monotone, Monotonicity::None);
+        assert_eq!(infer(&AlgebraSpec::GaoRexford).monotone, Monotonicity::NonDecreasing);
+    }
+
+    #[test]
+    fn bgp_system_is_not_guaranteed_to_converge() {
+        let p = infer(&AlgebraSpec::bgp_system());
+        assert_eq!(p.monotone, Monotonicity::None);
+        assert_eq!(p.convergence(), ConvergenceClass::NotGuaranteed);
+    }
+
+    #[test]
+    fn shortest_path_is_guaranteed_optimal() {
+        let p = infer(&AlgebraSpec::AddCost { max_label: 3, cap: 16 });
+        assert_eq!(p.convergence(), ConvergenceClass::GuaranteedOptimal);
+    }
+
+    #[test]
+    fn gr_over_hopcount_is_guaranteed() {
+        let spec = AlgebraSpec::Lex(
+            Box::new(AlgebraSpec::GaoRexford),
+            Box::new(AlgebraSpec::HopCount { cap: 16 }),
+        );
+        let p = infer(&spec);
+        assert_eq!(p.monotone, Monotonicity::Strict, "ties resolved by strict hop count");
+        // GR collapses ties, so isotonicity is left to the checker.
+        assert_eq!(p.isotone, None);
+        assert_eq!(p.convergence(), ConvergenceClass::Guaranteed);
+    }
+
+    #[test]
+    fn add_over_add_is_strict_but_isotonicity_is_left_to_the_checker() {
+        let spec = AlgebraSpec::Lex(
+            Box::new(AlgebraSpec::AddCost { max_label: 3, cap: 16 }),
+            Box::new(AlgebraSpec::HopCount { cap: 32 }),
+        );
+        let p = infer(&spec);
+        assert_eq!(p.monotone, Monotonicity::Strict);
+        // The second component can saturate to φ, which breaks composite
+        // isotonicity — the analytic layer must stay silent.
+        assert_eq!(p.isotone, None);
+        assert!(!p.strict_isotone);
+        assert_eq!(p.convergence(), ConvergenceClass::Guaranteed);
+    }
+
+    #[test]
+    fn phi_introducing_second_component_fails_isotonicity_exhaustively() {
+        // The counterexample family the property-based suite found: a
+        // second component that can knock a route to φ reorders the
+        // composite regardless of the first component's strict verdict.
+        let spec = AlgebraSpec::Lex(
+            Box::new(AlgebraSpec::HopCount { cap: 8 }),
+            Box::new(AlgebraSpec::GaoRexford),
+        );
+        assert_eq!(infer(&spec).isotone, None);
+        let ob = crate::obligation::check_axiom(&spec, crate::obligation::Axiom::Isotonicity);
+        assert!(!ob.holds(), "exhaustive check must expose the φ jump");
+    }
+}

@@ -1,0 +1,624 @@
+//! Abstract syntax for NDlog programs.
+//!
+//! The grammar follows the paper's §2.2 concrete syntax:
+//!
+//! ```text
+//! r1 path(@S,D,P,C) :- link(@S,D,C), P=f_init(S,D).
+//! r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).
+//! materialize(link, infinity, infinity, keys(1,2)).
+//! link(@n0, n1, 1).
+//! ```
+//!
+//! Location specifiers (`@X`) mark the attribute that names the tuple's home
+//! node in distributed execution.
+
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term appearing as a predicate argument: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// Named variable (capitalized identifier in the concrete syntax).
+    Var(String),
+    /// Ground constant.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable name if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary arithmetic operators usable in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Integer addition (`+`).
+    Add,
+    /// Integer subtraction (`-`).
+    Sub,
+    /// Integer multiplication (`*`).
+    Mul,
+    /// Integer division (`/`), truncating; division by zero is an error.
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operators usable in body constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on two totally ordered values.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An expression: used on the right-hand side of assignments and inside
+/// comparisons.  Function calls refer to the builtin registry
+/// (`f_init`, `f_concatPath`, `f_inPath`, ...).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Expr {
+    /// Variable reference.
+    Var(String),
+    /// Ground constant.
+    Const(Value),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Builtin function call.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Collect the free variables of the expression into `out`.
+    pub fn vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Const(_) => {}
+            Expr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Bin(op, a, b) => write!(f, "{a}{op}{b}"),
+            Expr::Call(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A predicate atom `p(@L, t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Index into `args` of the location-specified attribute, if any.
+    pub loc: Option<usize>,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom with a location specifier on argument 0.
+    pub fn located(pred: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom { pred: pred.into(), loc: Some(0), args }
+    }
+
+    /// Construct an atom without a location specifier.
+    pub fn plain(pred: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom { pred: pred.into(), loc: None, args }
+    }
+
+    /// The location variable of this atom, if the located argument is a
+    /// variable.
+    pub fn loc_var(&self) -> Option<&str> {
+        self.loc.and_then(|i| self.args.get(i)).and_then(Term::as_var)
+    }
+
+    /// Collect all variables of the atom into `out`.
+    pub fn vars(&self, out: &mut BTreeSet<String>) {
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                out.insert(v.clone());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if Some(i) == self.loc {
+                write!(f, "@")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Literal {
+    /// Positive atom.
+    Pos(Atom),
+    /// Negated atom (`!p(...)`), evaluated under stratified negation.
+    Neg(Atom),
+    /// Assignment `V = expr`; binds `V` when all expression variables are
+    /// bound.
+    Assign(String, Expr),
+    /// Comparison constraint `expr op expr` (also covers the paper's
+    /// `f_inPath(P2,S)=false` form, which parses as `Cmp(Call(..), Eq, false)`).
+    Cmp(Expr, CmpOp, Expr),
+}
+
+impl Literal {
+    /// Variables mentioned by the literal.
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.vars(&mut out),
+            Literal::Assign(v, e) => {
+                out.insert(v.clone());
+                e.vars(&mut out);
+            }
+            Literal::Cmp(a, _, b) => {
+                a.vars(&mut out);
+                b.vars(&mut out);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "!{a}"),
+            Literal::Assign(v, e) => write!(f, "{v}={e}"),
+            Literal::Cmp(a, op, b) => write!(f, "{a}{op}{b}"),
+        }
+    }
+}
+
+/// Aggregate functions allowed in rule heads (`min<C>` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AggFunc {
+    /// Minimum of the aggregated attribute per group.
+    Min,
+    /// Maximum of the aggregated attribute per group.
+    Max,
+    /// Number of tuples per group.
+    Count,
+    /// Integer sum of the aggregated attribute per group.
+    Sum,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One argument position of a rule head: either a plain term (group-by key)
+/// or an aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HeadArg {
+    /// Group-by term.
+    Term(Term),
+    /// Aggregate over a body variable, e.g. `min<C>`.
+    Agg(AggFunc, String),
+}
+
+impl fmt::Display for HeadArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadArg::Term(t) => write!(f, "{t}"),
+            HeadArg::Agg(func, v) => write!(f, "{func}<{v}>"),
+        }
+    }
+}
+
+/// A rule head `p(@L, a1, ..., an)` possibly containing one aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Head {
+    /// Predicate being derived.
+    pub pred: String,
+    /// Location-specified argument index, if any.
+    pub loc: Option<usize>,
+    /// Head arguments.
+    pub args: Vec<HeadArg>,
+}
+
+impl Head {
+    /// True if any argument is an aggregate.
+    pub fn has_agg(&self) -> bool {
+        self.args.iter().any(|a| matches!(a, HeadArg::Agg(..)))
+    }
+
+    /// Convert a purely term-based head into an atom; `None` if aggregated.
+    pub fn as_atom(&self) -> Option<Atom> {
+        let mut args = Vec::with_capacity(self.args.len());
+        for a in &self.args {
+            match a {
+                HeadArg::Term(t) => args.push(t.clone()),
+                HeadArg::Agg(..) => return None,
+            }
+        }
+        Some(Atom { pred: self.pred.clone(), loc: self.loc, args })
+    }
+
+    /// Variables appearing in the head (including aggregate inputs).
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for a in &self.args {
+            match a {
+                HeadArg::Term(Term::Var(v)) => {
+                    out.insert(v.clone());
+                }
+                HeadArg::Term(Term::Const(_)) => {}
+                HeadArg::Agg(_, v) => {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Head {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if Some(i) == self.loc {
+                write!(f, "@")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule `name head :- body.`
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Rule {
+    /// Rule label (`r1`, `r2`, ...); auto-generated when absent.
+    pub name: String,
+    /// Rule head.
+    pub head: Head,
+    /// Body literals, evaluated left to right after safety reordering.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// All positive body atoms.
+    pub fn pos_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// All negated body atoms.
+    pub fn neg_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Neg(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Distinct location variables mentioned by located body atoms.
+    pub fn body_locations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for l in &self.body {
+            if let Literal::Pos(a) | Literal::Neg(a) = l {
+                if let Some(v) = a.loc_var() {
+                    out.insert(v.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} :- ", self.name, self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// Table lifetime declared by a `materialize` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lifetime {
+    /// Hard state: never expires.
+    Infinite,
+    /// Soft state: expires `ticks` simulator ticks after insertion unless
+    /// refreshed.
+    Ticks(u64),
+}
+
+impl fmt::Display for Lifetime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lifetime::Infinite => write!(f, "infinity"),
+            Lifetime::Ticks(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A `materialize(pred, lifetime, maxsize, keys(..))` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Materialize {
+    /// Declared predicate.
+    pub pred: String,
+    /// Tuple lifetime.
+    pub lifetime: Lifetime,
+    /// Maximum table size (`None` = unbounded).
+    pub max_size: Option<u64>,
+    /// Primary-key attribute positions (1-based in the concrete syntax,
+    /// stored 0-based).
+    pub keys: Vec<usize>,
+}
+
+/// A complete NDlog program: declarations, ground facts and rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Table declarations.
+    pub materializes: Vec<Materialize>,
+    /// Ground facts (atoms whose arguments are all constants).
+    pub facts: Vec<Atom>,
+    /// Rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Find the lifetime declared for `pred` (default: hard state).
+    pub fn lifetime_of(&self, pred: &str) -> Lifetime {
+        self.materializes
+            .iter()
+            .find(|m| m.pred == pred)
+            .map(|m| m.lifetime)
+            .unwrap_or(Lifetime::Infinite)
+    }
+
+    /// Names of all predicates appearing in heads (intensional relations).
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+    }
+
+    /// Names of predicates that only appear in bodies or facts (extensional).
+    pub fn edb_predicates(&self) -> BTreeSet<String> {
+        let idb = self.idb_predicates();
+        let mut out = BTreeSet::new();
+        for f in &self.facts {
+            if !idb.contains(&f.pred) {
+                out.insert(f.pred.clone());
+            }
+        }
+        for r in &self.rules {
+            for a in r.pos_atoms().chain(r.neg_atoms()) {
+                if !idb.contains(&a.pred) {
+                    out.insert(a.pred.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Append the ground facts of another source (used by topology loaders).
+    pub fn add_fact(&mut self, atom: Atom) {
+        self.facts.push(atom);
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.materializes {
+            let size = match m.max_size {
+                None => "infinity".to_string(),
+                Some(s) => s.to_string(),
+            };
+            let keys: Vec<String> = m.keys.iter().map(|k| (k + 1).to_string()).collect();
+            writeln!(
+                f,
+                "materialize({}, {}, {}, keys({})).",
+                m.pred,
+                m.lifetime,
+                size,
+                keys.join(",")
+            )?;
+        }
+        for fact in &self.facts {
+            writeln!(f, "{fact}.")?;
+        }
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(s: &str) -> Term {
+        Term::Var(s.into())
+    }
+
+    #[test]
+    fn atom_display_includes_location() {
+        let a = Atom::located("link", vec![var("S"), var("D"), var("C")]);
+        assert_eq!(a.to_string(), "link(@S,D,C)");
+        assert_eq!(a.loc_var(), Some("S"));
+    }
+
+    #[test]
+    fn head_with_aggregate_displays_like_paper() {
+        let h = Head {
+            pred: "bestPathCost".into(),
+            loc: Some(0),
+            args: vec![
+                HeadArg::Term(var("S")),
+                HeadArg::Term(var("D")),
+                HeadArg::Agg(AggFunc::Min, "C".into()),
+            ],
+        };
+        assert_eq!(h.to_string(), "bestPathCost(@S,D,min<C>)");
+        assert!(h.has_agg());
+        assert!(h.as_atom().is_none());
+    }
+
+    #[test]
+    fn rule_body_locations() {
+        let r = Rule {
+            name: "r2".into(),
+            head: Head {
+                pred: "path".into(),
+                loc: Some(0),
+                args: vec![HeadArg::Term(var("S"))],
+            },
+            body: vec![
+                Literal::Pos(Atom::located("link", vec![var("S"), var("Z")])),
+                Literal::Pos(Atom::located("path", vec![var("Z"), var("D")])),
+            ],
+        };
+        let locs = r.body_locations();
+        assert_eq!(locs.into_iter().collect::<Vec<_>>(), vec!["S".to_string(), "Z".to_string()]);
+    }
+
+    #[test]
+    fn literal_vars() {
+        let l = Literal::Assign(
+            "C".into(),
+            Expr::Bin(BinOp::Add, Box::new(Expr::Var("C1".into())), Box::new(Expr::Var("C2".into()))),
+        );
+        let vs = l.vars();
+        assert!(vs.contains("C") && vs.contains("C1") && vs.contains("C2"));
+    }
+
+    #[test]
+    fn program_predicate_partition() {
+        let mut p = Program::default();
+        p.rules.push(Rule {
+            name: "r1".into(),
+            head: Head { pred: "path".into(), loc: None, args: vec![HeadArg::Term(var("S"))] },
+            body: vec![Literal::Pos(Atom::plain("link", vec![var("S")]))],
+        });
+        p.add_fact(Atom::plain("link", vec![Term::Const(Value::Addr(0))]));
+        assert!(p.idb_predicates().contains("path"));
+        assert!(p.edb_predicates().contains("link"));
+        assert!(!p.edb_predicates().contains("path"));
+    }
+
+    #[test]
+    fn cmp_eval_total_order() {
+        assert!(CmpOp::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(CmpOp::Ge.eval(&Value::Int(2), &Value::Int(2)));
+        assert!(CmpOp::Ne.eval(&Value::Str("a".into()), &Value::Str("b".into())));
+    }
+}

@@ -1,0 +1,181 @@
+//! Builtin functions of NDlog.
+//!
+//! The paper's path-vector program uses three list-manipulation builtins:
+//! `f_init(S,D)` creates a two-element path vector, `f_concatPath(S,P)`
+//! prepends `S` to path `P`, and `f_inPath(P,S)` tests membership.  A few
+//! more generally useful functions are provided for the other protocols and
+//! for generated programs.
+
+use crate::error::{NdlogError, Result};
+use crate::value::Value;
+
+fn arity_err(name: &str, want: usize, got: usize) -> NdlogError {
+    NdlogError::Eval { msg: format!("{name} expects {want} argument(s), got {got}") }
+}
+
+fn type_err(name: &str, what: &str, got: &Value) -> NdlogError {
+    NdlogError::Eval { msg: format!("{name}: expected {what}, got {} ({got})", got.sort_name()) }
+}
+
+/// Evaluate builtin function `name` on ground arguments.
+///
+/// Unknown function names produce an `Eval` error so that typos in programs
+/// are caught during the first rule firing (safety analysis also flags them
+/// earlier via [`is_builtin`]).
+pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
+    match name {
+        // f_init(S,D): fresh path vector [S, D].
+        "f_init" => {
+            if args.len() != 2 {
+                return Err(arity_err(name, 2, args.len()));
+            }
+            Ok(Value::List(vec![args[0].clone(), args[1].clone()]))
+        }
+        // f_concatPath(S, P): prepend S to path vector P.
+        "f_concatPath" => {
+            if args.len() != 2 {
+                return Err(arity_err(name, 2, args.len()));
+            }
+            let p = args[1].as_list().ok_or_else(|| type_err(name, "list", &args[1]))?;
+            let mut out = Vec::with_capacity(p.len() + 1);
+            out.push(args[0].clone());
+            out.extend_from_slice(p);
+            Ok(Value::List(out))
+        }
+        // f_inPath(P, S): true iff S occurs in P.
+        "f_inPath" => {
+            if args.len() != 2 {
+                return Err(arity_err(name, 2, args.len()));
+            }
+            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            Ok(Value::Bool(p.contains(&args[1])))
+        }
+        // f_size(P): length of a list.
+        "f_size" => {
+            if args.len() != 1 {
+                return Err(arity_err(name, 1, args.len()));
+            }
+            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            Ok(Value::Int(p.len() as i64))
+        }
+        // f_head(P): first element of a non-empty list.
+        "f_head" => {
+            if args.len() != 1 {
+                return Err(arity_err(name, 1, args.len()));
+            }
+            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            p.first().cloned().ok_or(NdlogError::Eval { msg: "f_head: empty list".into() })
+        }
+        // f_last(P): last element of a non-empty list.
+        "f_last" => {
+            if args.len() != 1 {
+                return Err(arity_err(name, 1, args.len()));
+            }
+            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            p.last().cloned().ok_or(NdlogError::Eval { msg: "f_last: empty list".into() })
+        }
+        // f_append(P, X): append X at the end of list P.
+        "f_append" => {
+            if args.len() != 2 {
+                return Err(arity_err(name, 2, args.len()));
+            }
+            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            let mut out = p.to_vec();
+            out.push(args[1].clone());
+            Ok(Value::List(out))
+        }
+        // f_min(A,B) / f_max(A,B): binary extrema on the value total order.
+        "f_min" => {
+            if args.len() != 2 {
+                return Err(arity_err(name, 2, args.len()));
+            }
+            Ok(args[0].clone().min(args[1].clone()))
+        }
+        "f_max" => {
+            if args.len() != 2 {
+                return Err(arity_err(name, 2, args.len()));
+            }
+            Ok(args[0].clone().max(args[1].clone()))
+        }
+        _ => Err(NdlogError::Eval { msg: format!("unknown builtin function '{name}'") }),
+    }
+}
+
+/// True if `name` is a known builtin (used by safety analysis to reject
+/// unknown functions at compile time rather than first firing).
+pub fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "f_init"
+            | "f_concatPath"
+            | "f_inPath"
+            | "f_size"
+            | "f_head"
+            | "f_last"
+            | "f_append"
+            | "f_min"
+            | "f_max"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Value {
+        Value::Addr(n)
+    }
+
+    #[test]
+    fn f_init_builds_two_element_path() {
+        let v = eval_builtin("f_init", &[a(1), a(2)]).unwrap();
+        assert_eq!(v, Value::List(vec![a(1), a(2)]));
+    }
+
+    #[test]
+    fn f_concat_prepends() {
+        let p = Value::List(vec![a(2), a(3)]);
+        let v = eval_builtin("f_concatPath", &[a(1), p]).unwrap();
+        assert_eq!(v, Value::List(vec![a(1), a(2), a(3)]));
+    }
+
+    #[test]
+    fn f_in_path_detects_membership_and_absence() {
+        let p = Value::List(vec![a(1), a(2)]);
+        assert_eq!(eval_builtin("f_inPath", &[p.clone(), a(2)]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_builtin("f_inPath", &[p, a(9)]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn list_utilities() {
+        let p = Value::List(vec![a(1), a(2), a(3)]);
+        assert_eq!(eval_builtin("f_size", &[p.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(eval_builtin("f_head", &[p.clone()]).unwrap(), a(1));
+        assert_eq!(eval_builtin("f_last", &[p.clone()]).unwrap(), a(3));
+        assert_eq!(
+            eval_builtin("f_append", &[p, a(4)]).unwrap(),
+            Value::List(vec![a(1), a(2), a(3), a(4)])
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(eval_builtin("f_min", &[Value::Int(3), Value::Int(1)]).unwrap(), Value::Int(1));
+        assert_eq!(eval_builtin("f_max", &[Value::Int(3), Value::Int(1)]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        assert!(eval_builtin("f_init", &[a(1)]).is_err());
+        assert!(eval_builtin("f_inPath", &[Value::Int(1), a(1)]).is_err());
+        assert!(eval_builtin("f_head", &[Value::List(vec![])]).is_err());
+        assert!(eval_builtin("no_such_fn", &[]).is_err());
+    }
+
+    #[test]
+    fn builtin_registry() {
+        assert!(is_builtin("f_init"));
+        assert!(is_builtin("f_inPath"));
+        assert!(!is_builtin("f_bogus"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the NDlog front end and evaluator.
+
+use std::fmt;
+
+/// Any error raised while parsing, analyzing, or evaluating NDlog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names (offset/rule/msg/...) are self-describing
+pub enum NdlogError {
+    /// Lexical error at a byte offset with a human-readable message.
+    Lex { offset: usize, msg: String },
+    /// Parse error at a byte offset with a human-readable message.
+    Parse { offset: usize, msg: String },
+    /// A rule violates a safety condition (range restriction, negation
+    /// safety, location-specifier rules).
+    Safety { rule: String, msg: String },
+    /// The program cannot be stratified (negation or aggregation through
+    /// recursion).
+    Stratification { msg: String },
+    /// Arity or location-specifier mismatch between uses of a predicate.
+    Schema { predicate: String, msg: String },
+    /// A runtime evaluation error (bad builtin call, type mismatch).
+    Eval { msg: String },
+    /// Rule localization could not rewrite a rule into link-local form.
+    Localization { rule: String, msg: String },
+}
+
+impl fmt::Display for NdlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdlogError::Lex { offset, msg } => write!(f, "lex error at byte {offset}: {msg}"),
+            NdlogError::Parse { offset, msg } => write!(f, "parse error at byte {offset}: {msg}"),
+            NdlogError::Safety { rule, msg } => write!(f, "safety violation in rule {rule}: {msg}"),
+            NdlogError::Stratification { msg } => write!(f, "stratification error: {msg}"),
+            NdlogError::Schema { predicate, msg } => {
+                write!(f, "schema error for predicate {predicate}: {msg}")
+            }
+            NdlogError::Eval { msg } => write!(f, "evaluation error: {msg}"),
+            NdlogError::Localization { rule, msg } => {
+                write!(f, "localization error in rule {rule}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NdlogError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NdlogError>;

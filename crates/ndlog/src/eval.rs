@@ -1,0 +1,731 @@
+//! Centralized NDlog evaluation.
+//!
+//! Implements stratified bottom-up evaluation with both a reference *naive*
+//! iterator and the production *semi-naive* engine (delta-driven).  The two
+//! are kept semantically identical — a property-based test in this module and
+//! in `tests/` checks `naive ≡ semi-naive` on randomized programs.
+//!
+//! Aggregates (`min`/`max`/`count`/`sum`) are evaluated at the start of their
+//! stratum, which is sound because stratification forces their rule bodies to
+//! refer only to lower strata (see [`crate::safety`]).
+
+use crate::ast::*;
+use crate::builtins::eval_builtin;
+use crate::error::{NdlogError, Result};
+use crate::safety::{analyze, Analysis};
+use crate::value::{Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A deterministic in-memory database: relation name → set of tuples.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Database {
+    rels: BTreeMap<String, BTreeSet<Tuple>>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a tuple; returns true if it was new.
+    pub fn insert(&mut self, pred: impl Into<String>, tuple: Tuple) -> bool {
+        self.rels.entry(pred.into()).or_default().insert(tuple)
+    }
+
+    /// Remove a tuple; returns true if it was present.
+    pub fn remove(&mut self, pred: &str, tuple: &Tuple) -> bool {
+        self.rels.get_mut(pred).map(|s| s.remove(tuple)).unwrap_or(false)
+    }
+
+    /// Tuples of a relation (empty slice view if absent).
+    pub fn relation(&self, pred: &str) -> impl Iterator<Item = &Tuple> {
+        self.rels.get(pred).into_iter().flatten()
+    }
+
+    /// Number of tuples in a relation.
+    pub fn len_of(&self, pred: &str) -> usize {
+        self.rels.get(pred).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total(&self) -> usize {
+        self.rels.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, pred: &str, tuple: &Tuple) -> bool {
+        self.rels.get(pred).map(|s| s.contains(tuple)).unwrap_or(false)
+    }
+
+    /// All relation names present.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.rels.keys().map(String::as_str)
+    }
+
+    /// Merge all tuples of `other` into `self`.
+    pub fn absorb(&mut self, other: &Database) {
+        for (p, ts) in &other.rels {
+            let e = self.rels.entry(p.clone()).or_default();
+            for t in ts {
+                e.insert(t.clone());
+            }
+        }
+    }
+}
+
+/// Variable bindings during rule evaluation.
+pub type Env = BTreeMap<String, Value>;
+
+/// Evaluate an expression under an environment of ground bindings.
+pub fn eval_expr(e: &Expr, env: &Env) -> Result<Value> {
+    match e {
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| NdlogError::Eval { msg: format!("unbound variable {v}") }),
+        Expr::Const(c) => Ok(c.clone()),
+        Expr::Bin(op, a, b) => {
+            let va = eval_expr(a, env)?;
+            let vb = eval_expr(b, env)?;
+            let (ia, ib) = match (va.as_int(), vb.as_int()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(NdlogError::Eval {
+                        msg: format!("arithmetic on non-integers: {va} {op} {vb}"),
+                    })
+                }
+            };
+            let r = match op {
+                BinOp::Add => ia.checked_add(ib),
+                BinOp::Sub => ia.checked_sub(ib),
+                BinOp::Mul => ia.checked_mul(ib),
+                BinOp::Div => {
+                    if ib == 0 {
+                        return Err(NdlogError::Eval { msg: "division by zero".into() });
+                    }
+                    ia.checked_div(ib)
+                }
+            };
+            r.map(Value::Int).ok_or(NdlogError::Eval { msg: "integer overflow".into() })
+        }
+        Expr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, env)?);
+            }
+            eval_builtin(name, &vals)
+        }
+    }
+}
+
+/// Match an atom's argument terms against a concrete tuple, extending `env`.
+/// Returns false (leaving `env` possibly partially extended — callers clone)
+/// if the match fails.
+fn match_atom(atom: &Atom, tuple: &[Value], env: &mut Env) -> bool {
+    if atom.args.len() != tuple.len() {
+        return false;
+    }
+    for (t, v) in atom.args.iter().zip(tuple.iter()) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    return false;
+                }
+            }
+            Term::Var(name) => match env.get(name) {
+                Some(bound) => {
+                    if bound != v {
+                        return false;
+                    }
+                }
+                None => {
+                    env.insert(name.clone(), v.clone());
+                }
+            },
+        }
+    }
+    true
+}
+
+/// Instantiate a (non-aggregate) head under an environment.
+fn instantiate_head(head: &Head, env: &Env) -> Result<Tuple> {
+    let mut out = Vec::with_capacity(head.args.len());
+    for a in &head.args {
+        match a {
+            HeadArg::Term(Term::Const(c)) => out.push(c.clone()),
+            HeadArg::Term(Term::Var(v)) => out.push(
+                env.get(v)
+                    .cloned()
+                    .ok_or_else(|| NdlogError::Eval { msg: format!("unbound head var {v}") })?,
+            ),
+            HeadArg::Agg(..) => {
+                return Err(NdlogError::Eval {
+                    msg: "aggregate head instantiated as plain head".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate the body of a rule over `db`, optionally restricting the
+/// positive-atom occurrence at body index `delta_at` to tuples in `delta`.
+/// Calls `sink` with each complete environment.
+fn eval_body(
+    body: &[Literal],
+    idx: usize,
+    db: &Database,
+    delta_at: Option<usize>,
+    delta: Option<&Database>,
+    env: &Env,
+    sink: &mut dyn FnMut(&Env) -> Result<()>,
+) -> Result<()> {
+    if idx == body.len() {
+        return sink(env);
+    }
+    match &body[idx] {
+        Literal::Pos(atom) => {
+            let use_delta = delta_at == Some(idx);
+            let iter: Box<dyn Iterator<Item = &Tuple>> = if use_delta {
+                Box::new(delta.expect("delta db").relation(&atom.pred))
+            } else {
+                Box::new(db.relation(&atom.pred))
+            };
+            for tuple in iter {
+                let mut env2 = env.clone();
+                if match_atom(atom, tuple, &mut env2) {
+                    eval_body(body, idx + 1, db, delta_at, delta, &env2, sink)?;
+                }
+            }
+            Ok(())
+        }
+        Literal::Neg(atom) => {
+            // All variables are bound (safety); build the ground tuple.
+            let mut probe = Vec::with_capacity(atom.args.len());
+            for t in &atom.args {
+                match t {
+                    Term::Const(c) => probe.push(c.clone()),
+                    Term::Var(v) => probe.push(env.get(v).cloned().ok_or_else(|| {
+                        NdlogError::Eval { msg: format!("unbound var {v} in negation") }
+                    })?),
+                }
+            }
+            if !db.contains(&atom.pred, &probe) {
+                eval_body(body, idx + 1, db, delta_at, delta, env, sink)?;
+            }
+            Ok(())
+        }
+        Literal::Assign(v, e) => {
+            let val = eval_expr(e, env)?;
+            match env.get(v) {
+                Some(bound) if *bound != val => Ok(()), // equality check fails
+                Some(_) => eval_body(body, idx + 1, db, delta_at, delta, env, sink),
+                None => {
+                    let mut env2 = env.clone();
+                    env2.insert(v.clone(), val);
+                    eval_body(body, idx + 1, db, delta_at, delta, &env2, sink)
+                }
+            }
+        }
+        Literal::Cmp(a, op, b) => {
+            let va = eval_expr(a, env)?;
+            let vb = eval_expr(b, env)?;
+            if op.eval(&va, &vb) {
+                eval_body(body, idx + 1, db, delta_at, delta, env, sink)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Options bounding an evaluation run.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Maximum number of semi-naive iterations per stratum before aborting
+    /// with an error (guards non-terminating programs).
+    pub max_iterations: usize,
+    /// Maximum number of derived tuples before aborting.
+    pub max_tuples: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { max_iterations: 1_000_000, max_tuples: 10_000_000 }
+    }
+}
+
+/// Statistics from an evaluation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint iterations summed over strata.
+    pub iterations: usize,
+    /// Tuples derived (including duplicates suppressed by set semantics).
+    pub derivations: usize,
+    /// Rule firings that produced a *new* tuple.
+    pub new_tuples: usize,
+}
+
+/// Evaluate an aggregate rule whose body refers only to lower strata.
+fn eval_agg_rule(rule: &Rule, db: &mut Database, stats: &mut EvalStats) -> Result<()> {
+    // Group-by key → one accumulator vector per aggregate position.
+    let n_aggs = rule.head.args.iter().filter(|a| matches!(a, HeadArg::Agg(..))).count();
+    let mut groups: BTreeMap<Tuple, Vec<Vec<Value>>> = BTreeMap::new();
+    let head = &rule.head;
+    let mut sink = |env: &Env| -> Result<()> {
+        let mut key = Vec::new();
+        let mut aggs = Vec::with_capacity(n_aggs);
+        for a in &head.args {
+            match a {
+                HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
+                HeadArg::Term(Term::Var(v)) => key.push(env.get(v).cloned().ok_or_else(
+                    || NdlogError::Eval { msg: format!("unbound head var {v}") },
+                )?),
+                HeadArg::Agg(_, v) => aggs.push(env.get(v).cloned().ok_or_else(|| {
+                    NdlogError::Eval { msg: format!("unbound aggregate var {v}") }
+                })?),
+            }
+        }
+        let acc = groups.entry(key).or_insert_with(|| vec![Vec::new(); n_aggs]);
+        for (slot, v) in acc.iter_mut().zip(aggs) {
+            slot.push(v);
+        }
+        Ok(())
+    };
+    eval_body(&rule.body, 0, db, None, None, &Env::new(), &mut sink)?;
+
+    for (key, accs) in groups {
+        // Rebuild the head tuple: keys in order, aggregates computed per slot.
+        let mut ki = 0usize;
+        let mut ai = 0usize;
+        let mut out = Vec::with_capacity(head.args.len());
+        for a in &head.args {
+            match a {
+                HeadArg::Term(_) => {
+                    out.push(key[ki].clone());
+                    ki += 1;
+                }
+                HeadArg::Agg(func, _) => {
+                    out.push(aggregate(*func, &accs[ai])?);
+                    ai += 1;
+                }
+            }
+        }
+        stats.derivations += 1;
+        if db.insert(head.pred.clone(), out) {
+            stats.new_tuples += 1;
+        }
+    }
+    Ok(())
+}
+
+fn aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
+    if values.is_empty() {
+        return Err(NdlogError::Eval { msg: "aggregate over empty group".into() });
+    }
+    match func {
+        AggFunc::Min => Ok(values.iter().min().cloned().unwrap()),
+        AggFunc::Max => Ok(values.iter().max().cloned().unwrap()),
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Sum => {
+            let mut acc: i64 = 0;
+            for v in values {
+                let i = v
+                    .as_int()
+                    .ok_or_else(|| NdlogError::Eval { msg: format!("sum over non-int {v}") })?;
+                acc = acc
+                    .checked_add(i)
+                    .ok_or(NdlogError::Eval { msg: "sum overflow".into() })?;
+            }
+            Ok(Value::Int(acc))
+        }
+    }
+}
+
+/// The evaluation engine. Holds the analyzed program.
+pub struct Evaluator {
+    analysis: Analysis,
+    opts: EvalOptions,
+}
+
+impl Evaluator {
+    /// Analyze `prog` and build an evaluator.
+    pub fn new(prog: &Program) -> Result<Self> {
+        Ok(Evaluator { analysis: analyze(prog)?, opts: EvalOptions::default() })
+    }
+
+    /// Analyze with custom bounds.
+    pub fn with_options(prog: &Program, opts: EvalOptions) -> Result<Self> {
+        Ok(Evaluator { analysis: analyze(prog)?, opts })
+    }
+
+    /// Access the static analysis.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Load the program's ground facts into a database.
+    pub fn base_database(prog: &Program) -> Database {
+        let mut db = Database::new();
+        for f in &prog.facts {
+            let tuple: Tuple = f
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(_) => unreachable!("facts are ground (parser-enforced)"),
+                })
+                .collect();
+            db.insert(f.pred.clone(), tuple);
+        }
+        db
+    }
+
+    /// Run semi-naive evaluation to fixpoint over `db`, in place.
+    pub fn run(&self, db: &mut Database) -> Result<EvalStats> {
+        let mut stats = EvalStats::default();
+        for s in 0..self.analysis.num_strata {
+            self.run_stratum(s, db, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    /// Evaluate a single stratum to fixpoint.
+    fn run_stratum(&self, s: usize, db: &mut Database, stats: &mut EvalStats) -> Result<()> {
+        let rules: Vec<&Rule> = self.analysis.rules_in_stratum(s);
+        if rules.is_empty() {
+            return Ok(());
+        }
+        let (agg_rules, plain_rules): (Vec<&Rule>, Vec<&Rule>) =
+            rules.into_iter().partition(|r| r.head.has_agg());
+
+        // Aggregates first: their bodies only see lower strata (stratification).
+        for r in &agg_rules {
+            eval_agg_rule(r, db, stats)?;
+        }
+
+        // Which predicates are recursive within this stratum?
+        let stratum_preds: BTreeSet<&str> = plain_rules
+            .iter()
+            .map(|r| r.head.pred.as_str())
+            .chain(agg_rules.iter().map(|r| r.head.pred.as_str()))
+            .collect();
+
+        // Initial pass (naive over current db) to seed the delta.
+        let mut delta = Database::new();
+        for r in &plain_rules {
+            let head = &r.head;
+            let mut sink = |env: &Env| -> Result<()> {
+                let t = instantiate_head(head, env)?;
+                stats.derivations += 1;
+                if !db.contains(&head.pred, &t) {
+                    delta.insert(head.pred.clone(), t);
+                }
+                Ok(())
+            };
+            eval_body(&r.body, 0, db, None, None, &Env::new(), &mut sink)?;
+        }
+
+        let mut iter = 0usize;
+        while delta.total() > 0 {
+            iter += 1;
+            stats.iterations += 1;
+            if iter > self.opts.max_iterations {
+                return Err(NdlogError::Eval {
+                    msg: format!("iteration limit exceeded in stratum {s}"),
+                });
+            }
+            // Absorb delta into db.
+            for p in delta.relations().map(str::to_string).collect::<Vec<_>>() {
+                for t in delta.rels.get(&p).cloned().unwrap_or_default() {
+                    if db.insert(p.clone(), t) {
+                        stats.new_tuples += 1;
+                    }
+                }
+            }
+            if db.total() > self.opts.max_tuples {
+                return Err(NdlogError::Eval { msg: "tuple limit exceeded".into() });
+            }
+            // Derive next delta: for each rule, substitute delta at each
+            // recursive positive occurrence.
+            let mut next = Database::new();
+            for r in &plain_rules {
+                let head = &r.head;
+                let rec_positions: Vec<usize> = r
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| match l {
+                        Literal::Pos(a) if stratum_preds.contains(a.pred.as_str()) => Some(i),
+                        _ => None,
+                    })
+                    .collect();
+                if rec_positions.is_empty() {
+                    continue; // non-recursive rule: fully evaluated in seed pass
+                }
+                for &pos in &rec_positions {
+                    let mut sink = |env: &Env| -> Result<()> {
+                        let t = instantiate_head(head, env)?;
+                        stats.derivations += 1;
+                        if !db.contains(&head.pred, &t) {
+                            next.insert(head.pred.clone(), t);
+                        }
+                        Ok(())
+                    };
+                    eval_body(&r.body, 0, db, Some(pos), Some(&delta), &Env::new(), &mut sink)?;
+                }
+            }
+            delta = next;
+        }
+        Ok(())
+    }
+
+    /// Reference naive evaluation (used to cross-check semi-naive).
+    pub fn run_naive(&self, db: &mut Database) -> Result<EvalStats> {
+        let mut stats = EvalStats::default();
+        for s in 0..self.analysis.num_strata {
+            let rules: Vec<&Rule> = self.analysis.rules_in_stratum(s);
+            let (agg_rules, plain_rules): (Vec<&Rule>, Vec<&Rule>) =
+                rules.into_iter().partition(|r| r.head.has_agg());
+            for r in &agg_rules {
+                eval_agg_rule(r, db, &mut stats)?;
+            }
+            let mut iter = 0usize;
+            loop {
+                iter += 1;
+                stats.iterations += 1;
+                if iter > self.opts.max_iterations {
+                    return Err(NdlogError::Eval {
+                        msg: format!("iteration limit exceeded in stratum {s}"),
+                    });
+                }
+                let mut new = Vec::new();
+                for r in &plain_rules {
+                    let head = &r.head;
+                    let mut sink = |env: &Env| -> Result<()> {
+                        let t = instantiate_head(head, env)?;
+                        stats.derivations += 1;
+                        if !db.contains(&head.pred, &t) {
+                            new.push((head.pred.clone(), t));
+                        }
+                        Ok(())
+                    };
+                    eval_body(&r.body, 0, db, None, None, &Env::new(), &mut sink)?;
+                }
+                if new.is_empty() {
+                    break;
+                }
+                for (p, t) in new {
+                    if db.insert(p, t) {
+                        stats.new_tuples += 1;
+                    }
+                }
+                if db.total() > self.opts.max_tuples {
+                    return Err(NdlogError::Eval { msg: "tuple limit exceeded".into() });
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Evaluate a single (non-aggregate) rule once over `db`, returning the head
+/// tuples it derives. Used by the distributed runtime, which runs its own
+/// per-node fixpoint loop.
+pub fn derive_rule(rule: &Rule, db: &Database) -> Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    let head = &rule.head;
+    let mut sink = |env: &Env| -> Result<()> {
+        out.push(instantiate_head(head, env)?);
+        Ok(())
+    };
+    eval_body(&rule.body, 0, db, None, None, &Env::new(), &mut sink)?;
+    Ok(out)
+}
+
+/// Evaluate a single aggregate rule once over `db`, returning the grouped
+/// head tuples. The caller decides how to reconcile them with prior results
+/// (the distributed runtime recomputes from scratch per change).
+pub fn derive_agg_rule(rule: &Rule, db: &Database) -> Result<Vec<Tuple>> {
+    let mut scratch = db.clone();
+    let mut stats = EvalStats::default();
+    eval_agg_rule(rule, &mut scratch, &mut stats)?;
+    let mut out = Vec::new();
+    for t in scratch.relation(&rule.head.pred) {
+        if !db.contains(&rule.head.pred, t) {
+            out.push(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: analyze, load facts, evaluate, return the database.
+pub fn eval_program(prog: &Program) -> Result<Database> {
+    let ev = Evaluator::new(prog)?;
+    let mut db = Evaluator::base_database(prog);
+    ev.run(&mut db)?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn addr(n: u32) -> Value {
+        Value::Addr(n)
+    }
+
+    const PV: &str = r#"
+        r1 path(@S,D,P,C):-link(@S,D,C), P=f_init(S,D).
+        r2 path(@S,D,P,C):-link(@S,Z,C1), path(@Z,D,P2,C2),
+             C=C1+C2, P=f_concatPath(S,P2), f_inPath(P2,S)=false.
+        r3 bestPathCost(@S,D,min<C>):-path(@S,D,P,C).
+        r4 bestPath(@S,D,P,C):-bestPathCost(@S,D,C), path(@S,D,P,C).
+    "#;
+
+    fn line3() -> String {
+        // 0 -1- 1 -2- 2 plus a direct expensive link 0 -9- 2
+        let mut s = String::from(PV);
+        s.push_str(
+            "link(@#0,#1,1). link(@#1,#0,1).
+             link(@#1,#2,2). link(@#2,#1,2).
+             link(@#0,#2,9). link(@#2,#0,9).",
+        );
+        s
+    }
+
+    #[test]
+    fn path_vector_on_triangle_finds_optimal_paths() {
+        let prog = parse_program(&line3()).unwrap();
+        let db = eval_program(&prog).unwrap();
+        // best path 0 -> 2 goes via 1 with cost 3, not direct with cost 9.
+        let best: Vec<&Tuple> = db
+            .relation("bestPath")
+            .filter(|t| t[0] == addr(0) && t[1] == addr(2))
+            .collect();
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0][3], Value::Int(3));
+        assert_eq!(best[0][2], Value::List(vec![addr(0), addr(1), addr(2)]));
+        // bestPathCost agrees.
+        assert!(db.contains(
+            "bestPathCost",
+            &vec![addr(0), addr(2), Value::Int(3)]
+        ));
+    }
+
+    #[test]
+    fn cycle_prevention_via_f_in_path() {
+        let prog = parse_program(&line3()).unwrap();
+        let db = eval_program(&prog).unwrap();
+        for t in db.relation("path") {
+            let p = t[2].as_list().unwrap();
+            let set: BTreeSet<&Value> = p.iter().collect();
+            assert_eq!(set.len(), p.len(), "path {t:?} contains a repeated node");
+        }
+    }
+
+    #[test]
+    fn naive_equals_seminaive_on_path_vector() {
+        let prog = parse_program(&line3()).unwrap();
+        let ev = Evaluator::new(&prog).unwrap();
+        let mut a = Evaluator::base_database(&prog);
+        let mut b = a.clone();
+        ev.run(&mut a).unwrap();
+        ev.run_naive(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negation_stratified_semantics() {
+        let prog = parse_program(
+            "a reach(X,Y) :- edge(X,Y).
+             b reach(X,Y) :- reach(X,Z), edge(Z,Y).
+             c unreach(X,Y) :- node(X), node(Y), X != Y, !reach(X,Y).
+             node(#0). node(#1). node(#2).
+             edge(#0,#1).",
+        )
+        .unwrap();
+        let db = eval_program(&prog).unwrap();
+        assert!(db.contains("reach", &vec![addr(0), addr(1)]));
+        assert!(db.contains("unreach", &vec![addr(1), addr(0)]));
+        assert!(db.contains("unreach", &vec![addr(0), addr(2)]));
+        assert!(!db.contains("unreach", &vec![addr(0), addr(1)]));
+    }
+
+    #[test]
+    fn aggregates_count_and_sum() {
+        let prog = parse_program(
+            "a deg(X, count<Y>) :- edge(X,Y).
+             b wsum(X, sum<W>) :- wedge(X,Y,W).
+             edge(#0,#1). edge(#0,#2). edge(#1,#2).
+             wedge(#0,#1,3). wedge(#0,#2,4).",
+        )
+        .unwrap();
+        let db = eval_program(&prog).unwrap();
+        assert!(db.contains("deg", &vec![addr(0), Value::Int(2)]));
+        assert!(db.contains("deg", &vec![addr(1), Value::Int(1)]));
+        assert!(db.contains("wsum", &vec![addr(0), Value::Int(7)]));
+    }
+
+    #[test]
+    fn max_aggregate() {
+        let prog = parse_program(
+            "a widest(X, max<W>) :- wedge(X,Y,W).
+             wedge(#0,#1,3). wedge(#0,#2,8).",
+        )
+        .unwrap();
+        let db = eval_program(&prog).unwrap();
+        assert!(db.contains("widest", &vec![addr(0), Value::Int(8)]));
+    }
+
+    #[test]
+    fn iteration_limit_guards_divergence() {
+        // Unbounded counter: q(N+1) :- q(N). Diverges without limits.
+        let prog = parse_program("a q(N) :- q(M), N = M + 1. q(0).").unwrap();
+        let ev = Evaluator::with_options(
+            &prog,
+            EvalOptions { max_iterations: 50, max_tuples: 1_000_000 },
+        )
+        .unwrap();
+        let mut db = Evaluator::base_database(&prog);
+        assert!(ev.run(&mut db).is_err());
+    }
+
+    #[test]
+    fn bounded_counter_terminates() {
+        let prog =
+            parse_program("a q(N) :- q(M), M < 10, N = M + 1. q(0).").unwrap();
+        let db = eval_program(&prog).unwrap();
+        assert_eq!(db.len_of("q"), 11);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let prog = parse_program(&line3()).unwrap();
+        let ev = Evaluator::new(&prog).unwrap();
+        let mut db = Evaluator::base_database(&prog);
+        let stats = ev.run(&mut db).unwrap();
+        assert!(stats.new_tuples > 0);
+        assert!(stats.derivations >= stats.new_tuples);
+        assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn arithmetic_errors_surface() {
+        let prog = parse_program("a p(X) :- q(Y), X = Y / 0. q(1).").unwrap();
+        assert!(eval_program(&prog).is_err());
+    }
+
+    #[test]
+    fn constants_in_rule_heads_and_bodies() {
+        let prog = parse_program(
+            "a flag(X, 1) :- q(X), X == 5.
+             q(5). q(6).",
+        )
+        .unwrap();
+        let db = eval_program(&prog).unwrap();
+        assert!(db.contains("flag", &vec![Value::Int(5), Value::Int(1)]));
+        assert_eq!(db.len_of("flag"), 1);
+    }
+}

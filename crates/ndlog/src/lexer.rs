@@ -1,0 +1,317 @@
+//! Hand-written lexer for the NDlog concrete syntax.
+
+use crate::error::{NdlogError, Result};
+
+/// A lexical token with its byte offset (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+    /// Token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds of the NDlog surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lower-case identifier: predicate, function or keyword.
+    Ident(String),
+    /// Capitalized identifier: variable.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Quoted string literal.
+    Str(String),
+    /// Address literal `#3` (node 3).
+    Addr(u32),
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<` used to open an aggregate (`min<C>`): disambiguated by the parser.
+    /// (The lexer always emits `Lt`/`Gt`; this variant is unused but kept to
+    /// document the ambiguity.)
+    AggOpen,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize an entire source string.
+///
+/// Comments run from `%` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Skip whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '%' || (c == '/' && bytes.get(i + 1) == Some(&b'/')) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            '@' => {
+                i += 1;
+                TokenKind::At
+            }
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            '[' => {
+                i += 1;
+                TokenKind::LBracket
+            }
+            ']' => {
+                i += 1;
+                TokenKind::RBracket
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ne
+                } else {
+                    i += 1;
+                    TokenKind::Bang
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    i += 2;
+                    TokenKind::Turnstile
+                } else {
+                    return Err(NdlogError::Lex { offset: i, msg: "expected ':-'".into() });
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::EqEq
+                } else {
+                    i += 1;
+                    TokenKind::Assign
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            '#' => {
+                i += 1;
+                let ns = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if ns == i {
+                    return Err(NdlogError::Lex {
+                        offset: start,
+                        msg: "expected digits after '#' address literal".into(),
+                    });
+                }
+                let n: u32 = src[ns..i].parse().map_err(|_| NdlogError::Lex {
+                    offset: start,
+                    msg: "address literal out of range".into(),
+                })?;
+                TokenKind::Addr(n)
+            }
+            '"' => {
+                i += 1;
+                let ss = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(NdlogError::Lex {
+                        offset: start,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                let s = src[ss..i].to_string();
+                i += 1; // closing quote
+                TokenKind::Str(s)
+            }
+            '-' => {
+                // Either a negative integer literal or a binary minus; the
+                // lexer emits Minus and the parser folds the sign.
+                i += 1;
+                TokenKind::Minus
+            }
+            d if d.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| NdlogError::Lex {
+                    offset: start,
+                    msg: "integer literal out of range".into(),
+                })?;
+                TokenKind::Int(n)
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if word.chars().next().unwrap().is_ascii_uppercase() {
+                    TokenKind::Var(word.to_string())
+                } else {
+                    TokenKind::Ident(word.to_string())
+                }
+            }
+            other => {
+                return Err(NdlogError::Lex {
+                    offset: i,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        };
+        out.push(Token { offset: start, kind });
+    }
+    out.push(Token { offset: bytes.len(), kind: TokenKind::Eof });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_rule_r1() {
+        let ks = kinds("r1 path(@S,D,P,C):-link(@S,D,C), P=f_init(S,D).");
+        assert!(ks.contains(&TokenKind::Turnstile));
+        assert!(ks.contains(&TokenKind::At));
+        assert!(ks.contains(&TokenKind::Ident("f_init".into())));
+        assert!(ks.contains(&TokenKind::Var("P".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_aggregates_and_comparisons() {
+        let ks = kinds("bestPathCost(@S,D,min<C>) C2<C C<=D C>=D C>D C==D C!=D");
+        assert!(ks.iter().filter(|k| **k == TokenKind::Lt).count() >= 2);
+        assert!(ks.contains(&TokenKind::Le));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Gt));
+        assert!(ks.contains(&TokenKind::EqEq));
+        assert!(ks.contains(&TokenKind::Ne));
+    }
+
+    #[test]
+    fn lexes_literals() {
+        let ks = kinds("link(#0, #1, 42, \"blue\", true).");
+        assert!(ks.contains(&TokenKind::Addr(0)));
+        assert!(ks.contains(&TokenKind::Addr(1)));
+        assert!(ks.contains(&TokenKind::Int(42)));
+        assert!(ks.contains(&TokenKind::Str("blue".into())));
+        assert!(ks.contains(&TokenKind::Ident("true".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("% a comment\nr1 // another\n");
+        assert_eq!(ks, vec![TokenKind::Ident("r1".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("p(?)").is_err());
+    }
+
+    #[test]
+    fn colon_without_dash_errors() {
+        assert!(lex("p : q").is_err());
+    }
+}

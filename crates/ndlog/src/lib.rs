@@ -1,0 +1,48 @@
+//! # ndlog — Network Datalog
+//!
+//! The intermediary language of *Formally Verifiable Networking* (FVN,
+//! HotNets 2009).  NDlog is a distributed recursive query language over
+//! network graphs (Loo et al., SIGCOMM'05/SOSP'05); FVN uses it as the bridge
+//! between high-level logical specifications and low-level protocol
+//! implementations.
+//!
+//! This crate provides the complete language substrate:
+//!
+//! * [`ast`] / [`parser`] — the concrete syntax of the paper (§2.2 rules
+//!   `r1`–`r4` parse verbatim), `materialize` declarations, ground facts;
+//! * [`safety`] — range restriction, negation safety, location-specifier
+//!   consistency, and stratification;
+//! * [`eval`] — centralized naive and semi-naive bottom-up evaluation with
+//!   `min`/`max`/`count`/`sum` aggregates;
+//! * [`localize`] — the rule-localization rewrite that turns multi-location
+//!   rules into link-local rules for distributed execution;
+//! * [`softstate`] — the §4.2 soft-state → hard-state rewrite with explicit
+//!   timestamps and lifetimes;
+//! * [`builtins`] — `f_init`, `f_concatPath`, `f_inPath` and friends;
+//! * [`programs`] — the paper's protocols (path vector, distance vector,
+//!   reachability) as reusable constructors.
+//!
+//! Deterministic by construction: all relations are `BTreeSet`s, all maps
+//! `BTreeMap`s, and evaluation order is defined by the safety analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod localize;
+pub mod parser;
+pub mod programs;
+pub mod safety;
+pub mod softstate;
+pub mod value;
+
+pub use ast::{Atom, Expr, Head, HeadArg, Literal, Program, Rule, Term};
+pub use error::{NdlogError, Result};
+pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator};
+pub use parser::{parse_program, parse_rule};
+pub use safety::{analyze, Analysis};
+pub use value::{Tuple, Value};

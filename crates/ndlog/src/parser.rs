@@ -1,0 +1,574 @@
+//! Recursive-descent parser for NDlog programs.
+//!
+//! Accepts the paper's concrete syntax (rules `r1`..`r4` of §2.2 parse
+//! verbatim), plus `materialize` declarations and ground facts.
+
+use crate::ast::*;
+use crate::error::{NdlogError, Result};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::value::Value;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    auto_rule: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(NdlogError::Parse { offset: self.offset(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program> {
+        let mut prog = Program::default();
+        while *self.peek() != TokenKind::Eof {
+            self.parse_statement(&mut prog)?;
+        }
+        Ok(prog)
+    }
+
+    fn parse_statement(&mut self, prog: &mut Program) -> Result<()> {
+        // materialize(...) declaration
+        if let TokenKind::Ident(id) = self.peek() {
+            if id == "materialize" {
+                let m = self.parse_materialize()?;
+                prog.materializes.push(m);
+                return Ok(());
+            }
+        }
+        // Optional rule label: an identifier immediately followed by another
+        // identifier (the head predicate).
+        let name = match (self.peek().clone(), self.peek2().clone()) {
+            (TokenKind::Ident(label), TokenKind::Ident(_)) => {
+                self.bump();
+                label
+            }
+            _ => {
+                self.auto_rule += 1;
+                format!("r_auto{}", self.auto_rule)
+            }
+        };
+
+        // Head or fact.
+        let head = self.parse_head()?;
+        match self.peek() {
+            TokenKind::Dot => {
+                // Ground fact.
+                self.bump();
+                let atom = match head.as_atom() {
+                    Some(a) => a,
+                    None => return self.err("facts may not contain aggregates"),
+                };
+                if atom.args.iter().any(|t| matches!(t, Term::Var(_))) {
+                    return self.err("facts must be ground (no variables)");
+                }
+                prog.facts.push(atom);
+                Ok(())
+            }
+            TokenKind::Turnstile => {
+                self.bump();
+                let mut body = Vec::new();
+                loop {
+                    body.push(self.parse_literal()?);
+                    match self.bump() {
+                        TokenKind::Comma => continue,
+                        TokenKind::Dot => break,
+                        other => {
+                            return self.err(format!("expected ',' or '.', found {other:?}"))
+                        }
+                    }
+                }
+                prog.rules.push(Rule { name, head, body });
+                Ok(())
+            }
+            other => self.err(format!("expected '.' or ':-', found {other:?}")),
+        }
+    }
+
+    fn parse_materialize(&mut self) -> Result<Materialize> {
+        self.bump(); // 'materialize'
+        self.expect(&TokenKind::LParen, "'('")?;
+        let pred = match self.bump() {
+            TokenKind::Ident(p) => p,
+            other => return self.err(format!("expected predicate name, found {other:?}")),
+        };
+        self.expect(&TokenKind::Comma, "','")?;
+        let lifetime = match self.bump() {
+            TokenKind::Ident(w) if w == "infinity" => Lifetime::Infinite,
+            TokenKind::Int(n) if n >= 0 => Lifetime::Ticks(n as u64),
+            other => return self.err(format!("expected lifetime, found {other:?}")),
+        };
+        self.expect(&TokenKind::Comma, "','")?;
+        let max_size = match self.bump() {
+            TokenKind::Ident(w) if w == "infinity" => None,
+            TokenKind::Int(n) if n >= 0 => Some(n as u64),
+            other => return self.err(format!("expected max size, found {other:?}")),
+        };
+        self.expect(&TokenKind::Comma, "','")?;
+        match self.bump() {
+            TokenKind::Ident(k) if k == "keys" => {}
+            other => return self.err(format!("expected keys(..), found {other:?}")),
+        }
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut keys = Vec::new();
+        loop {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 1 => keys.push((n - 1) as usize),
+                other => return self.err(format!("expected key position, found {other:?}")),
+            }
+            match self.bump() {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => break,
+                other => return self.err(format!("expected ',' or ')', found {other:?}")),
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        self.expect(&TokenKind::Dot, "'.'")?;
+        Ok(Materialize { pred, lifetime, max_size, keys })
+    }
+
+    fn parse_head(&mut self) -> Result<Head> {
+        let pred = match self.bump() {
+            TokenKind::Ident(p) => p,
+            other => return self.err(format!("expected head predicate, found {other:?}")),
+        };
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut loc = None;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let here_loc = if *self.peek() == TokenKind::At {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let arg = self.parse_head_arg()?;
+                if here_loc {
+                    if loc.is_some() {
+                        return self.err("multiple location specifiers in one atom");
+                    }
+                    loc = Some(args.len());
+                }
+                args.push(arg);
+                match self.bump() {
+                    TokenKind::Comma => continue,
+                    TokenKind::RParen => break,
+                    other => return self.err(format!("expected ',' or ')', found {other:?}")),
+                }
+            }
+        } else {
+            self.bump();
+        }
+        Ok(Head { pred, loc, args })
+    }
+
+    fn parse_head_arg(&mut self) -> Result<HeadArg> {
+        // Aggregate: ident '<' Var '>'
+        if let TokenKind::Ident(id) = self.peek().clone() {
+            if *self.peek2() == TokenKind::Lt {
+                let func = match id.as_str() {
+                    "min" => Some(AggFunc::Min),
+                    "max" => Some(AggFunc::Max),
+                    "count" => Some(AggFunc::Count),
+                    "sum" => Some(AggFunc::Sum),
+                    _ => None,
+                };
+                if let Some(func) = func {
+                    self.bump(); // func name
+                    self.bump(); // '<'
+                    let v = match self.bump() {
+                        TokenKind::Var(v) => v,
+                        other => {
+                            return self.err(format!(
+                                "expected aggregate variable, found {other:?}"
+                            ))
+                        }
+                    };
+                    self.expect(&TokenKind::Gt, "'>'")?;
+                    return Ok(HeadArg::Agg(func, v));
+                }
+            }
+        }
+        let t = self.parse_term()?;
+        Ok(HeadArg::Term(t))
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        match self.bump() {
+            TokenKind::Var(v) => Ok(Term::Var(v)),
+            TokenKind::Int(n) => Ok(Term::Const(Value::Int(n))),
+            TokenKind::Minus => match self.bump() {
+                TokenKind::Int(n) => Ok(Term::Const(Value::Int(-n))),
+                other => self.err(format!("expected integer after '-', found {other:?}")),
+            },
+            TokenKind::Str(s) => Ok(Term::Const(Value::Str(s))),
+            TokenKind::Addr(a) => Ok(Term::Const(Value::Addr(a))),
+            TokenKind::Ident(w) if w == "true" => Ok(Term::Const(Value::Bool(true))),
+            TokenKind::Ident(w) if w == "false" => Ok(Term::Const(Value::Bool(false))),
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                if *self.peek() == TokenKind::RBracket {
+                    self.bump();
+                    return Ok(Term::Const(Value::List(items)));
+                }
+                loop {
+                    match self.parse_term()? {
+                        Term::Const(v) => items.push(v),
+                        Term::Var(_) => {
+                            return self.err("list literals must be ground");
+                        }
+                    }
+                    match self.bump() {
+                        TokenKind::Comma => continue,
+                        TokenKind::RBracket => break,
+                        other => {
+                            return self.err(format!("expected ',' or ']', found {other:?}"))
+                        }
+                    }
+                }
+                Ok(Term::Const(Value::List(items)))
+            }
+            other => self.err(format!("expected term, found {other:?}")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        // Negated atom.
+        if *self.peek() == TokenKind::Bang {
+            self.bump();
+            let atom = self.parse_atom()?;
+            return Ok(Literal::Neg(atom));
+        }
+        // Positive atom: Ident '(' ... but NOT a function call in a
+        // comparison (f_inPath(P2,S)=false). Distinguish by scanning ahead:
+        // parse as expression first when followed by a comparison operator.
+        if let TokenKind::Ident(_) = self.peek() {
+            if *self.peek2() == TokenKind::LParen {
+                // Could be atom or function-call expression. Try atom, then
+                // check for a trailing comparison operator.
+                let save = self.pos;
+                let atom = self.parse_atom()?;
+                match self.peek() {
+                    TokenKind::Assign
+                    | TokenKind::EqEq
+                    | TokenKind::Ne
+                    | TokenKind::Lt
+                    | TokenKind::Le
+                    | TokenKind::Gt
+                    | TokenKind::Ge => {
+                        // Re-parse as an expression comparison.
+                        self.pos = save;
+                        return self.parse_cmp_or_assign();
+                    }
+                    _ => return Ok(Literal::Pos(atom)),
+                }
+            }
+        }
+        self.parse_cmp_or_assign()
+    }
+
+    fn parse_cmp_or_assign(&mut self) -> Result<Literal> {
+        // `Var = expr` is an assignment; anything else with a comparison
+        // operator is a constraint. `=` between two non-variable expressions
+        // is treated as equality (the paper writes `f_inPath(P2,S)=false`).
+        let lhs = self.parse_expr()?;
+        let op = match self.bump() {
+            TokenKind::Assign => None,
+            TokenKind::EqEq => Some(CmpOp::Eq),
+            TokenKind::Ne => Some(CmpOp::Ne),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            other => return self.err(format!("expected comparison or '=', found {other:?}")),
+        };
+        let rhs = self.parse_expr()?;
+        match op {
+            Some(op) => Ok(Literal::Cmp(lhs, op, rhs)),
+            None => match lhs {
+                Expr::Var(v) => Ok(Literal::Assign(v, rhs)),
+                other => Ok(Literal::Cmp(other, CmpOp::Eq, rhs)),
+            },
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom> {
+        let pred = match self.bump() {
+            TokenKind::Ident(p) => p,
+            other => return self.err(format!("expected predicate, found {other:?}")),
+        };
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut loc = None;
+        let mut args = Vec::new();
+        if *self.peek() == TokenKind::RParen {
+            self.bump();
+            return Ok(Atom { pred, loc, args });
+        }
+        loop {
+            let here_loc = if *self.peek() == TokenKind::At {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let t = self.parse_term()?;
+            if here_loc {
+                if loc.is_some() {
+                    return self.err("multiple location specifiers in one atom");
+                }
+                loc = Some(args.len());
+            }
+            args.push(t);
+            match self.bump() {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => break,
+                other => return self.err(format!("expected ',' or ')', found {other:?}")),
+            }
+        }
+        Ok(Atom { pred, loc, args })
+    }
+
+    /// expr := mul (('+'|'-') mul)*
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// mul := primary (('*'|'/') primary)*
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_primary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Ident(id) if id == "true" => {
+                self.bump();
+                Ok(Expr::Const(Value::Bool(true)))
+            }
+            TokenKind::Ident(id) if id == "false" => {
+                self.bump();
+                Ok(Expr::Const(Value::Bool(false)))
+            }
+            TokenKind::Ident(id) => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'(' after function name")?;
+                let mut args = Vec::new();
+                if *self.peek() == TokenKind::RParen {
+                    self.bump();
+                    return Ok(Expr::Call(id, args));
+                }
+                loop {
+                    args.push(self.parse_expr()?);
+                    match self.bump() {
+                        TokenKind::Comma => continue,
+                        TokenKind::RParen => break,
+                        other => {
+                            return self.err(format!("expected ',' or ')', found {other:?}"))
+                        }
+                    }
+                }
+                Ok(Expr::Call(id, args))
+            }
+            TokenKind::Var(v) => {
+                self.bump();
+                Ok(Expr::Var(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => {
+                let t = self.parse_term()?;
+                match t {
+                    Term::Var(v) => Ok(Expr::Var(v)),
+                    Term::Const(c) => Ok(Expr::Const(c)),
+                }
+            }
+        }
+    }
+}
+
+/// Parse a complete NDlog program from source text.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, auto_rule: 0 };
+    p.parse_program()
+}
+
+/// Parse a single rule (convenience for tests and generated code).
+pub fn parse_rule(src: &str) -> Result<Rule> {
+    let prog = parse_program(src)?;
+    if prog.rules.len() != 1 {
+        return Err(NdlogError::Parse {
+            offset: 0,
+            msg: format!("expected exactly one rule, found {}", prog.rules.len()),
+        });
+    }
+    Ok(prog.rules.into_iter().next().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_PV: &str = r#"
+        r1 path(@S,D,P,C):-link(@S,D,C), P=f_init(S,D).
+        r2 path(@S,D,P,C):-link(@S,Z,C1), path(@Z,D,P2,C2),
+             C=C1+C2, P=f_concatPath(S,P2),
+             f_inPath(P2,S)=false.
+        r3 bestPathCost(@S,D,min<C>):-path(@S,D,P,C).
+        r4 bestPath(@S,D,P,C):-bestPathCost(@S,D,C),
+             path(@S,D,P,C).
+    "#;
+
+    #[test]
+    fn parses_paper_path_vector_program_verbatim() {
+        let prog = parse_program(PAPER_PV).unwrap();
+        assert_eq!(prog.rules.len(), 4);
+        assert_eq!(prog.rules[0].name, "r1");
+        assert_eq!(prog.rules[1].name, "r2");
+        // r2's f_inPath constraint parses as equality-with-false.
+        let r2 = &prog.rules[1];
+        assert!(r2.body.iter().any(|l| matches!(
+            l,
+            Literal::Cmp(Expr::Call(n, _), CmpOp::Eq, Expr::Const(Value::Bool(false))) if n == "f_inPath"
+        )));
+        // r3 head has a min aggregate.
+        assert!(prog.rules[2].head.has_agg());
+        // Location specifiers recorded.
+        assert_eq!(prog.rules[0].head.loc, Some(0));
+    }
+
+    #[test]
+    fn roundtrip_display_reparses() {
+        let prog = parse_program(PAPER_PV).unwrap();
+        let printed = prog.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+
+    #[test]
+    fn parses_materialize_and_facts() {
+        let src = r#"
+            materialize(link, 10, infinity, keys(1,2)).
+            link(@#0, #1, 3).
+            link(@#1, #0, 3).
+        "#;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.materializes.len(), 1);
+        assert_eq!(prog.materializes[0].lifetime, Lifetime::Ticks(10));
+        assert_eq!(prog.materializes[0].keys, vec![0, 1]);
+        assert_eq!(prog.facts.len(), 2);
+        assert_eq!(prog.facts[0].loc, Some(0));
+        assert_eq!(prog.facts[0].args[0], Term::Const(Value::Addr(0)));
+    }
+
+    #[test]
+    fn assignment_vs_equality() {
+        let r = parse_rule("x p(A,B) :- q(A), B = A + 1.").unwrap();
+        assert!(matches!(&r.body[1], Literal::Assign(v, _) if v == "B"));
+        let r2 = parse_rule("x p(A) :- q(A), f_size(A) = 0.").unwrap();
+        assert!(matches!(&r2.body[1], Literal::Cmp(Expr::Call(_, _), CmpOp::Eq, _)));
+    }
+
+    #[test]
+    fn negation_parses() {
+        let r = parse_rule("x p(A) :- q(A), !r(A).").unwrap();
+        assert!(matches!(&r.body[1], Literal::Neg(a) if a.pred == "r"));
+    }
+
+    #[test]
+    fn ground_list_fact() {
+        let prog = parse_program("pv(#0, [ #0, #1 ]).").unwrap();
+        assert_eq!(prog.facts.len(), 1);
+        assert_eq!(
+            prog.facts[0].args[1],
+            Term::Const(Value::List(vec![Value::Addr(0), Value::Addr(1)]))
+        );
+    }
+
+    #[test]
+    fn rejects_nonground_fact() {
+        assert!(parse_program("link(@S, D, C).").is_err());
+    }
+
+    #[test]
+    fn rejects_double_location() {
+        assert!(parse_program("x p(@A,@B) :- q(A,B).").is_err());
+    }
+
+    #[test]
+    fn negative_int_in_fact_and_expr() {
+        let prog = parse_program("m(#0, -5).").unwrap();
+        assert_eq!(prog.facts[0].args[1], Term::Const(Value::Int(-5)));
+        let r = parse_rule("x p(A,B) :- q(A), B = A - 3.").unwrap();
+        assert!(matches!(&r.body[1], Literal::Assign(_, Expr::Bin(BinOp::Sub, _, _))));
+    }
+
+    #[test]
+    fn auto_named_rules() {
+        let prog = parse_program("p(A) :- q(A). p(B) :- r(B).").unwrap();
+        assert_eq!(prog.rules[0].name, "r_auto1");
+        assert_eq!(prog.rules[1].name, "r_auto2");
+    }
+
+    #[test]
+    fn parenthesized_expression() {
+        let r = parse_rule("x p(A,B) :- q(A), B = (A + 1) * 2.").unwrap();
+        assert!(matches!(&r.body[1], Literal::Assign(_, Expr::Bin(BinOp::Mul, _, _))));
+    }
+}

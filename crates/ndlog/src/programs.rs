@@ -1,0 +1,171 @@
+//! Library of canonical NDlog programs from the paper and its references.
+//!
+//! * [`PATH_VECTOR`] — §2.2 rules `r1`–`r4`, verbatim.
+//! * [`distance_vector`] — the classic DV protocol from Wang et al. [22]
+//!   (metric-bounded, RIP-style infinity) used for the count-to-infinity
+//!   study.
+//! * [`reachability`] — two-rule transitive closure.
+//! * helpers to turn edge lists into `link` facts.
+
+use crate::ast::{Atom, Program, Term};
+use crate::error::Result;
+use crate::parser::parse_program;
+use crate::value::Value;
+
+/// The paper's path-vector program (§2.2), character-for-character in the
+/// concrete syntax accepted by [`crate::parser::parse_program`].
+pub const PATH_VECTOR: &str = r#"
+r1 path(@S,D,P,C):-link(@S,D,C), P=f_init(S,D).
+r2 path(@S,D,P,C):-link(@S,Z,C1), path(@Z,D,P2,C2),
+     C=C1+C2, P=f_concatPath(S,P2),
+     f_inPath(P2,S)=false.
+r3 bestPathCost(@S,D,min<C>):-path(@S,D,P,C).
+r4 bestPath(@S,D,P,C):-bestPathCost(@S,D,C),
+     path(@S,D,P,C).
+"#;
+
+/// Two-rule transitive closure (network reachability).
+pub const REACHABILITY: &str = r#"
+r1 reachable(@S,D):-link(@S,D,C).
+r2 reachable(@S,D):-link(@S,Z,C), reachable(@Z,D).
+"#;
+
+/// Parse the path-vector program.
+pub fn path_vector() -> Program {
+    parse_program(PATH_VECTOR).expect("PATH_VECTOR is well-formed")
+}
+
+/// Parse the reachability program.
+pub fn reachability() -> Program {
+    parse_program(REACHABILITY).expect("REACHABILITY is well-formed")
+}
+
+/// The distance-vector protocol with a RIP-style metric bound.
+///
+/// `infinity` is the metric value representing "unreachable"; derivations
+/// stop at `cost < infinity`, which both models RIP's counting-to-infinity
+/// bound and guarantees termination of bottom-up evaluation.
+pub fn distance_vector(infinity: i64) -> Program {
+    let src = format!(
+        r#"
+r1 hop(@S,D,D,C):-link(@S,D,C).
+r2 hop(@S,D,Z,C):-link(@S,Z,C1), hop(@Z,D,W,C2),
+     C=C1+C2, C<{infinity}.
+r3 bestHopCost(@S,D,min<C>):-hop(@S,D,Z,C).
+r4 bestHop(@S,D,Z,C):-bestHopCost(@S,D,C), hop(@S,D,Z,C).
+"#
+    );
+    parse_program(&src).expect("distance_vector program is well-formed")
+}
+
+/// Append symmetric `link(@a,b,c)` facts for an undirected weighted edge
+/// list.
+pub fn add_links(prog: &mut Program, edges: &[(u32, u32, i64)]) {
+    for &(a, b, c) in edges {
+        prog.add_fact(Atom::located(
+            "link",
+            vec![
+                Term::Const(Value::Addr(a)),
+                Term::Const(Value::Addr(b)),
+                Term::Const(Value::Int(c)),
+            ],
+        ));
+        prog.add_fact(Atom::located(
+            "link",
+            vec![
+                Term::Const(Value::Addr(b)),
+                Term::Const(Value::Addr(a)),
+                Term::Const(Value::Int(c)),
+            ],
+        ));
+    }
+}
+
+/// Append directed `link(@a,b,c)` facts.
+pub fn add_directed_links(prog: &mut Program, edges: &[(u32, u32, i64)]) {
+    for &(a, b, c) in edges {
+        prog.add_fact(Atom::located(
+            "link",
+            vec![
+                Term::Const(Value::Addr(a)),
+                Term::Const(Value::Addr(b)),
+                Term::Const(Value::Int(c)),
+            ],
+        ));
+    }
+}
+
+/// Build the path-vector program over an undirected weighted edge list.
+pub fn path_vector_on(edges: &[(u32, u32, i64)]) -> Program {
+    let mut p = path_vector();
+    add_links(&mut p, edges);
+    p
+}
+
+/// Build the distance-vector program over an undirected weighted edge list.
+pub fn distance_vector_on(infinity: i64, edges: &[(u32, u32, i64)]) -> Result<Program> {
+    let mut p = distance_vector(infinity);
+    add_links(&mut p, edges);
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_program;
+    use crate::value::Value;
+
+    fn addr(n: u32) -> Value {
+        Value::Addr(n)
+    }
+
+    #[test]
+    fn paper_program_parses_and_runs() {
+        let prog = path_vector_on(&[(0, 1, 1), (1, 2, 2), (0, 2, 9)]);
+        let db = eval_program(&prog).unwrap();
+        assert!(db.contains("bestPathCost", &vec![addr(0), addr(2), Value::Int(3)]));
+        assert!(db.contains("bestPathCost", &vec![addr(2), addr(0), Value::Int(3)]));
+    }
+
+    #[test]
+    fn distance_vector_matches_path_vector_costs() {
+        let edges = [(0, 1, 1), (1, 2, 2), (0, 2, 9), (2, 3, 1)];
+        let pv = eval_program(&path_vector_on(&edges)).unwrap();
+        let dv = eval_program(&distance_vector_on(16, &edges).unwrap()).unwrap();
+        for t in pv.relation("bestPathCost") {
+            let (s, d, c) = (t[0].clone(), t[1].clone(), t[2].clone());
+            assert!(
+                dv.contains("bestHopCost", &vec![s.clone(), d.clone(), c.clone()]),
+                "DV missing cost for {s}->{d} = {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_vector_respects_infinity_bound() {
+        let prog = distance_vector_on(4, &[(0, 1, 3), (1, 2, 3)]).unwrap();
+        let db = eval_program(&prog).unwrap();
+        // 0 -> 2 costs 6 >= infinity(4): no route.
+        assert!(!db
+            .relation("bestHopCost")
+            .any(|t| t[0] == addr(0) && t[1] == addr(2)));
+        // 0 -> 1 costs 3 < 4: reachable.
+        assert!(db.contains("bestHopCost", &vec![addr(0), addr(1), Value::Int(3)]));
+    }
+
+    #[test]
+    fn reachability_closure() {
+        let mut prog = reachability();
+        add_directed_links(&mut prog, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let db = eval_program(&prog).unwrap();
+        assert!(db.contains("reachable", &vec![addr(0), addr(3)]));
+        assert!(!db.contains("reachable", &vec![addr(3), addr(0)]));
+    }
+
+    #[test]
+    fn undirected_links_are_symmetric() {
+        let mut p = Program::default();
+        add_links(&mut p, &[(0, 1, 5)]);
+        assert_eq!(p.facts.len(), 2);
+    }
+}

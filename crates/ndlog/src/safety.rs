@@ -1,0 +1,375 @@
+//! Static safety analysis for NDlog programs.
+//!
+//! Checks performed (all standard for declarative networking front ends):
+//!
+//! 1. **Schema consistency** — every predicate is used with one arity and one
+//!    location-specifier position program-wide.
+//! 2. **Range restriction** — the body of each rule can be ordered so that
+//!    every literal is evaluable left-to-right (positive atoms bind their
+//!    variables; assignments need their inputs bound; comparisons and negated
+//!    atoms need all variables bound) and every head variable ends up bound.
+//! 3. **Builtin existence** — all function calls refer to known builtins.
+//! 4. **Stratification** — negation and aggregation must not occur inside a
+//!    recursive cycle; computes the stratum of every predicate.
+//!
+//! The analysis returns an [`Analysis`] carrying the safe body ordering for
+//! each rule and the stratification used by the evaluator.
+
+use crate::ast::*;
+use crate::builtins::is_builtin;
+use crate::error::{NdlogError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of the static analysis of a program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Stratum index for each predicate (EDB predicates are stratum 0).
+    pub stratum_of: BTreeMap<String, usize>,
+    /// Number of strata (max stratum + 1).
+    pub num_strata: usize,
+    /// Rules with bodies reordered into a safe evaluation order, in program
+    /// order.
+    pub rules: Vec<Rule>,
+    /// Arity of every predicate.
+    pub arity: BTreeMap<String, usize>,
+    /// Location-specifier position of every predicate (if located).
+    pub location: BTreeMap<String, Option<usize>>,
+}
+
+impl Analysis {
+    /// Rules whose head predicate lives in stratum `s`, in program order.
+    pub fn rules_in_stratum(&self, s: usize) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| self.stratum_of.get(&r.head.pred).copied().unwrap_or(0) == s)
+            .collect()
+    }
+}
+
+fn record_use(
+    arity: &mut BTreeMap<String, usize>,
+    location: &mut BTreeMap<String, Option<usize>>,
+    pred: &str,
+    n: usize,
+    loc: Option<usize>,
+) -> Result<()> {
+    match arity.get(pred) {
+        None => {
+            arity.insert(pred.to_string(), n);
+        }
+        Some(&m) if m != n => {
+            return Err(NdlogError::Schema {
+                predicate: pred.to_string(),
+                msg: format!("used with arity {m} and {n}"),
+            })
+        }
+        _ => {}
+    }
+    match location.get(pred) {
+        None => {
+            location.insert(pred.to_string(), loc);
+        }
+        Some(&l) if l != loc => {
+            return Err(NdlogError::Schema {
+                predicate: pred.to_string(),
+                msg: format!("inconsistent location specifier positions {l:?} vs {loc:?}"),
+            })
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn check_exprs_builtin(rule: &Rule) -> Result<()> {
+    fn walk(rule_name: &str, e: &Expr) -> Result<()> {
+        match e {
+            Expr::Call(name, args) => {
+                if !is_builtin(name) {
+                    return Err(NdlogError::Safety {
+                        rule: rule_name.to_string(),
+                        msg: format!("unknown builtin function '{name}'"),
+                    });
+                }
+                for a in args {
+                    walk(rule_name, a)?;
+                }
+                Ok(())
+            }
+            Expr::Bin(_, a, b) => {
+                walk(rule_name, a)?;
+                walk(rule_name, b)
+            }
+            _ => Ok(()),
+        }
+    }
+    for l in &rule.body {
+        match l {
+            Literal::Assign(_, e) => walk(&rule.name, e)?,
+            Literal::Cmp(a, _, b) => {
+                walk(&rule.name, a)?;
+                walk(&rule.name, b)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Reorder a rule body into a safe left-to-right evaluation order.
+///
+/// Returns the reordered body or a safety error when no ordering exists.
+pub fn order_body(rule: &Rule) -> Result<Vec<Literal>> {
+    let mut remaining: Vec<Literal> = rule.body.clone();
+    let mut ordered = Vec::with_capacity(remaining.len());
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    while !remaining.is_empty() {
+        let mut picked = None;
+        for (i, lit) in remaining.iter().enumerate() {
+            let ready = match lit {
+                Literal::Pos(_) => true,
+                Literal::Assign(_, e) => {
+                    let mut vs = BTreeSet::new();
+                    e.vars(&mut vs);
+                    vs.is_subset(&bound)
+                }
+                Literal::Cmp(a, _, b) => {
+                    let mut vs = BTreeSet::new();
+                    a.vars(&mut vs);
+                    b.vars(&mut vs);
+                    vs.is_subset(&bound)
+                }
+                Literal::Neg(atom) => {
+                    let mut vs = BTreeSet::new();
+                    atom.vars(&mut vs);
+                    vs.is_subset(&bound)
+                }
+            };
+            if ready {
+                picked = Some(i);
+                break;
+            }
+        }
+        let Some(i) = picked else {
+            return Err(NdlogError::Safety {
+                rule: rule.name.clone(),
+                msg: format!(
+                    "no safe evaluation order: stuck with {} literal(s), bound vars {:?}",
+                    remaining.len(),
+                    bound
+                ),
+            });
+        };
+        let lit = remaining.remove(i);
+        match &lit {
+            Literal::Pos(a) => a.vars(&mut bound),
+            Literal::Assign(v, _) => {
+                bound.insert(v.clone());
+            }
+            _ => {}
+        }
+        ordered.push(lit);
+    }
+    // Every head variable must be bound.
+    let hv = rule.head.vars();
+    if !hv.is_subset(&bound) {
+        let missing: Vec<_> = hv.difference(&bound).cloned().collect();
+        return Err(NdlogError::Safety {
+            rule: rule.name.clone(),
+            msg: format!("head variables not bound by body: {missing:?}"),
+        });
+    }
+    Ok(ordered)
+}
+
+/// Run the full static analysis on `prog`.
+pub fn analyze(prog: &Program) -> Result<Analysis> {
+    let mut arity = BTreeMap::new();
+    let mut location = BTreeMap::new();
+
+    for f in &prog.facts {
+        record_use(&mut arity, &mut location, &f.pred, f.args.len(), f.loc)?;
+    }
+    for r in &prog.rules {
+        record_use(&mut arity, &mut location, &r.head.pred, r.head.args.len(), r.head.loc)?;
+        for l in &r.body {
+            if let Literal::Pos(a) | Literal::Neg(a) = l {
+                record_use(&mut arity, &mut location, &a.pred, a.args.len(), a.loc)?;
+            }
+        }
+        check_exprs_builtin(r)?;
+    }
+
+    // Reorder bodies (also performs range-restriction checking).
+    let mut rules = Vec::with_capacity(prog.rules.len());
+    for r in &prog.rules {
+        let body = order_body(r)?;
+        rules.push(Rule { name: r.name.clone(), head: r.head.clone(), body });
+    }
+
+    // Stratification by constraint relaxation:
+    //   positive dep:  stratum(head) >= stratum(body)
+    //   negated dep or aggregate head: stratum(head) >= stratum(body) + 1
+    let mut stratum_of: BTreeMap<String, usize> = BTreeMap::new();
+    for p in arity.keys() {
+        stratum_of.insert(p.clone(), 0);
+    }
+    let n = arity.len().max(1);
+    let mut changed = true;
+    let mut iters = 0usize;
+    while changed {
+        changed = false;
+        iters += 1;
+        if iters > n + 1 {
+            return Err(NdlogError::Stratification {
+                msg: "negation or aggregation through recursion (no stratification exists)"
+                    .into(),
+            });
+        }
+        for r in &rules {
+            let agg = r.head.has_agg();
+            let head_s = *stratum_of.get(&r.head.pred).unwrap_or(&0);
+            let mut need = head_s;
+            for l in &r.body {
+                match l {
+                    Literal::Pos(a) => {
+                        let b = *stratum_of.get(&a.pred).unwrap_or(&0);
+                        need = need.max(if agg { b + 1 } else { b });
+                    }
+                    Literal::Neg(a) => {
+                        let b = *stratum_of.get(&a.pred).unwrap_or(&0);
+                        need = need.max(b + 1);
+                    }
+                    _ => {}
+                }
+            }
+            if need > head_s {
+                stratum_of.insert(r.head.pred.clone(), need);
+                changed = true;
+            }
+        }
+    }
+    let num_strata = stratum_of.values().copied().max().unwrap_or(0) + 1;
+
+    Ok(Analysis { stratum_of, num_strata, rules, arity, location })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const PV: &str = r#"
+        r1 path(@S,D,P,C):-link(@S,D,C), P=f_init(S,D).
+        r2 path(@S,D,P,C):-link(@S,Z,C1), path(@Z,D,P2,C2),
+             C=C1+C2, P=f_concatPath(S,P2), f_inPath(P2,S)=false.
+        r3 bestPathCost(@S,D,min<C>):-path(@S,D,P,C).
+        r4 bestPath(@S,D,P,C):-bestPathCost(@S,D,C), path(@S,D,P,C).
+    "#;
+
+    #[test]
+    fn path_vector_stratifies_into_three_strata() {
+        let prog = parse_program(PV).unwrap();
+        let a = analyze(&prog).unwrap();
+        // link/path at 0, bestPathCost at 1 (aggregate), bestPath at 1.
+        assert_eq!(a.stratum_of["link"], 0);
+        assert_eq!(a.stratum_of["path"], 0);
+        assert_eq!(a.stratum_of["bestPathCost"], 1);
+        assert_eq!(a.stratum_of["bestPath"], 1);
+        assert_eq!(a.num_strata, 2);
+    }
+
+    #[test]
+    fn body_reordering_moves_constraints_after_bindings() {
+        let prog = parse_program(
+            "x p(A,B) :- B = A + 1, q(A).", // assignment before its binding atom
+        )
+        .unwrap();
+        let a = analyze(&prog).unwrap();
+        assert!(matches!(a.rules[0].body[0], Literal::Pos(_)));
+        assert!(matches!(a.rules[0].body[1], Literal::Assign(..)));
+    }
+
+    #[test]
+    fn unbound_head_variable_is_rejected() {
+        let prog = parse_program("x p(A,B) :- q(A).").unwrap();
+        let err = analyze(&prog).unwrap_err();
+        assert!(matches!(err, NdlogError::Safety { .. }), "{err}");
+    }
+
+    #[test]
+    fn unsafe_negation_is_rejected() {
+        // B appears only in a negated atom.
+        let prog = parse_program("x p(A) :- q(A), !r(A,B), s(A).").unwrap();
+        assert!(analyze(&prog).is_err());
+    }
+
+    #[test]
+    fn negation_through_recursion_is_rejected() {
+        let prog = parse_program(
+            "a p(X) :- q(X), !r(X).
+             b r(X) :- q(X), !p(X).",
+        )
+        .unwrap();
+        let err = analyze(&prog).unwrap_err();
+        assert!(matches!(err, NdlogError::Stratification { .. }), "{err}");
+    }
+
+    #[test]
+    fn aggregate_through_recursion_is_rejected() {
+        let prog = parse_program(
+            "a p(X, min<C>) :- r(X, C).
+             b r(X, C) :- p(X, C).",
+        )
+        .unwrap();
+        assert!(analyze(&prog).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let prog = parse_program("a p(X) :- q(X). b p(X, Y) :- q(X), q(Y).").unwrap();
+        let err = analyze(&prog).unwrap_err();
+        assert!(matches!(err, NdlogError::Schema { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_builtin_is_rejected() {
+        let prog = parse_program("a p(X, Y) :- q(X), Y = f_bogus(X).").unwrap();
+        let err = analyze(&prog).unwrap_err();
+        assert!(matches!(err, NdlogError::Safety { .. }), "{err}");
+    }
+
+    #[test]
+    fn stratified_negation_accepted_and_ordered() {
+        let prog = parse_program(
+            "a reach(X,Y) :- edge(X,Y).
+             b reach(X,Y) :- reach(X,Z), edge(Z,Y).
+             c unreach(X,Y) :- node(X), node(Y), !reach(X,Y).",
+        )
+        .unwrap();
+        let a = analyze(&prog).unwrap();
+        assert_eq!(a.stratum_of["reach"], 0);
+        assert_eq!(a.stratum_of["unreach"], 1);
+        let c = &a.rules[2];
+        assert!(matches!(c.body.last().unwrap(), Literal::Neg(_)));
+    }
+
+    #[test]
+    fn rules_in_stratum_filters() {
+        let prog = parse_program(PV).unwrap();
+        let a = analyze(&prog).unwrap();
+        let s0: Vec<_> = a.rules_in_stratum(0).iter().map(|r| r.name.clone()).collect();
+        assert_eq!(s0, vec!["r1", "r2"]);
+        let s1: Vec<_> = a.rules_in_stratum(1).iter().map(|r| r.name.clone()).collect();
+        assert_eq!(s1, vec!["r3", "r4"]);
+    }
+
+    #[test]
+    fn inconsistent_location_position_is_rejected() {
+        let prog = parse_program(
+            "a p(@X, Y) :- q(X, Y).
+             b p(X, @Y) :- q(Y, X).",
+        )
+        .unwrap();
+        assert!(matches!(analyze(&prog), Err(NdlogError::Schema { .. })));
+    }
+}

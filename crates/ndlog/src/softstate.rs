@@ -1,0 +1,284 @@
+//! Soft-state → hard-state rule rewriting (paper §4.2).
+//!
+//! Declarative networking models *soft state* by giving tuples a lifetime
+//! after which they silently disappear unless refreshed.  To reason about
+//! such programs in a classical (hard-state) logic, Wang et al. [22] rewrite
+//! soft-state predicates by adding explicit **timestamp** and **lifetime**
+//! attributes, and guard every use with a freshness constraint against a
+//! global clock.  The paper calls the result "heavy-weight and cumbersome";
+//! [`RewriteReport`] quantifies exactly how much heavier it is (EXP‑8).
+//!
+//! Concretely, for each soft predicate `p(X...)` with declared lifetime `L`:
+//!
+//! * the schema becomes `p(X..., Ts)` (`Ts` = insertion time),
+//! * every rule *deriving* `p` joins `clock(@Loc, Now)` and sets `Ts = Now`,
+//! * every rule *using* `p` joins the clock and adds `Now < Ts + L`.
+//!
+//! `clock(@N, T)` is an extensional relation supplied by the environment (the
+//! evaluator of the rewritten program, or the simulator).
+
+use crate::ast::*;
+use crate::error::Result;
+use std::collections::BTreeMap;
+
+/// Name of the injected clock predicate.
+pub const CLOCK_PRED: &str = "clock";
+
+/// Size/complexity metrics for a program, used to measure rewrite blowup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramSize {
+    /// Number of rules.
+    pub rules: usize,
+    /// Total body literals across rules.
+    pub literals: usize,
+    /// Total attribute positions across all head atoms.
+    pub head_attributes: usize,
+}
+
+/// Measure a program.
+pub fn measure(prog: &Program) -> ProgramSize {
+    ProgramSize {
+        rules: prog.rules.len(),
+        literals: prog.rules.iter().map(|r| r.body.len()).sum(),
+        head_attributes: prog.rules.iter().map(|r| r.head.args.len()).sum(),
+    }
+}
+
+/// Outcome of the soft→hard rewrite.
+#[derive(Debug, Clone)]
+pub struct RewriteReport {
+    /// The rewritten (hard-state) program.
+    pub program: Program,
+    /// Soft predicates that were rewritten, with their lifetimes in ticks.
+    pub rewritten: BTreeMap<String, u64>,
+    /// Size before the rewrite.
+    pub before: ProgramSize,
+    /// Size after the rewrite.
+    pub after: ProgramSize,
+}
+
+impl RewriteReport {
+    /// Relative growth in body literals (≥ 1.0; the "cumbersome" factor).
+    pub fn literal_blowup(&self) -> f64 {
+        if self.before.literals == 0 {
+            1.0
+        } else {
+            self.after.literals as f64 / self.before.literals as f64
+        }
+    }
+}
+
+fn fresh_var(base: &str, taken: &mut Vec<String>) -> String {
+    let mut i = 0usize;
+    loop {
+        let cand = if i == 0 { base.to_string() } else { format!("{base}{i}") };
+        if !taken.contains(&cand) {
+            taken.push(cand.clone());
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+/// Rewrite all soft-state predicates of `prog` into hard state with explicit
+/// timestamps, per §4.2.  Facts of soft predicates receive timestamp 0.
+pub fn rewrite_soft_state(prog: &Program) -> Result<RewriteReport> {
+    let before = measure(prog);
+    let mut soft: BTreeMap<String, u64> = BTreeMap::new();
+    for m in &prog.materializes {
+        if let Lifetime::Ticks(t) = m.lifetime {
+            soft.insert(m.pred.clone(), t);
+        }
+    }
+
+    let mut out = Program::default();
+    // Rewritten tables become hard state (lifetime now explicit in data).
+    for m in &prog.materializes {
+        let mut m2 = m.clone();
+        if soft.contains_key(&m.pred) {
+            m2.lifetime = Lifetime::Infinite;
+        }
+        out.materializes.push(m2);
+    }
+
+    // Facts: soft facts get timestamp 0 appended.
+    for f in &prog.facts {
+        let mut f2 = f.clone();
+        if soft.contains_key(&f.pred) {
+            f2.args.push(Term::Const(crate::value::Value::Int(0)));
+        }
+        out.facts.push(f2);
+    }
+
+    for rule in &prog.rules {
+        let mut taken: Vec<String> =
+            rule.body.iter().flat_map(|l| l.vars()).chain(rule.head.vars()).collect();
+        let mut body = Vec::new();
+        let mut needs_clock = false;
+        let now_var = fresh_var("Now", &mut taken);
+
+        // The clock is joined at the rule's evaluation location if located.
+        let loc_term = rule
+            .head
+            .loc
+            .and_then(|i| match &rule.head.args[i] {
+                HeadArg::Term(t) => Some(t.clone()),
+                HeadArg::Agg(..) => None,
+            })
+            .unwrap_or(Term::Var(fresh_var("ClockLoc", &mut taken)));
+
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(a) if soft.contains_key(&a.pred) => {
+                    needs_clock = true;
+                    let lt = soft[&a.pred];
+                    let ts = fresh_var("Ts", &mut taken);
+                    let mut a2 = a.clone();
+                    a2.args.push(Term::Var(ts.clone()));
+                    body.push(Literal::Pos(a2));
+                    // Freshness: Now < Ts + L
+                    body.push(Literal::Cmp(
+                        Expr::Var(now_var.clone()),
+                        CmpOp::Lt,
+                        Expr::Bin(
+                            BinOp::Add,
+                            Box::new(Expr::Var(ts)),
+                            Box::new(Expr::Const(crate::value::Value::Int(lt as i64))),
+                        ),
+                    ));
+                }
+                Literal::Neg(a) if soft.contains_key(&a.pred) => {
+                    // Negation over soft state: "no fresh tuple exists".
+                    // Encoded by negating the timestamped atom with a fresh
+                    // timestamp variable is unsafe; instead we negate a
+                    // freshness view. For the scope of this reproduction we
+                    // keep the timestamped negation over the *latest* clock
+                    // by introducing a helper view is beyond §4.2; reject.
+                    return Err(crate::error::NdlogError::Safety {
+                        rule: rule.name.clone(),
+                        msg: format!(
+                            "negation over soft-state predicate {} is not supported by the §4.2 rewrite",
+                            a.pred
+                        ),
+                    });
+                }
+                other => body.push(other.clone()),
+            }
+        }
+
+        let mut head = rule.head.clone();
+        if soft.contains_key(&rule.head.pred) {
+            needs_clock = true;
+            head.args.push(HeadArg::Term(Term::Var(now_var.clone())));
+        }
+        if needs_clock {
+            // Prepend the clock join so Now is bound before freshness checks.
+            let clock_atom = Atom {
+                pred: CLOCK_PRED.to_string(),
+                loc: Some(0),
+                args: vec![loc_term.clone(), Term::Var(now_var.clone())],
+            };
+            body.insert(0, Literal::Pos(clock_atom));
+        }
+        out.rules.push(Rule { name: rule.name.clone(), head, body });
+    }
+
+    let after = measure(&out);
+    Ok(RewriteReport { program: out, rewritten: soft, before, after })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_program;
+    use crate::parser::parse_program;
+    use crate::value::Value;
+
+    const SOFT_PV: &str = r#"
+        materialize(link, 10, infinity, keys(1,2)).
+        materialize(path, 10, infinity, keys(1,2,3)).
+        r1 path(@S,D,P,C):-link(@S,D,C), P=f_init(S,D).
+        r2 path(@S,D,P,C):-link(@S,Z,C1), path(@Z,D,P2,C2),
+             C=C1+C2, P=f_concatPath(S,P2), f_inPath(P2,S)=false.
+    "#;
+
+    #[test]
+    fn rewrite_adds_clock_and_timestamps() {
+        let prog = parse_program(SOFT_PV).unwrap();
+        let rep = rewrite_soft_state(&prog).unwrap();
+        assert_eq!(rep.rewritten.len(), 2);
+        assert_eq!(rep.rewritten["link"], 10);
+        // Every rewritten rule now joins the clock first.
+        for r in &rep.program.rules {
+            assert!(
+                matches!(&r.body[0], Literal::Pos(a) if a.pred == CLOCK_PRED),
+                "rule {} lacks clock join",
+                r.name
+            );
+        }
+        // Head of r1 gained a timestamp attribute (4 -> 5).
+        assert_eq!(rep.program.rules[0].head.args.len(), 5);
+        // The rewrite is strictly bigger: the paper's "heavy-weight" claim.
+        assert!(rep.after.literals > rep.before.literals);
+        assert!(rep.literal_blowup() > 1.0);
+    }
+
+    #[test]
+    fn rewritten_program_respects_freshness() {
+        let prog = parse_program(&format!(
+            "{SOFT_PV}
+             link(@#0,#1,1). link(@#1,#2,1)."
+        ))
+        .unwrap();
+        let rep = rewrite_soft_state(&prog).unwrap();
+
+        // At Now=5, link tuples (stamped 0, lifetime 10) are fresh: paths derive.
+        let mut fresh = rep.program.clone();
+        for n in 0..3 {
+            fresh.add_fact(Atom::located(
+                CLOCK_PRED,
+                vec![Term::Const(Value::Addr(n)), Term::Const(Value::Int(5))],
+            ));
+        }
+        let db = eval_program(&fresh).unwrap();
+        assert!(db.len_of("path") >= 2, "fresh links should derive paths");
+
+        // At Now=50 every link is stale: no paths at all.
+        let mut stale = rep.program.clone();
+        for n in 0..3 {
+            stale.add_fact(Atom::located(
+                CLOCK_PRED,
+                vec![Term::Const(Value::Addr(n)), Term::Const(Value::Int(50))],
+            ));
+        }
+        let db2 = eval_program(&stale).unwrap();
+        assert_eq!(db2.len_of("path"), 0, "stale links must derive nothing");
+    }
+
+    #[test]
+    fn hard_state_program_is_untouched() {
+        let src = "a p(@X,Y) :- q(@X,Y).";
+        let prog = parse_program(src).unwrap();
+        let rep = rewrite_soft_state(&prog).unwrap();
+        assert_eq!(rep.program.rules, prog.rules);
+        assert!(rep.rewritten.is_empty());
+        assert_eq!(rep.literal_blowup(), 1.0);
+    }
+
+    #[test]
+    fn soft_negation_rejected() {
+        let src = "materialize(q, 5, infinity, keys(1)).
+                   a p(@X) :- r(@X), !q(@X).";
+        let prog = parse_program(src).unwrap();
+        assert!(rewrite_soft_state(&prog).is_err());
+    }
+
+    #[test]
+    fn measure_counts() {
+        let prog = parse_program("a p(@X,Y) :- q(@X,Y), Y > 0. b s(@X) :- p(@X,Y).").unwrap();
+        let m = measure(&prog);
+        assert_eq!(m.rules, 2);
+        assert_eq!(m.literals, 3);
+        assert_eq!(m.head_attributes, 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Runtime values flowing through NDlog relations.
+//!
+//! NDlog tuples carry network addresses, numeric metrics, strings, booleans
+//! and path vectors (lists).  Values are totally ordered so relations can be
+//! stored in deterministic `BTreeSet`s, which keeps evaluation and the
+//! simulator reproducible.
+
+use std::fmt;
+
+/// A single field of an NDlog tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean constant (`true` / `false`).
+    Bool(bool),
+    /// Signed 64-bit integer (route metrics, costs, timestamps).
+    Int(i64),
+    /// Network address / node identifier. Kept distinct from `Int` so that
+    /// location specifiers cannot be confused with metrics.
+    Addr(u32),
+    /// String constant.
+    Str(String),
+    /// A list of values; used for path vectors (`f_init`, `f_concatPath`).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Sort name used in diagnostics and in the logic translation.
+    pub fn sort_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Addr(_) => "addr",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Integer content, if this value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Address content, if this value is an `Addr`.
+    pub fn as_addr(&self) -> Option<u32> {
+        match self {
+            Value::Addr(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// List content, if this value is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// True when two values have the same sort (used by schema inference).
+    pub fn same_sort(&self, other: &Value) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Addr(a) => write!(f, "n{a}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A tuple is an ordered list of values; the first located attribute is the
+/// tuple's home address in distributed execution.
+pub type Tuple = Vec<Value>;
+
+/// Render a tuple as `(v1,v2,...)` for traces and error messages.
+pub fn format_tuple(t: &[Value]) -> String {
+    let mut s = String::from("(");
+    for (i, v) in t.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut vs = vec![
+            Value::Int(3),
+            Value::Bool(true),
+            Value::Addr(1),
+            Value::Str("x".into()),
+            Value::List(vec![Value::Int(1)]),
+            Value::Int(-5),
+        ];
+        vs.sort();
+        let again = {
+            let mut v2 = vs.clone();
+            v2.sort();
+            v2
+        };
+        assert_eq!(vs, again);
+        // Bool sorts before Int before Addr before Str before List (enum order).
+        assert!(matches!(vs[0], Value::Bool(_)));
+        assert!(matches!(vs.last().unwrap(), Value::List(_)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Addr(2).as_addr(), Some(2));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(7).as_addr(), None);
+        let l = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Addr(3).to_string(), "n3");
+        assert_eq!(Value::Str("ab".into()).to_string(), "\"ab\"");
+        assert_eq!(
+            Value::List(vec![Value::Addr(1), Value::Addr(2)]).to_string(),
+            "[n1,n2]"
+        );
+        assert_eq!(format_tuple(&[Value::Int(1), Value::Bool(false)]), "(1,false)");
+    }
+
+    #[test]
+    fn same_sort_distinguishes_addr_and_int() {
+        assert!(Value::Int(1).same_sort(&Value::Int(9)));
+        assert!(!Value::Int(1).same_sort(&Value::Addr(1)));
+    }
+}

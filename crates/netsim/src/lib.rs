@@ -1,0 +1,25 @@
+//! # netsim — deterministic discrete-event network simulator
+//!
+//! The execution substrate of the FVN reproduction.  The paper validates
+//! generated NDlog protocols "within a local cluster environment" (§3.2.2,
+//! ref [23]); this crate replaces the cluster with a seeded discrete-event
+//! simulator so that asynchronous message interleavings — the thing the
+//! delayed-convergence results actually depend on — are reproducible.
+//!
+//! * [`topology`] — graph shapes (line/ring/star/grid/tree/mesh, seeded
+//!   Erdős–Rényi) with Dijkstra ground truth;
+//! * [`sim`] — event queue, per-link latency/jitter/loss, link up/down
+//!   schedules, quiescence and convergence-time measurement.
+//!
+//! Protocols implement [`sim::Protocol`] and are driven by polled events, in
+//! the event-driven style of the session's networking guides (no async
+//! runtime — the workload is CPU-bound and determinism is a requirement).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+pub mod topology;
+
+pub use sim::{Context, Event, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Time};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,481 @@
+//! The discrete-event simulator core.
+//!
+//! Event-driven in the smoltcp spirit: protocol nodes implement the
+//! [`Protocol`] trait and are *polled* with events (start, message, timer,
+//! link change); they react by queuing sends and timers on a [`Context`].
+//! The simulator owns the clock and the event queue; ties are broken by a
+//! monotonically increasing sequence number, so a given (topology, protocol,
+//! schedule, seed) quadruple always replays identically.
+
+use crate::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in integer ticks.
+pub type Time = u64;
+
+/// What the simulator hands to a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    /// The simulation is starting (delivered once to every node at t=0).
+    Start,
+    /// A message arrived from a neighbor.
+    Message {
+        /// Sending node.
+        from: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer set by this node fired.
+    Timer {
+        /// The node-chosen timer tag.
+        tag: u64,
+    },
+    /// An incident link changed state.
+    LinkChange {
+        /// The neighbor at the other end.
+        neighbor: NodeId,
+        /// True if the link came up, false if it went down.
+        up: bool,
+    },
+}
+
+/// Side effects a node can request while handling an event.
+#[derive(Debug)]
+pub struct Context<M> {
+    now: Time,
+    node: NodeId,
+    sends: Vec<(NodeId, M)>,
+    timers: Vec<(Time, u64)>,
+    changed: bool,
+}
+
+impl<M> Context<M> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send a message to a neighbor (dropped if the link is down).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Arm a one-shot timer `delay` ticks from now with a node-chosen tag.
+    pub fn set_timer(&mut self, delay: Time, tag: u64) {
+        self.timers.push((self.now + delay.max(1), tag));
+    }
+
+    /// Mark that this node's protocol state changed (drives the convergence
+    /// clock used by the experiments).
+    pub fn mark_changed(&mut self) {
+        self.changed = true;
+    }
+}
+
+/// A protocol instance running on one node.
+pub trait Protocol {
+    /// Message type exchanged between nodes.
+    type Msg: Clone;
+
+    /// Handle one event; request side effects through `ctx`.
+    fn handle(&mut self, event: Event<Self::Msg>, ctx: &mut Context<Self::Msg>);
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Base per-link latency in ticks.
+    pub latency: Time,
+    /// Extra uniform random latency in `0..=jitter` ticks (seeded).
+    pub jitter: Time,
+    /// Probability a message is dropped in flight (seeded).
+    pub loss: f64,
+    /// Hard stop time.
+    pub max_time: Time,
+    /// Hard stop on number of processed events (guards livelock).
+    pub max_events: u64,
+    /// RNG seed for jitter and loss.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: 1,
+            jitter: 0,
+            loss: 0.0,
+            max_time: 1_000_000,
+            max_events: 10_000_000,
+            seed: 0,
+        }
+    }
+}
+
+/// A scheduled link status change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSchedule {
+    /// When the change happens.
+    pub at: Time,
+    /// Link endpoint.
+    pub a: NodeId,
+    /// Other endpoint.
+    pub b: NodeId,
+    /// New status.
+    pub up: bool,
+}
+
+/// Statistics of a finished run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total events processed.
+    pub events: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Messages dropped by loss or down links.
+    pub dropped: u64,
+    /// Time of the last event processed (quiescence time).
+    pub end_time: Time,
+    /// Time of the last event after which some node reported a state change
+    /// — the convergence time measured in the experiments.
+    pub last_change: Time,
+    /// True if the run ended because the event queue drained.
+    pub quiescent: bool,
+}
+
+enum QueuedEvent<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+    Link { a: NodeId, b: NodeId, up: bool },
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<P: Protocol> {
+    topo: Topology,
+    nodes: Vec<P>,
+    cfg: SimConfig,
+    queue: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    payloads: Vec<Option<QueuedEvent<P::Msg>>>,
+    seq: u64,
+    rng: StdRng,
+    link_down: std::collections::BTreeSet<(NodeId, NodeId)>,
+    stats: SimStats,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Build a simulator over `topo` with one protocol instance per node.
+    pub fn new(topo: Topology, nodes: Vec<P>, cfg: SimConfig) -> Self {
+        assert_eq!(nodes.len(), topo.num_nodes() as usize, "one node per topology vertex");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Simulator {
+            topo,
+            nodes,
+            cfg,
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+            rng,
+            link_down: Default::default(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Access the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Access node state after (or during) a run.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id as usize]
+    }
+
+    /// Mutable node access (for test instrumentation).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    fn push(&mut self, at: Time, ev: QueuedEvent<P::Msg>) {
+        let idx = self.payloads.len();
+        self.payloads.push(Some(ev));
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, idx)));
+    }
+
+    /// Schedule link status changes before running.
+    pub fn schedule_links(&mut self, schedule: &[LinkSchedule]) {
+        for s in schedule {
+            self.push(s.at, QueuedEvent::Link { a: s.a, b: s.b, up: s.up });
+        }
+    }
+
+    fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.topo.has_edge(a, b) && !self.link_down.contains(&key)
+    }
+
+    fn dispatch(&mut self, node: NodeId, event: Event<P::Msg>, now: Time) {
+        let mut ctx =
+            Context { now, node, sends: Vec::new(), timers: Vec::new(), changed: false };
+        self.nodes[node as usize].handle(event, &mut ctx);
+        if ctx.changed {
+            self.stats.last_change = now;
+        }
+        let Context { sends, timers, .. } = ctx;
+        for (to, msg) in sends {
+            if !self.link_is_up(node, to) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            if self.cfg.loss > 0.0 && self.rng.random::<f64>() < self.cfg.loss {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let jitter =
+                if self.cfg.jitter > 0 { self.rng.random_range(0..=self.cfg.jitter) } else { 0 };
+            let at = now + self.cfg.latency.max(1) + jitter;
+            self.push(at, QueuedEvent::Deliver { from: node, to, msg });
+        }
+        for (at, tag) in timers {
+            self.push(at, QueuedEvent::Timer { node, tag });
+        }
+    }
+
+    /// Run to quiescence (or the configured bounds). Returns the stats.
+    pub fn run(&mut self) -> SimStats {
+        // Start events.
+        for v in 0..self.topo.num_nodes() {
+            self.dispatch(v, Event::Start, 0);
+        }
+        while let Some(Reverse((at, _, idx))) = self.queue.pop() {
+            if at > self.cfg.max_time || self.stats.events >= self.cfg.max_events {
+                self.stats.end_time = at;
+                self.stats.quiescent = false;
+                return self.stats;
+            }
+            self.stats.events += 1;
+            self.stats.end_time = at;
+            let ev = self.payloads[idx].take().expect("event payload consumed twice");
+            match ev {
+                QueuedEvent::Deliver { from, to, msg } => {
+                    if !self.link_is_up(from, to) {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    self.stats.messages += 1;
+                    self.dispatch(to, Event::Message { from, msg }, at);
+                }
+                QueuedEvent::Timer { node, tag } => {
+                    self.dispatch(node, Event::Timer { tag }, at);
+                }
+                QueuedEvent::Link { a, b, up } => {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    if up {
+                        self.link_down.remove(&key);
+                    } else {
+                        self.link_down.insert(key);
+                    }
+                    self.stats.last_change = at;
+                    self.dispatch(a, Event::LinkChange { neighbor: b, up }, at);
+                    self.dispatch(b, Event::LinkChange { neighbor: a, up }, at);
+                }
+            }
+        }
+        self.stats.quiescent = true;
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A flooding protocol: on start, node 0 floods a token; every node
+    /// remembers the hop count at which it first saw it.
+    #[derive(Debug, Clone)]
+    struct Flood {
+        first_seen: Option<u64>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u64; // hop count
+
+        fn handle(&mut self, event: Event<u64>, ctx: &mut Context<u64>) {
+            match event {
+                Event::Start => {
+                    if ctx.me() == 0 {
+                        self.first_seen = Some(0);
+                        ctx.mark_changed();
+                        // Flood to everybody we can reach in the topology.
+                        for n in 0..64 {
+                            if n != ctx.me() {
+                                ctx.send(n, 1);
+                            }
+                        }
+                    }
+                }
+                Event::Message { msg, .. } => {
+                    if self.first_seen.is_none() {
+                        self.first_seen = Some(msg);
+                        ctx.mark_changed();
+                        for n in 0..64 {
+                            if n != ctx.me() {
+                                ctx.send(n, msg + 1);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn flood_nodes(n: u32) -> Vec<Flood> {
+        (0..n).map(|_| Flood { first_seen: None }).collect()
+    }
+
+    #[test]
+    fn flood_reaches_all_on_line() {
+        let topo = Topology::line(5);
+        let mut sim = Simulator::new(topo, flood_nodes(5), SimConfig::default());
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        for v in 0..5 {
+            assert_eq!(sim.node(v).first_seen, Some(v as u64), "node {v}");
+        }
+        // Convergence time equals the line's diameter in latency ticks.
+        assert_eq!(stats.last_change, 4);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let topo = Topology::random_connected(10, 0.4, 3, 7);
+            let cfg = SimConfig { jitter: 3, seed, ..Default::default() };
+            let mut sim = Simulator::new(topo, flood_nodes(10), cfg);
+            let stats = sim.run();
+            (stats, (0..10).map(|v| sim.node(v).first_seen).collect::<Vec<_>>())
+        };
+        assert_eq!(run(1), run(1));
+        // Different seeds may differ in message ordering/latency.
+        let (s1, _) = run(1);
+        let (s2, _) = run(2);
+        assert!(s1.quiescent && s2.quiescent);
+    }
+
+    #[test]
+    fn down_link_blocks_delivery() {
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, flood_nodes(3), SimConfig::default());
+        sim.schedule_links(&[LinkSchedule { at: 0, a: 1, b: 2, up: false }]);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(sim.node(1).first_seen, Some(1));
+        assert_eq!(sim.node(2).first_seen, None, "node 2 is cut off");
+        assert!(stats.dropped > 0);
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let topo = Topology::line(2);
+        let cfg = SimConfig { loss: 1.0, ..Default::default() };
+        let mut sim = Simulator::new(topo, flood_nodes(2), cfg);
+        let stats = sim.run();
+        assert_eq!(sim.node(1).first_seen, None);
+        assert!(stats.dropped > 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Default)]
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerNode {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, ctx: &mut Context<()>) {
+                match event {
+                    Event::Start => {
+                        ctx.set_timer(10, 1);
+                        ctx.set_timer(5, 2);
+                        ctx.set_timer(20, 3);
+                    }
+                    Event::Timer { tag } => {
+                        self.fired.push(tag);
+                        ctx.mark_changed();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let topo = Topology::empty(1);
+        let mut sim = Simulator::new(topo, vec![TimerNode::default()], SimConfig::default());
+        let stats = sim.run();
+        assert_eq!(sim.node(0).fired, vec![2, 1, 3]);
+        assert_eq!(stats.last_change, 20);
+    }
+
+    #[test]
+    fn max_events_guard_stops_livelock() {
+        /// Ping-pong forever.
+        struct PingPong;
+        impl Protocol for PingPong {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, ctx: &mut Context<()>) {
+                match event {
+                    Event::Start => {
+                        if ctx.me() == 0 {
+                            ctx.send(1, ());
+                        }
+                    }
+                    Event::Message { from, .. } => ctx.send(from, ()),
+                    _ => {}
+                }
+            }
+        }
+        let topo = Topology::line(2);
+        let cfg = SimConfig { max_events: 100, ..Default::default() };
+        let mut sim = Simulator::new(topo, vec![PingPong, PingPong], cfg);
+        let stats = sim.run();
+        assert!(!stats.quiescent);
+        assert!(stats.events <= 100);
+    }
+
+    #[test]
+    fn link_change_notifies_endpoints() {
+        #[derive(Default)]
+        struct Watcher {
+            changes: Vec<(NodeId, bool)>,
+        }
+        impl Protocol for Watcher {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, _ctx: &mut Context<()>) {
+                if let Event::LinkChange { neighbor, up } = event {
+                    self.changes.push((neighbor, up));
+                }
+            }
+        }
+        let topo = Topology::line(2);
+        let mut sim =
+            Simulator::new(topo, vec![Watcher::default(), Watcher::default()], SimConfig::default());
+        sim.schedule_links(&[
+            LinkSchedule { at: 5, a: 0, b: 1, up: false },
+            LinkSchedule { at: 9, a: 0, b: 1, up: true },
+        ]);
+        sim.run();
+        assert_eq!(sim.node(0).changes, vec![(1, false), (1, true)]);
+        assert_eq!(sim.node(1).changes, vec![(0, false), (0, true)]);
+    }
+}

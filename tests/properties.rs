@@ -1,0 +1,243 @@
+//! Property-based tests (proptest) for the core invariants claimed in
+//! DESIGN.md: evaluator equivalences, translation preservation, prover
+//! soundness against ground models, algebra propagation, and simulator
+//! determinism.
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random NDlog programs over a fixed schema: unary edb `n/1`, binary edb
+// `e/2`, idb `p/2` (possibly recursive), idb `q/2` (negation user).
+// ---------------------------------------------------------------------
+
+fn arb_edge() -> impl Strategy<Value = (u32, u32)> {
+    (0u32..5, 0u32..5)
+}
+
+fn program_src(edges: &[(u32, u32)], use_neg: bool) -> String {
+    let mut src = String::new();
+    src.push_str("r1 p(X,Y) :- e(X,Y).\n");
+    src.push_str("r2 p(X,Y) :- e(X,Z), p(Z,Y).\n");
+    if use_neg {
+        src.push_str("r3 q(X,Y) :- n(X), n(Y), X != Y, !p(X,Y).\n");
+    }
+    for i in 0..5 {
+        src.push_str(&format!("n(#{i}).\n"));
+    }
+    for (a, b) in edges {
+        src.push_str(&format!("e(#{a},#{b}).\n"));
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Semi-naive and naive evaluation agree on random programs.
+    #[test]
+    fn seminaive_equals_naive(edges in prop::collection::vec(arb_edge(), 0..12), neg in any::<bool>()) {
+        let src = program_src(&edges, neg);
+        let prog = ndlog::parse_program(&src).unwrap();
+        let ev = ndlog::Evaluator::new(&prog).unwrap();
+        let mut a = ndlog::Evaluator::base_database(&prog);
+        let mut b = a.clone();
+        ev.run(&mut a).unwrap();
+        ev.run_naive(&mut b).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Transitive closure computed by NDlog equals a direct graph closure.
+    #[test]
+    fn closure_is_correct(edges in prop::collection::vec(arb_edge(), 0..12)) {
+        let src = program_src(&edges, false);
+        let prog = ndlog::parse_program(&src).unwrap();
+        let db = ndlog::eval_program(&prog).unwrap();
+        // Floyd-Warshall style boolean closure.
+        let mut reach = [[false; 5]; 5];
+        for &(a, b) in &edges { reach[a as usize][b as usize] = true; }
+        for k in 0..5 { for i in 0..5 { for j in 0..5 {
+            if reach[i][k] && reach[k][j] { reach[i][j] = true; }
+        }}}
+        for i in 0..5u32 { for j in 0..5u32 {
+            let t = vec![ndlog::Value::Addr(i), ndlog::Value::Addr(j)];
+            prop_assert_eq!(db.contains("p", &t), reach[i as usize][j as usize],
+                "pair ({}, {})", i, j);
+        }}
+    }
+
+    /// Localization preserves centralized semantics for the paper program
+    /// on random connected topologies.
+    #[test]
+    fn localization_preserves_semantics(seed in 0u64..200) {
+        let topo = netsim::Topology::random_connected(6, 0.4, 3, seed);
+        let mut prog = ndlog::programs::path_vector();
+        ndlog::programs::add_links(&mut prog, &topo.edge_list());
+        let orig = ndlog::eval_program(&prog).unwrap();
+        let loc = ndlog::localize::localize_program(&prog).unwrap();
+        let mut lp = loc.to_program();
+        lp.facts = prog.facts.clone();
+        let localized = ndlog::eval_program(&lp).unwrap();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let a: Vec<_> = orig.relation(pred).cloned().collect();
+            let b: Vec<_> = localized.relation(pred).cloned().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Distributed execution equals centralized evaluation (the arc-7
+    /// correctness contract) on random topologies.
+    #[test]
+    fn distributed_equals_centralized(seed in 0u64..60) {
+        let topo = netsim::Topology::random_connected(6, 0.35, 3, seed);
+        let mut prog = ndlog::programs::path_vector();
+        ndlog_runtime::link_facts(&mut prog, &topo);
+        let central = ndlog::eval_program(&prog).unwrap();
+        let mut rt = ndlog_runtime::DistRuntime::new(
+            &prog, &topo, netsim::SimConfig { seed, jitter: 2, ..Default::default() },
+        ).unwrap();
+        let stats = rt.run();
+        prop_assert!(stats.quiescent);
+        let dist = rt.global_database();
+        let c: Vec<_> = central.relation("bestPathCost").cloned().collect();
+        let d: Vec<_> = dist.relation("bestPathCost").cloned().collect();
+        prop_assert_eq!(c, d);
+    }
+
+    /// Unification produces most general unifiers: the unifier equalizes
+    /// both terms, and matching is a special case of unification.
+    #[test]
+    fn unification_soundness(n in 0u32..40) {
+        use fvn_logic::{resolve, unify, Term};
+        let t1 = Term::App("f".into(), vec![Term::var("X"), Term::int(n as i64)]);
+        let t2 = Term::App("f".into(), vec![Term::int((n % 7) as i64), Term::var("Y")]);
+        let s = unify(&t1, &t2, &Default::default()).unwrap();
+        prop_assert_eq!(resolve(&t1, &s), resolve(&t2, &s));
+    }
+
+    /// The Fourier–Motzkin refuter is sound: whenever it reports UNSAT for
+    /// a set of random interval constraints, brute force over a grid finds
+    /// no satisfying assignment.
+    #[test]
+    fn arith_refutation_is_sound(
+        lo_a in -3i64..3, hi_a in -3i64..3,
+        lo_b in -3i64..3, hi_b in -3i64..3,
+    ) {
+        use fvn_logic::Formula;
+        use fvn_logic::Term;
+        let v = |s: &str| Term::var(s);
+        // lo_a <= A <= hi_a, lo_b <= B <= hi_b, A + B <= -1, A >= 0, B >= 0
+        let ante = vec![
+            Formula::Le(Term::int(lo_a), v("A")),
+            Formula::Le(v("A"), Term::int(hi_a)),
+            Formula::Le(Term::int(lo_b), v("B")),
+            Formula::Le(v("B"), Term::int(hi_b)),
+            Formula::Le(Term::add(v("A"), v("B")), Term::int(-1)),
+            Formula::Le(Term::int(0), v("A")),
+            Formula::Le(Term::int(0), v("B")),
+        ];
+        let refuted = fvn_logic::arith::refutes(&ante, &[]);
+        // Brute force.
+        let mut sat = false;
+        for a in -5..=5i64 {
+            for b in -5..=5i64 {
+                if lo_a <= a && a <= hi_a && lo_b <= b && b <= hi_b
+                    && a + b <= -1 && a >= 0 && b >= 0 {
+                    sat = true;
+                }
+            }
+        }
+        // Soundness direction: refuted => no solution. (Completeness over
+        // the rationals holds too, but integers may differ; only soundness
+        // is asserted.)
+        if refuted {
+            prop_assert!(!sat, "refuted a satisfiable system");
+        }
+    }
+
+    /// Analytic algebra property claims always agree with the exhaustive
+    /// checker, including on random lexicographic compositions.
+    #[test]
+    fn algebra_claims_cross_validate(a in 0usize..5, b in 0usize..5) {
+        let leaf = |i: usize| -> metarouting::AlgebraSpec {
+            match i {
+                0 => metarouting::AlgebraSpec::HopCount { cap: 8 },
+                1 => metarouting::AlgebraSpec::AddCost { max_label: 3, cap: 12 },
+                2 => metarouting::AlgebraSpec::Widest { max: 5 },
+                3 => metarouting::AlgebraSpec::LocalPref { levels: 3 },
+                _ => metarouting::AlgebraSpec::GaoRexford,
+            }
+        };
+        let spec = metarouting::AlgebraSpec::Lex(Box::new(leaf(a)), Box::new(leaf(b)));
+        let bad = metarouting::cross_validate(&spec);
+        prop_assert!(bad.is_empty(), "{:?}", bad);
+    }
+
+    /// The simulator is deterministic: identical seeds give identical runs.
+    #[test]
+    fn simulator_is_deterministic(seed in 0u64..100) {
+        let run = || {
+            let topo = netsim::Topology::random_connected(8, 0.3, 4, seed);
+            let nodes = ndlog_runtime::DvNode::nodes_for(&topo, 1 << 20);
+            let cfg = netsim::SimConfig { seed, jitter: 3, ..Default::default() };
+            let mut sim = netsim::Simulator::new(topo, nodes, cfg);
+            let stats = sim.run();
+            (stats, (0..8).map(|v| sim.node(v).table.clone()).collect::<Vec<_>>())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// SPVP runs that quiesce always end in a stable SPP solution.
+    #[test]
+    fn spvp_quiescent_implies_stable(seed in 0u64..80) {
+        let out = fvn::bgp::run_spvp(&fvn_mc::SppInstance::disagree(), seed, 3, 100_000);
+        if out.stats.quiescent {
+            prop_assert!(out.stable);
+        }
+    }
+
+    /// Soft-state rewriting preserves per-snapshot semantics: evaluating
+    /// the rewritten program at a fresh clock equals evaluating the
+    /// original (hard-state) program.
+    #[test]
+    fn softstate_rewrite_preserves_fresh_semantics(edges in prop::collection::vec(arb_edge(), 1..8)) {
+        let mut soft = String::from(
+            "materialize(e, 100, infinity, keys(1,2)).\n\
+             r1 p(X,Y) :- e(X,Y).\n\
+             r2 p(X,Y) :- e(X,Z), p(Z,Y).\n",
+        );
+        let mut hard = String::from(
+            "r1 p(X,Y) :- e(X,Y).\n\
+             r2 p(X,Y) :- e(X,Z), p(Z,Y).\n",
+        );
+        for (a, b) in &edges {
+            soft.push_str(&format!("e(#{a},#{b}).\n"));
+            hard.push_str(&format!("e(#{a},#{b}).\n"));
+        }
+        let soft_prog = ndlog::parse_program(&soft).unwrap();
+        let rewritten = ndlog::softstate::rewrite_soft_state(&soft_prog).unwrap();
+        let mut with_clock = rewritten.program.clone();
+        // One global clock reading at t=1 (< lifetime 100).
+        use ndlog::ast::{Atom, Term};
+        with_clock.add_fact(Atom::plain(
+            "clock_any",
+            vec![Term::Const(ndlog::Value::Int(0))],
+        ));
+        // The rewrite uses located clocks; supply one per node id used.
+        for n in 0..5u32 {
+            with_clock.add_fact(Atom::located(
+                ndlog::softstate::CLOCK_PRED,
+                vec![Term::Const(ndlog::Value::Addr(n)), Term::Const(ndlog::Value::Int(1))],
+            ));
+        }
+        let a = ndlog::eval_program(&with_clock).unwrap();
+        let b = ndlog::eval_program(&ndlog::parse_program(&hard).unwrap()).unwrap();
+        // Project the timestamp column away before comparing.
+        let got: std::collections::BTreeSet<Vec<ndlog::Value>> = a
+            .relation("p")
+            .map(|t| t[..2].to_vec())
+            .collect();
+        let want: std::collections::BTreeSet<Vec<ndlog::Value>> =
+            b.relation("p").cloned().collect();
+        prop_assert_eq!(got, want);
+    }
+}

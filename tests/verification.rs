@@ -1,0 +1,158 @@
+//! Verification-focused integration tests: additional protocol theories
+//! pushed through the arc-4 translation and the prover, and the PVS
+//! renderer checked against the paper's §3.1 snippet.
+
+use fvn::ndlog_to_theory;
+use fvn_logic::prover::{Command, Prover};
+use fvn_logic::pvs::{render_def, render_formula, render_theory};
+use fvn_logic::{Formula, Term};
+
+fn v(s: &str) -> Term {
+    Term::var(s)
+}
+
+fn pred(name: &str, args: Vec<Term>) -> Formula {
+    Formula::Pred(name.into(), args)
+}
+
+/// The arc-4 translation of the paper's program renders as PVS source that
+/// matches the §3.1 snippet structure.
+#[test]
+fn translated_path_definition_renders_like_the_papers_pvs() {
+    let prog = ndlog::parse_program(ndlog::programs::PATH_VECTOR).unwrap();
+    let th = ndlog_to_theory(&prog, "pathVector").unwrap();
+    let s = render_def("path", &th.defs["path"]);
+    // Paper (§3.1):
+    //   path(S,D,(P: Path),C): INDUCTIVE bool =
+    //     (link(S,D,C) AND P=f_init(S,D)) OR
+    //     (EXISTS (C1,C2:Metric) (P2:Path) (Z:Node):
+    //        link(S,Z,C1) AND path(Z,D,P2,C2) AND C=C1+C2
+    //        AND P=f_concatPath(S,P2) AND f_inPath(S,P2)=FALSE)
+    assert!(s.starts_with("path(S,D,P,C): INDUCTIVE bool ="), "{s}");
+    assert!(s.contains("(link(S,D,C) AND P=init(S,D)) OR"), "{s}");
+    assert!(s.contains("EXISTS (") && ["C1", "C2", "P2", "Z"].iter().all(|x| s.contains(x)), "{s}");
+    assert!(s.contains("C=C1+C2"), "{s}");
+    assert!(s.contains("P=concat(S,P2)"), "{s}");
+    assert!(s.contains("NOT inPath(P2,S)"), "{s}");
+
+    // The whole theory renders as a well-formed THEORY block.
+    let block = render_theory(&th);
+    assert!(block.starts_with("pathVector: THEORY"));
+    assert!(block.trim_end().ends_with("END pathVector"));
+
+    // The bestPathStrong statement renders exactly like the paper's prose.
+    let stmt = fvn::best_path_strong();
+    assert_eq!(
+        render_formula(&stmt),
+        "FORALL (S,D,C,P): bestPath(S,D,P,C) => \
+         NOT (EXISTS (C2,P2): path(S,D,P2,C2) AND C2<C)"
+    );
+}
+
+/// The distance-vector program translates and its metric bound is provable
+/// by rule induction: every derived hop has cost below the RIP infinity.
+#[test]
+fn distance_vector_bounded_cost_theorem() {
+    let prog = ndlog::programs::distance_vector(16);
+    let mut th = ndlog_to_theory(&prog, "distanceVector").unwrap();
+    // Environment axiom: link costs are at least 1 and below infinity.
+    th.axiom(
+        "linkCostRange",
+        Formula::forall(
+            &["S", "D", "C"],
+            Formula::implies(
+                pred("link", vec![v("S"), v("D"), v("C")]),
+                Formula::And(
+                    Box::new(Formula::Le(Term::int(1), v("C"))),
+                    Box::new(Formula::Lt(v("C"), Term::int(16))),
+                ),
+            ),
+        ),
+    );
+    // Theorem: hop(S,D,Z,C) => C < 16.  The base case needs the link
+    // axiom; the inductive case closes from the rule's own C < 16 guard.
+    let bounded = Formula::forall(
+        &["S", "D", "Z", "C"],
+        Formula::implies(
+            pred("hop", vec![v("S"), v("D"), v("Z"), v("C")]),
+            Formula::Lt(v("C"), Term::int(16)),
+        ),
+    );
+    let mut p = Prover::new(&th, bounded.clone());
+    p.apply(&Command::Induct("hop".into())).unwrap();
+    let _ = p.apply(&Command::Grind);
+    assert!(p.is_proved(), "open goal: {:?}", p.current());
+
+    // Negative control: the bound cannot be tightened to 2.
+    let too_tight = Formula::forall(
+        &["S", "D", "Z", "C"],
+        Formula::implies(
+            pred("hop", vec![v("S"), v("D"), v("Z"), v("C")]),
+            Formula::Lt(v("C"), Term::int(2)),
+        ),
+    );
+    let mut p2 = Prover::new(&th, too_tight);
+    let _ = p2.apply(&Command::Induct("hop".into()));
+    let _ = p2.apply(&Command::Grind);
+    assert!(!p2.is_proved(), "an over-tight bound must not prove");
+}
+
+/// Reachability: links imply reachability (base-case soundness), provable
+/// fully automatically from the translated definition.
+#[test]
+fn reachability_base_case_is_automatic() {
+    let prog = ndlog::programs::reachability();
+    let th = ndlog_to_theory(&prog, "reach").unwrap();
+    let goal = Formula::forall(
+        &["S", "D", "C"],
+        Formula::implies(
+            pred("link", vec![v("S"), v("D"), v("C")]),
+            pred("reachable", vec![v("S"), v("D")]),
+        ),
+    );
+    let mut p = Prover::new(&th, goal);
+    // reachable is recursive, so grind will not expand it; prove by
+    // unfolding once manually: reachable(S,D) <= r1's clause.  run_script
+    // stops as soon as the proof closes.
+    let done = p
+        .run_script(&[
+            Command::Skolem,
+            Command::Flatten,
+            Command::Expand("reachable".into()),
+            Command::Flatten,
+            Command::InstAuto,
+            Command::Prop,
+        ])
+        .unwrap();
+    assert!(done, "open: {:?}", p.current());
+}
+
+/// The generated metarouting protocol for the BGPSystem also translates
+/// through arc 4 (closing the loop: meta-model -> NDlog -> logic).
+#[test]
+fn generated_bgp_protocol_translates_to_logic() {
+    let gp = metarouting::generate(&metarouting::AlgebraSpec::bgp_system());
+    let th = ndlog_to_theory(&gp.program, "bgpSystem").unwrap();
+    assert!(th.defs.contains_key("route"));
+    assert!(th.defs.contains_key("bestCand"));
+    assert!(th.defs.contains_key("bestRoute"));
+    // The route definition is recursive; selection predicates are not.
+    assert!(th.defs["route"].is_recursive("route"));
+    assert!(!th.defs["bestRoute"].is_recursive("bestRoute"));
+    // And it renders to valid-looking PVS.
+    let block = render_theory(&th);
+    assert!(block.contains("route(") && block.contains("INDUCTIVE bool"));
+}
+
+/// Proof logs record every step with goal counts, supporting the EXP-1/5
+/// accounting.
+#[test]
+fn proof_logs_are_complete() {
+    let th = fvn::path_vector_theory();
+    let t = th.find_theorem("bestPathStrong").unwrap();
+    let r = fvn_logic::prove(&th, t).unwrap();
+    assert!(r.proved);
+    assert_eq!(r.log.len(), r.user_steps + r.automated_steps);
+    assert_eq!(r.log.last().unwrap().goals_open, 0);
+    assert!(r.log.iter().all(|s| !s.command.is_empty()));
+}
