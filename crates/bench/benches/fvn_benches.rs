@@ -39,9 +39,7 @@ fn bench_count_to_infinity(c: &mut Criterion) {
     c.bench_function("exp2_dv_counterexample", |b| {
         b.iter(|| {
             let dv = DvSystem::classic(16, false);
-            let r = check_invariant(&dv, ExploreOptions::default(), |s| {
-                costs_bounded(s, 10, 16)
-            });
+            let r = check_invariant(&dv, ExploreOptions::default(), |s| costs_bounded(s, 10, 16));
             assert!(r.is_err());
             black_box(r.err().map(|t| t.labels.len()))
         })
@@ -49,9 +47,7 @@ fn bench_count_to_infinity(c: &mut Criterion) {
     c.bench_function("exp2_pv_invariant_holds", |b| {
         b.iter(|| {
             let pv = DvSystem::classic(16, true);
-            let r = check_invariant(&pv, ExploreOptions::default(), |s| {
-                costs_bounded(s, 2, 16)
-            });
+            let r = check_invariant(&pv, ExploreOptions::default(), |s| costs_bounded(s, 2, 16));
             assert!(r.is_ok());
             black_box(r.ok())
         })
@@ -61,9 +57,10 @@ fn bench_count_to_infinity(c: &mut Criterion) {
 /// EXP-3: SPVP convergence, conflicted vs conflict-free.
 fn bench_disagree(c: &mut Criterion) {
     let mut g = c.benchmark_group("exp3_spvp");
-    for (name, spp) in
-        [("good", SppInstance::good_gadget()), ("disagree", SppInstance::disagree())]
-    {
+    for (name, spp) in [
+        ("good", SppInstance::good_gadget()),
+        ("disagree", SppInstance::disagree()),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &spp, |b, spp| {
             b.iter(|| {
                 let out = fvn::bgp::run_spvp(spp, 7, 3, 100_000);
@@ -78,7 +75,10 @@ fn bench_disagree(c: &mut Criterion) {
 fn bench_algebra_obligations(c: &mut Criterion) {
     let mut g = c.benchmark_group("exp4_obligations");
     for spec in [
-        AlgebraSpec::AddCost { max_label: 3, cap: 16 },
+        AlgebraSpec::AddCost {
+            max_label: 3,
+            cap: 16,
+        },
         AlgebraSpec::bgp_system(),
         AlgebraSpec::Lex(
             Box::new(AlgebraSpec::GaoRexford),
@@ -151,9 +151,80 @@ fn bench_softstate(c: &mut Criterion) {
     let prog = ndlog::parse_program(&src).unwrap();
     c.bench_function("exp8_softstate_rewrite", |b| {
         b.iter(|| {
-            black_box(ndlog::softstate::rewrite_soft_state(&prog).unwrap().literal_blowup())
+            black_box(
+                ndlog::softstate::rewrite_soft_state(&prog)
+                    .unwrap()
+                    .literal_blowup(),
+            )
         })
     });
+}
+
+/// EXP-9: incremental maintenance vs epoch recomputation under a single
+/// link failure on a 50-node topology (see DESIGN.md §3 and §5).
+fn bench_incremental_vs_epoch(c: &mut Criterion) {
+    use ndlog::incremental::{IncrementalEngine, TupleDelta};
+    use ndlog::Value;
+
+    // 50-node binary tree plus redundant chords; fail the 10-40 chord (the
+    // network survives on tree routes — the representative flap workload).
+    let mut topo50 = Topology::binary_tree(50);
+    for &(a, b) in &[(10u32, 40u32), (7, 23), (3, 12)] {
+        topo50.add_edge(a, b, 1);
+    }
+    let edges = topo50.edge_list();
+    let (fa, fb) = (10, 40);
+    let link = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b), Value::Int(1)];
+    let fail = vec![
+        TupleDelta::remove("link", link(fa, fb)),
+        TupleDelta::remove("link", link(fb, fa)),
+    ];
+    let recover = vec![
+        TupleDelta::insert("link", link(fa, fb)),
+        TupleDelta::insert("link", link(fb, fa)),
+    ];
+
+    let mut prog = ndlog::programs::path_vector();
+    ndlog::programs::add_links(&mut prog, &edges);
+    let engine = IncrementalEngine::new(&prog).expect("path vector maintains");
+
+    let remaining: Vec<(u32, u32, i64)> = edges
+        .iter()
+        .copied()
+        .filter(|&(a, b, _)| !(a == fa && b == fb))
+        .collect();
+    let mut failed_prog = ndlog::programs::path_vector();
+    ndlog::programs::add_links(&mut failed_prog, &remaining);
+
+    let mut g = c.benchmark_group("exp9_incremental_vs_epoch");
+    g.sample_size(10);
+    g.bench_function("incremental_link_failure", |b| {
+        b.iter(|| {
+            let mut e = engine.clone();
+            let out = e.apply(&fail).unwrap();
+            black_box(out.stats.derivations)
+        })
+    });
+    g.bench_function("incremental_flap_down_up", |b| {
+        b.iter(|| {
+            let mut e = engine.clone();
+            let d = e.apply(&fail).unwrap().stats.derivations;
+            let u = e.apply(&recover).unwrap().stats.derivations;
+            black_box(d + u)
+        })
+    });
+    // Analysis hoisted out of the loop: only evaluation is timed (the
+    // incremental closures still pay an engine clone per iteration, so the
+    // wall-clock gap *understates* the incremental advantage).
+    let epoch_ev = ndlog::Evaluator::new(&failed_prog).unwrap();
+    g.bench_function("epoch_recompute", |b| {
+        b.iter(|| {
+            let mut db = ndlog::Evaluator::base_database(&failed_prog);
+            let stats = epoch_ev.run(&mut db).unwrap();
+            black_box(stats.derivations)
+        })
+    });
+    g.finish();
 }
 
 /// FIG-1 / arc 7: distributed execution.
@@ -182,6 +253,6 @@ criterion_group! {
     targets = bench_proof_bestpath, bench_count_to_infinity, bench_disagree,
               bench_algebra_obligations, bench_automation,
               bench_declarative_vs_imperative, bench_translation,
-              bench_softstate, bench_runtime
+              bench_softstate, bench_incremental_vs_epoch, bench_runtime
 }
 criterion_main!(benches);

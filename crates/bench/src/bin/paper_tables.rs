@@ -27,7 +27,10 @@ fn hr(title: &str) {
 fn exp1() {
     hr("EXP-1  (§3.1)  bestPathStrong: 7 proof steps, fraction of a second");
     let th = path_vector_theory();
-    println!("{:<18} {:>6} {:>10} {:>12}  method", "theorem", "steps", "auto-steps", "time");
+    println!(
+        "{:<18} {:>6} {:>10} {:>12}  method",
+        "theorem", "steps", "auto-steps", "time"
+    );
     for t in &th.theorems {
         let start = Instant::now();
         let r = prove(&th, t).expect("prove");
@@ -48,11 +51,13 @@ fn exp1() {
 fn exp2() {
     hr("EXP-2  (§3.1, ref [22])  count-to-infinity in distance vector");
     let dv = DvSystem::classic(16, false);
-    println!("{:<34} {:>8} {:>8} {:>8}", "system", "states", "stable", "verdict");
+    println!(
+        "{:<34} {:>8} {:>8} {:>8}",
+        "system", "states", "stable", "verdict"
+    );
     let ex = explore(&dv, ExploreOptions::default());
     let st = stable_states(&dv, ExploreOptions::default());
-    let trace =
-        check_invariant(&dv, ExploreOptions::default(), |s| costs_bounded(s, 10, 16));
+    let trace = check_invariant(&dv, ExploreOptions::default(), |s| costs_bounded(s, 10, 16));
     println!(
         "{:<34} {:>8} {:>8} {:>8}",
         "distance vector (no paths)",
@@ -68,7 +73,11 @@ fn exp2() {
                 format!(
                     "({})",
                     s.iter()
-                        .map(|r| if r.cost >= 16 { "inf".into() } else { r.cost.to_string() })
+                        .map(|r| if r.cost >= 16 {
+                            "inf".into()
+                        } else {
+                            r.cost.to_string()
+                        })
                         .collect::<Vec<_>>()
                         .join(",")
                 )
@@ -95,17 +104,29 @@ fn exp3() {
     hr("EXP-3  (§3.2, ref [23])  Disagree: delayed convergence under policy conflict");
     // Model checking side.
     println!("model checking (SPVP dynamics, simultaneous activations):");
-    println!("{:<14} {:>8} {:>13} {:>12}", "gadget", "states", "stable-states", "oscillates");
+    println!(
+        "{:<14} {:>8} {:>13} {:>12}",
+        "gadget", "states", "stable-states", "oscillates"
+    );
     for (name, spp) in [
         ("GOOD", SppInstance::good_gadget()),
         ("DISAGREE", SppInstance::disagree()),
         ("BAD", SppInstance::bad_gadget()),
     ] {
-        let sys = SpvpSystem { spp, simultaneous: true };
+        let sys = SpvpSystem {
+            spp,
+            simultaneous: true,
+        };
         let ex = explore(&sys, ExploreOptions::default());
         let st = stable_states(&sys, ExploreOptions::default());
         let osc = find_oscillation(&sys, ExploreOptions::default()).is_some();
-        println!("{:<14} {:>8} {:>13} {:>12}", name, ex.states.len(), st.len(), osc);
+        println!(
+            "{:<14} {:>8} {:>13} {:>12}",
+            name,
+            ex.states.len(),
+            st.len(),
+            osc
+        );
     }
     // Execution side.
     println!("\nexecution (SPVP on netsim, 100 seeded async schedules, jitter 3):");
@@ -113,17 +134,23 @@ fn exp3() {
         "{:<14} {:>10} {:>14} {:>12} {:>12}",
         "gadget", "converged", "mean t_conv", "max t_conv", "mean churn"
     );
-    for (name, spp) in
-        [("GOOD", SppInstance::good_gadget()), ("DISAGREE", SppInstance::disagree())]
-    {
+    for (name, spp) in [
+        ("GOOD", SppInstance::good_gadget()),
+        ("DISAGREE", SppInstance::disagree()),
+    ] {
         let rows = measure_convergence(&spp, 0..100, 3);
-        let conv: Vec<&ConvergenceRow> =
-            rows.iter().filter(|r| r.converged_at.is_some()).collect();
-        let mean_t = conv.iter().map(|r| r.converged_at.unwrap() as f64).sum::<f64>()
+        let conv: Vec<&ConvergenceRow> = rows.iter().filter(|r| r.converged_at.is_some()).collect();
+        let mean_t = conv
+            .iter()
+            .map(|r| r.converged_at.unwrap() as f64)
+            .sum::<f64>()
             / conv.len().max(1) as f64;
-        let max_t = conv.iter().map(|r| r.converged_at.unwrap()).max().unwrap_or(0);
-        let mean_churn =
-            rows.iter().map(|r| r.churn as f64).sum::<f64>() / rows.len() as f64;
+        let max_t = conv
+            .iter()
+            .map(|r| r.converged_at.unwrap())
+            .max()
+            .unwrap_or(0);
+        let mean_churn = rows.iter().map(|r| r.churn as f64).sum::<f64>() / rows.len() as f64;
         println!(
             "{:<14} {:>7}/100 {:>14.1} {:>12} {:>12.2}",
             name,
@@ -142,7 +169,10 @@ fn exp4() {
     hr("EXP-4  (§3.3, ref [24])  routing-algebra axiom obligations");
     let algebras = vec![
         AlgebraSpec::HopCount { cap: 16 },
-        AlgebraSpec::AddCost { max_label: 3, cap: 16 },
+        AlgebraSpec::AddCost {
+            max_label: 3,
+            cap: 16,
+        },
         AlgebraSpec::Widest { max: 8 },
         AlgebraSpec::LocalPref { levels: 4 },
         AlgebraSpec::GaoRexford,
@@ -172,7 +202,10 @@ fn exp4() {
         );
     }
     println!("\ncounterexamples (first found):");
-    for spec in [AlgebraSpec::LocalPref { levels: 4 }, AlgebraSpec::bgp_system()] {
+    for spec in [
+        AlgebraSpec::LocalPref { levels: 4 },
+        AlgebraSpec::bgp_system(),
+    ] {
         let ob = metarouting::check_axiom(&spec, metarouting::Axiom::Monotonicity);
         if let Err(ce) = ob.verdict {
             println!("  {:<22} monotonicity: {}", spec.to_string(), ce.note);
@@ -295,7 +328,10 @@ fn exp8() {
     let prog = ndlog::parse_program(&soft_src).unwrap();
     let report = ndlog::softstate::rewrite_soft_state(&prog).unwrap();
     println!("{:<22} {:>10} {:>10}", "metric", "before", "after");
-    println!("{:<22} {:>10} {:>10}", "rules", report.before.rules, report.after.rules);
+    println!(
+        "{:<22} {:>10} {:>10}",
+        "rules", report.before.rules, report.after.rules
+    );
     println!(
         "{:<22} {:>10} {:>10}",
         "body literals", report.before.literals, report.after.literals
@@ -313,7 +349,10 @@ fn fig1() {
     let report = full_pipeline(42);
     println!("{:<14} {:>6} {:>10}  description", "arc", "ok", "time");
     for a in &report.arcs {
-        println!("{:<14} {:>6} {:>7} us  {}", a.arc, a.ok, a.micros, a.description);
+        println!(
+            "{:<14} {:>6} {:>7} us  {}",
+            a.arc, a.ok, a.micros, a.description
+        );
     }
     println!("\nall arcs ok: {}", report.ok());
 }
@@ -327,7 +366,10 @@ fn fig2() {
         println!("  {r}");
     }
     let th = fvn::to_theory(&m).expect("theory");
-    println!("\nlogical model (arc 2): definitions {:?}", th.defs.keys().collect::<Vec<_>>());
+    println!(
+        "\nlogical model (arc 2): definitions {:?}",
+        th.defs.keys().collect::<Vec<_>>()
+    );
 }
 
 fn fig3() {

@@ -54,7 +54,10 @@ pub fn figure2_bgp(export_threshold: i64, import_penalty: i64) -> Composite {
         name: "export".into(),
         inputs: vec![
             Wire::From("activeAS".into(), vec!["U".into(), "W".into(), "T".into()]),
-            Wire::From("bestRoute".into(), vec!["W".into(), "T".into(), "R0".into()]),
+            Wire::From(
+                "bestRoute".into(),
+                vec!["W".into(), "T".into(), "R0".into()],
+            ),
         ],
         output: vec!["U".into(), "W".into(), "R0".into(), "R1".into(), "T".into()],
         constraints: vec![
@@ -177,15 +180,14 @@ impl Protocol for SpvpNode {
 
     fn handle(&mut self, event: Event<Announcement>, ctx: &mut Context<Announcement>) {
         match event {
-            Event::Start => {
-                if ctx.me() == 0 {
-                    self.selected = Some(vec![0]);
-                    ctx.mark_changed();
-                    for &n in &self.neighbors {
-                        ctx.send(n, self.selected.clone());
-                    }
+            Event::Start if ctx.me() == 0 => {
+                self.selected = Some(vec![0]);
+                ctx.mark_changed();
+                for &n in &self.neighbors {
+                    ctx.send(n, self.selected.clone());
                 }
             }
+            Event::Start => {}
             Event::Message { from, msg } => {
                 if ctx.me() == 0 {
                     return;
@@ -226,17 +228,28 @@ pub fn run_spvp(spp: &SppInstance, seed: u64, jitter: Time, max_events: u64) -> 
         topo.add_edge(a, b, 1);
     }
     let nodes = SpvpNode::nodes_for(spp);
-    let cfg = SimConfig { jitter, seed, max_events, ..Default::default() };
+    let cfg = SimConfig {
+        jitter,
+        seed,
+        max_events,
+        ..Default::default()
+    };
     let mut sim = Simulator::new(topo, nodes, cfg);
     let stats = sim.run();
-    let selections: Vec<Announcement> =
-        (0..spp.n).map(|v| sim.node(v).selected.clone()).collect();
+    let selections: Vec<Announcement> = (0..spp.n).map(|v| sim.node(v).selected.clone()).collect();
     let churn = (0..spp.n).map(|v| sim.node(v).churn).sum();
 
     // Stability check: every node's selection is its best given the others'.
-    let state = fvn_mc::spvp::SpvpState { selection: selections.clone() };
+    let state = fvn_mc::spvp::SpvpState {
+        selection: selections.clone(),
+    };
     let stable = (1..spp.n).all(|v| spp.best_available(v, &state) == state.selection[v as usize]);
-    SpvpOutcome { stats, selections, churn, stable }
+    SpvpOutcome {
+        stats,
+        selections,
+        churn,
+        stable,
+    }
 }
 
 /// One row of the EXP‑3 convergence measurement.
@@ -281,7 +294,10 @@ mod tests {
     fn figure2_structure_matches_paper() {
         let m = figure2_bgp(100, 2);
         let names: Vec<&str> = m.components.iter().map(|c| c.name.as_str()).collect();
-        assert_eq!(names, vec!["activeAS", "bestRoute", "export", "pvt", "import"]);
+        assert_eq!(
+            names,
+            vec!["activeAS", "bestRoute", "export", "pvt", "import"]
+        );
         // Arc-3 translation emits the expected rule heads.
         let prog = to_ndlog(&m);
         let heads: Vec<String> = prog.rules.iter().map(|r| r.head.pred.clone()).collect();
@@ -289,7 +305,11 @@ mod tests {
         assert!(heads.contains(&"pvt_out".to_string()));
         assert!(heads.contains(&"import_out".to_string()));
         // export reads activeAS and bestRoute, as in Figure 2.
-        let export = prog.rules.iter().find(|r| r.head.pred == "export_out").unwrap();
+        let export = prog
+            .rules
+            .iter()
+            .find(|r| r.head.pred == "export_out")
+            .unwrap();
         let body = export.to_string();
         assert!(body.contains("activeAS_out"), "{body}");
         assert!(body.contains("bestRoute_out"), "{body}");

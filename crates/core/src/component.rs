@@ -61,7 +61,10 @@ pub struct Composite {
 impl Composite {
     /// Create an empty composite.
     pub fn new(name: impl Into<String>) -> Self {
-        Composite { name: name.into(), components: vec![] }
+        Composite {
+            name: name.into(),
+            components: vec![],
+        }
     }
 
     /// Add a component (must come after the components it reads from).
@@ -99,9 +102,17 @@ pub fn to_ndlog(model: &Composite) -> Program {
         let head = Head {
             pred: format!("{}_out", c.name),
             loc: None,
-            args: c.output.iter().map(|v| HeadArg::Term(Term::Var(v.clone()))).collect(),
+            args: c
+                .output
+                .iter()
+                .map(|v| HeadArg::Term(Term::Var(v.clone())))
+                .collect(),
         };
-        prog.rules.push(Rule { name: format!("g_{}", c.name), head, body });
+        prog.rules.push(Rule {
+            name: format!("g_{}", c.name),
+            head,
+            body,
+        });
     }
     prog
 }
@@ -146,7 +157,11 @@ pub fn to_theory(model: &Composite) -> Result<Theory, TranslateError> {
             c.name.clone(),
             Def::Inductive {
                 params,
-                clauses: vec![Clause { name: format!("def_{}", c.name), exists, body }],
+                clauses: vec![Clause {
+                    name: format!("def_{}", c.name),
+                    exists,
+                    body,
+                }],
             },
         );
     }
@@ -248,7 +263,10 @@ pub fn eval_dataflow(
         ev.run(&mut scratch)?;
         outs.insert(
             c.name.clone(),
-            scratch.relation(&format!("{}_out", c.name)).cloned().collect(),
+            scratch
+                .relation(&format!("{}_out", c.name))
+                .cloned()
+                .collect(),
         );
     }
     Ok(outs)
@@ -266,7 +284,11 @@ pub fn figure3_tc() -> Composite {
         output: vec!["O1".into()],
         constraints: vec![Literal::Assign(
             "O1".into(),
-            Expr::Bin(BinOp::Add, Box::new(Expr::Var("I1".into())), Box::new(Expr::Const(Value::Int(1)))),
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("I1".into())),
+                Box::new(Expr::Const(Value::Int(1))),
+            ),
         )],
     });
     m.push(Component {
@@ -275,7 +297,11 @@ pub fn figure3_tc() -> Composite {
         output: vec!["O2".into()],
         constraints: vec![Literal::Assign(
             "O2".into(),
-            Expr::Bin(BinOp::Mul, Box::new(Expr::Const(Value::Int(2))), Box::new(Expr::Var("I2".into()))),
+            Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Const(Value::Int(2))),
+                Box::new(Expr::Var("I2".into())),
+            ),
         )],
     });
     m.push(Component {
@@ -287,7 +313,11 @@ pub fn figure3_tc() -> Composite {
         output: vec!["O3".into()],
         constraints: vec![Literal::Assign(
             "O3".into(),
-            Expr::Bin(BinOp::Add, Box::new(Expr::Var("O1".into())), Box::new(Expr::Var("O2".into()))),
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("O1".into())),
+                Box::new(Expr::Var("O2".into())),
+            ),
         )],
     });
     m
@@ -315,13 +345,17 @@ mod tests {
     fn figure3_theory_matches_papers_pvs_definitions() {
         let th = to_theory(&figure3_tc()).unwrap();
         // tc(I1,I2,O3): INDUCTIVE bool = EXISTS (O1,O2): t1(...) AND ...
-        let Def::Inductive { params, clauses } = &th.defs["tc"] else { panic!() };
+        let Def::Inductive { params, clauses } = &th.defs["tc"] else {
+            panic!()
+        };
         assert_eq!(params, &["I1", "I2", "O3"]);
         assert_eq!(clauses[0].exists, vec!["O1", "O2"]);
         let body: Vec<String> = clauses[0].body.iter().map(|f| f.to_string()).collect();
         assert_eq!(body, vec!["t1(I1,O1)", "t2(I2,O2)", "t3(O1,O2,O3)"]);
         // Atomic components: t1(I,O): INDUCTIVE bool = C1(I,O).
-        let Def::Inductive { params: p1, .. } = &th.defs["t1"] else { panic!() };
+        let Def::Inductive { params: p1, .. } = &th.defs["t1"] else {
+            panic!()
+        };
         assert_eq!(p1, &["I1", "O1"]);
     }
 
@@ -329,7 +363,10 @@ mod tests {
     fn dataflow_and_generated_ndlog_agree() {
         let model = figure3_tc();
         let mut inputs = BTreeMap::new();
-        inputs.insert("t1".to_string(), vec![vec![Value::Int(3)], vec![Value::Int(10)]]);
+        inputs.insert(
+            "t1".to_string(),
+            vec![vec![Value::Int(3)], vec![Value::Int(10)]],
+        );
         inputs.insert("t2".to_string(), vec![vec![Value::Int(5)]]);
 
         // Reference dataflow semantics.
@@ -362,11 +399,15 @@ mod tests {
             let mut inputs = BTreeMap::new();
             inputs.insert(
                 "t1".to_string(),
-                (0..n1).map(|_| vec![Value::Int(rng.random_range(-50..50))]).collect(),
+                (0..n1)
+                    .map(|_| vec![Value::Int(rng.random_range(-50..50))])
+                    .collect(),
             );
             inputs.insert(
                 "t2".to_string(),
-                (0..n2).map(|_| vec![Value::Int(rng.random_range(-50..50))]).collect(),
+                (0..n2)
+                    .map(|_| vec![Value::Int(rng.random_range(-50..50))])
+                    .collect(),
             );
             let outs = eval_dataflow(&model, &inputs).unwrap();
             let mut prog = to_ndlog(&model);

@@ -12,8 +12,7 @@ use crate::verify::{best_path_strong, path_vector_theory};
 use fvn_logic::prover::Prover;
 use fvn_mc::{check_invariant, DvSystem, ExploreOptions, NdlogTs};
 use metarouting::{
-    add_topology_facts, discharge_all, generate, infer, AlgebraSpec, ConvergenceClass,
-    EdgeLabels,
+    add_topology_facts, discharge_all, generate, infer, AlgebraSpec, ConvergenceClass, EdgeLabels,
 };
 use ndlog_runtime::DistRuntime;
 use netsim::{SimConfig, Topology};
@@ -52,7 +51,10 @@ pub fn full_pipeline(seed: u64) -> PipelineReport {
 
     // Arcs 1-2: design phase — meta-model + formal property claims.
     let t = Instant::now();
-    let design = AlgebraSpec::AddCost { max_label: 3, cap: 64 };
+    let design = AlgebraSpec::AddCost {
+        max_label: 3,
+        cap: 64,
+    };
     let props = infer(&design);
     let convergent = props.convergence() == ConvergenceClass::GuaranteedOptimal;
     arcs.push(ArcReport {
@@ -136,12 +138,18 @@ pub fn full_pipeline(seed: u64) -> PipelineReport {
     let mut prog = ndlog::programs::path_vector();
     ndlog_runtime::link_facts(&mut prog, &topo);
     let central = ndlog::eval_program(&prog).expect("centralized evaluation");
-    let mut rt = DistRuntime::new(&prog, &topo, SimConfig { seed, ..Default::default() })
-        .expect("runtime builds");
+    let mut rt = DistRuntime::new(
+        &prog,
+        &topo,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("runtime builds");
     let stats = rt.run();
     let dist = rt.global_database();
-    let exec_ok = stats.quiescent
-        && dist.relation("bestPath").eq(central.relation("bestPath"));
+    let exec_ok = stats.quiescent && dist.relation("bestPath").eq(central.relation("bestPath"));
     arcs.push(ArcReport {
         arc: "7",
         description: format!(
@@ -198,7 +206,10 @@ mod tests {
         let a = full_pipeline(3);
         let b = full_pipeline(3);
         let desc = |r: &PipelineReport| {
-            r.arcs.iter().map(|a| a.description.clone()).collect::<Vec<_>>()
+            r.arcs
+                .iter()
+                .map(|a| a.description.clone())
+                .collect::<Vec<_>>()
         };
         assert_eq!(desc(&a), desc(&b));
     }

@@ -89,10 +89,15 @@ fn expr_to_lterm(e: &Expr) -> Result<LTerm, TranslateError> {
                 BinOp::Sub => "-",
                 BinOp::Mul => "*",
                 BinOp::Div => {
-                    return Err(TranslateError("division is not in the logic fragment".into()))
+                    return Err(TranslateError(
+                        "division is not in the logic fragment".into(),
+                    ))
                 }
             };
-            Ok(LTerm::App(sym.into(), vec![expr_to_lterm(a)?, expr_to_lterm(b)?]))
+            Ok(LTerm::App(
+                sym.into(),
+                vec![expr_to_lterm(a)?, expr_to_lterm(b)?],
+            ))
         }
         Expr::Call(name, args) => {
             if builtin_predicate(name).is_some() {
@@ -126,8 +131,7 @@ pub fn literal_to_formula(lit: &Literal) -> Result<Formula, TranslateError> {
         Literal::Assign(v, e) => Ok(Formula::Eq(LTerm::Var(v.clone()), expr_to_lterm(e)?)),
         Literal::Cmp(a, op, b) => {
             // Boolean-builtin equations become predicate literals.
-            if let (Expr::Call(name, args), CmpOp::Eq, Expr::Const(Value::Bool(truth))) =
-                (a, op, b)
+            if let (Expr::Call(name, args), CmpOp::Eq, Expr::Const(Value::Bool(truth))) = (a, op, b)
             {
                 if let Some(pred) = builtin_predicate(name) {
                     let mut ts = Vec::with_capacity(args.len());
@@ -170,7 +174,9 @@ fn canonical_params(rules: &[&Rule]) -> Vec<String> {
                 return vars;
             }
         }
-        (1..=first.head.args.len()).map(|i| format!("X{i}")).collect()
+        (1..=first.head.args.len())
+            .map(|i| format!("X{i}"))
+            .collect()
     } else {
         vec![]
     }
@@ -216,7 +222,11 @@ fn rule_to_clause(rule: &Rule, params: &[String]) -> Result<Clause, TranslateErr
             }
         }
     }
-    Ok(Clause { name: rule.name.clone(), exists, body })
+    Ok(Clause {
+        name: rule.name.clone(),
+        exists,
+        body,
+    })
 }
 
 /// Translate an aggregate rule (`min<C>`/`max<C>`) into a direct definition:
@@ -250,7 +260,7 @@ fn agg_rule_to_def(rule: &Rule) -> Result<(String, Def), TranslateError> {
     // Canonical parameters: group keys keep their head variable names; the
     // aggregate slot gets the aggregated variable's name.
     let mut params: Vec<String> = Vec::with_capacity(head.args.len());
-    for (_i, a) in head.args.iter().enumerate() {
+    for a in head.args.iter() {
         match a {
             HeadArg::Term(Term::Var(v)) => params.push(v.clone()),
             HeadArg::Term(Term::Const(_)) => {
@@ -443,14 +453,19 @@ mod tests {
     fn comparisons_translate_with_orientation() {
         let r = ndlog::parse_rule("x p(A) :- q(A), A > 3, A != 9.").unwrap();
         assert_eq!(literal_to_formula(&r.body[1]).unwrap().to_string(), "3 < A");
-        assert_eq!(literal_to_formula(&r.body[2]).unwrap().to_string(), "NOT (A = 9)");
+        assert_eq!(
+            literal_to_formula(&r.body[2]).unwrap().to_string(),
+            "NOT (A = 9)"
+        );
     }
 
     #[test]
     fn head_constants_become_equations() {
         let prog = ndlog::parse_program("x flag(A, 1) :- q(A).").unwrap();
         let th = ndlog_to_theory(&prog, "t").unwrap();
-        let Def::Inductive { params, clauses } = &th.defs["flag"] else { panic!() };
+        let Def::Inductive { params, clauses } = &th.defs["flag"] else {
+            panic!()
+        };
         assert_eq!(params, &["X1", "X2"]);
         assert!(clauses[0].body.iter().any(|f| f.to_string() == "X2 = 1"));
     }
@@ -465,7 +480,9 @@ mod tests {
     fn max_aggregate_flips_the_bound() {
         let prog = ndlog::parse_program("x widest(A, max<W>) :- e(A,B,W).").unwrap();
         let th = ndlog_to_theory(&prog, "t").unwrap();
-        let Def::Direct { body, .. } = &th.defs["widest"] else { panic!() };
+        let Def::Direct { body, .. } = &th.defs["widest"] else {
+            panic!()
+        };
         assert!(body.to_string().contains("W_all <= W"), "{body}");
     }
 }

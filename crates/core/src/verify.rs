@@ -162,7 +162,11 @@ pub fn path_vector_theory() -> Theory {
     add_path_axioms(&mut th);
 
     // T1 — route optimality (§3.1, the 7-step proof).
-    th.theorem("bestPathStrong", best_path_strong(), best_path_strong_script());
+    th.theorem(
+        "bestPathStrong",
+        best_path_strong(),
+        best_path_strong_script(),
+    );
 
     // T2 — soundness of selection: every best path is a path.
     th.theorem(
@@ -383,12 +387,18 @@ mod tests {
         let th = path_vector_theory();
         let rows = automation_stats(&th);
         let total: usize = rows.iter().map(|r| r.manual_steps).sum();
-        let auto: f64 = rows.iter().map(|r| r.automated_fraction() * r.manual_steps as f64).sum();
+        let auto: f64 = rows
+            .iter()
+            .map(|r| r.automated_fraction() * r.manual_steps as f64)
+            .sum();
         let ratio = auto / total as f64;
         // The paper: "typically two-thirds of the proof steps can be
         // automated". Require at least half and report the exact number in
         // EXPERIMENTS.md.
-        assert!(ratio >= 0.5, "automated fraction {ratio:.2} too low: {rows:?}");
+        assert!(
+            ratio >= 0.5,
+            "automated fraction {ratio:.2} too low: {rows:?}"
+        );
         assert!(ratio <= 1.0);
     }
 

@@ -26,13 +26,19 @@ pub struct LinExpr {
 
 impl LinExpr {
     fn constant(c: i128) -> Self {
-        LinExpr { coeffs: BTreeMap::new(), constant: c }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     fn atom(name: String) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(name, 1);
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     fn add(mut self, other: &LinExpr) -> Self {
@@ -210,7 +216,11 @@ pub fn unsat(mut cons: Vec<LinCon>) -> bool {
                 let mut combined = e1.clone().scale(b).add(&e2.clone().scale(a));
                 combined.coeffs.remove(&var);
                 let strict = *s1 || *s2;
-                rest.push(if strict { LinCon::Pos(combined) } else { LinCon::NonNeg(combined) });
+                rest.push(if strict {
+                    LinCon::Pos(combined)
+                } else {
+                    LinCon::NonNeg(combined)
+                });
             }
         }
         cons = rest;
@@ -263,10 +273,7 @@ mod tests {
     #[test]
     fn simple_contradiction() {
         // C2 < C  and  C <= C2  is unsat.
-        let ante = vec![
-            Formula::Lt(v("C2"), v("C")),
-            Formula::Le(v("C"), v("C2")),
-        ];
+        let ante = vec![Formula::Lt(v("C2"), v("C")), Formula::Le(v("C"), v("C2"))];
         assert!(refutes(&ante, &[]));
     }
 
@@ -317,10 +324,7 @@ mod tests {
         // cost(S) < cost(T) and cost(T) < cost(S) contradict.
         let c1 = Term::App("cost".into(), vec![v("S")]);
         let c2 = Term::App("cost".into(), vec![v("T")]);
-        let ante = vec![
-            Formula::Lt(c1.clone(), c2.clone()),
-            Formula::Lt(c2, c1),
-        ];
+        let ante = vec![Formula::Lt(c1.clone(), c2.clone()), Formula::Lt(c2, c1)];
         assert!(refutes(&ante, &[]));
     }
 
@@ -328,7 +332,10 @@ mod tests {
     fn multiplication_by_constant() {
         // 2*X >= 6 refutes X < 3.
         let two_x = Term::App("*".into(), vec![Term::int(2), v("X")]);
-        let ante = vec![Formula::Le(Term::int(6), two_x), Formula::Lt(v("X"), Term::int(3))];
+        let ante = vec![
+            Formula::Le(Term::int(6), two_x),
+            Formula::Lt(v("X"), Term::int(3)),
+        ];
         assert!(refutes(&ante, &[]));
     }
 

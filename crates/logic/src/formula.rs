@@ -65,16 +65,16 @@ impl Formula {
     /// Close the formula under universal quantifiers for `vars`, innermost
     /// last.
     pub fn forall(vars: &[&str], body: Formula) -> Formula {
-        vars.iter()
-            .rev()
-            .fold(body, |acc, v| Formula::Forall((*v).to_string(), Box::new(acc)))
+        vars.iter().rev().fold(body, |acc, v| {
+            Formula::Forall((*v).to_string(), Box::new(acc))
+        })
     }
 
     /// Close the formula under existential quantifiers for `vars`.
     pub fn exists(vars: &[&str], body: Formula) -> Formula {
-        vars.iter()
-            .rev()
-            .fold(body, |acc, v| Formula::Exists((*v).to_string(), Box::new(acc)))
+        vars.iter().rev().fold(body, |acc, v| {
+            Formula::Exists((*v).to_string(), Box::new(acc))
+        })
     }
 
     /// Implication helper.
@@ -83,6 +83,7 @@ impl Formula {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator on self
     pub fn not(a: Formula) -> Formula {
         Formula::Not(Box::new(a))
     }

@@ -124,7 +124,14 @@ impl<'t> Prover<'t> {
     pub fn new(theory: &'t Theory, statement: Formula) -> Self {
         let mut goals = VecDeque::new();
         goals.push_back(Sequent::goal(statement));
-        Prover { theory, goals, fresh: 0, log: Vec::new(), automated_steps: 0, user_steps: 0 }
+        Prover {
+            theory,
+            goals,
+            fresh: 0,
+            log: Vec::new(),
+            automated_steps: 0,
+            user_steps: 0,
+        }
     }
 
     /// Number of open goals.
@@ -534,7 +541,10 @@ impl<'t> Prover<'t> {
                     concl = Formula::Forall(v.clone(), Box::new(concl));
                 }
             }
-            let mut sg = Sequent { ante, succ: vec![concl] };
+            let mut sg = Sequent {
+                ante,
+                succ: vec![concl],
+            };
             self.flatten(&mut sg);
             subgoals.push(sg);
         }
@@ -708,8 +718,7 @@ fn expand_in_formula(f: &Formula, name: &str, def: &Def, fresh: &mut usize) -> F
                             cm.insert(loc.clone(), Term::Var(nv.clone()));
                             locals.push(nv);
                         }
-                        let body =
-                            Formula::and_all(c.body.iter().map(|b| b.subst(&cm)).collect());
+                        let body = Formula::and_all(c.body.iter().map(|b| b.subst(&cm)).collect());
                         let closed = locals
                             .iter()
                             .rev()
@@ -720,7 +729,11 @@ fn expand_in_formula(f: &Formula, name: &str, def: &Def, fresh: &mut usize) -> F
                 }
             }
         }
-        Formula::True | Formula::False | Formula::Pred(..) | Formula::Eq(..) | Formula::Le(..)
+        Formula::True
+        | Formula::False
+        | Formula::Pred(..)
+        | Formula::Eq(..)
+        | Formula::Le(..)
         | Formula::Lt(..) => f.clone(),
         Formula::Not(x) => Formula::not(expand_in_formula(x, name, def, fresh)),
         Formula::And(a, b) => Formula::And(
@@ -774,7 +787,14 @@ fn inst_auto(g: &mut Sequent) {
         }
         let triggers: Vec<Formula> = trigger_atoms(&matrix);
         let mut found: Vec<Subst> = Vec::new();
-        match_triggers(&triggers, &ground_atoms, &Subst::new(), &vars, &mut found, MAX_NEW);
+        match_triggers(
+            &triggers,
+            &ground_atoms,
+            &Subst::new(),
+            &vars,
+            &mut found,
+            MAX_NEW,
+        );
         for s in found {
             if s.len() == vars.len() {
                 let inst = matrix.subst(&s);
@@ -796,7 +816,14 @@ fn inst_auto(g: &mut Sequent) {
         }
         let triggers: Vec<Formula> = trigger_atoms(&matrix);
         let mut found: Vec<Subst> = Vec::new();
-        match_triggers(&triggers, &ground_atoms, &Subst::new(), &vars, &mut found, MAX_NEW);
+        match_triggers(
+            &triggers,
+            &ground_atoms,
+            &Subst::new(),
+            &vars,
+            &mut found,
+            MAX_NEW,
+        );
         for s in found {
             if s.len() == vars.len() {
                 let inst = matrix.subst(&s);
@@ -897,7 +924,10 @@ fn match_term_restricted(pat: &Term, tgt: &Term, s: &mut Subst, vars: &[String])
         (Term::App(f, fa), Term::App(g, ga)) => {
             f == g
                 && fa.len() == ga.len()
-                && fa.iter().zip(ga).all(|(x, y)| match_term_restricted(x, y, s, vars))
+                && fa
+                    .iter()
+                    .zip(ga)
+                    .all(|(x, y)| match_term_restricted(x, y, s, vars))
         }
         _ => false,
     }
@@ -987,12 +1017,14 @@ fn rewrite_terms_in_formula(f: &Formula, lt: &Term, rt: &Term, vars: &[String]) 
             Box::new(rewrite_terms_in_formula(a, lt, rt, vars)),
             Box::new(rewrite_terms_in_formula(b, lt, rt, vars)),
         ),
-        Formula::Forall(v, x) => {
-            Formula::Forall(v.clone(), Box::new(rewrite_terms_in_formula(x, lt, rt, vars)))
-        }
-        Formula::Exists(v, x) => {
-            Formula::Exists(v.clone(), Box::new(rewrite_terms_in_formula(x, lt, rt, vars)))
-        }
+        Formula::Forall(v, x) => Formula::Forall(
+            v.clone(),
+            Box::new(rewrite_terms_in_formula(x, lt, rt, vars)),
+        ),
+        Formula::Exists(v, x) => Formula::Exists(
+            v.clone(),
+            Box::new(rewrite_terms_in_formula(x, lt, rt, vars)),
+        ),
         other => other.clone(),
     }
 }
@@ -1042,7 +1074,10 @@ fn assert_simplify(g: &mut Sequent) {
         //    variables are only eliminated when no binder in the sequent
         //    shares their name (substitution here is not capture-avoiding).
         let safe_var = |name: &str| {
-            !g.ante.iter().chain(g.succ.iter()).any(|f| binds_var(f, name))
+            !g.ante
+                .iter()
+                .chain(g.succ.iter())
+                .any(|f| binds_var(f, name))
         };
         let mut idx = None;
         for (i, f) in g.ante.iter().enumerate() {
@@ -1162,9 +1197,10 @@ fn replace_term(t: &Term, from: &Term, to: &Term) -> Term {
         return to.clone();
     }
     match t {
-        Term::App(f, args) => {
-            Term::App(f.clone(), args.iter().map(|a| replace_term(a, from, to)).collect())
-        }
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(|a| replace_term(a, from, to)).collect(),
+        ),
         other => other.clone(),
     }
 }
@@ -1273,7 +1309,10 @@ mod tests {
         // best(c) |- p(c)
         let c = Term::App("c".into(), vec![]);
         let mut p = Prover::new(&th, pred("p", vec![c.clone()]));
-        p.goals.front_mut().unwrap().push_ante(pred("best", vec![c]));
+        p.goals
+            .front_mut()
+            .unwrap()
+            .push_ante(pred("best", vec![c]));
         p.apply(&Command::Expand("best".into())).unwrap();
         p.apply(&Command::Flatten).unwrap();
         assert!(p.is_proved());
@@ -1343,7 +1382,10 @@ mod tests {
         // |- inPath(init(a,b), a)
         let a = Term::App("a".into(), vec![]);
         let b = Term::App("b".into(), vec![]);
-        let goal = pred("inPath", vec![Term::App("init".into(), vec![a.clone(), b]), a]);
+        let goal = pred(
+            "inPath",
+            vec![Term::App("init".into(), vec![a.clone(), b]), a],
+        );
         let mut p = Prover::new(&th, goal);
         p.apply(&Command::Rewrite("inPathInit".into())).unwrap();
         p.apply(&Command::Prop).unwrap();
@@ -1378,7 +1420,10 @@ mod tests {
         );
         let goal = Formula::forall(
             &["Z"],
-            Formula::implies(pred("even", vec![v("Z")]), Formula::Le(Term::int(0), v("Z"))),
+            Formula::implies(
+                pred("even", vec![v("Z")]),
+                Formula::Le(Term::int(0), v("Z")),
+            ),
         );
         let mut p = Prover::new(&th, goal);
         p.apply(&Command::Induct("even".into())).unwrap();

@@ -43,16 +43,32 @@ pub fn render_formula(f: &Formula) -> String {
         Formula::Lt(a, b) => format!("{}<{}", render_term(a), render_term(b)),
         Formula::Not(x) => format!("NOT {}", render_formula_atomic(x)),
         Formula::And(a, b) => {
-            format!("{} AND {}", render_formula_atomic(a), render_formula_atomic(b))
+            format!(
+                "{} AND {}",
+                render_formula_atomic(a),
+                render_formula_atomic(b)
+            )
         }
         Formula::Or(a, b) => {
-            format!("{} OR {}", render_formula_atomic(a), render_formula_atomic(b))
+            format!(
+                "{} OR {}",
+                render_formula_atomic(a),
+                render_formula_atomic(b)
+            )
         }
         Formula::Implies(a, b) => {
-            format!("{} => {}", render_formula_atomic(a), render_formula_atomic(b))
+            format!(
+                "{} => {}",
+                render_formula_atomic(a),
+                render_formula_atomic(b)
+            )
         }
         Formula::Iff(a, b) => {
-            format!("{} IFF {}", render_formula_atomic(a), render_formula_atomic(b))
+            format!(
+                "{} IFF {}",
+                render_formula_atomic(a),
+                render_formula_atomic(b)
+            )
         }
         Formula::Forall(..) => {
             let (vars, body) = strip_quant(f, true);
@@ -78,6 +94,9 @@ fn render_formula_atomic(f: &Formula) -> String {
     }
 }
 
+// `while let` is not applicable: the scrutinee borrows `cur`, which the body
+// reassigns.
+#[allow(clippy::while_let_loop)]
 fn strip_quant(f: &Formula, forall: bool) -> (Vec<String>, Formula) {
     let mut vars = Vec::new();
     let mut cur = f.clone();
@@ -97,7 +116,12 @@ fn strip_quant(f: &Formula, forall: bool) -> (Vec<String>, Formula) {
 pub fn render_def(pred: &str, def: &Def) -> String {
     match def {
         Def::Direct { params, body } => {
-            format!("{}({}): bool =\n  {}", pred, params.join(","), render_formula(body))
+            format!(
+                "{}({}): bool =\n  {}",
+                pred,
+                params.join(","),
+                render_formula(body)
+            )
         }
         Def::Inductive { params, clauses } => {
             let mut out = format!("{}({}): INDUCTIVE bool =\n", pred, params.join(","));
@@ -141,7 +165,13 @@ pub fn render_theory(th: &Theory) -> String {
         writeln!(out).unwrap();
     }
     for t in &th.theorems {
-        writeln!(out, "  {}: THEOREM {}", t.name, render_formula(&t.statement)).unwrap();
+        writeln!(
+            out,
+            "  {}: THEOREM {}",
+            t.name,
+            render_formula(&t.statement)
+        )
+        .unwrap();
     }
     writeln!(out, "END {}", th.name).unwrap();
     out
@@ -221,7 +251,10 @@ mod tests {
         th.axiom("a1", Formula::forall(&["X"], pred("p", vec![v("X")])));
         th.define(
             "q",
-            Def::Direct { params: vec!["X".into()], body: pred("p", vec![v("X")]) },
+            Def::Direct {
+                params: vec!["X".into()],
+                body: pred("p", vec![v("X")]),
+            },
         );
         th.theorem("t1", Formula::True, vec![]);
         let s = render_theory(&th);
@@ -235,7 +268,10 @@ mod tests {
     #[test]
     fn atomic_parenthesization() {
         let f = Formula::And(
-            Box::new(Formula::Or(Box::new(Formula::True), Box::new(Formula::False))),
+            Box::new(Formula::Or(
+                Box::new(Formula::True),
+                Box::new(Formula::False),
+            )),
             Box::new(Formula::True),
         );
         assert_eq!(render_formula(&f), "(TRUE OR FALSE) AND TRUE");

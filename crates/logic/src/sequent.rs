@@ -20,7 +20,10 @@ pub struct Sequent {
 impl Sequent {
     /// A sequent with a single goal formula.
     pub fn goal(f: Formula) -> Self {
-        Sequent { ante: vec![], succ: vec![f] }
+        Sequent {
+            ante: vec![],
+            succ: vec![f],
+        }
     }
 
     /// Add to the antecedent if not already present.
@@ -116,7 +119,10 @@ mod tests {
     fn ground_truth_closes() {
         let s = Sequent::goal(Formula::Le(Term::int(1), Term::int(2)));
         assert!(s.trivially_true());
-        let s2 = Sequent { ante: vec![Formula::Lt(Term::int(2), Term::int(1))], succ: vec![] };
+        let s2 = Sequent {
+            ante: vec![Formula::Lt(Term::int(2), Term::int(1))],
+            succ: vec![],
+        };
         assert!(s2.trivially_true());
     }
 

@@ -54,6 +54,7 @@ impl Term {
     }
 
     /// `a + b` as an interpreted application.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator on self
     pub fn add(a: Term, b: Term) -> Term {
         Term::App("+".into(), vec![a, b])
     }
@@ -78,9 +79,7 @@ impl Term {
         match self {
             Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
             Term::Const(_) => self.clone(),
-            Term::App(f, args) => {
-                Term::App(f.clone(), args.iter().map(|a| a.subst(map)).collect())
-            }
+            Term::App(f, args) => Term::App(f.clone(), args.iter().map(|a| a.subst(map)).collect()),
         }
     }
 
@@ -275,7 +274,10 @@ mod tests {
 
     #[test]
     fn occurs_and_vars() {
-        let t = Term::App("f".into(), vec![v("A"), Term::App("g".into(), vec![v("B")])]);
+        let t = Term::App(
+            "f".into(),
+            vec![v("A"), Term::App("g".into(), vec![v("B")])],
+        );
         assert!(t.occurs("B"));
         assert!(!t.occurs("C"));
         let mut vs = std::collections::BTreeSet::new();

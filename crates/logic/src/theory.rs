@@ -52,9 +52,9 @@ impl Def {
     pub fn is_recursive(&self, pred: &str) -> bool {
         match self {
             Def::Direct { body, .. } => mentions(body, pred),
-            Def::Inductive { clauses, .. } => {
-                clauses.iter().any(|c| c.body.iter().any(|f| mentions(f, pred)))
-            }
+            Def::Inductive { clauses, .. } => clauses
+                .iter()
+                .any(|c| c.body.iter().any(|f| mentions(f, pred))),
         }
     }
 }
@@ -100,7 +100,10 @@ pub struct Theory {
 impl Theory {
     /// Create an empty theory.
     pub fn new(name: impl Into<String>) -> Self {
-        Theory { name: name.into(), ..Default::default() }
+        Theory {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a definition.
@@ -122,7 +125,11 @@ impl Theory {
         statement: Formula,
         script: Vec<Command>,
     ) -> &mut Self {
-        self.theorems.push(Theorem { name: name.into(), statement, script });
+        self.theorems.push(Theorem {
+            name: name.into(),
+            statement,
+            script,
+        });
         self
     }
 
@@ -134,9 +141,12 @@ impl Theory {
     /// Look up an axiom or a previously declared theorem statement (both can
     /// be cited with the `lemma` command).
     pub fn citable(&self, name: &str) -> Option<&Formula> {
-        self.axioms
-            .get(name)
-            .or_else(|| self.theorems.iter().find(|t| t.name == name).map(|t| &t.statement))
+        self.axioms.get(name).or_else(|| {
+            self.theorems
+                .iter()
+                .find(|t| t.name == name)
+                .map(|t| &t.statement)
+        })
     }
 }
 
@@ -153,7 +163,10 @@ impl Interpretation {
     /// Build from pairs.
     pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
         Interpretation {
-            mapping: pairs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            mapping: pairs
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
         }
     }
 
@@ -204,7 +217,10 @@ pub fn interpretation_obligations(
         .axioms
         .iter()
         .map(|(name, ax)| {
-            (format!("{}_{}", abstract_theory.name, name), interp.rename(ax))
+            (
+                format!("{}_{}", abstract_theory.name, name),
+                interp.rename(ax),
+            )
         })
         .collect()
 }
@@ -247,7 +263,10 @@ mod tests {
         let f = Formula::forall(
             &["A"],
             Formula::implies(
-                pred("prefRel", vec![Term::var("A"), Term::App("labelApply".into(), vec![])]),
+                pred(
+                    "prefRel",
+                    vec![Term::var("A"), Term::App("labelApply".into(), vec![])],
+                ),
                 Formula::True,
             ),
         );
@@ -265,7 +284,13 @@ mod tests {
             "monotonicity",
             Formula::forall(
                 &["L", "S"],
-                pred("prefRel", vec![Term::var("S"), Term::App("labelApply".into(), vec![Term::var("L"), Term::var("S")])]),
+                pred(
+                    "prefRel",
+                    vec![
+                        Term::var("S"),
+                        Term::App("labelApply".into(), vec![Term::var("L"), Term::var("S")]),
+                    ],
+                ),
             ),
         );
         let i = Interpretation::from_pairs(&[("prefRel", "le"), ("labelApply", "add")]);

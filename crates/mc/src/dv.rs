@@ -49,19 +49,48 @@ impl DvSystem {
         topo.add_edge(0, 1, 1);
         // Link 1-2 existed (costs below reflect it) but is now gone.
         let start = vec![
-            Route { cost: 2, path: if with_path_vector { vec![0, 1, 2] } else { vec![] } },
-            Route { cost: 1, path: if with_path_vector { vec![1, 2] } else { vec![] } },
-            Route { cost: 0, path: if with_path_vector { vec![2] } else { vec![] } },
+            Route {
+                cost: 2,
+                path: if with_path_vector {
+                    vec![0, 1, 2]
+                } else {
+                    vec![]
+                },
+            },
+            Route {
+                cost: 1,
+                path: if with_path_vector { vec![1, 2] } else { vec![] },
+            },
+            Route {
+                cost: 0,
+                path: if with_path_vector { vec![2] } else { vec![] },
+            },
         ];
-        DvSystem { topo, dest: 2, infinity, with_path_vector, start }
+        DvSystem {
+            topo,
+            dest: 2,
+            infinity,
+            with_path_vector,
+            start,
+        }
     }
 
     /// Recompute node `v`'s best route from its neighbors' current routes.
     fn best_route(&self, v: u32, state: &DvState) -> Route {
         if v == self.dest {
-            return Route { cost: 0, path: if self.with_path_vector { vec![v] } else { vec![] } };
+            return Route {
+                cost: 0,
+                path: if self.with_path_vector {
+                    vec![v]
+                } else {
+                    vec![]
+                },
+            };
         }
-        let mut best = Route { cost: self.infinity, path: vec![] };
+        let mut best = Route {
+            cost: self.infinity,
+            path: vec![],
+        };
         for (n, c) in self.topo.neighbors(v) {
             let r = &state[n as usize];
             if r.cost >= self.infinity {
@@ -149,10 +178,8 @@ mod tests {
     fn path_vector_prevents_count_to_infinity() {
         let sys = DvSystem::classic(16, true);
         // With path vectors the same invariant holds for every bound >= 2.
-        let visited = check_invariant(&sys, ExploreOptions::default(), |s| {
-            costs_bounded(s, 2, 16)
-        })
-        .unwrap();
+        let visited =
+            check_invariant(&sys, ExploreOptions::default(), |s| costs_bounded(s, 2, 16)).unwrap();
         assert!(visited >= 1);
         // And the system stabilizes with both nodes at infinity immediately
         // (no phantom route is ever accepted).
@@ -183,7 +210,13 @@ mod tests {
         let max_costs: Vec<i64> = err
             .states
             .iter()
-            .map(|s| s.iter().map(|r| r.cost).filter(|c| *c < 16).max().unwrap_or(0))
+            .map(|s| {
+                s.iter()
+                    .map(|r| r.cost)
+                    .filter(|c| *c < 16)
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for w in max_costs.windows(2) {
             assert!(w[1] >= w[0], "counting must not decrease: {max_costs:?}");

@@ -14,7 +14,10 @@
 //!   with the DISAGREE, BAD GADGET and GOOD GADGET instances (EXP‑3);
 //! * [`ndlog_ts`] — NDlog programs as transition systems (the §4.3
 //!   linear-logic interface): every rule-firing order is explored, not just
-//!   the evaluator's.
+//!   the evaluator's; [`ChurnTs`] extends this to *delta transitions*, so
+//!   invariants are checked across every interleaving of topology churn
+//!   (link failures, recoveries, metric changes) under incremental
+//!   maintenance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +28,9 @@ pub mod spvp;
 pub mod ts;
 
 pub use dv::{costs_bounded, DvState, DvSystem, Route};
-pub use ndlog_ts::NdlogTs;
+pub use ndlog_ts::{ChurnState, ChurnTs, NdlogTs};
 pub use spvp::{Path, SppInstance, SpvpState, SpvpSystem};
 pub use ts::{
-    check_invariant, explore, find_oscillation, stable_states, Exploration, ExploreOptions,
-    Trace, TransitionSystem,
+    check_invariant, explore, find_oscillation, stable_states, Exploration, ExploreOptions, Trace,
+    TransitionSystem,
 };

@@ -15,9 +15,11 @@
 use crate::ts::TransitionSystem;
 use ndlog::ast::Program;
 use ndlog::eval::{derive_rule, Database, Evaluator};
+use ndlog::incremental::{IncrementalEngine, TupleDelta};
 use ndlog::safety::analyze;
 use ndlog::value::format_tuple;
 use ndlog::{NdlogError, Result, Rule};
+use std::collections::BTreeSet;
 
 /// An NDlog program viewed as a (nondeterministic) transition system.
 #[derive(Debug, Clone)]
@@ -42,7 +44,10 @@ impl NdlogTs {
                 });
             }
         }
-        Ok(NdlogTs { rules: analysis.rules, start: Evaluator::base_database(prog) })
+        Ok(NdlogTs {
+            rules: analysis.rules,
+            start: Evaluator::base_database(prog),
+        })
     }
 }
 
@@ -65,6 +70,122 @@ impl TransitionSystem for NdlogTs {
                     }
                 }
             }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delta transitions: verified programs stay verified under churn.
+// ---------------------------------------------------------------------
+
+/// An NDlog program under topology churn, as a transition system.
+///
+/// A state is the *maintained* database of an [`IncrementalEngine`] plus the
+/// set of external delta batches already applied; a transition applies one
+/// pending batch (a link failure, a link recovery, a metric change) through
+/// incremental maintenance.  Exploration therefore covers **every
+/// interleaving** of the churn events — the continuous-verification story:
+/// an invariant checked with [`crate::ts::check_invariant`] holds not just
+/// for the final topology but along every maintenance order reaching it.
+#[derive(Debug, Clone)]
+pub struct ChurnTs {
+    start: IncrementalEngine,
+    deltas: Vec<(String, Vec<TupleDelta>)>,
+    /// First maintenance error seen during exploration (evaluation bounds
+    /// or a data-dependent evaluation failure): that interleaving was
+    /// pruned, so a verdict over the explored space is **incomplete** —
+    /// check [`Self::truncated`] / [`Self::prune_error`].  Sticky across
+    /// explorations of the same instance.
+    prune_error: std::cell::RefCell<Option<String>>,
+}
+
+/// A churn state: which delta batches were applied, and the maintained
+/// engine (compared by canonical database state).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChurnState {
+    /// Indices (into the schedule) of the batches applied so far.
+    pub applied: BTreeSet<usize>,
+    engine: IncrementalEngine,
+}
+
+impl ChurnState {
+    /// The maintained database in this state.
+    pub fn database(&self) -> Database {
+        self.engine.database()
+    }
+
+    /// Is the tuple visible in this state?
+    pub fn contains(&self, pred: &str, tuple: &ndlog::value::Tuple) -> bool {
+        self.engine.contains(pred, tuple)
+    }
+}
+
+impl ChurnTs {
+    /// Build the system: evaluate `prog` to its initial fixpoint and record
+    /// the labelled churn schedule.  Aggregates are allowed — incremental
+    /// maintenance covers them (unlike [`NdlogTs`], which enumerates
+    /// per-tuple firings).
+    pub fn new(prog: &Program, deltas: Vec<(String, Vec<TupleDelta>)>) -> Result<Self> {
+        Self::with_options(prog, deltas, ndlog::EvalOptions::default())
+    }
+
+    /// Like [`new`](Self::new) with custom evaluation bounds.
+    pub fn with_options(
+        prog: &Program,
+        deltas: Vec<(String, Vec<TupleDelta>)>,
+        opts: ndlog::EvalOptions,
+    ) -> Result<Self> {
+        Ok(ChurnTs {
+            start: IncrementalEngine::with_options(prog, opts)?,
+            deltas,
+            prune_error: std::cell::RefCell::new(None),
+        })
+    }
+
+    /// True if any interleaving was pruned because its maintenance batch
+    /// errored — a passing invariant check is then a verdict over an
+    /// *incomplete* state space.  Sticky for the lifetime of this instance.
+    pub fn truncated(&self) -> bool {
+        self.prune_error.borrow().is_some()
+    }
+
+    /// The first pruned interleaving's label and error, if any — shows
+    /// whether pruning was a bounds limit or a genuine evaluation failure
+    /// (division by zero, unbound variable) a delta exposed.
+    pub fn prune_error(&self) -> Option<String> {
+        self.prune_error.borrow().clone()
+    }
+}
+
+impl TransitionSystem for ChurnTs {
+    type State = ChurnState;
+
+    fn initial(&self) -> Vec<ChurnState> {
+        vec![ChurnState {
+            applied: BTreeSet::new(),
+            engine: self.start.clone(),
+        }]
+    }
+
+    fn successors(&self, s: &ChurnState) -> Vec<(String, ChurnState)> {
+        let mut out = Vec::new();
+        for (i, (label, batch)) in self.deltas.iter().enumerate() {
+            if s.applied.contains(&i) {
+                continue;
+            }
+            let mut engine = s.engine.clone();
+            if let Err(e) = engine.apply(batch) {
+                // Pruned branch: surfaced through truncated()/prune_error()
+                // so a passing check is never silently incomplete.
+                self.prune_error
+                    .borrow_mut()
+                    .get_or_insert_with(|| format!("{label}: {e}"));
+                continue;
+            }
+            let mut applied = s.applied.clone();
+            applied.insert(i);
+            out.push((label.clone(), ChurnState { applied, engine }));
         }
         out
     }
@@ -140,5 +261,137 @@ mod tests {
         )
         .unwrap();
         assert!(NdlogTs::new(&prog).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // churn transitions
+    // ------------------------------------------------------------------
+
+    fn link(a: u32, b: u32, c: i64) -> ndlog::value::Tuple {
+        vec![Value::Addr(a), Value::Addr(b), Value::Int(c)]
+    }
+
+    /// Line 0-1-2 with a failing and a recovering link.
+    fn churn_system() -> ChurnTs {
+        let prog = reach_prog();
+        ChurnTs::new(
+            &prog,
+            vec![
+                (
+                    "fail01".into(),
+                    vec![TupleDelta::remove("link", link(0, 1, 1))],
+                ),
+                (
+                    "add02".into(),
+                    vec![TupleDelta::insert("link", link(0, 2, 1))],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn churn_interleavings_are_confluent() {
+        let ts = churn_system();
+        let ex = explore(&ts, ExploreOptions::default());
+        assert!(!ex.truncated);
+        // Both orders of the two events are explored: 1 initial + 2
+        // intermediate + final state(s).
+        assert!(ex.states.len() >= 4, "states: {}", ex.states.len());
+        // All fully-applied states coincide, and match from-scratch
+        // evaluation of the final fact set.
+        let finals: Vec<_> = ex.states.iter().filter(|s| s.applied.len() == 2).collect();
+        assert!(!finals.is_empty());
+        let want = ndlog::eval_program(
+            &parse_program(
+                "r1 reach(@S,D) :- link(@S,D,C).
+                 r2 reach(@S,D) :- link(@S,Z,C), reach(@Z,D).
+                 link(@#1,#2,1). link(@#0,#2,1).",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for f in finals {
+            assert_eq!(f.database(), want, "confluence under churn orderings");
+        }
+    }
+
+    #[test]
+    fn invariant_holds_across_all_churn_orders() {
+        let ts = churn_system();
+        // reach never derives a self-loop, in any churn interleaving.
+        let visited = check_invariant(&ts, ExploreOptions::default(), |s| {
+            s.database().relation("reach").all(|t| t[0] != t[1])
+        })
+        .unwrap();
+        assert!(visited >= 4);
+    }
+
+    #[test]
+    fn churn_counterexample_names_the_delta() {
+        let ts = churn_system();
+        // Claim (false): node 0 always keeps a route to 1.
+        let err = check_invariant(&ts, ExploreOptions::default(), |s| {
+            s.contains("reach", &vec![Value::Addr(0), Value::Addr(1)])
+        })
+        .unwrap_err();
+        assert_eq!(err.labels, vec!["fail01".to_string()]);
+    }
+
+    #[test]
+    fn churn_pruned_interleavings_are_surfaced() {
+        // A delta that makes maintenance diverge: the branch is pruned and
+        // the incompleteness reported, instead of silently certifying.
+        let prog = parse_program("a q(N) :- q(M), N = M + 1.").unwrap();
+        let ts = ChurnTs::with_options(
+            &prog,
+            vec![(
+                "seed".into(),
+                vec![TupleDelta::insert("q", vec![Value::Int(0)])],
+            )],
+            ndlog::EvalOptions {
+                max_iterations: 40,
+                max_tuples: 1_000_000,
+            },
+        )
+        .unwrap();
+        assert!(!ts.truncated());
+        let visited = check_invariant(&ts, ExploreOptions::default(), |_| true).unwrap();
+        assert_eq!(visited, 1, "only the initial state is reachable");
+        assert!(ts.truncated(), "the divergent branch must be reported");
+        let why = ts.prune_error().unwrap();
+        assert!(why.starts_with("seed:"), "error names the delta: {why}");
+        // A well-behaved schedule stays complete.
+        let ok = churn_system();
+        explore(&ok, ExploreOptions::default());
+        assert!(!ok.truncated());
+    }
+
+    #[test]
+    fn churn_supports_aggregates() {
+        let mut prog = ndlog::programs::path_vector();
+        ndlog::programs::add_links(&mut prog, &[(0, 1, 1), (1, 2, 2), (0, 2, 9)]);
+        let ts = ChurnTs::new(
+            &prog,
+            vec![(
+                "fail01".into(),
+                vec![
+                    TupleDelta::remove("link", link(0, 1, 1)),
+                    TupleDelta::remove("link", link(1, 0, 1)),
+                ],
+            )],
+        )
+        .unwrap();
+        // Best cost 0->2 is 3 before the failure and 9 after, in all states.
+        let visited = check_invariant(&ts, ExploreOptions::default(), |s| {
+            let failed = !s.applied.is_empty();
+            let want = if failed { 9 } else { 3 };
+            s.contains(
+                "bestPathCost",
+                &vec![Value::Addr(0), Value::Addr(2), Value::Int(want)],
+            )
+        })
+        .unwrap();
+        assert_eq!(visited, 2);
     }
 }

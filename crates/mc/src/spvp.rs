@@ -53,7 +53,11 @@ impl SppInstance {
                 }
             }
         }
-        SppInstance { n, permitted, edges }
+        SppInstance {
+            n,
+            permitted,
+            edges,
+        }
     }
 
     /// DISAGREE (paper §3.2.1, refs [8, 7]): nodes 1 and 2 each prefer the
@@ -62,9 +66,9 @@ impl SppInstance {
         SppInstance::new(
             3,
             vec![
-                vec![],                                   // origin
-                vec![vec![1, 2, 0], vec![1, 0]],          // node 1
-                vec![vec![2, 1, 0], vec![2, 0]],          // node 2
+                vec![],                          // origin
+                vec![vec![1, 2, 0], vec![1, 0]], // node 1
+                vec![vec![2, 1, 0], vec![2, 0]], // node 2
             ],
         )
     }
@@ -201,20 +205,28 @@ mod tests {
 
     #[test]
     fn disagree_has_exactly_two_stable_states() {
-        let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: true };
+        let sys = SpvpSystem {
+            spp: SppInstance::disagree(),
+            simultaneous: true,
+        };
         let stable = stable_of(&sys);
         assert_eq!(stable.len(), 2, "DISAGREE is the two-solution gadget");
         // One solution: 1 routes through 2; the other: 2 routes through 1.
-        let has = |sel: &SpvpState, v: usize, p: &[u32]| {
-            sel.selection[v].as_deref() == Some(p)
-        };
-        assert!(stable.iter().any(|s| has(s, 1, &[1, 2, 0]) && has(s, 2, &[2, 0])));
-        assert!(stable.iter().any(|s| has(s, 2, &[2, 1, 0]) && has(s, 1, &[1, 0])));
+        let has = |sel: &SpvpState, v: usize, p: &[u32]| sel.selection[v].as_deref() == Some(p);
+        assert!(stable
+            .iter()
+            .any(|s| has(s, 1, &[1, 2, 0]) && has(s, 2, &[2, 0])));
+        assert!(stable
+            .iter()
+            .any(|s| has(s, 2, &[2, 1, 0]) && has(s, 1, &[1, 0])));
     }
 
     #[test]
     fn disagree_oscillates_under_simultaneous_activation() {
-        let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: true };
+        let sys = SpvpSystem {
+            spp: SppInstance::disagree(),
+            simultaneous: true,
+        };
         let cycle = find_oscillation(&sys, ExploreOptions::default())
             .expect("DISAGREE must admit an oscillation");
         assert!(cycle.states.len() >= 3);
@@ -225,23 +237,35 @@ mod tests {
     fn disagree_converges_under_fair_sequential_activation() {
         // With one-node-at-a-time activations DISAGREE always reaches one of
         // its two stable states (no oscillation in the interleaving model).
-        let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: false };
+        let sys = SpvpSystem {
+            spp: SppInstance::disagree(),
+            simultaneous: false,
+        };
         assert!(find_oscillation(&sys, ExploreOptions::default()).is_none());
         assert_eq!(stable_of(&sys).len(), 2);
     }
 
     #[test]
     fn bad_gadget_has_no_stable_state() {
-        let sys = SpvpSystem { spp: SppInstance::bad_gadget(), simultaneous: false };
+        let sys = SpvpSystem {
+            spp: SppInstance::bad_gadget(),
+            simultaneous: false,
+        };
         let stable = stable_of(&sys);
-        assert!(stable.is_empty(), "BAD GADGET has no solution, got {stable:?}");
+        assert!(
+            stable.is_empty(),
+            "BAD GADGET has no solution, got {stable:?}"
+        );
         // Divergence: the reachable graph contains a cycle.
         assert!(find_oscillation(&sys, ExploreOptions::default()).is_some());
     }
 
     #[test]
     fn good_gadget_has_unique_stable_state_and_no_oscillation() {
-        let sys = SpvpSystem { spp: SppInstance::good_gadget(), simultaneous: true };
+        let sys = SpvpSystem {
+            spp: SppInstance::good_gadget(),
+            simultaneous: true,
+        };
         let stable = stable_of(&sys);
         assert_eq!(stable.len(), 1);
         assert!(find_oscillation(&sys, ExploreOptions::default()).is_none());
@@ -254,12 +278,28 @@ mod tests {
     #[test]
     fn state_spaces_are_small_and_finite() {
         for (name, sys) in [
-            ("disagree", SpvpSystem { spp: SppInstance::disagree(), simultaneous: true }),
-            ("bad", SpvpSystem { spp: SppInstance::bad_gadget(), simultaneous: true }),
+            (
+                "disagree",
+                SpvpSystem {
+                    spp: SppInstance::disagree(),
+                    simultaneous: true,
+                },
+            ),
+            (
+                "bad",
+                SpvpSystem {
+                    spp: SppInstance::bad_gadget(),
+                    simultaneous: true,
+                },
+            ),
         ] {
             let ex = explore(&sys, ExploreOptions::default());
             assert!(!ex.truncated, "{name} truncated");
-            assert!(ex.states.len() < 200, "{name} has {} states", ex.states.len());
+            assert!(
+                ex.states.len() < 200,
+                "{name} has {} states",
+                ex.states.len()
+            );
         }
     }
 

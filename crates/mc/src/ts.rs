@@ -35,7 +35,9 @@ pub struct ExploreOptions {
 
 impl Default for ExploreOptions {
     fn default() -> Self {
-        ExploreOptions { max_states: 1_000_000 }
+        ExploreOptions {
+            max_states: 1_000_000,
+        }
     }
 }
 
@@ -75,7 +77,11 @@ pub fn explore<T: TransitionSystem>(ts: &T, opts: ExploreOptions) -> Exploration
         }
         edges.insert(s, succs);
     }
-    Exploration { states, truncated, edges }
+    Exploration {
+        states,
+        truncated,
+        edges,
+    }
 }
 
 /// Check a state invariant; returns `Err(trace)` with a minimal-length
@@ -113,10 +119,7 @@ pub fn check_invariant<T: TransitionSystem>(
     Ok(visited)
 }
 
-fn rebuild_trace<S: Clone + Ord>(
-    parent: &BTreeMap<S, Option<(S, String)>>,
-    end: S,
-) -> Trace<S> {
+fn rebuild_trace<S: Clone + Ord>(parent: &BTreeMap<S, Option<(S, String)>>, end: S) -> Trace<S> {
     let mut states = vec![end.clone()];
     let mut labels = Vec::new();
     let mut cur = end;
@@ -246,7 +249,10 @@ mod tests {
 
     #[test]
     fn explore_counts_states() {
-        let ts = Counter { limit: 5, cyclic: false };
+        let ts = Counter {
+            limit: 5,
+            cyclic: false,
+        };
         let ex = explore(&ts, ExploreOptions::default());
         assert_eq!(ex.states.len(), 6);
         assert!(!ex.truncated);
@@ -254,7 +260,10 @@ mod tests {
 
     #[test]
     fn invariant_violation_yields_minimal_trace() {
-        let ts = Counter { limit: 10, cyclic: false };
+        let ts = Counter {
+            limit: 10,
+            cyclic: false,
+        };
         let err = check_invariant(&ts, ExploreOptions::default(), |s| *s < 4).unwrap_err();
         assert_eq!(*err.states.last().unwrap(), 4);
         assert_eq!(err.labels.len(), 4);
@@ -263,23 +272,35 @@ mod tests {
 
     #[test]
     fn invariant_holds_counts_visited() {
-        let ts = Counter { limit: 3, cyclic: false };
+        let ts = Counter {
+            limit: 3,
+            cyclic: false,
+        };
         let n = check_invariant(&ts, ExploreOptions::default(), |_| true).unwrap();
         assert_eq!(n, 4);
     }
 
     #[test]
     fn stable_states_are_terminal() {
-        let ts = Counter { limit: 4, cyclic: false };
+        let ts = Counter {
+            limit: 4,
+            cyclic: false,
+        };
         let stable = stable_states(&ts, ExploreOptions::default());
         assert_eq!(stable, vec![4]);
     }
 
     #[test]
     fn oscillation_detected_only_when_cyclic() {
-        let acyclic = Counter { limit: 5, cyclic: false };
+        let acyclic = Counter {
+            limit: 5,
+            cyclic: false,
+        };
         assert!(find_oscillation(&acyclic, ExploreOptions::default()).is_none());
-        let cyclic = Counter { limit: 5, cyclic: true };
+        let cyclic = Counter {
+            limit: 5,
+            cyclic: true,
+        };
         let cycle = find_oscillation(&cyclic, ExploreOptions::default()).unwrap();
         assert!(cycle.states.len() >= 3);
         assert_eq!(cycle.states.first(), cycle.states.last());
@@ -287,7 +308,10 @@ mod tests {
 
     #[test]
     fn truncation_is_reported() {
-        let ts = Counter { limit: 1000, cyclic: false };
+        let ts = Counter {
+            limit: 1000,
+            cyclic: false,
+        };
         let ex = explore(&ts, ExploreOptions { max_states: 10 });
         assert!(ex.truncated);
         assert!(ex.states.len() <= 10);

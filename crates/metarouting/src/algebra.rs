@@ -104,7 +104,10 @@ impl AlgebraSpec {
     pub fn bgp_system() -> Self {
         AlgebraSpec::Lex(
             Box::new(AlgebraSpec::LocalPref { levels: 4 }),
-            Box::new(AlgebraSpec::AddCost { max_label: 3, cap: 64 }),
+            Box::new(AlgebraSpec::AddCost {
+                max_label: 3,
+                cap: 64,
+            }),
         )
     }
 
@@ -254,16 +257,23 @@ impl AlgebraSpec {
     /// the exhaustive obligation checker.
     pub fn sample_sigs(&self) -> Vec<Sig> {
         match self {
-            AlgebraSpec::HopCount { cap } => {
-                (0..=*cap.min(&6)).map(|c| vec![c]).chain([vec![*cap]]).collect()
-            }
-            AlgebraSpec::AddCost { cap, .. } => {
-                (0..=6.min(*cap)).map(|c| vec![c]).chain([vec![*cap]]).collect()
-            }
+            AlgebraSpec::HopCount { cap } => (0..=*cap.min(&6))
+                .map(|c| vec![c])
+                .chain([vec![*cap]])
+                .collect(),
+            AlgebraSpec::AddCost { cap, .. } => (0..=6.min(*cap))
+                .map(|c| vec![c])
+                .chain([vec![*cap]])
+                .collect(),
             AlgebraSpec::Widest { max } => (0..=*max.min(&6)).map(|c| vec![c]).collect(),
             AlgebraSpec::LocalPref { levels } => (0..=*levels).map(|c| vec![c]).collect(),
             AlgebraSpec::GaoRexford => {
-                vec![vec![gr::CUSTOMER], vec![gr::PEER], vec![gr::PROVIDER], vec![gr::PHI]]
+                vec![
+                    vec![gr::CUSTOMER],
+                    vec![gr::PEER],
+                    vec![gr::PROVIDER],
+                    vec![gr::PHI],
+                ]
             }
             AlgebraSpec::Lex(a, b) => {
                 let mut out = Vec::new();
@@ -289,7 +299,11 @@ impl AlgebraSpec {
             AlgebraSpec::Widest { max } => (1..=*max.min(&5)).map(|c| vec![c]).collect(),
             AlgebraSpec::LocalPref { levels } => (0..*levels).map(|c| vec![c]).collect(),
             AlgebraSpec::GaoRexford => {
-                vec![vec![gr::TO_CUSTOMER], vec![gr::TO_PEER], vec![gr::TO_PROVIDER]]
+                vec![
+                    vec![gr::TO_CUSTOMER],
+                    vec![gr::TO_PEER],
+                    vec![gr::TO_PROVIDER],
+                ]
             }
             AlgebraSpec::Lex(a, b) => {
                 let mut out = Vec::new();
@@ -312,7 +326,10 @@ mod tests {
 
     #[test]
     fn add_cost_basics() {
-        let a = AlgebraSpec::AddCost { max_label: 3, cap: 16 };
+        let a = AlgebraSpec::AddCost {
+            max_label: 3,
+            cap: 16,
+        };
         assert_eq!(a.apply(&vec![2], &vec![3]), vec![5]);
         assert_eq!(a.pref(&vec![3], &vec![5]), Ordering::Less);
         assert!(a.is_phi(&a.phi()));
@@ -331,7 +348,11 @@ mod tests {
     fn local_pref_overwrites() {
         let lp = AlgebraSpec::LocalPref { levels: 4 };
         assert_eq!(lp.apply(&vec![2], &vec![0]), vec![2]);
-        assert_eq!(lp.apply(&vec![0], &vec![3]), vec![0], "overwrite ignores input");
+        assert_eq!(
+            lp.apply(&vec![0], &vec![3]),
+            vec![0],
+            "overwrite ignores input"
+        );
         assert_eq!(lp.apply(&vec![1], &lp.phi()), lp.phi(), "absorption");
     }
 
@@ -339,15 +360,30 @@ mod tests {
     fn gao_rexford_export_rules() {
         let g = AlgebraSpec::GaoRexford;
         // Customer routes propagate everywhere.
-        assert_eq!(g.apply(&vec![gr::TO_PEER], &vec![gr::CUSTOMER]), vec![gr::PEER]);
-        assert_eq!(g.apply(&vec![gr::TO_CUSTOMER], &vec![gr::CUSTOMER]), vec![gr::CUSTOMER]);
+        assert_eq!(
+            g.apply(&vec![gr::TO_PEER], &vec![gr::CUSTOMER]),
+            vec![gr::PEER]
+        );
+        assert_eq!(
+            g.apply(&vec![gr::TO_CUSTOMER], &vec![gr::CUSTOMER]),
+            vec![gr::CUSTOMER]
+        );
         // Peer/provider routes do not cross peer edges.
         assert_eq!(g.apply(&vec![gr::TO_PEER], &vec![gr::PEER]), vec![gr::PHI]);
-        assert_eq!(g.apply(&vec![gr::TO_PEER], &vec![gr::PROVIDER]), vec![gr::PHI]);
+        assert_eq!(
+            g.apply(&vec![gr::TO_PEER], &vec![gr::PROVIDER]),
+            vec![gr::PHI]
+        );
         // Everything flows down provider->customer edges.
-        assert_eq!(g.apply(&vec![gr::TO_PROVIDER], &vec![gr::PEER]), vec![gr::PROVIDER]);
+        assert_eq!(
+            g.apply(&vec![gr::TO_PROVIDER], &vec![gr::PEER]),
+            vec![gr::PROVIDER]
+        );
         // Customer routes are preferred.
-        assert_eq!(g.pref(&vec![gr::CUSTOMER], &vec![gr::PROVIDER]), Ordering::Less);
+        assert_eq!(
+            g.pref(&vec![gr::CUSTOMER], &vec![gr::PROVIDER]),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -377,7 +413,10 @@ mod tests {
     fn sampling_is_bounded_and_contains_phi() {
         for spec in [
             AlgebraSpec::HopCount { cap: 16 },
-            AlgebraSpec::AddCost { max_label: 3, cap: 16 },
+            AlgebraSpec::AddCost {
+                max_label: 3,
+                cap: 16,
+            },
             AlgebraSpec::Widest { max: 8 },
             AlgebraSpec::LocalPref { levels: 4 },
             AlgebraSpec::GaoRexford,
@@ -392,6 +431,9 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        assert_eq!(AlgebraSpec::bgp_system().to_string(), "lexProduct[lpA, addA]");
+        assert_eq!(
+            AlgebraSpec::bgp_system().to_string(),
+            "lexProduct[lpA, addA]"
+        );
     }
 }

@@ -140,7 +140,11 @@ pub fn check_axiom(spec: &AlgebraSpec, axiom: Axiom) -> Obligation {
                                 sigs: vec![s.clone(), r.clone()],
                                 note: format!(
                                     "{l:?} ⊕ {s:?} = {r:?} is {} preferred",
-                                    if ord == Ordering::Greater { "more" } else { "equally" }
+                                    if ord == Ordering::Greater {
+                                        "more"
+                                    } else {
+                                        "equally"
+                                    }
                                 ),
                             });
                         }
@@ -173,7 +177,12 @@ pub fn check_axiom(spec: &AlgebraSpec, axiom: Axiom) -> Obligation {
         }
         Ok(cases)
     })();
-    Obligation { algebra: spec.to_string(), axiom, verdict, micros: start.elapsed().as_micros() }
+    Obligation {
+        algebra: spec.to_string(),
+        axiom,
+        verdict,
+        micros: start.elapsed().as_micros(),
+    }
 }
 
 /// Discharge all five obligations for an algebra.
@@ -191,17 +200,25 @@ pub fn cross_validate(spec: &AlgebraSpec) -> Vec<String> {
     let got = |ax: Axiom| check_axiom(spec, ax).holds();
 
     if claimed.maximality != got(Axiom::Maximality) {
-        bad.push(format!("{spec}: maximality claim {} != check", claimed.maximality));
+        bad.push(format!(
+            "{spec}: maximality claim {} != check",
+            claimed.maximality
+        ));
     }
     if claimed.absorption != got(Axiom::Absorption) {
-        bad.push(format!("{spec}: absorption claim {} != check", claimed.absorption));
+        bad.push(format!(
+            "{spec}: absorption claim {} != check",
+            claimed.absorption
+        ));
     }
     let mono = got(Axiom::Monotonicity);
     let strict = got(Axiom::StrictMonotonicity);
     match claimed.monotone {
         M::Strict => {
             if !strict {
-                bad.push(format!("{spec}: claimed strictly monotone, check disagrees"));
+                bad.push(format!(
+                    "{spec}: claimed strictly monotone, check disagrees"
+                ));
             }
         }
         M::NonDecreasing => {
@@ -211,7 +228,9 @@ pub fn cross_validate(spec: &AlgebraSpec) -> Vec<String> {
         }
         M::None => {
             if mono {
-                bad.push(format!("{spec}: claimed non-monotone but check says monotone"));
+                bad.push(format!(
+                    "{spec}: claimed non-monotone but check says monotone"
+                ));
             }
         }
     }
@@ -229,12 +248,18 @@ mod tests {
     use super::*;
 
     fn verdicts(spec: &AlgebraSpec) -> Vec<(Axiom, bool)> {
-        discharge_all(spec).into_iter().map(|o| (o.axiom, o.holds())).collect()
+        discharge_all(spec)
+            .into_iter()
+            .map(|o| (o.axiom, o.holds()))
+            .collect()
     }
 
     #[test]
     fn add_cost_satisfies_all_axioms() {
-        let v = verdicts(&AlgebraSpec::AddCost { max_label: 3, cap: 16 });
+        let v = verdicts(&AlgebraSpec::AddCost {
+            max_label: 3,
+            cap: 16,
+        });
         assert!(v.iter().all(|(_, ok)| *ok), "{v:?}");
     }
 
@@ -298,7 +323,10 @@ mod tests {
 
     #[test]
     fn obligations_record_cases_and_time() {
-        let obs = discharge_all(&AlgebraSpec::AddCost { max_label: 3, cap: 16 });
+        let obs = discharge_all(&AlgebraSpec::AddCost {
+            max_label: 3,
+            cap: 16,
+        });
         for o in obs {
             if let Ok(cases) = o.verdict {
                 assert!(cases > 0, "{}: zero cases", o.axiom);
@@ -310,7 +338,10 @@ mod tests {
     fn analytic_claims_match_exhaustive_checks_everywhere() {
         for spec in [
             AlgebraSpec::HopCount { cap: 16 },
-            AlgebraSpec::AddCost { max_label: 3, cap: 16 },
+            AlgebraSpec::AddCost {
+                max_label: 3,
+                cap: 16,
+            },
             AlgebraSpec::Widest { max: 8 },
             AlgebraSpec::LocalPref { levels: 4 },
             AlgebraSpec::GaoRexford,
@@ -321,7 +352,10 @@ mod tests {
             ),
             AlgebraSpec::Lex(
                 Box::new(AlgebraSpec::Widest { max: 6 }),
-                Box::new(AlgebraSpec::AddCost { max_label: 3, cap: 16 }),
+                Box::new(AlgebraSpec::AddCost {
+                    max_label: 3,
+                    cap: 16,
+                }),
             ),
         ] {
             let bad = cross_validate(&spec);

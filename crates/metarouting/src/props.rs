@@ -178,13 +178,22 @@ mod tests {
 
     #[test]
     fn base_algebra_claims() {
-        assert_eq!(infer(&AlgebraSpec::HopCount { cap: 16 }).monotone, Monotonicity::Strict);
+        assert_eq!(
+            infer(&AlgebraSpec::HopCount { cap: 16 }).monotone,
+            Monotonicity::Strict
+        );
         assert_eq!(
             infer(&AlgebraSpec::Widest { max: 8 }).monotone,
             Monotonicity::NonDecreasing
         );
-        assert_eq!(infer(&AlgebraSpec::LocalPref { levels: 4 }).monotone, Monotonicity::None);
-        assert_eq!(infer(&AlgebraSpec::GaoRexford).monotone, Monotonicity::NonDecreasing);
+        assert_eq!(
+            infer(&AlgebraSpec::LocalPref { levels: 4 }).monotone,
+            Monotonicity::None
+        );
+        assert_eq!(
+            infer(&AlgebraSpec::GaoRexford).monotone,
+            Monotonicity::NonDecreasing
+        );
     }
 
     #[test]
@@ -196,7 +205,10 @@ mod tests {
 
     #[test]
     fn shortest_path_is_guaranteed_optimal() {
-        let p = infer(&AlgebraSpec::AddCost { max_label: 3, cap: 16 });
+        let p = infer(&AlgebraSpec::AddCost {
+            max_label: 3,
+            cap: 16,
+        });
         assert_eq!(p.convergence(), ConvergenceClass::GuaranteedOptimal);
     }
 
@@ -207,7 +219,11 @@ mod tests {
             Box::new(AlgebraSpec::HopCount { cap: 16 }),
         );
         let p = infer(&spec);
-        assert_eq!(p.monotone, Monotonicity::Strict, "ties resolved by strict hop count");
+        assert_eq!(
+            p.monotone,
+            Monotonicity::Strict,
+            "ties resolved by strict hop count"
+        );
         // GR collapses ties, so isotonicity is left to the checker.
         assert_eq!(p.isotone, None);
         assert_eq!(p.convergence(), ConvergenceClass::Guaranteed);
@@ -216,7 +232,10 @@ mod tests {
     #[test]
     fn add_over_add_is_strict_but_isotonicity_is_left_to_the_checker() {
         let spec = AlgebraSpec::Lex(
-            Box::new(AlgebraSpec::AddCost { max_label: 3, cap: 16 }),
+            Box::new(AlgebraSpec::AddCost {
+                max_label: 3,
+                cap: 16,
+            }),
             Box::new(AlgebraSpec::HopCount { cap: 32 }),
         );
         let p = infer(&spec);

@@ -68,15 +68,26 @@ fn leaf_range(leaf: &AlgebraSpec) -> i64 {
 pub fn generate(spec: &AlgebraSpec) -> GeneratedProtocol {
     let ls = leaves(spec);
     let k = ls.len();
-    let cols =
-        |prefix: &str| (1..=k).map(|i| format!("{prefix}{i}")).collect::<Vec<_>>().join(",");
+    let cols = |prefix: &str| {
+        (1..=k)
+            .map(|i| format!("{prefix}{i}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     let mut src = String::new();
 
     // r0: origination at the destination.
     let origin: Sig = spec.origin();
-    let origin_cols =
-        origin.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",");
-    writeln!(src, "r0 route(@D,D,P,{origin_cols}) :- dest(@D), P = f_append([], D).").unwrap();
+    let origin_cols = origin
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    writeln!(
+        src,
+        "r0 route(@D,D,P,{origin_cols}) :- dest(@D), P = f_append([], D)."
+    )
+    .unwrap();
 
     // r1: extension over a labelled link.
     let mut lits = Vec::new();
@@ -85,7 +96,11 @@ pub fn generate(spec: &AlgebraSpec) -> GeneratedProtocol {
     lits.push("f_inPath(P2,S) = false".to_string());
     lits.push("P = f_concatPath(S,P2)".to_string());
     for (i, leaf) in ls.iter().enumerate() {
-        let (l, v, t) = (format!("L{}", i + 1), format!("V{}", i + 1), format!("T{}", i + 1));
+        let (l, v, t) = (
+            format!("L{}", i + 1),
+            format!("V{}", i + 1),
+            format!("T{}", i + 1),
+        );
         match leaf {
             AlgebraSpec::HopCount { cap } => {
                 lits.push(format!("{t} = {v} + 1"));
@@ -110,7 +125,13 @@ pub fn generate(spec: &AlgebraSpec) -> GeneratedProtocol {
             AlgebraSpec::Lex(..) => unreachable!(),
         }
     }
-    writeln!(src, "r1 route(@S,D,P,{}) :- {}.", cols("T"), lits.join(", ")).unwrap();
+    writeln!(
+        src,
+        "r1 route(@S,D,P,{}) :- {}.",
+        cols("T"),
+        lits.join(", ")
+    )
+    .unwrap();
 
     // r2: rank each route with a single lexicographic score.
     // weight_i = product of ranges of leaves after i.
@@ -141,7 +162,12 @@ pub fn generate(spec: &AlgebraSpec) -> GeneratedProtocol {
     .unwrap();
 
     // r3/r4: lexicographic best selection via min aggregate.
-    writeln!(src, "r3 bestCand(@S,D,min<Cmb>) :- cand(@S,D,P,Cmb,{}).", cols("T")).unwrap();
+    writeln!(
+        src,
+        "r3 bestCand(@S,D,min<Cmb>) :- cand(@S,D,P,Cmb,{}).",
+        cols("T")
+    )
+    .unwrap();
     writeln!(
         src,
         "r4 bestRoute(@S,D,P,{}) :- bestCand(@S,D,Cmb), cand(@S,D,P,Cmb,{}).",
@@ -151,7 +177,12 @@ pub fn generate(spec: &AlgebraSpec) -> GeneratedProtocol {
     .unwrap();
 
     let program = parse_program(&src).expect("generated NDlog must parse");
-    GeneratedProtocol { spec: spec.clone(), leaves: ls, program, source: src }
+    GeneratedProtocol {
+        spec: spec.clone(),
+        leaves: ls,
+        program,
+        source: src,
+    }
 }
 
 /// Add topology facts: `dest(@dst)`, one `linkL(@learner, via, labels...)`
@@ -166,7 +197,8 @@ pub fn add_topology_facts(
     use ndlog::ast::{Atom, Term};
     use ndlog::Value;
 
-    gp.program.add_fact(Atom::located("dest", vec![Term::Const(Value::Addr(dest))]));
+    gp.program
+        .add_fact(Atom::located("dest", vec![Term::Const(Value::Addr(dest))]));
 
     for (a, b, _) in topo.edges() {
         for (learner, via) in [(a, b), (b, a)] {
@@ -181,7 +213,11 @@ pub fn add_topology_facts(
         }
     }
 
-    if gp.leaves.iter().any(|l| matches!(l, AlgebraSpec::GaoRexford)) {
+    if gp
+        .leaves
+        .iter()
+        .any(|l| matches!(l, AlgebraSpec::GaoRexford))
+    {
         let g = AlgebraSpec::GaoRexford;
         for l in g.sample_labels() {
             for s in g.sample_sigs() {
@@ -235,7 +271,10 @@ mod tests {
     fn eval(gp: &GeneratedProtocol) -> ndlog::Database {
         let ev = Evaluator::with_options(
             &gp.program,
-            EvalOptions { max_iterations: 100_000, max_tuples: 2_000_000 },
+            EvalOptions {
+                max_iterations: 100_000,
+                max_tuples: 2_000_000,
+            },
         )
         .unwrap();
         let mut db = Evaluator::base_database(&gp.program);
@@ -250,9 +289,13 @@ mod tests {
         let got = best_signatures(&db, topo, 0, gp.leaves.len());
         let mut want = optimal_by_enumeration(spec, topo, labels);
         want[0] = None; // the generated program has no self-route at dest...
-        // ... except the origination row.
+                        // ... except the origination row.
         let origin_at_dest = got[0].clone();
-        assert_eq!(origin_at_dest, Some(spec.origin()), "dest keeps its origination");
+        assert_eq!(
+            origin_at_dest,
+            Some(spec.origin()),
+            "dest keeps its origination"
+        );
         for v in 1..topo.num_nodes() as usize {
             assert_eq!(got[v], want[v], "node {v} under {spec}");
         }
@@ -262,7 +305,10 @@ mod tests {
     fn generated_add_cost_matches_enumeration_and_dijkstra() {
         let topo = Topology::random_connected(7, 0.4, 3, 5);
         let labels = EdgeLabels::from_costs(&topo);
-        let spec = AlgebraSpec::AddCost { max_label: 3, cap: 64 };
+        let spec = AlgebraSpec::AddCost {
+            max_label: 3,
+            cap: 64,
+        };
         check_against_enumeration(&spec, &topo, &labels);
         // And against Dijkstra directly.
         let mut gp = generate(&spec);

@@ -112,15 +112,16 @@ impl Protocol for VectorNode {
 
     fn handle(&mut self, event: Event<RouteMsg>, ctx: &mut Context<RouteMsg>) {
         match event {
-            Event::Start => {
-                if ctx.me() == 0 {
-                    // The destination originates.
-                    self.selected =
-                        Some(RouteMsg { sig: self.spec.origin(), path: vec![0] });
-                    ctx.mark_changed();
-                    self.advertise(ctx);
-                }
+            Event::Start if ctx.me() == 0 => {
+                // The destination originates.
+                self.selected = Some(RouteMsg {
+                    sig: self.spec.origin(),
+                    path: vec![0],
+                });
+                ctx.mark_changed();
+                self.advertise(ctx);
             }
+            Event::Start => {}
             Event::Message { from, msg } => {
                 let me = ctx.me();
                 if me == 0 {
@@ -184,7 +185,11 @@ pub fn run_vectoring(
         .map(|v| sim.node(v).selected.as_ref().map(|r| r.sig.clone()))
         .collect();
     let churn = (0..topo.num_nodes()).map(|v| sim.node(v).churn).sum();
-    VectoringOutcome { stats, selections, churn }
+    VectoringOutcome {
+        stats,
+        selections,
+        churn,
+    }
 }
 
 /// Ground truth by exhaustive simple-path enumeration: the most preferred
@@ -213,7 +218,9 @@ pub fn optimal_by_enumeration(
             if visited.contains(&next) {
                 continue;
             }
-            let Some(label) = labels.get(next, at) else { continue };
+            let Some(label) = labels.get(next, at) else {
+                continue;
+            };
             let nsig = spec.apply(label, sig);
             if spec.is_phi(&nsig) {
                 continue;
@@ -241,15 +248,17 @@ mod tests {
     use super::*;
 
     fn add_spec() -> AlgebraSpec {
-        AlgebraSpec::AddCost { max_label: 5, cap: 64 }
+        AlgebraSpec::AddCost {
+            max_label: 5,
+            cap: 64,
+        }
     }
 
     #[test]
     fn shortest_path_algebra_converges_to_dijkstra() {
         let topo = Topology::random_connected(9, 0.35, 4, 17);
         let labels = EdgeLabels::from_costs(&topo);
-        let out =
-            run_vectoring(&add_spec(), &topo, &labels, true, SimConfig::default());
+        let out = run_vectoring(&add_spec(), &topo, &labels, true, SimConfig::default());
         assert!(out.stats.quiescent);
         let truth = topo.shortest_paths(0);
         for v in 1..topo.num_nodes() {

@@ -184,18 +184,28 @@ pub struct Atom {
 impl Atom {
     /// Construct an atom with a location specifier on argument 0.
     pub fn located(pred: impl Into<String>, args: Vec<Term>) -> Self {
-        Atom { pred: pred.into(), loc: Some(0), args }
+        Atom {
+            pred: pred.into(),
+            loc: Some(0),
+            args,
+        }
     }
 
     /// Construct an atom without a location specifier.
     pub fn plain(pred: impl Into<String>, args: Vec<Term>) -> Self {
-        Atom { pred: pred.into(), loc: None, args }
+        Atom {
+            pred: pred.into(),
+            loc: None,
+            args,
+        }
     }
 
     /// The location variable of this atom, if the located argument is a
     /// variable.
     pub fn loc_var(&self) -> Option<&str> {
-        self.loc.and_then(|i| self.args.get(i)).and_then(Term::as_var)
+        self.loc
+            .and_then(|i| self.args.get(i))
+            .and_then(Term::as_var)
     }
 
     /// Collect all variables of the atom into `out`.
@@ -205,6 +215,18 @@ impl Atom {
                 out.insert(v.clone());
             }
         }
+    }
+
+    /// The atom's arguments as a ground tuple; `None` if any argument is a
+    /// variable.  Ground facts always convert (parser-enforced).
+    pub fn const_tuple(&self) -> Option<crate::value::Tuple> {
+        self.args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(c.clone()),
+                Term::Var(_) => None,
+            })
+            .collect()
     }
 }
 
@@ -339,7 +361,11 @@ impl Head {
                 HeadArg::Agg(..) => return None,
             }
         }
-        Some(Atom { pred: self.pred.clone(), loc: self.loc, args })
+        Some(Atom {
+            pred: self.pred.clone(),
+            loc: self.loc,
+            args,
+        })
     }
 
     /// Variables appearing in the head (including aggregate inputs).
@@ -588,14 +614,21 @@ mod tests {
             ],
         };
         let locs = r.body_locations();
-        assert_eq!(locs.into_iter().collect::<Vec<_>>(), vec!["S".to_string(), "Z".to_string()]);
+        assert_eq!(
+            locs.into_iter().collect::<Vec<_>>(),
+            vec!["S".to_string(), "Z".to_string()]
+        );
     }
 
     #[test]
     fn literal_vars() {
         let l = Literal::Assign(
             "C".into(),
-            Expr::Bin(BinOp::Add, Box::new(Expr::Var("C1".into())), Box::new(Expr::Var("C2".into()))),
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("C1".into())),
+                Box::new(Expr::Var("C2".into())),
+            ),
         );
         let vs = l.vars();
         assert!(vs.contains("C") && vs.contains("C1") && vs.contains("C2"));
@@ -606,7 +639,11 @@ mod tests {
         let mut p = Program::default();
         p.rules.push(Rule {
             name: "r1".into(),
-            head: Head { pred: "path".into(), loc: None, args: vec![HeadArg::Term(var("S"))] },
+            head: Head {
+                pred: "path".into(),
+                loc: None,
+                args: vec![HeadArg::Term(var("S"))],
+            },
             body: vec![Literal::Pos(Atom::plain("link", vec![var("S")]))],
         });
         p.add_fact(Atom::plain("link", vec![Term::Const(Value::Addr(0))]));

@@ -10,11 +10,15 @@ use crate::error::{NdlogError, Result};
 use crate::value::Value;
 
 fn arity_err(name: &str, want: usize, got: usize) -> NdlogError {
-    NdlogError::Eval { msg: format!("{name} expects {want} argument(s), got {got}") }
+    NdlogError::Eval {
+        msg: format!("{name} expects {want} argument(s), got {got}"),
+    }
 }
 
 fn type_err(name: &str, what: &str, got: &Value) -> NdlogError {
-    NdlogError::Eval { msg: format!("{name}: expected {what}, got {} ({got})", got.sort_name()) }
+    NdlogError::Eval {
+        msg: format!("{name}: expected {what}, got {} ({got})", got.sort_name()),
+    }
 }
 
 /// Evaluate builtin function `name` on ground arguments.
@@ -36,7 +40,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
             if args.len() != 2 {
                 return Err(arity_err(name, 2, args.len()));
             }
-            let p = args[1].as_list().ok_or_else(|| type_err(name, "list", &args[1]))?;
+            let p = args[1]
+                .as_list()
+                .ok_or_else(|| type_err(name, "list", &args[1]))?;
             let mut out = Vec::with_capacity(p.len() + 1);
             out.push(args[0].clone());
             out.extend_from_slice(p);
@@ -47,7 +53,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
             if args.len() != 2 {
                 return Err(arity_err(name, 2, args.len()));
             }
-            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            let p = args[0]
+                .as_list()
+                .ok_or_else(|| type_err(name, "list", &args[0]))?;
             Ok(Value::Bool(p.contains(&args[1])))
         }
         // f_size(P): length of a list.
@@ -55,7 +63,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
             if args.len() != 1 {
                 return Err(arity_err(name, 1, args.len()));
             }
-            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            let p = args[0]
+                .as_list()
+                .ok_or_else(|| type_err(name, "list", &args[0]))?;
             Ok(Value::Int(p.len() as i64))
         }
         // f_head(P): first element of a non-empty list.
@@ -63,23 +73,33 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
             if args.len() != 1 {
                 return Err(arity_err(name, 1, args.len()));
             }
-            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
-            p.first().cloned().ok_or(NdlogError::Eval { msg: "f_head: empty list".into() })
+            let p = args[0]
+                .as_list()
+                .ok_or_else(|| type_err(name, "list", &args[0]))?;
+            p.first().cloned().ok_or(NdlogError::Eval {
+                msg: "f_head: empty list".into(),
+            })
         }
         // f_last(P): last element of a non-empty list.
         "f_last" => {
             if args.len() != 1 {
                 return Err(arity_err(name, 1, args.len()));
             }
-            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
-            p.last().cloned().ok_or(NdlogError::Eval { msg: "f_last: empty list".into() })
+            let p = args[0]
+                .as_list()
+                .ok_or_else(|| type_err(name, "list", &args[0]))?;
+            p.last().cloned().ok_or(NdlogError::Eval {
+                msg: "f_last: empty list".into(),
+            })
         }
         // f_append(P, X): append X at the end of list P.
         "f_append" => {
             if args.len() != 2 {
                 return Err(arity_err(name, 2, args.len()));
             }
-            let p = args[0].as_list().ok_or_else(|| type_err(name, "list", &args[0]))?;
+            let p = args[0]
+                .as_list()
+                .ok_or_else(|| type_err(name, "list", &args[0]))?;
             let mut out = p.to_vec();
             out.push(args[1].clone());
             Ok(Value::List(out))
@@ -97,7 +117,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
             }
             Ok(args[0].clone().max(args[1].clone()))
         }
-        _ => Err(NdlogError::Eval { msg: format!("unknown builtin function '{name}'") }),
+        _ => Err(NdlogError::Eval {
+            msg: format!("unknown builtin function '{name}'"),
+        }),
     }
 }
 
@@ -142,16 +164,31 @@ mod tests {
     #[test]
     fn f_in_path_detects_membership_and_absence() {
         let p = Value::List(vec![a(1), a(2)]);
-        assert_eq!(eval_builtin("f_inPath", &[p.clone(), a(2)]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_builtin("f_inPath", &[p, a(9)]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_builtin("f_inPath", &[p.clone(), a(2)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_builtin("f_inPath", &[p, a(9)]).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
     fn list_utilities() {
         let p = Value::List(vec![a(1), a(2), a(3)]);
-        assert_eq!(eval_builtin("f_size", &[p.clone()]).unwrap(), Value::Int(3));
-        assert_eq!(eval_builtin("f_head", &[p.clone()]).unwrap(), a(1));
-        assert_eq!(eval_builtin("f_last", &[p.clone()]).unwrap(), a(3));
+        assert_eq!(
+            eval_builtin("f_size", std::slice::from_ref(&p)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_builtin("f_head", std::slice::from_ref(&p)).unwrap(),
+            a(1)
+        );
+        assert_eq!(
+            eval_builtin("f_last", std::slice::from_ref(&p)).unwrap(),
+            a(3)
+        );
         assert_eq!(
             eval_builtin("f_append", &[p, a(4)]).unwrap(),
             Value::List(vec![a(1), a(2), a(3), a(4)])
@@ -160,8 +197,14 @@ mod tests {
 
     #[test]
     fn min_max() {
-        assert_eq!(eval_builtin("f_min", &[Value::Int(3), Value::Int(1)]).unwrap(), Value::Int(1));
-        assert_eq!(eval_builtin("f_max", &[Value::Int(3), Value::Int(1)]).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_builtin("f_min", &[Value::Int(3), Value::Int(1)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_builtin("f_max", &[Value::Int(3), Value::Int(1)]).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]

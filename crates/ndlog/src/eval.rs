@@ -35,7 +35,10 @@ impl Database {
 
     /// Remove a tuple; returns true if it was present.
     pub fn remove(&mut self, pred: &str, tuple: &Tuple) -> bool {
-        self.rels.get_mut(pred).map(|s| s.remove(tuple)).unwrap_or(false)
+        self.rels
+            .get_mut(pred)
+            .map(|s| s.remove(tuple))
+            .unwrap_or(false)
     }
 
     /// Tuples of a relation (empty slice view if absent).
@@ -55,7 +58,10 @@ impl Database {
 
     /// Whether the tuple is present.
     pub fn contains(&self, pred: &str, tuple: &Tuple) -> bool {
-        self.rels.get(pred).map(|s| s.contains(tuple)).unwrap_or(false)
+        self.rels
+            .get(pred)
+            .map(|s| s.contains(tuple))
+            .unwrap_or(false)
     }
 
     /// All relation names present.
@@ -80,10 +86,9 @@ pub type Env = BTreeMap<String, Value>;
 /// Evaluate an expression under an environment of ground bindings.
 pub fn eval_expr(e: &Expr, env: &Env) -> Result<Value> {
     match e {
-        Expr::Var(v) => env
-            .get(v)
-            .cloned()
-            .ok_or_else(|| NdlogError::Eval { msg: format!("unbound variable {v}") }),
+        Expr::Var(v) => env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+            msg: format!("unbound variable {v}"),
+        }),
         Expr::Const(c) => Ok(c.clone()),
         Expr::Bin(op, a, b) => {
             let va = eval_expr(a, env)?;
@@ -102,12 +107,16 @@ pub fn eval_expr(e: &Expr, env: &Env) -> Result<Value> {
                 BinOp::Mul => ia.checked_mul(ib),
                 BinOp::Div => {
                     if ib == 0 {
-                        return Err(NdlogError::Eval { msg: "division by zero".into() });
+                        return Err(NdlogError::Eval {
+                            msg: "division by zero".into(),
+                        });
                     }
                     ia.checked_div(ib)
                 }
             };
-            r.map(Value::Int).ok_or(NdlogError::Eval { msg: "integer overflow".into() })
+            r.map(Value::Int).ok_or(NdlogError::Eval {
+                msg: "integer overflow".into(),
+            })
         }
         Expr::Call(name, args) => {
             let mut vals = Vec::with_capacity(args.len());
@@ -122,7 +131,7 @@ pub fn eval_expr(e: &Expr, env: &Env) -> Result<Value> {
 /// Match an atom's argument terms against a concrete tuple, extending `env`.
 /// Returns false (leaving `env` possibly partially extended — callers clone)
 /// if the match fails.
-fn match_atom(atom: &Atom, tuple: &[Value], env: &mut Env) -> bool {
+pub(crate) fn match_atom(atom: &Atom, tuple: &[Value], env: &mut Env) -> bool {
     if atom.args.len() != tuple.len() {
         return false;
     }
@@ -149,16 +158,16 @@ fn match_atom(atom: &Atom, tuple: &[Value], env: &mut Env) -> bool {
 }
 
 /// Instantiate a (non-aggregate) head under an environment.
-fn instantiate_head(head: &Head, env: &Env) -> Result<Tuple> {
+pub(crate) fn instantiate_head(head: &Head, env: &Env) -> Result<Tuple> {
     let mut out = Vec::with_capacity(head.args.len());
     for a in &head.args {
         match a {
             HeadArg::Term(Term::Const(c)) => out.push(c.clone()),
-            HeadArg::Term(Term::Var(v)) => out.push(
-                env.get(v)
-                    .cloned()
-                    .ok_or_else(|| NdlogError::Eval { msg: format!("unbound head var {v}") })?,
-            ),
+            HeadArg::Term(Term::Var(v)) => {
+                out.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                    msg: format!("unbound head var {v}"),
+                })?)
+            }
             HeadArg::Agg(..) => {
                 return Err(NdlogError::Eval {
                     msg: "aggregate head instantiated as plain head".into(),
@@ -206,9 +215,11 @@ fn eval_body(
             for t in &atom.args {
                 match t {
                     Term::Const(c) => probe.push(c.clone()),
-                    Term::Var(v) => probe.push(env.get(v).cloned().ok_or_else(|| {
-                        NdlogError::Eval { msg: format!("unbound var {v} in negation") }
-                    })?),
+                    Term::Var(v) => {
+                        probe.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                            msg: format!("unbound var {v} in negation"),
+                        })?)
+                    }
                 }
             }
             if !db.contains(&atom.pred, &probe) {
@@ -251,7 +262,10 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { max_iterations: 1_000_000, max_tuples: 10_000_000 }
+        EvalOptions {
+            max_iterations: 1_000_000,
+            max_tuples: 10_000_000,
+        }
     }
 }
 
@@ -269,7 +283,12 @@ pub struct EvalStats {
 /// Evaluate an aggregate rule whose body refers only to lower strata.
 fn eval_agg_rule(rule: &Rule, db: &mut Database, stats: &mut EvalStats) -> Result<()> {
     // Group-by key → one accumulator vector per aggregate position.
-    let n_aggs = rule.head.args.iter().filter(|a| matches!(a, HeadArg::Agg(..))).count();
+    let n_aggs = rule
+        .head
+        .args
+        .iter()
+        .filter(|a| matches!(a, HeadArg::Agg(..)))
+        .count();
     let mut groups: BTreeMap<Tuple, Vec<Vec<Value>>> = BTreeMap::new();
     let head = &rule.head;
     let mut sink = |env: &Env| -> Result<()> {
@@ -278,15 +297,21 @@ fn eval_agg_rule(rule: &Rule, db: &mut Database, stats: &mut EvalStats) -> Resul
         for a in &head.args {
             match a {
                 HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
-                HeadArg::Term(Term::Var(v)) => key.push(env.get(v).cloned().ok_or_else(
-                    || NdlogError::Eval { msg: format!("unbound head var {v}") },
-                )?),
-                HeadArg::Agg(_, v) => aggs.push(env.get(v).cloned().ok_or_else(|| {
-                    NdlogError::Eval { msg: format!("unbound aggregate var {v}") }
-                })?),
+                HeadArg::Term(Term::Var(v)) => {
+                    key.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                        msg: format!("unbound head var {v}"),
+                    })?)
+                }
+                HeadArg::Agg(_, v) => {
+                    aggs.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                        msg: format!("unbound aggregate var {v}"),
+                    })?)
+                }
             }
         }
-        let acc = groups.entry(key).or_insert_with(|| vec![Vec::new(); n_aggs]);
+        let acc = groups
+            .entry(key)
+            .or_insert_with(|| vec![Vec::new(); n_aggs]);
         for (slot, v) in acc.iter_mut().zip(aggs) {
             slot.push(v);
         }
@@ -319,9 +344,11 @@ fn eval_agg_rule(rule: &Rule, db: &mut Database, stats: &mut EvalStats) -> Resul
     Ok(())
 }
 
-fn aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
+pub(crate) fn aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
     if values.is_empty() {
-        return Err(NdlogError::Eval { msg: "aggregate over empty group".into() });
+        return Err(NdlogError::Eval {
+            msg: "aggregate over empty group".into(),
+        });
     }
     match func {
         AggFunc::Min => Ok(values.iter().min().cloned().unwrap()),
@@ -330,12 +357,12 @@ fn aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
         AggFunc::Sum => {
             let mut acc: i64 = 0;
             for v in values {
-                let i = v
-                    .as_int()
-                    .ok_or_else(|| NdlogError::Eval { msg: format!("sum over non-int {v}") })?;
-                acc = acc
-                    .checked_add(i)
-                    .ok_or(NdlogError::Eval { msg: "sum overflow".into() })?;
+                let i = v.as_int().ok_or_else(|| NdlogError::Eval {
+                    msg: format!("sum over non-int {v}"),
+                })?;
+                acc = acc.checked_add(i).ok_or(NdlogError::Eval {
+                    msg: "sum overflow".into(),
+                })?;
             }
             Ok(Value::Int(acc))
         }
@@ -351,12 +378,18 @@ pub struct Evaluator {
 impl Evaluator {
     /// Analyze `prog` and build an evaluator.
     pub fn new(prog: &Program) -> Result<Self> {
-        Ok(Evaluator { analysis: analyze(prog)?, opts: EvalOptions::default() })
+        Ok(Evaluator {
+            analysis: analyze(prog)?,
+            opts: EvalOptions::default(),
+        })
     }
 
     /// Analyze with custom bounds.
     pub fn with_options(prog: &Program, opts: EvalOptions) -> Result<Self> {
-        Ok(Evaluator { analysis: analyze(prog)?, opts })
+        Ok(Evaluator {
+            analysis: analyze(prog)?,
+            opts,
+        })
     }
 
     /// Access the static analysis.
@@ -368,14 +401,7 @@ impl Evaluator {
     pub fn base_database(prog: &Program) -> Database {
         let mut db = Database::new();
         for f in &prog.facts {
-            let tuple: Tuple = f
-                .args
-                .iter()
-                .map(|t| match t {
-                    Term::Const(c) => c.clone(),
-                    Term::Var(_) => unreachable!("facts are ground (parser-enforced)"),
-                })
-                .collect();
+            let tuple = f.const_tuple().expect("facts are ground (parser-enforced)");
             db.insert(f.pred.clone(), tuple);
         }
         db
@@ -444,7 +470,9 @@ impl Evaluator {
                 }
             }
             if db.total() > self.opts.max_tuples {
-                return Err(NdlogError::Eval { msg: "tuple limit exceeded".into() });
+                return Err(NdlogError::Eval {
+                    msg: "tuple limit exceeded".into(),
+                });
             }
             // Derive next delta: for each rule, substitute delta at each
             // recursive positive occurrence.
@@ -472,7 +500,15 @@ impl Evaluator {
                         }
                         Ok(())
                     };
-                    eval_body(&r.body, 0, db, Some(pos), Some(&delta), &Env::new(), &mut sink)?;
+                    eval_body(
+                        &r.body,
+                        0,
+                        db,
+                        Some(pos),
+                        Some(&delta),
+                        &Env::new(),
+                        &mut sink,
+                    )?;
                 }
             }
             delta = next;
@@ -521,7 +557,9 @@ impl Evaluator {
                     }
                 }
                 if db.total() > self.opts.max_tuples {
-                    return Err(NdlogError::Eval { msg: "tuple limit exceeded".into() });
+                    return Err(NdlogError::Eval {
+                        msg: "tuple limit exceeded".into(),
+                    });
                 }
             }
         }
@@ -608,10 +646,7 @@ mod tests {
         assert_eq!(best[0][3], Value::Int(3));
         assert_eq!(best[0][2], Value::List(vec![addr(0), addr(1), addr(2)]));
         // bestPathCost agrees.
-        assert!(db.contains(
-            "bestPathCost",
-            &vec![addr(0), addr(2), Value::Int(3)]
-        ));
+        assert!(db.contains("bestPathCost", &vec![addr(0), addr(2), Value::Int(3)]));
     }
 
     #[test]
@@ -685,7 +720,10 @@ mod tests {
         let prog = parse_program("a q(N) :- q(M), N = M + 1. q(0).").unwrap();
         let ev = Evaluator::with_options(
             &prog,
-            EvalOptions { max_iterations: 50, max_tuples: 1_000_000 },
+            EvalOptions {
+                max_iterations: 50,
+                max_tuples: 1_000_000,
+            },
         )
         .unwrap();
         let mut db = Evaluator::base_database(&prog);
@@ -694,8 +732,7 @@ mod tests {
 
     #[test]
     fn bounded_counter_terminates() {
-        let prog =
-            parse_program("a q(N) :- q(M), M < 10, N = M + 1. q(0).").unwrap();
+        let prog = parse_program("a q(N) :- q(M), M < 10, N = M + 1. q(0).").unwrap();
         let db = eval_program(&prog).unwrap();
         assert_eq!(db.len_of("q"), 11);
     }

@@ -149,7 +149,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     i += 2;
                     TokenKind::Turnstile
                 } else {
-                    return Err(NdlogError::Lex { offset: i, msg: "expected ':-'".into() });
+                    return Err(NdlogError::Lex {
+                        offset: i,
+                        msg: "expected ':-'".into(),
+                    });
                 }
             }
             '=' => {
@@ -249,9 +252,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 })
             }
         };
-        out.push(Token { offset: start, kind });
+        out.push(Token {
+            offset: start,
+            kind,
+        });
     }
-    out.push(Token { offset: bytes.len(), kind: TokenKind::Eof });
+    out.push(Token {
+        offset: bytes.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(out)
 }
 

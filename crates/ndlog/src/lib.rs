@@ -16,6 +16,11 @@
 //!   `min`/`max`/`count`/`sum` aggregates;
 //! * [`localize`] — the rule-localization rewrite that turns multi-location
 //!   rules into link-local rules for distributed execution;
+//! * [`storage`] / [`incremental`] — the incremental maintenance subsystem:
+//!   indexed relation storage with per-relation delta sets, counting-based
+//!   maintenance for non-recursive strata and DRed (delete–rederive) for
+//!   recursive strata, so topology churn is absorbed as tuple deltas instead
+//!   of epoch recomputation;
 //! * [`softstate`] — the §4.2 soft-state → hard-state rewrite with explicit
 //!   timestamps and lifetimes;
 //! * [`builtins`] — `f_init`, `f_concatPath`, `f_inPath` and friends;
@@ -32,17 +37,21 @@ pub mod ast;
 pub mod builtins;
 pub mod error;
 pub mod eval;
+pub mod incremental;
 pub mod lexer;
 pub mod localize;
 pub mod parser;
 pub mod programs;
 pub mod safety;
 pub mod softstate;
+pub mod storage;
 pub mod value;
 
 pub use ast::{Atom, Expr, Head, HeadArg, Literal, Program, Rule, Term};
 pub use error::{NdlogError, Result};
 pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator};
+pub use incremental::{BatchOutcome, BatchStats, IncrementalEngine, TupleDelta};
 pub use parser::{parse_program, parse_rule};
 pub use safety::{analyze, Analysis};
+pub use storage::RelationStorage;
 pub use value::{Tuple, Value};

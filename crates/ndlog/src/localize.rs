@@ -39,7 +39,11 @@ pub struct LocalizedProgram {
 impl LocalizedProgram {
     /// Render as a `Program` (no facts / materialize statements).
     pub fn to_program(&self) -> Program {
-        Program { materializes: vec![], facts: vec![], rules: self.rules.clone() }
+        Program {
+            materializes: vec![],
+            facts: vec![],
+            rules: self.rules.clone(),
+        }
     }
 }
 
@@ -71,12 +75,14 @@ pub fn localize_rule(rule: &Rule, fresh: &mut usize) -> Result<Vec<Rule>> {
     let count_at = |v: &str| {
         rule.body
             .iter()
-            .filter(|l| {
-                matches!(l, Literal::Pos(at) | Literal::Neg(at) if at.loc_var() == Some(v))
-            })
+            .filter(|l| matches!(l, Literal::Pos(at) | Literal::Neg(at) if at.loc_var() == Some(v)))
             .count()
     };
-    let (site, other) = if count_at(&a) >= count_at(&b) { (a, b) } else { (b, a) };
+    let (site, other) = if count_at(&a) >= count_at(&b) {
+        (a, b)
+    } else {
+        (b, a)
+    };
 
     // Find a positive connecting atom located at `other` that mentions `site`
     // (it lets `other` address `site` directly — one-hop communication).
@@ -142,7 +148,12 @@ pub fn localize_rule(rule: &Rule, fresh: &mut usize) -> Result<Vec<Rule>> {
         head: Head {
             pred: relay_name.clone(),
             loc: Some(site_idx),
-            args: relay_head_atom.args.iter().cloned().map(HeadArg::Term).collect(),
+            args: relay_head_atom
+                .args
+                .iter()
+                .cloned()
+                .map(HeadArg::Term)
+                .collect(),
         },
         body: vec![Literal::Pos(connecting.clone())],
     };
@@ -158,9 +169,7 @@ pub fn localize_rule(rule: &Rule, fresh: &mut usize) -> Result<Vec<Rule>> {
                 new_body.push(Literal::Pos(relay_head_atom.clone()));
                 replaced = true;
             }
-            Literal::Pos(at) | Literal::Neg(at)
-                if at.loc_var() == Some(other.as_str()) =>
-            {
+            Literal::Pos(at) | Literal::Neg(at) if at.loc_var() == Some(other.as_str()) => {
                 return Err(NdlogError::Localization {
                     rule: rule.name.clone(),
                     msg: format!(
@@ -171,7 +180,11 @@ pub fn localize_rule(rule: &Rule, fresh: &mut usize) -> Result<Vec<Rule>> {
             other_lit => new_body.push(other_lit.clone()),
         }
     }
-    let rewritten = Rule { name: rule.name.clone(), head: rule.head.clone(), body: new_body };
+    let rewritten = Rule {
+        name: rule.name.clone(),
+        head: rule.head.clone(),
+        body: new_body,
+    };
     debug_assert!(is_local(&rewritten));
     Ok(vec![relay_rule, rewritten])
 }
@@ -256,8 +269,7 @@ mod tests {
 
     #[test]
     fn three_locations_rejected() {
-        let prog =
-            parse_program("x p(@S,D) :- a(@S,Z), b(@Z,W), c(@W,D).").unwrap();
+        let prog = parse_program("x p(@S,D) :- a(@S,Z), b(@Z,W), c(@W,D).").unwrap();
         assert!(localize_program(&prog).is_err());
     }
 

@@ -37,7 +37,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(NdlogError::Parse { offset: self.offset(), msg: msg.into() })
+        Err(NdlogError::Parse {
+            offset: self.offset(),
+            msg: msg.into(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
@@ -103,9 +106,7 @@ impl Parser {
                     match self.bump() {
                         TokenKind::Comma => continue,
                         TokenKind::Dot => break,
-                        other => {
-                            return self.err(format!("expected ',' or '.', found {other:?}"))
-                        }
+                        other => return self.err(format!("expected ',' or '.', found {other:?}")),
                     }
                 }
                 prog.rules.push(Rule { name, head, body });
@@ -154,7 +155,12 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen, "')'")?;
         self.expect(&TokenKind::Dot, "'.'")?;
-        Ok(Materialize { pred, lifetime, max_size, keys })
+        Ok(Materialize {
+            pred,
+            lifetime,
+            max_size,
+            keys,
+        })
     }
 
     fn parse_head(&mut self) -> Result<Head> {
@@ -210,9 +216,8 @@ impl Parser {
                     let v = match self.bump() {
                         TokenKind::Var(v) => v,
                         other => {
-                            return self.err(format!(
-                                "expected aggregate variable, found {other:?}"
-                            ))
+                            return self
+                                .err(format!("expected aggregate variable, found {other:?}"))
                         }
                     };
                     self.expect(&TokenKind::Gt, "'>'")?;
@@ -252,9 +257,7 @@ impl Parser {
                     match self.bump() {
                         TokenKind::Comma => continue,
                         TokenKind::RBracket => break,
-                        other => {
-                            return self.err(format!("expected ',' or ']', found {other:?}"))
-                        }
+                        other => return self.err(format!("expected ',' or ']', found {other:?}")),
                     }
                 }
                 Ok(Term::Const(Value::List(items)))
@@ -414,9 +417,7 @@ impl Parser {
                     match self.bump() {
                         TokenKind::Comma => continue,
                         TokenKind::RParen => break,
-                        other => {
-                            return self.err(format!("expected ',' or ')', found {other:?}"))
-                        }
+                        other => return self.err(format!("expected ',' or ')', found {other:?}")),
                     }
                 }
                 Ok(Expr::Call(id, args))
@@ -445,7 +446,11 @@ impl Parser {
 /// Parse a complete NDlog program from source text.
 pub fn parse_program(src: &str) -> Result<Program> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, auto_rule: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        auto_rule: 0,
+    };
     p.parse_program()
 }
 
@@ -522,7 +527,10 @@ mod tests {
         let r = parse_rule("x p(A,B) :- q(A), B = A + 1.").unwrap();
         assert!(matches!(&r.body[1], Literal::Assign(v, _) if v == "B"));
         let r2 = parse_rule("x p(A) :- q(A), f_size(A) = 0.").unwrap();
-        assert!(matches!(&r2.body[1], Literal::Cmp(Expr::Call(_, _), CmpOp::Eq, _)));
+        assert!(matches!(
+            &r2.body[1],
+            Literal::Cmp(Expr::Call(_, _), CmpOp::Eq, _)
+        ));
     }
 
     #[test]
@@ -556,7 +564,10 @@ mod tests {
         let prog = parse_program("m(#0, -5).").unwrap();
         assert_eq!(prog.facts[0].args[1], Term::Const(Value::Int(-5)));
         let r = parse_rule("x p(A,B) :- q(A), B = A - 3.").unwrap();
-        assert!(matches!(&r.body[1], Literal::Assign(_, Expr::Bin(BinOp::Sub, _, _))));
+        assert!(matches!(
+            &r.body[1],
+            Literal::Assign(_, Expr::Bin(BinOp::Sub, _, _))
+        ));
     }
 
     #[test]
@@ -569,6 +580,9 @@ mod tests {
     #[test]
     fn parenthesized_expression() {
         let r = parse_rule("x p(A,B) :- q(A), B = (A + 1) * 2.").unwrap();
-        assert!(matches!(&r.body[1], Literal::Assign(_, Expr::Bin(BinOp::Mul, _, _))));
+        assert!(matches!(
+            &r.body[1],
+            Literal::Assign(_, Expr::Bin(BinOp::Mul, _, _))
+        ));
     }
 }

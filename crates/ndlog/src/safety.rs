@@ -190,7 +190,13 @@ pub fn analyze(prog: &Program) -> Result<Analysis> {
         record_use(&mut arity, &mut location, &f.pred, f.args.len(), f.loc)?;
     }
     for r in &prog.rules {
-        record_use(&mut arity, &mut location, &r.head.pred, r.head.args.len(), r.head.loc)?;
+        record_use(
+            &mut arity,
+            &mut location,
+            &r.head.pred,
+            r.head.args.len(),
+            r.head.loc,
+        )?;
         for l in &r.body {
             if let Literal::Pos(a) | Literal::Neg(a) = l {
                 record_use(&mut arity, &mut location, &a.pred, a.args.len(), a.loc)?;
@@ -203,7 +209,11 @@ pub fn analyze(prog: &Program) -> Result<Analysis> {
     let mut rules = Vec::with_capacity(prog.rules.len());
     for r in &prog.rules {
         let body = order_body(r)?;
-        rules.push(Rule { name: r.name.clone(), head: r.head.clone(), body });
+        rules.push(Rule {
+            name: r.name.clone(),
+            head: r.head.clone(),
+            body,
+        });
     }
 
     // Stratification by constraint relaxation:
@@ -221,8 +231,7 @@ pub fn analyze(prog: &Program) -> Result<Analysis> {
         iters += 1;
         if iters > n + 1 {
             return Err(NdlogError::Stratification {
-                msg: "negation or aggregation through recursion (no stratification exists)"
-                    .into(),
+                msg: "negation or aggregation through recursion (no stratification exists)".into(),
             });
         }
         for r in &rules {
@@ -250,7 +259,13 @@ pub fn analyze(prog: &Program) -> Result<Analysis> {
     }
     let num_strata = stratum_of.values().copied().max().unwrap_or(0) + 1;
 
-    Ok(Analysis { stratum_of, num_strata, rules, arity, location })
+    Ok(Analysis {
+        stratum_of,
+        num_strata,
+        rules,
+        arity,
+        location,
+    })
 }
 
 #[cfg(test)]
@@ -357,9 +372,17 @@ mod tests {
     fn rules_in_stratum_filters() {
         let prog = parse_program(PV).unwrap();
         let a = analyze(&prog).unwrap();
-        let s0: Vec<_> = a.rules_in_stratum(0).iter().map(|r| r.name.clone()).collect();
+        let s0: Vec<_> = a
+            .rules_in_stratum(0)
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
         assert_eq!(s0, vec!["r1", "r2"]);
-        let s1: Vec<_> = a.rules_in_stratum(1).iter().map(|r| r.name.clone()).collect();
+        let s1: Vec<_> = a
+            .rules_in_stratum(1)
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
         assert_eq!(s1, vec!["r3", "r4"]);
     }
 

@@ -71,7 +71,11 @@ impl RewriteReport {
 fn fresh_var(base: &str, taken: &mut Vec<String>) -> String {
     let mut i = 0usize;
     loop {
-        let cand = if i == 0 { base.to_string() } else { format!("{base}{i}") };
+        let cand = if i == 0 {
+            base.to_string()
+        } else {
+            format!("{base}{i}")
+        };
         if !taken.contains(&cand) {
             taken.push(cand.clone());
             return cand;
@@ -111,8 +115,12 @@ pub fn rewrite_soft_state(prog: &Program) -> Result<RewriteReport> {
     }
 
     for rule in &prog.rules {
-        let mut taken: Vec<String> =
-            rule.body.iter().flat_map(|l| l.vars()).chain(rule.head.vars()).collect();
+        let mut taken: Vec<String> = rule
+            .body
+            .iter()
+            .flat_map(|l| l.vars())
+            .chain(rule.head.vars())
+            .collect();
         let mut body = Vec::new();
         let mut needs_clock = false;
         let now_var = fresh_var("Now", &mut taken);
@@ -180,11 +188,20 @@ pub fn rewrite_soft_state(prog: &Program) -> Result<RewriteReport> {
             };
             body.insert(0, Literal::Pos(clock_atom));
         }
-        out.rules.push(Rule { name: rule.name.clone(), head, body });
+        out.rules.push(Rule {
+            name: rule.name.clone(),
+            head,
+            body,
+        });
     }
 
     let after = measure(&out);
-    Ok(RewriteReport { program: out, rewritten: soft, before, after })
+    Ok(RewriteReport {
+        program: out,
+        rewritten: soft,
+        before,
+        after,
+    })
 }
 
 #[cfg(test)]

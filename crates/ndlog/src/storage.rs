@@ -1,0 +1,659 @@
+//! Indexed relation storage for incremental maintenance.
+//!
+//! [`RelationStorage`] is the state backbone of [`crate::incremental`]: each
+//! relation keeps
+//!
+//! * a **support map** per tuple — external (EDB) multiplicity plus a derived
+//!   support count (exact firing counts in counting strata, a 0/1 flag in
+//!   DRed strata).  A tuple is *visible* while either support is positive;
+//! * **hash indexes** on join-key column sets, registered up front from the
+//!   rule bodies' static binding patterns, so the delta-rule inner loops
+//!   probe O(1) buckets instead of scanning `BTreeSet<Tuple>` linearly;
+//! * **per-relation delta sets** (`appeared` / `disappeared`) recording net
+//!   visibility changes of the current maintenance batch, with automatic
+//!   cancellation (delete-then-rederive nets to no change).
+//!
+//! The delta sets double as *old-view adjustments*: evaluating a literal
+//! against "the database before this batch/round" is `current minus deltas`,
+//! which [`RelationStorage::matches_adjusted`] and
+//! [`RelationStorage::contains_adjusted`] compute without materializing a
+//! second database.
+
+use crate::eval::Database;
+use crate::value::{Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Signed net visibility changes per predicate: `+1` appeared, `-1`
+/// disappeared.  Used both as batch output and as old-view adjustment.
+pub type SignedDeltas = BTreeMap<String, BTreeMap<Tuple, i64>>;
+
+/// How an update changed a tuple's visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisibilityChange {
+    /// The tuple became visible.
+    Appeared,
+    /// The tuple stopped being visible.
+    Disappeared,
+    /// Visibility did not change (support counts may have).
+    Unchanged,
+}
+
+/// Support for one tuple: external multiplicity and derived support count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+struct Support {
+    edb: i64,
+    derived: i64,
+}
+
+impl Support {
+    fn visible(&self) -> bool {
+        self.edb > 0 || self.derived > 0
+    }
+}
+
+/// One stored relation: supports, indexes, and batch delta sets.
+#[derive(Debug, Clone, Default)]
+struct StoredRelation {
+    support: BTreeMap<Tuple, Support>,
+    /// Column set (sorted positions) → key values → visible tuples.
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, BTreeSet<Tuple>>>,
+    appeared: BTreeSet<Tuple>,
+    disappeared: BTreeSet<Tuple>,
+    /// Derived tuples homed at *another* node (distributed mode): support is
+    /// tracked so retractions can be shipped, but they are invisible to
+    /// local rule evaluation — localized rules must only ever join over
+    /// tuples homed here, or partial remote views would leak into results.
+    exported_support: BTreeMap<Tuple, Support>,
+    exported_appeared: BTreeSet<Tuple>,
+    exported_disappeared: BTreeSet<Tuple>,
+}
+
+impl StoredRelation {
+    fn index_add(&mut self, tuple: &Tuple) {
+        for (cols, map) in self.indexes.iter_mut() {
+            if cols.iter().all(|&c| c < tuple.len()) {
+                let key: Vec<Value> = cols.iter().map(|&c| tuple[c].clone()).collect();
+                map.entry(key).or_default().insert(tuple.clone());
+            }
+        }
+    }
+
+    fn index_remove(&mut self, tuple: &Tuple) {
+        for (cols, map) in self.indexes.iter_mut() {
+            if cols.iter().all(|&c| c < tuple.len()) {
+                let key: Vec<Value> = cols.iter().map(|&c| tuple[c].clone()).collect();
+                if let Some(set) = map.get_mut(&key) {
+                    set.remove(tuple);
+                    if set.is_empty() {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Record a visibility transition in a pair of batch delta sets, cancelling
+/// opposite transitions of the same tuple.
+fn mark_change(
+    appeared: &mut BTreeSet<Tuple>,
+    disappeared: &mut BTreeSet<Tuple>,
+    tuple: &Tuple,
+    change: VisibilityChange,
+) {
+    match change {
+        VisibilityChange::Appeared => {
+            if !disappeared.remove(tuple) {
+                appeared.insert(tuple.clone());
+            }
+        }
+        VisibilityChange::Disappeared => {
+            if !appeared.remove(tuple) {
+                disappeared.insert(tuple.clone());
+            }
+        }
+        VisibilityChange::Unchanged => {}
+    }
+}
+
+/// The indexed, counted, delta-tracking store behind the incremental engine.
+#[derive(Debug, Clone, Default)]
+pub struct RelationStorage {
+    rels: BTreeMap<String, StoredRelation>,
+    visible_total: usize,
+    exported_total: usize,
+    /// Distributed mode: this node's address and the location-attribute
+    /// position of each located predicate.  Derived tuples homed elsewhere
+    /// go to the export side of the store.
+    home: Option<u32>,
+    export_loc: BTreeMap<String, usize>,
+}
+
+impl RelationStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a hash index on `cols` (sorted argument positions) of
+    /// `pred`.  Idempotent; an empty column set is ignored (that case is a
+    /// full scan by definition).  Existing visible tuples are back-filled.
+    pub fn register_index(&mut self, pred: &str, cols: &[usize]) {
+        if cols.is_empty() {
+            return;
+        }
+        let rel = self.rels.entry(pred.to_string()).or_default();
+        if rel.indexes.contains_key(cols) {
+            return;
+        }
+        let mut map: HashMap<Vec<Value>, BTreeSet<Tuple>> = HashMap::new();
+        for (t, s) in &rel.support {
+            if s.visible() && cols.iter().all(|&c| c < t.len()) {
+                let key: Vec<Value> = cols.iter().map(|&c| t[c].clone()).collect();
+                map.entry(key).or_default().insert(t.clone());
+            }
+        }
+        rel.indexes.insert(cols.to_vec(), map);
+    }
+
+    /// Enter distributed mode: derived tuples whose location attribute is
+    /// not `me` are support-tracked but invisible to rule evaluation.
+    /// Must be configured before any tuples are stored.
+    pub fn set_home(&mut self, me: u32, locations: &BTreeMap<String, Option<usize>>) {
+        debug_assert_eq!(self.visible_total, 0, "set_home on a non-empty store");
+        self.home = Some(me);
+        self.export_loc = locations
+            .iter()
+            .filter_map(|(p, l)| l.map(|i| (p.clone(), i)))
+            .collect();
+    }
+
+    /// Would a derived tuple of this relation be export-only (homed at
+    /// another node)?  Always false outside distributed mode.
+    pub fn is_exported(&self, pred: &str, tuple: &Tuple) -> bool {
+        match (self.home, self.export_loc.get(pred)) {
+            (Some(me), Some(&i)) => tuple
+                .get(i)
+                .and_then(Value::as_addr)
+                .map(|a| a != me)
+                .unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    fn update_support(
+        &mut self,
+        pred: &str,
+        tuple: &Tuple,
+        f: impl FnOnce(&mut Support),
+    ) -> VisibilityChange {
+        let rel = self.rels.entry(pred.to_string()).or_default();
+        let s = rel.support.entry(tuple.clone()).or_default();
+        let was = s.visible();
+        f(s);
+        let now = s.visible();
+        let gone = s.edb == 0 && s.derived == 0;
+        if gone {
+            rel.support.remove(tuple);
+        }
+        let change = match (was, now) {
+            (false, true) => {
+                rel.index_add(tuple);
+                self.visible_total += 1;
+                VisibilityChange::Appeared
+            }
+            (true, false) => {
+                rel.index_remove(tuple);
+                self.visible_total -= 1;
+                VisibilityChange::Disappeared
+            }
+            _ => VisibilityChange::Unchanged,
+        };
+        let rel = self.rels.get_mut(pred).expect("relation exists");
+        mark_change(&mut rel.appeared, &mut rel.disappeared, tuple, change);
+        change
+    }
+
+    /// Update the export side of a relation: no indexes, no visibility, its
+    /// own batch delta sets.
+    fn update_exported(
+        &mut self,
+        pred: &str,
+        tuple: &Tuple,
+        f: impl FnOnce(&mut Support),
+    ) -> VisibilityChange {
+        let rel = self.rels.entry(pred.to_string()).or_default();
+        let s = rel.exported_support.entry(tuple.clone()).or_default();
+        let was = s.visible();
+        f(s);
+        let now = s.visible();
+        if s.edb == 0 && s.derived == 0 {
+            rel.exported_support.remove(tuple);
+        }
+        let change = match (was, now) {
+            (false, true) => {
+                self.exported_total += 1;
+                VisibilityChange::Appeared
+            }
+            (true, false) => {
+                self.exported_total -= 1;
+                VisibilityChange::Disappeared
+            }
+            _ => VisibilityChange::Unchanged,
+        };
+        let rel = self.rels.get_mut(pred).expect("relation exists");
+        mark_change(
+            &mut rel.exported_appeared,
+            &mut rel.exported_disappeared,
+            tuple,
+            change,
+        );
+        change
+    }
+
+    /// Adjust a tuple's external (EDB) multiplicity by `k` (clamped at 0).
+    pub fn add_edb(&mut self, pred: &str, tuple: &Tuple, k: i64) -> VisibilityChange {
+        self.update_support(pred, tuple, |s| s.edb = (s.edb + k).max(0))
+    }
+
+    /// Adjust a tuple's derived support count by `k` (counting strata).
+    pub fn add_derived(&mut self, pred: &str, tuple: &Tuple, k: i64) -> VisibilityChange {
+        if self.is_exported(pred, tuple) {
+            self.update_exported(pred, tuple, |s| s.derived += k)
+        } else {
+            self.update_support(pred, tuple, |s| s.derived += k)
+        }
+    }
+
+    /// Set or clear the derived 0/1 flag (DRed strata).
+    pub fn set_derived_flag(&mut self, pred: &str, tuple: &Tuple, on: bool) -> VisibilityChange {
+        if self.is_exported(pred, tuple) {
+            self.update_exported(pred, tuple, |s| s.derived = i64::from(on))
+        } else {
+            self.update_support(pred, tuple, |s| s.derived = i64::from(on))
+        }
+    }
+
+    /// Derived support count of a tuple (0 when absent).
+    pub fn derived_count(&self, pred: &str, tuple: &Tuple) -> i64 {
+        let rel = self.rels.get(pred);
+        let side = if self.is_exported(pred, tuple) {
+            rel.and_then(|r| r.exported_support.get(tuple))
+        } else {
+            rel.and_then(|r| r.support.get(tuple))
+        };
+        side.map(|s| s.derived).unwrap_or(0)
+    }
+
+    /// Export-side tuples of a relation with positive support (distributed
+    /// mode: what this node has derived for other owners).
+    pub fn exported(&self, pred: &str) -> impl Iterator<Item = &Tuple> {
+        self.rels.get(pred).into_iter().flat_map(|r| {
+            r.exported_support
+                .iter()
+                .filter(|(_, s)| s.visible())
+                .map(|(t, _)| t)
+        })
+    }
+
+    /// External multiplicity of a tuple (0 when absent).
+    pub fn edb_count(&self, pred: &str, tuple: &Tuple) -> i64 {
+        self.rels
+            .get(pred)
+            .and_then(|r| r.support.get(tuple))
+            .map(|s| s.edb)
+            .unwrap_or(0)
+    }
+
+    /// Is the tuple visible?
+    pub fn contains(&self, pred: &str, tuple: &Tuple) -> bool {
+        self.rels
+            .get(pred)
+            .and_then(|r| r.support.get(tuple))
+            .map(|s| s.visible())
+            .unwrap_or(false)
+    }
+
+    /// Visible tuples of a relation, in deterministic order.
+    pub fn visible(&self, pred: &str) -> impl Iterator<Item = &Tuple> {
+        self.rels.get(pred).into_iter().flat_map(|r| {
+            r.support
+                .iter()
+                .filter(|(_, s)| s.visible())
+                .map(|(t, _)| t)
+        })
+    }
+
+    /// Number of visible tuples in a relation.
+    pub fn len_of(&self, pred: &str) -> usize {
+        self.rels
+            .get(pred)
+            .map(|r| r.support.values().filter(|s| s.visible()).count())
+            .unwrap_or(0)
+    }
+
+    /// Total visible tuples across relations (export side excluded).
+    pub fn total(&self) -> usize {
+        self.visible_total
+    }
+
+    /// Total export-side tuples with positive support (distributed mode).
+    /// Counts toward evaluation bounds: a divergent program whose growing
+    /// heads are owned by a neighbor must still trip the tuple limit.
+    pub fn exported_total(&self) -> usize {
+        self.exported_total
+    }
+
+    /// All relation names with any recorded state.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.rels.keys().map(String::as_str)
+    }
+
+    /// Is the tuple visible in the *adjusted* view `current minus deltas`?
+    ///
+    /// A `+1` delta entry (appeared) is treated as absent, a `-1` entry
+    /// (disappeared) as present.
+    pub fn contains_adjusted(
+        &self,
+        pred: &str,
+        tuple: &Tuple,
+        minus: Option<&SignedDeltas>,
+    ) -> bool {
+        if let Some(d) = minus.and_then(|m| m.get(pred)).and_then(|dm| dm.get(tuple)) {
+            return *d < 0;
+        }
+        self.contains(pred, tuple)
+    }
+
+    /// Visible tuples of `pred` whose values at `cols` equal `key`, in the
+    /// view `current minus deltas` (see [`Self::contains_adjusted`]).  Uses
+    /// the hash index registered for `cols` when available, else scans.
+    pub fn matches_adjusted<'a>(
+        &'a self,
+        pred: &str,
+        cols: &[usize],
+        key: &[Value],
+        minus: Option<&'a SignedDeltas>,
+    ) -> Vec<&'a Tuple> {
+        let dm = minus.and_then(|m| m.get(pred));
+        let mut out: Vec<&Tuple> = Vec::new();
+        if let Some(rel) = self.rels.get(pred) {
+            let from_index = (!cols.is_empty())
+                .then(|| rel.indexes.get(cols))
+                .flatten()
+                .map(|ix| ix.get(key));
+            match from_index {
+                Some(bucket) => {
+                    for t in bucket.into_iter().flatten() {
+                        if dm.and_then(|d| d.get(t)).copied().unwrap_or(0) <= 0 {
+                            out.push(t);
+                        }
+                    }
+                }
+                None => {
+                    // No index registered for this column set: filter a scan.
+                    for (t, s) in &rel.support {
+                        if s.visible()
+                            && cols
+                                .iter()
+                                .enumerate()
+                                .all(|(i, &c)| t.get(c) == key.get(i))
+                            && dm.and_then(|d| d.get(t)).copied().unwrap_or(0) <= 0
+                        {
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        // Tuples deleted this batch/round are part of the old view.  When
+        // the bound columns form a tuple prefix (the common case for the
+        // registered join keys), a sorted-range scan of the delta map
+        // replaces the full iteration — overdeletion probes this on every
+        // inner-loop join, so the difference is quadratic vs near-linear in
+        // the batch size.
+        if let Some(d) = dm {
+            let is_prefix = !cols.is_empty() && cols.iter().enumerate().all(|(i, &c)| c == i);
+            if is_prefix {
+                for (t, sign) in d.range(key.to_vec()..) {
+                    if t.get(..key.len()) != Some(key) {
+                        break;
+                    }
+                    if *sign < 0 && !self.contains(pred, t) {
+                        out.push(t);
+                    }
+                }
+            } else {
+                for (t, sign) in d {
+                    if *sign < 0
+                        && !self.contains(pred, t)
+                        && cols
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &c)| t.get(c) == key.get(i))
+                    {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The net visibility changes recorded for one relation this batch.
+    pub fn batch_marks(&self, pred: &str) -> (&BTreeSet<Tuple>, &BTreeSet<Tuple>) {
+        static EMPTY: BTreeSet<Tuple> = BTreeSet::new();
+        match self.rels.get(pred) {
+            Some(r) => (&r.appeared, &r.disappeared),
+            None => (&EMPTY, &EMPTY),
+        }
+    }
+
+    /// Net visibility changes of all relations, as a signed delta map
+    /// (`+1` appeared, `-1` disappeared).  Does not clear the marks.
+    pub fn batch_deltas(&self) -> SignedDeltas {
+        self.batch_deltas_for(self.rels.keys())
+    }
+
+    /// Like [`Self::batch_deltas`], restricted to `preds` (what a stratum's
+    /// maintenance reads for its body predicates).
+    pub fn batch_deltas_for<'a>(
+        &self,
+        preds: impl IntoIterator<Item = &'a String>,
+    ) -> SignedDeltas {
+        let mut out = SignedDeltas::new();
+        for p in preds {
+            let Some(r) = self.rels.get(p) else { continue };
+            if r.appeared.is_empty() && r.disappeared.is_empty() {
+                continue;
+            }
+            let m = out.entry(p.clone()).or_default();
+            for t in &r.appeared {
+                m.insert(t.clone(), 1);
+            }
+            for t in &r.disappeared {
+                m.insert(t.clone(), -1);
+            }
+        }
+        out
+    }
+
+    /// Drain the batch delta sets (local *and* export side), returning
+    /// `(pred, tuple, ±1)` records.
+    pub fn take_changes(&mut self) -> Vec<(String, Tuple, i64)> {
+        let mut out = Vec::new();
+        for (p, r) in self.rels.iter_mut() {
+            for t in std::mem::take(&mut r.appeared) {
+                out.push((p.clone(), t, 1));
+            }
+            for t in std::mem::take(&mut r.disappeared) {
+                out.push((p.clone(), t, -1));
+            }
+            for t in std::mem::take(&mut r.exported_appeared) {
+                out.push((p.clone(), t, 1));
+            }
+            for t in std::mem::take(&mut r.exported_disappeared) {
+                out.push((p.clone(), t, -1));
+            }
+        }
+        out
+    }
+
+    /// Materialize the visible database (for comparison and external reads).
+    pub fn to_database(&self) -> Database {
+        let mut db = Database::new();
+        for (p, r) in &self.rels {
+            for (t, s) in &r.support {
+                if s.visible() {
+                    db.insert(p.clone(), t.clone());
+                }
+            }
+        }
+        db
+    }
+}
+
+impl PartialEq for RelationStorage {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key().eq(other.cmp_key())
+    }
+}
+
+impl Eq for RelationStorage {}
+
+impl PartialOrd for RelationStorage {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RelationStorage {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_key().cmp(other.cmp_key())
+    }
+}
+
+impl RelationStorage {
+    /// Canonical comparison view: support maps only (indexes are derived
+    /// data; batch marks are transient and empty between batches).
+    #[allow(clippy::type_complexity)]
+    fn cmp_key(
+        &self,
+    ) -> impl Iterator<
+        Item = (
+            &String,
+            &BTreeMap<Tuple, Support>,
+            &BTreeMap<Tuple, Support>,
+        ),
+    > {
+        self.rels
+            .iter()
+            .map(|(p, r)| (p, &r.support, &r.exported_support))
+            .filter(|(_, s, e)| !s.is_empty() || !e.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn visibility_tracks_combined_support() {
+        let mut s = RelationStorage::new();
+        assert_eq!(s.add_edb("p", &t(&[1]), 1), VisibilityChange::Appeared);
+        assert_eq!(s.add_derived("p", &t(&[1]), 2), VisibilityChange::Unchanged);
+        assert_eq!(s.add_edb("p", &t(&[1]), -1), VisibilityChange::Unchanged);
+        assert_eq!(
+            s.add_derived("p", &t(&[1]), -2),
+            VisibilityChange::Disappeared
+        );
+        assert!(!s.contains("p", &t(&[1])));
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn marks_cancel_round_trips() {
+        let mut s = RelationStorage::new();
+        s.add_edb("p", &t(&[1]), 1);
+        s.add_edb("p", &t(&[1]), -1);
+        let (app, dis) = s.batch_marks("p");
+        assert!(
+            app.is_empty() && dis.is_empty(),
+            "net-zero change leaves no mark"
+        );
+        s.add_edb("p", &t(&[2]), 1);
+        let changes = s.take_changes();
+        assert_eq!(changes, vec![("p".to_string(), t(&[2]), 1)]);
+        assert!(s.take_changes().is_empty());
+    }
+
+    #[test]
+    fn index_probe_matches_scan() {
+        let mut s = RelationStorage::new();
+        s.register_index("e", &[0]);
+        for (a, b) in [(1, 2), (1, 3), (2, 3)] {
+            s.add_edb("e", &t(&[a, b]), 1);
+        }
+        let hits = s.matches_adjusted("e", &[0], &[Value::Int(1)], None);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|tu| tu[0] == Value::Int(1)));
+        // Unindexed column set falls back to a scan with the same answer.
+        let scan = s.matches_adjusted("e", &[1], &[Value::Int(3)], None);
+        assert_eq!(scan.len(), 2);
+    }
+
+    #[test]
+    fn index_backfills_on_late_registration() {
+        let mut s = RelationStorage::new();
+        s.add_edb("e", &t(&[1, 2]), 1);
+        s.register_index("e", &[1]);
+        let hits = s.matches_adjusted("e", &[1], &[Value::Int(2)], None);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn adjusted_view_reconstructs_old_state() {
+        let mut s = RelationStorage::new();
+        s.register_index("e", &[0]);
+        s.add_edb("e", &t(&[1, 2]), 1); // old tuple
+        s.take_changes();
+        s.add_edb("e", &t(&[1, 3]), 1); // appeared this batch
+        s.add_edb("e", &t(&[1, 2]), -1); // disappeared this batch
+        let deltas = s.batch_deltas();
+        // New view: only (1,3).
+        assert!(s.contains("e", &t(&[1, 3])) && !s.contains("e", &t(&[1, 2])));
+        // Old view: only (1,2).
+        assert!(s.contains_adjusted("e", &t(&[1, 2]), Some(&deltas)));
+        assert!(!s.contains_adjusted("e", &t(&[1, 3]), Some(&deltas)));
+        let old = s.matches_adjusted("e", &[0], &[Value::Int(1)], Some(&deltas));
+        assert_eq!(old, vec![&t(&[1, 2])]);
+    }
+
+    #[test]
+    fn ordering_ignores_indexes() {
+        let mut a = RelationStorage::new();
+        let mut b = RelationStorage::new();
+        a.register_index("p", &[0]);
+        a.add_edb("p", &t(&[1]), 1);
+        b.add_edb("p", &t(&[1]), 1);
+        assert_eq!(a, b);
+        b.add_derived("p", &t(&[1]), 1);
+        assert_ne!(a, b, "support counts are part of the canonical state");
+    }
+
+    #[test]
+    fn to_database_exports_visible_only() {
+        let mut s = RelationStorage::new();
+        s.add_edb("p", &t(&[1]), 1);
+        s.add_edb("p", &t(&[2]), 1);
+        s.add_edb("p", &t(&[2]), -1);
+        let db = s.to_database();
+        assert_eq!(db.len_of("p"), 1);
+        assert!(db.contains("p", &t(&[1])));
+    }
+}

@@ -155,7 +155,10 @@ mod tests {
             Value::List(vec![Value::Addr(1), Value::Addr(2)]).to_string(),
             "[n1,n2]"
         );
-        assert_eq!(format_tuple(&[Value::Int(1), Value::Bool(false)]), "(1,false)");
+        assert_eq!(
+            format_tuple(&[Value::Int(1), Value::Bool(false)]),
+            "(1,false)"
+        );
     }
 
     #[test]

@@ -172,7 +172,11 @@ pub struct Simulator<P: Protocol> {
 impl<P: Protocol> Simulator<P> {
     /// Build a simulator over `topo` with one protocol instance per node.
     pub fn new(topo: Topology, nodes: Vec<P>, cfg: SimConfig) -> Self {
-        assert_eq!(nodes.len(), topo.num_nodes() as usize, "one node per topology vertex");
+        assert_eq!(
+            nodes.len(),
+            topo.num_nodes() as usize,
+            "one node per topology vertex"
+        );
         let rng = StdRng::seed_from_u64(cfg.seed);
         Simulator {
             topo,
@@ -217,7 +221,14 @@ impl<P: Protocol> Simulator<P> {
     /// Schedule link status changes before running.
     pub fn schedule_links(&mut self, schedule: &[LinkSchedule]) {
         for s in schedule {
-            self.push(s.at, QueuedEvent::Link { a: s.a, b: s.b, up: s.up });
+            self.push(
+                s.at,
+                QueuedEvent::Link {
+                    a: s.a,
+                    b: s.b,
+                    up: s.up,
+                },
+            );
         }
     }
 
@@ -227,8 +238,13 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn dispatch(&mut self, node: NodeId, event: Event<P::Msg>, now: Time) {
-        let mut ctx =
-            Context { now, node, sends: Vec::new(), timers: Vec::new(), changed: false };
+        let mut ctx = Context {
+            now,
+            node,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            changed: false,
+        };
         self.nodes[node as usize].handle(event, &mut ctx);
         if ctx.changed {
             self.stats.last_change = now;
@@ -243,10 +259,20 @@ impl<P: Protocol> Simulator<P> {
                 self.stats.dropped += 1;
                 continue;
             }
-            let jitter =
-                if self.cfg.jitter > 0 { self.rng.random_range(0..=self.cfg.jitter) } else { 0 };
+            let jitter = if self.cfg.jitter > 0 {
+                self.rng.random_range(0..=self.cfg.jitter)
+            } else {
+                0
+            };
             let at = now + self.cfg.latency.max(1) + jitter;
-            self.push(at, QueuedEvent::Deliver { from: node, to, msg });
+            self.push(
+                at,
+                QueuedEvent::Deliver {
+                    from: node,
+                    to,
+                    msg,
+                },
+            );
         }
         for (at, tag) in timers {
             self.push(at, QueuedEvent::Timer { node, tag });
@@ -267,7 +293,9 @@ impl<P: Protocol> Simulator<P> {
             }
             self.stats.events += 1;
             self.stats.end_time = at;
-            let ev = self.payloads[idx].take().expect("event payload consumed twice");
+            let ev = self.payloads[idx]
+                .take()
+                .expect("event payload consumed twice");
             match ev {
                 QueuedEvent::Deliver { from, to, msg } => {
                     if !self.link_is_up(from, to) {
@@ -314,26 +342,22 @@ mod tests {
 
         fn handle(&mut self, event: Event<u64>, ctx: &mut Context<u64>) {
             match event {
-                Event::Start => {
-                    if ctx.me() == 0 {
-                        self.first_seen = Some(0);
-                        ctx.mark_changed();
-                        // Flood to everybody we can reach in the topology.
-                        for n in 0..64 {
-                            if n != ctx.me() {
-                                ctx.send(n, 1);
-                            }
+                Event::Start if ctx.me() == 0 => {
+                    self.first_seen = Some(0);
+                    ctx.mark_changed();
+                    // Flood to everybody we can reach in the topology.
+                    for n in 0..64 {
+                        if n != ctx.me() {
+                            ctx.send(n, 1);
                         }
                     }
                 }
-                Event::Message { msg, .. } => {
-                    if self.first_seen.is_none() {
-                        self.first_seen = Some(msg);
-                        ctx.mark_changed();
-                        for n in 0..64 {
-                            if n != ctx.me() {
-                                ctx.send(n, msg + 1);
-                            }
+                Event::Message { msg, .. } if self.first_seen.is_none() => {
+                    self.first_seen = Some(msg);
+                    ctx.mark_changed();
+                    for n in 0..64 {
+                        if n != ctx.me() {
+                            ctx.send(n, msg + 1);
                         }
                     }
                 }
@@ -363,10 +387,17 @@ mod tests {
     fn runs_are_deterministic() {
         let run = |seed| {
             let topo = Topology::random_connected(10, 0.4, 3, 7);
-            let cfg = SimConfig { jitter: 3, seed, ..Default::default() };
+            let cfg = SimConfig {
+                jitter: 3,
+                seed,
+                ..Default::default()
+            };
             let mut sim = Simulator::new(topo, flood_nodes(10), cfg);
             let stats = sim.run();
-            (stats, (0..10).map(|v| sim.node(v).first_seen).collect::<Vec<_>>())
+            (
+                stats,
+                (0..10).map(|v| sim.node(v).first_seen).collect::<Vec<_>>(),
+            )
         };
         assert_eq!(run(1), run(1));
         // Different seeds may differ in message ordering/latency.
@@ -379,7 +410,12 @@ mod tests {
     fn down_link_blocks_delivery() {
         let topo = Topology::line(3);
         let mut sim = Simulator::new(topo, flood_nodes(3), SimConfig::default());
-        sim.schedule_links(&[LinkSchedule { at: 0, a: 1, b: 2, up: false }]);
+        sim.schedule_links(&[LinkSchedule {
+            at: 0,
+            a: 1,
+            b: 2,
+            up: false,
+        }]);
         let stats = sim.run();
         assert!(stats.quiescent);
         assert_eq!(sim.node(1).first_seen, Some(1));
@@ -390,7 +426,10 @@ mod tests {
     #[test]
     fn loss_drops_messages() {
         let topo = Topology::line(2);
-        let cfg = SimConfig { loss: 1.0, ..Default::default() };
+        let cfg = SimConfig {
+            loss: 1.0,
+            ..Default::default()
+        };
         let mut sim = Simulator::new(topo, flood_nodes(2), cfg);
         let stats = sim.run();
         assert_eq!(sim.node(1).first_seen, None);
@@ -435,18 +474,17 @@ mod tests {
             type Msg = ();
             fn handle(&mut self, event: Event<()>, ctx: &mut Context<()>) {
                 match event {
-                    Event::Start => {
-                        if ctx.me() == 0 {
-                            ctx.send(1, ());
-                        }
-                    }
+                    Event::Start if ctx.me() == 0 => ctx.send(1, ()),
                     Event::Message { from, .. } => ctx.send(from, ()),
                     _ => {}
                 }
             }
         }
         let topo = Topology::line(2);
-        let cfg = SimConfig { max_events: 100, ..Default::default() };
+        let cfg = SimConfig {
+            max_events: 100,
+            ..Default::default()
+        };
         let mut sim = Simulator::new(topo, vec![PingPong, PingPong], cfg);
         let stats = sim.run();
         assert!(!stats.quiescent);
@@ -468,11 +506,24 @@ mod tests {
             }
         }
         let topo = Topology::line(2);
-        let mut sim =
-            Simulator::new(topo, vec![Watcher::default(), Watcher::default()], SimConfig::default());
+        let mut sim = Simulator::new(
+            topo,
+            vec![Watcher::default(), Watcher::default()],
+            SimConfig::default(),
+        );
         sim.schedule_links(&[
-            LinkSchedule { at: 5, a: 0, b: 1, up: false },
-            LinkSchedule { at: 9, a: 0, b: 1, up: true },
+            LinkSchedule {
+                at: 5,
+                a: 0,
+                b: 1,
+                up: false,
+            },
+            LinkSchedule {
+                at: 9,
+                a: 0,
+                b: 1,
+                up: true,
+            },
         ]);
         sim.run();
         assert_eq!(sim.node(0).changes, vec![(1, false), (1, true)]);

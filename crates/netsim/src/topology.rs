@@ -4,6 +4,7 @@
 //! rings, stars, grids, trees, full meshes, seeded Erdős–Rényi graphs) plus
 //! the BGP gadget shapes from Griffin et al. used by EXP‑2/EXP‑3.
 
+use crate::sim::{LinkSchedule, Time};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -22,7 +23,10 @@ pub struct Topology {
 impl Topology {
     /// An edgeless topology with `n` nodes.
     pub fn empty(n: u32) -> Self {
-        Topology { n, edges: BTreeSet::new() }
+        Topology {
+            n,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Number of nodes.
@@ -221,6 +225,81 @@ impl Topology {
         }
         t
     }
+    // ------------------------------------------------------------------
+    // churn scenario generators
+    // ------------------------------------------------------------------
+
+    /// A link-flap schedule: the edge `a`–`b` goes down at `start`, then
+    /// alternates up/down every `period` ticks, for `flaps` down/up pairs,
+    /// ending in the *up* state.  The edge must exist in the topology.
+    pub fn flap_schedule(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        start: Time,
+        period: Time,
+        flaps: u32,
+    ) -> Vec<LinkSchedule> {
+        assert!(
+            self.has_edge(a, b),
+            "cannot flap a non-existent edge {a}-{b}"
+        );
+        let period = period.max(1);
+        let mut out = Vec::with_capacity(2 * flaps as usize);
+        for i in 0..flaps {
+            let t0 = start + 2 * u64::from(i) * period;
+            out.push(LinkSchedule {
+                at: t0,
+                a,
+                b,
+                up: false,
+            });
+            out.push(LinkSchedule {
+                at: t0 + period,
+                a,
+                b,
+                up: true,
+            });
+        }
+        out
+    }
+
+    /// A random churn schedule: `events` seeded down/up toggles over the
+    /// topology's edges, spaced `gap` ticks apart starting at `start`.  Each
+    /// edge alternates consistently (first event takes it down), so the
+    /// schedule is always replayable and ends each edge in a known state.
+    pub fn random_churn_schedule(
+        &self,
+        events: u32,
+        start: Time,
+        gap: Time,
+        seed: u64,
+    ) -> Vec<LinkSchedule> {
+        let edges: Vec<(NodeId, NodeId)> = self.edges.iter().map(|&(a, b, _)| (a, b)).collect();
+        if edges.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut down: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let gap = gap.max(1);
+        (0..events)
+            .map(|i| {
+                let (a, b) = edges[rng.random_range(0..edges.len())];
+                let up = down.contains(&(a, b));
+                if up {
+                    down.remove(&(a, b));
+                } else {
+                    down.insert((a, b));
+                }
+                LinkSchedule {
+                    at: start + u64::from(i) * gap,
+                    a,
+                    b,
+                    up,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -300,5 +379,56 @@ mod tests {
         let m = Topology::full_mesh(4);
         let ns: Vec<u32> = m.neighbors(2).into_iter().map(|(v, _)| v).collect();
         assert_eq!(ns, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn flap_schedule_alternates_and_ends_up() {
+        let t = Topology::line(3);
+        let s = t.flap_schedule(0, 1, 10, 5, 3);
+        assert_eq!(s.len(), 6);
+        assert_eq!(
+            s[0],
+            LinkSchedule {
+                at: 10,
+                a: 0,
+                b: 1,
+                up: false
+            }
+        );
+        assert_eq!(
+            s[1],
+            LinkSchedule {
+                at: 15,
+                a: 0,
+                b: 1,
+                up: true
+            }
+        );
+        assert!(s.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(s.last().unwrap().up, "flap schedule ends with the link up");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent edge")]
+    fn flap_schedule_rejects_missing_edge() {
+        Topology::line(3).flap_schedule(0, 2, 0, 1, 1);
+    }
+
+    #[test]
+    fn random_churn_is_consistent_and_deterministic() {
+        let t = Topology::grid(3, 3);
+        let s1 = t.random_churn_schedule(20, 0, 7, 42);
+        let s2 = t.random_churn_schedule(20, 0, 7, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 20);
+        // Per-edge alternation: first toggle of each edge is a down event.
+        let mut state: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        for ev in &s1 {
+            let prev = state.insert((ev.a, ev.b), ev.up);
+            match prev {
+                None => assert!(!ev.up, "first toggle must take the link down"),
+                Some(p) => assert_ne!(p, ev.up, "toggles must alternate"),
+            }
+        }
     }
 }

@@ -29,8 +29,7 @@ pub fn bellman_ford_all_pairs(topo: &Topology) -> BTreeMap<(u32, u32), i64> {
     for _ in 1..n {
         let mut changed = false;
         for (a, b, c) in topo.edges() {
-            let snapshot: Vec<((u32, u32), i64)> =
-                dist.iter().map(|(k, v)| (*k, *v)).collect();
+            let snapshot: Vec<((u32, u32), i64)> = dist.iter().map(|(k, v)| (*k, *v)).collect();
             for ((s, d), cost) in snapshot {
                 if d == a {
                     let nd = cost.saturating_add(c);
@@ -80,7 +79,11 @@ impl DvNode {
     /// Build the per-node protocol instances for a topology.
     pub fn nodes_for(topo: &Topology, infinity: i64) -> Vec<DvNode> {
         (0..topo.num_nodes())
-            .map(|v| DvNode { neighbors: topo.neighbors(v), table: BTreeMap::new(), infinity })
+            .map(|v| DvNode {
+                neighbors: topo.neighbors(v),
+                table: BTreeMap::new(),
+                infinity,
+            })
             .collect()
     }
 

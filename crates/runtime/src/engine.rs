@@ -5,129 +5,268 @@
 //! 1. the program is **localized** ([`ndlog::localize`]) so every rule body
 //!    is evaluable at one node;
 //! 2. each node stores the tuples whose location attribute names it;
-//! 3. each node runs a local fixpoint and ships rule heads whose location
-//!    attribute names another node as simulator messages;
+//! 3. each node runs an [`IncrementalEngine`] and ships rule heads whose
+//!    location attribute names another node as simulator messages;
 //! 4. distributed convergence = simulator quiescence.
 //!
-//! Tuple exchange is monotone (sets only grow during an epoch), so the
-//! distributed fixpoint coincides with centralized evaluation — a property
-//! the integration tests check on every topology.  Topology *changes* are
-//! handled by epoch recomputation (see `DESIGN.md`), matching how the paper's
-//! experiments use the runtime.
+//! Unlike the epoch model the paper's experiments used (recompute the world
+//! on every change), topology churn is absorbed **incrementally**: a
+//! [`netsim::Event::LinkChange`] retracts or re-asserts the node's `link`
+//! facts toward that neighbor, the engine propagates the tuple deltas
+//! (counting / DRed, see [`ndlog::incremental`]), and the node ships signed
+//! [`TupleMsg`]s — assertions *and retractions* — to the affected owners.
+//! Receivers track per-neighbor provenance counts, so a tuple asserted by
+//! two neighbors survives one retraction, and a link failure purges exactly
+//! the state learned over that link (soft-state teardown); on recovery both
+//! sides re-ship their currently visible tuples.
+//!
+//! The quiescent distributed database still coincides with centralized
+//! evaluation over the *final* topology — the integration and property
+//! tests check that on every shape, including under scheduled flap churn.
+//!
+//! **Reliable links are assumed** (`SimConfig::loss == 0`): tuple exchange
+//! has no retransmission, and a lost message would leave a permanent gap in
+//! the per-link FIFO sequence, stalling everything behind it.  The
+//! simulator's loss knob exists for the imperative baselines in
+//! [`crate::baseline`]; runs of this engine under loss are unsupported.
 
-use ndlog::ast::{Program, Rule, Term};
-use ndlog::eval::{derive_agg_rule, derive_rule, Database};
+use ndlog::ast::Program;
+use ndlog::eval::{Database, EvalOptions};
+use ndlog::incremental::{IncrementalEngine, TupleDelta};
 use ndlog::localize::localize_program;
-use ndlog::safety::{analyze, Analysis};
+use ndlog::safety::analyze;
 use ndlog::value::{Tuple, Value};
 use ndlog::{NdlogError, Result};
-use netsim::{Context, Event, Protocol, SimConfig, SimStats, Simulator, Topology};
-use std::rc::Rc;
+use netsim::{Context, Event, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Topology};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// A shipped tuple.
+/// The relation whose facts the runtime retracts and re-asserts on link
+/// change events: `link(@from, to, cost)`, the standard input relation of
+/// the paper's programs.
+pub const LINK_PRED: &str = "link";
+
+/// A shipped tuple, signed: an assertion or a retraction.
+///
+/// Messages are scoped to a **link session** and FIFO-ordered within it.
+/// Both endpoints bump their session counter on every link-recovery event
+/// (the simulator delivers `LinkChange` to both at the same tick, so the
+/// counters stay in sync); a message from a previous session is discarded on
+/// delivery.  Without this, an assertion still in flight across a down/up
+/// window would be counted *twice* by a receiver that purged-and-was-reshipped,
+/// leaving a stale tuple no single retraction can remove.  The sequence
+/// number restores per-link FIFO under delivery jitter — an assert/retract
+/// pair processed in the wrong order would otherwise corrupt provenance
+/// counts the same way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TupleMsg {
     /// Relation name.
     pub pred: String,
     /// The tuple (location attribute included).
     pub tuple: Tuple,
-}
-
-/// Shared compiled program: localized rules grouped by stratum.
-#[derive(Debug)]
-struct Compiled {
-    analysis: Analysis,
-    /// (stratum, is_aggregate, rule)
-    rules: Vec<(usize, bool, Rule)>,
-    num_strata: usize,
+    /// True to assert, false to retract.
+    pub assert: bool,
+    /// Link session (per sender→receiver direction).
+    pub session: u64,
+    /// FIFO sequence number within the session.
+    pub seq: u64,
 }
 
 /// One NDlog engine instance (runs on one simulated node).
 pub struct NdlogNode {
     me: u32,
-    compiled: Rc<Compiled>,
-    /// Local base state: facts homed here plus received tuples.
-    base: Database,
-    /// Result of the last local fixpoint (includes `base`).
+    engine: IncrementalEngine,
+    /// This node's ground facts (applied at `Start`).
+    base: Vec<TupleDelta>,
+    /// Local view: visible tuples homed here (or unlocated).  What the
+    /// experiments and tests read.
     derived: Database,
-    /// Outgoing dedup set.
-    sent: std::collections::BTreeSet<(u32, String, Tuple)>,
+    /// Tuples currently asserted to a remote owner.
+    sent: BTreeSet<(u32, String, Tuple)>,
+    /// Provenance counts of received assertions, by sending neighbor.
+    received: BTreeMap<(u32, String, Tuple), i64>,
+    /// Link facts toward currently-down neighbors, kept for re-assertion.
+    suspended_links: BTreeMap<u32, Vec<Tuple>>,
+    /// Current link session per neighbor (bumped on every recovery).
+    sessions: BTreeMap<u32, u64>,
+    /// Next outgoing sequence number per neighbor (reset per session).
+    next_seq: BTreeMap<u32, u64>,
+    /// Next expected incoming sequence number per neighbor.
+    recv_expected: BTreeMap<u32, u64>,
+    /// Out-of-order messages held until their predecessors arrive.
+    recv_buffer: BTreeMap<u32, BTreeMap<u64, TupleMsg>>,
 }
 
 impl NdlogNode {
-    /// The node's full derived database.
+    /// The node's visible database (tuples homed here).
     pub fn database(&self) -> &Database {
         &self.derived
     }
 
-    /// Recompute the local fixpoint from `base`; returns remote sends.
-    fn recompute(&mut self) -> Vec<(u32, TupleMsg)> {
-        let compiled = Rc::clone(&self.compiled);
-        let mut db = self.base.clone();
-        let mut outgoing = Vec::new();
-        for stratum in 0..compiled.num_strata {
-            // Aggregate rules of this stratum run first (their bodies are
-            // stratified strictly below).
-            let rules: Vec<&(usize, bool, Rule)> =
-                compiled.rules.iter().filter(|(s, _, _)| *s == stratum).collect();
-            for (_, is_agg, rule) in rules.iter().filter(|(_, a, _)| *a) {
-                debug_assert!(*is_agg);
-                if let Ok(tuples) = derive_agg_rule(rule, &db) {
-                    for t in tuples {
-                        self.route(rule, t, &mut db, &mut outgoing);
-                    }
-                }
-            }
-            // Plain rules to fixpoint.
-            loop {
-                let mut changed = false;
-                for (_, _, rule) in rules.iter().filter(|(_, a, _)| !*a) {
-                    if let Ok(tuples) = derive_rule(rule, &db) {
-                        for t in tuples {
-                            if self.route(rule, t, &mut db, &mut outgoing) {
-                                changed = true;
-                            }
-                        }
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-        }
-        self.derived = db;
-        outgoing
-    }
-
-    /// Insert locally or queue for shipping. Returns true if the local
-    /// database changed.
-    fn route(
-        &mut self,
-        rule: &Rule,
-        tuple: Tuple,
-        db: &mut Database,
-        outgoing: &mut Vec<(u32, TupleMsg)>,
-    ) -> bool {
-        let pred = &rule.head.pred;
-        let loc = self
-            .compiled
-            .analysis
+    /// Owner of a tuple by location attribute (`None` when unlocated).
+    fn owner_of(&self, pred: &str, tuple: &Tuple) -> Option<u32> {
+        self.engine
+            .analysis()
             .location
             .get(pred)
             .copied()
-            .flatten();
-        let owner = loc.and_then(|i| tuple.get(i)).and_then(Value::as_addr);
-        match owner {
-            Some(o) if o != self.me => {
-                let key = (o, pred.clone(), tuple.clone());
-                if !self.sent.contains(&key) {
-                    self.sent.insert(key);
-                    outgoing.push((o, TupleMsg { pred: pred.clone(), tuple }));
+            .flatten()
+            .and_then(|i| tuple.get(i))
+            .and_then(Value::as_addr)
+    }
+
+    /// Build the next in-session message toward `to`.
+    fn make_msg(&mut self, to: u32, pred: String, tuple: Tuple, assert: bool) -> TupleMsg {
+        let session = self.sessions.get(&to).copied().unwrap_or(0);
+        let seq = self.next_seq.entry(to).or_insert(0);
+        let msg = TupleMsg {
+            pred,
+            tuple,
+            assert,
+            session,
+            seq: *seq,
+        };
+        *seq += 1;
+        msg
+    }
+
+    /// Apply a batch of external deltas to the engine and turn the net
+    /// changes into local-view updates plus outgoing signed messages.
+    fn absorb(&mut self, deltas: &[TupleDelta]) -> Vec<(u32, TupleMsg)> {
+        let outcome = self.engine.apply(deltas).unwrap_or_else(|e| {
+            // Protocol::handle cannot return errors; the only failures here
+            // are data-dependent evaluation bounds.
+            panic!(
+                "incremental maintenance exceeded its evaluation bounds ({e}); \
+                 raise the limits with DistRuntime::with_options"
+            )
+        });
+        let mut outgoing = Vec::new();
+        for change in outcome.changes {
+            let TupleDelta { pred, tuple, delta } = change;
+            match self.owner_of(&pred, &tuple) {
+                Some(owner) if owner != self.me => {
+                    // While the link is down, neither ship nor record: the
+                    // neighbor purged our state and recovery re-ships
+                    // everything still derived (sim would drop the message
+                    // anyway, silently desyncing `sent`).
+                    if self.suspended_links.contains_key(&owner) {
+                        continue;
+                    }
+                    let key = (owner, pred.clone(), tuple.clone());
+                    if delta > 0 {
+                        if self.sent.insert(key) {
+                            let msg = self.make_msg(owner, pred, tuple, true);
+                            outgoing.push((owner, msg));
+                        }
+                    } else if self.sent.remove(&key) {
+                        let msg = self.make_msg(owner, pred, tuple, false);
+                        outgoing.push((owner, msg));
+                    }
                 }
-                false
+                _ => {
+                    if delta > 0 {
+                        self.derived.insert(pred, tuple);
+                    } else {
+                        self.derived.remove(&pred, &tuple);
+                    }
+                }
             }
-            _ => db.insert(pred.clone(), tuple),
         }
+        outgoing
+    }
+
+    /// Handle a link-status change toward `neighbor`.
+    fn link_change(&mut self, neighbor: u32, up: bool) -> Vec<(u32, TupleMsg)> {
+        let mut deltas = Vec::new();
+        if up {
+            // Up for a link we never saw go down (duplicate or no-op event,
+            // which the simulator dispatches unconditionally): ignore it —
+            // bumping the session here would discard in-flight messages the
+            // sender still counts as delivered.
+            if !self.suspended_links.contains_key(&neighbor) {
+                return Vec::new();
+            }
+            // New link session: both endpoints bump in lockstep (the
+            // simulator delivers the event to both at the same tick), so
+            // anything still in flight from before the flap is discarded on
+            // delivery instead of double-counting.
+            *self.sessions.entry(neighbor).or_insert(0) += 1;
+            self.next_seq.insert(neighbor, 0);
+            self.recv_expected.insert(neighbor, 0);
+            self.recv_buffer.remove(&neighbor);
+            // Restore our link facts toward the neighbor.
+            for tuple in self.suspended_links.remove(&neighbor).unwrap_or_default() {
+                deltas.push(TupleDelta::insert(LINK_PRED, tuple));
+            }
+        } else {
+            if self.suspended_links.contains_key(&neighbor) {
+                return Vec::new(); // duplicate down event
+            }
+            // Retract our link facts toward the neighbor...
+            let mine: Vec<Tuple> = self
+                .engine
+                .storage()
+                .visible(LINK_PRED)
+                .filter(|t| {
+                    t.first() == Some(&Value::Addr(self.me))
+                        && t.get(1) == Some(&Value::Addr(neighbor))
+                        && self.engine.storage().edb_count(LINK_PRED, t) > 0
+                })
+                .cloned()
+                .collect();
+            for tuple in &mine {
+                deltas.push(TupleDelta::remove(LINK_PRED, tuple.clone()));
+            }
+            self.suspended_links.insert(neighbor, mine);
+            // ...purge everything learned over that link (soft-state
+            // teardown: the neighbor can no longer retract it for us)...
+            let purged: Vec<((u32, String, Tuple), i64)> = self
+                .received
+                .range((neighbor, String::new(), Tuple::new())..)
+                .take_while(|((from, _, _), _)| *from == neighbor)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            for ((from, pred, tuple), count) in purged {
+                self.received.remove(&(from, pred.clone(), tuple.clone()));
+                deltas.push(TupleDelta {
+                    pred,
+                    tuple,
+                    delta: -count,
+                });
+            }
+            // ...and forget what we asserted to the neighbor, so a later
+            // recovery re-ships it (they purge their side symmetrically),
+            // and drop any out-of-order messages held from the dead session.
+            self.sent.retain(|(to, _, _)| *to != neighbor);
+            self.recv_buffer.remove(&neighbor);
+        }
+        let mut out = self.absorb(&deltas);
+        if up {
+            // Re-ship everything we still derive that is homed at the
+            // neighbor (they purged it when the link went down).
+            let mut reship = Vec::new();
+            for pred in self
+                .engine
+                .storage()
+                .relations()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+            {
+                for tuple in self.engine.storage().exported(&pred) {
+                    if self.owner_of(&pred, tuple) == Some(neighbor) {
+                        reship.push((pred.clone(), tuple.clone()));
+                    }
+                }
+            }
+            for (pred, tuple) in reship {
+                let key = (neighbor, pred.clone(), tuple.clone());
+                if self.sent.insert(key) {
+                    let msg = self.make_msg(neighbor, pred, tuple, true);
+                    out.push((neighbor, msg));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -135,24 +274,89 @@ impl Protocol for NdlogNode {
     type Msg = TupleMsg;
 
     fn handle(&mut self, event: Event<TupleMsg>, ctx: &mut Context<TupleMsg>) {
-        match event {
+        let out = match event {
             Event::Start => {
-                let out = self.recompute();
+                let base = std::mem::take(&mut self.base);
                 ctx.mark_changed();
-                for (to, msg) in out {
-                    ctx.send(to, msg);
-                }
+                self.absorb(&base)
             }
-            Event::Message { msg, .. } => {
-                if self.base.insert(msg.pred.clone(), msg.tuple.clone()) {
-                    ctx.mark_changed();
-                    let out = self.recompute();
-                    for (to, m) in out {
-                        ctx.send(to, m);
+            Event::Message { from, msg } => {
+                // Stale session (sent before a flap we have since recovered
+                // from): the content was purged and re-shipped; discard.
+                if msg.session != self.sessions.get(&from).copied().unwrap_or(0) {
+                    return;
+                }
+                // Restore per-link FIFO: process only the next expected
+                // sequence number, holding later arrivals until the gap
+                // fills (delivery jitter can reorder an assert/retract pair,
+                // which would corrupt the provenance counts).
+                let expected = self.recv_expected.entry(from).or_insert(0);
+                if msg.seq > *expected {
+                    self.recv_buffer
+                        .entry(from)
+                        .or_default()
+                        .insert(msg.seq, msg);
+                    return;
+                }
+                if msg.seq < *expected {
+                    return; // duplicate (cannot happen in-session; be safe)
+                }
+                let mut deltas = Vec::new();
+                let mut next = Some(msg);
+                while let Some(m) = next {
+                    *self
+                        .recv_expected
+                        .get_mut(&from)
+                        .expect("entry created above") += 1;
+                    let TupleMsg {
+                        pred,
+                        tuple,
+                        assert,
+                        ..
+                    } = m;
+                    let key = (from, pred.clone(), tuple.clone());
+                    if assert {
+                        *self.received.entry(key).or_insert(0) += 1;
+                        deltas.push(TupleDelta {
+                            pred,
+                            tuple,
+                            delta: 1,
+                        });
+                    } else if let Some(c) = self.received.get_mut(&key) {
+                        // In-session retract always follows its assert.
+                        *c -= 1;
+                        if *c == 0 {
+                            self.received.remove(&key);
+                        }
+                        deltas.push(TupleDelta {
+                            pred,
+                            tuple,
+                            delta: -1,
+                        });
                     }
+                    let want = self.recv_expected[&from];
+                    next = self
+                        .recv_buffer
+                        .get_mut(&from)
+                        .and_then(|b| b.remove(&want));
                 }
+                if deltas.is_empty() {
+                    return;
+                }
+                ctx.mark_changed();
+                self.absorb(&deltas)
             }
-            Event::Timer { .. } | Event::LinkChange { .. } => {}
+            Event::LinkChange { neighbor, up } => {
+                let out = self.link_change(neighbor, up);
+                if !out.is_empty() {
+                    ctx.mark_changed();
+                }
+                out
+            }
+            Event::Timer { .. } => Vec::new(),
+        };
+        for (to, msg) in out {
+            ctx.send(to, msg);
         }
     }
 }
@@ -165,44 +369,55 @@ pub struct DistRuntime {
 
 impl DistRuntime {
     /// Localize and compile `program`, distribute its facts by location
-    /// attribute, and prepare a simulator over `topo`.
+    /// attribute, and prepare a simulator over `topo` with default
+    /// evaluation bounds.
     pub fn new(program: &Program, topo: &Topology, cfg: SimConfig) -> Result<Self> {
+        Self::with_options(program, topo, cfg, EvalOptions::default())
+    }
+
+    /// Like [`new`](Self::new) with explicit per-node evaluation bounds —
+    /// raise them for topologies whose derived state exceeds the defaults
+    /// (maintenance that exceeds the bounds panics mid-simulation, since
+    /// protocol handlers cannot surface errors).
+    pub fn with_options(
+        program: &Program,
+        topo: &Topology,
+        cfg: SimConfig,
+        eval_opts: EvalOptions,
+    ) -> Result<Self> {
         let localized = localize_program(program)?;
         let mut compiled_prog = localized.to_program();
         compiled_prog.facts = program.facts.clone();
         compiled_prog.materializes = program.materializes.clone();
         let analysis = analyze(&compiled_prog)?;
-        let rules: Vec<(usize, bool, Rule)> = analysis
-            .rules
-            .iter()
-            .map(|r| {
-                let s = analysis.stratum_of.get(&r.head.pred).copied().unwrap_or(0);
-                (s, r.head.has_agg(), r.clone())
-            })
-            .collect();
-        let compiled = Rc::new(Compiled {
-            num_strata: analysis.num_strata,
-            analysis,
-            rules,
-        });
+
+        // The churn handler retracts/re-asserts `link(@from, to, cost)`
+        // facts; a program redefining that relation's shape would silently
+        // keep routing over dead links, so reject it up front.
+        if let Some(&arity) = analysis.arity.get(LINK_PRED) {
+            let loc = analysis.location.get(LINK_PRED).copied().flatten();
+            if loc != Some(0) || arity < 2 {
+                return Err(NdlogError::Schema {
+                    predicate: LINK_PRED.into(),
+                    msg: format!(
+                        "the distributed runtime requires {LINK_PRED}(@from, to, ...) \
+                         (location at position 0, arity >= 2); \
+                         got arity {arity}, location {loc:?}"
+                    ),
+                });
+            }
+        }
 
         // Partition facts by their location attribute.
         let n = topo.num_nodes();
-        let mut bases: Vec<Database> = (0..n).map(|_| Database::new()).collect();
+        let mut bases: Vec<Vec<TupleDelta>> = (0..n).map(|_| Vec::new()).collect();
         for fact in &program.facts {
-            let tuple: Tuple = fact
-                .args
-                .iter()
-                .map(|t| match t {
-                    Term::Const(c) => c.clone(),
-                    Term::Var(_) => unreachable!("facts are ground"),
-                })
-                .collect();
-            let loc = compiled.analysis.location.get(&fact.pred).copied().flatten();
+            let tuple = fact.const_tuple().expect("facts are ground");
+            let loc = analysis.location.get(&fact.pred).copied().flatten();
             let owner = loc.and_then(|i| tuple.get(i)).and_then(Value::as_addr);
             match owner {
                 Some(o) if o < n => {
-                    bases[o as usize].insert(fact.pred.clone(), tuple);
+                    bases[o as usize].push(TupleDelta::insert(fact.pred.clone(), tuple));
                 }
                 Some(o) => {
                     return Err(NdlogError::Eval {
@@ -212,22 +427,45 @@ impl DistRuntime {
                 None => {
                     // Unlocated facts are replicated everywhere.
                     for b in bases.iter_mut() {
-                        b.insert(fact.pred.clone(), tuple.clone());
+                        b.push(TupleDelta::insert(fact.pred.clone(), tuple.clone()));
                     }
                 }
             }
         }
 
-        let nodes: Vec<NdlogNode> = (0..n)
-            .map(|i| NdlogNode {
-                me: i,
-                compiled: Rc::clone(&compiled),
-                base: bases[i as usize].clone(),
-                derived: Database::new(),
-                sent: Default::default(),
+        // One shared compilation: cloning the prototype shares the analysis
+        // and stratum plans (Arc) instead of deep-copying them per node.
+        let proto = IncrementalEngine::from_analysis(analysis, eval_opts);
+        let nodes: Vec<NdlogNode> = bases
+            .into_iter()
+            .enumerate()
+            .map(|(i, base)| {
+                let mut engine = proto.clone();
+                engine.set_home(i as u32);
+                NdlogNode {
+                    me: i as u32,
+                    engine,
+                    base,
+                    derived: Database::new(),
+                    sent: Default::default(),
+                    received: Default::default(),
+                    suspended_links: Default::default(),
+                    sessions: Default::default(),
+                    next_seq: Default::default(),
+                    recv_expected: Default::default(),
+                    recv_buffer: Default::default(),
+                }
             })
             .collect();
-        Ok(DistRuntime { sim: Simulator::new(topo.clone(), nodes, cfg), stats: None })
+        Ok(DistRuntime {
+            sim: Simulator::new(topo.clone(), nodes, cfg),
+            stats: None,
+        })
+    }
+
+    /// Schedule link status changes before running.
+    pub fn schedule_links(&mut self, schedule: &[LinkSchedule]) {
+        self.sim.schedule_links(schedule);
     }
 
     /// Run to quiescence; returns simulator stats (messages, convergence
@@ -379,5 +617,172 @@ mod tests {
         assert!(rt
             .database_at(1)
             .contains("out", &vec![Value::Addr(1), Value::Int(42)]));
+    }
+
+    // ------------------------------------------------------------------
+    // churn: link failures and flaps as tuple deltas
+    // ------------------------------------------------------------------
+
+    /// Centralized oracle over a mutated topology.
+    fn central_on(topo: &Topology, remove: &[(u32, u32)]) -> Database {
+        let mut t = topo.clone();
+        for &(a, b) in remove {
+            t.remove_edge(a, b);
+        }
+        eval_program(&pv_on(&t)).unwrap()
+    }
+
+    #[test]
+    fn link_failure_converges_to_new_topology_fixpoint() {
+        // A square: failing one side leaves everything reachable the other
+        // way around, at higher cost.
+        let topo = Topology::ring(4);
+        let prog = pv_on(&topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.schedule_links(&[LinkSchedule {
+            at: 50,
+            a: 0,
+            b: 1,
+            up: false,
+        }]);
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let want = central_on(&topo, &[(0, 1)]);
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = want.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after link failure");
+        }
+    }
+
+    #[test]
+    fn link_flap_recovers_original_fixpoint() {
+        let topo = Topology::ring(4);
+        let prog = pv_on(&topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.schedule_links(&topo.flap_schedule(0, 1, 50, 40, 2));
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let want = eval_program(&prog).unwrap();
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = want.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after flap recovery");
+        }
+    }
+
+    #[test]
+    fn retractions_are_shipped_on_failure() {
+        let topo = Topology::line(3);
+        let prog = pv_on(&topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.schedule_links(&[LinkSchedule {
+            at: 50,
+            a: 1,
+            b: 2,
+            up: false,
+        }]);
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        // Node 0 must have dropped its routes through 1 to 2.
+        assert!(!rt
+            .database_at(0)
+            .relation("bestPath")
+            .any(|t| t[1] == Value::Addr(2)));
+        let want = central_on(&topo, &[(1, 2)]);
+        assert_eq!(
+            rt.global_database()
+                .relation("bestPathCost")
+                .cloned()
+                .collect::<Vec<_>>(),
+            want.relation("bestPathCost").cloned().collect::<Vec<_>>()
+        );
+    }
+
+    /// Regression: an `up` event for a link that never went down (the
+    /// simulator dispatches no-op transitions unconditionally) must not
+    /// start a new session — that would discard the Start-time assertions
+    /// still in flight while the sender believes them delivered.
+    #[test]
+    fn noop_link_up_event_is_ignored() {
+        let topo = Topology::line(3);
+        let prog = pv_on(&topo);
+        let central = eval_program(&prog).unwrap();
+        let cfg = SimConfig {
+            latency: 10,
+            ..Default::default()
+        };
+        let mut rt = DistRuntime::new(&prog, &topo, cfg).unwrap();
+        rt.schedule_links(&[LinkSchedule {
+            at: 5,
+            a: 0,
+            b: 1,
+            up: true, // already up
+        }]);
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = central.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after a no-op up event");
+        }
+    }
+
+    /// Regression: a flap window *shorter than the link latency* leaves
+    /// assertions in flight across the down/up cycle; without link sessions
+    /// they would be double-counted on top of the recovery re-ship, leaving
+    /// stale tuples no retraction can remove.  Jitter additionally reorders
+    /// assert/retract pairs, which the per-session FIFO must absorb.
+    #[test]
+    fn in_flight_messages_across_flap_windows_stay_consistent() {
+        let topo = Topology::ring(4);
+        let prog = pv_on(&topo);
+        for seed in 0..30 {
+            let cfg = SimConfig {
+                latency: 5,
+                jitter: 3,
+                seed,
+                ..Default::default()
+            };
+            let mut rt = DistRuntime::new(&prog, &topo, cfg).unwrap();
+            // Rapid flaps (period 2 < latency 5), then a permanent failure.
+            rt.schedule_links(&topo.flap_schedule(0, 1, 100, 2, 3));
+            rt.schedule_links(&[LinkSchedule {
+                at: 500,
+                a: 1,
+                b: 2,
+                up: false,
+            }]);
+            let stats = rt.run();
+            assert!(stats.quiescent, "seed {seed} must quiesce");
+            let want = central_on(&topo, &[(1, 2)]);
+            let got = rt.global_database();
+            for pred in ["path", "bestPathCost", "bestPath"] {
+                let c: Vec<_> = want.relation(pred).cloned().collect();
+                let d: Vec<_> = got.relation(pred).cloned().collect();
+                assert_eq!(c, d, "{pred} differs under seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_flaps_stay_consistent() {
+        let topo = Topology::random_connected(6, 0.45, 3, 9);
+        let prog = pv_on(&topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        let (a, b, _) = topo.edge_list()[0];
+        rt.schedule_links(&topo.flap_schedule(a, b, 100, 60, 3));
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let want = eval_program(&prog).unwrap();
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = want.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after repeated flaps");
+        }
     }
 }

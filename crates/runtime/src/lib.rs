@@ -5,9 +5,11 @@
 //! system the paper cites ([18]); see `DESIGN.md` for the substitution
 //! argument.
 //!
-//! * [`engine`] — per-node NDlog engines exchanging tuples over `netsim`;
-//!   distributed results provably match centralized evaluation on every
-//!   tested topology (monotone tuple exchange + local recomputation).
+//! * [`engine`] — per-node incremental NDlog engines exchanging signed
+//!   tuples (assertions and retractions) over `netsim`; link churn is
+//!   absorbed as tuple deltas (see `DESIGN.md` §5), and distributed results
+//!   provably match centralized evaluation over the final topology on every
+//!   tested shape.
 //! * [`baseline`] — imperative comparators for EXP‑6: centralized
 //!   Bellman–Ford and an event-driven distance-vector protocol.
 

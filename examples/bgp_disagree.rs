@@ -21,7 +21,10 @@ fn main() {
     let disagree = SppInstance::disagree();
 
     // 1. Model checking.
-    let sys = SpvpSystem { spp: disagree.clone(), simultaneous: true };
+    let sys = SpvpSystem {
+        spp: disagree.clone(),
+        simultaneous: true,
+    };
     let stable = stable_states(&sys, ExploreOptions::default());
     println!("1. Model checking (arc 6/8):");
     println!("   stable solutions found: {}", stable.len());
@@ -56,7 +59,10 @@ fn main() {
     };
     println!(
         "   DISAGREE:    {} of 30 converge; mean time {:.1}, mean churn {:.1}",
-        conflicted.iter().filter(|r| r.converged_at.is_some()).count(),
+        conflicted
+            .iter()
+            .filter(|r| r.converged_at.is_some())
+            .count(),
         avg_time(&conflicted),
         avg_churn(&conflicted)
     );

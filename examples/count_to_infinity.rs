@@ -19,7 +19,13 @@ fn main() {
             for (i, st) in trace.states.iter().enumerate() {
                 let costs: Vec<String> = st
                     .iter()
-                    .map(|r| if r.cost >= 16 { "inf".into() } else { r.cost.to_string() })
+                    .map(|r| {
+                        if r.cost >= 16 {
+                            "inf".into()
+                        } else {
+                            r.cost.to_string()
+                        }
+                    })
                     .collect();
                 if i == 0 {
                     println!("    t0   costs = {costs:?}");

@@ -8,19 +8,30 @@
 //! Run with: `cargo run --example metarouting_design`
 
 use metarouting::{
-    add_topology_facts, discharge_all, generate, infer, run_vectoring, AlgebraSpec,
-    EdgeLabels,
+    add_topology_facts, discharge_all, generate, infer, run_vectoring, AlgebraSpec, EdgeLabels,
 };
 use netsim::{SimConfig, Topology};
 
 fn report(spec: &AlgebraSpec) {
     println!("algebra: {spec}");
     let props = infer(spec);
-    println!("  type-checker claims: monotone={:?}, convergence={:?}", props.monotone, props.convergence());
+    println!(
+        "  type-checker claims: monotone={:?}, convergence={:?}",
+        props.monotone,
+        props.convergence()
+    );
     for ob in discharge_all(spec) {
         match &ob.verdict {
-            Ok(cases) => println!("  [ok]   {:<20} ({cases} cases, {} us)", ob.axiom.to_string(), ob.micros),
-            Err(ce) => println!("  [FAIL] {:<20} counterexample: {}", ob.axiom.to_string(), ce.note),
+            Ok(cases) => println!(
+                "  [ok]   {:<20} ({cases} cases, {} us)",
+                ob.axiom.to_string(),
+                ob.micros
+            ),
+            Err(ce) => println!(
+                "  [FAIL] {:<20} counterexample: {}",
+                ob.axiom.to_string(),
+                ce.note
+            ),
         }
     }
     println!();

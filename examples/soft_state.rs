@@ -26,14 +26,25 @@ fn main() {
     println!("Original program (link/path expire after 10 ticks):\n{prog}");
 
     let report = rewrite_soft_state(&prog).expect("rewrite succeeds");
-    println!("Rewritten program (explicit timestamps + clock joins):\n{}", report.program);
+    println!(
+        "Rewritten program (explicit timestamps + clock joins):\n{}",
+        report.program
+    );
 
     let before = measure(&prog);
     let after = measure(&report.program);
     println!("Encoding overhead (the paper calls this 'heavy-weight'):");
     println!("  rules:           {} -> {}", before.rules, after.rules);
-    println!("  body literals:   {} -> {} ({:.2}x)", before.literals, after.literals, report.literal_blowup());
-    println!("  head attributes: {} -> {}", before.head_attributes, after.head_attributes);
+    println!(
+        "  body literals:   {} -> {} ({:.2}x)",
+        before.literals,
+        after.literals,
+        report.literal_blowup()
+    );
+    println!(
+        "  head attributes: {} -> {}",
+        before.head_attributes, after.head_attributes
+    );
 
     // Demonstrate expiry: evaluate at two clock readings.
     for (now, label) in [(5i64, "t=5 (fresh)"), (50, "t=50 (stale)")] {

@@ -110,7 +110,10 @@ fn bad_design_is_caught_before_deployment() {
         .unwrap();
     assert!(!mono.holds(), "design-time check must flag BGPSystem");
 
-    let sys = SpvpSystem { spp: SppInstance::disagree(), simultaneous: true };
+    let sys = SpvpSystem {
+        spp: SppInstance::disagree(),
+        simultaneous: true,
+    };
     assert_eq!(stable_states(&sys, ExploreOptions::default()).len(), 2);
     assert!(fvn_mc::find_oscillation(&sys, ExploreOptions::default()).is_some());
 }
@@ -183,7 +186,11 @@ fn soft_state_rewrite_end_to_end() {
 
 #[test]
 fn localized_program_runs_distributed_like_centralized_on_gadgets() {
-    for topo in [Topology::star(5), Topology::grid(3, 3), Topology::binary_tree(7)] {
+    for topo in [
+        Topology::star(5),
+        Topology::grid(3, 3),
+        Topology::binary_tree(7),
+    ] {
         let mut prog = ndlog::programs::path_vector();
         link_facts(&mut prog, &topo);
         let central = ndlog::eval_program(&prog).unwrap();

@@ -55,7 +55,9 @@ fn section_3_2_2_tc_rules_are_verbatim() {
         .map(|r| {
             // Strip the generated rule label; the paper prints none.
             let s = r.to_string();
-            s.split_once(' ').map(|(_, rest)| rest.to_string()).unwrap_or(s)
+            s.split_once(' ')
+                .map(|(_, rest)| rest.to_string())
+                .unwrap_or(s)
         })
         .collect();
     assert_eq!(
@@ -81,7 +83,10 @@ fn section_3_3_lp_matches_paper_snippet() {
     // labelApply(l, s) = l.
     assert_eq!(lp.apply(&vec![2], &vec![0]), vec![2]);
     // BGPSystem = lexProduct[LP, RC].
-    assert_eq!(AlgebraSpec::bgp_system().to_string(), "lexProduct[lpA, addA]");
+    assert_eq!(
+        AlgebraSpec::bgp_system().to_string(),
+        "lexProduct[lpA, addA]"
+    );
 }
 
 /// The grind command exists and is the single-step automation entry point

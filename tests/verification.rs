@@ -30,7 +30,10 @@ fn translated_path_definition_renders_like_the_papers_pvs() {
     //        AND P=f_concatPath(S,P2) AND f_inPath(S,P2)=FALSE)
     assert!(s.starts_with("path(S,D,P,C): INDUCTIVE bool ="), "{s}");
     assert!(s.contains("(link(S,D,C) AND P=init(S,D)) OR"), "{s}");
-    assert!(s.contains("EXISTS (") && ["C1", "C2", "P2", "Z"].iter().all(|x| s.contains(x)), "{s}");
+    assert!(
+        s.contains("EXISTS (") && ["C1", "C2", "P2", "Z"].iter().all(|x| s.contains(x)),
+        "{s}"
+    );
     assert!(s.contains("C=C1+C2"), "{s}");
     assert!(s.contains("P=concat(S,P2)"), "{s}");
     assert!(s.contains("NOT inPath(P2,S)"), "{s}");
