@@ -14,7 +14,7 @@
 //! arc‑2/arc‑3 translations of [`crate::component`] apply to it verbatim.
 //!
 //! [`SpvpNode`] is the *operational* side: Griffin's Simple Path Vector
-//! Protocol running on `netsim` with real message passing.  Ref [23] (cited
+//! Protocol running on `netsim` with real message passing.  Ref \[23\] (cited
 //! in §3.2.2) "observes delayed convergence in the presence of policy
 //! conflicts" on a cluster; [`measure_convergence`] reproduces that
 //! observation over seeded schedules.

@@ -12,7 +12,7 @@
 //!   `rewrite`, `case`, `assert`, `induct`, `grind`) ([`prover`]),
 //! * a linear-arithmetic decision procedure (Fourier–Motzkin) backing
 //!   `assert` ([`arith`]),
-//! * theory interpretations generating proof obligations (PVS [21], used by
+//! * theory interpretations generating proof obligations (PVS \[21\], used by
 //!   the §3.3 metarouting encoding) ([`theory`]).
 //!
 //! Proof steps are counted exactly as PVS transcripts count them, so the

@@ -1,7 +1,7 @@
 //! Theories: named collections of definitions, axioms and theorems.
 //!
 //! Mirrors PVS's `THEORY` construct, including a small **theory
-//! interpretation** mechanism (Owre & Shankar [21], used by the paper's §3.3
+//! interpretation** mechanism (Owre & Shankar \[21\], used by the paper's §3.3
 //! metarouting encoding): instantiating an abstract theory with concrete
 //! symbols yields the abstract axioms as *proof obligations* in the target
 //! theory.

@@ -1,6 +1,6 @@
 //! Count-to-infinity in the distance-vector protocol (EXP‑2).
 //!
-//! Wang et al. [22] (the paper's §3.1) demonstrate "the presence of
+//! Wang et al. \[22\] (the paper's §3.1) demonstrate "the presence of
 //! count-to-infinity loops in the distance-vector protocol".  This module
 //! models the post-failure dynamics of DV as a transition system: each
 //! transition lets one node re-evaluate its cost to the destination from its

@@ -9,7 +9,7 @@
 //!   checking with minimal counterexample traces, stable-state enumeration
 //!   and oscillation (cycle) detection;
 //! * [`dv`] — the distance-vector count-to-infinity system of EXP‑2
-//!   (Wang et al. [22]), with a path-vector variant showing the fix;
+//!   (Wang et al. \[22\]), with a path-vector variant showing the fix;
 //! * [`spvp`] — the Stable Paths Problem / SPVP dynamics of Griffin et al.
 //!   with the DISAGREE, BAD GADGET and GOOD GADGET instances (EXP‑3);
 //! * [`ndlog_ts`] — NDlog programs as transition systems (the §4.3

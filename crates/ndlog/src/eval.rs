@@ -13,6 +13,7 @@ use crate::ast::*;
 use crate::builtins::eval_builtin;
 use crate::error::{NdlogError, Result};
 use crate::safety::{analyze, Analysis};
+use crate::sharded::{fan_out, ShardRouter};
 use crate::value::{Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -409,19 +410,39 @@ impl Evaluator {
 
     /// Run semi-naive evaluation to fixpoint over `db`, in place.
     pub fn run(&self, db: &mut Database) -> Result<EvalStats> {
+        self.run_sharded(db, 1)
+    }
+
+    /// Like [`run`](Self::run), with the per-iteration delta work fanned
+    /// out across `shards` worker threads (see [`crate::sharded`]).
+    ///
+    /// The seed pass partitions rules round-robin; every later iteration
+    /// partitions the delta tuples by the analysis join key.  Workers only
+    /// read the frozen database and their candidate sets union at the
+    /// round barrier, so the resulting database **and** statistics are
+    /// byte-identical to [`run`](Self::run) for every shard count.
+    pub fn run_sharded(&self, db: &mut Database, shards: usize) -> Result<EvalStats> {
+        let router = (shards > 1).then(|| ShardRouter::new(&self.analysis, shards));
         let mut stats = EvalStats::default();
         for s in 0..self.analysis.num_strata {
-            self.run_stratum(s, db, &mut stats)?;
+            self.run_stratum(s, db, router.as_ref(), &mut stats)?;
         }
         Ok(stats)
     }
 
     /// Evaluate a single stratum to fixpoint.
-    fn run_stratum(&self, s: usize, db: &mut Database, stats: &mut EvalStats) -> Result<()> {
+    fn run_stratum(
+        &self,
+        s: usize,
+        db: &mut Database,
+        router: Option<&ShardRouter>,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
         let rules: Vec<&Rule> = self.analysis.rules_in_stratum(s);
         if rules.is_empty() {
             return Ok(());
         }
+        let shards = router.map_or(1, ShardRouter::shards);
         let (agg_rules, plain_rules): (Vec<&Rule>, Vec<&Rule>) =
             rules.into_iter().partition(|r| r.head.has_agg());
 
@@ -437,20 +458,52 @@ impl Evaluator {
             .chain(agg_rules.iter().map(|r| r.head.pred.as_str()))
             .collect();
 
-        // Initial pass (naive over current db) to seed the delta.
+        // Initial pass (naive over current db) to seed the delta; rules are
+        // partitioned round-robin across the shard workers.
         let mut delta = Database::new();
-        for r in &plain_rules {
-            let head = &r.head;
-            let mut sink = |env: &Env| -> Result<()> {
-                let t = instantiate_head(head, env)?;
-                stats.derivations += 1;
-                if !db.contains(&head.pred, &t) {
-                    delta.insert(head.pred.clone(), t);
+        {
+            let db_ref: &Database = db;
+            let plain_ref = &plain_rules;
+            let partials = fan_out(shards, &|k| {
+                let mut local = Database::new();
+                let mut derivations = 0usize;
+                for r in plain_ref.iter().skip(k).step_by(shards) {
+                    let head = &r.head;
+                    let mut sink = |env: &Env| -> Result<()> {
+                        let t = instantiate_head(head, env)?;
+                        derivations += 1;
+                        if !db_ref.contains(&head.pred, &t) {
+                            local.insert(head.pred.clone(), t);
+                        }
+                        Ok(())
+                    };
+                    eval_body(&r.body, 0, db_ref, None, None, &Env::new(), &mut sink)?;
                 }
-                Ok(())
-            };
-            eval_body(&r.body, 0, db, None, None, &Env::new(), &mut sink)?;
+                Ok((local, derivations))
+            })?;
+            for (local, derivations) in partials {
+                stats.derivations += derivations;
+                delta.absorb(&local);
+            }
         }
+
+        // Recursive positive occurrences per rule (invariant across rounds).
+        let rec_positions: Vec<(&Rule, Vec<usize>)> = plain_rules
+            .iter()
+            .map(|r| {
+                let ps: Vec<usize> = r
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| match l {
+                        Literal::Pos(a) if stratum_preds.contains(a.pred.as_str()) => Some(i),
+                        _ => None,
+                    })
+                    .collect();
+                (*r, ps)
+            })
+            .filter(|(_, ps)| !ps.is_empty())
+            .collect();
 
         let mut iter = 0usize;
         while delta.total() > 0 {
@@ -474,42 +527,56 @@ impl Evaluator {
                     msg: "tuple limit exceeded".into(),
                 });
             }
-            // Derive next delta: for each rule, substitute delta at each
-            // recursive positive occurrence.
-            let mut next = Database::new();
-            for r in &plain_rules {
-                let head = &r.head;
-                let rec_positions: Vec<usize> = r
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, l)| match l {
-                        Literal::Pos(a) if stratum_preds.contains(a.pred.as_str()) => Some(i),
-                        _ => None,
-                    })
-                    .collect();
-                if rec_positions.is_empty() {
-                    continue; // non-recursive rule: fully evaluated in seed pass
-                }
-                for &pos in &rec_positions {
-                    let mut sink = |env: &Env| -> Result<()> {
-                        let t = instantiate_head(head, env)?;
-                        stats.derivations += 1;
-                        if !db.contains(&head.pred, &t) {
-                            next.insert(head.pred.clone(), t);
+            // Derive the next delta: substitute each worker's shard of the
+            // delta at each recursive positive occurrence, against the
+            // frozen database; candidate sets union at the barrier.
+            let delta_parts: Vec<Database>;
+            let part_refs: Vec<&Database> = match router {
+                Some(r) if shards > 1 => {
+                    let mut parts = vec![Database::new(); shards];
+                    for p in delta.relations() {
+                        for t in delta.relation(p) {
+                            parts[r.shard_of(p, t)].insert(p.to_string(), t.clone());
                         }
-                        Ok(())
-                    };
-                    eval_body(
-                        &r.body,
-                        0,
-                        db,
-                        Some(pos),
-                        Some(&delta),
-                        &Env::new(),
-                        &mut sink,
-                    )?;
+                    }
+                    delta_parts = parts;
+                    delta_parts.iter().collect()
                 }
+                _ => vec![&delta],
+            };
+            let db_ref: &Database = db;
+            let rec_ref = &rec_positions;
+            let partials = fan_out(part_refs.len(), &|k| {
+                let mut local = Database::new();
+                let mut derivations = 0usize;
+                for (r, positions) in rec_ref {
+                    let head = &r.head;
+                    for &pos in positions {
+                        let mut sink = |env: &Env| -> Result<()> {
+                            let t = instantiate_head(head, env)?;
+                            derivations += 1;
+                            if !db_ref.contains(&head.pred, &t) {
+                                local.insert(head.pred.clone(), t);
+                            }
+                            Ok(())
+                        };
+                        eval_body(
+                            &r.body,
+                            0,
+                            db_ref,
+                            Some(pos),
+                            Some(part_refs[k]),
+                            &Env::new(),
+                            &mut sink,
+                        )?;
+                    }
+                }
+                Ok((local, derivations))
+            })?;
+            let mut next = Database::new();
+            for (local, derivations) in partials {
+                stats.derivations += derivations;
+                next.absorb(&local);
             }
             delta = next;
         }
@@ -657,6 +724,20 @@ mod tests {
             let p = t[2].as_list().unwrap();
             let set: BTreeSet<&Value> = p.iter().collect();
             assert_eq!(set.len(), p.len(), "path {t:?} contains a repeated node");
+        }
+    }
+
+    #[test]
+    fn sharded_seminaive_matches_run_exactly() {
+        let prog = parse_program(&line3()).unwrap();
+        let ev = Evaluator::new(&prog).unwrap();
+        let mut a = Evaluator::base_database(&prog);
+        let sa = ev.run(&mut a).unwrap();
+        for shards in [2, 4, 8] {
+            let mut b = Evaluator::base_database(&prog);
+            let sb = ev.run_sharded(&mut b, shards).unwrap();
+            assert_eq!(a, b, "{shards}-shard database diverges");
+            assert_eq!(sa, sb, "{shards}-shard statistics diverge");
         }
     }
 

@@ -35,6 +35,7 @@ use crate::ast::{HeadArg, Literal, Program, Rule, Term};
 use crate::error::{NdlogError, Result};
 use crate::eval::{aggregate, eval_expr, instantiate_head, match_atom, Database, Env, EvalOptions};
 use crate::safety::{analyze, Analysis};
+use crate::sharded::{chunk_by, fan_out, ShardRouter};
 use crate::storage::{RelationStorage, SignedDeltas, VisibilityChange};
 use crate::value::{Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -120,6 +121,28 @@ struct StratumPlan {
 /// external deltas and returns the net derived-tuple changes.  Equality and
 /// ordering compare the canonical database state (supports the model
 /// checker's visited-state set).
+///
+/// # Example
+///
+/// ```
+/// use ndlog::{parse_program, IncrementalEngine, TupleDelta, Value};
+///
+/// let prog = parse_program(
+///     "r1 reach(X,Y) :- edge(X,Y).
+///      r2 reach(X,Y) :- edge(X,Z), reach(Z,Y).
+///      edge(1,2). edge(2,3).",
+/// )
+/// .unwrap();
+/// let mut engine = IncrementalEngine::new(&prog).unwrap();
+/// assert!(engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
+/// // A retraction maintains the fixpoint delta-by-delta (DRed here:
+/// // `reach` is recursive), reporting the net changes:
+/// let out = engine
+///     .apply(&[TupleDelta::remove("edge", vec![Value::Int(2), Value::Int(3)])])
+///     .unwrap();
+/// assert!(out.changes.iter().any(|c| c.pred == "reach" && c.delta == -1));
+/// assert!(!engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
+/// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalEngine {
     /// Shared immutable compilation products: cloning an engine (one per
@@ -133,6 +156,10 @@ pub struct IncrementalEngine {
     /// output tuple), enabling group-incremental aggregate maintenance.
     agg_prev: BTreeMap<usize, BTreeMap<Tuple, Tuple>>,
     init_stats: BatchStats,
+    /// When set, maintenance rounds fan out across the router's shard
+    /// workers (see [`crate::sharded`]); results are byte-identical either
+    /// way, so this is purely an execution-strategy knob.
+    sharding: Option<Arc<ShardRouter>>,
 }
 
 impl PartialEq for IncrementalEngine {
@@ -165,6 +192,15 @@ impl IncrementalEngine {
     /// Like [`new`](Self::new) with custom evaluation bounds.
     pub fn with_options(prog: &Program, opts: EvalOptions) -> Result<Self> {
         let mut engine = Self::from_analysis(analyze(prog)?, opts);
+        engine.seed_facts(prog)?;
+        Ok(engine)
+    }
+
+    /// Load `prog`'s ground facts as one delta batch and record the
+    /// resulting work counters as the engine's initial-fixpoint stats.
+    /// Shared by [`with_options`](Self::with_options) and the sharded
+    /// wrapper (which must enable sharding before the first batch).
+    pub(crate) fn seed_facts(&mut self, prog: &Program) -> Result<BatchStats> {
         let deltas: Vec<TupleDelta> = prog
             .facts
             .iter()
@@ -173,9 +209,9 @@ impl IncrementalEngine {
                 TupleDelta::insert(f.pred.clone(), tuple)
             })
             .collect();
-        let outcome = engine.apply(&deltas)?;
-        engine.init_stats = outcome.stats;
-        Ok(engine)
+        let outcome = self.apply(&deltas)?;
+        self.init_stats = outcome.stats;
+        Ok(outcome.stats)
     }
 
     /// Build an engine over an already-analyzed program with **no** facts
@@ -216,7 +252,20 @@ impl IncrementalEngine {
             plans,
             agg_prev: BTreeMap::new(),
             init_stats: BatchStats::default(),
+            sharding: None,
         }
+    }
+
+    /// Fan maintenance rounds out across `router`'s shard workers (`None`
+    /// restores single-threaded execution).  May be toggled at any time:
+    /// sharding changes how rounds are evaluated, never what they produce.
+    pub fn set_sharding(&mut self, router: Option<Arc<ShardRouter>>) {
+        self.sharding = router;
+    }
+
+    /// The shard router currently driving maintenance, if any.
+    pub fn sharding(&self) -> Option<&ShardRouter> {
+        self.sharding.as_deref()
     }
 
     /// The static analysis backing this engine.
@@ -284,13 +333,27 @@ impl IncrementalEngine {
                     .insert(d.tuple.clone());
             }
         }
+        let router = self.sharding.as_deref();
         for s in 0..self.plans.len() {
             let plan = &self.plans[s];
-            recompute_aggs(&mut self.storage, plan, &mut self.agg_prev, &mut stats)?;
+            recompute_aggs(
+                &mut self.storage,
+                plan,
+                router,
+                &mut self.agg_prev,
+                &mut stats,
+            )?;
             if plan.recursive {
-                maintain_dred(&mut self.storage, plan, &self.opts, &edb_losses, &mut stats)?;
+                maintain_dred(
+                    &mut self.storage,
+                    plan,
+                    &self.opts,
+                    router,
+                    &edb_losses,
+                    &mut stats,
+                )?;
             } else {
-                maintain_counting(&mut self.storage, plan, &self.opts, &mut stats)?;
+                maintain_counting(&mut self.storage, plan, &self.opts, router, &mut stats)?;
             }
             if self.storage.total() + self.storage.exported_total() > self.opts.max_tuples {
                 return Err(NdlogError::Eval {
@@ -621,6 +684,7 @@ fn delta_positions(rule: &Rule) -> impl Iterator<Item = (usize, &str, bool)> {
 fn recompute_aggs(
     storage: &mut RelationStorage,
     plan: &StratumPlan,
+    router: Option<&ShardRouter>,
     agg_prev: &mut BTreeMap<usize, BTreeMap<Tuple, Tuple>>,
     stats: &mut BatchStats,
 ) -> Result<()> {
@@ -629,10 +693,32 @@ fn recompute_aggs(
         match affected {
             Some(keys) if keys.is_empty() => {}
             Some(keys) => {
+                // Group keys are independent (an aggregate's body lives
+                // strictly below its stratum), so workers re-aggregate
+                // their shard of the keys against the frozen store and the
+                // diffs apply at the barrier in key order.
+                let shards = router.map_or(1, ShardRouter::shards);
+                let key_list: Vec<Tuple> = keys.into_iter().collect();
+                let chunks = chunk_by(&key_list, shards, |key| {
+                    router.map_or(0, |r| r.shard_of_key(key))
+                });
+                let frozen: &RelationStorage = storage;
+                let partials = fan_out(shards, &|k| {
+                    let mut outs: Vec<(Tuple, Option<Tuple>)> = Vec::new();
+                    let mut local = BatchStats::default();
+                    for key in &chunks[k] {
+                        let outputs = eval_agg_groups(frozen, rule, Some(key), &mut local)?;
+                        outs.push((key.clone(), outputs.get(key).cloned()));
+                    }
+                    Ok((outs, local.derivations))
+                })?;
+                let mut new_outs: BTreeMap<Tuple, Option<Tuple>> = BTreeMap::new();
+                for (outs, derivations) in partials {
+                    stats.derivations += derivations;
+                    new_outs.extend(outs);
+                }
                 let prev = agg_prev.entry(*ri).or_default();
-                for key in keys {
-                    let outputs = eval_agg_groups(storage, rule, Some(&key), stats)?;
-                    let new_out = outputs.get(&key).cloned();
+                for (key, new_out) in new_outs {
                     let old_out = match &new_out {
                         Some(t) => prev.insert(key.clone(), t.clone()),
                         None => prev.remove(&key),
@@ -841,10 +927,28 @@ fn eval_agg_groups(
 // Counting maintenance (non-recursive strata).
 // ---------------------------------------------------------------------
 
+/// Partition a signed delta map for the round's workers: one borrowed view
+/// when single-threaded, router-partitioned owned maps otherwise.  The
+/// storage backing `owned` must outlive the returned references.
+fn partition_round<'a>(
+    deltas: &'a SignedDeltas,
+    router: Option<&ShardRouter>,
+    owned: &'a mut Vec<SignedDeltas>,
+) -> Vec<&'a SignedDeltas> {
+    match router {
+        Some(r) if r.shards() > 1 => {
+            *owned = r.partition(deltas);
+            owned.iter().collect()
+        }
+        _ => vec![deltas],
+    }
+}
+
 fn maintain_counting(
     storage: &mut RelationStorage,
     plan: &StratumPlan,
     opts: &EvalOptions,
+    router: Option<&ShardRouter>,
     stats: &mut BatchStats,
 ) -> Result<()> {
     // Round 0: the batch's net visibility changes of every body predicate
@@ -859,32 +963,49 @@ fn maintain_counting(
                 msg: "iteration limit exceeded in counting maintenance".into(),
             });
         }
-        // Evaluate every delta rule over the frozen store.
+        // Evaluate every delta rule over the frozen store, each worker
+        // driven by its shard of the deltas; merge the signed head counts
+        // at the barrier (summation is order-insensitive).
+        let mut owned = Vec::new();
+        let parts = partition_round(&vis_delta, router, &mut owned);
+        let frozen: &RelationStorage = storage;
+        let vis_ref = &vis_delta;
+        let partials = fan_out(parts.len(), &|k| {
+            let mut head_net: BTreeMap<(String, Tuple), i64> = BTreeMap::new();
+            let mut derivations = 0usize;
+            for rule in &plan.plain {
+                for (pos, pred, negated) in delta_positions(rule) {
+                    let Some(dm) = parts[k].get(pred) else {
+                        continue;
+                    };
+                    let head = &rule.head;
+                    let mut sink = |env: &Env, sign: i64| -> Result<bool> {
+                        derivations += 1;
+                        let t = instantiate_head(head, env)?;
+                        *head_net.entry((head.pred.clone(), t)).or_insert(0) += sign;
+                        Ok(true)
+                    };
+                    let seq = delta_seq(&rule.body, pos);
+                    let ctx = DeltaCtx {
+                        storage: frozen,
+                        body: &rule.body,
+                        seq: &seq,
+                        delta_at: Some(pos),
+                        delta: Some(dm),
+                        delta_sign: if negated { -1 } else { 1 },
+                        adjust: Some(vis_ref),
+                        old_before_delta: false,
+                    };
+                    eval_body_delta(&ctx, 0, &Env::new(), 1, &mut sink)?;
+                }
+            }
+            Ok((head_net, derivations))
+        })?;
         let mut head_net: BTreeMap<(String, Tuple), i64> = BTreeMap::new();
-        for rule in &plan.plain {
-            for (pos, pred, negated) in delta_positions(rule) {
-                let Some(dm) = vis_delta.get(pred) else {
-                    continue;
-                };
-                let head = &rule.head;
-                let mut sink = |env: &Env, sign: i64| -> Result<bool> {
-                    stats.derivations += 1;
-                    let t = instantiate_head(head, env)?;
-                    *head_net.entry((head.pred.clone(), t)).or_insert(0) += sign;
-                    Ok(true)
-                };
-                let seq = delta_seq(&rule.body, pos);
-                let ctx = DeltaCtx {
-                    storage,
-                    body: &rule.body,
-                    seq: &seq,
-                    delta_at: Some(pos),
-                    delta: Some(dm),
-                    delta_sign: if negated { -1 } else { 1 },
-                    adjust: Some(&vis_delta),
-                    old_before_delta: false,
-                };
-                eval_body_delta(&ctx, 0, &Env::new(), 1, &mut sink)?;
+        for (partial, derivations) in partials {
+            stats.derivations += derivations;
+            for (key, v) in partial {
+                *head_net.entry(key).or_insert(0) += v;
             }
         }
         // Apply the net support changes; visibility flips seed the next round.
@@ -931,6 +1052,7 @@ fn maintain_dred(
     storage: &mut RelationStorage,
     plan: &StratumPlan,
     opts: &EvalOptions,
+    router: Option<&ShardRouter>,
     edb_losses: &BTreeMap<String, BTreeSet<Tuple>>,
     stats: &mut BatchStats,
 ) -> Result<()> {
@@ -976,45 +1098,67 @@ fn maintain_dred(
                 msg: "iteration limit exceeded in overdeletion".into(),
             });
         }
-        let mut new_cands: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
-        for rule in &plan.plain {
-            for (pos, pred, negated) in delta_positions(rule) {
-                let dmap = if negated {
-                    rising_neg.get(pred)
-                } else {
-                    dying.get(pred)
-                };
-                let Some(dmap) = dmap else { continue };
-                let head = &rule.head;
-                let mut sink = |env: &Env, _sign: i64| -> Result<bool> {
-                    stats.derivations += 1;
-                    let t = instantiate_head(head, env)?;
-                    let seen = candidates
-                        .get(&head.pred)
-                        .map(|s| s.contains(&t))
-                        .unwrap_or(false)
-                        || new_cands
+        // Workers overdelete driven by their shard of the dying/rising
+        // tuples; candidate sets union at the barrier.  `candidates` is
+        // frozen for the round, so the cross-worker dedup it provides is
+        // deterministic; intra-round duplicates collapse in the merge.
+        let mut dy_owned = Vec::new();
+        let dy_parts = partition_round(&dying, router, &mut dy_owned);
+        let mut rn_owned = Vec::new();
+        let rn_parts = partition_round(&rising_neg, router, &mut rn_owned);
+        let frozen: &RelationStorage = storage;
+        let cand_ref = &candidates;
+        let adjust_ref = &batch_adjust;
+        let partials = fan_out(dy_parts.len().max(rn_parts.len()), &|k| {
+            let mut new_cands: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+            let mut derivations = 0usize;
+            for rule in &plan.plain {
+                for (pos, pred, negated) in delta_positions(rule) {
+                    let dmap = if negated {
+                        rn_parts.get(k).and_then(|p| p.get(pred))
+                    } else {
+                        dy_parts.get(k).and_then(|p| p.get(pred))
+                    };
+                    let Some(dmap) = dmap else { continue };
+                    let head = &rule.head;
+                    let mut sink = |env: &Env, _sign: i64| -> Result<bool> {
+                        derivations += 1;
+                        let t = instantiate_head(head, env)?;
+                        let seen = cand_ref
                             .get(&head.pred)
                             .map(|s| s.contains(&t))
-                            .unwrap_or(false);
-                    if !seen && storage.derived_count(&head.pred, &t) > 0 {
-                        new_cands.entry(head.pred.clone()).or_default().insert(t);
-                    }
-                    Ok(true)
-                };
-                let seq = delta_seq(&rule.body, pos);
-                let ctx = DeltaCtx {
-                    storage,
-                    body: &rule.body,
-                    seq: &seq,
-                    delta_at: Some(pos),
-                    delta: Some(dmap),
-                    delta_sign: 1,
-                    adjust: Some(&batch_adjust),
-                    // The whole body evaluates against the old view.
-                    old_before_delta: true,
-                };
-                eval_body_delta(&ctx, 0, &Env::new(), 1, &mut sink)?;
+                            .unwrap_or(false)
+                            || new_cands
+                                .get(&head.pred)
+                                .map(|s| s.contains(&t))
+                                .unwrap_or(false);
+                        if !seen && frozen.derived_count(&head.pred, &t) > 0 {
+                            new_cands.entry(head.pred.clone()).or_default().insert(t);
+                        }
+                        Ok(true)
+                    };
+                    let seq = delta_seq(&rule.body, pos);
+                    let ctx = DeltaCtx {
+                        storage: frozen,
+                        body: &rule.body,
+                        seq: &seq,
+                        delta_at: Some(pos),
+                        delta: Some(dmap),
+                        delta_sign: 1,
+                        adjust: Some(adjust_ref),
+                        // The whole body evaluates against the old view.
+                        old_before_delta: true,
+                    };
+                    eval_body_delta(&ctx, 0, &Env::new(), 1, &mut sink)?;
+                }
+            }
+            Ok((new_cands, derivations))
+        })?;
+        let mut new_cands: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+        for (partial, derivations) in partials {
+            stats.derivations += derivations;
+            for (p, ts) in partial {
+                new_cands.entry(p).or_default().extend(ts);
             }
         }
         // Deletion propagates only through tuples that actually lose
@@ -1050,22 +1194,63 @@ fn maintain_dred(
         .iter()
         .flat_map(|(p, ts)| ts.iter().map(move |t| (p.clone(), t.clone())))
         .collect();
-    loop {
-        let mut progressed = false;
-        let mut still: Vec<(String, Tuple)> = Vec::new();
-        for (p, t) in remaining {
-            if rederivable(storage, plan, &p, &t, stats)? {
-                storage.set_derived_flag(&p, &t, true);
-                progressed = true;
-            } else {
-                still.push((p, t));
+    let shards = router.map_or(1, ShardRouter::shards);
+    if shards <= 1 {
+        loop {
+            let mut progressed = false;
+            let mut still: Vec<(String, Tuple)> = Vec::new();
+            for (p, t) in remaining {
+                if rederivable(storage, plan, &p, &t, stats)? {
+                    storage.set_derived_flag(&p, &t, true);
+                    progressed = true;
+                } else {
+                    still.push((p, t));
+                }
+            }
+            remaining = still;
+            if !progressed || remaining.is_empty() {
+                break;
+            }
+            stats.rounds += 1;
+        }
+    } else {
+        // Sharded rederivation runs in Jacobi rounds: every worker probes
+        // its shard of the candidates against the store *frozen at the
+        // round start*, and the flags restore together at the barrier.
+        // Rederivability w.r.t. restored flags only grows, so the rounds
+        // converge to the same least fixpoint the sequential in-place
+        // restoration computes (the databases are identical; only the
+        // round count may differ).
+        let r = router.expect("shards > 1 implies a router");
+        while !remaining.is_empty() {
+            let chunks = chunk_by(&remaining, shards, |(p, t)| r.shard_of(p, t));
+            let frozen: &RelationStorage = storage;
+            let partials = fan_out(shards, &|k| {
+                let mut found: Vec<(String, Tuple)> = Vec::new();
+                let mut local = BatchStats::default();
+                for (p, t) in &chunks[k] {
+                    if rederivable(frozen, plan, p, t, &mut local)? {
+                        found.push((p.clone(), t.clone()));
+                    }
+                }
+                Ok((found, local.derivations))
+            })?;
+            let mut restored: BTreeSet<(String, Tuple)> = BTreeSet::new();
+            for (found, derivations) in partials {
+                stats.derivations += derivations;
+                restored.extend(found);
+            }
+            if restored.is_empty() {
+                break;
+            }
+            for (p, t) in &restored {
+                storage.set_derived_flag(p, t, true);
+            }
+            remaining.retain(|pt| !restored.contains(pt));
+            if !remaining.is_empty() {
+                stats.rounds += 1;
             }
         }
-        remaining = still;
-        if !progressed || remaining.is_empty() {
-            break;
-        }
-        stats.rounds += 1;
     }
 
     // --- Phase C: semi-naive insertion of the additions. -----------------
@@ -1089,51 +1274,73 @@ fn maintain_dred(
                 msg: "iteration limit exceeded in insertion".into(),
             });
         }
+        // Workers insert driven by their shard of the rising/falling
+        // tuples; the new-tuple maps union at the barrier (worker-local
+        // dedup is an optimization — cross-worker duplicates collapse in
+        // the merge, exactly as the sequential dedup would have).
+        let mut ri_owned = Vec::new();
+        let ri_parts = partition_round(&rising, router, &mut ri_owned);
+        let mut fn_owned = Vec::new();
+        let fn_parts = partition_round(&falling_neg, router, &mut fn_owned);
+        let frozen: &RelationStorage = storage;
+        let partials = fan_out(ri_parts.len().max(fn_parts.len()), &|k| {
+            let mut new_rising: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
+            let mut exported_new: BTreeSet<(String, Tuple)> = BTreeSet::new();
+            let mut derivations = 0usize;
+            for rule in &plan.plain {
+                for (pos, pred, negated) in delta_positions(rule) {
+                    let dset = if negated {
+                        fn_parts.get(k).and_then(|p| p.get(pred))
+                    } else {
+                        ri_parts.get(k).and_then(|p| p.get(pred))
+                    };
+                    let Some(dmap) = dset else { continue };
+                    let head = &rule.head;
+                    let mut sink = |env: &Env, _sign: i64| -> Result<bool> {
+                        derivations += 1;
+                        let t = instantiate_head(head, env)?;
+                        if frozen.derived_count(&head.pred, &t) == 0
+                            && !new_rising
+                                .get(&head.pred)
+                                .map(|s| s.contains_key(&t))
+                                .unwrap_or(false)
+                        {
+                            if frozen.is_exported(&head.pred, &t) {
+                                // Ship-only: flagged below, never propagated.
+                                exported_new.insert((head.pred.clone(), t));
+                            } else {
+                                new_rising
+                                    .entry(head.pred.clone())
+                                    .or_default()
+                                    .insert(t, 1);
+                            }
+                        }
+                        Ok(true)
+                    };
+                    let seq = delta_seq(&rule.body, pos);
+                    let ctx = DeltaCtx {
+                        storage: frozen,
+                        body: &rule.body,
+                        seq: &seq,
+                        delta_at: Some(pos),
+                        delta: Some(dmap),
+                        delta_sign: 1,
+                        adjust: None,
+                        old_before_delta: false,
+                    };
+                    eval_body_delta(&ctx, 0, &Env::new(), 1, &mut sink)?;
+                }
+            }
+            Ok((new_rising, exported_new, derivations))
+        })?;
         let mut new_rising: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
         let mut exported_new: BTreeSet<(String, Tuple)> = BTreeSet::new();
-        for rule in &plan.plain {
-            for (pos, pred, negated) in delta_positions(rule) {
-                let dset = if negated {
-                    falling_neg.get(pred)
-                } else {
-                    rising.get(pred)
-                };
-                let Some(dmap) = dset else { continue };
-                let head = &rule.head;
-                let mut sink = |env: &Env, _sign: i64| -> Result<bool> {
-                    stats.derivations += 1;
-                    let t = instantiate_head(head, env)?;
-                    if storage.derived_count(&head.pred, &t) == 0
-                        && !new_rising
-                            .get(&head.pred)
-                            .map(|s| s.contains_key(&t))
-                            .unwrap_or(false)
-                    {
-                        if storage.is_exported(&head.pred, &t) {
-                            // Ship-only: flagged below, never propagated.
-                            exported_new.insert((head.pred.clone(), t));
-                        } else {
-                            new_rising
-                                .entry(head.pred.clone())
-                                .or_default()
-                                .insert(t, 1);
-                        }
-                    }
-                    Ok(true)
-                };
-                let seq = delta_seq(&rule.body, pos);
-                let ctx = DeltaCtx {
-                    storage,
-                    body: &rule.body,
-                    seq: &seq,
-                    delta_at: Some(pos),
-                    delta: Some(dmap),
-                    delta_sign: 1,
-                    adjust: None,
-                    old_before_delta: false,
-                };
-                eval_body_delta(&ctx, 0, &Env::new(), 1, &mut sink)?;
+        for (rising_part, exported_part, derivations) in partials {
+            stats.derivations += derivations;
+            for (p, ts) in rising_part {
+                new_rising.entry(p).or_default().extend(ts);
             }
+            exported_new.extend(exported_part);
         }
         for (p, ts) in &new_rising {
             for t in ts.keys() {

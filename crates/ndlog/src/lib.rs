@@ -21,6 +21,10 @@
 //!   maintenance for non-recursive strata and DRed (delete–rederive) for
 //!   recursive strata, so topology churn is absorbed as tuple deltas instead
 //!   of epoch recomputation;
+//! * [`sharded`] — sharded parallel evaluation: a [`sharded::ShardRouter`]
+//!   partitions delta work across `std::thread` workers by join-key hash,
+//!   with per-round fixpoint barriers and order-insensitive merges keeping
+//!   results byte-identical to the single-threaded engines;
 //! * [`softstate`] — the §4.2 soft-state → hard-state rewrite with explicit
 //!   timestamps and lifetimes;
 //! * [`builtins`] — `f_init`, `f_concatPath`, `f_inPath` and friends;
@@ -43,6 +47,7 @@ pub mod localize;
 pub mod parser;
 pub mod programs;
 pub mod safety;
+pub mod sharded;
 pub mod softstate;
 pub mod storage;
 pub mod value;
@@ -53,5 +58,6 @@ pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator};
 pub use incremental::{BatchOutcome, BatchStats, IncrementalEngine, TupleDelta};
 pub use parser::{parse_program, parse_rule};
 pub use safety::{analyze, Analysis};
+pub use sharded::{ShardRouter, ShardedEngine};
 pub use storage::RelationStorage;
 pub use value::{Tuple, Value};

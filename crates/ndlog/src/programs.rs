@@ -1,7 +1,7 @@
 //! Library of canonical NDlog programs from the paper and its references.
 //!
 //! * [`PATH_VECTOR`] — §2.2 rules `r1`–`r4`, verbatim.
-//! * [`distance_vector`] — the classic DV protocol from Wang et al. [22]
+//! * [`distance_vector`] — the classic DV protocol from Wang et al. \[22\]
 //!   (metric-bounded, RIP-style infinity) used for the count-to-infinity
 //!   study.
 //! * [`reachability`] — two-rule transitive closure.

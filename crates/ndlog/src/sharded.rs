@@ -1,0 +1,473 @@
+//! Sharded parallel evaluation for NDlog.
+//!
+//! The single-threaded engines ([`crate::eval`], [`crate::incremental`])
+//! evaluate every delta rule on one thread, so fixpoint and maintenance cost
+//! grow with topology size regardless of cores.  This module partitions the
+//! *delta work* of each evaluation round across N shard workers:
+//!
+//! * a [`ShardRouter`] assigns every tuple to a shard by hashing the
+//!   relation's **join key** — the argument positions whose variables are
+//!   shared with other literals, extracted once from the rule analysis — and
+//!   falls back to a full-tuple hash for keyless relations;
+//! * each round, the pending delta maps are partitioned by the router and
+//!   one worker per shard (a plain [`std::thread`] inside a scope) evaluates
+//!   every delta rule **driven only by its shard of the deltas**, joining
+//!   against the shared frozen store;
+//! * workers ship their partial results — signed head-tuple deltas,
+//!   overdeletion candidates, rederivation verdicts — back over
+//!   [`std::sync::mpsc`] channels, and the coordinator merges them *in shard
+//!   order* at a **global fixpoint barrier** before applying the round's net
+//!   changes and routing the next round's deltas.
+//!
+//! # Determinism
+//!
+//! Sharded evaluation is **byte-identical** to single-threaded evaluation,
+//! for every shard count and despite arbitrary thread interleaving, because
+//! no worker ever observes another worker's effects mid-round:
+//!
+//! 1. the store is frozen (shared immutably) for the whole round — workers
+//!    only read, the coordinator only writes after the barrier;
+//! 2. each delta tuple is owned by exactly one shard, so the union of the
+//!    workers' rule firings is exactly the single-threaded firing set;
+//! 3. partial results merge through commutative, order-insensitive
+//!    operations — signed support counts *sum*, candidate sets *union* —
+//!    into ordered maps, and the coordinator applies them in `BTreeMap`
+//!    order exactly as the single-threaded engine would.
+//!
+//! The shard hash therefore never influences *results*, only load balance;
+//! property tests in `tests/` pin byte-identity against both the
+//! from-scratch evaluator and the incremental engine across randomized
+//! programs, topologies, and churn schedules (see `DESIGN.md` §7).
+//!
+//! # Example
+//!
+//! ```
+//! use ndlog::sharded::ShardedEngine;
+//! use ndlog::{eval_program, parse_program, TupleDelta, Value};
+//!
+//! let prog = parse_program(
+//!     "r1 reach(X,Y) :- edge(X,Y).
+//!      r2 reach(X,Y) :- edge(X,Z), reach(Z,Y).
+//!      edge(1,2). edge(2,3).",
+//! )
+//! .unwrap();
+//! let mut engine = ShardedEngine::new(&prog, 4).unwrap();
+//! assert!(engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
+//! // Byte-identical to single-threaded from-scratch evaluation:
+//! assert_eq!(engine.database(), eval_program(&prog).unwrap());
+//! // Churn maintains incrementally, still on 4 shards:
+//! engine
+//!     .apply(&[TupleDelta::remove("edge", vec![Value::Int(2), Value::Int(3)])])
+//!     .unwrap();
+//! assert!(!engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
+//! ```
+
+use crate::ast::{Literal, Program, Term};
+use crate::error::Result;
+use crate::eval::{Database, EvalOptions};
+use crate::incremental::{BatchOutcome, BatchStats, IncrementalEngine, TupleDelta};
+use crate::safety::{analyze, Analysis};
+use crate::storage::{RelationStorage, SignedDeltas};
+use crate::value::Tuple;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{mpsc, Arc};
+
+/// Assigns tuples to shards by hashing each relation's join key.
+///
+/// The join key of a relation is chosen once, from the static rule analysis:
+/// for every positive body atom, the argument positions whose variables also
+/// occur in another literal of the same body are a join-key candidate, and
+/// the candidate that appears most often across the program wins (ties break
+/// toward the lexicographically smallest column set).  Relations that never
+/// join on a consistent key — or whose tuples are too short for the chosen
+/// columns — fall back to hashing the full tuple.
+///
+/// The router only decides *which worker evaluates which delta tuple*;
+/// results are independent of the hash (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    shards: usize,
+    keys: BTreeMap<String, Vec<usize>>,
+}
+
+impl ShardRouter {
+    /// Build a router for `shards` shards over an analyzed program.
+    ///
+    /// `shards` is clamped to at least 1.
+    pub fn new(analysis: &Analysis, shards: usize) -> Self {
+        ShardRouter {
+            shards: shards.max(1),
+            keys: join_keys(analysis),
+        }
+    }
+
+    /// Number of shards this router distributes over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The join-key column positions chosen for `pred`; empty means the
+    /// full tuple is hashed.
+    pub fn key_columns(&self, pred: &str) -> &[usize] {
+        self.keys.get(pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The shard that owns `tuple` of relation `pred`.
+    pub fn shard_of(&self, pred: &str, tuple: &Tuple) -> usize {
+        if self.shards <= 1 {
+            return 0;
+        }
+        let mut h = DefaultHasher::new();
+        let cols = self.key_columns(pred);
+        if cols.is_empty() || cols.iter().any(|&c| c >= tuple.len()) {
+            tuple.hash(&mut h);
+        } else {
+            for &c in cols {
+                tuple[c].hash(&mut h);
+            }
+        }
+        (h.finish() % self.shards as u64) as usize
+    }
+
+    /// The shard that owns an opaque key tuple (full-tuple hash); used to
+    /// spread aggregate group keys, which belong to no stored relation.
+    pub fn shard_of_key(&self, key: &Tuple) -> usize {
+        if self.shards <= 1 {
+            return 0;
+        }
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards as u64) as usize
+    }
+
+    /// Split a signed delta map into per-shard delta maps; entry `k` holds
+    /// exactly the tuples [`Self::shard_of`] assigns to shard `k`.
+    pub fn partition(&self, deltas: &SignedDeltas) -> Vec<SignedDeltas> {
+        let mut out = vec![SignedDeltas::new(); self.shards];
+        for (pred, m) in deltas {
+            for (tuple, sign) in m {
+                out[self.shard_of(pred, tuple)]
+                    .entry(pred.clone())
+                    .or_default()
+                    .insert(tuple.clone(), *sign);
+            }
+        }
+        out
+    }
+}
+
+/// Choose each relation's join-key column set from the analyzed rules.
+fn join_keys(analysis: &Analysis) -> BTreeMap<String, Vec<usize>> {
+    let mut freq: BTreeMap<String, BTreeMap<Vec<usize>, usize>> = BTreeMap::new();
+    for rule in &analysis.rules {
+        // How many body literals mention each variable?
+        let mut occurs: BTreeMap<String, usize> = BTreeMap::new();
+        for lit in &rule.body {
+            let mut vs = BTreeSet::new();
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => a.vars(&mut vs),
+                Literal::Assign(v, e) => {
+                    vs.insert(v.clone());
+                    e.vars(&mut vs);
+                }
+                Literal::Cmp(a, _, b) => {
+                    a.vars(&mut vs);
+                    b.vars(&mut vs);
+                }
+            }
+            for v in vs {
+                *occurs.entry(v).or_insert(0) += 1;
+            }
+        }
+        for lit in &rule.body {
+            let Literal::Pos(atom) = lit else { continue };
+            let cols: Vec<usize> = atom
+                .args
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    Term::Var(v) if occurs.get(v).copied().unwrap_or(0) >= 2 => Some(i),
+                    _ => None,
+                })
+                .collect();
+            if !cols.is_empty() {
+                *freq
+                    .entry(atom.pred.clone())
+                    .or_default()
+                    .entry(cols)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    freq.into_iter()
+        .map(|(pred, cands)| {
+            let best = cands
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(cols, _)| cols)
+                .expect("non-empty candidate map");
+            (pred, best)
+        })
+        .collect()
+}
+
+/// Run `worker(k)` for every shard `k`, returning the results in shard
+/// order.
+///
+/// Shard 0 runs on the calling thread (which doubles as the coordinator);
+/// shards `1..n` run on scoped [`std::thread`]s and report over an
+/// [`std::sync::mpsc`] channel.  The call returns only once every worker has
+/// reported — this is the round's fixpoint barrier.  Errors propagate in
+/// shard order, so the reported error is deterministic.
+pub(crate) fn fan_out<T: Send>(
+    shards: usize,
+    worker: &(dyn Fn(usize) -> Result<T> + Sync),
+) -> Result<Vec<T>> {
+    if shards <= 1 {
+        return Ok(vec![worker(0)?]);
+    }
+    let slots: Vec<Result<T>> = std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Result<T>)>();
+        for k in 1..shards {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let _ = tx.send((k, worker(k)));
+            });
+        }
+        drop(tx);
+        let r0 = worker(0);
+        let mut slots: Vec<Option<Result<T>>> =
+            std::iter::repeat_with(|| None).take(shards).collect();
+        slots[0] = Some(r0);
+        for (k, r) in rx {
+            slots[k] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every shard reports exactly once"))
+            .collect()
+    });
+    slots.into_iter().collect()
+}
+
+/// Split a list of work items into `shards` chunks by a caller-supplied
+/// shard assignment, preserving relative order within each chunk.
+pub(crate) fn chunk_by<T: Clone>(
+    items: &[T],
+    shards: usize,
+    shard_of: impl Fn(&T) -> usize,
+) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::new(); shards.max(1)];
+    for it in items {
+        out[shard_of(it).min(shards.saturating_sub(1))].push(it.clone());
+    }
+    out
+}
+
+/// An [`IncrementalEngine`] whose maintenance rounds run on N shard
+/// workers.
+///
+/// Construction computes the initial fixpoint of the program's ground facts
+/// (already sharded); [`apply`](Self::apply) consumes churn batches exactly
+/// like the single-threaded engine and produces byte-identical databases and
+/// outcomes for every shard count.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    engine: IncrementalEngine,
+    router: Arc<ShardRouter>,
+}
+
+impl ShardedEngine {
+    /// Analyze `prog`, build the shard router, and evaluate the ground
+    /// facts to a first fixpoint on `shards` workers.
+    pub fn new(prog: &Program, shards: usize) -> Result<Self> {
+        Self::with_options(prog, EvalOptions::default(), shards)
+    }
+
+    /// Like [`new`](Self::new) with custom evaluation bounds.
+    pub fn with_options(prog: &Program, opts: EvalOptions, shards: usize) -> Result<Self> {
+        let analysis = analyze(prog)?;
+        let router = Arc::new(ShardRouter::new(&analysis, shards));
+        let mut engine = IncrementalEngine::from_analysis(analysis, opts);
+        engine.set_sharding(Some(Arc::clone(&router)));
+        engine.seed_facts(prog)?;
+        Ok(ShardedEngine { engine, router })
+    }
+
+    /// Apply one batch of external deltas; see [`IncrementalEngine::apply`].
+    pub fn apply(&mut self, deltas: &[TupleDelta]) -> Result<BatchOutcome> {
+        self.engine.apply(deltas)
+    }
+
+    /// The shard router in use.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// Work counters of the initial fixpoint.
+    pub fn init_stats(&self) -> BatchStats {
+        self.engine.init_stats()
+    }
+
+    /// The backing store.
+    pub fn storage(&self) -> &RelationStorage {
+        self.engine.storage()
+    }
+
+    /// Is the tuple currently visible?
+    pub fn contains(&self, pred: &str, tuple: &Tuple) -> bool {
+        self.engine.contains(pred, tuple)
+    }
+
+    /// Number of visible tuples of a relation.
+    pub fn len_of(&self, pred: &str) -> usize {
+        self.engine.len_of(pred)
+    }
+
+    /// Materialize the current visible database.
+    pub fn database(&self) -> Database {
+        self.engine.database()
+    }
+
+    /// The wrapped incremental engine (for state comparison with
+    /// single-threaded engines).
+    pub fn engine(&self) -> &IncrementalEngine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_program;
+    use crate::parser::parse_program;
+    use crate::programs;
+    use crate::value::Value;
+
+    #[test]
+    fn join_keys_pick_shared_columns() {
+        // reach joins on its first column (Z), link on its second.
+        let prog = programs::reachability();
+        let analysis = analyze(&prog).unwrap();
+        let router = ShardRouter::new(&analysis, 4);
+        // r2: link(@S,Z,C), reachable(@Z,D): Z is shared; S only in head.
+        assert_eq!(router.key_columns("reachable"), &[0]);
+        assert!(!router.key_columns("link").is_empty());
+    }
+
+    #[test]
+    fn router_is_deterministic_and_total() {
+        let prog = programs::path_vector();
+        let analysis = analyze(&prog).unwrap();
+        let router = ShardRouter::new(&analysis, 3);
+        let t = vec![Value::Addr(1), Value::Addr(2), Value::Int(5)];
+        let s = router.shard_of("link", &t);
+        assert!(s < 3);
+        assert_eq!(s, router.shard_of("link", &t));
+        // Unknown relations and short tuples fall back to full-tuple hash.
+        let short = vec![Value::Int(1)];
+        assert!(router.shard_of("nosuch", &short) < 3);
+    }
+
+    #[test]
+    fn partition_is_a_partition() {
+        let prog = programs::reachability();
+        let analysis = analyze(&prog).unwrap();
+        let router = ShardRouter::new(&analysis, 4);
+        let mut deltas = SignedDeltas::new();
+        for i in 0..20i64 {
+            deltas
+                .entry("reachable".into())
+                .or_default()
+                .insert(vec![Value::Int(i), Value::Int(i + 1)], 1);
+        }
+        let parts = router.partition(&deltas);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().flat_map(|p| p.values()).map(|m| m.len()).sum();
+        assert_eq!(total, 20, "every tuple lands in exactly one shard");
+    }
+
+    #[test]
+    fn fan_out_merges_in_shard_order_and_propagates_errors() {
+        let vals = fan_out(4, &|k| Ok(k * 10)).unwrap();
+        assert_eq!(vals, vec![0, 10, 20, 30]);
+        let err = fan_out::<usize>(3, &|k| {
+            if k == 1 {
+                Err(crate::error::NdlogError::Eval { msg: "boom".into() })
+            } else {
+                Ok(k)
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sharded_fixpoint_matches_single_threaded() {
+        let edges = [(0, 1, 1), (1, 2, 2), (0, 2, 9), (2, 3, 1)];
+        let mut prog = programs::path_vector();
+        programs::add_links(&mut prog, &edges);
+        let single = IncrementalEngine::new(&prog).unwrap();
+        for shards in [1, 2, 4, 8] {
+            let sharded = ShardedEngine::new(&prog, shards).unwrap();
+            assert_eq!(
+                sharded.database(),
+                single.database(),
+                "{shards} shards diverge on the initial fixpoint"
+            );
+            assert_eq!(
+                sharded.init_stats().derivations,
+                single.init_stats().derivations,
+                "{shards} shards fire a different number of rules"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_churn_matches_single_threaded() {
+        let edges = [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 1)];
+        let mut prog = programs::reachability();
+        programs::add_links(&mut prog, &edges);
+        let link = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b), Value::Int(1)];
+        let batch = vec![
+            TupleDelta::remove("link", link(2, 3)),
+            TupleDelta::remove("link", link(3, 2)),
+        ];
+        let mut single = IncrementalEngine::new(&prog).unwrap();
+        let want = single.apply(&batch).unwrap();
+        for shards in [2, 4, 8] {
+            let mut sharded = ShardedEngine::new(&prog, shards).unwrap();
+            let got = sharded.apply(&batch).unwrap();
+            assert_eq!(got.changes, want.changes, "{shards}-shard changes diverge");
+            assert_eq!(sharded.database(), single.database());
+        }
+    }
+
+    #[test]
+    fn sharded_negation_and_aggregates_match() {
+        let src = "a reach(X,Y) :- edge(X,Y).
+             b reach(X,Y) :- reach(X,Z), edge(Z,Y).
+             c unreach(X,Y) :- node(X), node(Y), X != Y, !reach(X,Y).
+             d deg(X, count<Y>) :- edge(X,Y).
+             node(#0). node(#1). node(#2). node(#3).
+             edge(#0,#1). edge(#1,#2).";
+        let prog = parse_program(src).unwrap();
+        let mut single = IncrementalEngine::new(&prog).unwrap();
+        let mut sharded = ShardedEngine::new(&prog, 4).unwrap();
+        assert_eq!(sharded.database(), eval_program(&prog).unwrap());
+        let batch = vec![TupleDelta::insert(
+            "edge",
+            vec![Value::Addr(2), Value::Addr(3)],
+        )];
+        let want = single.apply(&batch).unwrap();
+        let got = sharded.apply(&batch).unwrap();
+        assert_eq!(got.changes, want.changes);
+        assert_eq!(sharded.database(), single.database());
+    }
+}

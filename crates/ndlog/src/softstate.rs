@@ -2,7 +2,7 @@
 //!
 //! Declarative networking models *soft state* by giving tuples a lifetime
 //! after which they silently disappear unless refreshed.  To reason about
-//! such programs in a classical (hard-state) logic, Wang et al. [22] rewrite
+//! such programs in a classical (hard-state) logic, Wang et al. \[22\] rewrite
 //! soft-state predicates by adding explicit **timestamp** and **lifetime**
 //! attributes, and guard every use with a freshness constraint against a
 //! global clock.  The paper calls the result "heavy-weight and cumbersome";

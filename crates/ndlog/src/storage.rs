@@ -117,6 +117,26 @@ fn mark_change(
 }
 
 /// The indexed, counted, delta-tracking store behind the incremental engine.
+///
+/// # Example
+///
+/// ```
+/// use ndlog::storage::RelationStorage;
+/// use ndlog::Value;
+///
+/// let mut store = RelationStorage::new();
+/// store.register_index("edge", &[0]);
+/// let e = |a: i64, b: i64| vec![Value::Int(a), Value::Int(b)];
+/// store.add_edb("edge", &e(1, 2), 1);
+/// store.add_edb("edge", &e(1, 3), 1);
+/// // O(1) index probe on the first column:
+/// let hits = store.matches_adjusted("edge", &[0], &[Value::Int(1)], None);
+/// assert_eq!(hits.len(), 2);
+/// // Supports are counted: a second assertion survives one retraction.
+/// store.add_edb("edge", &e(1, 2), 1);
+/// store.add_edb("edge", &e(1, 2), -1);
+/// assert!(store.contains("edge", &e(1, 2)));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct RelationStorage {
     rels: BTreeMap<String, StoredRelation>,
@@ -181,21 +201,60 @@ impl RelationStorage {
         }
     }
 
+    /// Look up a relation without allocating: clone the name into a map key
+    /// only when the relation is genuinely new.  `update_support` runs once
+    /// per rule firing in the maintenance inner loop, so the former
+    /// `entry(pred.to_string())` / `entry(tuple.clone())` pattern allocated a
+    /// `String` *and* a `Tuple` per support change; the get-first paths below
+    /// drop both on the (overwhelmingly common) existing-key case.
+    fn rel_mut<'a>(
+        rels: &'a mut BTreeMap<String, StoredRelation>,
+        pred: &str,
+    ) -> &'a mut StoredRelation {
+        if !rels.contains_key(pred) {
+            rels.insert(pred.to_string(), StoredRelation::default());
+        }
+        rels.get_mut(pred).expect("inserted above")
+    }
+
+    /// Apply `f` to the support of `tuple` in `map`, inserting only on miss
+    /// and removing the entry when both counts return to zero.  Returns the
+    /// visibility transition.
+    fn apply_support(
+        map: &mut BTreeMap<Tuple, Support>,
+        tuple: &Tuple,
+        f: impl FnOnce(&mut Support),
+    ) -> (bool, bool) {
+        match map.get_mut(tuple) {
+            Some(s) => {
+                let was = s.visible();
+                f(s);
+                let now = s.visible();
+                if s.edb == 0 && s.derived == 0 {
+                    map.remove(tuple);
+                }
+                (was, now)
+            }
+            None => {
+                let mut s = Support::default();
+                f(&mut s);
+                let now = s.visible();
+                if s.edb != 0 || s.derived != 0 {
+                    map.insert(tuple.clone(), s);
+                }
+                (false, now)
+            }
+        }
+    }
+
     fn update_support(
         &mut self,
         pred: &str,
         tuple: &Tuple,
         f: impl FnOnce(&mut Support),
     ) -> VisibilityChange {
-        let rel = self.rels.entry(pred.to_string()).or_default();
-        let s = rel.support.entry(tuple.clone()).or_default();
-        let was = s.visible();
-        f(s);
-        let now = s.visible();
-        let gone = s.edb == 0 && s.derived == 0;
-        if gone {
-            rel.support.remove(tuple);
-        }
+        let rel = Self::rel_mut(&mut self.rels, pred);
+        let (was, now) = Self::apply_support(&mut rel.support, tuple, f);
         let change = match (was, now) {
             (false, true) => {
                 rel.index_add(tuple);
@@ -222,14 +281,8 @@ impl RelationStorage {
         tuple: &Tuple,
         f: impl FnOnce(&mut Support),
     ) -> VisibilityChange {
-        let rel = self.rels.entry(pred.to_string()).or_default();
-        let s = rel.exported_support.entry(tuple.clone()).or_default();
-        let was = s.visible();
-        f(s);
-        let now = s.visible();
-        if s.edb == 0 && s.derived == 0 {
-            rel.exported_support.remove(tuple);
-        }
+        let rel = Self::rel_mut(&mut self.rels, pred);
+        let (was, now) = Self::apply_support(&mut rel.exported_support, tuple, f);
         let change = match (was, now) {
             (false, true) => {
                 self.exported_total += 1;

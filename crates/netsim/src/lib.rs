@@ -2,7 +2,7 @@
 //!
 //! The execution substrate of the FVN reproduction.  The paper validates
 //! generated NDlog protocols "within a local cluster environment" (§3.2.2,
-//! ref [23]); this crate replaces the cluster with a seeded discrete-event
+//! ref \[23\]); this crate replaces the cluster with a seeded discrete-event
 //! simulator so that asynchronous message interleavings — the thing the
 //! delayed-convergence results actually depend on — are reproducible.
 //!

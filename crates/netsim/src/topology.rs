@@ -193,36 +193,62 @@ impl Topology {
         t
     }
 
-    /// Seeded Erdős–Rényi G(n, p) with integer costs in `1..=max_cost`,
-    /// re-sampled until connected (bounded retries).
-    pub fn random_connected(n: u32, p: f64, max_cost: i64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        for _attempt in 0..200 {
-            let mut t = Topology::empty(n);
-            for a in 0..n {
-                for b in (a + 1)..n {
-                    if rng.random::<f64>() < p {
-                        let c = rng.random_range(1..=max_cost.max(1));
-                        t.add_edge(a, b, c);
+    /// Connected components as sorted node lists, ordered by smallest
+    /// member.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut out = Vec::new();
+        for start in 0..self.n {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut q = VecDeque::new();
+            seen.insert(start);
+            q.push_back(start);
+            while let Some(v) = q.pop_front() {
+                comp.push(v);
+                for (w, _) in self.neighbors(v) {
+                    if seen.insert(w) {
+                        q.push_back(w);
                     }
                 }
             }
-            // Stitch into connectivity by adding a random spanning thread if
-            // close; otherwise resample.
-            if t.is_connected() {
-                return t;
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Seeded Erdős–Rényi G(n, p) with integer costs in `1..=max_cost`,
+    /// **stitched into connectivity**: the graph is sampled exactly once,
+    /// and every residual component is then bridged to the first component
+    /// by a random edge (random endpoint on each side, random cost).  The
+    /// sampled structure is preserved at every density — a sparse p or an
+    /// adversarial seed gains exactly the bridges connectivity requires,
+    /// never a resample or a ring fallback.  At `p = 0` the result is a
+    /// spanning tree of `n - 1` bridges.  Deterministic per seed.
+    pub fn random_connected(n: u32, p: f64, max_cost: i64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Topology::empty(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.random::<f64>() < p {
+                    let c = rng.random_range(1..=max_cost.max(1));
+                    t.add_edge(a, b, c);
+                }
             }
         }
-        // Fallback: ring + random chords, always connected.
-        let mut t = Topology::ring(n.max(3));
-        let extra = (n as usize) / 2;
-        for _ in 0..extra {
-            let a = rng.random_range(0..n);
-            let b = rng.random_range(0..n);
-            if a != b {
-                t.add_edge(a, b, rng.random_range(1..=max_cost.max(1)));
-            }
+        if n <= 1 {
+            return t;
         }
+        let comps = t.components();
+        for comp in &comps[1..] {
+            let a = comps[0][rng.random_range(0..comps[0].len())];
+            let b = comp[rng.random_range(0..comp.len())];
+            t.add_edge(a, b, rng.random_range(1..=max_cost.max(1)));
+        }
+        debug_assert!(t.is_connected());
         t
     }
     // ------------------------------------------------------------------
@@ -346,6 +372,40 @@ mod tests {
         let c = Topology::random_connected(12, 0.3, 5, 43);
         assert!(a != c || a.num_edges() == c.num_edges()); // different seed usually differs
         assert!(a.is_connected());
+    }
+
+    /// The stitch path must deliver connectivity at every density and for
+    /// adversarial seeds — dense p used to resample silently, and unlucky
+    /// seeds fell back to a ring the docs never promised.
+    #[test]
+    fn random_connected_is_connected_at_every_density() {
+        for &p in &[0.0, 0.01, 0.05, 0.5, 0.9, 1.0] {
+            for seed in 0..40 {
+                let t = Topology::random_connected(24, p, 4, seed);
+                assert!(t.is_connected(), "disconnected at p={p}, seed={seed}");
+            }
+        }
+    }
+
+    /// At p = 0 nothing is sampled, so the result must be exactly the
+    /// n - 1 stitch bridges (a spanning tree) — the old ring+chords
+    /// fallback would produce >= n edges and betray itself here.
+    #[test]
+    fn random_connected_stitches_instead_of_falling_back() {
+        for seed in 0..20 {
+            let t = Topology::random_connected(17, 0.0, 5, seed);
+            assert_eq!(t.num_edges(), 16, "seed {seed} did not pure-stitch");
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes() {
+        let mut t = Topology::empty(6);
+        t.add_edge(0, 1, 1);
+        t.add_edge(2, 3, 1);
+        let comps = t.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4], vec![5]]);
     }
 
     #[test]

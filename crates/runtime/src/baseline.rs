@@ -65,7 +65,7 @@ pub struct DvAdvert {
 }
 
 /// An imperative, event-driven distance-vector node (triggered updates, no
-/// split horizon — the classic textbook protocol of Wang et al. [22]).
+/// split horizon — the classic textbook protocol of Wang et al. \[22\]).
 #[derive(Debug, Clone)]
 pub struct DvNode {
     neighbors: Vec<(u32, i64)>,

@@ -385,6 +385,23 @@ impl DistRuntime {
         cfg: SimConfig,
         eval_opts: EvalOptions,
     ) -> Result<Self> {
+        Self::with_sharded_options(program, topo, cfg, eval_opts, 1)
+    }
+
+    /// Like [`with_options`](Self::with_options), running each node's
+    /// incremental engine on `shards` shard workers
+    /// ([`ndlog::sharded`]).  One [`ShardRouter`](ndlog::ShardRouter) is
+    /// built from the localized program's analysis and shared by every
+    /// node.  Sharding changes how each node evaluates its maintenance
+    /// rounds, never what it derives or ships, so distributed results stay
+    /// byte-identical to the single-threaded runtime.
+    pub fn with_sharded_options(
+        program: &Program,
+        topo: &Topology,
+        cfg: SimConfig,
+        eval_opts: EvalOptions,
+        shards: usize,
+    ) -> Result<Self> {
         let localized = localize_program(program)?;
         let mut compiled_prog = localized.to_program();
         compiled_prog.facts = program.facts.clone();
@@ -435,7 +452,10 @@ impl DistRuntime {
 
         // One shared compilation: cloning the prototype shares the analysis
         // and stratum plans (Arc) instead of deep-copying them per node.
-        let proto = IncrementalEngine::from_analysis(analysis, eval_opts);
+        let router =
+            (shards > 1).then(|| std::sync::Arc::new(ndlog::ShardRouter::new(&analysis, shards)));
+        let mut proto = IncrementalEngine::from_analysis(analysis, eval_opts);
+        proto.set_sharding(router);
         let nodes: Vec<NdlogNode> = bases
             .into_iter()
             .enumerate()
@@ -765,6 +785,38 @@ mod tests {
                 let d: Vec<_> = got.relation(pred).cloned().collect();
                 assert_eq!(c, d, "{pred} differs under seed {seed}");
             }
+        }
+    }
+
+    /// Per-node sharded engines (4 shard workers per node) must produce the
+    /// same distributed fixpoint as the single-threaded runtime, including
+    /// under link churn.
+    #[test]
+    fn sharded_nodes_match_centralized_under_churn() {
+        let topo = Topology::ring(4);
+        let prog = pv_on(&topo);
+        let mut rt = DistRuntime::with_sharded_options(
+            &prog,
+            &topo,
+            SimConfig::default(),
+            EvalOptions::default(),
+            4,
+        )
+        .unwrap();
+        rt.schedule_links(&[LinkSchedule {
+            at: 50,
+            a: 0,
+            b: 1,
+            up: false,
+        }]);
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let want = central_on(&topo, &[(0, 1)]);
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = want.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs under sharded per-node engines");
         }
     }
 

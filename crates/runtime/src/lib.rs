@@ -2,14 +2,16 @@
 //!
 //! Implements arc 7 of the paper's Figure 1: executing (localized) NDlog
 //! programs as a distributed protocol.  This is the stand-in for the P2
-//! system the paper cites ([18]); see `DESIGN.md` for the substitution
+//! system the paper cites (\[18\]); see `DESIGN.md` for the substitution
 //! argument.
 //!
 //! * [`engine`] — per-node incremental NDlog engines exchanging signed
 //!   tuples (assertions and retractions) over `netsim`; link churn is
 //!   absorbed as tuple deltas (see `DESIGN.md` §5), and distributed results
 //!   provably match centralized evaluation over the final topology on every
-//!   tested shape.
+//!   tested shape.  Each node's engine can optionally run on N shard
+//!   workers ([`DistRuntime::with_sharded_options`], `DESIGN.md` §7)
+//!   without changing any result.
 //! * [`baseline`] — imperative comparators for EXP‑6: centralized
 //!   Bellman–Ford and an event-driven distance-vector protocol.
 

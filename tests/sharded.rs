@@ -1,0 +1,131 @@
+//! Integration tests for sharded parallel evaluation (DESIGN.md §7).
+//!
+//! The acceptance contract: sharded evaluation produces **byte-identical**
+//! databases to the single-threaded engines at every shard count, on
+//! realistic topology scales and under link churn.  (Wall-clock scaling is
+//! measured by the EXP-10 bench, not asserted here — CI machines may have
+//! one core.)
+
+use ndlog::incremental::{IncrementalEngine, TupleDelta};
+use ndlog::sharded::ShardedEngine;
+use ndlog::{eval_program, Evaluator, Value};
+use netsim::Topology;
+
+fn link(a: u32, b: u32, c: i64) -> Vec<Value> {
+    vec![Value::Addr(a), Value::Addr(b), Value::Int(c)]
+}
+
+fn link_toggle(a: u32, b: u32, c: i64, up: bool) -> Vec<TupleDelta> {
+    let d = if up { 1 } else { -1 };
+    vec![
+        TupleDelta {
+            pred: "link".into(),
+            tuple: link(a, b, c),
+            delta: d,
+        },
+        TupleDelta {
+            pred: "link".into(),
+            tuple: link(b, a, c),
+            delta: d,
+        },
+    ]
+}
+
+/// A 40-node reachability fixpoint agrees across 1/2/4/8 shards, the
+/// from-scratch evaluator, and the sharded semi-naive evaluator.
+#[test]
+fn reachability_fixpoint_agrees_across_shard_counts() {
+    let topo = Topology::random_connected(40, 0.08, 3, 11);
+    let mut prog = ndlog::programs::reachability();
+    ndlog::programs::add_links(&mut prog, &topo.edge_list());
+
+    let want = eval_program(&prog).unwrap();
+    let ev = Evaluator::new(&prog).unwrap();
+    for shards in [1usize, 2, 4, 8] {
+        let engine = ShardedEngine::new(&prog, shards).unwrap();
+        assert_eq!(
+            engine.database(),
+            want,
+            "{shards}-shard incremental fixpoint diverges"
+        );
+        let mut db = Evaluator::base_database(&prog);
+        ev.run_sharded(&mut db, shards).unwrap();
+        assert_eq!(db, want, "{shards}-shard semi-naive diverges");
+    }
+}
+
+/// Path vector (recursion + aggregates + builtins) under a failure/recovery
+/// churn sequence: every batch outcome and database matches the
+/// single-threaded engine at every shard count.
+#[test]
+fn path_vector_churn_agrees_across_shard_counts() {
+    let topo = Topology::random_connected(16, 0.18, 4, 5);
+    let mut prog = ndlog::programs::path_vector();
+    ndlog::programs::add_links(&mut prog, &topo.edge_list());
+
+    let mut single = IncrementalEngine::new(&prog).unwrap();
+    let mut engines: Vec<ShardedEngine> = [2usize, 4, 8]
+        .iter()
+        .map(|&n| ShardedEngine::new(&prog, n).unwrap())
+        .collect();
+    for e in &engines {
+        assert_eq!(e.database(), single.database());
+        assert_eq!(
+            e.init_stats().derivations,
+            single.init_stats().derivations,
+            "{} shards fire a different number of rules",
+            e.shards()
+        );
+    }
+
+    // Fail three edges one at a time, then recover them in reverse order.
+    let failures: Vec<(u32, u32, i64)> = topo.edge_list().into_iter().take(3).collect();
+    let mut schedule: Vec<(u32, u32, i64, bool)> =
+        failures.iter().map(|&(a, b, c)| (a, b, c, false)).collect();
+    schedule.extend(failures.iter().rev().map(|&(a, b, c)| (a, b, c, true)));
+
+    for (a, b, c, up) in schedule {
+        let batch = link_toggle(a, b, c, up);
+        let want = single.apply(&batch).unwrap();
+        for e in engines.iter_mut() {
+            let got = e.apply(&batch).unwrap();
+            assert_eq!(
+                got.changes,
+                want.changes,
+                "{} shards ship different deltas for {a}-{b} {}",
+                e.shards(),
+                if up { "up" } else { "down" }
+            );
+            assert_eq!(e.database(), single.database());
+        }
+    }
+}
+
+/// Stratified negation under churn: the sharded engine flips `unreach`
+/// tuples exactly like the single-threaded engine when edges toggle.
+#[test]
+fn negation_churn_agrees_across_shard_counts() {
+    let src = "a reach(X,Y) :- edge(X,Y).
+         b reach(X,Y) :- reach(X,Z), edge(Z,Y).
+         c unreach(X,Y) :- node(X), node(Y), X != Y, !reach(X,Y).
+         node(#0). node(#1). node(#2). node(#3). node(#4).
+         edge(#0,#1). edge(#3,#4).";
+    let prog = ndlog::parse_program(src).unwrap();
+    let mut single = IncrementalEngine::new(&prog).unwrap();
+    let mut sharded = ShardedEngine::new(&prog, 4).unwrap();
+    let edge = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b)];
+    for batch in [
+        vec![TupleDelta::insert("edge", edge(1, 2))],
+        vec![TupleDelta::insert("edge", edge(2, 3))],
+        vec![TupleDelta::remove("edge", edge(1, 2))],
+        vec![
+            TupleDelta::insert("edge", edge(1, 2)),
+            TupleDelta::remove("edge", edge(3, 4)),
+        ],
+    ] {
+        let want = single.apply(&batch).unwrap();
+        let got = sharded.apply(&batch).unwrap();
+        assert_eq!(got.changes, want.changes);
+        assert_eq!(sharded.database(), single.database());
+    }
+}
