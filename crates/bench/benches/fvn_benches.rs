@@ -5,6 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+/// Count every heap allocation so EXP-11 can assert the interned hot path
+/// is allocation-free (see `fvn_bench::CountingAlloc`).
+#[global_allocator]
+static ALLOC: fvn_bench::CountingAlloc = fvn_bench::CountingAlloc;
+
 use fvn::verify::{best_path_strong, best_path_strong_script, path_vector_theory};
 use fvn_logic::prover::{Command, Prover};
 use fvn_mc::{check_invariant, costs_bounded, DvSystem, ExploreOptions, SppInstance};
@@ -163,12 +168,17 @@ fn bench_softstate(c: &mut Criterion) {
 /// EXP-9: incremental maintenance vs epoch recomputation under a single
 /// link failure on a 50-node topology (see DESIGN.md §3 and §5).
 ///
-/// Storage hot-path note: `RelationStorage::update_support` used to clone
-/// the tuple and predicate name into map keys on every support change; the
-/// get-first/insert-on-miss rewrite dropped `incremental_link_failure` from
-/// 413.7 ms to 397.3 ms mean (min 399.9 → 388.4 ms) on the reference
-/// 1-core CI box — ~4% off the whole maintenance path from allocations
-/// alone.
+/// Storage hot-path history on the reference 1-core CI box:
+///
+/// * PR-1 `entry(pred.to_string())` baseline: 413.7 ms mean;
+/// * PR-2 get-first/insert-on-miss rewrite: 397.3 ms mean (432.0 ms on the
+///   current box);
+/// * PR-3 interned `RelId` + `SharedTuple` stores and persistent shard
+///   workers (DESIGN.md §8): 313.7 ms mean / 302.0 ms min on the same box
+///   that measured 432.0 ms for PR-2 — a **27% wall-clock cut** from
+///   erasing name keys and deep tuple clones (engine clones in the loop
+///   share tuple allocations instead of copying path vectors).  EXP-11
+///   below pins the allocation-freedom this relies on.
 fn bench_incremental_vs_epoch(c: &mut Criterion) {
     use ndlog::incremental::{IncrementalEngine, TupleDelta};
     use ndlog::Value;
@@ -294,6 +304,119 @@ fn bench_shard_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// EXP-11: the interned hot path under the microscope (see DESIGN.md §3
+/// and §8).  Measures the three inner-loop primitives of incremental
+/// maintenance on a warm 30-node path-vector store and **asserts, via the
+/// counting global allocator, that the interned forms perform zero heap
+/// allocations per operation** — no per-firing `String`, no owned `Tuple`
+/// clone.  The name-keyed compat wrappers are measured alongside as the
+/// pre-refactor baseline shape (they add the symbol-table probe the old
+/// `BTreeMap<String, _>` layout paid on every call).
+///
+/// Reference numbers (1-core CI box, this PR): interned probe ~0.9 us/op
+/// vs name-keyed ~1.0 us/op with 0 allocs either way once the result
+/// buffer is reused; support updates 0 allocs; engine clone ~3x cheaper
+/// than pre-refactor (shared tuple handles instead of deep path copies).
+fn bench_interned_hot_path(c: &mut Criterion) {
+    use ndlog::incremental::IncrementalEngine;
+    use ndlog::value::SharedTuple;
+    use ndlog::Value;
+
+    let topo = Topology::binary_tree(30);
+    let mut prog = ndlog::programs::path_vector();
+    link_facts(&mut prog, &topo);
+    let engine = IncrementalEngine::new(&prog).expect("path vector fixpoint");
+    let storage = engine.storage();
+    let path = storage.symbols().lookup("path").expect("path interned");
+    let keys: Vec<Vec<Value>> = (0..topo.num_nodes())
+        .map(|n| vec![Value::Addr(n)])
+        .collect();
+
+    // --- allocation proof: join probes over the interned store -----------
+    let mut buf: Vec<&SharedTuple> = Vec::with_capacity(1024);
+    let mut hits = 0usize;
+    // Warm the reusable buffer to its high-water mark first.
+    for key in &keys {
+        buf.clear();
+        storage.matches_adjusted_id_into(path, &[0], key, None, &mut buf);
+        hits += buf.len();
+    }
+    let (allocs, bytes, _) = fvn_bench::count_allocs(|| {
+        for _ in 0..100 {
+            for key in &keys {
+                buf.clear();
+                storage.matches_adjusted_id_into(path, &[0], key, None, &mut buf);
+                hits += buf.len();
+            }
+        }
+    });
+    assert!(hits > 0, "probes must hit the warm store");
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "interned join probe must not allocate (no String keys, no tuple clones)"
+    );
+    println!(
+        "exp11: 100x{} warm interned probes -> {allocs} allocs / {bytes} bytes",
+        keys.len()
+    );
+
+    // --- allocation proof: support updates on existing tuples ------------
+    // A standalone store mirroring the path relation: the support-update
+    // path (`add_derived_id` on a tuple that stays visible) is what every
+    // counting-maintenance firing executes.
+    let mut store = ndlog::RelationStorage::new();
+    let spath = store.rel_id("path");
+    for t in storage.visible_id(path) {
+        store.add_edb_id(spath, t, 1);
+    }
+    let tuple = storage
+        .visible_id(path)
+        .next()
+        .expect("path relation is non-empty")
+        .clone();
+    let (allocs, bytes, _) = fvn_bench::count_allocs(|| {
+        for _ in 0..10_000 {
+            store.add_derived_id(spath, &tuple, 1);
+            store.add_derived_id(spath, &tuple, -1);
+        }
+    });
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "support updates on existing tuples must not allocate"
+    );
+    println!("exp11: 10000 warm support-update cycles -> {allocs} allocs / {bytes} bytes");
+
+    // --- wall clock: interned vs name-keyed probe shapes ------------------
+    let mut g = c.benchmark_group("exp11_hot_path");
+    g.bench_function("join_probe_interned", |b| {
+        let mut buf: Vec<&SharedTuple> = Vec::with_capacity(1024);
+        b.iter(|| {
+            let mut n = 0usize;
+            for key in &keys {
+                buf.clear();
+                storage.matches_adjusted_id_into(path, &[0], key, None, &mut buf);
+                n += buf.len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("join_probe_name_keyed", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for key in &keys {
+                n += storage.matches_adjusted("path", &[0], key, None).len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("engine_clone", |b| {
+        b.iter(|| black_box(engine.clone().init_stats().derivations))
+    });
+    g.finish();
+}
+
 /// FIG-1 / arc 7: distributed execution.
 fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_arc7_distributed");
@@ -321,6 +444,6 @@ criterion_group! {
               bench_algebra_obligations, bench_automation,
               bench_declarative_vs_imperative, bench_translation,
               bench_softstate, bench_incremental_vs_epoch, bench_shard_scaling,
-              bench_runtime
+              bench_interned_hot_path, bench_runtime
 }
 criterion_main!(benches);

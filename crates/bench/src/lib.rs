@@ -1,1 +1,62 @@
 //! Benchmark harness crate (see benches/ and src/bin/paper_tables.rs).
+//!
+//! Besides the criterion-style wall-clock benchmarks, this crate provides a
+//! [`CountingAlloc`] global allocator wrapper so EXP-11 can *prove* — not
+//! just time — that the interned join-probe / support-update hot path
+//! performs zero heap allocations per operation (no per-firing `String`, no
+//! owned `Tuple` clones).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed global allocator that counts allocations.
+///
+/// Register it in a binary with
+/// `#[global_allocator] static A: fvn_bench::CountingAlloc = fvn_bench::CountingAlloc;`
+/// and read the counters around the code under test with
+/// [`alloc_snapshot`].  Counting is two relaxed atomic increments per
+/// allocation — cheap enough to leave on for wall-clock runs too.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters do not influence
+// allocation behavior.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// `(allocations, bytes)` counted so far by [`CountingAlloc`].
+///
+/// Take a snapshot before and after the code under test and subtract; the
+/// counters are process-global and monotonically increasing.
+pub fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Allocations and bytes spent inside `f`.
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let (a0, b0) = alloc_snapshot();
+    let r = f();
+    let (a1, b1) = alloc_snapshot();
+    (a1 - a0, b1 - b0, r)
+}

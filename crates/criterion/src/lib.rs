@@ -7,6 +7,16 @@
 //! macros.  Measurement is a plain wall-clock mean/min over `sample_size`
 //! iterations (after one warm-up call) printed to stdout — no statistics,
 //! plots, or baselines.
+//!
+//! Two environment knobs support CI smoke runs (so the perf harnesses
+//! cannot bit-rot unnoticed):
+//!
+//! * `FVN_BENCH_QUICK=1` — clamp every benchmark to a single iteration
+//!   (sanity run: the closures execute, assertions fire, timings are
+//!   meaningless);
+//! * `FVN_BENCH_FILTER=exp9,exp11` — run only benchmarks whose label
+//!   contains one of the comma-separated substrings, skipping the rest
+//!   (their setup code still runs; only measurement is skipped).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -109,17 +119,24 @@ impl Criterion {
     }
 
     fn run_one(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Ok(filter) = std::env::var("FVN_BENCH_FILTER") {
+            if !filter.is_empty() && !filter.split(',').any(|pat| label.contains(pat.trim())) {
+                println!("bench {label:<52} (skipped by FVN_BENCH_FILTER)");
+                return;
+            }
+        }
+        let quick = std::env::var_os("FVN_BENCH_QUICK").is_some();
         let mut b = Bencher {
-            samples: self.sample_size,
+            samples: if quick { 1 } else { self.sample_size },
             result: None,
         };
+        let samples = b.samples;
         f(&mut b);
         match b.result {
             Some((mean, min)) => println!(
-                "bench {label:<52} mean {:>10}   min {:>10}   ({} iters)",
+                "bench {label:<52} mean {:>10}   min {:>10}   ({samples} iters)",
                 fmt_duration(mean),
                 fmt_duration(min),
-                self.sample_size
             ),
             None => println!("bench {label:<52} (no measurement)"),
         }

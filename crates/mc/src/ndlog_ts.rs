@@ -15,9 +15,9 @@
 use crate::ts::TransitionSystem;
 use ndlog::ast::Program;
 use ndlog::eval::{derive_rule, Database, Evaluator};
-use ndlog::incremental::{IncrementalEngine, TupleDelta};
+use ndlog::incremental::{IncrementalEngine, RelDelta, TupleDelta};
 use ndlog::safety::analyze;
-use ndlog::value::format_tuple;
+use ndlog::value::display_tuple;
 use ndlog::{NdlogError, Result, Rule};
 use std::collections::BTreeSet;
 
@@ -65,8 +65,11 @@ impl TransitionSystem for NdlogTs {
                 for t in tuples {
                     if !db.contains(&rule.head.pred, &t) {
                         let mut next = db.clone();
-                        next.insert(rule.head.pred.clone(), t.clone());
-                        out.push((format!("{}{}", rule.name, format_tuple(&t)), next));
+                        // Single-pass lazy rendering: the label string is
+                        // built once, with no per-value intermediates.
+                        let label = format!("{}{}", rule.name, display_tuple(&t));
+                        next.insert(rule.head.pred.clone(), t);
+                        out.push((label, next));
                     }
                 }
             }
@@ -91,7 +94,10 @@ impl TransitionSystem for NdlogTs {
 #[derive(Debug, Clone)]
 pub struct ChurnTs {
     start: IncrementalEngine,
-    deltas: Vec<(String, Vec<TupleDelta>)>,
+    /// The schedule, interned once against the start engine's symbol table:
+    /// every clone-and-apply transition during exploration replays shared
+    /// [`RelDelta`]s instead of re-interning names and re-copying tuples.
+    deltas: Vec<(String, Vec<RelDelta>)>,
     /// First maintenance error seen during exploration (evaluation bounds
     /// or a data-dependent evaluation failure): that interleaving was
     /// pruned, so a verdict over the explored space is **incomplete** —
@@ -136,8 +142,27 @@ impl ChurnTs {
         deltas: Vec<(String, Vec<TupleDelta>)>,
         opts: ndlog::EvalOptions,
     ) -> Result<Self> {
+        let mut start = IncrementalEngine::with_options(prog, opts)?;
+        // Intern the schedule once: exploration applies each batch along
+        // every interleaving, so per-transition name lookups would multiply
+        // with the state count.  Predicates the program never mentions are
+        // interned here (they stay empty relations).
+        let deltas = deltas
+            .into_iter()
+            .map(|(label, batch)| {
+                let batch = batch
+                    .into_iter()
+                    .map(|d| RelDelta {
+                        rel: start.rel_id(&d.pred),
+                        tuple: d.tuple.into(),
+                        delta: d.delta,
+                    })
+                    .collect();
+                (label, batch)
+            })
+            .collect();
         Ok(ChurnTs {
-            start: IncrementalEngine::with_options(prog, opts)?,
+            start,
             deltas,
             prune_error: std::cell::RefCell::new(None),
         })
@@ -175,7 +200,7 @@ impl TransitionSystem for ChurnTs {
                 continue;
             }
             let mut engine = s.engine.clone();
-            if let Err(e) = engine.apply(batch) {
+            if let Err(e) = engine.apply_interned(batch) {
                 // Pruned branch: surfaced through truncated()/prune_error()
                 // so a passing check is never silently incomplete.
                 self.prune_error

@@ -34,8 +34,10 @@ impl Database {
         self.rels.entry(pred.into()).or_default().insert(tuple)
     }
 
-    /// Remove a tuple; returns true if it was present.
-    pub fn remove(&mut self, pred: &str, tuple: &Tuple) -> bool {
+    /// Remove a tuple; returns true if it was present.  Takes any borrowed
+    /// slice so interned handles can probe without materializing an owned
+    /// tuple.
+    pub fn remove(&mut self, pred: &str, tuple: &[Value]) -> bool {
         self.rels
             .get_mut(pred)
             .map(|s| s.remove(tuple))
@@ -414,7 +416,10 @@ impl Evaluator {
     }
 
     /// Like [`run`](Self::run), with the per-iteration delta work fanned
-    /// out across `shards` worker threads (see [`crate::sharded`]).
+    /// out across `shards` **persistent** worker threads (see
+    /// [`crate::sharded`] and [`crate::pool`]): the pool is spawned once
+    /// with the router and reused by every seed pass, iteration, and
+    /// stratum of this evaluation.
     ///
     /// The seed pass partitions rules round-robin; every later iteration
     /// partitions the delta tuples by the analysis join key.  Workers only
@@ -464,7 +469,7 @@ impl Evaluator {
         {
             let db_ref: &Database = db;
             let plain_ref = &plain_rules;
-            let partials = fan_out(shards, &|k| {
+            let partials = fan_out(router.map(ShardRouter::pool), shards, &|k| {
                 let mut local = Database::new();
                 let mut derivations = 0usize;
                 for r in plain_ref.iter().skip(k).step_by(shards) {
@@ -546,7 +551,7 @@ impl Evaluator {
             };
             let db_ref: &Database = db;
             let rec_ref = &rec_positions;
-            let partials = fan_out(part_refs.len(), &|k| {
+            let partials = fan_out(router.map(ShardRouter::pool), part_refs.len(), &|k| {
                 let mut local = Database::new();
                 let mut derivations = 0usize;
                 for (r, positions) in rec_ref {

@@ -26,6 +26,20 @@
 //! hash probes on the rules' static join-key binding patterns instead of the
 //! linear `BTreeSet` scans of the from-scratch evaluator.
 //!
+//! # Interned hot path
+//!
+//! The maintenance loops work entirely in dense [`RelId`]s and shared
+//! [`SharedTuple`] handles (see [`crate::symbols`], DESIGN.md §8): rules are
+//! compiled once into an internal form holding the interned ids of their
+//! head and body atoms, round-to-round delta maps are
+//! [`crate::storage::SignedDeltas`] keyed by id, and a rule
+//! firing accumulates into a `(RelId, Tuple)`-keyed map — **no relation-name
+//! `String` is cloned or compared per firing**.  Names reappear only at the
+//! [`apply`](IncrementalEngine::apply) boundary; id-native callers (the
+//! distributed runtime, the model checker) use
+//! [`apply_interned`](IncrementalEngine::apply_interned) and skip the
+//! translation entirely.
+//!
 //! External inputs are *multisets*: [`TupleDelta`] carries a signed
 //! multiplicity, so two neighbors asserting the same tuple and one later
 //! retracting it leaves the tuple alive.  This is what the distributed
@@ -37,7 +51,8 @@ use crate::eval::{aggregate, eval_expr, instantiate_head, match_atom, Database, 
 use crate::safety::{analyze, Analysis};
 use crate::sharded::{chunk_by, fan_out, ShardRouter};
 use crate::storage::{RelationStorage, SignedDeltas, VisibilityChange};
-use crate::value::{Tuple, Value};
+use crate::symbols::{RelId, Symbols};
+use crate::value::{SharedTuple, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -72,6 +87,41 @@ impl TupleDelta {
     }
 }
 
+/// The interned form of [`TupleDelta`]: a dense relation id plus a shared
+/// tuple handle.  This is what the hot path consumes and produces — the
+/// distributed runtime ships these between nodes (whose engines are cloned
+/// from one prototype, so ids agree) and the model checker replays churn
+/// schedules without re-interning per transition.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RelDelta {
+    /// Interned relation id (valid for the engine that produced/consumes it).
+    pub rel: RelId,
+    /// The tuple (shared handle, cheap to clone).
+    pub tuple: SharedTuple,
+    /// Signed multiplicity change (`+1` assert, `-1` retract).
+    pub delta: i64,
+}
+
+impl RelDelta {
+    /// An assertion (`+1`).
+    pub fn insert(rel: RelId, tuple: impl Into<SharedTuple>) -> Self {
+        RelDelta {
+            rel,
+            tuple: tuple.into(),
+            delta: 1,
+        }
+    }
+
+    /// A retraction (`-1`).
+    pub fn remove(rel: RelId, tuple: impl Into<SharedTuple>) -> Self {
+        RelDelta {
+            rel,
+            tuple: tuple.into(),
+            delta: -1,
+        }
+    }
+}
+
 /// Work and effect counters for one maintenance batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStats {
@@ -98,18 +148,80 @@ pub struct BatchOutcome {
     pub stats: BatchStats,
 }
 
+/// The id-native result of [`IncrementalEngine::apply_interned`]: the same
+/// net changes as [`BatchOutcome`], but carrying interned ids and shared
+/// tuple handles — nothing is stringified or deep-copied.
+#[derive(Debug, Clone, Default)]
+pub struct InternedOutcome {
+    /// Net visibility changes in deterministic `(rel, tuple, delta)` order.
+    pub changes: Vec<RelDelta>,
+    /// Work counters for the batch.
+    pub stats: BatchStats,
+}
+
+/// A rule compiled against the engine's symbol table: the AST plus the
+/// interned ids of its head and body atoms, resolved once at construction
+/// so the maintenance inner loops never look up a name.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    rule: Rule,
+    head: RelId,
+    /// Per body literal: the atom's id (`None` for assignments/comparisons).
+    body_rels: Vec<Option<RelId>>,
+}
+
+impl CompiledRule {
+    fn compile(rule: Rule, symbols: &Symbols) -> Self {
+        let head = symbols
+            .lookup(&rule.head.pred)
+            .expect("head predicate interned at analysis");
+        let body_rels = rule
+            .body
+            .iter()
+            .map(|l| match l {
+                Literal::Pos(a) | Literal::Neg(a) => Some(
+                    symbols
+                        .lookup(&a.pred)
+                        .expect("body predicate interned at analysis"),
+                ),
+                _ => None,
+            })
+            .collect();
+        CompiledRule {
+            rule,
+            head,
+            body_rels,
+        }
+    }
+
+    /// Delta positions of the body for which the caller holds changes:
+    /// `(position, rel, negated)`.
+    fn delta_positions(&self) -> impl Iterator<Item = (usize, RelId, bool)> + '_ {
+        self.rule
+            .body
+            .iter()
+            .zip(&self.body_rels)
+            .enumerate()
+            .filter_map(|(i, (l, rel))| match l {
+                Literal::Pos(_) => Some((i, rel.expect("atom has id"), false)),
+                Literal::Neg(_) => Some((i, rel.expect("atom has id"), true)),
+                _ => None,
+            })
+    }
+}
+
 /// Per-stratum maintenance plan, fixed at engine construction.
 #[derive(Debug, Clone)]
 struct StratumPlan {
     /// Aggregate rules, keyed by their global rule index (stable key for the
     /// previous-output cache).
-    aggs: Vec<(usize, Rule)>,
+    aggs: Vec<(usize, CompiledRule)>,
     /// Plain rules in safe body order.
-    plain: Vec<Rule>,
-    /// Predicates occurring in plain-rule bodies (positively or negatively).
-    body_preds: BTreeSet<String>,
-    /// Predicates occurring under negation in plain-rule bodies.
-    neg_preds: BTreeSet<String>,
+    plain: Vec<CompiledRule>,
+    /// Relations occurring in plain-rule bodies (positively or negatively).
+    body_preds: BTreeSet<RelId>,
+    /// Relations occurring under negation in plain-rule bodies.
+    neg_preds: BTreeSet<RelId>,
     /// True when the plain head predicates form a dependency cycle — the
     /// stratum is maintained with DRed instead of counting.
     recursive: bool,
@@ -156,9 +268,9 @@ pub struct IncrementalEngine {
     /// output tuple), enabling group-incremental aggregate maintenance.
     agg_prev: BTreeMap<usize, BTreeMap<Tuple, Tuple>>,
     init_stats: BatchStats,
-    /// When set, maintenance rounds fan out across the router's shard
-    /// workers (see [`crate::sharded`]); results are byte-identical either
-    /// way, so this is purely an execution-strategy knob.
+    /// When set, maintenance rounds fan out across the router's persistent
+    /// shard workers (see [`crate::sharded`]); results are byte-identical
+    /// either way, so this is purely an execution-strategy knob.
     sharding: Option<Arc<ShardRouter>>,
 }
 
@@ -201,15 +313,15 @@ impl IncrementalEngine {
     /// Shared by [`with_options`](Self::with_options) and the sharded
     /// wrapper (which must enable sharding before the first batch).
     pub(crate) fn seed_facts(&mut self, prog: &Program) -> Result<BatchStats> {
-        let deltas: Vec<TupleDelta> = prog
+        let deltas: Vec<RelDelta> = prog
             .facts
             .iter()
             .map(|f| {
                 let tuple = f.const_tuple().expect("facts are ground (parser-enforced)");
-                TupleDelta::insert(f.pred.clone(), tuple)
+                RelDelta::insert(self.storage.rel_id(&f.pred), tuple)
             })
             .collect();
-        let outcome = self.apply(&deltas)?;
+        let outcome = self.apply_interned(&deltas)?;
         self.init_stats = outcome.stats;
         Ok(outcome.stats)
     }
@@ -222,16 +334,17 @@ impl IncrementalEngine {
         // group-restricted aggregation probe with the head pre-bound;
         // registering those patterns elsewhere would add index maintenance
         // with no reader.
-        let recursive_heads: BTreeSet<&str> = plans
+        let recursive_heads: BTreeSet<RelId> = plans
             .iter()
             .filter(|p| p.recursive)
-            .flat_map(|p| p.plain.iter().map(|r| r.head.pred.as_str()))
+            .flat_map(|p| p.plain.iter().map(|r| r.head))
             .collect();
-        let mut storage = RelationStorage::new();
+        let mut storage = RelationStorage::with_symbols(analysis.symbols.clone());
         let empty = BTreeSet::new();
         for rule in &analysis.rules {
             register_rule_indexes(&mut storage, rule, &empty);
-            if rule.head.has_agg() || recursive_heads.contains(rule.head.pred.as_str()) {
+            let head_id = analysis.symbols.lookup(&rule.head.pred);
+            if rule.head.has_agg() || head_id.is_some_and(|h| recursive_heads.contains(&h)) {
                 let prebind: BTreeSet<String> = rule
                     .head
                     .args
@@ -273,6 +386,18 @@ impl IncrementalEngine {
         &self.analysis
     }
 
+    /// The engine's symbol table (dense ids for every program relation).
+    pub fn symbols(&self) -> &Symbols {
+        self.storage.symbols()
+    }
+
+    /// Intern `pred` in the engine's store (a no-op hash lookup for every
+    /// program predicate).  Lets id-native callers pre-translate external
+    /// schedules that may mention relations the program never derives.
+    pub fn rel_id(&mut self, pred: &str) -> RelId {
+        self.storage.rel_id(pred)
+    }
+
     /// Enter distributed mode as node `me`: derived tuples homed at another
     /// node are support-tracked and reported in batch outcomes (so the
     /// runtime can ship assertions and retractions) but stay invisible to
@@ -293,7 +418,7 @@ impl IncrementalEngine {
     }
 
     /// Is the tuple currently visible?
-    pub fn contains(&self, pred: &str, tuple: &Tuple) -> bool {
+    pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
         self.storage.contains(pred, tuple)
     }
 
@@ -309,28 +434,64 @@ impl IncrementalEngine {
 
     /// Apply one batch of external deltas and maintain every stratum.
     ///
+    /// The name-keyed convenience wrapper around
+    /// [`apply_interned`](Self::apply_interned): predicates are interned on
+    /// the way in and net changes are rendered back to names (sorted by
+    /// name) on the way out.
+    ///
     /// Errors leave the engine in an unspecified state (the caller should
     /// discard it), matching the from-scratch evaluator's contract.
     pub fn apply(&mut self, deltas: &[TupleDelta]) -> Result<BatchOutcome> {
+        let interned: Vec<RelDelta> = deltas
+            .iter()
+            .map(|d| RelDelta {
+                rel: self.storage.rel_id(&d.pred),
+                tuple: SharedTuple::from_slice(&d.tuple),
+                delta: d.delta,
+            })
+            .collect();
+        let out = self.apply_interned(&interned)?;
+        let symbols = self.storage.symbols();
+        let mut changes: Vec<TupleDelta> = out
+            .changes
+            .into_iter()
+            .map(|c| TupleDelta {
+                pred: symbols.name(c.rel).to_string(),
+                tuple: c.tuple.to_tuple(),
+                delta: c.delta,
+            })
+            .collect();
+        changes.sort();
+        Ok(BatchOutcome {
+            changes,
+            stats: out.stats,
+        })
+    }
+
+    /// Apply one batch of **interned** external deltas and maintain every
+    /// stratum — the hot-path form of [`apply`](Self::apply): no name is
+    /// interned, compared, or rendered, and the returned changes share
+    /// tuple handles with the store.
+    ///
+    /// The ids must come from this engine's [`symbols`](Self::symbols)
+    /// table (or that of the prototype it was cloned from).
+    pub fn apply_interned(&mut self, deltas: &[RelDelta]) -> Result<InternedOutcome> {
         let mut stats = BatchStats::default();
         // Retractions that empty a tuple's external support while a derived
         // flag keeps it visible leave no visibility mark, but DRed strata
         // must still overdelete them: the flag may rest on a derivation
         // cycle through the tuple itself.
-        let mut edb_losses: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+        let mut edb_losses: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
         for d in deltas {
-            let had_edb = self.storage.edb_count(&d.pred, &d.tuple) > 0;
-            let change = self.storage.add_edb(&d.pred, &d.tuple, d.delta);
+            let had_edb = self.storage.edb_count_id(d.rel, &d.tuple) > 0;
+            let change = self.storage.add_edb_id(d.rel, &d.tuple, d.delta);
             if d.delta < 0
                 && had_edb
                 && change == VisibilityChange::Unchanged
-                && self.storage.edb_count(&d.pred, &d.tuple) == 0
-                && self.storage.contains(&d.pred, &d.tuple)
+                && self.storage.edb_count_id(d.rel, &d.tuple) == 0
+                && self.storage.contains_id(d.rel, &d.tuple)
             {
-                edb_losses
-                    .entry(d.pred.clone())
-                    .or_default()
-                    .insert(d.tuple.clone());
+                edb_losses.entry(d.rel).or_default().insert(d.tuple.clone());
             }
         }
         let router = self.sharding.as_deref();
@@ -361,16 +522,16 @@ impl IncrementalEngine {
                 });
             }
         }
-        let mut changes: Vec<TupleDelta> = self
+        let mut changes: Vec<RelDelta> = self
             .storage
             .take_changes()
             .into_iter()
-            .map(|(pred, tuple, delta)| TupleDelta { pred, tuple, delta })
+            .map(|(rel, tuple, delta)| RelDelta { rel, tuple, delta })
             .collect();
         changes.sort();
         stats.inserted = changes.iter().filter(|c| c.delta > 0).count();
         stats.deleted = changes.iter().filter(|c| c.delta < 0).count();
-        Ok(BatchOutcome { changes, stats })
+        Ok(InternedOutcome { changes, stats })
     }
 }
 
@@ -434,26 +595,21 @@ fn build_plans(analysis: &Analysis) -> Vec<StratumPlan> {
                 if analysis.stratum_of.get(&r.head.pred).copied().unwrap_or(0) != s {
                     continue;
                 }
+                let compiled = CompiledRule::compile(r.clone(), &analysis.symbols);
                 if r.head.has_agg() {
-                    aggs.push((i, r.clone()));
+                    aggs.push((i, compiled));
                 } else {
-                    plain.push(r.clone());
+                    plain.push(compiled);
                 }
             }
-            let head_preds: BTreeSet<String> = plain.iter().map(|r| r.head.pred.clone()).collect();
+            let head_preds: BTreeSet<RelId> = plain.iter().map(|r| r.head).collect();
             let mut body_preds = BTreeSet::new();
             let mut neg_preds = BTreeSet::new();
             for r in &plain {
-                for l in &r.body {
-                    match l {
-                        Literal::Pos(a) => {
-                            body_preds.insert(a.pred.clone());
-                        }
-                        Literal::Neg(a) => {
-                            body_preds.insert(a.pred.clone());
-                            neg_preds.insert(a.pred.clone());
-                        }
-                        _ => {}
+                for (_, rel, negated) in r.delta_positions() {
+                    body_preds.insert(rel);
+                    if negated {
+                        neg_preds.insert(rel);
                     }
                 }
             }
@@ -472,35 +628,25 @@ fn build_plans(analysis: &Analysis) -> Vec<StratumPlan> {
 /// Do the plain head predicates of a stratum depend on each other cyclically
 /// (through positive body atoms)?  Aggregate heads cannot participate:
 /// stratification forces their bodies strictly lower.
-fn heads_form_cycle(plain: &[Rule], head_preds: &BTreeSet<String>) -> bool {
-    let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+fn heads_form_cycle(plain: &[CompiledRule], head_preds: &BTreeSet<RelId>) -> bool {
+    let mut edges: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
     for r in plain {
-        for l in &r.body {
-            if let Literal::Pos(a) = l {
-                if head_preds.contains(&a.pred) {
-                    edges
-                        .entry(a.pred.as_str())
-                        .or_default()
-                        .insert(r.head.pred.as_str());
-                }
+        for (_, rel, negated) in r.delta_positions() {
+            if !negated && head_preds.contains(&rel) {
+                edges.entry(rel).or_default().insert(r.head);
             }
         }
     }
     // DFS from every node looking for a path back to itself.
-    for start in head_preds {
-        let mut stack: Vec<&str> = edges
-            .get(start.as_str())
-            .into_iter()
-            .flatten()
-            .copied()
-            .collect();
-        let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &start in head_preds {
+        let mut stack: Vec<RelId> = edges.get(&start).into_iter().flatten().copied().collect();
+        let mut seen: BTreeSet<RelId> = BTreeSet::new();
         while let Some(v) = stack.pop() {
             if v == start {
                 return true;
             }
             if seen.insert(v) {
-                stack.extend(edges.get(v).into_iter().flatten().copied());
+                stack.extend(edges.get(&v).into_iter().flatten().copied());
             }
         }
     }
@@ -515,12 +661,14 @@ fn heads_form_cycle(plain: &[Rule], head_preds: &BTreeSet<String>) -> bool {
 struct DeltaCtx<'a> {
     storage: &'a RelationStorage,
     body: &'a [Literal],
+    /// The interned id of each body atom (aligned with `body`).
+    body_rels: &'a [Option<RelId>],
     /// Evaluation order over body positions.  When the delta literal is a
     /// positive atom it is evaluated *first* — binding its variables so the
     /// remaining literals become index probes instead of leading scans.
     seq: &'a [usize],
     delta_at: Option<usize>,
-    delta: Option<&'a BTreeMap<Tuple, i64>>,
+    delta: Option<&'a BTreeMap<SharedTuple, i64>>,
     /// Multiplier applied to every delta entry's sign (`-1` when the delta
     /// literal is negated: the negation sees changes inverted).  Borrowing
     /// plus a multiplier avoids cloning the delta map per rule × position.
@@ -577,6 +725,7 @@ fn eval_body_delta(
     let minus = ctx.minus_for(pos);
     match &ctx.body[pos] {
         Literal::Pos(atom) => {
+            let rel = ctx.body_rels[pos].expect("positive atom has id");
             if ctx.delta_at == Some(pos) {
                 for (tuple, s) in ctx.delta.expect("delta map at delta position") {
                     let mut env2 = env.clone();
@@ -605,7 +754,7 @@ fn eval_body_delta(
                     }
                 }
             }
-            for tuple in ctx.storage.matches_adjusted(&atom.pred, &cols, &key, minus) {
+            for tuple in ctx.storage.matches_adjusted_id(rel, &cols, &key, minus) {
                 let mut env2 = env.clone();
                 if match_atom(atom, tuple, &mut env2)
                     && !eval_body_delta(ctx, k + 1, &env2, sign, sink)?
@@ -616,6 +765,7 @@ fn eval_body_delta(
             Ok(true)
         }
         Literal::Neg(atom) => {
+            let rel = ctx.body_rels[pos].expect("negated atom has id");
             let mut probe = Vec::with_capacity(atom.args.len());
             for t in &atom.args {
                 match t {
@@ -628,11 +778,15 @@ fn eval_body_delta(
                 }
             }
             if ctx.delta_at == Some(pos) {
-                match ctx.delta.expect("delta map at delta position").get(&probe) {
+                match ctx
+                    .delta
+                    .expect("delta map at delta position")
+                    .get(&probe[..])
+                {
                     Some(s) => eval_body_delta(ctx, k + 1, env, sign * s * ctx.delta_sign, sink),
                     None => Ok(true),
                 }
-            } else if !ctx.storage.contains_adjusted(&atom.pred, &probe, minus) {
+            } else if !ctx.storage.contains_adjusted_id(rel, &probe, minus) {
                 eval_body_delta(ctx, k + 1, env, sign, sink)
             } else {
                 Ok(true)
@@ -660,16 +814,6 @@ fn eval_body_delta(
             }
         }
     }
-}
-
-/// Delta positions of a rule body for which the caller holds changes:
-/// `(position, pred, negated)`.
-fn delta_positions(rule: &Rule) -> impl Iterator<Item = (usize, &str, bool)> {
-    rule.body.iter().enumerate().filter_map(|(i, l)| match l {
-        Literal::Pos(a) => Some((i, a.pred.as_str(), false)),
-        Literal::Neg(a) => Some((i, a.pred.as_str(), true)),
-        _ => None,
-    })
 }
 
 // ---------------------------------------------------------------------
@@ -703,7 +847,7 @@ fn recompute_aggs(
                     router.map_or(0, |r| r.shard_of_key(key))
                 });
                 let frozen: &RelationStorage = storage;
-                let partials = fan_out(shards, &|k| {
+                let partials = fan_out(router.map(ShardRouter::pool), shards, &|k| {
                     let mut outs: Vec<(Tuple, Option<Tuple>)> = Vec::new();
                     let mut local = BatchStats::default();
                     for key in &chunks[k] {
@@ -725,10 +869,10 @@ fn recompute_aggs(
                     };
                     if new_out != old_out {
                         if let Some(t) = &old_out {
-                            storage.add_derived(&rule.head.pred, t, -1);
+                            storage.add_derived_id(rule.head, t, -1);
                         }
                         if let Some(t) = &new_out {
-                            storage.add_derived(&rule.head.pred, t, 1);
+                            storage.add_derived_id(rule.head, t, 1);
                         }
                     }
                 }
@@ -738,12 +882,12 @@ fn recompute_aggs(
                 let prev = agg_prev.insert(*ri, outputs.clone()).unwrap_or_default();
                 for (key, t) in &outputs {
                     if prev.get(key) != Some(t) {
-                        storage.add_derived(&rule.head.pred, t, 1);
+                        storage.add_derived_id(rule.head, t, 1);
                     }
                 }
                 for (key, t) in &prev {
                     if outputs.get(key) != Some(t) {
-                        storage.add_derived(&rule.head.pred, t, -1);
+                        storage.add_derived_id(rule.head, t, -1);
                     }
                 }
             }
@@ -757,14 +901,13 @@ fn recompute_aggs(
 /// full recompute (first run, or a changed atom does not determine the key).
 fn affected_group_keys(
     storage: &RelationStorage,
-    rule: &Rule,
+    rule: &CompiledRule,
     have_prev: bool,
 ) -> Option<BTreeSet<Tuple>> {
-    use crate::ast::HeadArg;
     if !have_prev {
         return None;
     }
-    let head = &rule.head;
+    let head = &rule.rule.head;
     let group_vars: BTreeSet<&str> = head
         .args
         .iter()
@@ -774,40 +917,38 @@ fn affected_group_keys(
         })
         .collect();
     let mut keys = BTreeSet::new();
-    for (_, pred, _) in delta_positions(rule) {
-        let (app, dis) = storage.batch_marks(pred);
+    for (pos, rel, _) in rule.delta_positions() {
+        let (app, dis) = storage.batch_marks_id(rel);
         if app.is_empty() && dis.is_empty() {
             continue;
         }
-        // Every atom occurrence of this predicate must bind the full key.
-        for atom in rule
-            .pos_atoms()
-            .chain(rule.neg_atoms())
-            .filter(|a| a.pred == pred)
-        {
-            let mut atom_vars = BTreeSet::new();
-            atom.vars(&mut atom_vars);
-            if !group_vars.iter().all(|v| atom_vars.contains(*v)) {
-                return None;
+        let atom = match &rule.rule.body[pos] {
+            Literal::Pos(a) | Literal::Neg(a) => a,
+            _ => unreachable!("delta positions are atoms"),
+        };
+        // Every changed atom occurrence must bind the full key.
+        let mut atom_vars = BTreeSet::new();
+        atom.vars(&mut atom_vars);
+        if !group_vars.iter().all(|v| atom_vars.contains(*v)) {
+            return None;
+        }
+        for t in app.iter().chain(dis.iter()) {
+            let mut env = Env::new();
+            if !match_atom(atom, t, &mut env) {
+                continue;
             }
-            for t in app.iter().chain(dis.iter()) {
-                let mut env = Env::new();
-                if !match_atom(atom, t, &mut env) {
-                    continue;
+            let mut key = Vec::new();
+            for a in &head.args {
+                match a {
+                    HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
+                    HeadArg::Term(Term::Var(v)) => match env.get(v) {
+                        Some(val) => key.push(val.clone()),
+                        None => return None,
+                    },
+                    HeadArg::Agg(..) => {}
                 }
-                let mut key = Vec::new();
-                for a in &head.args {
-                    match a {
-                        HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
-                        HeadArg::Term(Term::Var(v)) => match env.get(v) {
-                            Some(val) => key.push(val.clone()),
-                            None => return None,
-                        },
-                        HeadArg::Agg(..) => {}
-                    }
-                }
-                keys.insert(key);
             }
+            keys.insert(key);
         }
     }
     Some(keys)
@@ -817,12 +958,11 @@ fn affected_group_keys(
 /// to one group key, returning `group key → output tuple`.
 fn eval_agg_groups(
     storage: &RelationStorage,
-    rule: &Rule,
+    rule: &CompiledRule,
     restrict: Option<&Tuple>,
     stats: &mut BatchStats,
 ) -> Result<BTreeMap<Tuple, Tuple>> {
-    use crate::ast::HeadArg;
-    let head = &rule.head;
+    let head = &rule.rule.head;
     let n_aggs = head
         .args
         .iter()
@@ -887,10 +1027,11 @@ fn eval_agg_groups(
         }
         Ok(true)
     };
-    let seq: Vec<usize> = (0..rule.body.len()).collect();
+    let seq: Vec<usize> = (0..rule.rule.body.len()).collect();
     let ctx = DeltaCtx {
         storage,
-        body: &rule.body,
+        body: &rule.rule.body,
+        body_rels: &rule.body_rels,
         seq: &seq,
         delta_at: None,
         delta: None,
@@ -953,7 +1094,7 @@ fn maintain_counting(
 ) -> Result<()> {
     // Round 0: the batch's net visibility changes of every body predicate
     // (lower strata are final; head predicates may have external changes).
-    let mut vis_delta: SignedDeltas = storage.batch_deltas_for(&plan.body_preds);
+    let mut vis_delta: SignedDeltas = storage.batch_deltas_for(plan.body_preds.iter().copied());
     let mut round = 0usize;
     while !vis_delta.is_empty() {
         round += 1;
@@ -970,25 +1111,27 @@ fn maintain_counting(
         let parts = partition_round(&vis_delta, router, &mut owned);
         let frozen: &RelationStorage = storage;
         let vis_ref = &vis_delta;
-        let partials = fan_out(parts.len(), &|k| {
-            let mut head_net: BTreeMap<(String, Tuple), i64> = BTreeMap::new();
+        let partials = fan_out(router.map(ShardRouter::pool), parts.len(), &|k| {
+            let mut head_net: BTreeMap<(RelId, Tuple), i64> = BTreeMap::new();
             let mut derivations = 0usize;
             for rule in &plan.plain {
-                for (pos, pred, negated) in delta_positions(rule) {
-                    let Some(dm) = parts[k].get(pred) else {
+                for (pos, rel, negated) in rule.delta_positions() {
+                    let Some(dm) = parts[k].get(&rel) else {
                         continue;
                     };
-                    let head = &rule.head;
+                    let head_rel = rule.head;
+                    let head = &rule.rule.head;
                     let mut sink = |env: &Env, sign: i64| -> Result<bool> {
                         derivations += 1;
                         let t = instantiate_head(head, env)?;
-                        *head_net.entry((head.pred.clone(), t)).or_insert(0) += sign;
+                        *head_net.entry((head_rel, t)).or_insert(0) += sign;
                         Ok(true)
                     };
-                    let seq = delta_seq(&rule.body, pos);
+                    let seq = delta_seq(&rule.rule.body, pos);
                     let ctx = DeltaCtx {
                         storage: frozen,
-                        body: &rule.body,
+                        body: &rule.rule.body,
+                        body_rels: &rule.body_rels,
                         seq: &seq,
                         delta_at: Some(pos),
                         delta: Some(dm),
@@ -1001,7 +1144,7 @@ fn maintain_counting(
             }
             Ok((head_net, derivations))
         })?;
-        let mut head_net: BTreeMap<(String, Tuple), i64> = BTreeMap::new();
+        let mut head_net: BTreeMap<(RelId, Tuple), i64> = BTreeMap::new();
         for (partial, derivations) in partials {
             stats.derivations += derivations;
             for (key, v) in partial {
@@ -1014,22 +1157,28 @@ fn maintain_counting(
             if k == 0 {
                 continue;
             }
-            let change = storage.add_derived(&p, &t, k);
-            if storage.derived_count(&p, &t) < 0 {
+            let change = storage.add_derived_id(p, &t, k);
+            if storage.derived_count_id(p, &t) < 0 {
+                // Cold error path: rendering the name here costs nothing in
+                // the hot loop and is the only locating information the
+                // caller gets.
                 return Err(NdlogError::Eval {
-                    msg: format!("negative support for {p} tuple (counting invariant broken)"),
+                    msg: format!(
+                        "negative support for {} tuple (counting invariant broken)",
+                        storage.symbols().name(p)
+                    ),
                 });
             }
             // Export-side tuples never join locally: report, don't propagate.
-            if storage.is_exported(&p, &t) {
+            if storage.is_exported_id(p, &t) {
                 continue;
             }
             match change {
                 VisibilityChange::Appeared => {
-                    next.entry(p).or_default().insert(t, 1);
+                    next.entry(p).or_default().insert(SharedTuple::from(t), 1);
                 }
                 VisibilityChange::Disappeared => {
-                    next.entry(p).or_default().insert(t, -1);
+                    next.entry(p).or_default().insert(SharedTuple::from(t), -1);
                 }
                 VisibilityChange::Unchanged => {}
             }
@@ -1044,7 +1193,8 @@ fn maintain_counting(
 // ---------------------------------------------------------------------
 
 /// A set of tuples as a unit-signed delta map (what [`DeltaCtx`] consumes).
-fn marks_map(set: &BTreeSet<Tuple>) -> BTreeMap<Tuple, i64> {
+/// Shares the tuple handles (reference-count bumps only).
+fn marks_map(set: &BTreeSet<SharedTuple>) -> BTreeMap<SharedTuple, i64> {
     set.iter().map(|t| (t.clone(), 1)).collect()
 }
 
@@ -1053,24 +1203,25 @@ fn maintain_dred(
     plan: &StratumPlan,
     opts: &EvalOptions,
     router: Option<&ShardRouter>,
-    edb_losses: &BTreeMap<String, BTreeSet<Tuple>>,
+    edb_losses: &BTreeMap<RelId, BTreeSet<SharedTuple>>,
     stats: &mut BatchStats,
 ) -> Result<()> {
     // Old view for overdeletion: the pre-batch database.
-    let batch_adjust: SignedDeltas = storage.batch_deltas_for(&plan.body_preds);
-    let head_preds: BTreeSet<&str> = plan.plain.iter().map(|r| r.head.pred.as_str()).collect();
+    let batch_adjust: SignedDeltas = storage.batch_deltas_for(plan.body_preds.iter().copied());
+    let head_preds: BTreeSet<RelId> = plan.plain.iter().map(|r| r.head).collect();
+    let pool = router.map(ShardRouter::pool);
 
     // --- Phase A: overdelete against the old database. ------------------
-    let mut candidates: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
-    let mut dying: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
-    let mut rising_neg: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
-    for p in &plan.body_preds {
-        let (app, dis) = storage.batch_marks(p);
+    let mut candidates: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
+    let mut dying: SignedDeltas = BTreeMap::new();
+    let mut rising_neg: SignedDeltas = BTreeMap::new();
+    for &p in &plan.body_preds {
+        let (app, dis) = storage.batch_marks_id(p);
         if !dis.is_empty() {
-            dying.insert(p.clone(), marks_map(dis));
+            dying.insert(p, marks_map(dis));
         }
-        if plan.neg_preds.contains(p) && !app.is_empty() {
-            rising_neg.insert(p.clone(), marks_map(app));
+        if plan.neg_preds.contains(&p) && !app.is_empty() {
+            rising_neg.insert(p, marks_map(app));
         }
     }
     // Head tuples whose *external* support vanished while a derived flag
@@ -1078,14 +1229,14 @@ fn maintain_dred(
     // derivation cycle through the tuple itself, which only the
     // delete-then-rederive pass can detect (rederivation runs with the
     // candidate removed, so self-support does not count).
-    for (p, ts) in edb_losses {
-        if !head_preds.contains(p.as_str()) {
+    for (&p, ts) in edb_losses {
+        if !head_preds.contains(&p) {
             continue;
         }
         for t in ts {
-            if storage.edb_count(p, t) == 0 && storage.derived_count(p, t) > 0 {
-                candidates.entry(p.clone()).or_default().insert(t.clone());
-                dying.entry(p.clone()).or_default().insert(t.clone(), 1);
+            if storage.edb_count_id(p, t) == 0 && storage.derived_count_id(p, t) > 0 {
+                candidates.entry(p).or_default().insert(t.clone());
+                dying.entry(p).or_default().insert(t.clone(), 1);
             }
         }
     }
@@ -1109,38 +1260,43 @@ fn maintain_dred(
         let frozen: &RelationStorage = storage;
         let cand_ref = &candidates;
         let adjust_ref = &batch_adjust;
-        let partials = fan_out(dy_parts.len().max(rn_parts.len()), &|k| {
-            let mut new_cands: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+        let partials = fan_out(pool, dy_parts.len().max(rn_parts.len()), &|k| {
+            let mut new_cands: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
             let mut derivations = 0usize;
             for rule in &plan.plain {
-                for (pos, pred, negated) in delta_positions(rule) {
+                for (pos, rel, negated) in rule.delta_positions() {
                     let dmap = if negated {
-                        rn_parts.get(k).and_then(|p| p.get(pred))
+                        rn_parts.get(k).and_then(|p| p.get(&rel))
                     } else {
-                        dy_parts.get(k).and_then(|p| p.get(pred))
+                        dy_parts.get(k).and_then(|p| p.get(&rel))
                     };
                     let Some(dmap) = dmap else { continue };
-                    let head = &rule.head;
+                    let head_rel = rule.head;
+                    let head = &rule.rule.head;
                     let mut sink = |env: &Env, _sign: i64| -> Result<bool> {
                         derivations += 1;
                         let t = instantiate_head(head, env)?;
                         let seen = cand_ref
-                            .get(&head.pred)
-                            .map(|s| s.contains(&t))
+                            .get(&head_rel)
+                            .map(|s| s.contains(&t[..]))
                             .unwrap_or(false)
                             || new_cands
-                                .get(&head.pred)
-                                .map(|s| s.contains(&t))
+                                .get(&head_rel)
+                                .map(|s| s.contains(&t[..]))
                                 .unwrap_or(false);
-                        if !seen && frozen.derived_count(&head.pred, &t) > 0 {
-                            new_cands.entry(head.pred.clone()).or_default().insert(t);
+                        if !seen && frozen.derived_count_id(head_rel, &t) > 0 {
+                            new_cands
+                                .entry(head_rel)
+                                .or_default()
+                                .insert(SharedTuple::from(t));
                         }
                         Ok(true)
                     };
-                    let seq = delta_seq(&rule.body, pos);
+                    let seq = delta_seq(&rule.rule.body, pos);
                     let ctx = DeltaCtx {
                         storage: frozen,
-                        body: &rule.body,
+                        body: &rule.rule.body,
+                        body_rels: &rule.body_rels,
                         seq: &seq,
                         delta_at: Some(pos),
                         delta: Some(dmap),
@@ -1154,7 +1310,7 @@ fn maintain_dred(
             }
             Ok((new_cands, derivations))
         })?;
-        let mut new_cands: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+        let mut new_cands: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
         for (partial, derivations) in partials {
             stats.derivations += derivations;
             for (p, ts) in partial {
@@ -1166,42 +1322,39 @@ fn maintain_dred(
         // sustaining downstream firings).
         dying = BTreeMap::new();
         rising_neg = BTreeMap::new();
-        for (p, ts) in &new_cands {
+        for (&p, ts) in &new_cands {
             // Deletions propagate through tuples that will actually lose
             // visibility; export-side tuples never joined locally at all.
-            let will_die: BTreeMap<Tuple, i64> = ts
+            let will_die: BTreeMap<SharedTuple, i64> = ts
                 .iter()
-                .filter(|t| storage.edb_count(p, t) == 0 && !storage.is_exported(p, t))
+                .filter(|t| storage.edb_count_id(p, t) == 0 && !storage.is_exported_id(p, t))
                 .map(|t| (t.clone(), 1))
                 .collect();
             if !will_die.is_empty() {
-                dying.insert(p.clone(), will_die);
+                dying.insert(p, will_die);
             }
-            candidates
-                .entry(p.clone())
-                .or_default()
-                .extend(ts.iter().cloned());
+            candidates.entry(p).or_default().extend(ts.iter().cloned());
         }
     }
-    for (p, ts) in &candidates {
+    for (&p, ts) in &candidates {
         for t in ts {
-            storage.set_derived_flag(p, t, false);
+            storage.set_derived_flag_id(p, t, false);
         }
     }
 
     // --- Phase B: rederive what has alternative support. -----------------
-    let mut remaining: Vec<(String, Tuple)> = candidates
+    let mut remaining: Vec<(RelId, SharedTuple)> = candidates
         .iter()
-        .flat_map(|(p, ts)| ts.iter().map(move |t| (p.clone(), t.clone())))
+        .flat_map(|(&p, ts)| ts.iter().map(move |t| (p, t.clone())))
         .collect();
     let shards = router.map_or(1, ShardRouter::shards);
     if shards <= 1 {
         loop {
             let mut progressed = false;
-            let mut still: Vec<(String, Tuple)> = Vec::new();
+            let mut still: Vec<(RelId, SharedTuple)> = Vec::new();
             for (p, t) in remaining {
-                if rederivable(storage, plan, &p, &t, stats)? {
-                    storage.set_derived_flag(&p, &t, true);
+                if rederivable(storage, plan, p, &t, stats)? {
+                    storage.set_derived_flag_id(p, &t, true);
                     progressed = true;
                 } else {
                     still.push((p, t));
@@ -1223,19 +1376,19 @@ fn maintain_dred(
         // round count may differ).
         let r = router.expect("shards > 1 implies a router");
         while !remaining.is_empty() {
-            let chunks = chunk_by(&remaining, shards, |(p, t)| r.shard_of(p, t));
+            let chunks = chunk_by(&remaining, shards, |(p, t)| r.shard_of_id(*p, t));
             let frozen: &RelationStorage = storage;
-            let partials = fan_out(shards, &|k| {
-                let mut found: Vec<(String, Tuple)> = Vec::new();
+            let partials = fan_out(pool, shards, &|k| {
+                let mut found: Vec<(RelId, SharedTuple)> = Vec::new();
                 let mut local = BatchStats::default();
                 for (p, t) in &chunks[k] {
-                    if rederivable(frozen, plan, p, t, &mut local)? {
-                        found.push((p.clone(), t.clone()));
+                    if rederivable(frozen, plan, *p, t, &mut local)? {
+                        found.push((*p, t.clone()));
                     }
                 }
                 Ok((found, local.derivations))
             })?;
-            let mut restored: BTreeSet<(String, Tuple)> = BTreeSet::new();
+            let mut restored: BTreeSet<(RelId, SharedTuple)> = BTreeSet::new();
             for (found, derivations) in partials {
                 stats.derivations += derivations;
                 restored.extend(found);
@@ -1244,7 +1397,7 @@ fn maintain_dred(
                 break;
             }
             for (p, t) in &restored {
-                storage.set_derived_flag(p, t, true);
+                storage.set_derived_flag_id(*p, t, true);
             }
             remaining.retain(|pt| !restored.contains(pt));
             if !remaining.is_empty() {
@@ -1254,15 +1407,15 @@ fn maintain_dred(
     }
 
     // --- Phase C: semi-naive insertion of the additions. -----------------
-    let mut rising: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
-    let mut falling_neg: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
-    for p in &plan.body_preds {
-        let (app, dis) = storage.batch_marks(p);
+    let mut rising: SignedDeltas = BTreeMap::new();
+    let mut falling_neg: SignedDeltas = BTreeMap::new();
+    for &p in &plan.body_preds {
+        let (app, dis) = storage.batch_marks_id(p);
         if !app.is_empty() {
-            rising.insert(p.clone(), marks_map(app));
+            rising.insert(p, marks_map(app));
         }
-        if plan.neg_preds.contains(p) && !dis.is_empty() {
-            falling_neg.insert(p.clone(), marks_map(dis));
+        if plan.neg_preds.contains(&p) && !dis.is_empty() {
+            falling_neg.insert(p, marks_map(dis));
         }
     }
     let mut round = 0usize;
@@ -1283,44 +1436,46 @@ fn maintain_dred(
         let mut fn_owned = Vec::new();
         let fn_parts = partition_round(&falling_neg, router, &mut fn_owned);
         let frozen: &RelationStorage = storage;
-        let partials = fan_out(ri_parts.len().max(fn_parts.len()), &|k| {
-            let mut new_rising: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
-            let mut exported_new: BTreeSet<(String, Tuple)> = BTreeSet::new();
+        let partials = fan_out(pool, ri_parts.len().max(fn_parts.len()), &|k| {
+            let mut new_rising: SignedDeltas = BTreeMap::new();
+            let mut exported_new: BTreeSet<(RelId, SharedTuple)> = BTreeSet::new();
             let mut derivations = 0usize;
             for rule in &plan.plain {
-                for (pos, pred, negated) in delta_positions(rule) {
+                for (pos, rel, negated) in rule.delta_positions() {
                     let dset = if negated {
-                        fn_parts.get(k).and_then(|p| p.get(pred))
+                        fn_parts.get(k).and_then(|p| p.get(&rel))
                     } else {
-                        ri_parts.get(k).and_then(|p| p.get(pred))
+                        ri_parts.get(k).and_then(|p| p.get(&rel))
                     };
                     let Some(dmap) = dset else { continue };
-                    let head = &rule.head;
+                    let head_rel = rule.head;
+                    let head = &rule.rule.head;
                     let mut sink = |env: &Env, _sign: i64| -> Result<bool> {
                         derivations += 1;
                         let t = instantiate_head(head, env)?;
-                        if frozen.derived_count(&head.pred, &t) == 0
+                        if frozen.derived_count_id(head_rel, &t) == 0
                             && !new_rising
-                                .get(&head.pred)
-                                .map(|s| s.contains_key(&t))
+                                .get(&head_rel)
+                                .map(|s| s.contains_key(&t[..]))
                                 .unwrap_or(false)
                         {
-                            if frozen.is_exported(&head.pred, &t) {
+                            if frozen.is_exported_id(head_rel, &t) {
                                 // Ship-only: flagged below, never propagated.
-                                exported_new.insert((head.pred.clone(), t));
+                                exported_new.insert((head_rel, SharedTuple::from(t)));
                             } else {
                                 new_rising
-                                    .entry(head.pred.clone())
+                                    .entry(head_rel)
                                     .or_default()
-                                    .insert(t, 1);
+                                    .insert(SharedTuple::from(t), 1);
                             }
                         }
                         Ok(true)
                     };
-                    let seq = delta_seq(&rule.body, pos);
+                    let seq = delta_seq(&rule.rule.body, pos);
                     let ctx = DeltaCtx {
                         storage: frozen,
-                        body: &rule.body,
+                        body: &rule.rule.body,
+                        body_rels: &rule.body_rels,
                         seq: &seq,
                         delta_at: Some(pos),
                         delta: Some(dmap),
@@ -1333,8 +1488,8 @@ fn maintain_dred(
             }
             Ok((new_rising, exported_new, derivations))
         })?;
-        let mut new_rising: BTreeMap<String, BTreeMap<Tuple, i64>> = BTreeMap::new();
-        let mut exported_new: BTreeSet<(String, Tuple)> = BTreeSet::new();
+        let mut new_rising: SignedDeltas = BTreeMap::new();
+        let mut exported_new: BTreeSet<(RelId, SharedTuple)> = BTreeSet::new();
         for (rising_part, exported_part, derivations) in partials {
             stats.derivations += derivations;
             for (p, ts) in rising_part {
@@ -1342,13 +1497,13 @@ fn maintain_dred(
             }
             exported_new.extend(exported_part);
         }
-        for (p, ts) in &new_rising {
+        for (&p, ts) in &new_rising {
             for t in ts.keys() {
-                storage.set_derived_flag(p, t, true);
+                storage.set_derived_flag_id(p, t, true);
             }
         }
         for (p, t) in &exported_new {
-            storage.set_derived_flag(p, t, true);
+            storage.set_derived_flag_id(*p, t, true);
         }
         if storage.total() + storage.exported_total() > opts.max_tuples {
             return Err(NdlogError::Eval {
@@ -1361,27 +1516,27 @@ fn maintain_dred(
     Ok(())
 }
 
-/// Does `tuple` of `pred` have a derivation over the current store?
+/// Does `tuple` of `rel` have a derivation over the current store?
 fn rederivable(
     storage: &RelationStorage,
     plan: &StratumPlan,
-    pred: &str,
-    tuple: &Tuple,
+    rel: RelId,
+    tuple: &SharedTuple,
     stats: &mut BatchStats,
 ) -> Result<bool> {
-    for rule in plan.plain.iter().filter(|r| r.head.pred == pred) {
+    for rule in plan.plain.iter().filter(|r| r.head == rel) {
         // Unify the ground tuple with the head to pre-bind variables.
         let mut env = Env::new();
         let mut ok = true;
-        for (arg, val) in rule.head.args.iter().zip(tuple.iter()) {
+        for (arg, val) in rule.rule.head.args.iter().zip(tuple.iter()) {
             match arg {
-                crate::ast::HeadArg::Term(Term::Const(c)) => {
+                HeadArg::Term(Term::Const(c)) => {
                     if c != val {
                         ok = false;
                         break;
                     }
                 }
-                crate::ast::HeadArg::Term(Term::Var(v)) => match env.get(v) {
+                HeadArg::Term(Term::Var(v)) => match env.get(v) {
                     Some(b) if b != val => {
                         ok = false;
                         break;
@@ -1391,7 +1546,7 @@ fn rederivable(
                         env.insert(v.clone(), val.clone());
                     }
                 },
-                crate::ast::HeadArg::Agg(..) => {
+                HeadArg::Agg(..) => {
                     ok = false;
                     break;
                 }
@@ -1406,10 +1561,11 @@ fn rederivable(
             found = true;
             Ok(false) // first derivation suffices
         };
-        let seq: Vec<usize> = (0..rule.body.len()).collect();
+        let seq: Vec<usize> = (0..rule.rule.body.len()).collect();
         let ctx = DeltaCtx {
             storage,
-            body: &rule.body,
+            body: &rule.rule.body,
+            body_rels: &rule.body_rels,
             seq: &seq,
             delta_at: None,
             delta: None,
@@ -1487,7 +1643,7 @@ mod tests {
         );
         // 3 can still reach everything through 0: rederivation must have
         // kept those tuples alive.
-        assert!(engine.contains("reachable", &vec![addr(3), addr(2)]));
+        assert!(engine.contains("reachable", &[addr(3), addr(2)]));
     }
 
     #[test]
@@ -1502,7 +1658,7 @@ mod tests {
             engine.database(),
             oracle(programs::REACHABILITY, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)])
         );
-        assert!(engine.contains("reachable", &vec![addr(0), addr(3)]));
+        assert!(engine.contains("reachable", &[addr(0), addr(3)]));
     }
 
     #[test]
@@ -1518,12 +1674,12 @@ mod tests {
             engine.database(),
             oracle(programs::PATH_VECTOR, &[(1, 2, 2), (0, 2, 9)])
         );
-        assert!(engine.contains("bestPathCost", &vec![addr(0), addr(2), Value::Int(9)]));
+        assert!(engine.contains("bestPathCost", &[addr(0), addr(2), Value::Int(9)]));
 
         // Up again: full recovery to the original fixpoint.
         engine.apply(&link_deltas(0, 1, 1, true)).unwrap();
         assert_eq!(engine.database(), oracle(programs::PATH_VECTOR, &edges));
-        assert!(engine.contains("bestPathCost", &vec![addr(0), addr(2), Value::Int(3)]));
+        assert!(engine.contains("bestPathCost", &[addr(0), addr(2), Value::Int(3)]));
     }
 
     #[test]
@@ -1664,21 +1820,21 @@ mod tests {
              edge(#0,#1).";
         let prog = parse_program(src).unwrap();
         let mut engine = IncrementalEngine::new(&prog).unwrap();
-        assert!(engine.contains("unreach", &vec![addr(0), addr(2)]));
+        assert!(engine.contains("unreach", &[addr(0), addr(2)]));
 
         // Inserting edge 1->2 makes (0,2) reachable: unreach must retract.
         engine
             .apply(&[TupleDelta::insert("edge", vec![addr(1), addr(2)])])
             .unwrap();
-        assert!(engine.contains("reach", &vec![addr(0), addr(2)]));
-        assert!(!engine.contains("unreach", &vec![addr(0), addr(2)]));
+        assert!(engine.contains("reach", &[addr(0), addr(2)]));
+        assert!(!engine.contains("unreach", &[addr(0), addr(2)]));
 
         // Deleting it flips both back.
         engine
             .apply(&[TupleDelta::remove("edge", vec![addr(1), addr(2)])])
             .unwrap();
-        assert!(!engine.contains("reach", &vec![addr(0), addr(2)]));
-        assert!(engine.contains("unreach", &vec![addr(0), addr(2)]));
+        assert!(!engine.contains("reach", &[addr(0), addr(2)]));
+        assert!(engine.contains("unreach", &[addr(0), addr(2)]));
     }
 
     #[test]
@@ -1785,6 +1941,61 @@ mod tests {
                 oracle(programs::REACHABILITY, &live),
                 "divergence after toggling edge {a}-{b}"
             );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // interned API
+    // ------------------------------------------------------------------
+
+    /// `apply_interned` is the same maintenance as `apply`, minus the name
+    /// translation: identical databases, stats, and (modulo rendering) net
+    /// changes.
+    #[test]
+    fn interned_apply_matches_name_keyed_apply() {
+        let edges = [(0, 1, 1), (1, 2, 2), (0, 2, 9)];
+        let mut prog = programs::path_vector();
+        programs::add_links(&mut prog, &edges);
+        let mut by_name = IncrementalEngine::new(&prog).unwrap();
+        let mut by_id = IncrementalEngine::new(&prog).unwrap();
+
+        let link = by_id.symbols().lookup("link").unwrap();
+        let batch_named = link_deltas(0, 1, 1, false);
+        let batch_interned: Vec<RelDelta> = link_tuples(0, 1, 1)
+            .into_iter()
+            .map(|t| RelDelta::remove(link, t))
+            .collect();
+
+        let named = by_name.apply(&batch_named).unwrap();
+        let interned = by_id.apply_interned(&batch_interned).unwrap();
+        assert_eq!(by_name.database(), by_id.database());
+        assert_eq!(named.stats, interned.stats);
+        // Rendering the interned changes reproduces the named ones.
+        let symbols = by_id.symbols();
+        let mut rendered: Vec<TupleDelta> = interned
+            .changes
+            .iter()
+            .map(|c| TupleDelta {
+                pred: symbols.name(c.rel).to_string(),
+                tuple: c.tuple.to_tuple(),
+                delta: c.delta,
+            })
+            .collect();
+        rendered.sort();
+        assert_eq!(named.changes, rendered);
+    }
+
+    /// Ids agree across engines built independently from the same program,
+    /// the property the distributed runtime relies on to ship raw ids.
+    #[test]
+    fn independently_built_engines_share_ids() {
+        let mut prog = programs::path_vector();
+        programs::add_links(&mut prog, &[(0, 1, 1)]);
+        let a = IncrementalEngine::new(&prog).unwrap();
+        let b = IncrementalEngine::new(&prog).unwrap();
+        for pred in ["link", "path", "bestPath", "bestPathCost"] {
+            assert_eq!(a.symbols().lookup(pred), b.symbols().lookup(pred), "{pred}");
+            assert!(a.symbols().lookup(pred).is_some());
         }
     }
 }

@@ -21,9 +21,13 @@
 //!   maintenance for non-recursive strata and DRed (delete–rederive) for
 //!   recursive strata, so topology churn is absorbed as tuple deltas instead
 //!   of epoch recomputation;
-//! * [`sharded`] — sharded parallel evaluation: a [`sharded::ShardRouter`]
-//!   partitions delta work across `std::thread` workers by join-key hash,
-//!   with per-round fixpoint barriers and order-insensitive merges keeping
+//! * [`symbols`] — the relation-name interner: dense [`symbols::RelId`]s
+//!   and shared tuples ([`value::SharedTuple`]) keep the join-probe /
+//!   support-update hot path free of `String` clones and deep tuple copies;
+//! * [`sharded`] / [`pool`] — sharded parallel evaluation: a
+//!   [`sharded::ShardRouter`] partitions delta work across the **persistent
+//!   worker threads** of a [`pool::ShardPool`] by join-key hash, with
+//!   per-round fixpoint barriers and order-insensitive merges keeping
 //!   results byte-identical to the single-threaded engines;
 //! * [`softstate`] — the §4.2 soft-state → hard-state rewrite with explicit
 //!   timestamps and lifetimes;
@@ -34,7 +38,10 @@
 //! Deterministic by construction: all relations are `BTreeSet`s, all maps
 //! `BTreeMap`s, and evaluation order is defined by the safety analysis.
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the scoped-job dispatch inside [`pool`] needs
+// a locally-audited `allow(unsafe_code)` (same pattern as `std::thread::scope`
+// internals); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
@@ -45,19 +52,25 @@ pub mod incremental;
 pub mod lexer;
 pub mod localize;
 pub mod parser;
+pub mod pool;
 pub mod programs;
 pub mod safety;
 pub mod sharded;
 pub mod softstate;
 pub mod storage;
+pub mod symbols;
 pub mod value;
 
 pub use ast::{Atom, Expr, Head, HeadArg, Literal, Program, Rule, Term};
 pub use error::{NdlogError, Result};
 pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator};
-pub use incremental::{BatchOutcome, BatchStats, IncrementalEngine, TupleDelta};
+pub use incremental::{
+    BatchOutcome, BatchStats, IncrementalEngine, InternedOutcome, RelDelta, TupleDelta,
+};
 pub use parser::{parse_program, parse_rule};
+pub use pool::ShardPool;
 pub use safety::{analyze, Analysis};
 pub use sharded::{ShardRouter, ShardedEngine};
 pub use storage::RelationStorage;
-pub use value::{Tuple, Value};
+pub use symbols::{RelId, Symbols};
+pub use value::{SharedTuple, Tuple, Value};

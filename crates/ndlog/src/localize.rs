@@ -45,6 +45,17 @@ impl LocalizedProgram {
             rules: self.rules.clone(),
         }
     }
+
+    /// Consume the rewrite into a `Program`, moving the rules instead of
+    /// cloning them (the runtime compiles each localized program exactly
+    /// once, so the clone in [`Self::to_program`] was pure overhead).
+    pub fn into_program(self) -> Program {
+        Program {
+            materializes: vec![],
+            facts: vec![],
+            rules: self.rules,
+        }
+    }
 }
 
 /// Check whether a rule body already sits at a single location.

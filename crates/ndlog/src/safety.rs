@@ -18,6 +18,7 @@
 use crate::ast::*;
 use crate::builtins::is_builtin;
 use crate::error::{NdlogError, Result};
+use crate::symbols::Symbols;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Result of the static analysis of a program.
@@ -34,6 +35,11 @@ pub struct Analysis {
     pub arity: BTreeMap<String, usize>,
     /// Location-specifier position of every predicate (if located).
     pub location: BTreeMap<String, Option<usize>>,
+    /// Every predicate of the program interned **in sorted name order**, so
+    /// dense [`crate::symbols::RelId`]s coincide with name order and agree
+    /// across independently-built engines over this analysis (the property
+    /// that lets stores, routers, and wire messages exchange raw ids).
+    pub symbols: Symbols,
 }
 
 impl Analysis {
@@ -259,12 +265,20 @@ pub fn analyze(prog: &Program) -> Result<Analysis> {
     }
     let num_strata = stratum_of.values().copied().max().unwrap_or(0) + 1;
 
+    // Intern every predicate in sorted name order (`arity` is a BTreeMap),
+    // pinning id order == name order for all program relations.
+    let mut symbols = Symbols::new();
+    for p in arity.keys() {
+        symbols.intern(p);
+    }
+
     Ok(Analysis {
         stratum_of,
         num_strata,
         rules,
         arity,
         location,
+        symbols,
     })
 }
 

@@ -8,16 +8,23 @@
 //! * a [`ShardRouter`] assigns every tuple to a shard by hashing the
 //!   relation's **join key** — the argument positions whose variables are
 //!   shared with other literals, extracted once from the rule analysis — and
-//!   falls back to a full-tuple hash for keyless relations;
+//!   falls back to a full-tuple hash for keyless relations.  Routing is
+//!   id-keyed: the router resolves each interned [`RelId`] to its key
+//!   columns through a dense table, no name lookup on the per-tuple path;
 //! * each round, the pending delta maps are partitioned by the router and
-//!   one worker per shard (a plain [`std::thread`] inside a scope) evaluates
-//!   every delta rule **driven only by its shard of the deltas**, joining
-//!   against the shared frozen store;
-//! * workers ship their partial results — signed head-tuple deltas,
-//!   overdeletion candidates, rederivation verdicts — back over
-//!   [`std::sync::mpsc`] channels, and the coordinator merges them *in shard
-//!   order* at a **global fixpoint barrier** before applying the round's net
-//!   changes and routing the next round's deltas.
+//!   one **persistent worker** per shard (a long-lived thread from the
+//!   router's [`ShardPool`], fed over a channel) evaluates every delta rule
+//!   **driven only by its shard of the deltas**, joining against the shared
+//!   frozen store;
+//! * workers write their partial results — signed head-tuple deltas,
+//!   overdeletion candidates, rederivation verdicts — into per-shard slots
+//!   and the coordinator merges them *in shard order* at a **global fixpoint
+//!   barrier** before applying the round's net changes and routing the next
+//!   round's deltas.
+//!
+//! The pool outlives rounds, batches, and engine clones (it is shared by
+//! `Arc` through the router), closing the former per-round
+//! `std::thread::scope` spawn cost on deep fixpoints; see [`crate::pool`].
 //!
 //! # Determinism
 //!
@@ -37,7 +44,7 @@
 //! The shard hash therefore never influences *results*, only load balance;
 //! property tests in `tests/` pin byte-identity against both the
 //! from-scratch evaluator and the incremental engine across randomized
-//! programs, topologies, and churn schedules (see `DESIGN.md` §7).
+//! programs, topologies, and churn schedules (see `DESIGN.md` §7 and §8).
 //!
 //! # Example
 //!
@@ -55,7 +62,7 @@
 //! assert!(engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
 //! // Byte-identical to single-threaded from-scratch evaluation:
 //! assert_eq!(engine.database(), eval_program(&prog).unwrap());
-//! // Churn maintains incrementally, still on 4 shards:
+//! // Churn maintains incrementally, still on the same 4 persistent workers:
 //! engine
 //!     .apply(&[TupleDelta::remove("edge", vec![Value::Int(2), Value::Int(3)])])
 //!     .unwrap();
@@ -66,15 +73,18 @@ use crate::ast::{Literal, Program, Term};
 use crate::error::Result;
 use crate::eval::{Database, EvalOptions};
 use crate::incremental::{BatchOutcome, BatchStats, IncrementalEngine, TupleDelta};
+use crate::pool::ShardPool;
 use crate::safety::{analyze, Analysis};
 use crate::storage::{RelationStorage, SignedDeltas};
-use crate::value::Tuple;
+use crate::symbols::{RelId, Symbols};
+use crate::value::Value;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 
-/// Assigns tuples to shards by hashing each relation's join key.
+/// Assigns tuples to shards by hashing each relation's join key, and owns
+/// the persistent worker pool the rounds run on.
 ///
 /// The join key of a relation is chosen once, from the static rule analysis:
 /// for every positive body atom, the argument positions whose variables also
@@ -89,17 +99,36 @@ use std::sync::{mpsc, Arc};
 #[derive(Debug, Clone)]
 pub struct ShardRouter {
     shards: usize,
-    keys: BTreeMap<String, Vec<usize>>,
+    /// Join-key columns per dense relation id (`None`/out-of-range → full
+    /// tuple hash).  Ids agree with every store built from the same
+    /// analysis (see [`crate::symbols`]).
+    key_cols: Vec<Option<Vec<usize>>>,
+    symbols: Symbols,
+    /// The persistent workers (`shards - 1` threads), shared across every
+    /// engine clone using this router.
+    pool: Arc<ShardPool>,
 }
 
 impl ShardRouter {
-    /// Build a router for `shards` shards over an analyzed program.
+    /// Build a router for `shards` shards over an analyzed program, spawning
+    /// the persistent worker pool (`shards - 1` threads; none for 1 shard).
     ///
     /// `shards` is clamped to at least 1.
     pub fn new(analysis: &Analysis, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let by_name = join_keys(analysis);
+        let symbols = analysis.symbols.clone();
+        let mut key_cols = vec![None; symbols.len()];
+        for (pred, cols) in by_name {
+            if let Some(id) = symbols.lookup(&pred) {
+                key_cols[id.index()] = Some(cols);
+            }
+        }
         ShardRouter {
-            shards: shards.max(1),
-            keys: join_keys(analysis),
+            shards,
+            key_cols,
+            symbols,
+            pool: Arc::new(ShardPool::new(shards - 1)),
         }
     }
 
@@ -108,19 +137,43 @@ impl ShardRouter {
         self.shards
     }
 
+    /// The persistent worker pool backing this router's rounds.
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
     /// The join-key column positions chosen for `pred`; empty means the
     /// full tuple is hashed.
     pub fn key_columns(&self, pred: &str) -> &[usize] {
-        self.keys.get(pred).map(Vec::as_slice).unwrap_or(&[])
+        self.symbols
+            .lookup(pred)
+            .and_then(|id| self.key_cols.get(id.index()))
+            .and_then(Option::as_deref)
+            .unwrap_or(&[])
     }
 
-    /// The shard that owns `tuple` of relation `pred`.
-    pub fn shard_of(&self, pred: &str, tuple: &Tuple) -> usize {
+    /// The shard that owns `tuple` of relation `pred` (name boundary form
+    /// of [`Self::shard_of_id`]).
+    pub fn shard_of(&self, pred: &str, tuple: &[Value]) -> usize {
+        match self.symbols.lookup(pred) {
+            Some(id) => self.shard_of_id(id, tuple),
+            None => self.shard_of_key(tuple),
+        }
+    }
+
+    /// The shard that owns `tuple` of the interned relation `rel` — the
+    /// per-tuple hot path: a dense table load plus a hash, no name lookup.
+    #[inline]
+    pub fn shard_of_id(&self, rel: RelId, tuple: &[Value]) -> usize {
         if self.shards <= 1 {
             return 0;
         }
         let mut h = DefaultHasher::new();
-        let cols = self.key_columns(pred);
+        let cols = self
+            .key_cols
+            .get(rel.index())
+            .and_then(Option::as_deref)
+            .unwrap_or(&[]);
         if cols.is_empty() || cols.iter().any(|&c| c >= tuple.len()) {
             tuple.hash(&mut h);
         } else {
@@ -133,7 +186,7 @@ impl ShardRouter {
 
     /// The shard that owns an opaque key tuple (full-tuple hash); used to
     /// spread aggregate group keys, which belong to no stored relation.
-    pub fn shard_of_key(&self, key: &Tuple) -> usize {
+    pub fn shard_of_key(&self, key: &[Value]) -> usize {
         if self.shards <= 1 {
             return 0;
         }
@@ -143,13 +196,15 @@ impl ShardRouter {
     }
 
     /// Split a signed delta map into per-shard delta maps; entry `k` holds
-    /// exactly the tuples [`Self::shard_of`] assigns to shard `k`.
+    /// exactly the tuples [`Self::shard_of_id`] assigns to shard `k`.  The
+    /// split shares tuple handles with the input (reference-count bumps,
+    /// no deep copies).
     pub fn partition(&self, deltas: &SignedDeltas) -> Vec<SignedDeltas> {
         let mut out = vec![SignedDeltas::new(); self.shards];
-        for (pred, m) in deltas {
+        for (&rel, m) in deltas {
             for (tuple, sign) in m {
-                out[self.shard_of(pred, tuple)]
-                    .entry(pred.clone())
+                out[self.shard_of_id(rel, tuple)]
+                    .entry(rel)
                     .or_default()
                     .insert(tuple.clone(), *sign);
             }
@@ -216,40 +271,21 @@ fn join_keys(analysis: &Analysis) -> BTreeMap<String, Vec<usize>> {
 /// Run `worker(k)` for every shard `k`, returning the results in shard
 /// order.
 ///
-/// Shard 0 runs on the calling thread (which doubles as the coordinator);
-/// shards `1..n` run on scoped [`std::thread`]s and report over an
-/// [`std::sync::mpsc`] channel.  The call returns only once every worker has
-/// reported — this is the round's fixpoint barrier.  Errors propagate in
-/// shard order, so the reported error is deterministic.
+/// With a pool, shard 0 runs on the calling thread (which doubles as the
+/// coordinator) and shards `1..n` run on the pool's persistent workers; the
+/// call returns only once every worker has reported — this is the round's
+/// fixpoint barrier.  Without a pool (single-threaded engines) the workers
+/// run inline.  Errors propagate in shard order, so the reported error is
+/// deterministic.
 pub(crate) fn fan_out<T: Send>(
+    pool: Option<&ShardPool>,
     shards: usize,
     worker: &(dyn Fn(usize) -> Result<T> + Sync),
 ) -> Result<Vec<T>> {
-    if shards <= 1 {
-        return Ok(vec![worker(0)?]);
+    match pool {
+        Some(pool) if shards > 1 => pool.run(shards, worker),
+        _ => (0..shards.max(1)).map(worker).collect(),
     }
-    let slots: Vec<Result<T>> = std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, Result<T>)>();
-        for k in 1..shards {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                let _ = tx.send((k, worker(k)));
-            });
-        }
-        drop(tx);
-        let r0 = worker(0);
-        let mut slots: Vec<Option<Result<T>>> =
-            std::iter::repeat_with(|| None).take(shards).collect();
-        slots[0] = Some(r0);
-        for (k, r) in rx {
-            slots[k] = Some(r);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every shard reports exactly once"))
-            .collect()
-    });
-    slots.into_iter().collect()
 }
 
 /// Split a list of work items into `shards` chunks by a caller-supplied
@@ -266,13 +302,14 @@ pub(crate) fn chunk_by<T: Clone>(
     out
 }
 
-/// An [`IncrementalEngine`] whose maintenance rounds run on N shard
-/// workers.
+/// An [`IncrementalEngine`] whose maintenance rounds run on N persistent
+/// shard workers.
 ///
 /// Construction computes the initial fixpoint of the program's ground facts
 /// (already sharded); [`apply`](Self::apply) consumes churn batches exactly
 /// like the single-threaded engine and produces byte-identical databases and
-/// outcomes for every shard count.
+/// outcomes for every shard count.  Clones share the router **and** its
+/// worker pool.
 #[derive(Debug, Clone)]
 pub struct ShardedEngine {
     engine: IncrementalEngine,
@@ -280,8 +317,9 @@ pub struct ShardedEngine {
 }
 
 impl ShardedEngine {
-    /// Analyze `prog`, build the shard router, and evaluate the ground
-    /// facts to a first fixpoint on `shards` workers.
+    /// Analyze `prog`, build the shard router (spawning the persistent
+    /// worker pool), and evaluate the ground facts to a first fixpoint on
+    /// `shards` workers.
     pub fn new(prog: &Program, shards: usize) -> Result<Self> {
         Self::with_options(prog, EvalOptions::default(), shards)
     }
@@ -322,7 +360,7 @@ impl ShardedEngine {
     }
 
     /// Is the tuple currently visible?
-    pub fn contains(&self, pred: &str, tuple: &Tuple) -> bool {
+    pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
         self.engine.contains(pred, tuple)
     }
 
@@ -349,7 +387,7 @@ mod tests {
     use crate::eval::eval_program;
     use crate::parser::parse_program;
     use crate::programs;
-    use crate::value::Value;
+    use crate::value::{SharedTuple, Value};
 
     #[test]
     fn join_keys_pick_shared_columns() {
@@ -371,6 +409,9 @@ mod tests {
         let s = router.shard_of("link", &t);
         assert!(s < 3);
         assert_eq!(s, router.shard_of("link", &t));
+        // The id path agrees with the name path.
+        let link = analysis.symbols.lookup("link").unwrap();
+        assert_eq!(s, router.shard_of_id(link, &t));
         // Unknown relations and short tuples fall back to full-tuple hash.
         let short = vec![Value::Int(1)];
         assert!(router.shard_of("nosuch", &short) < 3);
@@ -381,12 +422,13 @@ mod tests {
         let prog = programs::reachability();
         let analysis = analyze(&prog).unwrap();
         let router = ShardRouter::new(&analysis, 4);
+        let reachable = analysis.symbols.lookup("reachable").unwrap();
         let mut deltas = SignedDeltas::new();
         for i in 0..20i64 {
             deltas
-                .entry("reachable".into())
+                .entry(reachable)
                 .or_default()
-                .insert(vec![Value::Int(i), Value::Int(i + 1)], 1);
+                .insert(SharedTuple::from(vec![Value::Int(i), Value::Int(i + 1)]), 1);
         }
         let parts = router.partition(&deltas);
         assert_eq!(parts.len(), 4);
@@ -396,9 +438,10 @@ mod tests {
 
     #[test]
     fn fan_out_merges_in_shard_order_and_propagates_errors() {
-        let vals = fan_out(4, &|k| Ok(k * 10)).unwrap();
+        let pool = ShardPool::new(3);
+        let vals = fan_out(Some(&pool), 4, &|k| Ok(k * 10)).unwrap();
         assert_eq!(vals, vec![0, 10, 20, 30]);
-        let err = fan_out::<usize>(3, &|k| {
+        let err = fan_out::<usize>(Some(&pool), 3, &|k| {
             if k == 1 {
                 Err(crate::error::NdlogError::Eval { msg: "boom".into() })
             } else {
@@ -406,6 +449,8 @@ mod tests {
             }
         });
         assert!(err.is_err());
+        // Poolless fan-out runs inline with identical results.
+        assert_eq!(fan_out(None, 4, &|k| Ok(k * 10)).unwrap(), vals);
     }
 
     #[test]
@@ -469,5 +514,16 @@ mod tests {
         let got = sharded.apply(&batch).unwrap();
         assert_eq!(got.changes, want.changes);
         assert_eq!(sharded.database(), single.database());
+    }
+
+    #[test]
+    fn clones_share_one_persistent_pool() {
+        let prog = programs::reachability();
+        let mut p = prog.clone();
+        programs::add_links(&mut p, &[(0, 1, 1), (1, 2, 1)]);
+        let a = ShardedEngine::new(&p, 4).unwrap();
+        let b = a.clone();
+        assert!(std::ptr::eq(a.router().pool(), b.router().pool()));
+        assert_eq!(a.router().pool().workers(), 3);
     }
 }

@@ -13,19 +13,39 @@
 //!   visibility changes of the current maintenance batch, with automatic
 //!   cancellation (delete-then-rederive nets to no change).
 //!
+//! # Interned hot path
+//!
+//! Relations are named by dense [`RelId`]s from a per-store [`Symbols`]
+//! table and stored in a `Vec` indexed by id — the maintenance inner loops
+//! never touch a `String`.  Tuples are interned per store as
+//! [`SharedTuple`]s (`Arc<[Value]>`): the support-map key is the canonical
+//! handle and every index bucket, batch mark, and delta-map entry shares
+//! it, so the former deep `Vec<Value>` clone per index per transition is
+//! now a reference-count bump.  The `&str`-keyed methods remain as
+//! boundary conveniences and delegate to the `_id` forms.
+//!
 //! The delta sets double as *old-view adjustments*: evaluating a literal
 //! against "the database before this batch/round" is `current minus deltas`,
-//! which [`RelationStorage::matches_adjusted`] and
-//! [`RelationStorage::contains_adjusted`] compute without materializing a
+//! which [`RelationStorage::matches_adjusted_id`] and
+//! [`RelationStorage::contains_adjusted_id`] compute without materializing a
 //! second database.
+//!
+//! # Determinism
+//!
+//! Iteration that reaches observable output ([`RelationStorage::relations`],
+//! [`RelationStorage::take_changes`], [`RelationStorage::to_database`], the
+//! comparison key) walks relations in **name-sorted** order via
+//! [`Symbols::sorted`], byte-identical to the former
+//! `BTreeMap<String, _>` layout.
 
 use crate::eval::Database;
-use crate::value::{Tuple, Value};
+use crate::symbols::{RelId, Symbols};
+use crate::value::{SharedTuple, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// Signed net visibility changes per predicate: `+1` appeared, `-1`
+/// Signed net visibility changes per relation id: `+1` appeared, `-1`
 /// disappeared.  Used both as batch output and as old-view adjustment.
-pub type SignedDeltas = BTreeMap<String, BTreeMap<Tuple, i64>>;
+pub type SignedDeltas = BTreeMap<RelId, BTreeMap<SharedTuple, i64>>;
 
 /// How an update changed a tuple's visibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,22 +74,22 @@ impl Support {
 /// One stored relation: supports, indexes, and batch delta sets.
 #[derive(Debug, Clone, Default)]
 struct StoredRelation {
-    support: BTreeMap<Tuple, Support>,
+    support: BTreeMap<SharedTuple, Support>,
     /// Column set (sorted positions) → key values → visible tuples.
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, BTreeSet<Tuple>>>,
-    appeared: BTreeSet<Tuple>,
-    disappeared: BTreeSet<Tuple>,
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, BTreeSet<SharedTuple>>>,
+    appeared: BTreeSet<SharedTuple>,
+    disappeared: BTreeSet<SharedTuple>,
     /// Derived tuples homed at *another* node (distributed mode): support is
     /// tracked so retractions can be shipped, but they are invisible to
     /// local rule evaluation — localized rules must only ever join over
     /// tuples homed here, or partial remote views would leak into results.
-    exported_support: BTreeMap<Tuple, Support>,
-    exported_appeared: BTreeSet<Tuple>,
-    exported_disappeared: BTreeSet<Tuple>,
+    exported_support: BTreeMap<SharedTuple, Support>,
+    exported_appeared: BTreeSet<SharedTuple>,
+    exported_disappeared: BTreeSet<SharedTuple>,
 }
 
 impl StoredRelation {
-    fn index_add(&mut self, tuple: &Tuple) {
+    fn index_add(&mut self, tuple: &SharedTuple) {
         for (cols, map) in self.indexes.iter_mut() {
             if cols.iter().all(|&c| c < tuple.len()) {
                 let key: Vec<Value> = cols.iter().map(|&c| tuple[c].clone()).collect();
@@ -78,7 +98,7 @@ impl StoredRelation {
         }
     }
 
-    fn index_remove(&mut self, tuple: &Tuple) {
+    fn index_remove(&mut self, tuple: &SharedTuple) {
         for (cols, map) in self.indexes.iter_mut() {
             if cols.iter().all(|&c| c < tuple.len()) {
                 let key: Vec<Value> = cols.iter().map(|&c| tuple[c].clone()).collect();
@@ -96,19 +116,19 @@ impl StoredRelation {
 /// Record a visibility transition in a pair of batch delta sets, cancelling
 /// opposite transitions of the same tuple.
 fn mark_change(
-    appeared: &mut BTreeSet<Tuple>,
-    disappeared: &mut BTreeSet<Tuple>,
-    tuple: &Tuple,
+    appeared: &mut BTreeSet<SharedTuple>,
+    disappeared: &mut BTreeSet<SharedTuple>,
+    tuple: &SharedTuple,
     change: VisibilityChange,
 ) {
     match change {
         VisibilityChange::Appeared => {
-            if !disappeared.remove(tuple) {
+            if !disappeared.remove(tuple.values()) {
                 appeared.insert(tuple.clone());
             }
         }
         VisibilityChange::Disappeared => {
-            if !appeared.remove(tuple) {
+            if !appeared.remove(tuple.values()) {
                 disappeared.insert(tuple.clone());
             }
         }
@@ -136,44 +156,89 @@ fn mark_change(
 /// store.add_edb("edge", &e(1, 2), 1);
 /// store.add_edb("edge", &e(1, 2), -1);
 /// assert!(store.contains("edge", &e(1, 2)));
+/// // The hot path works in dense interned ids:
+/// let edge = store.symbols().lookup("edge").unwrap();
+/// assert!(store.contains_id(edge, &e(1, 2)));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RelationStorage {
-    rels: BTreeMap<String, StoredRelation>,
+    symbols: Symbols,
+    /// Indexed by [`RelId::index`]; always `symbols.len()` entries.
+    rels: Vec<StoredRelation>,
     visible_total: usize,
     exported_total: usize,
     /// Distributed mode: this node's address and the location-attribute
-    /// position of each located predicate.  Derived tuples homed elsewhere
-    /// go to the export side of the store.
+    /// position of each located predicate (indexed by id).  Derived tuples
+    /// homed elsewhere go to the export side of the store.
     home: Option<u32>,
-    export_loc: BTreeMap<String, usize>,
+    export_loc: Vec<Option<usize>>,
 }
 
 impl RelationStorage {
-    /// An empty store.
+    /// An empty store with an empty symbol table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store pre-seeded with an interned symbol table (the engine
+    /// path: every program predicate interned in sorted name order, so ids
+    /// agree across engines built from the same analysis).
+    pub fn with_symbols(symbols: Symbols) -> Self {
+        let n = symbols.len();
+        RelationStorage {
+            symbols,
+            rels: (0..n).map(|_| StoredRelation::default()).collect(),
+            visible_total: 0,
+            exported_total: 0,
+            home: None,
+            export_loc: vec![None; n],
+        }
+    }
+
+    /// The store's symbol table.
+    pub fn symbols(&self) -> &Symbols {
+        &self.symbols
+    }
+
+    /// Intern `pred`, growing the dense tables when it is new.
+    pub fn rel_id(&mut self, pred: &str) -> RelId {
+        let id = self.symbols.intern(pred);
+        while self.rels.len() < self.symbols.len() {
+            self.rels.push(StoredRelation::default());
+            self.export_loc.push(None);
+        }
+        id
+    }
+
+    fn rel(&self, id: RelId) -> &StoredRelation {
+        &self.rels[id.index()]
     }
 
     /// Register a hash index on `cols` (sorted argument positions) of
     /// `pred`.  Idempotent; an empty column set is ignored (that case is a
     /// full scan by definition).  Existing visible tuples are back-filled.
     pub fn register_index(&mut self, pred: &str, cols: &[usize]) {
+        let id = self.rel_id(pred);
+        self.register_index_id(id, cols);
+    }
+
+    /// Id form of [`Self::register_index`].
+    pub fn register_index_id(&mut self, rel: RelId, cols: &[usize]) {
         if cols.is_empty() {
             return;
         }
-        let rel = self.rels.entry(pred.to_string()).or_default();
-        if rel.indexes.contains_key(cols) {
+        let r = &mut self.rels[rel.index()];
+        if r.indexes.contains_key(cols) {
             return;
         }
-        let mut map: HashMap<Vec<Value>, BTreeSet<Tuple>> = HashMap::new();
-        for (t, s) in &rel.support {
+        let mut map: HashMap<Vec<Value>, BTreeSet<SharedTuple>> = HashMap::new();
+        for (t, s) in &r.support {
             if s.visible() && cols.iter().all(|&c| c < t.len()) {
                 let key: Vec<Value> = cols.iter().map(|&c| t[c].clone()).collect();
                 map.entry(key).or_default().insert(t.clone());
             }
         }
-        rel.indexes.insert(cols.to_vec(), map);
+        r.indexes.insert(cols.to_vec(), map);
     }
 
     /// Enter distributed mode: derived tuples whose location attribute is
@@ -182,17 +247,29 @@ impl RelationStorage {
     pub fn set_home(&mut self, me: u32, locations: &BTreeMap<String, Option<usize>>) {
         debug_assert_eq!(self.visible_total, 0, "set_home on a non-empty store");
         self.home = Some(me);
-        self.export_loc = locations
-            .iter()
-            .filter_map(|(p, l)| l.map(|i| (p.clone(), i)))
-            .collect();
+        for (p, l) in locations {
+            let id = self.rel_id(p);
+            self.export_loc[id.index()] = *l;
+        }
     }
 
     /// Would a derived tuple of this relation be export-only (homed at
     /// another node)?  Always false outside distributed mode.
-    pub fn is_exported(&self, pred: &str, tuple: &Tuple) -> bool {
-        match (self.home, self.export_loc.get(pred)) {
-            (Some(me), Some(&i)) => tuple
+    pub fn is_exported(&self, pred: &str, tuple: &[Value]) -> bool {
+        match self.symbols.lookup(pred) {
+            Some(id) => self.is_exported_id(id, tuple),
+            None => false,
+        }
+    }
+
+    /// Id form of [`Self::is_exported`].
+    #[inline]
+    pub fn is_exported_id(&self, rel: RelId, tuple: &[Value]) -> bool {
+        match (
+            self.home,
+            self.export_loc.get(rel.index()).copied().flatten(),
+        ) {
+            (Some(me), Some(i)) => tuple
                 .get(i)
                 .and_then(Value::as_addr)
                 .map(|a| a != me)
@@ -201,75 +278,74 @@ impl RelationStorage {
         }
     }
 
-    /// Look up a relation without allocating: clone the name into a map key
-    /// only when the relation is genuinely new.  `update_support` runs once
-    /// per rule firing in the maintenance inner loop, so the former
-    /// `entry(pred.to_string())` / `entry(tuple.clone())` pattern allocated a
-    /// `String` *and* a `Tuple` per support change; the get-first paths below
-    /// drop both on the (overwhelmingly common) existing-key case.
-    fn rel_mut<'a>(
-        rels: &'a mut BTreeMap<String, StoredRelation>,
-        pred: &str,
-    ) -> &'a mut StoredRelation {
-        if !rels.contains_key(pred) {
-            rels.insert(pred.to_string(), StoredRelation::default());
-        }
-        rels.get_mut(pred).expect("inserted above")
-    }
-
     /// Apply `f` to the support of `tuple` in `map`, inserting only on miss
     /// and removing the entry when both counts return to zero.  Returns the
-    /// visibility transition.
+    /// visibility transition plus the canonical shared handle of the tuple
+    /// when the transition needs one (marks/indexes); the common no-flip
+    /// case performs exactly one map lookup and **zero** allocations.
     fn apply_support(
-        map: &mut BTreeMap<Tuple, Support>,
-        tuple: &Tuple,
+        map: &mut BTreeMap<SharedTuple, Support>,
+        tuple: &[Value],
         f: impl FnOnce(&mut Support),
-    ) -> (bool, bool) {
+    ) -> (bool, bool, Option<SharedTuple>) {
         match map.get_mut(tuple) {
             Some(s) => {
                 let was = s.visible();
                 f(s);
                 let now = s.visible();
                 if s.edb == 0 && s.derived == 0 {
-                    map.remove(tuple);
+                    let (k, _) = map.remove_entry(tuple).expect("entry exists");
+                    (was, now, Some(k))
+                } else if was != now {
+                    let k = map.get_key_value(tuple).expect("entry exists").0.clone();
+                    (was, now, Some(k))
+                } else {
+                    (was, now, None)
                 }
-                (was, now)
             }
             None => {
                 let mut s = Support::default();
                 f(&mut s);
                 let now = s.visible();
                 if s.edb != 0 || s.derived != 0 {
-                    map.insert(tuple.clone(), s);
+                    let k = SharedTuple::from_slice(tuple);
+                    map.insert(k.clone(), s);
+                    (false, now, Some(k))
+                } else {
+                    (false, now, None)
                 }
-                (false, now)
             }
         }
     }
 
     fn update_support(
         &mut self,
-        pred: &str,
-        tuple: &Tuple,
+        rel: RelId,
+        tuple: &[Value],
         f: impl FnOnce(&mut Support),
     ) -> VisibilityChange {
-        let rel = Self::rel_mut(&mut self.rels, pred);
-        let (was, now) = Self::apply_support(&mut rel.support, tuple, f);
+        let r = &mut self.rels[rel.index()];
+        let (was, now, handle) = Self::apply_support(&mut r.support, tuple, f);
         let change = match (was, now) {
-            (false, true) => {
-                rel.index_add(tuple);
-                self.visible_total += 1;
-                VisibilityChange::Appeared
-            }
-            (true, false) => {
-                rel.index_remove(tuple);
-                self.visible_total -= 1;
-                VisibilityChange::Disappeared
-            }
+            (false, true) => VisibilityChange::Appeared,
+            (true, false) => VisibilityChange::Disappeared,
             _ => VisibilityChange::Unchanged,
         };
-        let rel = self.rels.get_mut(pred).expect("relation exists");
-        mark_change(&mut rel.appeared, &mut rel.disappeared, tuple, change);
+        if let Some(handle) = handle {
+            match change {
+                VisibilityChange::Appeared => {
+                    r.index_add(&handle);
+                    self.visible_total += 1;
+                }
+                VisibilityChange::Disappeared => {
+                    r.index_remove(&handle);
+                    self.visible_total -= 1;
+                }
+                VisibilityChange::Unchanged => {}
+            }
+            let r = &mut self.rels[rel.index()];
+            mark_change(&mut r.appeared, &mut r.disappeared, &handle, change);
+        }
         change
     }
 
@@ -277,12 +353,12 @@ impl RelationStorage {
     /// own batch delta sets.
     fn update_exported(
         &mut self,
-        pred: &str,
-        tuple: &Tuple,
+        rel: RelId,
+        tuple: &[Value],
         f: impl FnOnce(&mut Support),
     ) -> VisibilityChange {
-        let rel = Self::rel_mut(&mut self.rels, pred);
-        let (was, now) = Self::apply_support(&mut rel.exported_support, tuple, f);
+        let r = &mut self.rels[rel.index()];
+        let (was, now, handle) = Self::apply_support(&mut r.exported_support, tuple, f);
         let change = match (was, now) {
             (false, true) => {
                 self.exported_total += 1;
@@ -294,95 +370,164 @@ impl RelationStorage {
             }
             _ => VisibilityChange::Unchanged,
         };
-        let rel = self.rels.get_mut(pred).expect("relation exists");
-        mark_change(
-            &mut rel.exported_appeared,
-            &mut rel.exported_disappeared,
-            tuple,
-            change,
-        );
+        if let Some(handle) = handle {
+            let r = &mut self.rels[rel.index()];
+            mark_change(
+                &mut r.exported_appeared,
+                &mut r.exported_disappeared,
+                &handle,
+                change,
+            );
+        }
         change
     }
 
     /// Adjust a tuple's external (EDB) multiplicity by `k` (clamped at 0).
-    pub fn add_edb(&mut self, pred: &str, tuple: &Tuple, k: i64) -> VisibilityChange {
-        self.update_support(pred, tuple, |s| s.edb = (s.edb + k).max(0))
+    pub fn add_edb(&mut self, pred: &str, tuple: &[Value], k: i64) -> VisibilityChange {
+        let id = self.rel_id(pred);
+        self.add_edb_id(id, tuple, k)
+    }
+
+    /// Id form of [`Self::add_edb`].
+    pub fn add_edb_id(&mut self, rel: RelId, tuple: &[Value], k: i64) -> VisibilityChange {
+        self.update_support(rel, tuple, |s| s.edb = (s.edb + k).max(0))
     }
 
     /// Adjust a tuple's derived support count by `k` (counting strata).
-    pub fn add_derived(&mut self, pred: &str, tuple: &Tuple, k: i64) -> VisibilityChange {
-        if self.is_exported(pred, tuple) {
-            self.update_exported(pred, tuple, |s| s.derived += k)
+    pub fn add_derived(&mut self, pred: &str, tuple: &[Value], k: i64) -> VisibilityChange {
+        let id = self.rel_id(pred);
+        self.add_derived_id(id, tuple, k)
+    }
+
+    /// Id form of [`Self::add_derived`].
+    pub fn add_derived_id(&mut self, rel: RelId, tuple: &[Value], k: i64) -> VisibilityChange {
+        if self.is_exported_id(rel, tuple) {
+            self.update_exported(rel, tuple, |s| s.derived += k)
         } else {
-            self.update_support(pred, tuple, |s| s.derived += k)
+            self.update_support(rel, tuple, |s| s.derived += k)
         }
     }
 
     /// Set or clear the derived 0/1 flag (DRed strata).
-    pub fn set_derived_flag(&mut self, pred: &str, tuple: &Tuple, on: bool) -> VisibilityChange {
-        if self.is_exported(pred, tuple) {
-            self.update_exported(pred, tuple, |s| s.derived = i64::from(on))
+    pub fn set_derived_flag(&mut self, pred: &str, tuple: &[Value], on: bool) -> VisibilityChange {
+        let id = self.rel_id(pred);
+        self.set_derived_flag_id(id, tuple, on)
+    }
+
+    /// Id form of [`Self::set_derived_flag`].
+    pub fn set_derived_flag_id(
+        &mut self,
+        rel: RelId,
+        tuple: &[Value],
+        on: bool,
+    ) -> VisibilityChange {
+        if self.is_exported_id(rel, tuple) {
+            self.update_exported(rel, tuple, |s| s.derived = i64::from(on))
         } else {
-            self.update_support(pred, tuple, |s| s.derived = i64::from(on))
+            self.update_support(rel, tuple, |s| s.derived = i64::from(on))
         }
     }
 
     /// Derived support count of a tuple (0 when absent).
-    pub fn derived_count(&self, pred: &str, tuple: &Tuple) -> i64 {
-        let rel = self.rels.get(pred);
-        let side = if self.is_exported(pred, tuple) {
-            rel.and_then(|r| r.exported_support.get(tuple))
+    pub fn derived_count(&self, pred: &str, tuple: &[Value]) -> i64 {
+        self.symbols
+            .lookup(pred)
+            .map(|id| self.derived_count_id(id, tuple))
+            .unwrap_or(0)
+    }
+
+    /// Id form of [`Self::derived_count`].
+    pub fn derived_count_id(&self, rel: RelId, tuple: &[Value]) -> i64 {
+        let r = self.rel(rel);
+        let side = if self.is_exported_id(rel, tuple) {
+            r.exported_support.get(tuple)
         } else {
-            rel.and_then(|r| r.support.get(tuple))
+            r.support.get(tuple)
         };
         side.map(|s| s.derived).unwrap_or(0)
     }
 
     /// Export-side tuples of a relation with positive support (distributed
     /// mode: what this node has derived for other owners).
-    pub fn exported(&self, pred: &str) -> impl Iterator<Item = &Tuple> {
-        self.rels.get(pred).into_iter().flat_map(|r| {
-            r.exported_support
-                .iter()
-                .filter(|(_, s)| s.visible())
-                .map(|(t, _)| t)
-        })
+    pub fn exported(&self, pred: &str) -> impl Iterator<Item = &SharedTuple> {
+        self.symbols
+            .lookup(pred)
+            .into_iter()
+            .flat_map(|id| self.exported_id(id))
+    }
+
+    /// Id form of [`Self::exported`].
+    pub fn exported_id(&self, rel: RelId) -> impl Iterator<Item = &SharedTuple> {
+        self.rel(rel)
+            .exported_support
+            .iter()
+            .filter(|(_, s)| s.visible())
+            .map(|(t, _)| t)
     }
 
     /// External multiplicity of a tuple (0 when absent).
-    pub fn edb_count(&self, pred: &str, tuple: &Tuple) -> i64 {
-        self.rels
-            .get(pred)
-            .and_then(|r| r.support.get(tuple))
-            .map(|s| s.edb)
+    pub fn edb_count(&self, pred: &str, tuple: &[Value]) -> i64 {
+        self.symbols
+            .lookup(pred)
+            .map(|id| self.edb_count_id(id, tuple))
             .unwrap_or(0)
     }
 
+    /// Id form of [`Self::edb_count`].
+    pub fn edb_count_id(&self, rel: RelId, tuple: &[Value]) -> i64 {
+        self.rel(rel).support.get(tuple).map(|s| s.edb).unwrap_or(0)
+    }
+
     /// Is the tuple visible?
-    pub fn contains(&self, pred: &str, tuple: &Tuple) -> bool {
-        self.rels
-            .get(pred)
-            .and_then(|r| r.support.get(tuple))
+    pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
+        self.symbols
+            .lookup(pred)
+            .map(|id| self.contains_id(id, tuple))
+            .unwrap_or(false)
+    }
+
+    /// Id form of [`Self::contains`].
+    #[inline]
+    pub fn contains_id(&self, rel: RelId, tuple: &[Value]) -> bool {
+        self.rel(rel)
+            .support
+            .get(tuple)
             .map(|s| s.visible())
             .unwrap_or(false)
     }
 
     /// Visible tuples of a relation, in deterministic order.
-    pub fn visible(&self, pred: &str) -> impl Iterator<Item = &Tuple> {
-        self.rels.get(pred).into_iter().flat_map(|r| {
-            r.support
-                .iter()
-                .filter(|(_, s)| s.visible())
-                .map(|(t, _)| t)
-        })
+    pub fn visible(&self, pred: &str) -> impl Iterator<Item = &SharedTuple> {
+        self.symbols
+            .lookup(pred)
+            .into_iter()
+            .flat_map(|id| self.visible_id(id))
     }
 
-    /// Number of visible tuples in a relation.
+    /// Id form of [`Self::visible`].
+    pub fn visible_id(&self, rel: RelId) -> impl Iterator<Item = &SharedTuple> {
+        self.rel(rel)
+            .support
+            .iter()
+            .filter(|(_, s)| s.visible())
+            .map(|(t, _)| t)
+    }
+
+    /// Number of visible tuples of a relation.
     pub fn len_of(&self, pred: &str) -> usize {
-        self.rels
-            .get(pred)
-            .map(|r| r.support.values().filter(|s| s.visible()).count())
+        self.symbols
+            .lookup(pred)
+            .map(|id| self.len_of_id(id))
             .unwrap_or(0)
+    }
+
+    /// Id form of [`Self::len_of`].
+    pub fn len_of_id(&self, rel: RelId) -> usize {
+        self.rel(rel)
+            .support
+            .values()
+            .filter(|s| s.visible())
+            .count()
     }
 
     /// Total visible tuples across relations (export side excluded).
@@ -397,9 +542,22 @@ impl RelationStorage {
         self.exported_total
     }
 
-    /// All relation names with any recorded state.
+    /// All **interned** relation names, in name-sorted order.  Unlike the
+    /// former `BTreeMap`-keyed layout, this includes program relations that
+    /// currently hold no tuples (stores built from an analysis pre-intern
+    /// the full predicate set); filter with [`Self::len_of`] if "has
+    /// recorded state" matters.
     pub fn relations(&self) -> impl Iterator<Item = &str> {
-        self.rels.keys().map(String::as_str)
+        self.symbols
+            .sorted()
+            .iter()
+            .map(|&id| self.symbols.name(id))
+    }
+
+    /// All interned relation ids, in name-sorted order (see
+    /// [`Self::relations`] — possibly-empty relations included).
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.symbols.sorted().iter().copied()
     }
 
     /// Is the tuple visible in the *adjusted* view `current minus deltas`?
@@ -409,13 +567,26 @@ impl RelationStorage {
     pub fn contains_adjusted(
         &self,
         pred: &str,
-        tuple: &Tuple,
+        tuple: &[Value],
         minus: Option<&SignedDeltas>,
     ) -> bool {
-        if let Some(d) = minus.and_then(|m| m.get(pred)).and_then(|dm| dm.get(tuple)) {
+        match self.symbols.lookup(pred) {
+            Some(id) => self.contains_adjusted_id(id, tuple, minus),
+            None => false,
+        }
+    }
+
+    /// Id form of [`Self::contains_adjusted`].
+    pub fn contains_adjusted_id(
+        &self,
+        rel: RelId,
+        tuple: &[Value],
+        minus: Option<&SignedDeltas>,
+    ) -> bool {
+        if let Some(d) = minus.and_then(|m| m.get(&rel)).and_then(|dm| dm.get(tuple)) {
             return *d < 0;
         }
-        self.contains(pred, tuple)
+        self.contains_id(rel, tuple)
     }
 
     /// Visible tuples of `pred` whose values at `cols` equal `key`, in the
@@ -427,34 +598,63 @@ impl RelationStorage {
         cols: &[usize],
         key: &[Value],
         minus: Option<&'a SignedDeltas>,
-    ) -> Vec<&'a Tuple> {
-        let dm = minus.and_then(|m| m.get(pred));
-        let mut out: Vec<&Tuple> = Vec::new();
-        if let Some(rel) = self.rels.get(pred) {
-            let from_index = (!cols.is_empty())
-                .then(|| rel.indexes.get(cols))
-                .flatten()
-                .map(|ix| ix.get(key));
-            match from_index {
-                Some(bucket) => {
-                    for t in bucket.into_iter().flatten() {
-                        if dm.and_then(|d| d.get(t)).copied().unwrap_or(0) <= 0 {
-                            out.push(t);
-                        }
+    ) -> Vec<&'a SharedTuple> {
+        match self.symbols.lookup(pred) {
+            Some(id) => self.matches_adjusted_id(id, cols, key, minus),
+            None => Vec::new(),
+        }
+    }
+
+    /// Id form of [`Self::matches_adjusted`].
+    pub fn matches_adjusted_id<'a>(
+        &'a self,
+        rel: RelId,
+        cols: &[usize],
+        key: &[Value],
+        minus: Option<&'a SignedDeltas>,
+    ) -> Vec<&'a SharedTuple> {
+        let mut out = Vec::new();
+        self.matches_adjusted_id_into(rel, cols, key, minus, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Self::matches_adjusted_id`]: appends the
+    /// matches to a caller-owned (reusable) buffer.  With a warm buffer the
+    /// probe itself performs no heap allocation at all — what EXP-11
+    /// measures.
+    pub fn matches_adjusted_id_into<'a>(
+        &'a self,
+        rel: RelId,
+        cols: &[usize],
+        key: &[Value],
+        minus: Option<&'a SignedDeltas>,
+        out: &mut Vec<&'a SharedTuple>,
+    ) {
+        let dm = minus.and_then(|m| m.get(&rel));
+        let r = self.rel(rel);
+        let from_index = (!cols.is_empty())
+            .then(|| r.indexes.get(cols))
+            .flatten()
+            .map(|ix| ix.get(key));
+        match from_index {
+            Some(bucket) => {
+                for t in bucket.into_iter().flatten() {
+                    if dm.and_then(|d| d.get(t.values())).copied().unwrap_or(0) <= 0 {
+                        out.push(t);
                     }
                 }
-                None => {
-                    // No index registered for this column set: filter a scan.
-                    for (t, s) in &rel.support {
-                        if s.visible()
-                            && cols
-                                .iter()
-                                .enumerate()
-                                .all(|(i, &c)| t.get(c) == key.get(i))
-                            && dm.and_then(|d| d.get(t)).copied().unwrap_or(0) <= 0
-                        {
-                            out.push(t);
-                        }
+            }
+            None => {
+                // No index registered for this column set: filter a scan.
+                for (t, s) in &r.support {
+                    if s.visible()
+                        && cols
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &c)| t.get(c) == key.get(i))
+                        && dm.and_then(|d| d.get(t.values())).copied().unwrap_or(0) <= 0
+                    {
+                        out.push(t);
                     }
                 }
             }
@@ -468,18 +668,21 @@ impl RelationStorage {
         if let Some(d) = dm {
             let is_prefix = !cols.is_empty() && cols.iter().enumerate().all(|(i, &c)| c == i);
             if is_prefix {
-                for (t, sign) in d.range(key.to_vec()..) {
+                for (t, sign) in d.range::<[Value], _>((
+                    std::ops::Bound::Included(key),
+                    std::ops::Bound::Unbounded,
+                )) {
                     if t.get(..key.len()) != Some(key) {
                         break;
                     }
-                    if *sign < 0 && !self.contains(pred, t) {
+                    if *sign < 0 && !self.contains_id(rel, t) {
                         out.push(t);
                     }
                 }
             } else {
                 for (t, sign) in d {
                     if *sign < 0
-                        && !self.contains(pred, t)
+                        && !self.contains_id(rel, t)
                         && cols
                             .iter()
                             .enumerate()
@@ -490,37 +693,40 @@ impl RelationStorage {
                 }
             }
         }
-        out
     }
 
     /// The net visibility changes recorded for one relation this batch.
-    pub fn batch_marks(&self, pred: &str) -> (&BTreeSet<Tuple>, &BTreeSet<Tuple>) {
-        static EMPTY: BTreeSet<Tuple> = BTreeSet::new();
-        match self.rels.get(pred) {
-            Some(r) => (&r.appeared, &r.disappeared),
+    pub fn batch_marks(&self, pred: &str) -> (&BTreeSet<SharedTuple>, &BTreeSet<SharedTuple>) {
+        static EMPTY: BTreeSet<SharedTuple> = BTreeSet::new();
+        match self.symbols.lookup(pred) {
+            Some(id) => self.batch_marks_id(id),
             None => (&EMPTY, &EMPTY),
         }
+    }
+
+    /// Id form of [`Self::batch_marks`].
+    pub fn batch_marks_id(&self, rel: RelId) -> (&BTreeSet<SharedTuple>, &BTreeSet<SharedTuple>) {
+        let r = self.rel(rel);
+        (&r.appeared, &r.disappeared)
     }
 
     /// Net visibility changes of all relations, as a signed delta map
     /// (`+1` appeared, `-1` disappeared).  Does not clear the marks.
     pub fn batch_deltas(&self) -> SignedDeltas {
-        self.batch_deltas_for(self.rels.keys())
+        self.batch_deltas_for(self.relation_ids())
     }
 
-    /// Like [`Self::batch_deltas`], restricted to `preds` (what a stratum's
-    /// maintenance reads for its body predicates).
-    pub fn batch_deltas_for<'a>(
-        &self,
-        preds: impl IntoIterator<Item = &'a String>,
-    ) -> SignedDeltas {
+    /// Like [`Self::batch_deltas`], restricted to `rels` (what a stratum's
+    /// maintenance reads for its body predicates).  Entries share the
+    /// canonical tuple handles — no tuple is deep-copied.
+    pub fn batch_deltas_for(&self, rels: impl IntoIterator<Item = RelId>) -> SignedDeltas {
         let mut out = SignedDeltas::new();
-        for p in preds {
-            let Some(r) = self.rels.get(p) else { continue };
+        for id in rels {
+            let r = self.rel(id);
             if r.appeared.is_empty() && r.disappeared.is_empty() {
                 continue;
             }
-            let m = out.entry(p.clone()).or_default();
+            let m = out.entry(id).or_default();
             for t in &r.appeared {
                 m.insert(t.clone(), 1);
             }
@@ -532,21 +738,24 @@ impl RelationStorage {
     }
 
     /// Drain the batch delta sets (local *and* export side), returning
-    /// `(pred, tuple, ±1)` records.
-    pub fn take_changes(&mut self) -> Vec<(String, Tuple, i64)> {
+    /// `(rel, tuple, ±1)` records in name-sorted relation order.  The
+    /// tuples are the canonical shared handles — no name or tuple is
+    /// cloned; callers translate ids to names only at true boundaries.
+    pub fn take_changes(&mut self) -> Vec<(RelId, SharedTuple, i64)> {
         let mut out = Vec::new();
-        for (p, r) in self.rels.iter_mut() {
+        for &id in self.symbols.sorted() {
+            let r = &mut self.rels[id.index()];
             for t in std::mem::take(&mut r.appeared) {
-                out.push((p.clone(), t, 1));
+                out.push((id, t, 1));
             }
             for t in std::mem::take(&mut r.disappeared) {
-                out.push((p.clone(), t, -1));
+                out.push((id, t, -1));
             }
             for t in std::mem::take(&mut r.exported_appeared) {
-                out.push((p.clone(), t, 1));
+                out.push((id, t, 1));
             }
             for t in std::mem::take(&mut r.exported_disappeared) {
-                out.push((p.clone(), t, -1));
+                out.push((id, t, -1));
             }
         }
         out
@@ -555,10 +764,11 @@ impl RelationStorage {
     /// Materialize the visible database (for comparison and external reads).
     pub fn to_database(&self) -> Database {
         let mut db = Database::new();
-        for (p, r) in &self.rels {
-            for (t, s) in &r.support {
+        for &id in self.symbols.sorted() {
+            let name = self.symbols.name(id);
+            for (t, s) in &self.rels[id.index()].support {
                 if s.visible() {
-                    db.insert(p.clone(), t.clone());
+                    db.insert(name.to_string(), t.to_tuple());
                 }
             }
         }
@@ -587,21 +797,26 @@ impl Ord for RelationStorage {
 }
 
 impl RelationStorage {
-    /// Canonical comparison view: support maps only (indexes are derived
-    /// data; batch marks are transient and empty between batches).
+    /// Canonical comparison view: support maps only, in name order (indexes
+    /// are derived data; batch marks are transient and empty between
+    /// batches; intern order is an execution detail).
     #[allow(clippy::type_complexity)]
     fn cmp_key(
         &self,
     ) -> impl Iterator<
         Item = (
-            &String,
-            &BTreeMap<Tuple, Support>,
-            &BTreeMap<Tuple, Support>,
+            &str,
+            &BTreeMap<SharedTuple, Support>,
+            &BTreeMap<SharedTuple, Support>,
         ),
     > {
-        self.rels
+        self.symbols
+            .sorted()
             .iter()
-            .map(|(p, r)| (p, &r.support, &r.exported_support))
+            .map(|&id| {
+                let r = self.rel(id);
+                (self.symbols.name(id), &r.support, &r.exported_support)
+            })
             .filter(|(_, s, e)| !s.is_empty() || !e.is_empty())
     }
 }
@@ -609,7 +824,7 @@ impl RelationStorage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Value;
+    use crate::value::{Tuple, Value};
 
     fn t(vals: &[i64]) -> Tuple {
         vals.iter().map(|&v| Value::Int(v)).collect()
@@ -640,8 +855,9 @@ mod tests {
             "net-zero change leaves no mark"
         );
         s.add_edb("p", &t(&[2]), 1);
+        let p = s.symbols().lookup("p").unwrap();
         let changes = s.take_changes();
-        assert_eq!(changes, vec![("p".to_string(), t(&[2]), 1)]);
+        assert_eq!(changes, vec![(p, SharedTuple::from(t(&[2])), 1)]);
         assert!(s.take_changes().is_empty());
     }
 
@@ -684,15 +900,18 @@ mod tests {
         assert!(s.contains_adjusted("e", &t(&[1, 2]), Some(&deltas)));
         assert!(!s.contains_adjusted("e", &t(&[1, 3]), Some(&deltas)));
         let old = s.matches_adjusted("e", &[0], &[Value::Int(1)], Some(&deltas));
-        assert_eq!(old, vec![&t(&[1, 2])]);
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].values(), &t(&[1, 2])[..]);
     }
 
     #[test]
-    fn ordering_ignores_indexes() {
+    fn ordering_ignores_indexes_and_intern_order() {
         let mut a = RelationStorage::new();
         let mut b = RelationStorage::new();
         a.register_index("p", &[0]);
         a.add_edb("p", &t(&[1]), 1);
+        // b interns q before p: different ids, same canonical state.
+        b.rel_id("q");
         b.add_edb("p", &t(&[1]), 1);
         assert_eq!(a, b);
         b.add_derived("p", &t(&[1]), 1);
@@ -708,5 +927,18 @@ mod tests {
         let db = s.to_database();
         assert_eq!(db.len_of("p"), 1);
         assert!(db.contains("p", &t(&[1])));
+    }
+
+    #[test]
+    fn shared_handles_are_reused_across_indexes_and_marks() {
+        let mut s = RelationStorage::new();
+        s.register_index("e", &[0]);
+        s.add_edb("e", &t(&[1, 2]), 1);
+        let e = s.symbols().lookup("e").unwrap();
+        // The index bucket and the support key share one allocation.
+        let hits = s.matches_adjusted_id(e, &[0], &[Value::Int(1)], None);
+        assert_eq!(hits.len(), 1);
+        let from_support = s.visible_id(e).next().unwrap();
+        assert_eq!(hits[0], from_support);
     }
 }

@@ -1,0 +1,171 @@
+//! Relation-name interning: dense [`RelId`]s for the evaluation hot path.
+//!
+//! Every store, plan, and delta map used to be keyed by owned `String`
+//! relation names — a heap compare (and frequently a clone) per join probe,
+//! support update, and delta merge.  [`Symbols`] interns each relation name
+//! exactly once and hands out a dense [`RelId`], so the hot path indexes
+//! `Vec`s and compares `u32`s; names survive as shared `Arc<str>`s for the
+//! boundaries (tracing, [`crate::eval::Database`] views, wire messages).
+//!
+//! # Determinism
+//!
+//! Byte-identity tests pin name-sorted iteration order, so [`Symbols`]
+//! maintains a name-sorted id list ([`Symbols::sorted`]) updated on intern.
+//! Engines additionally intern the full predicate set of a program **in
+//! sorted name order** at analysis time (see [`crate::safety::analyze`]),
+//! which makes id order coincide with name order for every program
+//! predicate — and makes the ids of independently-built engines over the
+//! same program agree, the property the distributed runtime relies on to
+//! ship raw `RelId`s between nodes cloned from one prototype.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense interned relation identifier (index into per-store `Vec`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// The smallest id; useful as a range bound.
+    pub const ZERO: RelId = RelId(0);
+
+    /// The dense index this id names.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from a dense index (caller promises it came from the
+    /// same [`Symbols`] table).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        RelId(u32::try_from(i).expect("relation count fits in u32"))
+    }
+}
+
+/// An interning symbol table mapping relation names to dense [`RelId`]s.
+///
+/// # Example
+///
+/// ```
+/// use ndlog::symbols::Symbols;
+///
+/// let mut syms = Symbols::new();
+/// let link = syms.intern("link");
+/// assert_eq!(syms.intern("link"), link); // idempotent
+/// assert_eq!(syms.name(link), "link");
+/// let best = syms.intern("bestPath");
+/// // Deterministic name-sorted iteration regardless of intern order:
+/// let names: Vec<&str> = syms.sorted().iter().map(|&id| syms.name(id)).collect();
+/// assert_eq!(names, ["bestPath", "link"]);
+/// assert!(best != link);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Symbols {
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, RelId>,
+    /// All ids, sorted by name (maintained on intern).
+    sorted: Vec<RelId>,
+}
+
+impl Symbols {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned relations.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern `name`, returning its stable dense id.  Existing names are a
+    /// single hash lookup; new names allocate one shared `Arc<str>`.
+    pub fn intern(&mut self, name: &str) -> RelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = RelId::from_index(self.names.len());
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
+        let at = self
+            .sorted
+            .binary_search_by(|&p| self.names[p.index()].as_ref().cmp(name))
+            .expect_err("name was not interned yet");
+        self.sorted.insert(at, id);
+        id
+    }
+
+    /// The id of `name`, if interned.
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind an id.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The name behind an id as a cheaply-cloneable shared string.
+    pub fn shared_name(&self, id: RelId) -> Arc<str> {
+        Arc::clone(&self.names[id.index()])
+    }
+
+    /// All ids in **name-sorted** order — the deterministic iteration order
+    /// the byte-identity tests pin.
+    pub fn sorted(&self) -> &[RelId] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut s = Symbols::new();
+        let a = s.intern("link");
+        let b = s.intern("path");
+        assert_eq!(s.intern("link"), a);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(a), "link");
+        assert_eq!(s.lookup("path"), Some(b));
+        assert_eq!(s.lookup("nosuch"), None);
+    }
+
+    #[test]
+    fn sorted_order_is_name_order_whatever_the_intern_order() {
+        let mut s = Symbols::new();
+        for n in ["zeta", "alpha", "mid", "beta"] {
+            s.intern(n);
+        }
+        let names: Vec<&str> = s.sorted().iter().map(|&i| s.name(i)).collect();
+        assert_eq!(names, ["alpha", "beta", "mid", "zeta"]);
+        // Still sorted after more interning.
+        s.intern("aaa");
+        let names: Vec<&str> = s.sorted().iter().map(|&i| s.name(i)).collect();
+        assert_eq!(names, ["aaa", "alpha", "beta", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn sorted_name_interning_makes_ids_name_ordered() {
+        // The engine path: intern a sorted predicate set up front.
+        let mut s = Symbols::new();
+        for n in ["bestPath", "link", "path"] {
+            s.intern(n);
+        }
+        // id order == name order, so Vec-indexed iteration is deterministic.
+        let by_id: Vec<&str> = (0..s.len()).map(|i| s.name(RelId::from_index(i))).collect();
+        assert_eq!(by_id, ["bestPath", "link", "path"]);
+        assert_eq!(s.sorted(), &[RelId(0), RelId(1), RelId(2)]);
+    }
+}

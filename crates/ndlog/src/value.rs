@@ -98,17 +98,121 @@ impl fmt::Display for Value {
 /// tuple's home address in distributed execution.
 pub type Tuple = Vec<Value>;
 
-/// Render a tuple as `(v1,v2,...)` for traces and error messages.
-pub fn format_tuple(t: &[Value]) -> String {
-    let mut s = String::from("(");
-    for (i, v) in t.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&v.to_string());
+/// A shared, immutable tuple handle: `Arc<[Value]>`.
+///
+/// The storage and maintenance hot paths pass tuples around constantly —
+/// into hash indexes, batch delta sets, round-to-round delta maps, and wire
+/// messages.  Cloning an owned [`Tuple`] there deep-copies every `String`
+/// and path-vector `List` payload; cloning a `SharedTuple` bumps one
+/// reference count.  Each tuple is interned once per store (the support-map
+/// key is the canonical handle) and every other appearance shares it.
+///
+/// Ordering, equality, and hashing all delegate to the underlying
+/// `[Value]` slice, so a `BTreeMap<SharedTuple, _>` can be probed by
+/// `&[Value]` with **zero** allocation (via `Borrow<[Value]>`) and sorts
+/// identically to the owned representation.
+///
+/// ```
+/// use ndlog::value::SharedTuple;
+/// use ndlog::Value;
+/// use std::collections::BTreeMap;
+///
+/// let t = SharedTuple::from(vec![Value::Int(1), Value::Int(2)]);
+/// let cheap = t.clone(); // refcount bump, no Value clones
+/// assert_eq!(t, cheap);
+/// let mut m: BTreeMap<SharedTuple, i64> = BTreeMap::new();
+/// m.insert(t, 7);
+/// // Probe by borrowed slice — no allocation:
+/// assert_eq!(m.get(&[Value::Int(1), Value::Int(2)][..]), Some(&7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SharedTuple(std::sync::Arc<[Value]>);
+
+impl SharedTuple {
+    /// An empty shared tuple (useful as a range bound).
+    pub fn empty() -> Self {
+        SharedTuple(std::sync::Arc::from(Vec::new()))
     }
-    s.push(')');
-    s
+
+    /// Intern a borrowed slice (one allocation, values cloned once).
+    pub fn from_slice(values: &[Value]) -> Self {
+        SharedTuple(std::sync::Arc::from(values.to_vec()))
+    }
+
+    /// The underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Copy out an owned [`Tuple`] (boundary use only).
+    pub fn to_tuple(&self) -> Tuple {
+        self.0.to_vec()
+    }
+}
+
+impl From<Tuple> for SharedTuple {
+    fn from(t: Tuple) -> Self {
+        SharedTuple(std::sync::Arc::from(t))
+    }
+}
+
+impl From<&[Value]> for SharedTuple {
+    fn from(t: &[Value]) -> Self {
+        SharedTuple::from_slice(t)
+    }
+}
+
+impl std::ops::Deref for SharedTuple {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<[Value]> for SharedTuple {
+    fn borrow(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl fmt::Display for SharedTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        display_tuple(&self.0).fmt(f)
+    }
+}
+
+/// Lazy tuple renderer: formats as `(v1,v2,...)` only when actually
+/// displayed.  Hot paths that *may* need a rendering (trace labels, error
+/// context) hold this zero-cost adapter instead of eagerly building a
+/// `String` per value; nothing is allocated until the `Display` impl runs.
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayTuple<'a>(&'a [Value]);
+
+impl fmt::Display for DisplayTuple<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Render a tuple lazily as `(v1,v2,...)`; see [`DisplayTuple`].
+pub fn display_tuple(t: &[Value]) -> DisplayTuple<'_> {
+    DisplayTuple(t)
+}
+
+/// Render a tuple as `(v1,v2,...)` for traces and error messages.
+///
+/// Allocates the result eagerly; prefer [`display_tuple`] anywhere the
+/// rendering might go unused (it writes through one formatter pass with no
+/// per-value intermediate `String`s).
+pub fn format_tuple(t: &[Value]) -> String {
+    display_tuple(t).to_string()
 }
 
 #[cfg(test)]

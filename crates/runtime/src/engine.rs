@@ -32,13 +32,15 @@
 
 use ndlog::ast::Program;
 use ndlog::eval::{Database, EvalOptions};
-use ndlog::incremental::{IncrementalEngine, TupleDelta};
+use ndlog::incremental::{IncrementalEngine, RelDelta};
 use ndlog::localize::localize_program;
 use ndlog::safety::analyze;
-use ndlog::value::{Tuple, Value};
+use ndlog::symbols::RelId;
+use ndlog::value::{SharedTuple, Value};
 use ndlog::{NdlogError, Result};
 use netsim::{Context, Event, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Topology};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The relation whose facts the runtime retracts and re-asserts on link
 /// change events: `link(@from, to, cost)`, the standard input relation of
@@ -46,6 +48,13 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const LINK_PRED: &str = "link";
 
 /// A shipped tuple, signed: an assertion or a retraction.
+///
+/// The wire format is **interned**: the relation travels as its dense
+/// [`RelId`] and the tuple as a [`SharedTuple`] handle.  Every node's engine
+/// is cloned from one compiled prototype, so ids agree network-wide and no
+/// relation name is allocated, compared, or parsed per message; names are
+/// resolved only at the receiving node's local-view boundary (its
+/// [`Database`], which tests and experiments read).
 ///
 /// Messages are scoped to a **link session** and FIFO-ordered within it.
 /// Both endpoints bump their session counter on every link-recovery event
@@ -59,10 +68,10 @@ pub const LINK_PRED: &str = "link";
 /// counts the same way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TupleMsg {
-    /// Relation name.
-    pub pred: String,
-    /// The tuple (location attribute included).
-    pub tuple: Tuple,
+    /// Interned relation id (network-wide: all engines share one prototype).
+    pub rel: RelId,
+    /// The tuple (location attribute included), as a shared handle.
+    pub tuple: SharedTuple,
     /// True to assert, false to retract.
     pub assert: bool,
     /// Link session (per sender→receiver direction).
@@ -75,17 +84,22 @@ pub struct TupleMsg {
 pub struct NdlogNode {
     me: u32,
     engine: IncrementalEngine,
+    /// Interned id of [`LINK_PRED`] (resolved once at compile time; `None`
+    /// when the program has no `link` relation).
+    link_rel: Option<RelId>,
+    /// Location-attribute position per relation id, shared by every node.
+    location: Arc<Vec<Option<usize>>>,
     /// This node's ground facts (applied at `Start`).
-    base: Vec<TupleDelta>,
+    base: Vec<RelDelta>,
     /// Local view: visible tuples homed here (or unlocated).  What the
-    /// experiments and tests read.
+    /// experiments and tests read — the one place ids become names again.
     derived: Database,
     /// Tuples currently asserted to a remote owner.
-    sent: BTreeSet<(u32, String, Tuple)>,
+    sent: BTreeSet<(u32, RelId, SharedTuple)>,
     /// Provenance counts of received assertions, by sending neighbor.
-    received: BTreeMap<(u32, String, Tuple), i64>,
+    received: BTreeMap<(u32, RelId, SharedTuple), i64>,
     /// Link facts toward currently-down neighbors, kept for re-assertion.
-    suspended_links: BTreeMap<u32, Vec<Tuple>>,
+    suspended_links: BTreeMap<u32, Vec<SharedTuple>>,
     /// Current link session per neighbor (bumped on every recovery).
     sessions: BTreeMap<u32, u64>,
     /// Next outgoing sequence number per neighbor (reset per session).
@@ -103,11 +117,9 @@ impl NdlogNode {
     }
 
     /// Owner of a tuple by location attribute (`None` when unlocated).
-    fn owner_of(&self, pred: &str, tuple: &Tuple) -> Option<u32> {
-        self.engine
-            .analysis()
-            .location
-            .get(pred)
+    fn owner_of(&self, rel: RelId, tuple: &[Value]) -> Option<u32> {
+        self.location
+            .get(rel.index())
             .copied()
             .flatten()
             .and_then(|i| tuple.get(i))
@@ -115,11 +127,11 @@ impl NdlogNode {
     }
 
     /// Build the next in-session message toward `to`.
-    fn make_msg(&mut self, to: u32, pred: String, tuple: Tuple, assert: bool) -> TupleMsg {
+    fn make_msg(&mut self, to: u32, rel: RelId, tuple: SharedTuple, assert: bool) -> TupleMsg {
         let session = self.sessions.get(&to).copied().unwrap_or(0);
         let seq = self.next_seq.entry(to).or_insert(0);
         let msg = TupleMsg {
-            pred,
+            rel,
             tuple,
             assert,
             session,
@@ -130,9 +142,11 @@ impl NdlogNode {
     }
 
     /// Apply a batch of external deltas to the engine and turn the net
-    /// changes into local-view updates plus outgoing signed messages.
-    fn absorb(&mut self, deltas: &[TupleDelta]) -> Vec<(u32, TupleMsg)> {
-        let outcome = self.engine.apply(deltas).unwrap_or_else(|e| {
+    /// changes into local-view updates plus outgoing signed messages.  Runs
+    /// entirely on interned ids and shared tuple handles; the only name
+    /// rendering is the local-view `Database` update.
+    fn absorb(&mut self, deltas: &[RelDelta]) -> Vec<(u32, TupleMsg)> {
+        let outcome = self.engine.apply_interned(deltas).unwrap_or_else(|e| {
             // Protocol::handle cannot return errors; the only failures here
             // are data-dependent evaluation bounds.
             panic!(
@@ -142,8 +156,8 @@ impl NdlogNode {
         });
         let mut outgoing = Vec::new();
         for change in outcome.changes {
-            let TupleDelta { pred, tuple, delta } = change;
-            match self.owner_of(&pred, &tuple) {
+            let RelDelta { rel, tuple, delta } = change;
+            match self.owner_of(rel, &tuple) {
                 Some(owner) if owner != self.me => {
                     // While the link is down, neither ship nor record: the
                     // neighbor purged our state and recovery re-ships
@@ -152,20 +166,21 @@ impl NdlogNode {
                     if self.suspended_links.contains_key(&owner) {
                         continue;
                     }
-                    let key = (owner, pred.clone(), tuple.clone());
+                    let key = (owner, rel, tuple.clone());
                     if delta > 0 {
                         if self.sent.insert(key) {
-                            let msg = self.make_msg(owner, pred, tuple, true);
+                            let msg = self.make_msg(owner, rel, tuple, true);
                             outgoing.push((owner, msg));
                         }
                     } else if self.sent.remove(&key) {
-                        let msg = self.make_msg(owner, pred, tuple, false);
+                        let msg = self.make_msg(owner, rel, tuple, false);
                         outgoing.push((owner, msg));
                     }
                 }
                 _ => {
+                    let pred = self.engine.symbols().name(rel).to_string();
                     if delta > 0 {
-                        self.derived.insert(pred, tuple);
+                        self.derived.insert(pred, tuple.to_tuple());
                     } else {
                         self.derived.remove(&pred, &tuple);
                     }
@@ -195,41 +210,48 @@ impl NdlogNode {
             self.recv_expected.insert(neighbor, 0);
             self.recv_buffer.remove(&neighbor);
             // Restore our link facts toward the neighbor.
-            for tuple in self.suspended_links.remove(&neighbor).unwrap_or_default() {
-                deltas.push(TupleDelta::insert(LINK_PRED, tuple));
+            if let Some(link_rel) = self.link_rel {
+                for tuple in self.suspended_links.remove(&neighbor).unwrap_or_default() {
+                    deltas.push(RelDelta::insert(link_rel, tuple));
+                }
             }
         } else {
             if self.suspended_links.contains_key(&neighbor) {
                 return Vec::new(); // duplicate down event
             }
             // Retract our link facts toward the neighbor...
-            let mine: Vec<Tuple> = self
-                .engine
-                .storage()
-                .visible(LINK_PRED)
-                .filter(|t| {
-                    t.first() == Some(&Value::Addr(self.me))
-                        && t.get(1) == Some(&Value::Addr(neighbor))
-                        && self.engine.storage().edb_count(LINK_PRED, t) > 0
-                })
-                .cloned()
-                .collect();
-            for tuple in &mine {
-                deltas.push(TupleDelta::remove(LINK_PRED, tuple.clone()));
+            let mine: Vec<SharedTuple> = match self.link_rel {
+                Some(link_rel) => self
+                    .engine
+                    .storage()
+                    .visible_id(link_rel)
+                    .filter(|t| {
+                        t.first() == Some(&Value::Addr(self.me))
+                            && t.get(1) == Some(&Value::Addr(neighbor))
+                            && self.engine.storage().edb_count_id(link_rel, t) > 0
+                    })
+                    .cloned()
+                    .collect(),
+                None => Vec::new(),
+            };
+            if let Some(link_rel) = self.link_rel {
+                for tuple in &mine {
+                    deltas.push(RelDelta::remove(link_rel, tuple.clone()));
+                }
             }
             self.suspended_links.insert(neighbor, mine);
             // ...purge everything learned over that link (soft-state
             // teardown: the neighbor can no longer retract it for us)...
-            let purged: Vec<((u32, String, Tuple), i64)> = self
+            let purged: Vec<((u32, RelId, SharedTuple), i64)> = self
                 .received
-                .range((neighbor, String::new(), Tuple::new())..)
+                .range((neighbor, RelId::ZERO, SharedTuple::empty())..)
                 .take_while(|((from, _, _), _)| *from == neighbor)
                 .map(|(k, v)| (k.clone(), *v))
                 .collect();
-            for ((from, pred, tuple), count) in purged {
-                self.received.remove(&(from, pred.clone(), tuple.clone()));
-                deltas.push(TupleDelta {
-                    pred,
+            for ((from, rel, tuple), count) in purged {
+                self.received.remove(&(from, rel, tuple.clone()));
+                deltas.push(RelDelta {
+                    rel,
                     tuple,
                     delta: -count,
                 });
@@ -245,23 +267,17 @@ impl NdlogNode {
             // Re-ship everything we still derive that is homed at the
             // neighbor (they purged it when the link went down).
             let mut reship = Vec::new();
-            for pred in self
-                .engine
-                .storage()
-                .relations()
-                .map(str::to_string)
-                .collect::<Vec<_>>()
-            {
-                for tuple in self.engine.storage().exported(&pred) {
-                    if self.owner_of(&pred, tuple) == Some(neighbor) {
-                        reship.push((pred.clone(), tuple.clone()));
+            for rel in self.engine.storage().relation_ids().collect::<Vec<_>>() {
+                for tuple in self.engine.storage().exported_id(rel) {
+                    if self.owner_of(rel, tuple) == Some(neighbor) {
+                        reship.push((rel, tuple.clone()));
                     }
                 }
             }
-            for (pred, tuple) in reship {
-                let key = (neighbor, pred.clone(), tuple.clone());
+            for (rel, tuple) in reship {
+                let key = (neighbor, rel, tuple.clone());
                 if self.sent.insert(key) {
-                    let msg = self.make_msg(neighbor, pred, tuple, true);
+                    let msg = self.make_msg(neighbor, rel, tuple, true);
                     out.push((neighbor, msg));
                 }
             }
@@ -309,16 +325,13 @@ impl Protocol for NdlogNode {
                         .get_mut(&from)
                         .expect("entry created above") += 1;
                     let TupleMsg {
-                        pred,
-                        tuple,
-                        assert,
-                        ..
+                        rel, tuple, assert, ..
                     } = m;
-                    let key = (from, pred.clone(), tuple.clone());
+                    let key = (from, rel, tuple.clone());
                     if assert {
                         *self.received.entry(key).or_insert(0) += 1;
-                        deltas.push(TupleDelta {
-                            pred,
+                        deltas.push(RelDelta {
+                            rel,
                             tuple,
                             delta: 1,
                         });
@@ -328,8 +341,8 @@ impl Protocol for NdlogNode {
                         if *c == 0 {
                             self.received.remove(&key);
                         }
-                        deltas.push(TupleDelta {
-                            pred,
+                        deltas.push(RelDelta {
+                            rel,
                             tuple,
                             delta: -1,
                         });
@@ -403,7 +416,7 @@ impl DistRuntime {
         shards: usize,
     ) -> Result<Self> {
         let localized = localize_program(program)?;
-        let mut compiled_prog = localized.to_program();
+        let mut compiled_prog = localized.into_program();
         compiled_prog.facts = program.facts.clone();
         compiled_prog.materializes = program.materializes.clone();
         let analysis = analyze(&compiled_prog)?;
@@ -425,16 +438,21 @@ impl DistRuntime {
             }
         }
 
-        // Partition facts by their location attribute.
+        // Partition facts by their location attribute, pre-interned against
+        // the shared symbol table (ids agree on every node).
         let n = topo.num_nodes();
-        let mut bases: Vec<Vec<TupleDelta>> = (0..n).map(|_| Vec::new()).collect();
+        let mut bases: Vec<Vec<RelDelta>> = (0..n).map(|_| Vec::new()).collect();
         for fact in &program.facts {
-            let tuple = fact.const_tuple().expect("facts are ground");
+            let tuple = SharedTuple::from(fact.const_tuple().expect("facts are ground"));
+            let rel = analysis
+                .symbols
+                .lookup(&fact.pred)
+                .expect("fact predicate interned at analysis");
             let loc = analysis.location.get(&fact.pred).copied().flatten();
             let owner = loc.and_then(|i| tuple.get(i)).and_then(Value::as_addr);
             match owner {
                 Some(o) if o < n => {
-                    bases[o as usize].push(TupleDelta::insert(fact.pred.clone(), tuple));
+                    bases[o as usize].push(RelDelta::insert(rel, tuple));
                 }
                 Some(o) => {
                     return Err(NdlogError::Eval {
@@ -442,18 +460,32 @@ impl DistRuntime {
                     })
                 }
                 None => {
-                    // Unlocated facts are replicated everywhere.
+                    // Unlocated facts are replicated everywhere (the shared
+                    // handle makes replication a refcount bump per node).
                     for b in bases.iter_mut() {
-                        b.push(TupleDelta::insert(fact.pred.clone(), tuple.clone()));
+                        b.push(RelDelta::insert(rel, tuple.clone()));
                     }
                 }
             }
         }
 
-        // One shared compilation: cloning the prototype shares the analysis
-        // and stratum plans (Arc) instead of deep-copying them per node.
-        let router =
-            (shards > 1).then(|| std::sync::Arc::new(ndlog::ShardRouter::new(&analysis, shards)));
+        // Dense location table shared by every node: owner lookups per
+        // shipped change become an indexed load instead of a name probe.
+        let mut location = vec![None; analysis.symbols.len()];
+        for (pred, loc) in &analysis.location {
+            if let Some(id) = analysis.symbols.lookup(pred) {
+                location[id.index()] = *loc;
+            }
+        }
+        let location = Arc::new(location);
+        // `None` when the program never mentions `link`: churn handling then
+        // has no facts to retract, but provenance purging still applies.
+        let link_rel = analysis.symbols.lookup(LINK_PRED);
+
+        // One shared compilation: cloning the prototype shares the analysis,
+        // stratum plans, and shard-worker pool (Arc) instead of deep-copying
+        // them per node.
+        let router = (shards > 1).then(|| Arc::new(ndlog::ShardRouter::new(&analysis, shards)));
         let mut proto = IncrementalEngine::from_analysis(analysis, eval_opts);
         proto.set_sharding(router);
         let nodes: Vec<NdlogNode> = bases
@@ -465,6 +497,8 @@ impl DistRuntime {
                 NdlogNode {
                     me: i as u32,
                     engine,
+                    link_rel,
+                    location: Arc::clone(&location),
                     base,
                     derived: Database::new(),
                     sent: Default::default(),

@@ -1,0 +1,142 @@
+//! Golden snapshots pinning evaluation semantics across engine refactors.
+//!
+//! Each scenario runs one of the `ndlog::programs` examples on a fixed
+//! topology through the **incremental engine** (initial fixpoint plus a
+//! fixed churn sequence) and renders the final database — every relation,
+//! every tuple, in deterministic sorted order — as text.  The rendering is
+//! compared byte-for-byte against a committed snapshot generated *before*
+//! the interned/dense-store refactor, so any representation change that
+//! perturbs results (or their deterministic order) fails loudly.
+//!
+//! The sharded engine must reproduce the same snapshots at every shard
+//! count through the persistent worker pool.
+//!
+//! Regenerate (only for intentional semantic changes) with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden`
+
+use ndlog::incremental::{IncrementalEngine, TupleDelta};
+use ndlog::sharded::ShardedEngine;
+use ndlog::{Database, Program, Value};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn render(db: &Database) -> String {
+    let mut out = String::new();
+    for pred in db.relations() {
+        for t in db.relation(pred) {
+            writeln!(out, "{pred}{}", ndlog::value::display_tuple(t)).unwrap();
+        }
+    }
+    out
+}
+
+fn link(a: u32, b: u32, c: i64) -> Vec<Value> {
+    vec![Value::Addr(a), Value::Addr(b), Value::Int(c)]
+}
+
+fn flap(a: u32, b: u32, c: i64, up: bool) -> Vec<TupleDelta> {
+    let d = if up { 1 } else { -1 };
+    vec![
+        TupleDelta {
+            pred: "link".into(),
+            tuple: link(a, b, c),
+            delta: d,
+        },
+        TupleDelta {
+            pred: "link".into(),
+            tuple: link(b, a, c),
+            delta: d,
+        },
+    ]
+}
+
+/// A named scenario: program + churn schedule.
+fn scenarios() -> Vec<(&'static str, Program, Vec<Vec<TupleDelta>>)> {
+    let edges = [
+        (0u32, 1u32, 1i64),
+        (1, 2, 2),
+        (2, 3, 1),
+        (3, 4, 1),
+        (0, 4, 9),
+        (1, 3, 4),
+    ];
+    let mut pv = ndlog::programs::path_vector();
+    ndlog::programs::add_links(&mut pv, &edges);
+    let mut reach = ndlog::programs::reachability();
+    ndlog::programs::add_links(&mut reach, &edges);
+    let mut dv = ndlog::programs::distance_vector(16);
+    ndlog::programs::add_links(&mut dv, &edges);
+
+    let churn = vec![
+        flap(1, 2, 2, false),
+        flap(0, 4, 9, false),
+        flap(1, 2, 2, true),
+        flap(2, 3, 1, false),
+    ];
+    vec![
+        ("path_vector", pv, churn.clone()),
+        ("reachability", reach, churn.clone()),
+        ("distance_vector", dv, churn),
+    ]
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+#[test]
+fn incremental_engine_matches_golden_snapshots() {
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, prog, churn) in scenarios() {
+        let mut engine = IncrementalEngine::new(&prog).unwrap();
+        let mut stages = String::new();
+        writeln!(stages, "== initial ==").unwrap();
+        stages.push_str(&render(&engine.database()));
+        for (i, batch) in churn.iter().enumerate() {
+            engine.apply(batch).unwrap();
+            writeln!(stages, "== after batch {i} ==").unwrap();
+            stages.push_str(&render(&engine.database()));
+        }
+        let path = golden_path(name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &stages).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        assert_eq!(
+            stages, want,
+            "{name}: engine output diverged from the pre-refactor snapshot \
+             (UPDATE_GOLDEN=1 to regenerate after an intentional change)"
+        );
+    }
+}
+
+#[test]
+fn sharded_pool_matches_golden_snapshots_at_every_shard_count() {
+    for (name, prog, churn) in scenarios() {
+        let want = std::fs::read_to_string(golden_path(name)).unwrap_or_default();
+        if want.is_empty() {
+            // Bless run hasn't happened yet; the incremental test reports it.
+            continue;
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let mut engine = ShardedEngine::new(&prog, shards).unwrap();
+            let mut stages = String::new();
+            writeln!(stages, "== initial ==").unwrap();
+            stages.push_str(&render(&engine.database()));
+            for (i, batch) in churn.iter().enumerate() {
+                engine.apply(batch).unwrap();
+                writeln!(stages, "== after batch {i} ==").unwrap();
+                stages.push_str(&render(&engine.database()));
+            }
+            assert_eq!(
+                stages, want,
+                "{name}: {shards}-shard run diverges from the golden snapshot"
+            );
+        }
+    }
+}

@@ -129,3 +129,69 @@ fn negation_churn_agrees_across_shard_counts() {
         assert_eq!(sharded.database(), single.database());
     }
 }
+
+/// The persistent worker pool (DESIGN.md §8) survives across batches and
+/// engine clones: a cloned engine shares the original's pool, both stay
+/// byte-identical to a single-threaded oracle through interleaved churn,
+/// and the pool thread count never changes.
+#[test]
+fn persistent_pool_is_shared_across_batches_and_clones() {
+    let topo = Topology::random_connected(12, 0.25, 3, 23);
+    let mut prog = ndlog::programs::reachability();
+    ndlog::programs::add_links(&mut prog, &topo.edge_list());
+
+    let mut oracle_a = IncrementalEngine::new(&prog).unwrap();
+    let mut original = ShardedEngine::new(&prog, 4).unwrap();
+    assert_eq!(original.router().pool().workers(), 3);
+
+    // Warm the pool with one batch, then clone mid-history.
+    let (a, b, c) = topo.edge_list()[0];
+    oracle_a.apply(&link_toggle(a, b, c, false)).unwrap();
+    original.apply(&link_toggle(a, b, c, false)).unwrap();
+    assert_eq!(original.database(), oracle_a.database());
+
+    let mut fork = original.clone();
+    let mut oracle_b = oracle_a.clone();
+    assert!(
+        std::ptr::eq(original.router().pool(), fork.router().pool()),
+        "clones must share one pool, not spawn their own workers"
+    );
+
+    // Diverge the histories; each stays identical to its own oracle.
+    let (x, y, z) = topo.edge_list()[1];
+    oracle_a.apply(&link_toggle(a, b, c, true)).unwrap();
+    original.apply(&link_toggle(a, b, c, true)).unwrap();
+    oracle_b.apply(&link_toggle(x, y, z, false)).unwrap();
+    fork.apply(&link_toggle(x, y, z, false)).unwrap();
+    assert_eq!(original.database(), oracle_a.database());
+    assert_eq!(fork.database(), oracle_b.database());
+    assert_eq!(original.router().pool().workers(), 3);
+}
+
+/// Many small batches through the pool: the round-per-batch cadence that
+/// the persistent workers exist for (the old implementation re-spawned
+/// scoped threads for every one of these rounds).
+#[test]
+fn deep_churn_sequence_stays_identical_through_one_pool() {
+    let base: Vec<(u32, u32, i64)> = (0..8u32).map(|i| (i, (i + 1) % 8, 1)).collect();
+    let mut prog = ndlog::programs::reachability();
+    ndlog::programs::add_links(&mut prog, &base);
+    let mut single = IncrementalEngine::new(&prog).unwrap();
+    let mut sharded = ShardedEngine::new(&prog, 4).unwrap();
+
+    let mut state = 0xDEADBEEFu64;
+    let mut present: Vec<bool> = base.iter().map(|_| true).collect();
+    for _ in 0..60 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let i = (state >> 33) as usize % base.len();
+        let (a, b, c) = base[i];
+        present[i] = !present[i];
+        let batch = link_toggle(a, b, c, present[i]);
+        let want = single.apply(&batch).unwrap();
+        let got = sharded.apply(&batch).unwrap();
+        assert_eq!(got.changes, want.changes);
+    }
+    assert_eq!(sharded.database(), single.database());
+}
