@@ -255,7 +255,7 @@ fn bench_incremental_vs_epoch(c: &mut Criterion) {
 /// largest shard's share of the derivation work) is the speedup headroom a
 /// multi-core box can realize.
 fn bench_shard_scaling(c: &mut Criterion) {
-    use ndlog::sharded::ShardedEngine;
+    use ndlog::update::Session;
 
     let topo = Topology::random_connected(200, 0.02, 1, 7);
     let mut prog = ndlog::programs::reachability();
@@ -272,12 +272,17 @@ fn bench_shard_scaling(c: &mut Criterion) {
 
     // Byte-identity across shard counts, and the load-balance bound at 4
     // shards: tuples of the recursive relation per shard under the router.
-    let reference = ShardedEngine::new(&prog, 1).expect("reachability fixpoint");
-    let four = ShardedEngine::new(&prog, 4).expect("reachability fixpoint");
+    let reference = Session::open(&prog).build().expect("reachability fixpoint");
+    let four = Session::open(&prog)
+        .sharding(4)
+        .build()
+        .expect("reachability fixpoint");
     assert_eq!(reference.database(), four.database());
     let mut per_shard = [0usize; 4];
-    for t in four.storage().visible("reachable") {
-        per_shard[four.router().shard_of("reachable", t)] += 1;
+    let storage = four.storage().expect("incremental backend");
+    let router = four.router().expect("sharded session");
+    for t in storage.visible("reachable") {
+        per_shard[router.shard_of("reachable", t)] += 1;
     }
     let total: usize = per_shard.iter().sum();
     let max = per_shard.iter().copied().max().unwrap_or(0).max(1);
@@ -295,8 +300,101 @@ fn bench_shard_scaling(c: &mut Criterion) {
             &shards,
             |b, &shards| {
                 b.iter(|| {
-                    let e = ShardedEngine::new(&prog, shards).expect("fixpoint");
-                    black_box(e.init_stats().derivations)
+                    let s = Session::open(&prog)
+                        .sharding(shards)
+                        .build()
+                        .expect("fixpoint");
+                    black_box(s.init_stats().derivations)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// EXP-12: batch-window scheduling in the distributed runtime (DESIGN.md
+/// §3 and §9).  A path-vector network converges while a mixed
+/// toggle/metric churn schedule fires; each node maintains per-message at
+/// window 0 and per-merged-window-batch otherwise.  Measures total
+/// simulator messages and maintenance derivations vs window size, asserts
+/// the quiescent database is **byte-identical** at every window, and
+/// asserts the acceptance bar: **≥ 20% fewer messages** at a nonzero
+/// window than unbatched.
+///
+/// Reference numbers (20-node p=0.15 topology, 10 mixed churn events, this
+/// PR's box): window 0 → 3571 msgs / 19.5k derivations; window 8 → 91.6% /
+/// 59.6% of baseline; window 16 → **59.8% / 35.1%**; window 32 → 30.8% /
+/// 18.2% (convergence time trades off: 216 → 394 ticks at window 32).
+fn bench_batch_window(c: &mut Criterion) {
+    use ndlog::update::Session;
+
+    let topo = Topology::random_connected(20, 0.15, 4, 11);
+    let mut prog = ndlog::programs::path_vector();
+    link_facts(&mut prog, &topo);
+    // Convergence churn: mixed up/down toggles and metric changes firing
+    // while the network is still converging from Start.
+    let churn = topo.random_churn_schedule_mix(10, 30, 20, 7, 0.3, 4);
+    println!(
+        "exp12: {} nodes / {} links, {} churn events (30% metric changes)",
+        topo.num_nodes(),
+        topo.num_edges(),
+        churn.len()
+    );
+
+    let run = |window: u64| {
+        let mut rt = DistRuntime::open(
+            &Session::open(&prog).batch_window(window),
+            &topo,
+            SimConfig::default(),
+        )
+        .expect("runtime builds");
+        rt.schedule_links(&churn);
+        let stats = rt.run();
+        assert!(stats.quiescent, "window {window} must quiesce");
+        (
+            stats.messages,
+            rt.maintenance_stats().derivations,
+            stats.last_change,
+            rt.global_database(),
+        )
+    };
+    let (m0, d0, t0, db0) = run(0);
+    println!("exp12: window  0 -> {m0:>6} msgs (100.0%)  {d0:>8} derivations (100.0%)  conv {t0}");
+    for window in [8u64, 16, 32] {
+        let (m, d, t, db) = run(window);
+        println!(
+            "exp12: window {window:>2} -> {m:>6} msgs ({:>5.1}%)  {d:>8} derivations ({:>5.1}%)  conv {t}",
+            100.0 * m as f64 / m0 as f64,
+            100.0 * d as f64 / d0 as f64,
+        );
+        assert_eq!(
+            db, db0,
+            "window {window} must not change the quiescent database"
+        );
+        if window == 16 {
+            assert!(
+                m as f64 <= 0.8 * m0 as f64,
+                "a nonzero batch window must cut runtime messages by >= 20% \
+                 on the convergence-churn workload ({m} vs {m0})"
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("exp12_batch_window");
+    g.sample_size(10);
+    for window in [0u64, 8, 16, 32] {
+        // Builder hoisted out of the measured loop: it owns a Program
+        // clone, which is configuration, not the work under test.
+        let builder = Session::open(&prog).batch_window(window);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &builder,
+            |b, builder| {
+                b.iter(|| {
+                    let mut rt = DistRuntime::open(builder, &topo, SimConfig::default())
+                        .expect("runtime builds");
+                    rt.schedule_links(&churn);
+                    black_box(rt.run().messages)
                 })
             },
         );
@@ -444,6 +542,6 @@ criterion_group! {
               bench_algebra_obligations, bench_automation,
               bench_declarative_vs_imperative, bench_translation,
               bench_softstate, bench_incremental_vs_epoch, bench_shard_scaling,
-              bench_interned_hot_path, bench_runtime
+              bench_interned_hot_path, bench_batch_window, bench_runtime
 }
 criterion_main!(benches);

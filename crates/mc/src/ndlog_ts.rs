@@ -15,8 +15,9 @@
 use crate::ts::TransitionSystem;
 use ndlog::ast::Program;
 use ndlog::eval::{derive_rule, Database, Evaluator};
-use ndlog::incremental::{IncrementalEngine, RelDelta, TupleDelta};
+use ndlog::incremental::{IncrementalEngine, RelDelta};
 use ndlog::safety::analyze;
+use ndlog::update::{lower_updates, Session, Update};
 use ndlog::value::display_tuple;
 use ndlog::{NdlogError, Result, Rule};
 use std::collections::BTreeSet;
@@ -85,12 +86,16 @@ impl TransitionSystem for NdlogTs {
 /// An NDlog program under topology churn, as a transition system.
 ///
 /// A state is the *maintained* database of an [`IncrementalEngine`] plus the
-/// set of external delta batches already applied; a transition applies one
-/// pending batch (a link failure, a link recovery, a metric change) through
-/// incremental maintenance.  Exploration therefore covers **every
-/// interleaving** of the churn events — the continuous-verification story:
-/// an invariant checked with [`crate::ts::check_invariant`] holds not just
-/// for the final topology but along every maintenance order reaching it.
+/// set of churn batches already applied; the schedule is a stream of typed
+/// [`Update`]s — the same vocabulary the sessions and the distributed
+/// runtime consume — and a transition applies one pending batch (a link
+/// failure, a recovery, a metric change) through incremental maintenance.
+/// Exploration therefore covers **every interleaving** of the churn events —
+/// the continuous-verification story: an invariant checked with
+/// [`crate::ts::check_invariant`] holds not just for the final topology but
+/// along every maintenance order reaching it.  [`ChurnTs::windows`]
+/// additionally groups a timed stream into batch windows, so the checker
+/// explores exactly the batched interleavings the windowed runtime executes.
 #[derive(Debug, Clone)]
 pub struct ChurnTs {
     start: IncrementalEngine,
@@ -129,35 +134,39 @@ impl ChurnState {
 
 impl ChurnTs {
     /// Build the system: evaluate `prog` to its initial fixpoint and record
-    /// the labelled churn schedule.  Aggregates are allowed — incremental
-    /// maintenance covers them (unlike [`NdlogTs`], which enumerates
-    /// per-tuple firings).
-    pub fn new(prog: &Program, deltas: Vec<(String, Vec<TupleDelta>)>) -> Result<Self> {
-        Self::with_options(prog, deltas, ndlog::EvalOptions::default())
+    /// the labelled churn schedule, a stream of typed [`Update`] batches.
+    /// Aggregates are allowed — incremental maintenance covers them (unlike
+    /// [`NdlogTs`], which enumerates per-tuple firings).
+    ///
+    /// [`Update::Expire`] entries lower to their retraction directly: the
+    /// checker explores *orderings*, so a deadline is just one more
+    /// position in the interleaving (use [`ChurnTs::windows`] to group a
+    /// timed stream the way a windowed session would).
+    pub fn new(prog: &Program, updates: Vec<(String, Vec<Update>)>) -> Result<Self> {
+        Self::with_options(prog, updates, ndlog::EvalOptions::default())
     }
 
     /// Like [`new`](Self::new) with custom evaluation bounds.
     pub fn with_options(
         prog: &Program,
-        deltas: Vec<(String, Vec<TupleDelta>)>,
+        updates: Vec<(String, Vec<Update>)>,
         opts: ndlog::EvalOptions,
     ) -> Result<Self> {
-        let mut start = IncrementalEngine::with_options(prog, opts)?;
-        // Intern the schedule once: exploration applies each batch along
+        // The engine comes out of the unified churn API (the session owns
+        // program compilation); exploration then clones it per state.
+        let session = Session::open(prog).eval_options(opts).build()?;
+        let mut start = session
+            .engine()
+            .expect("incremental backend always has an engine")
+            .clone();
+        // Compile the schedule once: exploration applies each batch along
         // every interleaving, so per-transition name lookups would multiply
         // with the state count.  Predicates the program never mentions are
         // interned here (they stay empty relations).
-        let deltas = deltas
+        let deltas = updates
             .into_iter()
             .map(|(label, batch)| {
-                let batch = batch
-                    .into_iter()
-                    .map(|d| RelDelta {
-                        rel: start.rel_id(&d.pred),
-                        tuple: d.tuple.into(),
-                        delta: d.delta,
-                    })
-                    .collect();
+                let batch = lower_updates(&batch, |p| start.rel_id(p));
                 (label, batch)
             })
             .collect();
@@ -166,6 +175,37 @@ impl ChurnTs {
             deltas,
             prune_error: std::cell::RefCell::new(None),
         })
+    }
+
+    /// Build the system from a **timed** update stream grouped into batch
+    /// windows: updates whose ticks fall into the same `window`-sized
+    /// window form one labelled batch (`w<i>@<start-tick>`), exactly the
+    /// merged batches a session or runtime node with that batch window
+    /// would maintain.  The checker then explores the *batched*
+    /// interleavings — the state space the windowed deployment actually
+    /// has.  A `window` of 0 gives every update its own batch.
+    pub fn windows(prog: &Program, timed: Vec<(u64, Update)>, window: u64) -> Result<Self> {
+        // Group by window index; each group remembers its window's start
+        // tick (the update's own tick when window is 0) so batch labels
+        // name real schedule times, not enumeration indexes.
+        let mut grouped: std::collections::BTreeMap<u64, (u64, Vec<Update>)> =
+            std::collections::BTreeMap::new();
+        for (i, (at, u)) in timed.into_iter().enumerate() {
+            // `checked_div` doubles as the per-update (window 0) guard.
+            let key = at.checked_div(window).unwrap_or(i as u64);
+            let start = at.checked_div(window).map_or(at, |w| w * window);
+            grouped
+                .entry(key)
+                .or_insert_with(|| (start, Vec::new()))
+                .1
+                .push(u);
+        }
+        let updates = grouped
+            .into_values()
+            .enumerate()
+            .map(|(i, (start, batch))| (format!("w{i}@{start}"), batch))
+            .collect();
+        Self::new(prog, updates)
     }
 
     /// True if any interleaving was pruned because its maintenance batch
@@ -296,7 +336,9 @@ mod tests {
         vec![Value::Addr(a), Value::Addr(b), Value::Int(c)]
     }
 
-    /// Line 0-1-2 with a failing and a recovering link.
+    /// Line 0-1-2 with a failing and a recovering link.  The program's
+    /// `link` facts are directed, so the schedule uses the raw
+    /// assert/retract updates rather than the symmetric link variants.
     fn churn_system() -> ChurnTs {
         let prog = reach_prog();
         ChurnTs::new(
@@ -304,12 +346,9 @@ mod tests {
             vec![
                 (
                     "fail01".into(),
-                    vec![TupleDelta::remove("link", link(0, 1, 1))],
+                    vec![Update::retract("link", link(0, 1, 1))],
                 ),
-                (
-                    "add02".into(),
-                    vec![TupleDelta::insert("link", link(0, 2, 1))],
-                ),
+                ("add02".into(), vec![Update::assert("link", link(0, 2, 1))]),
             ],
         )
         .unwrap()
@@ -372,7 +411,7 @@ mod tests {
             &prog,
             vec![(
                 "seed".into(),
-                vec![TupleDelta::insert("q", vec![Value::Int(0)])],
+                vec![Update::assert("q", vec![Value::Int(0)])],
             )],
             ndlog::EvalOptions {
                 max_iterations: 40,
@@ -392,19 +431,53 @@ mod tests {
         assert!(!ok.truncated());
     }
 
+    /// A timed stream grouped into batch windows explores the *batched*
+    /// interleavings: events inside one window form a single transition, so
+    /// the state space shrinks but every final state still matches the
+    /// unbatched fixpoint.
+    #[test]
+    fn windowed_stream_explores_batched_interleavings() {
+        let mut prog = ndlog::programs::path_vector();
+        ndlog::programs::add_links(&mut prog, &[(0, 1, 1), (1, 2, 2), (0, 2, 9)]);
+        let timed = vec![
+            (3u64, Update::link_down(0, 1, 1)),
+            (5, Update::metric_change(0, 2, 9, 4)),
+            (14, Update::link_up(0, 1, 1)),
+        ];
+        // Window 8: the first two events share window w0, the third is w1.
+        let batched = ChurnTs::windows(&prog, timed.clone(), 8).unwrap();
+        let unbatched = ChurnTs::windows(&prog, timed, 0).unwrap();
+        let eb = explore(&batched, ExploreOptions::default());
+        let eu = explore(&unbatched, ExploreOptions::default());
+        assert!(!batched.truncated() && !unbatched.truncated());
+        assert!(
+            eb.states.len() < eu.states.len(),
+            "batching must shrink the interleaving space ({} vs {})",
+            eb.states.len(),
+            eu.states.len()
+        );
+        let final_of = |ex: &crate::ts::Exploration<ChurnState>, n: usize| -> Vec<Database> {
+            ex.states
+                .iter()
+                .filter(|s| s.applied.len() == n)
+                .map(|s| s.database())
+                .collect()
+        };
+        let fb = final_of(&eb, 2);
+        let fu = final_of(&eu, 3);
+        assert!(!fb.is_empty() && !fu.is_empty());
+        for db in fb.iter().chain(fu.iter()) {
+            assert_eq!(db, &fb[0], "all drained states agree across windows");
+        }
+    }
+
     #[test]
     fn churn_supports_aggregates() {
         let mut prog = ndlog::programs::path_vector();
         ndlog::programs::add_links(&mut prog, &[(0, 1, 1), (1, 2, 2), (0, 2, 9)]);
         let ts = ChurnTs::new(
             &prog,
-            vec![(
-                "fail01".into(),
-                vec![
-                    TupleDelta::remove("link", link(0, 1, 1)),
-                    TupleDelta::remove("link", link(1, 0, 1)),
-                ],
-            )],
+            vec![("fail01".into(), vec![Update::link_down(0, 1, 1)])],
         )
         .unwrap();
         // Best cost 0->2 is 3 before the failure and 9 after, in all states.

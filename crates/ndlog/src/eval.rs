@@ -373,6 +373,7 @@ pub(crate) fn aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
 }
 
 /// The evaluation engine. Holds the analyzed program.
+#[derive(Debug, Clone)]
 pub struct Evaluator {
     analysis: Analysis,
     opts: EvalOptions,

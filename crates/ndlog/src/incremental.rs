@@ -137,6 +137,15 @@ pub struct BatchStats {
     pub rounds: usize,
 }
 
+impl std::ops::AddAssign for BatchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.derivations += rhs.derivations;
+        self.inserted += rhs.inserted;
+        self.deleted += rhs.deleted;
+        self.rounds += rhs.rounds;
+    }
+}
+
 /// The result of applying one batch of external deltas.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOutcome {
@@ -298,11 +307,21 @@ impl IncrementalEngine {
     /// Analyze `prog`, build the maintenance plans, and evaluate the
     /// program's ground facts to a first fixpoint.
     pub fn new(prog: &Program) -> Result<Self> {
-        Self::with_options(prog, EvalOptions::default())
+        Self::build(prog, EvalOptions::default())
     }
 
     /// Like [`new`](Self::new) with custom evaluation bounds.
+    #[deprecated(
+        since = "0.1.0",
+        note = "churn enters through the unified API now: \
+                `Session::open(prog).eval_options(opts).build()` \
+                (see ndlog::update)"
+    )]
     pub fn with_options(prog: &Program, opts: EvalOptions) -> Result<Self> {
+        Self::build(prog, opts)
+    }
+
+    pub(crate) fn build(prog: &Program, opts: EvalOptions) -> Result<Self> {
         let mut engine = Self::from_analysis(analyze(prog)?, opts);
         engine.seed_facts(prog)?;
         Ok(engine)
@@ -310,8 +329,8 @@ impl IncrementalEngine {
 
     /// Load `prog`'s ground facts as one delta batch and record the
     /// resulting work counters as the engine's initial-fixpoint stats.
-    /// Shared by [`with_options`](Self::with_options) and the sharded
-    /// wrapper (which must enable sharding before the first batch).
+    /// Shared by [`new`](Self::new) and the session/sharded builders
+    /// (which must enable sharding before the first batch).
     pub(crate) fn seed_facts(&mut self, prog: &Program) -> Result<BatchStats> {
         let deltas: Vec<RelDelta> = prog
             .facts
@@ -1897,7 +1916,7 @@ mod tests {
     #[test]
     fn divergent_insertion_is_guarded() {
         let prog = parse_program("a q(N) :- q(M), N = M + 1. q(0).").unwrap();
-        let err = IncrementalEngine::with_options(
+        let err = IncrementalEngine::build(
             &prog,
             EvalOptions {
                 max_iterations: 50,

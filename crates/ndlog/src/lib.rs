@@ -29,8 +29,14 @@
 //!   worker threads** of a [`pool::ShardPool`] by join-key hash, with
 //!   per-round fixpoint barriers and order-insensitive merges keeping
 //!   results byte-identical to the single-threaded engines;
+//! * [`update`] — the **unified transactional churn API**: one typed
+//!   [`update::Update`] stream ([`update::Session`] / [`update::Txn`]) with
+//!   batch windows and soft-state TTLs, the single front door through which
+//!   churn reaches every backend (incremental, sharded, oracle, and — via
+//!   `ndlog_runtime` — the distributed engines);
 //! * [`softstate`] — the §4.2 soft-state → hard-state rewrite with explicit
-//!   timestamps and lifetimes;
+//!   timestamps and lifetimes (the static alternative to
+//!   [`update::TtlPolicy`]'s live expiry deltas);
 //! * [`builtins`] — `f_init`, `f_concatPath`, `f_inPath` and friends;
 //! * [`programs`] — the paper's protocols (path vector, distance vector,
 //!   reachability) as reusable constructors.
@@ -59,6 +65,7 @@ pub mod sharded;
 pub mod softstate;
 pub mod storage;
 pub mod symbols;
+pub mod update;
 pub mod value;
 
 pub use ast::{Atom, Expr, Head, HeadArg, Literal, Program, Rule, Term};
@@ -73,4 +80,5 @@ pub use safety::{analyze, Analysis};
 pub use sharded::{ShardRouter, ShardedEngine};
 pub use storage::RelationStorage;
 pub use symbols::{RelId, Symbols};
+pub use update::{CommitOutcome, Session, SessionBuilder, TtlPolicy, Txn, Update};
 pub use value::{SharedTuple, Tuple, Value};

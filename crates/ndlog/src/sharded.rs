@@ -48,9 +48,12 @@
 //!
 //! # Example
 //!
+//! Sharding is a [`Session`](crate::update::Session) knob — the unified
+//! churn API fans maintenance out over the persistent workers:
+//!
 //! ```
-//! use ndlog::sharded::ShardedEngine;
-//! use ndlog::{eval_program, parse_program, TupleDelta, Value};
+//! use ndlog::update::Session;
+//! use ndlog::{eval_program, parse_program, Value};
 //!
 //! let prog = parse_program(
 //!     "r1 reach(X,Y) :- edge(X,Y).
@@ -58,15 +61,17 @@
 //!      edge(1,2). edge(2,3).",
 //! )
 //! .unwrap();
-//! let mut engine = ShardedEngine::new(&prog, 4).unwrap();
-//! assert!(engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
+//! let mut session = Session::open(&prog).sharding(4).build().unwrap();
+//! assert!(session.contains("reach", &[Value::Int(1), Value::Int(3)]));
 //! // Byte-identical to single-threaded from-scratch evaluation:
-//! assert_eq!(engine.database(), eval_program(&prog).unwrap());
+//! assert_eq!(session.database(), eval_program(&prog).unwrap());
 //! // Churn maintains incrementally, still on the same 4 persistent workers:
-//! engine
-//!     .apply(&[TupleDelta::remove("edge", vec![Value::Int(2), Value::Int(3)])])
+//! session
+//!     .txn()
+//!     .retract("edge", vec![Value::Int(2), Value::Int(3)])
+//!     .commit()
 //!     .unwrap();
-//! assert!(!engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
+//! assert!(!session.contains("reach", &[Value::Int(1), Value::Int(3)]));
 //! ```
 
 use crate::ast::{Literal, Program, Term};
@@ -310,6 +315,12 @@ pub(crate) fn chunk_by<T: Clone>(
 /// like the single-threaded engine and produces byte-identical databases and
 /// outcomes for every shard count.  Clones share the router **and** its
 /// worker pool.
+///
+/// **Superseded** by the unified churn API: a
+/// [`Session`](crate::update::Session) built with
+/// [`sharding(n)`](crate::update::SessionBuilder::sharding) wraps the same
+/// engine/router pair — the constructors here remain as deprecated
+/// compatibility wrappers.
 #[derive(Debug, Clone)]
 pub struct ShardedEngine {
     engine: IncrementalEngine,
@@ -320,12 +331,27 @@ impl ShardedEngine {
     /// Analyze `prog`, build the shard router (spawning the persistent
     /// worker pool), and evaluate the ground facts to a first fixpoint on
     /// `shards` workers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "churn enters through the unified API now: \
+                `Session::open(prog).sharding(n).build()` (see ndlog::update)"
+    )]
     pub fn new(prog: &Program, shards: usize) -> Result<Self> {
-        Self::with_options(prog, EvalOptions::default(), shards)
+        Self::build(prog, EvalOptions::default(), shards)
     }
 
-    /// Like [`new`](Self::new) with custom evaluation bounds.
+    /// Like `new` with custom evaluation bounds.
+    #[deprecated(
+        since = "0.1.0",
+        note = "churn enters through the unified API now: \
+                `Session::open(prog).sharding(n).eval_options(opts).build()` \
+                (see ndlog::update)"
+    )]
     pub fn with_options(prog: &Program, opts: EvalOptions, shards: usize) -> Result<Self> {
+        Self::build(prog, opts, shards)
+    }
+
+    fn build(prog: &Program, opts: EvalOptions, shards: usize) -> Result<Self> {
         let analysis = analyze(prog)?;
         let router = Arc::new(ShardRouter::new(&analysis, shards));
         let mut engine = IncrementalEngine::from_analysis(analysis, opts);
@@ -460,7 +486,10 @@ mod tests {
         programs::add_links(&mut prog, &edges);
         let single = IncrementalEngine::new(&prog).unwrap();
         for shards in [1, 2, 4, 8] {
-            let sharded = ShardedEngine::new(&prog, shards).unwrap();
+            let sharded = crate::update::Session::open(&prog)
+                .sharding(shards)
+                .build()
+                .unwrap();
             assert_eq!(
                 sharded.database(),
                 single.database(),
@@ -487,8 +516,11 @@ mod tests {
         let mut single = IncrementalEngine::new(&prog).unwrap();
         let want = single.apply(&batch).unwrap();
         for shards in [2, 4, 8] {
-            let mut sharded = ShardedEngine::new(&prog, shards).unwrap();
-            let got = sharded.apply(&batch).unwrap();
+            let mut sharded = crate::update::Session::open(&prog)
+                .sharding(shards)
+                .build()
+                .unwrap();
+            let got = sharded.txn().link_down(2, 3, 1).commit().unwrap();
             assert_eq!(got.changes, want.changes, "{shards}-shard changes diverge");
             assert_eq!(sharded.database(), single.database());
         }
@@ -504,20 +536,30 @@ mod tests {
              edge(#0,#1). edge(#1,#2).";
         let prog = parse_program(src).unwrap();
         let mut single = IncrementalEngine::new(&prog).unwrap();
-        let mut sharded = ShardedEngine::new(&prog, 4).unwrap();
+        let mut sharded = crate::update::Session::open(&prog)
+            .sharding(4)
+            .build()
+            .unwrap();
         assert_eq!(sharded.database(), eval_program(&prog).unwrap());
         let batch = vec![TupleDelta::insert(
             "edge",
             vec![Value::Addr(2), Value::Addr(3)],
         )];
         let want = single.apply(&batch).unwrap();
-        let got = sharded.apply(&batch).unwrap();
+        let got = sharded
+            .txn()
+            .assert("edge", vec![Value::Addr(2), Value::Addr(3)])
+            .commit()
+            .unwrap();
         assert_eq!(got.changes, want.changes);
         assert_eq!(sharded.database(), single.database());
     }
 
+    /// The deprecated wrappers stay functional (and clones still share one
+    /// persistent pool) — the one sanctioned use of the old constructors.
     #[test]
-    fn clones_share_one_persistent_pool() {
+    #[allow(deprecated)]
+    fn deprecated_constructor_wrappers_still_work_and_share_one_pool() {
         let prog = programs::reachability();
         let mut p = prog.clone();
         programs::add_links(&mut p, &[(0, 1, 1), (1, 2, 1)]);
@@ -525,5 +567,11 @@ mod tests {
         let b = a.clone();
         assert!(std::ptr::eq(a.router().pool(), b.router().pool()));
         assert_eq!(a.router().pool().workers(), 3);
+        // The wrapper and the Session build identical engines.
+        let s = crate::update::Session::open(&p)
+            .sharding(4)
+            .build()
+            .unwrap();
+        assert_eq!(a.database(), s.database());
     }
 }

@@ -21,5 +21,7 @@
 pub mod sim;
 pub mod topology;
 
-pub use sim::{Context, Event, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Time};
+pub use sim::{
+    Context, Event, LinkEvent, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Time,
+};
 pub use topology::{NodeId, Topology};

@@ -40,6 +40,14 @@ pub enum Event<M> {
         /// True if the link came up, false if it went down.
         up: bool,
     },
+    /// The cost of an incident link changed (first-class metric churn; the
+    /// link's up/down state is untouched).
+    MetricChange {
+        /// The neighbor at the other end.
+        neighbor: NodeId,
+        /// The link's new cost.
+        cost: i64,
+    },
 }
 
 /// Side effects a node can request while handling an event.
@@ -119,7 +127,26 @@ impl Default for SimConfig {
     }
 }
 
-/// A scheduled link status change.
+/// What happens to a link at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkEvent {
+    /// The link comes up.
+    Up,
+    /// The link goes down.
+    Down,
+    /// The link's cost changes (up/down state untouched).
+    Metric {
+        /// The new cost.
+        cost: i64,
+    },
+}
+
+/// A scheduled link change: status toggles **and** metric changes, the
+/// typed schedule vocabulary shared by `netsim::Simulator` and
+/// `ndlog_runtime::DistRuntime` (both consume it through
+/// [`Simulator::schedule_links`], and oracles interpret it through
+/// [`LinkSchedule::final_topology`] — one implementation of the schedule
+/// semantics, no per-consumer copies).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkSchedule {
     /// When the change happens.
@@ -128,8 +155,85 @@ pub struct LinkSchedule {
     pub a: NodeId,
     /// Other endpoint.
     pub b: NodeId,
-    /// New status.
-    pub up: bool,
+    /// The change.
+    pub event: LinkEvent,
+}
+
+impl LinkSchedule {
+    /// Schedule the link `a`–`b` to come up at `at`.
+    pub fn up(at: Time, a: NodeId, b: NodeId) -> Self {
+        LinkSchedule {
+            at,
+            a,
+            b,
+            event: LinkEvent::Up,
+        }
+    }
+
+    /// Schedule the link `a`–`b` to go down at `at`.
+    pub fn down(at: Time, a: NodeId, b: NodeId) -> Self {
+        LinkSchedule {
+            at,
+            a,
+            b,
+            event: LinkEvent::Down,
+        }
+    }
+
+    /// Schedule the cost of link `a`–`b` to become `cost` at `at`.
+    pub fn metric(at: Time, a: NodeId, b: NodeId, cost: i64) -> Self {
+        LinkSchedule {
+            at,
+            a,
+            b,
+            event: LinkEvent::Metric { cost },
+        }
+    }
+
+    /// Is this an up event?
+    pub fn is_up(&self) -> bool {
+        self.event == LinkEvent::Up
+    }
+
+    /// Apply this entry's *topology* effect (metric changes; up/down
+    /// toggles do not alter the edge set — they gate delivery).
+    pub fn apply_to(&self, topo: &mut Topology) {
+        if let LinkEvent::Metric { cost } = self.event {
+            topo.set_cost(self.a, self.b, cost);
+        }
+    }
+
+    /// The topology a schedule converges to: `topo` with every metric
+    /// change applied (in time order) and every edge whose **last** status
+    /// event leaves it down removed.  The one place schedule semantics are
+    /// interpreted — simulator oracles and experiment baselines build
+    /// their ground truth from this instead of hand-mutating topologies.
+    pub fn final_topology(schedule: &[LinkSchedule], topo: &Topology) -> Topology {
+        let mut entries: Vec<&LinkSchedule> = schedule.iter().collect();
+        entries.sort_by_key(|s| s.at);
+        let mut out = topo.clone();
+        let mut last_status: std::collections::BTreeMap<(NodeId, NodeId), bool> =
+            Default::default();
+        for s in entries {
+            s.apply_to(&mut out);
+            let key = if s.a < s.b { (s.a, s.b) } else { (s.b, s.a) };
+            match s.event {
+                LinkEvent::Up => {
+                    last_status.insert(key, true);
+                }
+                LinkEvent::Down => {
+                    last_status.insert(key, false);
+                }
+                LinkEvent::Metric { .. } => {}
+            }
+        }
+        for ((a, b), up) in last_status {
+            if !up {
+                out.remove_edge(a, b);
+            }
+        }
+        out
+    }
 }
 
 /// Statistics of a finished run.
@@ -151,9 +255,20 @@ pub struct SimStats {
 }
 
 enum QueuedEvent<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, tag: u64 },
-    Link { a: NodeId, b: NodeId, up: bool },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    Link {
+        a: NodeId,
+        b: NodeId,
+        event: LinkEvent,
+    },
 }
 
 /// The discrete-event simulator.
@@ -218,7 +333,10 @@ impl<P: Protocol> Simulator<P> {
         self.queue.push(Reverse((at, self.seq, idx)));
     }
 
-    /// Schedule link status changes before running.
+    /// Schedule link changes (status toggles and metric changes) before
+    /// running.  This is the single entry point for link schedules — the
+    /// distributed runtime delegates here rather than re-interpreting the
+    /// schedule.
     pub fn schedule_links(&mut self, schedule: &[LinkSchedule]) {
         for s in schedule {
             self.push(
@@ -226,7 +344,7 @@ impl<P: Protocol> Simulator<P> {
                 QueuedEvent::Link {
                     a: s.a,
                     b: s.b,
-                    up: s.up,
+                    event: s.event,
                 },
             );
         }
@@ -308,17 +426,30 @@ impl<P: Protocol> Simulator<P> {
                 QueuedEvent::Timer { node, tag } => {
                     self.dispatch(node, Event::Timer { tag }, at);
                 }
-                QueuedEvent::Link { a, b, up } => {
-                    let key = if a < b { (a, b) } else { (b, a) };
-                    if up {
-                        self.link_down.remove(&key);
-                    } else {
-                        self.link_down.insert(key);
+                QueuedEvent::Link { a, b, event } => match event {
+                    LinkEvent::Up | LinkEvent::Down => {
+                        let up = event == LinkEvent::Up;
+                        let key = if a < b { (a, b) } else { (b, a) };
+                        if up {
+                            self.link_down.remove(&key);
+                        } else {
+                            self.link_down.insert(key);
+                        }
+                        self.stats.last_change = at;
+                        self.dispatch(a, Event::LinkChange { neighbor: b, up }, at);
+                        self.dispatch(b, Event::LinkChange { neighbor: a, up }, at);
                     }
-                    self.stats.last_change = at;
-                    self.dispatch(a, Event::LinkChange { neighbor: b, up }, at);
-                    self.dispatch(b, Event::LinkChange { neighbor: a, up }, at);
-                }
+                    LinkEvent::Metric { cost } => {
+                        // A metric change on a non-existent edge has no
+                        // effect at all (nothing to recost, nobody to
+                        // notify, no convergence-clock bump).
+                        if self.topo.set_cost(a, b, cost) {
+                            self.stats.last_change = at;
+                            self.dispatch(a, Event::MetricChange { neighbor: b, cost }, at);
+                            self.dispatch(b, Event::MetricChange { neighbor: a, cost }, at);
+                        }
+                    }
+                },
             }
         }
         self.stats.quiescent = true;
@@ -410,12 +541,7 @@ mod tests {
     fn down_link_blocks_delivery() {
         let topo = Topology::line(3);
         let mut sim = Simulator::new(topo, flood_nodes(3), SimConfig::default());
-        sim.schedule_links(&[LinkSchedule {
-            at: 0,
-            a: 1,
-            b: 2,
-            up: false,
-        }]);
+        sim.schedule_links(&[LinkSchedule::down(0, 1, 2)]);
         let stats = sim.run();
         assert!(stats.quiescent);
         assert_eq!(sim.node(1).first_seen, Some(1));
@@ -511,22 +637,57 @@ mod tests {
             vec![Watcher::default(), Watcher::default()],
             SimConfig::default(),
         );
-        sim.schedule_links(&[
-            LinkSchedule {
-                at: 5,
-                a: 0,
-                b: 1,
-                up: false,
-            },
-            LinkSchedule {
-                at: 9,
-                a: 0,
-                b: 1,
-                up: true,
-            },
-        ]);
+        sim.schedule_links(&[LinkSchedule::down(5, 0, 1), LinkSchedule::up(9, 0, 1)]);
         sim.run();
         assert_eq!(sim.node(0).changes, vec![(1, false), (1, true)]);
         assert_eq!(sim.node(1).changes, vec![(0, false), (0, true)]);
+    }
+
+    #[test]
+    fn metric_change_notifies_endpoints_and_recosts_topology() {
+        #[derive(Default)]
+        struct Watcher {
+            metrics: Vec<(NodeId, i64)>,
+        }
+        impl Protocol for Watcher {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, _ctx: &mut Context<()>) {
+                if let Event::MetricChange { neighbor, cost } = event {
+                    self.metrics.push((neighbor, cost));
+                }
+            }
+        }
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(
+            topo,
+            vec![Watcher::default(), Watcher::default()],
+            SimConfig::default(),
+        );
+        sim.schedule_links(&[
+            LinkSchedule::metric(5, 0, 1, 7),
+            // Non-existent edge: silently ignored, nobody notified.
+            LinkSchedule::metric(6, 0, 9, 3),
+        ]);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(sim.node(0).metrics, vec![(1, 7)]);
+        assert_eq!(sim.node(1).metrics, vec![(0, 7)]);
+        assert_eq!(sim.topology().cost_of(0, 1), Some(7));
+    }
+
+    #[test]
+    fn final_topology_interprets_schedules() {
+        let topo = Topology::ring(4);
+        let schedule = vec![
+            LinkSchedule::down(10, 0, 1),
+            LinkSchedule::metric(20, 1, 2, 9),
+            LinkSchedule::up(30, 0, 1),
+            LinkSchedule::down(40, 2, 3),
+        ];
+        let fin = LinkSchedule::final_topology(&schedule, &topo);
+        assert!(fin.has_edge(0, 1), "flapped link ends up");
+        assert!(!fin.has_edge(2, 3), "failed link ends down");
+        assert_eq!(fin.cost_of(1, 2), Some(9), "metric change applied");
+        assert_eq!(fin.cost_of(3, 0), Some(1), "untouched edge keeps cost");
     }
 }

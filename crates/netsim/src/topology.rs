@@ -61,6 +61,35 @@ impl Topology {
         self.edges.iter().any(|&(x, y, _)| x == a && y == b)
     }
 
+    /// The cost of the edge between `a` and `b`, if present.
+    pub fn cost_of(&self, a: NodeId, b: NodeId) -> Option<i64> {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.edges
+            .iter()
+            .find(|&&(x, y, _)| x == a && y == b)
+            .map(|&(_, _, c)| c)
+    }
+
+    /// Change the cost of an existing edge (metric churn); returns false
+    /// when no such edge exists.
+    pub fn set_cost(&mut self, a: NodeId, b: NodeId, cost: i64) -> bool {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        let old: Vec<(NodeId, NodeId, i64)> = self
+            .edges
+            .iter()
+            .filter(|&&(x, y, _)| x == a && y == b)
+            .copied()
+            .collect();
+        if old.is_empty() {
+            return false;
+        }
+        for e in old {
+            self.edges.remove(&e);
+        }
+        self.edges.insert((a, b, cost));
+        true
+    }
+
     /// All edges as (a, b, cost) with a < b.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, i64)> + '_ {
         self.edges.iter().copied()
@@ -274,18 +303,34 @@ impl Topology {
         let mut out = Vec::with_capacity(2 * flaps as usize);
         for i in 0..flaps {
             let t0 = start + 2 * u64::from(i) * period;
-            out.push(LinkSchedule {
-                at: t0,
-                a,
-                b,
-                up: false,
-            });
-            out.push(LinkSchedule {
-                at: t0 + period,
-                a,
-                b,
-                up: true,
-            });
+            out.push(LinkSchedule::down(t0, a, b));
+            out.push(LinkSchedule::up(t0 + period, a, b));
+        }
+        out
+    }
+
+    /// The metric-change flavor of a flap — a *brownout*: the cost of edge
+    /// `a`–`b` degrades to `degraded` at `start`, then alternates back to
+    /// its current cost every `period` ticks, for `flaps` degrade/restore
+    /// pairs, ending at the original cost.  The edge must exist.
+    pub fn metric_flap_schedule(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        start: Time,
+        period: Time,
+        flaps: u32,
+        degraded: i64,
+    ) -> Vec<LinkSchedule> {
+        let original = self
+            .cost_of(a, b)
+            .unwrap_or_else(|| panic!("cannot metric-flap a non-existent edge {a}-{b}"));
+        let period = period.max(1);
+        let mut out = Vec::with_capacity(2 * flaps as usize);
+        for i in 0..flaps {
+            let t0 = start + 2 * u64::from(i) * period;
+            out.push(LinkSchedule::metric(t0, a, b, degraded));
+            out.push(LinkSchedule::metric(t0 + period, a, b, original));
         }
         out
     }
@@ -294,12 +339,36 @@ impl Topology {
     /// topology's edges, spaced `gap` ticks apart starting at `start`.  Each
     /// edge alternates consistently (first event takes it down), so the
     /// schedule is always replayable and ends each edge in a known state.
+    ///
+    /// The toggle-only special case of
+    /// [`random_churn_schedule_mix`](Self::random_churn_schedule_mix)
+    /// (`metric_frac = 0`), kept for schedule-stream compatibility.
     pub fn random_churn_schedule(
         &self,
         events: u32,
         start: Time,
         gap: Time,
         seed: u64,
+    ) -> Vec<LinkSchedule> {
+        self.random_churn_schedule_mix(events, start, gap, seed, 0.0, 1)
+    }
+
+    /// Like [`random_churn_schedule`](Self::random_churn_schedule) with a
+    /// **weighted metric-change mix**: each event is, with probability
+    /// `metric_frac`, a cost change on a random currently-up edge (new cost
+    /// uniform in `1..=max_cost`) instead of an up/down toggle.  When every
+    /// edge is down a metric draw falls back to a toggle, so the schedule
+    /// always has `events` entries.  Deterministic per seed; at
+    /// `metric_frac = 0` the stream is bit-identical to the toggle-only
+    /// generator.
+    pub fn random_churn_schedule_mix(
+        &self,
+        events: u32,
+        start: Time,
+        gap: Time,
+        seed: u64,
+        metric_frac: f64,
+        max_cost: i64,
     ) -> Vec<LinkSchedule> {
         let edges: Vec<(NodeId, NodeId)> = self.edges.iter().map(|&(a, b, _)| (a, b)).collect();
         if edges.is_empty() {
@@ -308,23 +377,37 @@ impl Topology {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut down: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let gap = gap.max(1);
-        (0..events)
-            .map(|i| {
-                let (a, b) = edges[rng.random_range(0..edges.len())];
-                let up = down.contains(&(a, b));
-                if up {
-                    down.remove(&(a, b));
-                } else {
-                    down.insert((a, b));
+        let mut out = Vec::with_capacity(events as usize);
+        for i in 0..events {
+            let at = start + u64::from(i) * gap;
+            // Gated so `metric_frac = 0` consumes the exact RNG stream of
+            // the pre-mix generator (schedules stay replayable across the
+            // API change).
+            if metric_frac > 0.0 && rng.random::<f64>() < metric_frac {
+                let up_edges: Vec<(NodeId, NodeId)> = edges
+                    .iter()
+                    .filter(|e| !down.contains(e))
+                    .copied()
+                    .collect();
+                if !up_edges.is_empty() {
+                    let (a, b) = up_edges[rng.random_range(0..up_edges.len())];
+                    let cost = rng.random_range(1..=max_cost.max(1));
+                    out.push(LinkSchedule::metric(at, a, b, cost));
+                    continue;
                 }
-                LinkSchedule {
-                    at: start + u64::from(i) * gap,
-                    a,
-                    b,
-                    up,
-                }
-            })
-            .collect()
+                // Everything is down: fall through to a toggle.
+            }
+            let (a, b) = edges[rng.random_range(0..edges.len())];
+            let up = down.contains(&(a, b));
+            if up {
+                down.remove(&(a, b));
+                out.push(LinkSchedule::up(at, a, b));
+            } else {
+                down.insert((a, b));
+                out.push(LinkSchedule::down(at, a, b));
+            }
+        }
+        out
     }
 }
 
@@ -446,26 +529,49 @@ mod tests {
         let t = Topology::line(3);
         let s = t.flap_schedule(0, 1, 10, 5, 3);
         assert_eq!(s.len(), 6);
-        assert_eq!(
-            s[0],
-            LinkSchedule {
-                at: 10,
-                a: 0,
-                b: 1,
-                up: false
-            }
-        );
-        assert_eq!(
-            s[1],
-            LinkSchedule {
-                at: 15,
-                a: 0,
-                b: 1,
-                up: true
-            }
-        );
+        assert_eq!(s[0], LinkSchedule::down(10, 0, 1));
+        assert_eq!(s[1], LinkSchedule::up(15, 0, 1));
         assert!(s.windows(2).all(|w| w[0].at < w[1].at));
-        assert!(s.last().unwrap().up, "flap schedule ends with the link up");
+        assert!(
+            s.last().unwrap().is_up(),
+            "flap schedule ends with the link up"
+        );
+    }
+
+    #[test]
+    fn metric_flap_degrades_and_restores() {
+        let mut t = Topology::line(3);
+        t.set_cost(0, 1, 2);
+        let s = t.metric_flap_schedule(0, 1, 10, 5, 2, 9);
+        assert_eq!(
+            s,
+            vec![
+                LinkSchedule::metric(10, 0, 1, 9),
+                LinkSchedule::metric(15, 0, 1, 2),
+                LinkSchedule::metric(20, 0, 1, 9),
+                LinkSchedule::metric(25, 0, 1, 2),
+            ]
+        );
+        // Interpreting the schedule ends at the original cost.
+        let fin = LinkSchedule::final_topology(&s, &t);
+        assert_eq!(fin.cost_of(0, 1), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent edge")]
+    fn metric_flap_rejects_missing_edge() {
+        Topology::line(3).metric_flap_schedule(0, 2, 0, 1, 1, 9);
+    }
+
+    #[test]
+    fn set_cost_and_cost_of_roundtrip() {
+        let mut t = Topology::line(3);
+        assert_eq!(t.cost_of(0, 1), Some(1));
+        assert!(t.set_cost(1, 0, 5), "order-insensitive");
+        assert_eq!(t.cost_of(0, 1), Some(5));
+        assert_eq!(t.num_edges(), 2, "recosting never duplicates an edge");
+        assert!(!t.set_cost(0, 2, 3), "missing edge is reported");
+        assert_eq!(t.cost_of(0, 2), None);
     }
 
     #[test]
@@ -484,11 +590,54 @@ mod tests {
         // Per-edge alternation: first toggle of each edge is a down event.
         let mut state: BTreeMap<(u32, u32), bool> = BTreeMap::new();
         for ev in &s1 {
-            let prev = state.insert((ev.a, ev.b), ev.up);
+            let prev = state.insert((ev.a, ev.b), ev.is_up());
             match prev {
-                None => assert!(!ev.up, "first toggle must take the link down"),
-                Some(p) => assert_ne!(p, ev.up, "toggles must alternate"),
+                None => assert!(!ev.is_up(), "first toggle must take the link down"),
+                Some(p) => assert_ne!(p, ev.is_up(), "toggles must alternate"),
             }
         }
+    }
+
+    #[test]
+    fn churn_mix_interleaves_metric_changes_consistently() {
+        use crate::sim::LinkEvent;
+        let t = Topology::grid(3, 3);
+        let s1 = t.random_churn_schedule_mix(40, 0, 7, 42, 0.4, 5);
+        assert_eq!(s1, t.random_churn_schedule_mix(40, 0, 7, 42, 0.4, 5));
+        assert_eq!(s1.len(), 40);
+        let metrics = s1
+            .iter()
+            .filter(|e| matches!(e.event, LinkEvent::Metric { .. }))
+            .count();
+        assert!(
+            metrics > 0 && metrics < 40,
+            "mix knob produces both kinds ({metrics} metric events)"
+        );
+        // Metric events only hit currently-up edges; toggles alternate.
+        let mut down: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        for ev in &s1 {
+            match ev.event {
+                LinkEvent::Metric { cost } => {
+                    assert!((1..=5).contains(&cost));
+                    assert!(
+                        !down.get(&(ev.a, ev.b)).copied().unwrap_or(false),
+                        "metric change on a down edge"
+                    );
+                }
+                LinkEvent::Down => {
+                    assert!(!down.get(&(ev.a, ev.b)).copied().unwrap_or(false));
+                    down.insert((ev.a, ev.b), true);
+                }
+                LinkEvent::Up => {
+                    assert!(down.get(&(ev.a, ev.b)).copied().unwrap_or(false));
+                    down.insert((ev.a, ev.b), false);
+                }
+            }
+        }
+        // metric_frac = 0 reproduces the pre-mix stream bit-for-bit.
+        assert_eq!(
+            t.random_churn_schedule(20, 0, 7, 42),
+            t.random_churn_schedule_mix(20, 0, 7, 42, 0.0, 99)
+        );
     }
 }

@@ -12,13 +12,32 @@
 //! Unlike the epoch model the paper's experiments used (recompute the world
 //! on every change), topology churn is absorbed **incrementally**: a
 //! [`netsim::Event::LinkChange`] retracts or re-asserts the node's `link`
-//! facts toward that neighbor, the engine propagates the tuple deltas
+//! facts toward that neighbor, a [`netsim::Event::MetricChange`] recosts
+//! them in place (first-class metric churn — one retract+assert batch, no
+//! linkless intermediate state), the engine propagates the tuple deltas
 //! (counting / DRed, see [`ndlog::incremental`]), and the node ships signed
 //! [`TupleMsg`]s — assertions *and retractions* — to the affected owners.
 //! Receivers track per-neighbor provenance counts, so a tuple asserted by
 //! two neighbors survives one retraction, and a link failure purges exactly
 //! the state learned over that link (soft-state teardown); on recovery both
 //! sides re-ship their currently visible tuples.
+//!
+//! # Batch windows
+//!
+//! Construction goes through the unified churn API:
+//! [`DistRuntime::open`] consumes an [`ndlog::update::SessionBuilder`], and
+//! its [`batch_window`](ndlog::update::SessionBuilder::batch_window) knob
+//! becomes a per-node **delay-and-batch window**: instead of running
+//! maintenance per message, a node buffers incoming tuple deltas and flushes
+//! them as *one merged batch* when the window timer fires.  Maintenance is
+//! amortized across simultaneous deltas and transient oscillations net out
+//! before they are ever shipped, cutting message churn during convergence
+//! (EXP‑12 quantifies this).  Link status and metric events force an
+//! immediate flush first — session/purge bookkeeping and link-fact recosts
+//! must observe a consistent engine, not one with deltas still buffered.
+//! Windowing changes *when* maintenance runs, never what the network
+//! converges to: the quiescent database is byte-identical at every window
+//! size (pinned by `tests/properties.rs`).
 //!
 //! The quiescent distributed database still coincides with centralized
 //! evaluation over the *final* topology — the integration and property
@@ -32,13 +51,16 @@
 
 use ndlog::ast::Program;
 use ndlog::eval::{Database, EvalOptions};
-use ndlog::incremental::{IncrementalEngine, RelDelta};
+use ndlog::incremental::{BatchStats, IncrementalEngine, RelDelta};
 use ndlog::localize::localize_program;
 use ndlog::safety::analyze;
 use ndlog::symbols::RelId;
+use ndlog::update::{Session, SessionBuilder};
 use ndlog::value::{SharedTuple, Value};
 use ndlog::{NdlogError, Result};
-use netsim::{Context, Event, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Topology};
+use netsim::{
+    Context, Event, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Time, Topology,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -46,6 +68,11 @@ use std::sync::Arc;
 /// change events: `link(@from, to, cost)`, the standard input relation of
 /// the paper's programs.
 pub const LINK_PRED: &str = "link";
+
+// Batch-window flush timers carry the node's flush *epoch* as their tag:
+// a forced mid-window flush (link-status events) bumps the epoch, so the
+// already-queued timer of the cancelled window is recognized as stale when
+// it fires and ignored instead of cutting the next window short.
 
 /// A shipped tuple, signed: an assertion or a retraction.
 ///
@@ -108,12 +135,36 @@ pub struct NdlogNode {
     recv_expected: BTreeMap<u32, u64>,
     /// Out-of-order messages held until their predecessors arrive.
     recv_buffer: BTreeMap<u32, BTreeMap<u64, TupleMsg>>,
+    /// Delay-and-batch window in ticks (0 = maintain per event).
+    batch_window: Time,
+    /// Deltas buffered until the window flush timer fires.
+    pending: Vec<RelDelta>,
+    /// True while a flush timer is outstanding.
+    flush_armed: bool,
+    /// Flush-timer epoch (the timer tag); bumped on every flush so timers
+    /// from force-flushed windows are ignored as stale.
+    flush_epoch: u64,
+    /// Cumulative maintenance counters (across every batch this node ran).
+    applied: BatchStats,
+    /// Number of maintenance batches this node ran.
+    batches: u64,
 }
 
 impl NdlogNode {
     /// The node's visible database (tuples homed here).
     pub fn database(&self) -> &Database {
         &self.derived
+    }
+
+    /// Cumulative maintenance work across every batch this node ran.
+    pub fn maintenance_stats(&self) -> BatchStats {
+        self.applied
+    }
+
+    /// Number of maintenance batches this node ran (with a batch window,
+    /// many events fold into one batch).
+    pub fn batches(&self) -> u64 {
+        self.batches
     }
 
     /// Owner of a tuple by location attribute (`None` when unlocated).
@@ -151,9 +202,12 @@ impl NdlogNode {
             // are data-dependent evaluation bounds.
             panic!(
                 "incremental maintenance exceeded its evaluation bounds ({e}); \
-                 raise the limits with DistRuntime::with_options"
+                 raise the limits via Session::open(prog).eval_options(..) \
+                 before DistRuntime::open"
             )
         });
+        self.applied += outcome.stats;
+        self.batches += 1;
         let mut outgoing = Vec::new();
         for change in outcome.changes {
             let RelDelta { rel, tuple, delta } = change;
@@ -188,6 +242,94 @@ impl NdlogNode {
             }
         }
         outgoing
+    }
+
+    /// Route deltas into the batch window: absorbed immediately when the
+    /// window is 0, buffered behind a flush timer otherwise.  This is the
+    /// delay-and-batch point — every non-link-status event feeds churn
+    /// through here.
+    fn enqueue(&mut self, deltas: Vec<RelDelta>, ctx: &mut Context<TupleMsg>) {
+        if deltas.is_empty() {
+            return;
+        }
+        ctx.mark_changed();
+        if self.batch_window == 0 {
+            let out = self.absorb(&deltas);
+            for (to, msg) in out {
+                ctx.send(to, msg);
+            }
+        } else {
+            self.pending.extend(deltas);
+            if !self.flush_armed {
+                self.flush_armed = true;
+                ctx.set_timer(self.batch_window, self.flush_epoch);
+            }
+        }
+    }
+
+    /// Apply the buffered window as one merged maintenance batch.  Always
+    /// closes the current window: the epoch bump invalidates any timer
+    /// still queued for it.
+    fn flush_pending(&mut self, ctx: &mut Context<TupleMsg>) {
+        if self.flush_armed {
+            self.flush_armed = false;
+            self.flush_epoch += 1;
+        }
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        ctx.mark_changed();
+        let out = self.absorb(&batch);
+        for (to, msg) in out {
+            ctx.send(to, msg);
+        }
+    }
+
+    /// Handle a metric change toward `neighbor`: recost our directed link
+    /// facts as a retract+assert pair in one batch.  While the link is down
+    /// the suspended facts are recosted in place, so recovery re-asserts at
+    /// the new cost.
+    fn metric_change(&mut self, neighbor: u32, cost: i64) -> Vec<RelDelta> {
+        let Some(link_rel) = self.link_rel else {
+            return Vec::new();
+        };
+        let recost = |t: &SharedTuple| -> Option<SharedTuple> {
+            // link(@from, to, cost): no cost column means nothing to change.
+            if t.get(2) == Some(&Value::Int(cost)) || t.len() < 3 {
+                return None;
+            }
+            let mut new = t.to_tuple();
+            new[2] = Value::Int(cost);
+            Some(SharedTuple::from(new))
+        };
+        if let Some(suspended) = self.suspended_links.get_mut(&neighbor) {
+            for t in suspended.iter_mut() {
+                if let Some(new) = recost(t) {
+                    *t = new;
+                }
+            }
+            return Vec::new();
+        }
+        let mine: Vec<SharedTuple> = self
+            .engine
+            .storage()
+            .visible_id(link_rel)
+            .filter(|t| {
+                t.first() == Some(&Value::Addr(self.me))
+                    && t.get(1) == Some(&Value::Addr(neighbor))
+                    && self.engine.storage().edb_count_id(link_rel, t) > 0
+            })
+            .cloned()
+            .collect();
+        let mut deltas = Vec::new();
+        for t in mine {
+            if let Some(new) = recost(&t) {
+                deltas.push(RelDelta::remove(link_rel, t));
+                deltas.push(RelDelta::insert(link_rel, new));
+            }
+        }
+        deltas
     }
 
     /// Handle a link-status change toward `neighbor`.
@@ -296,6 +438,25 @@ impl Protocol for NdlogNode {
                 ctx.mark_changed();
                 self.absorb(&base)
             }
+            Event::Timer { tag } => {
+                // Only the current window's timer flushes; timers from
+                // windows that were force-flushed early are stale.
+                if self.flush_armed && tag == self.flush_epoch {
+                    self.flush_pending(ctx);
+                }
+                return;
+            }
+            Event::MetricChange { neighbor, cost } => {
+                // First-class metric churn: retract-old + assert-new in one
+                // batch.  Close the window first — the recost deltas are
+                // computed against engine state, so buffered deltas for the
+                // same link (an earlier recost in this window) must be
+                // applied before the store is consulted.
+                self.flush_pending(ctx);
+                let deltas = self.metric_change(neighbor, cost);
+                self.enqueue(deltas, ctx);
+                return;
+            }
             Event::Message { from, msg } => {
                 // Stale session (sent before a flap we have since recovered
                 // from): the content was purged and re-shipped; discard.
@@ -353,20 +514,19 @@ impl Protocol for NdlogNode {
                         .get_mut(&from)
                         .and_then(|b| b.remove(&want));
                 }
-                if deltas.is_empty() {
-                    return;
-                }
-                ctx.mark_changed();
-                self.absorb(&deltas)
+                self.enqueue(deltas, ctx);
+                return;
             }
             Event::LinkChange { neighbor, up } => {
+                // Session bumps, purges, and re-ships must observe a
+                // consistent engine: close the window first.
+                self.flush_pending(ctx);
                 let out = self.link_change(neighbor, up);
                 if !out.is_empty() {
                     ctx.mark_changed();
                 }
                 out
             }
-            Event::Timer { .. } => Vec::new(),
         };
         for (to, msg) in out {
             ctx.send(to, msg);
@@ -382,32 +542,34 @@ pub struct DistRuntime {
 
 impl DistRuntime {
     /// Localize and compile `program`, distribute its facts by location
-    /// attribute, and prepare a simulator over `topo` with default
-    /// evaluation bounds.
+    /// attribute, and prepare a simulator over `topo` with default options
+    /// — shorthand for [`open`](Self::open) with an unconfigured
+    /// [`Session`] builder.
     pub fn new(program: &Program, topo: &Topology, cfg: SimConfig) -> Result<Self> {
-        Self::with_options(program, topo, cfg, EvalOptions::default())
+        Self::open(&Session::open(program), topo, cfg)
     }
 
-    /// Like [`new`](Self::new) with explicit per-node evaluation bounds —
-    /// raise them for topologies whose derived state exceeds the defaults
-    /// (maintenance that exceeds the bounds panics mid-simulation, since
-    /// protocol handlers cannot surface errors).
+    /// Deprecated constructor-zoo wrapper.
+    #[deprecated(
+        since = "0.1.0",
+        note = "churn configuration goes through the unified API now: \
+                `DistRuntime::open(&Session::open(p).eval_options(opts), topo, cfg)`"
+    )]
     pub fn with_options(
         program: &Program,
         topo: &Topology,
         cfg: SimConfig,
         eval_opts: EvalOptions,
     ) -> Result<Self> {
-        Self::with_sharded_options(program, topo, cfg, eval_opts, 1)
+        Self::open(&Session::open(program).eval_options(eval_opts), topo, cfg)
     }
 
-    /// Like [`with_options`](Self::with_options), running each node's
-    /// incremental engine on `shards` shard workers
-    /// ([`ndlog::sharded`]).  One [`ShardRouter`](ndlog::ShardRouter) is
-    /// built from the localized program's analysis and shared by every
-    /// node.  Sharding changes how each node evaluates its maintenance
-    /// rounds, never what it derives or ships, so distributed results stay
-    /// byte-identical to the single-threaded runtime.
+    /// Deprecated constructor-zoo wrapper.
+    #[deprecated(
+        since = "0.1.0",
+        note = "churn configuration goes through the unified API now: \
+                `DistRuntime::open(&Session::open(p).sharding(n).eval_options(opts), topo, cfg)`"
+    )]
     pub fn with_sharded_options(
         program: &Program,
         topo: &Topology,
@@ -415,6 +577,66 @@ impl DistRuntime {
         eval_opts: EvalOptions,
         shards: usize,
     ) -> Result<Self> {
+        Self::open(
+            &Session::open(program)
+                .eval_options(eval_opts)
+                .sharding(shards),
+            topo,
+            cfg,
+        )
+    }
+
+    /// Build the distributed runtime from a [`Session`] configuration — the
+    /// unified churn API's distributed backend.  Every
+    /// [`SessionBuilder`] knob maps onto the runtime:
+    ///
+    /// * [`eval_options`](SessionBuilder::eval_options) — per-node
+    ///   evaluation bounds (exceeding them panics mid-simulation, since
+    ///   protocol handlers cannot surface errors);
+    /// * [`sharding(n)`](SessionBuilder::sharding) — each node's engine
+    ///   runs its maintenance rounds on `n` shard workers
+    ///   ([`ndlog::sharded`]; one router/pool shared by every node).
+    ///   Sharding changes how a node evaluates, never what it derives or
+    ///   ships;
+    /// * [`batch_window(t)`](SessionBuilder::batch_window) — each node
+    ///   buffers incoming deltas for up to `t` simulator ticks and
+    ///   maintains them as one merged batch (see the [module
+    ///   docs](self)).
+    ///
+    /// [`soft_state`](SessionBuilder::soft_state) is **not yet supported**
+    /// distributed (nodes do not run TTL timers); a builder carrying a
+    /// non-empty policy is rejected here rather than silently ignored.
+    ///
+    /// ```no_run
+    /// use ndlog::update::Session;
+    /// use ndlog_runtime::DistRuntime;
+    /// use netsim::{SimConfig, Topology};
+    ///
+    /// let topo = Topology::ring(4);
+    /// let mut prog = ndlog::programs::path_vector();
+    /// ndlog_runtime::link_facts(&mut prog, &topo);
+    /// let mut rt = DistRuntime::open(
+    ///     &Session::open(&prog).sharding(2).batch_window(8),
+    ///     &topo,
+    ///     SimConfig::default(),
+    /// )
+    /// .unwrap();
+    /// rt.schedule_links(&topo.flap_schedule(0, 1, 50, 20, 2));
+    /// assert!(rt.run().quiescent);
+    /// ```
+    pub fn open(session: &SessionBuilder, topo: &Topology, cfg: SimConfig) -> Result<Self> {
+        if session.ttl().is_some_and(|p| !p.is_empty()) {
+            return Err(NdlogError::Eval {
+                msg: "soft-state TTL policies are not supported by the distributed \
+                      runtime yet (nodes run no TTL timers); drop .soft_state(..) \
+                      or run the session centrally"
+                    .into(),
+            });
+        }
+        let program = session.program();
+        let eval_opts = session.options();
+        let shards = session.shards();
+        let batch_window = session.window();
         let localized = localize_program(program)?;
         let mut compiled_prog = localized.into_program();
         compiled_prog.facts = program.facts.clone();
@@ -508,6 +730,12 @@ impl DistRuntime {
                     next_seq: Default::default(),
                     recv_expected: Default::default(),
                     recv_buffer: Default::default(),
+                    batch_window,
+                    pending: Vec::new(),
+                    flush_armed: false,
+                    flush_epoch: 0,
+                    applied: BatchStats::default(),
+                    batches: 0,
                 }
             })
             .collect();
@@ -517,7 +745,10 @@ impl DistRuntime {
         })
     }
 
-    /// Schedule link status changes before running.
+    /// Schedule link changes (status toggles and metric changes) before
+    /// running.  Delegates to the one schedule interpreter,
+    /// [`netsim::Simulator::schedule_links`]; oracles over the same
+    /// schedule come from [`LinkSchedule::final_topology`].
     pub fn schedule_links(&mut self, schedule: &[LinkSchedule]) {
         self.sim.schedule_links(schedule);
     }
@@ -548,6 +779,25 @@ impl DistRuntime {
     /// Stats of the last run.
     pub fn stats(&self) -> Option<SimStats> {
         self.stats
+    }
+
+    /// Cumulative maintenance work summed over every node — the
+    /// "derivations" axis of EXP‑12 (message counts come from
+    /// [`SimStats::messages`]).
+    pub fn maintenance_stats(&self) -> BatchStats {
+        let mut total = BatchStats::default();
+        for v in 0..self.sim.topology().num_nodes() {
+            total += self.sim.node(v).maintenance_stats();
+        }
+        total
+    }
+
+    /// Total maintenance batches summed over every node (a batch window
+    /// folds many events into one batch).
+    pub fn batches(&self) -> u64 {
+        (0..self.sim.topology().num_nodes())
+            .map(|v| self.sim.node(v).batches())
+            .sum()
     }
 }
 
@@ -693,12 +943,7 @@ mod tests {
         let topo = Topology::ring(4);
         let prog = pv_on(&topo);
         let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
-        rt.schedule_links(&[LinkSchedule {
-            at: 50,
-            a: 0,
-            b: 1,
-            up: false,
-        }]);
+        rt.schedule_links(&[LinkSchedule::down(50, 0, 1)]);
         let stats = rt.run();
         assert!(stats.quiescent);
         let want = central_on(&topo, &[(0, 1)]);
@@ -732,12 +977,7 @@ mod tests {
         let topo = Topology::line(3);
         let prog = pv_on(&topo);
         let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
-        rt.schedule_links(&[LinkSchedule {
-            at: 50,
-            a: 1,
-            b: 2,
-            up: false,
-        }]);
+        rt.schedule_links(&[LinkSchedule::down(50, 1, 2)]);
         let stats = rt.run();
         assert!(stats.quiescent);
         // Node 0 must have dropped its routes through 1 to 2.
@@ -769,12 +1009,7 @@ mod tests {
             ..Default::default()
         };
         let mut rt = DistRuntime::new(&prog, &topo, cfg).unwrap();
-        rt.schedule_links(&[LinkSchedule {
-            at: 5,
-            a: 0,
-            b: 1,
-            up: true, // already up
-        }]);
+        rt.schedule_links(&[LinkSchedule::up(5, 0, 1)]); // already up
         let stats = rt.run();
         assert!(stats.quiescent);
         let got = rt.global_database();
@@ -804,12 +1039,7 @@ mod tests {
             let mut rt = DistRuntime::new(&prog, &topo, cfg).unwrap();
             // Rapid flaps (period 2 < latency 5), then a permanent failure.
             rt.schedule_links(&topo.flap_schedule(0, 1, 100, 2, 3));
-            rt.schedule_links(&[LinkSchedule {
-                at: 500,
-                a: 1,
-                b: 2,
-                up: false,
-            }]);
+            rt.schedule_links(&[LinkSchedule::down(500, 1, 2)]);
             let stats = rt.run();
             assert!(stats.quiescent, "seed {seed} must quiesce");
             let want = central_on(&topo, &[(1, 2)]);
@@ -829,20 +1059,13 @@ mod tests {
     fn sharded_nodes_match_centralized_under_churn() {
         let topo = Topology::ring(4);
         let prog = pv_on(&topo);
-        let mut rt = DistRuntime::with_sharded_options(
-            &prog,
+        let mut rt = DistRuntime::open(
+            &Session::open(&prog).sharding(4),
             &topo,
             SimConfig::default(),
-            EvalOptions::default(),
-            4,
         )
         .unwrap();
-        rt.schedule_links(&[LinkSchedule {
-            at: 50,
-            a: 0,
-            b: 1,
-            up: false,
-        }]);
+        rt.schedule_links(&[LinkSchedule::down(50, 0, 1)]);
         let stats = rt.run();
         assert!(stats.quiescent);
         let want = central_on(&topo, &[(0, 1)]);
@@ -851,6 +1074,200 @@ mod tests {
             let c: Vec<_> = want.relation(pred).cloned().collect();
             let d: Vec<_> = got.relation(pred).cloned().collect();
             assert_eq!(c, d, "{pred} differs under sharded per-node engines");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // metric churn and batch windows (the unified-update-API surface)
+    // ------------------------------------------------------------------
+
+    /// Centralized oracle over whatever topology a schedule converges to —
+    /// the shared schedule interpreter, not a hand-rolled edge mutation.
+    fn central_after(topo: &Topology, schedule: &[LinkSchedule]) -> Database {
+        eval_program(&pv_on(&LinkSchedule::final_topology(schedule, topo))).unwrap()
+    }
+
+    #[test]
+    fn metric_change_converges_to_recosted_fixpoint() {
+        let topo = Topology::ring(4);
+        let prog = pv_on(&topo);
+        let schedule = vec![LinkSchedule::metric(50, 0, 1, 7)];
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.schedule_links(&schedule);
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let want = central_after(&topo, &schedule);
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = want.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after a metric change");
+        }
+    }
+
+    #[test]
+    fn metric_change_while_down_applies_on_recovery() {
+        let topo = Topology::ring(4);
+        let prog = pv_on(&topo);
+        // The 0-1 link fails, is recosted while down, then recovers: the
+        // recovered link must carry the new cost.
+        let schedule = vec![
+            LinkSchedule::down(50, 0, 1),
+            LinkSchedule::metric(80, 0, 1, 5),
+            LinkSchedule::up(120, 0, 1),
+        ];
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.schedule_links(&schedule);
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let want = central_after(&topo, &schedule);
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = want.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after recosting a down link");
+        }
+    }
+
+    #[test]
+    fn metric_flap_restores_original_fixpoint() {
+        let topo = Topology::ring(5);
+        let prog = pv_on(&topo);
+        let mut rt = DistRuntime::new(&prog, &topo, SimConfig::default()).unwrap();
+        rt.schedule_links(&topo.metric_flap_schedule(0, 1, 50, 40, 2, 9));
+        let stats = rt.run();
+        assert!(stats.quiescent);
+        let want = eval_program(&prog).unwrap();
+        let got = rt.global_database();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = want.relation(pred).cloned().collect();
+            let d: Vec<_> = got.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after a metric flap");
+        }
+    }
+
+    /// Regression: two metric events on the same link inside one batch
+    /// window must both take effect.  Recost deltas are computed against
+    /// engine state, so metric events close the window first — an earlier
+    /// recost still buffered would otherwise make the second read a stale
+    /// cost and silently drop the restore.
+    #[test]
+    fn rapid_metric_flap_inside_one_window_stays_consistent() {
+        let topo = Topology::ring(4);
+        let prog = pv_on(&topo);
+        // Period 8 < window 32: degrade and restore land in one window.
+        let schedule = topo.metric_flap_schedule(0, 1, 50, 8, 2, 9);
+        let run = |window: u64| {
+            let mut rt = DistRuntime::open(
+                &Session::open(&prog).batch_window(window),
+                &topo,
+                SimConfig::default(),
+            )
+            .unwrap();
+            rt.schedule_links(&schedule);
+            let stats = rt.run();
+            assert!(stats.quiescent, "window {window} must quiesce");
+            rt.global_database()
+        };
+        let want = run(0);
+        assert_eq!(run(32), want, "metric flap inside one window diverges");
+        // The flap restores the original cost: the unflapped fixpoint.
+        let central = eval_program(&prog).unwrap();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = central.relation(pred).cloned().collect();
+            let d: Vec<_> = want.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs after an in-window metric flap");
+        }
+    }
+
+    /// Batch windows change when maintenance runs, never what the network
+    /// converges to — and they strictly reduce both messages and batches on
+    /// a churn-heavy run.
+    #[test]
+    fn batch_windows_preserve_fixpoints_and_cut_batches() {
+        let topo = Topology::random_connected(8, 0.3, 3, 23);
+        let prog = pv_on(&topo);
+        let schedule = topo.random_churn_schedule_mix(8, 60, 30, 5, 0.4, 3);
+        let run = |window: u64| {
+            let mut rt = DistRuntime::open(
+                &Session::open(&prog).batch_window(window),
+                &topo,
+                SimConfig::default(),
+            )
+            .unwrap();
+            rt.schedule_links(&schedule);
+            let stats = rt.run();
+            assert!(stats.quiescent, "window {window} must quiesce");
+            (rt.global_database(), stats.messages, rt.batches())
+        };
+        let (want, messages0, batches0) = run(0);
+        let central = central_after(&topo, &schedule);
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = central.relation(pred).cloned().collect();
+            let d: Vec<_> = want.relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs from the schedule oracle");
+        }
+        for window in [1u64, 4, 16] {
+            let (got, messages, batches) = run(window);
+            assert_eq!(got, want, "window {window} diverges");
+            assert!(
+                batches <= batches0,
+                "window {window} must not run more batches ({batches} vs {batches0})"
+            );
+            assert!(
+                messages <= messages0,
+                "window {window} must not ship more messages ({messages} vs {messages0})"
+            );
+        }
+    }
+
+    /// Soft-state policies are rejected, not silently ignored: the runtime
+    /// runs no TTL timers yet (ROADMAP follow-up).
+    #[test]
+    fn soft_state_policy_is_rejected_distributed() {
+        let topo = Topology::line(2);
+        let prog = pv_on(&topo);
+        let err = DistRuntime::open(
+            &Session::open(&prog).soft_state(ndlog::TtlPolicy::new().with("link", 10)),
+            &topo,
+            SimConfig::default(),
+        );
+        assert!(err.is_err());
+        // An empty policy carries no obligation and is accepted.
+        assert!(DistRuntime::open(
+            &Session::open(&prog).soft_state(ndlog::TtlPolicy::new()),
+            &topo,
+            SimConfig::default(),
+        )
+        .is_ok());
+    }
+
+    /// The deprecated constructor-zoo wrappers still route through the
+    /// session path and behave identically — the one sanctioned use.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let topo = Topology::line(3);
+        let prog = pv_on(&topo);
+        let mut a =
+            DistRuntime::with_options(&prog, &topo, SimConfig::default(), EvalOptions::default())
+                .unwrap();
+        let mut b = DistRuntime::with_sharded_options(
+            &prog,
+            &topo,
+            SimConfig::default(),
+            EvalOptions::default(),
+            2,
+        )
+        .unwrap();
+        a.run();
+        b.run();
+        assert_eq!(a.global_database(), b.global_database());
+        let central = eval_program(&prog).unwrap();
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let c: Vec<_> = central.relation(pred).cloned().collect();
+            let d: Vec<_> = a.global_database().relation(pred).cloned().collect();
+            assert_eq!(c, d, "{pred} differs through the deprecated wrappers");
         }
     }
 

@@ -6,12 +6,15 @@
 //! argument.
 //!
 //! * [`engine`] — per-node incremental NDlog engines exchanging signed
-//!   tuples (assertions and retractions) over `netsim`; link churn is
-//!   absorbed as tuple deltas (see `DESIGN.md` §5), and distributed results
-//!   provably match centralized evaluation over the final topology on every
-//!   tested shape.  Each node's engine can optionally run on N shard
-//!   workers ([`DistRuntime::with_sharded_options`], `DESIGN.md` §7)
-//!   without changing any result.
+//!   tuples (assertions and retractions) over `netsim`; link churn —
+//!   status toggles *and* first-class metric changes — is absorbed as
+//!   tuple deltas (see `DESIGN.md` §5 and §9), and distributed results
+//!   provably match centralized evaluation over the final topology on
+//!   every tested shape.  Construction goes through the unified churn API
+//!   ([`DistRuntime::open`] over an `ndlog::update::SessionBuilder`):
+//!   sharding runs each node on N shard workers (`DESIGN.md` §7) and a
+//!   batch window makes nodes maintain one merged batch per window
+//!   (`DESIGN.md` §9) — neither changes any result.
 //! * [`baseline`] — imperative comparators for EXP‑6: centralized
 //!   Bellman–Ford and an event-driven distance-vector protocol.
 

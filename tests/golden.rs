@@ -15,8 +15,7 @@
 //! `UPDATE_GOLDEN=1 cargo test --test golden`
 
 use ndlog::incremental::{IncrementalEngine, TupleDelta};
-use ndlog::sharded::ShardedEngine;
-use ndlog::{Database, Program, Value};
+use ndlog::{Database, Program, Session, Update, Value};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -115,8 +114,17 @@ fn incremental_engine_matches_golden_snapshots() {
     }
 }
 
+/// Commit one golden churn batch through a session transaction.
+fn commit(session: &mut Session, batch: &[TupleDelta]) -> ndlog::CommitOutcome {
+    session
+        .txn()
+        .extend(batch.iter().map(Update::from))
+        .commit()
+        .unwrap()
+}
+
 #[test]
-fn sharded_pool_matches_golden_snapshots_at_every_shard_count() {
+fn sharded_session_matches_golden_snapshots_at_every_shard_count() {
     for (name, prog, churn) in scenarios() {
         let want = std::fs::read_to_string(golden_path(name)).unwrap_or_default();
         if want.is_empty() {
@@ -124,14 +132,14 @@ fn sharded_pool_matches_golden_snapshots_at_every_shard_count() {
             continue;
         }
         for shards in [1usize, 2, 4, 8] {
-            let mut engine = ShardedEngine::new(&prog, shards).unwrap();
+            let mut session = Session::open(&prog).sharding(shards).build().unwrap();
             let mut stages = String::new();
             writeln!(stages, "== initial ==").unwrap();
-            stages.push_str(&render(&engine.database()));
+            stages.push_str(&render(&session.database()));
             for (i, batch) in churn.iter().enumerate() {
-                engine.apply(batch).unwrap();
+                commit(&mut session, batch);
                 writeln!(stages, "== after batch {i} ==").unwrap();
-                stages.push_str(&render(&engine.database()));
+                stages.push_str(&render(&session.database()));
             }
             assert_eq!(
                 stages, want,
@@ -139,4 +147,48 @@ fn sharded_pool_matches_golden_snapshots_at_every_shard_count() {
             );
         }
     }
+}
+
+/// One blessed **batched** run: the path-vector scenario driven through a
+/// 4-tick batch window, two churn batches committed per window, rendered at
+/// every window close.  Pins the window machinery end-to-end — the merged
+/// flush cadence, the intermediate states it exposes, and the final
+/// database (which must equal the unbatched engine's).
+#[test]
+fn batched_session_matches_golden_snapshot() {
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let (_, prog, churn) = scenarios().swap_remove(0);
+    let mut session = Session::open(&prog).batch_window(4).build().unwrap();
+    let mut stages = String::new();
+    writeln!(stages, "== initial ==").unwrap();
+    stages.push_str(&render(&session.database()));
+    for (w, pair) in churn.chunks(2).enumerate() {
+        for batch in pair {
+            let out = commit(&mut session, batch);
+            assert!(!out.flushed, "commits buffer inside the open window");
+        }
+        let outs = session.advance(4).unwrap();
+        assert_eq!(outs.len(), 1, "exactly one merged flush per window");
+        writeln!(stages, "== after window {w} ==").unwrap();
+        stages.push_str(&render(&session.database()));
+    }
+    let path = golden_path("path_vector_batched");
+    if bless {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &stages).unwrap();
+    } else {
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        assert_eq!(
+            stages, want,
+            "batched session output diverged from the blessed snapshot \
+             (UPDATE_GOLDEN=1 to regenerate after an intentional change)"
+        );
+    }
+    // Batching never changes the drained fixpoint.
+    let mut engine = IncrementalEngine::new(&scenarios().swap_remove(0).1).unwrap();
+    for batch in &churn {
+        engine.apply(batch).unwrap();
+    }
+    assert_eq!(session.database(), engine.database());
 }

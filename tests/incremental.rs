@@ -114,12 +114,7 @@ fn distributed_runtime_absorbs_link_churn() {
     let edges = topo.edge_list();
     let (fa, fb, _) = edges[0];
     let (ga, gb, _) = edges[edges.len() / 2];
-    rt.schedule_links(&[netsim::LinkSchedule {
-        at: 60,
-        a: fa,
-        b: fb,
-        up: false,
-    }]);
+    rt.schedule_links(&[netsim::LinkSchedule::down(60, fa, fb)]);
     if (ga, gb) != (fa, fb) {
         rt.schedule_links(&topo.flap_schedule(ga, gb, 200, 80, 1));
     }
@@ -145,18 +140,14 @@ fn distributed_runtime_absorbs_link_churn() {
 fn churn_interleavings_keep_routes_loop_free() {
     let mut prog = ndlog::programs::path_vector();
     ndlog::programs::add_links(&mut prog, &[(0, 1, 1), (1, 2, 2), (0, 2, 9), (2, 3, 1)]);
+    // The churn schedule is a typed `Update` stream — the same vocabulary
+    // sessions and the runtime consume.
     let ts = fvn_mc::ChurnTs::new(
         &prog,
         vec![
-            ("fail01".into(), fail_deltas(0, 1, 1)),
-            ("fail23".into(), fail_deltas(2, 3, 1)),
-            (
-                "add13".into(),
-                vec![
-                    TupleDelta::insert("link", link(1, 3, 2)),
-                    TupleDelta::insert("link", link(3, 1, 2)),
-                ],
-            ),
+            ("fail01".into(), vec![ndlog::Update::link_down(0, 1, 1)]),
+            ("fail23".into(), vec![ndlog::Update::link_down(2, 3, 1)]),
+            ("add13".into(), vec![ndlog::Update::link_up(1, 3, 2)]),
         ],
     )
     .unwrap();

@@ -260,8 +260,8 @@ proptest! {
             let got_stats = ev.run_sharded(&mut got, shards).unwrap();
             prop_assert_eq!(&want, &got, "{} shards diverge (semi-naive)", shards);
             prop_assert_eq!(want_stats, got_stats, "{} shards change stats", shards);
-            let engine = ndlog::ShardedEngine::new(&prog, shards).unwrap();
-            prop_assert_eq!(&want, &engine.database(), "{} shards diverge (engine)", shards);
+            let session = ndlog::Session::open(&prog).sharding(shards).build().unwrap();
+            prop_assert_eq!(&want, &session.database(), "{} shards diverge (session)", shards);
         }
     }
 
@@ -287,11 +287,11 @@ proptest! {
         let mut prog = ndlog::parse_program(rules).unwrap();
         ndlog::programs::add_links(&mut prog, &topo.edge_list());
         let mut single = IncrementalEngine::new(&prog).unwrap();
-        let mut engines: Vec<ndlog::ShardedEngine> = [1usize, 2, 4, 8]
+        let mut engines: Vec<(usize, ndlog::Session)> = [1usize, 2, 4, 8]
             .iter()
-            .map(|&n| ndlog::ShardedEngine::new(&prog, n).unwrap())
+            .map(|&n| (n, ndlog::Session::open(&prog).sharding(n).build().unwrap()))
             .collect();
-        for e in &engines {
+        for (_, e) in &engines {
             prop_assert_eq!(single.database(), e.database());
         }
 
@@ -316,16 +316,83 @@ proptest! {
                 TupleDelta { pred: "link".into(), tuple: link(b, a), delta: d },
             ];
             let want = single.apply(&batch).unwrap();
-            for e in engines.iter_mut() {
-                let got = e.apply(&batch).unwrap();
+            for (n, e) in engines.iter_mut() {
+                let got = if up {
+                    e.txn().link_up(a, b, 1).commit().unwrap()
+                } else {
+                    e.txn().link_down(a, b, 1).commit().unwrap()
+                };
                 prop_assert_eq!(
                     &want.changes, &got.changes,
                     "{} shards report different changes after toggling {}-{}",
-                    e.shards(), a, b
+                    n, a, b
                 );
                 prop_assert_eq!(single.database(), e.database());
             }
         }
+    }
+
+    /// The batch-window determinism contract of the unified churn API: for
+    /// random topologies and random typed update streams (toggles + metric
+    /// changes), the final database after draining the stream is
+    /// byte-identical at batch windows 0/1/4/16 and shard counts 1/4 — and
+    /// matches the from-scratch oracle backend.  Windowing and sharding are
+    /// execution-strategy knobs, never semantics.
+    #[test]
+    fn batched_churn_matches_unbatched(
+        seed in 0u64..20,
+        events in prop::collection::vec((0u64..6, 0u8..6), 1..12),
+    ) {
+        use ndlog::update::replay;
+        use ndlog::{Session, Update};
+
+        let topo = netsim::Topology::random_connected(6, 0.3, 3, seed);
+        let mut prog = ndlog::programs::path_vector();
+        ndlog::programs::add_links(&mut prog, &topo.edge_list());
+
+        // Build a consistent typed update stream: per-edge state is
+        // tracked so retractions and metric changes name the live cost.
+        let edges = topo.edge_list();
+        let mut up: Vec<bool> = edges.iter().map(|_| true).collect();
+        let mut cost: Vec<i64> = edges.iter().map(|&(_, _, c)| c).collect();
+        let mut stream: Vec<(u64, Update)> = Vec::new();
+        for (i, &(dt, kind)) in events.iter().enumerate() {
+            let e = (i + kind as usize) % edges.len();
+            let (a, b, _) = edges[e];
+            let u = if kind % 3 == 1 && up[e] {
+                let old = cost[e];
+                let new = if old >= 3 { 1 } else { old + 1 };
+                cost[e] = new;
+                Update::metric_change(a, b, old, new)
+            } else if up[e] {
+                up[e] = false;
+                Update::link_down(a, b, cost[e])
+            } else {
+                up[e] = true;
+                Update::link_up(a, b, cost[e])
+            };
+            stream.push((dt, u));
+        }
+
+        let mut reference = Session::open(&prog).build().unwrap();
+        let want = replay(&mut reference, &stream).unwrap();
+        for window in [0u64, 1, 4, 16] {
+            for shards in [1usize, 4] {
+                let mut s = Session::open(&prog)
+                    .batch_window(window)
+                    .sharding(shards)
+                    .build()
+                    .unwrap();
+                let got = replay(&mut s, &stream).unwrap();
+                prop_assert_eq!(
+                    &got, &want,
+                    "window {} x {} shards diverges from unbatched", window, shards
+                );
+            }
+        }
+        // The from-scratch oracle agrees byte-for-byte with maintenance.
+        let mut oracle = Session::open(&prog).batch_window(4).oracle().unwrap();
+        prop_assert_eq!(replay(&mut oracle, &stream).unwrap(), want);
     }
 
     /// The interned hot path is semantics-free: driving one engine through

@@ -5,10 +5,13 @@
 //! realistic topology scales and under link churn.  (Wall-clock scaling is
 //! measured by the EXP-10 bench, not asserted here — CI machines may have
 //! one core.)
+//!
+//! Sharding is exercised through the unified churn API: a
+//! [`ndlog::Session`] built with `.sharding(n)` wraps the same engine the
+//! deprecated `ShardedEngine` constructors used to build.
 
 use ndlog::incremental::{IncrementalEngine, TupleDelta};
-use ndlog::sharded::ShardedEngine;
-use ndlog::{eval_program, Evaluator, Value};
+use ndlog::{eval_program, CommitOutcome, Evaluator, Session, Update, Value};
 use netsim::Topology;
 
 fn link(a: u32, b: u32, c: i64) -> Vec<Value> {
@@ -31,6 +34,15 @@ fn link_toggle(a: u32, b: u32, c: i64, up: bool) -> Vec<TupleDelta> {
     ]
 }
 
+/// Commit a `TupleDelta` batch through a session transaction (the oracle
+/// engines keep the raw-delta API; sessions speak `Update`).
+fn commit(s: &mut Session, batch: &[TupleDelta]) -> CommitOutcome {
+    s.txn()
+        .extend(batch.iter().map(Update::from))
+        .commit()
+        .unwrap()
+}
+
 /// A 40-node reachability fixpoint agrees across 1/2/4/8 shards, the
 /// from-scratch evaluator, and the sharded semi-naive evaluator.
 #[test]
@@ -42,9 +54,9 @@ fn reachability_fixpoint_agrees_across_shard_counts() {
     let want = eval_program(&prog).unwrap();
     let ev = Evaluator::new(&prog).unwrap();
     for shards in [1usize, 2, 4, 8] {
-        let engine = ShardedEngine::new(&prog, shards).unwrap();
+        let session = Session::open(&prog).sharding(shards).build().unwrap();
         assert_eq!(
-            engine.database(),
+            session.database(),
             want,
             "{shards}-shard incremental fixpoint diverges"
         );
@@ -64,17 +76,16 @@ fn path_vector_churn_agrees_across_shard_counts() {
     ndlog::programs::add_links(&mut prog, &topo.edge_list());
 
     let mut single = IncrementalEngine::new(&prog).unwrap();
-    let mut engines: Vec<ShardedEngine> = [2usize, 4, 8]
+    let mut sessions: Vec<(usize, Session)> = [2usize, 4, 8]
         .iter()
-        .map(|&n| ShardedEngine::new(&prog, n).unwrap())
+        .map(|&n| (n, Session::open(&prog).sharding(n).build().unwrap()))
         .collect();
-    for e in &engines {
-        assert_eq!(e.database(), single.database());
+    for (n, s) in &sessions {
+        assert_eq!(s.database(), single.database());
         assert_eq!(
-            e.init_stats().derivations,
+            s.init_stats().derivations,
             single.init_stats().derivations,
-            "{} shards fire a different number of rules",
-            e.shards()
+            "{n} shards fire a different number of rules"
         );
     }
 
@@ -87,21 +98,20 @@ fn path_vector_churn_agrees_across_shard_counts() {
     for (a, b, c, up) in schedule {
         let batch = link_toggle(a, b, c, up);
         let want = single.apply(&batch).unwrap();
-        for e in engines.iter_mut() {
-            let got = e.apply(&batch).unwrap();
+        for (n, s) in sessions.iter_mut() {
+            let got = commit(s, &batch);
             assert_eq!(
                 got.changes,
                 want.changes,
-                "{} shards ship different deltas for {a}-{b} {}",
-                e.shards(),
+                "{n} shards ship different deltas for {a}-{b} {}",
                 if up { "up" } else { "down" }
             );
-            assert_eq!(e.database(), single.database());
+            assert_eq!(s.database(), single.database());
         }
     }
 }
 
-/// Stratified negation under churn: the sharded engine flips `unreach`
+/// Stratified negation under churn: the sharded session flips `unreach`
 /// tuples exactly like the single-threaded engine when edges toggle.
 #[test]
 fn negation_churn_agrees_across_shard_counts() {
@@ -112,7 +122,7 @@ fn negation_churn_agrees_across_shard_counts() {
          edge(#0,#1). edge(#3,#4).";
     let prog = ndlog::parse_program(src).unwrap();
     let mut single = IncrementalEngine::new(&prog).unwrap();
-    let mut sharded = ShardedEngine::new(&prog, 4).unwrap();
+    let mut sharded = Session::open(&prog).sharding(4).build().unwrap();
     let edge = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b)];
     for batch in [
         vec![TupleDelta::insert("edge", edge(1, 2))],
@@ -124,14 +134,14 @@ fn negation_churn_agrees_across_shard_counts() {
         ],
     ] {
         let want = single.apply(&batch).unwrap();
-        let got = sharded.apply(&batch).unwrap();
+        let got = commit(&mut sharded, &batch);
         assert_eq!(got.changes, want.changes);
         assert_eq!(sharded.database(), single.database());
     }
 }
 
 /// The persistent worker pool (DESIGN.md §8) survives across batches and
-/// engine clones: a cloned engine shares the original's pool, both stay
+/// session clones: a forked session shares the original's pool, both stay
 /// byte-identical to a single-threaded oracle through interleaved churn,
 /// and the pool thread count never changes.
 #[test]
@@ -141,31 +151,34 @@ fn persistent_pool_is_shared_across_batches_and_clones() {
     ndlog::programs::add_links(&mut prog, &topo.edge_list());
 
     let mut oracle_a = IncrementalEngine::new(&prog).unwrap();
-    let mut original = ShardedEngine::new(&prog, 4).unwrap();
-    assert_eq!(original.router().pool().workers(), 3);
+    let mut original = Session::open(&prog).sharding(4).build().unwrap();
+    assert_eq!(original.router().unwrap().pool().workers(), 3);
 
-    // Warm the pool with one batch, then clone mid-history.
+    // Warm the pool with one batch, then fork mid-history.
     let (a, b, c) = topo.edge_list()[0];
     oracle_a.apply(&link_toggle(a, b, c, false)).unwrap();
-    original.apply(&link_toggle(a, b, c, false)).unwrap();
+    commit(&mut original, &link_toggle(a, b, c, false));
     assert_eq!(original.database(), oracle_a.database());
 
     let mut fork = original.clone();
     let mut oracle_b = oracle_a.clone();
     assert!(
-        std::ptr::eq(original.router().pool(), fork.router().pool()),
-        "clones must share one pool, not spawn their own workers"
+        std::ptr::eq(
+            original.router().unwrap().pool(),
+            fork.router().unwrap().pool()
+        ),
+        "forks must share one pool, not spawn their own workers"
     );
 
     // Diverge the histories; each stays identical to its own oracle.
     let (x, y, z) = topo.edge_list()[1];
     oracle_a.apply(&link_toggle(a, b, c, true)).unwrap();
-    original.apply(&link_toggle(a, b, c, true)).unwrap();
+    commit(&mut original, &link_toggle(a, b, c, true));
     oracle_b.apply(&link_toggle(x, y, z, false)).unwrap();
-    fork.apply(&link_toggle(x, y, z, false)).unwrap();
+    commit(&mut fork, &link_toggle(x, y, z, false));
     assert_eq!(original.database(), oracle_a.database());
     assert_eq!(fork.database(), oracle_b.database());
-    assert_eq!(original.router().pool().workers(), 3);
+    assert_eq!(original.router().unwrap().pool().workers(), 3);
 }
 
 /// Many small batches through the pool: the round-per-batch cadence that
@@ -177,7 +190,7 @@ fn deep_churn_sequence_stays_identical_through_one_pool() {
     let mut prog = ndlog::programs::reachability();
     ndlog::programs::add_links(&mut prog, &base);
     let mut single = IncrementalEngine::new(&prog).unwrap();
-    let mut sharded = ShardedEngine::new(&prog, 4).unwrap();
+    let mut sharded = Session::open(&prog).sharding(4).build().unwrap();
 
     let mut state = 0xDEADBEEFu64;
     let mut present: Vec<bool> = base.iter().map(|_| true).collect();
@@ -190,7 +203,7 @@ fn deep_churn_sequence_stays_identical_through_one_pool() {
         present[i] = !present[i];
         let batch = link_toggle(a, b, c, present[i]);
         let want = single.apply(&batch).unwrap();
-        let got = sharded.apply(&batch).unwrap();
+        let got = commit(&mut sharded, &batch);
         assert_eq!(got.changes, want.changes);
     }
     assert_eq!(sharded.database(), single.database());
