@@ -192,11 +192,11 @@ fn bench_incremental_vs_epoch(c: &mut Criterion) {
     let edges = topo50.edge_list();
     let (fa, fb) = (10, 40);
     let link = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b), Value::Int(1)];
-    let fail = vec![
+    let fail = [
         TupleDelta::remove("link", link(fa, fb)),
         TupleDelta::remove("link", link(fb, fa)),
     ];
-    let recover = vec![
+    let recover = [
         TupleDelta::insert("link", link(fa, fb)),
         TupleDelta::insert("link", link(fb, fa)),
     ];
@@ -515,6 +515,161 @@ fn bench_interned_hot_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// EXP-13: telemetry overhead — the EXP-9 flap workload run through a
+/// [`ndlog::Session`] with the metrics sink disabled (the default no-op
+/// handles) vs enabled (live atomic counters and phase timers).
+///
+/// Two acceptance assertions run *in the function body* (so they hold even
+/// when `FVN_BENCH_FILTER` skips the criterion measurements):
+///
+/// 1. **zero-alloc no-op path** — warm join probes plus no-op handle
+///    recording allocate nothing (the EXP-11 `CountingAlloc` harness);
+/// 2. **≤5% enabled overhead** — best-of-N wall clock of the enabled
+///    session stays within 1.05x of the disabled one on the flap batch.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use ndlog::incremental::TupleDelta;
+    use ndlog::telemetry::{Counter, Telemetry};
+    use ndlog::update::Session;
+    use ndlog::value::SharedTuple;
+    use ndlog::Value;
+    use std::time::{Duration, Instant};
+
+    // The EXP-9 workload: 50-node binary tree plus redundant chords, the
+    // 10-40 chord failing and recovering.
+    let mut topo = Topology::binary_tree(50);
+    for &(a, b) in &[(10u32, 40u32), (7, 23), (3, 12)] {
+        topo.add_edge(a, b, 1);
+    }
+    let link = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b), Value::Int(1)];
+    let (fa, fb) = (10u32, 40u32);
+    let fail = [
+        TupleDelta::remove("link", link(fa, fb)),
+        TupleDelta::remove("link", link(fb, fa)),
+    ];
+    let recover = [
+        TupleDelta::insert("link", link(fa, fb)),
+        TupleDelta::insert("link", link(fb, fa)),
+    ];
+    let mut prog = ndlog::programs::path_vector();
+    link_facts(&mut prog, &topo);
+
+    let noop = Session::open(&prog).build().expect("path vector maintains");
+    let live = Session::open(&prog)
+        .telemetry(true)
+        .build()
+        .expect("path vector maintains");
+    assert!(!noop.telemetry().is_enabled() && live.telemetry().is_enabled());
+
+    // --- acceptance: the disabled path allocates nothing -----------------
+    // Warm probes against the live store plus no-op handle traffic — the
+    // exact shape every maintenance firing pays when telemetry is off.
+    let storage = noop.storage().expect("incremental backend");
+    let path = storage.symbols().lookup("path").expect("path interned");
+    let keys: Vec<Vec<Value>> = (0..topo.num_nodes())
+        .map(|n| vec![Value::Addr(n)])
+        .collect();
+    let mut buf: Vec<&SharedTuple> = Vec::with_capacity(2048);
+    for key in &keys {
+        buf.clear();
+        storage.matches_adjusted_id_into(path, &[0], key, None, &mut buf);
+    }
+    let off = Telemetry::disabled();
+    let counter = off.counter("exp13_noop");
+    let noop_counter = Counter::noop();
+    let timer_hist = off.histogram("exp13_noop_ns");
+    let mut hits = 0usize;
+    let (allocs, bytes, _) = fvn_bench::count_allocs(|| {
+        for _ in 0..100 {
+            for key in &keys {
+                buf.clear();
+                storage.matches_adjusted_id_into(path, &[0], key, None, &mut buf);
+                hits += buf.len();
+                counter.incr();
+                noop_counter.add(buf.len() as u64);
+                timer_hist.start_timer().stop();
+            }
+        }
+    });
+    assert!(hits > 0, "probes must hit the warm store");
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "disabled telemetry must be zero-alloc on the warm probe path"
+    );
+    println!(
+        "exp13: 100x{} warm probes + no-op metric records -> {allocs} allocs / {bytes} bytes",
+        keys.len()
+    );
+
+    // --- acceptance: enabled overhead <= 5% on the flap batch ------------
+    // Best-of-N timing, independent of FVN_BENCH_QUICK/criterion settings:
+    // the minimum over many repeats is the stable point estimate least
+    // sensitive to scheduler noise, and the two variants are *interleaved*
+    // so clock-frequency drift hits both equally.
+    let one_run = |session: &Session| -> Duration {
+        let mut s = session.clone();
+        let t0 = Instant::now();
+        s.txn()
+            .extend(fail.iter().map(ndlog::Update::from))
+            .commit()
+            .unwrap();
+        s.txn()
+            .extend(recover.iter().map(ndlog::Update::from))
+            .commit()
+            .unwrap();
+        t0.elapsed()
+    };
+    // Warm-up pass so both sessions sit on hot caches.
+    one_run(&noop);
+    one_run(&live);
+    let (mut t_noop, mut t_live) = (Duration::MAX, Duration::MAX);
+    for _ in 0..30 {
+        t_noop = t_noop.min(one_run(&noop));
+        t_live = t_live.min(one_run(&live));
+    }
+    let ratio = t_live.as_secs_f64() / t_noop.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "exp13: flap batch best-of-30: disabled {t_noop:?} vs enabled {t_live:?} \
+         ({:.1}% overhead)",
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio <= 1.05,
+        "enabled telemetry costs {:.1}% (> 5%) on the EXP-9 workload",
+        (ratio - 1.0) * 100.0
+    );
+
+    let mut g = c.benchmark_group("exp13_telemetry_overhead");
+    g.sample_size(10);
+    g.bench_function("flap_noop_sink", |b| {
+        b.iter(|| {
+            let mut s = noop.clone();
+            let d = s
+                .txn()
+                .extend(fail.iter().map(ndlog::Update::from))
+                .commit()
+                .unwrap()
+                .stats
+                .derivations;
+            black_box(d)
+        })
+    });
+    g.bench_function("flap_live_sink", |b| {
+        b.iter(|| {
+            let mut s = live.clone();
+            let d = s
+                .txn()
+                .extend(fail.iter().map(ndlog::Update::from))
+                .commit()
+                .unwrap()
+                .stats
+                .derivations;
+            black_box(d)
+        })
+    });
+    g.finish();
+}
+
 /// FIG-1 / arc 7: distributed execution.
 fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_arc7_distributed");
@@ -542,6 +697,7 @@ criterion_group! {
               bench_algebra_obligations, bench_automation,
               bench_declarative_vs_imperative, bench_translation,
               bench_softstate, bench_incremental_vs_epoch, bench_shard_scaling,
-              bench_interned_hot_path, bench_batch_window, bench_runtime
+              bench_interned_hot_path, bench_batch_window,
+              bench_telemetry_overhead, bench_runtime
 }
 criterion_main!(benches);

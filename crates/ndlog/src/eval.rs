@@ -15,6 +15,7 @@ use crate::error::{NdlogError, Result};
 use crate::safety::{analyze, Analysis};
 use crate::sharded::{fan_out, ShardRouter};
 use crate::value::{Tuple, Value};
+use fvn_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A deterministic in-memory database: relation name → set of tuples.
@@ -283,8 +284,53 @@ pub struct EvalStats {
     pub new_tuples: usize,
 }
 
+/// The single derivation-counting entry point.
+///
+/// Every rule-firing site in this module — aggregate evaluation, the
+/// sharded seed pass, the semi-naive iteration workers, and the naive
+/// reference loop — reports here, keeping the local count (merged into
+/// [`EvalStats::derivations`]) and the telemetry sink in lock step.  The
+/// sink is an atomic, so sharded workers feed it concurrently; the sum is
+/// order-insensitive and therefore identical at every shard count.
+#[inline]
+pub(crate) fn count_derivation(derivations: &mut usize, sink: &Counter) {
+    *derivations += 1;
+    sink.incr();
+}
+
+/// Pre-resolved telemetry handles for the from-scratch evaluator.
+///
+/// Resolved once in [`Evaluator::with_telemetry`]; the default is the
+/// no-op sink, so un-instrumented evaluations pay one inline branch per
+/// record site.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EvalMetrics {
+    /// `ndlog_derivations_total`: every rule firing.
+    pub(crate) derivations: Counter,
+    /// `ndlog_eval_rounds_total`: semi-naive fixpoint iterations.
+    pub(crate) rounds: Counter,
+    /// `ndlog_phase_seminaive_ns`: wall time per stratum fixpoint.
+    pub(crate) phase: Histogram,
+}
+
+impl EvalMetrics {
+    /// Resolve the evaluator's metric handles against `t`.
+    pub(crate) fn resolve(t: &Telemetry) -> Self {
+        EvalMetrics {
+            derivations: t.counter("ndlog_derivations_total"),
+            rounds: t.counter("ndlog_eval_rounds_total"),
+            phase: t.histogram("ndlog_phase_seminaive_ns"),
+        }
+    }
+}
+
 /// Evaluate an aggregate rule whose body refers only to lower strata.
-fn eval_agg_rule(rule: &Rule, db: &mut Database, stats: &mut EvalStats) -> Result<()> {
+fn eval_agg_rule(
+    rule: &Rule,
+    db: &mut Database,
+    stats: &mut EvalStats,
+    deriv_sink: &Counter,
+) -> Result<()> {
     // Group-by key → one accumulator vector per aggregate position.
     let n_aggs = rule
         .head
@@ -339,7 +385,7 @@ fn eval_agg_rule(rule: &Rule, db: &mut Database, stats: &mut EvalStats) -> Resul
                 }
             }
         }
-        stats.derivations += 1;
+        count_derivation(&mut stats.derivations, deriv_sink);
         if db.insert(head.pred.clone(), out) {
             stats.new_tuples += 1;
         }
@@ -377,6 +423,7 @@ pub(crate) fn aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
 pub struct Evaluator {
     analysis: Analysis,
     opts: EvalOptions,
+    metrics: EvalMetrics,
 }
 
 impl Evaluator {
@@ -385,6 +432,7 @@ impl Evaluator {
         Ok(Evaluator {
             analysis: analyze(prog)?,
             opts: EvalOptions::default(),
+            metrics: EvalMetrics::default(),
         })
     }
 
@@ -393,7 +441,18 @@ impl Evaluator {
         Ok(Evaluator {
             analysis: analyze(prog)?,
             opts,
+            metrics: EvalMetrics::default(),
         })
+    }
+
+    /// Route this evaluator's counters and phase timers into `t`.
+    ///
+    /// The default sink is the no-op variant; resolving against an enabled
+    /// [`Telemetry`] registers `ndlog_derivations_total`,
+    /// `ndlog_eval_rounds_total`, and `ndlog_phase_seminaive_ns`.
+    pub fn with_telemetry(mut self, t: &Telemetry) -> Self {
+        self.metrics = EvalMetrics::resolve(t);
+        self
     }
 
     /// Access the static analysis.
@@ -448,13 +507,14 @@ impl Evaluator {
         if rules.is_empty() {
             return Ok(());
         }
+        let _span = self.metrics.phase.start_timer();
         let shards = router.map_or(1, ShardRouter::shards);
         let (agg_rules, plain_rules): (Vec<&Rule>, Vec<&Rule>) =
             rules.into_iter().partition(|r| r.head.has_agg());
 
         // Aggregates first: their bodies only see lower strata (stratification).
         for r in &agg_rules {
-            eval_agg_rule(r, db, stats)?;
+            eval_agg_rule(r, db, stats, &self.metrics.derivations)?;
         }
 
         // Which predicates are recursive within this stratum?
@@ -470,6 +530,7 @@ impl Evaluator {
         {
             let db_ref: &Database = db;
             let plain_ref = &plain_rules;
+            let deriv_sink = &self.metrics.derivations;
             let partials = fan_out(router.map(ShardRouter::pool), shards, &|k| {
                 let mut local = Database::new();
                 let mut derivations = 0usize;
@@ -477,7 +538,7 @@ impl Evaluator {
                     let head = &r.head;
                     let mut sink = |env: &Env| -> Result<()> {
                         let t = instantiate_head(head, env)?;
-                        derivations += 1;
+                        count_derivation(&mut derivations, deriv_sink);
                         if !db_ref.contains(&head.pred, &t) {
                             local.insert(head.pred.clone(), t);
                         }
@@ -515,6 +576,7 @@ impl Evaluator {
         while delta.total() > 0 {
             iter += 1;
             stats.iterations += 1;
+            self.metrics.rounds.incr();
             if iter > self.opts.max_iterations {
                 return Err(NdlogError::Eval {
                     msg: format!("iteration limit exceeded in stratum {s}"),
@@ -552,6 +614,7 @@ impl Evaluator {
             };
             let db_ref: &Database = db;
             let rec_ref = &rec_positions;
+            let deriv_sink = &self.metrics.derivations;
             let partials = fan_out(router.map(ShardRouter::pool), part_refs.len(), &|k| {
                 let mut local = Database::new();
                 let mut derivations = 0usize;
@@ -560,7 +623,7 @@ impl Evaluator {
                     for &pos in positions {
                         let mut sink = |env: &Env| -> Result<()> {
                             let t = instantiate_head(head, env)?;
-                            derivations += 1;
+                            count_derivation(&mut derivations, deriv_sink);
                             if !db_ref.contains(&head.pred, &t) {
                                 local.insert(head.pred.clone(), t);
                             }
@@ -597,12 +660,13 @@ impl Evaluator {
             let (agg_rules, plain_rules): (Vec<&Rule>, Vec<&Rule>) =
                 rules.into_iter().partition(|r| r.head.has_agg());
             for r in &agg_rules {
-                eval_agg_rule(r, db, &mut stats)?;
+                eval_agg_rule(r, db, &mut stats, &self.metrics.derivations)?;
             }
             let mut iter = 0usize;
             loop {
                 iter += 1;
                 stats.iterations += 1;
+                self.metrics.rounds.incr();
                 if iter > self.opts.max_iterations {
                     return Err(NdlogError::Eval {
                         msg: format!("iteration limit exceeded in stratum {s}"),
@@ -613,7 +677,7 @@ impl Evaluator {
                     let head = &r.head;
                     let mut sink = |env: &Env| -> Result<()> {
                         let t = instantiate_head(head, env)?;
-                        stats.derivations += 1;
+                        count_derivation(&mut stats.derivations, &self.metrics.derivations);
                         if !db.contains(&head.pred, &t) {
                             new.push((head.pred.clone(), t));
                         }
@@ -660,7 +724,7 @@ pub fn derive_rule(rule: &Rule, db: &Database) -> Result<Vec<Tuple>> {
 pub fn derive_agg_rule(rule: &Rule, db: &Database) -> Result<Vec<Tuple>> {
     let mut scratch = db.clone();
     let mut stats = EvalStats::default();
-    eval_agg_rule(rule, &mut scratch, &mut stats)?;
+    eval_agg_rule(rule, &mut scratch, &mut stats, &Counter::noop())?;
     let mut out = Vec::new();
     for t in scratch.relation(&rule.head.pred) {
         if !db.contains(&rule.head.pred, t) {
@@ -676,6 +740,30 @@ pub fn eval_program(prog: &Program) -> Result<Database> {
     let mut db = Evaluator::base_database(prog);
     ev.run(&mut db)?;
     Ok(db)
+}
+
+/// Test support: evaluate `prog` from scratch with [`Evaluator::run`] and
+/// with [`Evaluator::run_sharded`] at each of `shard_counts`, asserting
+/// the resulting database **and** [`EvalStats`] are byte-identical every
+/// time.  Returns the reference result.
+///
+/// This is the one shared `run` vs `run_sharded` equality check — unit,
+/// integration, and property tests call it instead of repeating the
+/// assertion per call site.
+#[doc(hidden)]
+pub fn assert_run_matches_sharded(prog: &Program, shard_counts: &[usize]) -> (Database, EvalStats) {
+    let ev = Evaluator::new(prog).expect("program analyzes");
+    let mut reference = Evaluator::base_database(prog);
+    let stats = ev.run(&mut reference).expect("reference run succeeds");
+    for &shards in shard_counts {
+        let mut db = Evaluator::base_database(prog);
+        let s = ev
+            .run_sharded(&mut db, shards)
+            .expect("sharded run succeeds");
+        assert_eq!(reference, db, "{shards}-shard database diverges from run");
+        assert_eq!(stats, s, "{shards}-shard statistics diverge from run");
+    }
+    (reference, stats)
 }
 
 #[cfg(test)]
@@ -736,15 +824,7 @@ mod tests {
     #[test]
     fn sharded_seminaive_matches_run_exactly() {
         let prog = parse_program(&line3()).unwrap();
-        let ev = Evaluator::new(&prog).unwrap();
-        let mut a = Evaluator::base_database(&prog);
-        let sa = ev.run(&mut a).unwrap();
-        for shards in [2, 4, 8] {
-            let mut b = Evaluator::base_database(&prog);
-            let sb = ev.run_sharded(&mut b, shards).unwrap();
-            assert_eq!(a, b, "{shards}-shard database diverges");
-            assert_eq!(sa, sb, "{shards}-shard statistics diverge");
-        }
+        assert_run_matches_sharded(&prog, &[2, 4, 8]);
     }
 
     #[test]

@@ -53,6 +53,7 @@ use crate::sharded::{chunk_by, fan_out, ShardRouter};
 use crate::storage::{RelationStorage, SignedDeltas, VisibilityChange};
 use crate::symbols::{RelId, Symbols};
 use crate::value::{SharedTuple, Tuple, Value};
+use fvn_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -172,11 +173,11 @@ pub struct InternedOutcome {
 /// interned ids of its head and body atoms, resolved once at construction
 /// so the maintenance inner loops never look up a name.
 #[derive(Debug, Clone)]
-struct CompiledRule {
-    rule: Rule,
-    head: RelId,
+pub(crate) struct CompiledRule {
+    pub(crate) rule: Rule,
+    pub(crate) head: RelId,
     /// Per body literal: the atom's id (`None` for assignments/comparisons).
-    body_rels: Vec<Option<RelId>>,
+    pub(crate) body_rels: Vec<Option<RelId>>,
 }
 
 impl CompiledRule {
@@ -221,12 +222,12 @@ impl CompiledRule {
 
 /// Per-stratum maintenance plan, fixed at engine construction.
 #[derive(Debug, Clone)]
-struct StratumPlan {
+pub(crate) struct StratumPlan {
     /// Aggregate rules, keyed by their global rule index (stable key for the
     /// previous-output cache).
-    aggs: Vec<(usize, CompiledRule)>,
+    pub(crate) aggs: Vec<(usize, CompiledRule)>,
     /// Plain rules in safe body order.
-    plain: Vec<CompiledRule>,
+    pub(crate) plain: Vec<CompiledRule>,
     /// Relations occurring in plain-rule bodies (positively or negatively).
     body_preds: BTreeSet<RelId>,
     /// Relations occurring under negation in plain-rule bodies.
@@ -234,6 +235,83 @@ struct StratumPlan {
     /// True when the plain head predicates form a dependency cycle — the
     /// stratum is maintained with DRed instead of counting.
     recursive: bool,
+}
+
+/// Pre-resolved telemetry handles for the incremental engine.
+///
+/// The default is the no-op sink: every record site pays one inline branch
+/// (EXP-13 pins the disabled path zero-alloc).  Resolving against an
+/// enabled [`Telemetry`] registers the engine's counter/gauge/histogram
+/// series once; the maintenance loops then record through lock-free atomic
+/// handles.  Cloned engines share the handles, so a fleet of clones (one
+/// per distributed node) aggregates into one registry.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineMetrics {
+    /// Kept so sharding changes can re-resolve the per-shard series.
+    telemetry: Telemetry,
+    /// `ndlog_batches_total`: delta batches applied.
+    batches: Counter,
+    /// `ndlog_derivations_total`: every maintenance rule firing.
+    derivations: Counter,
+    /// `ndlog_maintenance_rounds_total`: counting/DRed visibility rounds.
+    rounds: Counter,
+    /// `ndlog_tuples_inserted_total`: net tuples that became visible.
+    inserted: Counter,
+    /// `ndlog_tuples_deleted_total`: net tuples that lost visibility.
+    deleted: Counter,
+    /// `ndlog_phase_aggregates_ns`: group-incremental aggregate recompute.
+    phase_aggregates: Histogram,
+    /// `ndlog_phase_counting_ns`: counting maintenance per stratum batch.
+    phase_counting: Histogram,
+    /// `ndlog_phase_dred_overdelete_ns`: DRed phase A.
+    phase_overdelete: Histogram,
+    /// `ndlog_phase_dred_rederive_ns`: DRed phase B.
+    phase_rederive: Histogram,
+    /// `ndlog_phase_dred_insert_ns`: DRed phase C.
+    phase_insert: Histogram,
+    /// `ndlog_shard_derivations_total{shard="k"}`: rule firings per worker
+    /// — the live form of EXP-10's load-balance table.
+    shard_derivations: Vec<Counter>,
+    /// `ndlog_shard_tuples_total{shard="k"}`: tuples each worker
+    /// contributed at round barriers.
+    shard_tuples: Vec<Counter>,
+}
+
+impl EngineMetrics {
+    fn resolve(t: &Telemetry, shards: usize) -> Self {
+        let series = |family: &str| -> Vec<Counter> {
+            (0..shards)
+                .map(|k| t.counter(&format!("{family}{{shard=\"{k}\"}}")))
+                .collect()
+        };
+        EngineMetrics {
+            telemetry: t.clone(),
+            batches: t.counter("ndlog_batches_total"),
+            derivations: t.counter("ndlog_derivations_total"),
+            rounds: t.counter("ndlog_maintenance_rounds_total"),
+            inserted: t.counter("ndlog_tuples_inserted_total"),
+            deleted: t.counter("ndlog_tuples_deleted_total"),
+            phase_aggregates: t.histogram("ndlog_phase_aggregates_ns"),
+            phase_counting: t.histogram("ndlog_phase_counting_ns"),
+            phase_overdelete: t.histogram("ndlog_phase_dred_overdelete_ns"),
+            phase_rederive: t.histogram("ndlog_phase_dred_rederive_ns"),
+            phase_insert: t.histogram("ndlog_phase_dred_insert_ns"),
+            shard_derivations: series("ndlog_shard_derivations_total"),
+            shard_tuples: series("ndlog_shard_tuples_total"),
+        }
+    }
+
+    /// Record one worker's contribution at a round barrier.  Disabled
+    /// telemetry keeps the series vectors empty, so this is two bound
+    /// checks on the no-op path.
+    fn shard_load(&self, k: usize, tuples: usize, derivations: usize) {
+        if let Some(c) = self.shard_derivations.get(k) {
+            c.add(derivations as u64);
+        }
+        if let Some(c) = self.shard_tuples.get(k) {
+            c.add(tuples as u64);
+        }
+    }
 }
 
 /// The incremental maintenance engine.
@@ -281,6 +359,9 @@ pub struct IncrementalEngine {
     /// shard workers (see [`crate::sharded`]); results are byte-identical
     /// either way, so this is purely an execution-strategy knob.
     sharding: Option<Arc<ShardRouter>>,
+    /// Telemetry sinks (no-op by default); excluded from equality, which
+    /// compares canonical database state only.
+    metrics: EngineMetrics,
 }
 
 impl PartialEq for IncrementalEngine {
@@ -385,6 +466,7 @@ impl IncrementalEngine {
             agg_prev: BTreeMap::new(),
             init_stats: BatchStats::default(),
             sharding: None,
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -393,6 +475,28 @@ impl IncrementalEngine {
     /// sharding changes how rounds are evaluated, never what they produce.
     pub fn set_sharding(&mut self, router: Option<Arc<ShardRouter>>) {
         self.sharding = router;
+        // Re-resolve so the per-shard load series matches the new width.
+        if self.metrics.telemetry.is_enabled() {
+            let t = self.metrics.telemetry.clone();
+            self.set_telemetry(&t);
+        }
+    }
+
+    /// Route this engine's counters and phase timers into `t`.
+    ///
+    /// Registers the `ndlog_*` series (batches, derivations, maintenance
+    /// rounds, inserted/deleted tuples, per-phase histograms, and one
+    /// `…{shard="k"}` load counter pair per worker).  The default sink is
+    /// the no-op variant; see [`crate::update::SessionBuilder::telemetry`]
+    /// for the front-door knob.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        let shards = self.sharding.as_ref().map_or(1, |r| r.shards());
+        self.metrics = EngineMetrics::resolve(t, shards);
+    }
+
+    /// The per-stratum maintenance plans (provenance walker support).
+    pub(crate) fn plans(&self) -> &[StratumPlan] {
+        &self.plans
     }
 
     /// The shard router currently driving maintenance, if any.
@@ -495,6 +599,7 @@ impl IncrementalEngine {
     /// The ids must come from this engine's [`symbols`](Self::symbols)
     /// table (or that of the prototype it was cloned from).
     pub fn apply_interned(&mut self, deltas: &[RelDelta]) -> Result<InternedOutcome> {
+        self.metrics.batches.incr();
         let mut stats = BatchStats::default();
         // Retractions that empty a tuple's external support while a derived
         // flag keeps it visible leave no visibility mark, but DRed strata
@@ -522,6 +627,7 @@ impl IncrementalEngine {
                 router,
                 &mut self.agg_prev,
                 &mut stats,
+                &self.metrics,
             )?;
             if plan.recursive {
                 maintain_dred(
@@ -531,9 +637,17 @@ impl IncrementalEngine {
                     router,
                     &edb_losses,
                     &mut stats,
+                    &self.metrics,
                 )?;
             } else {
-                maintain_counting(&mut self.storage, plan, &self.opts, router, &mut stats)?;
+                maintain_counting(
+                    &mut self.storage,
+                    plan,
+                    &self.opts,
+                    router,
+                    &mut stats,
+                    &self.metrics,
+                )?;
             }
             if self.storage.total() + self.storage.exported_total() > self.opts.max_tuples {
                 return Err(NdlogError::Eval {
@@ -550,6 +664,10 @@ impl IncrementalEngine {
         changes.sort();
         stats.inserted = changes.iter().filter(|c| c.delta > 0).count();
         stats.deleted = changes.iter().filter(|c| c.delta < 0).count();
+        self.metrics.derivations.add(stats.derivations as u64);
+        self.metrics.rounds.add(stats.rounds as u64);
+        self.metrics.inserted.add(stats.inserted as u64);
+        self.metrics.deleted.add(stats.deleted as u64);
         Ok(InternedOutcome { changes, stats })
     }
 }
@@ -677,23 +795,23 @@ fn heads_form_cycle(plain: &[CompiledRule], head_preds: &BTreeSet<RelId>) -> boo
 // ---------------------------------------------------------------------
 
 /// Shared evaluation context for one delta-rule pass.
-struct DeltaCtx<'a> {
-    storage: &'a RelationStorage,
-    body: &'a [Literal],
+pub(crate) struct DeltaCtx<'a> {
+    pub(crate) storage: &'a RelationStorage,
+    pub(crate) body: &'a [Literal],
     /// The interned id of each body atom (aligned with `body`).
-    body_rels: &'a [Option<RelId>],
+    pub(crate) body_rels: &'a [Option<RelId>],
     /// Evaluation order over body positions.  When the delta literal is a
     /// positive atom it is evaluated *first* — binding its variables so the
     /// remaining literals become index probes instead of leading scans.
-    seq: &'a [usize],
-    delta_at: Option<usize>,
-    delta: Option<&'a BTreeMap<SharedTuple, i64>>,
+    pub(crate) seq: &'a [usize],
+    pub(crate) delta_at: Option<usize>,
+    pub(crate) delta: Option<&'a BTreeMap<SharedTuple, i64>>,
     /// Multiplier applied to every delta entry's sign (`-1` when the delta
     /// literal is negated: the negation sees changes inverted).  Borrowing
     /// plus a multiplier avoids cloning the delta map per rule × position.
-    delta_sign: i64,
-    adjust: Option<&'a SignedDeltas>,
-    old_before_delta: bool,
+    pub(crate) delta_sign: i64,
+    pub(crate) adjust: Option<&'a SignedDeltas>,
+    pub(crate) old_before_delta: bool,
 }
 
 impl DeltaCtx<'_> {
@@ -730,7 +848,7 @@ fn delta_seq(body: &[Literal], d: usize) -> Vec<usize> {
 /// Evaluate a rule body over `ctx.storage`, with the atom at `ctx.delta_at`
 /// restricted to the signed `ctx.delta` map.  `sink` receives each complete
 /// environment with the firing's sign and returns `false` to stop early.
-fn eval_body_delta(
+pub(crate) fn eval_body_delta(
     ctx: &DeltaCtx<'_>,
     k: usize,
     env: &Env,
@@ -850,7 +968,12 @@ fn recompute_aggs(
     router: Option<&ShardRouter>,
     agg_prev: &mut BTreeMap<usize, BTreeMap<Tuple, Tuple>>,
     stats: &mut BatchStats,
+    metrics: &EngineMetrics,
 ) -> Result<()> {
+    if plan.aggs.is_empty() {
+        return Ok(());
+    }
+    let _span = metrics.phase_aggregates.start_timer();
     for (ri, rule) in &plan.aggs {
         let affected = affected_group_keys(storage, rule, agg_prev.get(ri).is_some());
         match affected {
@@ -876,8 +999,9 @@ fn recompute_aggs(
                     Ok((outs, local.derivations))
                 })?;
                 let mut new_outs: BTreeMap<Tuple, Option<Tuple>> = BTreeMap::new();
-                for (outs, derivations) in partials {
+                for (k, (outs, derivations)) in partials.into_iter().enumerate() {
                     stats.derivations += derivations;
+                    metrics.shard_load(k, outs.len(), derivations);
                     new_outs.extend(outs);
                 }
                 let prev = agg_prev.entry(*ri).or_default();
@@ -1110,7 +1234,9 @@ fn maintain_counting(
     opts: &EvalOptions,
     router: Option<&ShardRouter>,
     stats: &mut BatchStats,
+    metrics: &EngineMetrics,
 ) -> Result<()> {
+    let _span = metrics.phase_counting.start_timer();
     // Round 0: the batch's net visibility changes of every body predicate
     // (lower strata are final; head predicates may have external changes).
     let mut vis_delta: SignedDeltas = storage.batch_deltas_for(plan.body_preds.iter().copied());
@@ -1164,8 +1290,9 @@ fn maintain_counting(
             Ok((head_net, derivations))
         })?;
         let mut head_net: BTreeMap<(RelId, Tuple), i64> = BTreeMap::new();
-        for (partial, derivations) in partials {
+        for (k, (partial, derivations)) in partials.into_iter().enumerate() {
             stats.derivations += derivations;
+            metrics.shard_load(k, partial.len(), derivations);
             for (key, v) in partial {
                 *head_net.entry(key).or_insert(0) += v;
             }
@@ -1224,6 +1351,7 @@ fn maintain_dred(
     router: Option<&ShardRouter>,
     edb_losses: &BTreeMap<RelId, BTreeSet<SharedTuple>>,
     stats: &mut BatchStats,
+    metrics: &EngineMetrics,
 ) -> Result<()> {
     // Old view for overdeletion: the pre-batch database.
     let batch_adjust: SignedDeltas = storage.batch_deltas_for(plan.body_preds.iter().copied());
@@ -1231,6 +1359,7 @@ fn maintain_dred(
     let pool = router.map(ShardRouter::pool);
 
     // --- Phase A: overdelete against the old database. ------------------
+    let phase_a = metrics.phase_overdelete.start_timer();
     let mut candidates: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
     let mut dying: SignedDeltas = BTreeMap::new();
     let mut rising_neg: SignedDeltas = BTreeMap::new();
@@ -1330,8 +1459,9 @@ fn maintain_dred(
             Ok((new_cands, derivations))
         })?;
         let mut new_cands: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
-        for (partial, derivations) in partials {
+        for (k, (partial, derivations)) in partials.into_iter().enumerate() {
             stats.derivations += derivations;
+            metrics.shard_load(k, partial.values().map(BTreeSet::len).sum(), derivations);
             for (p, ts) in partial {
                 new_cands.entry(p).or_default().extend(ts);
             }
@@ -1360,8 +1490,10 @@ fn maintain_dred(
             storage.set_derived_flag_id(p, t, false);
         }
     }
+    phase_a.stop();
 
     // --- Phase B: rederive what has alternative support. -----------------
+    let phase_b = metrics.phase_rederive.start_timer();
     let mut remaining: Vec<(RelId, SharedTuple)> = candidates
         .iter()
         .flat_map(|(&p, ts)| ts.iter().map(move |t| (p, t.clone())))
@@ -1408,8 +1540,9 @@ fn maintain_dred(
                 Ok((found, local.derivations))
             })?;
             let mut restored: BTreeSet<(RelId, SharedTuple)> = BTreeSet::new();
-            for (found, derivations) in partials {
+            for (k, (found, derivations)) in partials.into_iter().enumerate() {
                 stats.derivations += derivations;
+                metrics.shard_load(k, found.len(), derivations);
                 restored.extend(found);
             }
             if restored.is_empty() {
@@ -1425,7 +1558,10 @@ fn maintain_dred(
         }
     }
 
+    phase_b.stop();
+
     // --- Phase C: semi-naive insertion of the additions. -----------------
+    let _phase_c = metrics.phase_insert.start_timer();
     let mut rising: SignedDeltas = BTreeMap::new();
     let mut falling_neg: SignedDeltas = BTreeMap::new();
     for &p in &plan.body_preds {
@@ -1509,8 +1645,11 @@ fn maintain_dred(
         })?;
         let mut new_rising: SignedDeltas = BTreeMap::new();
         let mut exported_new: BTreeSet<(RelId, SharedTuple)> = BTreeSet::new();
-        for (rising_part, exported_part, derivations) in partials {
+        for (k, (rising_part, exported_part, derivations)) in partials.into_iter().enumerate() {
             stats.derivations += derivations;
+            let contributed =
+                rising_part.values().map(BTreeMap::len).sum::<usize>() + exported_part.len();
+            metrics.shard_load(k, contributed, derivations);
             for (p, ts) in rising_part {
                 new_rising.entry(p).or_default().extend(ts);
             }

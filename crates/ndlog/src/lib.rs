@@ -37,6 +37,10 @@
 //! * [`softstate`] — the §4.2 soft-state → hard-state rewrite with explicit
 //!   timestamps and lifetimes (the static alternative to
 //!   [`update::TtlPolicy`]'s live expiry deltas);
+//! * [`explain`] — derivation provenance: `Session::explain(rel, tuple)`
+//!   walks the support map to a rule-level derivation tree, the
+//!   observability counterpart of the paper's proof obligations (metrics
+//!   live in the re-exported [`telemetry`] crate);
 //! * [`builtins`] — `f_init`, `f_concatPath`, `f_inPath` and friends;
 //! * [`programs`] — the paper's protocols (path vector, distance vector,
 //!   reachability) as reusable constructors.
@@ -54,6 +58,7 @@ pub mod ast;
 pub mod builtins;
 pub mod error;
 pub mod eval;
+pub mod explain;
 pub mod incremental;
 pub mod lexer;
 pub mod localize;
@@ -68,9 +73,16 @@ pub mod symbols;
 pub mod update;
 pub mod value;
 
+/// The telemetry layer (re-exported `fvn_telemetry` crate): metrics
+/// registry, statically-dispatched counter/gauge/histogram handles, phase
+/// timers, and deterministic snapshots.  Engines expose it through
+/// [`update::SessionBuilder::telemetry`] and `Session::metrics()`.
+pub use fvn_telemetry as telemetry;
+
 pub use ast::{Atom, Expr, Head, HeadArg, Literal, Program, Rule, Term};
 pub use error::{NdlogError, Result};
 pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator};
+pub use explain::{Explanation, Support};
 pub use incremental::{
     BatchOutcome, BatchStats, IncrementalEngine, InternedOutcome, RelDelta, TupleDelta,
 };

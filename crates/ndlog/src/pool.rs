@@ -34,7 +34,7 @@
 
 #![allow(unsafe_code)]
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -147,6 +147,11 @@ unsafe impl<T: Send> Send for SlotPtr<T> {}
 pub struct ShardPool {
     senders: Mutex<Vec<mpsc::Sender<Job>>>,
     handles: Vec<JoinHandle<()>>,
+    /// Pooled fan-out rounds executed (inline single-shard rounds included).
+    rounds: AtomicU64,
+    /// Shard jobs handed to worker threads (the coordinator's own shard 0
+    /// excluded) — `rounds`/`jobs` together give the load the pool absorbed.
+    jobs: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardPool {
@@ -176,6 +181,8 @@ impl ShardPool {
         ShardPool {
             senders: Mutex::new(senders),
             handles,
+            rounds: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
         }
     }
 
@@ -193,6 +200,16 @@ impl ShardPool {
         self.handles.len()
     }
 
+    /// Lifetime count of fan-out rounds run through this pool.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of shard jobs dispatched to worker threads.
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
     /// Run `worker(k)` for every shard `k` in `0..shards`, returning the
     /// results in shard order — the drop-in replacement for the old scoped
     /// fan-out.  Shard 0 runs on the calling thread; shards `1..` are
@@ -205,10 +222,12 @@ impl ShardPool {
         worker: &(dyn Fn(usize) -> crate::error::Result<T> + Sync),
     ) -> crate::error::Result<Vec<T>> {
         let shards = shards.max(1);
+        self.rounds.fetch_add(1, Ordering::Relaxed);
         if shards == 1 || self.handles.is_empty() {
             return (0..shards).map(worker).collect();
         }
         let dispatched = shards - 1;
+        self.jobs.fetch_add(dispatched as u64, Ordering::Relaxed);
         let mut slots: Vec<Option<crate::error::Result<T>>> =
             (0..dispatched).map(|_| None).collect();
         let latch = Arc::new(Latch::new());

@@ -147,6 +147,22 @@ impl ShardRouter {
         &self.pool
     }
 
+    /// Publish the pool's load counters as gauges: `ndlog_pool_workers`,
+    /// `ndlog_pool_rounds`, and `ndlog_pool_jobs_dispatched`.  Set at
+    /// snapshot time rather than recorded on the round hot path (the pool's
+    /// own relaxed atomics already count for free); a no-op when `t` is the
+    /// disabled sink.
+    pub fn record_pool_gauges(&self, t: &fvn_telemetry::Telemetry) {
+        if !t.is_enabled() {
+            return;
+        }
+        t.gauge("ndlog_pool_workers")
+            .set(self.pool.workers() as i64);
+        t.gauge("ndlog_pool_rounds").set(self.pool.rounds() as i64);
+        t.gauge("ndlog_pool_jobs_dispatched")
+            .set(self.pool.jobs_dispatched() as i64);
+    }
+
     /// The join-key column positions chosen for `pred`; empty means the
     /// full tuple is hashed.
     pub fn key_columns(&self, pred: &str) -> &[usize] {

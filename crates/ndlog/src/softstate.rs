@@ -66,6 +66,27 @@ impl RewriteReport {
             self.after.literals as f64 / self.before.literals as f64
         }
     }
+
+    /// Publish the rewrite's size metrics as gauges
+    /// (`softstate_rules_before/after`, `softstate_literals_before/after`,
+    /// `softstate_rewritten_preds`), so the §4.2 blowup shows up next to
+    /// the live TTL counters in one [`fvn_telemetry::Snapshot`].  A no-op
+    /// when `t` is the disabled sink.
+    pub fn record(&self, t: &fvn_telemetry::Telemetry) {
+        if !t.is_enabled() {
+            return;
+        }
+        t.gauge("softstate_rules_before")
+            .set(self.before.rules as i64);
+        t.gauge("softstate_rules_after")
+            .set(self.after.rules as i64);
+        t.gauge("softstate_literals_before")
+            .set(self.before.literals as i64);
+        t.gauge("softstate_literals_after")
+            .set(self.after.literals as i64);
+        t.gauge("softstate_rewritten_preds")
+            .set(self.rewritten.len() as i64);
+    }
 }
 
 fn fresh_var(base: &str, taken: &mut Vec<String>) -> String {

@@ -560,6 +560,21 @@ impl RelationStorage {
         self.symbols.sorted().iter().copied()
     }
 
+    /// Refresh the `ndlog_relation_tuples{rel="…"}` gauge family with the
+    /// current visible size of every relation (name-sorted, empty relations
+    /// included).  A no-op when `t` is the disabled sink.  Called by
+    /// `Session::metrics()` so snapshots always carry current sizes.
+    pub fn record_size_gauges(&self, t: &fvn_telemetry::Telemetry) {
+        if !t.is_enabled() {
+            return;
+        }
+        for rel in self.relation_ids() {
+            let name = self.symbols.name(rel);
+            t.gauge(&format!("ndlog_relation_tuples{{rel=\"{name}\"}}"))
+                .set(self.len_of_id(rel) as i64);
+        }
+    }
+
     /// Is the tuple visible in the *adjusted* view `current minus deltas`?
     ///
     /// A `+1` delta entry (appeared) is treated as absent, a `-1` entry

@@ -40,11 +40,13 @@
 use crate::ast::{Lifetime, Program};
 use crate::error::Result;
 use crate::eval::{Database, EvalOptions, Evaluator};
+use crate::explain::Explanation;
 use crate::incremental::{BatchStats, IncrementalEngine, RelDelta, TupleDelta};
 use crate::sharded::ShardRouter;
 use crate::storage::RelationStorage;
 use crate::symbols::{RelId, Symbols};
 use crate::value::{SharedTuple, Tuple, Value};
+use fvn_telemetry::{Counter, Gauge, Histogram, Snapshot, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -337,6 +339,7 @@ pub struct SessionBuilder {
     window: u64,
     opts: EvalOptions,
     ttl: Option<TtlPolicy>,
+    telemetry: Telemetry,
 }
 
 impl SessionBuilder {
@@ -400,6 +403,30 @@ impl SessionBuilder {
         self.ttl.as_ref()
     }
 
+    /// Enable telemetry backed by a fresh [`fvn_telemetry::MetricsRegistry`]
+    /// (`true`), or keep the default no-op sink (`false`).
+    ///
+    /// The disabled path is zero-alloc on warm probes (EXP-13 pins this
+    /// with the EXP-11 `CountingAlloc` harness); the enabled path records
+    /// through lock-free atomic handles resolved once at build.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = Telemetry::with_enabled(enabled);
+        self
+    }
+
+    /// Route this session's metrics into an existing registry handle
+    /// (e.g. one registry shared by several sessions or a distributed
+    /// runtime's node fleet).
+    pub fn with_telemetry(mut self, t: &Telemetry) -> Self {
+        self.telemetry = t.clone();
+        self
+    }
+
+    /// The configured telemetry handle (the no-op sink by default).
+    pub fn telemetry_handle(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Build an **incremental** session (counting/DRed maintenance, the
     /// production backend), evaluating the program's facts to a first
     /// fixpoint — on the configured shard workers when `sharding > 1`.
@@ -408,6 +435,9 @@ impl SessionBuilder {
         let router = (self.shards > 1).then(|| Arc::new(ShardRouter::new(&analysis, self.shards)));
         let mut engine = IncrementalEngine::from_analysis(analysis, self.opts);
         engine.set_sharding(router.clone());
+        // Resolve metric handles before the initial fixpoint so seeding is
+        // counted like any other batch.
+        engine.set_telemetry(&self.telemetry);
         engine.seed_facts(&self.prog)?;
         let mut backend = Backend::Incremental { engine, router };
         let ttl_by_rel = Self::intern_ttl(&self.ttl, &mut backend);
@@ -419,6 +449,8 @@ impl SessionBuilder {
             expiries: BTreeMap::new(),
             ttl_by_rel,
             stats: SessionStats::default(),
+            metrics: SessionMetrics::resolve(&self.telemetry),
+            telemetry: self.telemetry,
         })
     }
 
@@ -437,7 +469,7 @@ impl SessionBuilder {
     /// the ground truth batched/incremental runs are compared against.
     /// Sharding is ignored (the oracle is the single-threaded reference).
     pub fn oracle(self) -> Result<Session> {
-        let ev = Evaluator::with_options(&self.prog, self.opts)?;
+        let ev = Evaluator::with_options(&self.prog, self.opts)?.with_telemetry(&self.telemetry);
         let symbols = ev.analysis().symbols.clone();
         let mut backend = Backend::Oracle {
             ev,
@@ -473,7 +505,37 @@ impl SessionBuilder {
             expiries: BTreeMap::new(),
             ttl_by_rel,
             stats: SessionStats::default(),
+            metrics: SessionMetrics::resolve(&self.telemetry),
+            telemetry: self.telemetry,
         })
+    }
+}
+
+/// Resolved metric handles for the session layer — all no-op sinks when
+/// telemetry is disabled, so the commit/flush hot path pays one branch per
+/// probe and allocates nothing.
+#[derive(Clone, Default)]
+struct SessionMetrics {
+    txns: Counter,
+    updates: Counter,
+    flushes: Counter,
+    ttl_scheduled: Counter,
+    ttl_expired: Counter,
+    flush_batch: Histogram,
+    pending: Gauge,
+}
+
+impl SessionMetrics {
+    fn resolve(t: &Telemetry) -> Self {
+        Self {
+            txns: t.counter("session_txns_total"),
+            updates: t.counter("session_updates_total"),
+            flushes: t.counter("session_flushes_total"),
+            ttl_scheduled: t.counter("session_ttl_scheduled_total"),
+            ttl_expired: t.counter("session_ttl_expired_total"),
+            flush_batch: t.histogram("session_flush_batch_size"),
+            pending: t.gauge("session_pending_deltas"),
+        }
     }
 }
 
@@ -652,6 +714,8 @@ pub struct Session {
     /// The TTL policy compiled to interned ids (empty = no soft state).
     ttl_by_rel: BTreeMap<RelId, u64>,
     stats: SessionStats,
+    metrics: SessionMetrics,
+    telemetry: Telemetry,
 }
 
 impl Session {
@@ -663,6 +727,7 @@ impl Session {
             window: 0,
             opts: EvalOptions::default(),
             ttl: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -745,6 +810,9 @@ impl Session {
         let out = self.backend.apply(&batch)?;
         self.stats.flushes += 1;
         self.stats.derivations += out.stats.derivations;
+        self.metrics.flushes.incr();
+        self.metrics.flush_batch.record(batch.len() as u64);
+        self.metrics.pending.set(0);
         Ok(CommitOutcome {
             at: self.now,
             flushed: true,
@@ -756,12 +824,18 @@ impl Session {
     /// Move expirations whose deadline has passed into the pending batch,
     /// in deadline order.
     fn collect_due(&mut self) {
+        let mut expired = 0u64;
         while let Some((&d, _)) = self.expiries.iter().next() {
             if d > self.now {
                 break;
             }
             let batch = self.expiries.remove(&d).expect("key just observed");
+            expired += batch.len() as u64;
             self.pending.extend(batch);
+        }
+        if expired > 0 {
+            self.metrics.ttl_expired.add(expired);
+            self.metrics.pending.set(self.pending.len() as i64);
         }
     }
 
@@ -803,10 +877,16 @@ impl Session {
             }
         }
         self.stats.updates += ttl_generated;
+        self.metrics.txns.incr();
+        self.metrics
+            .updates
+            .add((updates.len() + ttl_generated) as u64);
+        self.metrics.ttl_scheduled.add(ttl_generated as u64);
         for (d, batch) in deferred {
             self.expiries.entry(d).or_default().extend(batch);
         }
         self.pending.extend(immediate);
+        self.metrics.pending.set(self.pending.len() as i64);
         if self.window == 0 {
             self.flush()
         } else {
@@ -875,6 +955,55 @@ impl Session {
     pub fn engine(&self) -> Option<&IncrementalEngine> {
         match &self.backend {
             Backend::Incremental { engine, .. } => Some(engine),
+            Backend::Oracle { .. } => None,
+        }
+    }
+
+    // --- observability ----------------------------------------------------
+
+    /// The telemetry handle this session records through (the no-op sink
+    /// unless [`SessionBuilder::telemetry`] enabled it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A deterministic, name-sorted snapshot of every metric recorded so
+    /// far (empty when telemetry is disabled).  Relation-size gauges are
+    /// refreshed from the live store first, so the snapshot always reflects
+    /// the current database.
+    ///
+    /// Counter families are order-insensitive sums and therefore identical
+    /// across shard counts; phase-timing histograms and DRed round counters
+    /// are schedule-dependent (see `DESIGN.md` §10 for the exact
+    /// determinism contract, pinned by the golden telemetry test).
+    pub fn metrics(&self) -> Snapshot {
+        match &self.backend {
+            Backend::Incremental { engine, router } => {
+                engine.storage().record_size_gauges(&self.telemetry);
+                if let Some(r) = router {
+                    r.record_pool_gauges(&self.telemetry);
+                }
+            }
+            Backend::Oracle { db, .. } => {
+                if self.telemetry.is_enabled() {
+                    for rel in db.relations() {
+                        self.telemetry
+                            .gauge(&format!("ndlog_relation_tuples{{rel=\"{rel}\"}}"))
+                            .set(db.len_of(rel) as i64);
+                    }
+                }
+            }
+        }
+        self.telemetry.snapshot()
+    }
+
+    /// Why is this tuple visible?  Walks the incremental backend's support
+    /// map to a rule-level derivation tree ([`Explanation`]) — `None` when
+    /// the tuple is not visible, or for the oracle backend (from-scratch
+    /// re-evaluation keeps no support counts to walk).
+    pub fn explain(&self, pred: &str, tuple: &[Value]) -> Option<Explanation> {
+        match &self.backend {
+            Backend::Incremental { engine, .. } => engine.explain(pred, tuple),
             Backend::Oracle { .. } => None,
         }
     }

@@ -49,6 +49,7 @@
 //! simulator's loss knob exists for the imperative baselines in
 //! [`crate::baseline`]; runs of this engine under loss are unsupported.
 
+use fvn_telemetry::{Counter, Gauge, Snapshot, Telemetry};
 use ndlog::ast::Program;
 use ndlog::eval::{Database, EvalOptions};
 use ndlog::incremental::{BatchStats, IncrementalEngine, RelDelta};
@@ -148,6 +149,31 @@ pub struct NdlogNode {
     applied: BatchStats,
     /// Number of maintenance batches this node ran.
     batches: u64,
+    /// Per-node telemetry handles (no-op sinks when telemetry is off).
+    metrics: NodeMetrics,
+}
+
+/// Resolved per-node metric handles: one `{node="i"}` series per node for
+/// messages shipped/processed, window flushes, and reorder-buffer depth.
+/// All handles are the no-op sink when the session's telemetry is disabled.
+#[derive(Clone, Default)]
+struct NodeMetrics {
+    sent: Counter,
+    received: Counter,
+    flushes: Counter,
+    queue_depth: Gauge,
+}
+
+impl NodeMetrics {
+    fn resolve(t: &Telemetry, node: u32) -> Self {
+        let series = |family: &str| format!("{family}{{node=\"{node}\"}}");
+        NodeMetrics {
+            sent: t.counter(&series("runtime_node_sent_total")),
+            received: t.counter(&series("runtime_node_received_total")),
+            flushes: t.counter(&series("runtime_node_flushes_total")),
+            queue_depth: t.gauge(&series("runtime_node_queue_depth")),
+        }
+    }
 }
 
 impl NdlogNode {
@@ -241,6 +267,7 @@ impl NdlogNode {
                 }
             }
         }
+        self.metrics.sent.add(outgoing.len() as u64);
         outgoing
     }
 
@@ -280,6 +307,7 @@ impl NdlogNode {
         }
         let batch = std::mem::take(&mut self.pending);
         ctx.mark_changed();
+        self.metrics.flushes.incr();
         let out = self.absorb(&batch);
         for (to, msg) in out {
             ctx.send(to, msg);
@@ -473,6 +501,12 @@ impl Protocol for NdlogNode {
                         .entry(from)
                         .or_default()
                         .insert(msg.seq, msg);
+                    if self.metrics.queue_depth.is_live() {
+                        self.metrics
+                            .queue_depth
+                            .set(self.recv_buffer.values().map(BTreeMap::len).sum::<usize>()
+                                as i64);
+                    }
                     return;
                 }
                 if msg.seq < *expected {
@@ -481,6 +515,7 @@ impl Protocol for NdlogNode {
                 let mut deltas = Vec::new();
                 let mut next = Some(msg);
                 while let Some(m) = next {
+                    self.metrics.received.incr();
                     *self
                         .recv_expected
                         .get_mut(&from)
@@ -514,6 +549,11 @@ impl Protocol for NdlogNode {
                         .get_mut(&from)
                         .and_then(|b| b.remove(&want));
                 }
+                if self.metrics.queue_depth.is_live() {
+                    self.metrics
+                        .queue_depth
+                        .set(self.recv_buffer.values().map(BTreeMap::len).sum::<usize>() as i64);
+                }
                 self.enqueue(deltas, ctx);
                 return;
             }
@@ -538,6 +578,7 @@ impl Protocol for NdlogNode {
 pub struct DistRuntime {
     sim: Simulator<NdlogNode>,
     stats: Option<SimStats>,
+    telemetry: Telemetry,
 }
 
 impl DistRuntime {
@@ -708,8 +749,14 @@ impl DistRuntime {
         // stratum plans, and shard-worker pool (Arc) instead of deep-copying
         // them per node.
         let router = (shards > 1).then(|| Arc::new(ndlog::ShardRouter::new(&analysis, shards)));
+        let telemetry = session.telemetry_handle().clone();
         let mut proto = IncrementalEngine::from_analysis(analysis, eval_opts);
         proto.set_sharding(router);
+        // The prototype's metric handles are Arc-shared by every node clone:
+        // engine-level counters (`ndlog_*`) aggregate across the whole
+        // network, while the per-node `runtime_node_*` series below stay
+        // node-scoped.
+        proto.set_telemetry(&telemetry);
         let nodes: Vec<NdlogNode> = bases
             .into_iter()
             .enumerate()
@@ -736,12 +783,14 @@ impl DistRuntime {
                     flush_epoch: 0,
                     applied: BatchStats::default(),
                     batches: 0,
+                    metrics: NodeMetrics::resolve(&telemetry, i as u32),
                 }
             })
             .collect();
         Ok(DistRuntime {
             sim: Simulator::new(topo.clone(), nodes, cfg),
             stats: None,
+            telemetry,
         })
     }
 
@@ -798,6 +847,22 @@ impl DistRuntime {
         (0..self.sim.topology().num_nodes())
             .map(|v| self.sim.node(v).batches())
             .sum()
+    }
+
+    /// The telemetry handle the runtime records through — the one configured
+    /// on the [`SessionBuilder`] passed to [`open`](Self::open) (the no-op
+    /// sink by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A deterministic, name-sorted snapshot of the whole network's metrics
+    /// (empty when telemetry is disabled): the engine-level `ndlog_*`
+    /// families aggregated across every node's engine clone, plus one
+    /// `runtime_node_*{node="i"}` series per node for messages
+    /// shipped/processed, window flushes, and reorder-buffer depth.
+    pub fn metrics(&self) -> Snapshot {
+        self.telemetry.snapshot()
     }
 }
 

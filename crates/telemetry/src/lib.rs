@@ -1,0 +1,685 @@
+//! Std-only telemetry for the FVN engines: an atomic metrics registry,
+//! phase timers, and deterministic snapshots.
+//!
+//! The design goal is a layer cheap enough to leave compiled into every
+//! engine hot path:
+//!
+//! * **Handles are statically dispatched.** [`Counter`], [`Gauge`], and
+//!   [`Histogram`] wrap `Option<Arc<Atomic…>>`; the disabled ("no-op sink")
+//!   variant is the `None` arm, so a disabled record is a branch on an
+//!   inline option — no virtual call, no allocation.  EXP-13 pins this with
+//!   the `CountingAlloc` harness from EXP-11.
+//! * **Recording is lock-free.** Every record is a relaxed atomic RMW.
+//!   Handles are `Send + Sync + Clone`, so sharded workers can feed the
+//!   same counter concurrently; sums are commutative, which is what makes
+//!   counter snapshots byte-identical across shard counts.
+//! * **Registration is the cold path.** [`Telemetry::counter`] and friends
+//!   take a mutex around a name-sorted map; engines resolve their handles
+//!   once at construction and never touch the registry while evaluating.
+//! * **Snapshots are deterministic.** [`Snapshot`] renders name-sorted,
+//!   Prometheus-style text.  Taken at a quiescent point (between batches),
+//!   the counter/gauge subset is a pure function of the update history.
+//!
+//! ```
+//! use fvn_telemetry::Telemetry;
+//!
+//! let t = Telemetry::enabled();
+//! let derivations = t.counter("ndlog_derivations_total");
+//! derivations.add(42);
+//! let snap = t.snapshot();
+//! assert_eq!(snap.counter("ndlog_derivations_total"), Some(42));
+//! assert!(snap.render().contains("ndlog_derivations_total 42"));
+//!
+//! // The disabled handle is free: same API, no storage, no allocation.
+//! let off = Telemetry::disabled();
+//! off.counter("ndlog_derivations_total").add(42);
+//! assert!(off.snapshot().is_empty());
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of histogram buckets: upper bounds `2^0 .. 2^38` plus overflow.
+///
+/// With nanosecond phase timings this spans 1ns to ~4.6 minutes before the
+/// overflow bucket; the fixed log-2 scale keeps bucketing branch-free.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Bucket index for a recorded value: the smallest `i` with `v <= 2^i`,
+/// capped at the overflow bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    let idx = 64 - (v - 1).leading_zeros() as usize;
+    idx.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Upper bound (`le` label) of bucket `i`, rendered Prometheus-style.
+fn bucket_bound(i: usize) -> String {
+    if i == HISTOGRAM_BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        (1u64 << i).to_string()
+    }
+}
+
+/// Lock-free histogram storage: fixed log-scale buckets plus sum and count.
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// A monotonically increasing counter.
+///
+/// Cheap to clone (an `Option<Arc<_>>`); the disabled variant from
+/// [`Counter::noop`] or a disabled [`Telemetry`] records nothing and
+/// allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A counter that ignores every record — the no-op sink.
+    pub const fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Add `n` to the counter (relaxed; no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A gauge that ignores every record — the no-op sink.
+    pub const fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Set the gauge to `v` (no-op when disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `d` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A histogram over `u64` samples with fixed log-2 buckets.
+///
+/// Used for phase durations (nanoseconds) and batch sizes.  Start a
+/// [`PhaseTimer`] with [`Histogram::start_timer`] to record a span.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A histogram that ignores every record — the no-op sink.
+    pub const fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Record one sample (no-op when disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Start a drop-guard timer that records elapsed nanoseconds into this
+    /// histogram when dropped.  The disabled variant never reads the clock.
+    #[inline]
+    pub fn start_timer(&self) -> PhaseTimer {
+        PhaseTimer {
+            hist: self.clone(),
+            start: self.0.is_some().then(Instant::now),
+        }
+    }
+
+    /// Number of recorded samples (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records into a live registry.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Drop-guard span timer: created by [`Histogram::start_timer`], records
+/// the elapsed wall time in nanoseconds when dropped (or on
+/// [`PhaseTimer::stop`]).
+///
+/// When the histogram is the no-op sink the timer holds no start instant,
+/// so neither construction nor drop touches the clock.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl PhaseTimer {
+    /// Stop the timer now, recording the elapsed span.
+    pub fn stop(self) {}
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        if let Some(s) = self.start.take() {
+            let ns = u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
+        }
+    }
+}
+
+/// One registered metric's live storage.
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// The registry: a name-sorted map of live metrics behind a mutex.
+///
+/// All lookups and registrations take the lock — this is the cold path.
+/// Engines resolve handles once and record through them lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve (registering on first use) the counter `name`.
+    ///
+    /// If `name` is already registered as a different metric kind, a no-op
+    /// handle is returned rather than aliasing the storage.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("telemetry registry poisoned");
+        if !m.contains_key(name) {
+            m.insert(name.to_string(), Metric::Counter(Arc::default()));
+        }
+        match m.get(name) {
+            Some(Metric::Counter(c)) => Counter(Some(Arc::clone(c))),
+            _ => Counter::noop(),
+        }
+    }
+
+    /// Resolve (registering on first use) the gauge `name`.
+    ///
+    /// Kind mismatches return a no-op handle, as for [`Self::counter`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("telemetry registry poisoned");
+        if !m.contains_key(name) {
+            m.insert(name.to_string(), Metric::Gauge(Arc::default()));
+        }
+        match m.get(name) {
+            Some(Metric::Gauge(g)) => Gauge(Some(Arc::clone(g))),
+            _ => Gauge::noop(),
+        }
+    }
+
+    /// Resolve (registering on first use) the histogram `name`.
+    ///
+    /// Kind mismatches return a no-op handle, as for [`Self::counter`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().expect("telemetry registry poisoned");
+        if !m.contains_key(name) {
+            m.insert(name.to_string(), Metric::Histogram(Arc::default()));
+        }
+        match m.get(name) {
+            Some(Metric::Histogram(h)) => Histogram(Some(Arc::clone(h))),
+            _ => Histogram::noop(),
+        }
+    }
+
+    /// Read every metric into a name-sorted [`Snapshot`].
+    ///
+    /// Each value is read with a relaxed load; take snapshots at quiescent
+    /// points (between batches) for a globally consistent view.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().expect("telemetry registry poisoned");
+        let entries = m
+            .iter()
+            .map(|(name, metric)| {
+                let data = match metric {
+                    Metric::Counter(c) => MetricData::Counter(c.load(Ordering::Relaxed)),
+                    Metric::Gauge(g) => MetricData::Gauge(g.load(Ordering::Relaxed)),
+                    Metric::Histogram(h) => MetricData::Histogram(HistogramData {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                    }),
+                };
+                (name.clone(), data)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// A point-in-time value of one metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricData {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets, count, and sum.
+    Histogram(HistogramData),
+}
+
+/// Point-in-time histogram contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Per-bucket (non-cumulative) sample counts; index `i` covers
+    /// `(2^(i-1), 2^i]`, the last bucket is overflow.
+    pub buckets: Vec<u64>,
+}
+
+/// A deterministic, name-sorted view of a registry at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricData)>,
+}
+
+impl Snapshot {
+    /// All entries, name-sorted.
+    pub fn entries(&self) -> &[(String, MetricData)] {
+        &self.entries
+    }
+
+    /// True when no metrics are registered (e.g. disabled telemetry).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Value of the counter `name`, if registered as a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.find(name).and_then(|d| match d {
+            MetricData::Counter(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Value of the gauge `name`, if registered as a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.find(name).and_then(|d| match d {
+            MetricData::Gauge(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Contents of the histogram `name`, if registered as a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramData> {
+        self.find(name).and_then(|d| match d {
+            MetricData::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    fn find(&self, name: &str) -> Option<&MetricData> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Render every metric as Prometheus-style exposition text.
+    ///
+    /// Counters and gauges render as `name value`; histograms render
+    /// cumulative `name_bucket{le="…"}` lines (empty buckets elided, the
+    /// running total carried forward) plus `name_sum` / `name_count`.
+    pub fn render(&self) -> String {
+        self.render_filtered(|_| true)
+    }
+
+    /// Render only the metrics whose name passes `keep`, in name-sorted
+    /// order.
+    ///
+    /// This is the determinism seam: histogram *timings* and per-shard
+    /// breakdowns vary run to run and across shard counts, so golden tests
+    /// filter down to the order-insensitive counter/gauge subset.
+    pub fn render_filtered(&self, keep: impl Fn(&str) -> bool) -> String {
+        let mut out = String::new();
+        for (name, data) in &self.entries {
+            if !keep(name) {
+                continue;
+            }
+            match data {
+                MetricData::Counter(v) => {
+                    writeln!(out, "# TYPE {} counter", base_name(name)).unwrap();
+                    writeln!(out, "{name} {v}").unwrap();
+                }
+                MetricData::Gauge(v) => {
+                    writeln!(out, "# TYPE {} gauge", base_name(name)).unwrap();
+                    writeln!(out, "{name} {v}").unwrap();
+                }
+                MetricData::Histogram(h) => {
+                    writeln!(out, "# TYPE {} histogram", base_name(name)).unwrap();
+                    let mut cum = 0u64;
+                    for (i, b) in h.buckets.iter().enumerate() {
+                        if *b == 0 {
+                            continue;
+                        }
+                        cum += b;
+                        writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_bound(i)).unwrap();
+                    }
+                    writeln!(out, "{name}_sum {}", h.sum).unwrap();
+                    writeln!(out, "{name}_count {}", h.count).unwrap();
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Metric base name for `# TYPE` lines: the name with any `{label}` suffix
+/// stripped, since labelled series share one family.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// The engine-facing telemetry handle.
+///
+/// Cheap to clone and share; the [`Telemetry::disabled`] variant carries no
+/// registry, so every handle it vends is the monomorphized no-op sink.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl Telemetry {
+    /// Telemetry backed by a fresh registry.
+    pub fn enabled() -> Self {
+        Telemetry {
+            registry: Some(Arc::new(MetricsRegistry::new())),
+        }
+    }
+
+    /// The no-op sink: every vended handle is disabled.  This is the
+    /// default, so engines pay one inline branch per record site unless a
+    /// caller opts in.
+    pub const fn disabled() -> Self {
+        Telemetry { registry: None }
+    }
+
+    /// Enabled (`true`) or the no-op sink (`false`).
+    pub fn with_enabled(enabled: bool) -> Self {
+        if enabled {
+            Self::enabled()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// Whether a live registry backs this handle.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Resolve the counter `name` (no-op handle when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry
+            .as_ref()
+            .map_or_else(Counter::noop, |r| r.counter(name))
+    }
+
+    /// Resolve the gauge `name` (no-op handle when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry
+            .as_ref()
+            .map_or_else(Gauge::noop, |r| r.gauge(name))
+    }
+
+    /// Resolve the histogram `name` (no-op handle when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry
+            .as_ref()
+            .map_or_else(Histogram::noop, |r| r.histogram(name))
+    }
+
+    /// Start a phase timer recording into the histogram `name`.
+    ///
+    /// Convenience for one-off spans; hot paths should resolve the
+    /// [`Histogram`] once and call [`Histogram::start_timer`].
+    pub fn phase(&self, name: &str) -> PhaseTimer {
+        self.histogram(name).start_timer()
+    }
+
+    /// Snapshot the registry ([`Snapshot::is_empty`] when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry
+            .as_ref()
+            .map_or_else(Snapshot::default, |r| r.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_smallest_power_bound() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let t = Telemetry::enabled();
+        let c = t.counter("c_total");
+        c.add(3);
+        c.incr();
+        let g = t.gauge("g");
+        g.set(7);
+        g.add(-2);
+        let h = t.histogram("h_ns");
+        h.record(3);
+        h.record(100);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("c_total"), Some(4));
+        assert_eq!(snap.gauge("g"), Some(5));
+        let hd = snap.histogram("h_ns").unwrap();
+        assert_eq!(hd.count, 2);
+        assert_eq!(hd.sum, 103);
+    }
+
+    #[test]
+    fn handles_share_storage_by_name() {
+        let t = Telemetry::enabled();
+        t.counter("shared").incr();
+        t.counter("shared").incr();
+        assert_eq!(t.snapshot().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn kind_mismatch_returns_noop_handle() {
+        let t = Telemetry::enabled();
+        t.counter("name").incr();
+        let g = t.gauge("name");
+        assert!(!g.is_live());
+        g.set(99);
+        assert_eq!(t.snapshot().counter("name"), Some(1));
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let t = Telemetry::disabled();
+        let c = t.counter("c");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_live());
+        let timer = t.phase("p_ns");
+        drop(timer);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn phase_timer_records_one_sample_on_drop() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("span_ns");
+        h.start_timer().stop();
+        {
+            let _guard = h.start_timer();
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn render_is_name_sorted_and_prometheus_shaped() {
+        let t = Telemetry::enabled();
+        t.counter("z_total").add(1);
+        t.counter("a_total").add(2);
+        t.gauge("m").set(-3);
+        let text = t.snapshot().render();
+        let a = text.find("a_total 2").unwrap();
+        let m = text.find("m -3").unwrap();
+        let z = text.find("z_total 1").unwrap();
+        assert!(a < m && m < z, "entries render name-sorted:\n{text}");
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("# TYPE m gauge"));
+    }
+
+    #[test]
+    fn render_filtered_keeps_only_matching_names() {
+        let t = Telemetry::enabled();
+        t.counter("keep_total").add(1);
+        t.counter("drop_total").add(2);
+        let text = t.snapshot().render_filtered(|n| n.starts_with("keep"));
+        assert!(text.contains("keep_total 1"));
+        assert!(!text.contains("drop_total"));
+    }
+
+    #[test]
+    fn histogram_render_elides_empty_buckets_and_accumulates() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("h");
+        h.record(1);
+        h.record(1);
+        h.record(1 << 20);
+        let text = t.snapshot().render();
+        assert!(text.contains("h_bucket{le=\"1\"} 2"));
+        assert!(text.contains("h_bucket{le=\"1048576\"} 3"));
+        assert!(text.contains("h_sum 1048578"));
+        assert!(text.contains("h_count 3"));
+        assert!(!text.contains("le=\"2\"}"), "empty buckets elided:\n{text}");
+    }
+
+    #[test]
+    fn labelled_series_share_a_type_family() {
+        let t = Telemetry::enabled();
+        t.counter("fam{shard=\"0\"}").add(1);
+        t.counter("fam{shard=\"1\"}").add(2);
+        let text = t.snapshot().render();
+        assert_eq!(text.matches("# TYPE fam counter").count(), 2);
+        assert!(text.contains("fam{shard=\"0\"} 1"));
+        assert!(text.contains("fam{shard=\"1\"} 2"));
+    }
+
+    #[test]
+    fn concurrent_counting_sums_exactly() {
+        let t = Telemetry::enabled();
+        let c = t.counter("par_total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.snapshot().counter("par_total"), Some(4000));
+    }
+}

@@ -4,18 +4,21 @@
 //! while one redundant link flaps repeatedly.  After every flap event the
 //! routing tables are brought back to the fixpoint two ways:
 //!
-//! * **incremental** — the failure/recovery enters the engine as two signed
-//!   `link` tuple deltas and counting/DRed maintenance repairs the database;
+//! * **incremental** — the failure/recovery enters a telemetry-enabled
+//!   [`ndlog::Session`] as one link-down/link-up transaction and
+//!   counting/DRed maintenance repairs the database;
 //! * **epoch** — the from-scratch semi-naive evaluator recomputes the world,
 //!   which is what the paper's runtime did on every topology change.
 //!
-//! Both must land on byte-identical databases; the derivation counts show
-//! why the incremental subsystem opens the dynamic-network workload class.
+//! Both must land on byte-identical databases; the derivation counters —
+//! read back from `Session::metrics()` rather than hand-maintained tallies —
+//! show why the incremental subsystem opens the dynamic-network workload
+//! class.  The finale asks the engine to *explain* a surviving route
+//! (`Session::explain`), walking its provenance down to ground `link` facts.
 //!
 //! Run with: `cargo run --release --example link_flap`
 
-use ndlog::incremental::{IncrementalEngine, TupleDelta};
-use ndlog::{Evaluator, Value};
+use ndlog::{Evaluator, Session, Value};
 use netsim::Topology;
 
 fn main() {
@@ -28,7 +31,10 @@ fn main() {
 
     let mut prog = ndlog::programs::path_vector();
     ndlog::programs::add_links(&mut prog, &topo.edge_list());
-    let mut engine = IncrementalEngine::new(&prog).expect("path vector evaluates");
+    let mut session = Session::open(&prog)
+        .telemetry(true)
+        .build()
+        .expect("path vector evaluates");
 
     println!("== link flap: incremental vs epoch recomputation ==\n");
     println!(
@@ -38,36 +44,24 @@ fn main() {
     );
     println!(
         "initial fixpoint: {} path tuples, {} derivations\n",
-        engine.len_of("path"),
-        engine.init_stats().derivations
+        session.len_of("path"),
+        session.init_stats().derivations
     );
-
-    let link = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b), Value::Int(1)];
-    let deltas = |up: bool| -> Vec<TupleDelta> {
-        let d = if up { 1 } else { -1 };
-        vec![
-            TupleDelta {
-                pred: "link".into(),
-                tuple: link(fa, fb),
-                delta: d,
-            },
-            TupleDelta {
-                pred: "link".into(),
-                tuple: link(fb, fa),
-                delta: d,
-            },
-        ]
-    };
 
     println!(
         "{:>6} {:>6}   {:>12} {:>12}   {:>8} {:>8}   {:>7}",
         "flap", "event", "incremental", "epoch", "+tuples", "-tuples", "speedup"
     );
-    let mut inc_total = 0usize;
     let mut epoch_total = 0usize;
     for flap in 1..=3u32 {
         for up in [false, true] {
-            let out = engine.apply(&deltas(up)).expect("maintenance");
+            let txn = session.txn();
+            let txn = if up {
+                txn.link_up(fa, fb, 1)
+            } else {
+                txn.link_down(fa, fb, 1)
+            };
+            let out = txn.commit().expect("maintenance");
 
             // Epoch oracle: recompute the current topology from scratch.
             let mut t = topo.clone();
@@ -80,8 +74,7 @@ fn main() {
             let mut db = Evaluator::base_database(&p);
             let epoch = ev.run(&mut db).expect("epoch evaluation");
 
-            assert_eq!(engine.database(), db, "incremental and epoch must agree");
-            inc_total += out.stats.derivations;
+            assert_eq!(session.database(), db, "incremental and epoch must agree");
             epoch_total += epoch.derivations;
             println!(
                 "{:>6} {:>6}   {:>12} {:>12}   {:>8} {:>8}   {:>6.1}x",
@@ -95,11 +88,47 @@ fn main() {
             );
         }
     }
+
+    // The running totals live in the session's metrics registry — no
+    // hand-maintained counters.  The snapshot is name-sorted and
+    // deterministic for counter families.
+    let snap = session.metrics();
+    let inc_total = snap
+        .counter("ndlog_derivations_total")
+        .expect("telemetry enabled") as usize;
+    let inc_churn = inc_total - session.init_stats().derivations;
     println!(
         "\ntotals over 3 flaps: incremental {} vs epoch {} derivations ({:.1}x fewer),",
-        inc_total,
+        inc_churn,
         epoch_total,
-        epoch_total as f64 / inc_total.max(1) as f64
+        epoch_total as f64 / inc_churn.max(1) as f64
     );
-    println!("with identical databases after every event.");
+    println!("with identical databases after every event.\n");
+
+    println!("engine counters (Session::metrics snapshot, excerpt):");
+    for name in [
+        "ndlog_batches_total",
+        "ndlog_derivations_total",
+        "ndlog_tuples_inserted_total",
+        "ndlog_tuples_deleted_total",
+        "session_txns_total",
+        "session_flushes_total",
+    ] {
+        if let Some(v) = snap.counter(name) {
+            println!("  {name:<32} {v}");
+        }
+    }
+
+    // Why is this route in the table?  Walk its provenance.
+    let best = session
+        .database()
+        .relation("bestPath")
+        .find(|t| t.first() == Some(&Value::Addr(fa)) && t.get(1) == Some(&Value::Addr(fb)))
+        .cloned();
+    if let Some(t) = best {
+        if let Some(why) = session.explain("bestPath", &t) {
+            println!("\nprovenance of the recovered {fa}->{fb} route:");
+            println!("{why}");
+        }
+    }
 }

@@ -10,8 +10,9 @@
 //! [`ndlog::Session`] built with `.sharding(n)` wraps the same engine the
 //! deprecated `ShardedEngine` constructors used to build.
 
+use ndlog::eval::assert_run_matches_sharded;
 use ndlog::incremental::{IncrementalEngine, TupleDelta};
-use ndlog::{eval_program, CommitOutcome, Evaluator, Session, Update, Value};
+use ndlog::{eval_program, CommitOutcome, Session, Update, Value};
 use netsim::Topology;
 
 fn link(a: u32, b: u32, c: i64) -> Vec<Value> {
@@ -52,7 +53,10 @@ fn reachability_fixpoint_agrees_across_shard_counts() {
     ndlog::programs::add_links(&mut prog, &topo.edge_list());
 
     let want = eval_program(&prog).unwrap();
-    let ev = Evaluator::new(&prog).unwrap();
+    // One shared util (also used by the in-crate and property tests) pins
+    // run vs run_sharded dbs *and* stats at every shard count.
+    let (sharded_db, _) = assert_run_matches_sharded(&prog, &[1, 2, 4, 8]);
+    assert_eq!(sharded_db, want, "sharded semi-naive diverges");
     for shards in [1usize, 2, 4, 8] {
         let session = Session::open(&prog).sharding(shards).build().unwrap();
         assert_eq!(
@@ -60,9 +64,6 @@ fn reachability_fixpoint_agrees_across_shard_counts() {
             want,
             "{shards}-shard incremental fixpoint diverges"
         );
-        let mut db = Evaluator::base_database(&prog);
-        ev.run_sharded(&mut db, shards).unwrap();
-        assert_eq!(db, want, "{shards}-shard semi-naive diverges");
     }
 }
 
