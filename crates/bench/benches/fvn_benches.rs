@@ -241,6 +241,37 @@ fn bench_incremental_vs_epoch(c: &mut Criterion) {
             black_box(stats.derivations)
         })
     });
+    // The id-native epoch baseline (`run_interned`): same algorithm and
+    // byte-identical statistics as `epoch_recompute`, but joins probe
+    // `RelId`-indexed stores and derived tuples are shared handles — the
+    // interning-tax cut the oracle backend now rides on.  Bench notes: on
+    // the reference box the interned baseline holds or improves on the
+    // name-keyed one (the tuple-copy saving dominates path-vector
+    // workloads whose tuples carry whole path lists); the stats equality
+    // below pins that it is the *same* fixpoint, so the comparison is
+    // apples to apples.
+    {
+        let mut named = ndlog::Evaluator::base_database(&failed_prog);
+        let named_stats = epoch_ev.run(&mut named).unwrap();
+        let mut interned = epoch_ev.base_database_interned(&failed_prog);
+        let interned_stats = epoch_ev.run_interned(&mut interned).unwrap();
+        assert_eq!(
+            named_stats, interned_stats,
+            "interned epoch baseline diverges from the name-keyed evaluator"
+        );
+        assert_eq!(
+            named,
+            interned.to_named(epoch_ev.symbols()),
+            "interned epoch database diverges from the name-keyed evaluator"
+        );
+    }
+    g.bench_function("epoch_recompute_interned", |b| {
+        b.iter(|| {
+            let mut db = epoch_ev.base_database_interned(&failed_prog);
+            let stats = epoch_ev.run_interned(&mut db).unwrap();
+            black_box(stats.derivations)
+        })
+    });
     g.finish();
 }
 
@@ -670,6 +701,124 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// EXP-14: z-set vs DRed deletion work on dense-SCC transitive closure
+/// (DESIGN.md §3 and §11).
+///
+/// One directed ring SCC over 20 nodes plus a growing number of chord
+/// links; the deleted link is always a chord, so the ring keeps the
+/// component strongly connected and the *visible* database does not change
+/// at all — the true change is zero at every density.  Difference-based
+/// z-set maintenance must therefore do near-flat work as density grows,
+/// while DRed overdeletes the entire component and pays rederivation
+/// proportional to the full fixpoint: the epoch cliff DESIGN.md §6 used to
+/// document, now quantified and asserted.
+fn bench_zset_deletion(c: &mut Criterion) {
+    use ndlog::incremental::{Maintenance, TupleDelta};
+    use ndlog::update::Session;
+    use ndlog::Value;
+
+    const N: u32 = 20;
+    let link = |a: u32, b: u32| vec![Value::Addr(a), Value::Addr(b), Value::Int(1)];
+
+    let mut g = c.benchmark_group("exp14_zset_deletion");
+    g.sample_size(10);
+    let mut zset_work: Vec<usize> = Vec::new();
+    let mut dred_work: Vec<usize> = Vec::new();
+    for &chords in &[2u32, 6, 12] {
+        // Directed ring 0→1→…→19→0 (one SCC) plus `chords` forward chords.
+        let mut edges: Vec<(u32, u32, i64)> = (0..N).map(|i| (i, (i + 1) % N, 1)).collect();
+        for k in 0..chords.min(N) {
+            edges.push((k, (k + 7) % N, 1));
+        }
+        let mut prog = ndlog::programs::reachability();
+        ndlog::programs::add_directed_links(&mut prog, &edges);
+        // Fail the first chord; the ring keeps everything reachable.
+        let (da, db) = (edges[N as usize].0, edges[N as usize].1);
+        let fail = [TupleDelta::remove("link", link(da, db))];
+
+        let zs = Session::open(&prog).build().unwrap(); // ZSet is the default
+        let dr = Session::open(&prog)
+            .maintenance(Maintenance::Dred)
+            .build()
+            .unwrap();
+
+        // Differential acceptance: both paths agree byte-for-byte before
+        // and after the deletion, and the deletion changes nothing visible
+        // beyond the base link itself.
+        assert_eq!(zs.database(), dr.database(), "seed databases diverge");
+        let (mut zs1, mut dr1) = (zs.clone(), dr.clone());
+        let zo = zs1
+            .txn()
+            .extend(fail.iter().map(ndlog::Update::from))
+            .commit()
+            .unwrap();
+        let dro = dr1
+            .txn()
+            .extend(fail.iter().map(ndlog::Update::from))
+            .commit()
+            .unwrap();
+        assert_eq!(
+            zs1.database(),
+            dr1.database(),
+            "post-deletion databases diverge at chords={chords}"
+        );
+        let visible = zo.changes.iter().filter(|ch| ch.pred != "link").count();
+        assert_eq!(visible, 0, "chord deletion must not change reachability");
+        zset_work.push(zo.stats.derivations);
+        dred_work.push(dro.stats.derivations);
+        println!(
+            "exp14: chords={chords} true-change=0 zset-derivations={} dred-derivations={}",
+            zo.stats.derivations, dro.stats.derivations
+        );
+
+        g.bench_function(BenchmarkId::new("zset_delete", chords), |b| {
+            b.iter(|| {
+                let mut s = zs.clone();
+                let out = s
+                    .txn()
+                    .extend(fail.iter().map(ndlog::Update::from))
+                    .commit()
+                    .unwrap();
+                black_box(out.stats.derivations)
+            })
+        });
+        g.bench_function(BenchmarkId::new("dred_delete", chords), |b| {
+            b.iter(|| {
+                let mut s = dr.clone();
+                let out = s
+                    .txn()
+                    .extend(fail.iter().map(ndlog::Update::from))
+                    .commit()
+                    .unwrap();
+                black_box(out.stats.derivations)
+            })
+        });
+    }
+    g.finish();
+
+    // The cliff, quantified: z-set deletion work tracks the true change
+    // (zero here), so it stays flat as density grows; DRed re-derives the
+    // whole component, so its work grows with density and dwarfs z-set
+    // everywhere.
+    for (z, d) in zset_work.iter().zip(&dred_work) {
+        assert!(z < d, "z-set deletion work {z} must undercut DRed {d}");
+    }
+    let zmin = *zset_work.iter().min().unwrap();
+    let zmax = *zset_work.iter().max().unwrap();
+    assert!(
+        zmax <= zmin.saturating_mul(4),
+        "z-set work must stay flat across densities: {zset_work:?}"
+    );
+    assert!(
+        dred_work.last().unwrap() > dred_work.first().unwrap(),
+        "DRed work must grow with density: {dred_work:?}"
+    );
+    assert!(
+        *dred_work.iter().min().unwrap() > zmax.saturating_mul(3),
+        "DRed cliff must dwarf z-set work: zset {zset_work:?} vs dred {dred_work:?}"
+    );
+}
+
 /// FIG-1 / arc 7: distributed execution.
 fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_arc7_distributed");
@@ -698,6 +847,6 @@ criterion_group! {
               bench_declarative_vs_imperative, bench_translation,
               bench_softstate, bench_incremental_vs_epoch, bench_shard_scaling,
               bench_interned_hot_path, bench_batch_window,
-              bench_telemetry_overhead, bench_runtime
+              bench_telemetry_overhead, bench_zset_deletion, bench_runtime
 }
 criterion_main!(benches);

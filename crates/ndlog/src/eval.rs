@@ -14,7 +14,8 @@ use crate::builtins::eval_builtin;
 use crate::error::{NdlogError, Result};
 use crate::safety::{analyze, Analysis};
 use crate::sharded::{fan_out, ShardRouter};
-use crate::value::{Tuple, Value};
+use crate::symbols::{RelId, Symbols};
+use crate::value::{SharedTuple, Tuple, Value};
 use fvn_telemetry::{Counter, Histogram, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -81,6 +82,93 @@ impl Database {
                 e.insert(t.clone());
             }
         }
+    }
+}
+
+/// The interned twin of [`Database`]: dense [`RelId`] → set of
+/// [`SharedTuple`]s, `Vec`-indexed by id.
+///
+/// [`Evaluator::run_interned`] evaluates over this store so from-scratch
+/// oracle runs (the differential baseline behind
+/// [`crate::update::SessionBuilder::oracle`] and the epoch side of EXP-9)
+/// stop paying the `String`-key compare and deep-tuple-copy tax of the
+/// name-keyed reference path.  Ids must come from the evaluator's own
+/// [`Symbols`] table ([`Evaluator::symbols`]); `analyze` interns every
+/// program predicate in sorted name order, so id order coincides with name
+/// order and [`to_named`](IdDatabase::to_named) round-trips byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdDatabase {
+    rels: Vec<BTreeSet<SharedTuple>>,
+}
+
+impl IdDatabase {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, rel: RelId) -> &mut BTreeSet<SharedTuple> {
+        if self.rels.len() <= rel.index() {
+            self.rels.resize_with(rel.index() + 1, BTreeSet::new);
+        }
+        &mut self.rels[rel.index()]
+    }
+
+    /// Insert a tuple; returns true if it was new.
+    pub fn insert(&mut self, rel: RelId, tuple: SharedTuple) -> bool {
+        self.slot(rel).insert(tuple)
+    }
+
+    /// Remove a tuple; returns true if it was present.
+    pub fn remove(&mut self, rel: RelId, tuple: &[Value]) -> bool {
+        self.rels
+            .get_mut(rel.index())
+            .map(|s| s.remove(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Tuples of a relation (empty view if absent).
+    pub fn relation(&self, rel: RelId) -> impl Iterator<Item = &SharedTuple> {
+        self.rels.get(rel.index()).into_iter().flatten()
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+        self.rels
+            .get(rel.index())
+            .map(|s| s.contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Number of tuples in a relation.
+    pub fn len_of(&self, rel: RelId) -> usize {
+        self.rels.get(rel.index()).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total(&self) -> usize {
+        self.rels.iter().map(|s| s.len()).sum()
+    }
+
+    /// One past the highest id that may hold tuples (iteration bound).
+    pub fn num_rels(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Render a name-keyed [`Database`] view (boundary use only — tests,
+    /// snapshots; the hot path stays id-native).
+    pub fn to_named(&self, symbols: &Symbols) -> Database {
+        let mut db = Database::new();
+        for (i, ts) in self.rels.iter().enumerate() {
+            if ts.is_empty() {
+                continue;
+            }
+            let name = symbols.name(RelId::from_index(i));
+            for t in ts {
+                db.insert(name, t.to_tuple());
+            }
+        }
+        db
     }
 }
 
@@ -254,6 +342,81 @@ fn eval_body(
     }
 }
 
+/// The id-native twin of [`eval_body`]: identical control flow, but atom
+/// predicates are resolved through `rels` (aligned to `body`, `Some` exactly
+/// at atom literals) and relations are probed in an [`IdDatabase`].
+#[allow(clippy::too_many_arguments)]
+fn eval_body_id(
+    body: &[Literal],
+    rels: &[Option<RelId>],
+    idx: usize,
+    db: &IdDatabase,
+    delta_at: Option<usize>,
+    delta: Option<&IdDatabase>,
+    env: &Env,
+    sink: &mut dyn FnMut(&Env) -> Result<()>,
+) -> Result<()> {
+    if idx == body.len() {
+        return sink(env);
+    }
+    match &body[idx] {
+        Literal::Pos(atom) => {
+            let rel = rels[idx].expect("positive literal has a resolved id");
+            let use_delta = delta_at == Some(idx);
+            let iter: Box<dyn Iterator<Item = &SharedTuple>> = if use_delta {
+                Box::new(delta.expect("delta db").relation(rel))
+            } else {
+                Box::new(db.relation(rel))
+            };
+            for tuple in iter {
+                let mut env2 = env.clone();
+                if match_atom(atom, tuple, &mut env2) {
+                    eval_body_id(body, rels, idx + 1, db, delta_at, delta, &env2, sink)?;
+                }
+            }
+            Ok(())
+        }
+        Literal::Neg(atom) => {
+            let rel = rels[idx].expect("negative literal has a resolved id");
+            let mut probe = Vec::with_capacity(atom.args.len());
+            for t in &atom.args {
+                match t {
+                    Term::Const(c) => probe.push(c.clone()),
+                    Term::Var(v) => {
+                        probe.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                            msg: format!("unbound var {v} in negation"),
+                        })?)
+                    }
+                }
+            }
+            if !db.contains(rel, &probe) {
+                eval_body_id(body, rels, idx + 1, db, delta_at, delta, env, sink)?;
+            }
+            Ok(())
+        }
+        Literal::Assign(v, e) => {
+            let val = eval_expr(e, env)?;
+            match env.get(v) {
+                Some(bound) if *bound != val => Ok(()), // equality check fails
+                Some(_) => eval_body_id(body, rels, idx + 1, db, delta_at, delta, env, sink),
+                None => {
+                    let mut env2 = env.clone();
+                    env2.insert(v.clone(), val);
+                    eval_body_id(body, rels, idx + 1, db, delta_at, delta, &env2, sink)
+                }
+            }
+        }
+        Literal::Cmp(a, op, b) => {
+            let va = eval_expr(a, env)?;
+            let vb = eval_expr(b, env)?;
+            if op.eval(&va, &vb) {
+                eval_body_id(body, rels, idx + 1, db, delta_at, delta, env, sink)?;
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Options bounding an evaluation run.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
@@ -416,6 +579,113 @@ pub(crate) fn aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
             Ok(Value::Int(acc))
         }
     }
+}
+
+/// A rule with its atom predicates resolved to dense ids once per run —
+/// the per-rule compile step of the interned evaluation path.
+struct IdRule<'a> {
+    rule: &'a Rule,
+    head: RelId,
+    /// Aligned to `rule.body`: `Some(id)` at `Pos`/`Neg` literals.
+    body: Vec<Option<RelId>>,
+}
+
+fn compile_id_rules<'a>(rules: &[&'a Rule], symbols: &Symbols) -> Vec<IdRule<'a>> {
+    let resolve = |pred: &str| {
+        symbols
+            .lookup(pred)
+            .expect("program predicates are interned at analysis")
+    };
+    rules
+        .iter()
+        .map(|r| IdRule {
+            rule: r,
+            head: resolve(&r.head.pred),
+            body: r
+                .body
+                .iter()
+                .map(|l| match l {
+                    Literal::Pos(a) | Literal::Neg(a) => Some(resolve(&a.pred)),
+                    _ => None,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The id-native twin of [`eval_agg_rule`], grouping into an [`IdDatabase`].
+fn eval_agg_rule_id(
+    rule: &IdRule<'_>,
+    db: &mut IdDatabase,
+    stats: &mut EvalStats,
+    deriv_sink: &Counter,
+) -> Result<()> {
+    let head = &rule.rule.head;
+    let n_aggs = head
+        .args
+        .iter()
+        .filter(|a| matches!(a, HeadArg::Agg(..)))
+        .count();
+    let mut groups: BTreeMap<Tuple, Vec<Vec<Value>>> = BTreeMap::new();
+    let mut sink = |env: &Env| -> Result<()> {
+        let mut key = Vec::new();
+        let mut aggs = Vec::with_capacity(n_aggs);
+        for a in &head.args {
+            match a {
+                HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
+                HeadArg::Term(Term::Var(v)) => {
+                    key.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                        msg: format!("unbound head var {v}"),
+                    })?)
+                }
+                HeadArg::Agg(_, v) => {
+                    aggs.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                        msg: format!("unbound aggregate var {v}"),
+                    })?)
+                }
+            }
+        }
+        let acc = groups
+            .entry(key)
+            .or_insert_with(|| vec![Vec::new(); n_aggs]);
+        for (slot, v) in acc.iter_mut().zip(aggs) {
+            slot.push(v);
+        }
+        Ok(())
+    };
+    eval_body_id(
+        &rule.rule.body,
+        &rule.body,
+        0,
+        db,
+        None,
+        None,
+        &Env::new(),
+        &mut sink,
+    )?;
+
+    for (key, accs) in groups {
+        let mut ki = 0usize;
+        let mut ai = 0usize;
+        let mut out = Vec::with_capacity(head.args.len());
+        for a in &head.args {
+            match a {
+                HeadArg::Term(_) => {
+                    out.push(key[ki].clone());
+                    ki += 1;
+                }
+                HeadArg::Agg(func, _) => {
+                    out.push(aggregate(*func, &accs[ai])?);
+                    ai += 1;
+                }
+            }
+        }
+        count_derivation(&mut stats.derivations, deriv_sink);
+        if db.insert(rule.head, SharedTuple::from(out)) {
+            stats.new_tuples += 1;
+        }
+    }
+    Ok(())
 }
 
 /// The evaluation engine. Holds the analyzed program.
@@ -646,6 +916,170 @@ impl Evaluator {
             for (local, derivations) in partials {
                 stats.derivations += derivations;
                 next.absorb(&local);
+            }
+            delta = next;
+        }
+        Ok(())
+    }
+
+    /// The interner shared with the analysis (every program predicate is
+    /// resolved, in sorted name order — see [`crate::symbols`]).
+    pub fn symbols(&self) -> &Symbols {
+        &self.analysis.symbols
+    }
+
+    /// Load the program's ground facts into an interned database keyed by
+    /// this evaluator's [`Symbols`] table.
+    pub fn base_database_interned(&self, prog: &Program) -> IdDatabase {
+        let mut db = IdDatabase::new();
+        for f in &prog.facts {
+            let tuple = f.const_tuple().expect("facts are ground (parser-enforced)");
+            let rel = self
+                .analysis
+                .symbols
+                .lookup(&f.pred)
+                .expect("program predicates are interned at analysis");
+            db.insert(rel, SharedTuple::from(tuple));
+        }
+        db
+    }
+
+    /// Run semi-naive evaluation to fixpoint over an interned database —
+    /// the id-native twin of [`run`](Self::run): same algorithm, same
+    /// iteration structure, and byte-identical [`EvalStats`], but joins
+    /// probe `Vec`-indexed [`RelId`] stores and derived tuples are shared
+    /// handles instead of deep copies.  Single-threaded: this is the
+    /// oracle/epoch-baseline path, not the production engine.
+    pub fn run_interned(&self, db: &mut IdDatabase) -> Result<EvalStats> {
+        let mut stats = EvalStats::default();
+        for s in 0..self.analysis.num_strata {
+            self.run_stratum_interned(s, db, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    /// Evaluate a single stratum to fixpoint over an interned database
+    /// (mirrors [`run_stratum`](Self::run_stratum) at one shard).
+    fn run_stratum_interned(
+        &self,
+        s: usize,
+        db: &mut IdDatabase,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        let rules: Vec<&Rule> = self.analysis.rules_in_stratum(s);
+        if rules.is_empty() {
+            return Ok(());
+        }
+        let _span = self.metrics.phase.start_timer();
+        let (agg_rules, plain_rules): (Vec<&Rule>, Vec<&Rule>) =
+            rules.into_iter().partition(|r| r.head.has_agg());
+        let agg_rules = compile_id_rules(&agg_rules, &self.analysis.symbols);
+        let plain_rules = compile_id_rules(&plain_rules, &self.analysis.symbols);
+
+        // Aggregates first: their bodies only see lower strata (stratification).
+        for r in &agg_rules {
+            eval_agg_rule_id(r, db, stats, &self.metrics.derivations)?;
+        }
+
+        // Which predicates are recursive within this stratum?
+        let stratum_preds: BTreeSet<RelId> = plain_rules
+            .iter()
+            .chain(agg_rules.iter())
+            .map(|r| r.head)
+            .collect();
+
+        // Initial pass (naive over current db) to seed the delta.
+        let mut delta = IdDatabase::new();
+        for r in &plain_rules {
+            let head = &r.rule.head;
+            let mut sink = |env: &Env| -> Result<()> {
+                let t = instantiate_head(head, env)?;
+                count_derivation(&mut stats.derivations, &self.metrics.derivations);
+                if !db.contains(r.head, &t) {
+                    delta.insert(r.head, SharedTuple::from(t));
+                }
+                Ok(())
+            };
+            eval_body_id(
+                &r.rule.body,
+                &r.body,
+                0,
+                db,
+                None,
+                None,
+                &Env::new(),
+                &mut sink,
+            )?;
+        }
+
+        // Recursive positive occurrences per rule (invariant across rounds).
+        let rec_positions: Vec<(&IdRule<'_>, Vec<usize>)> = plain_rules
+            .iter()
+            .map(|r| {
+                let ps: Vec<usize> = r
+                    .body
+                    .iter()
+                    .enumerate()
+                    .zip(&r.rule.body)
+                    .filter_map(|((i, rel), l)| match (l, rel) {
+                        (Literal::Pos(_), Some(rel)) if stratum_preds.contains(rel) => Some(i),
+                        _ => None,
+                    })
+                    .collect();
+                (r, ps)
+            })
+            .filter(|(_, ps)| !ps.is_empty())
+            .collect();
+
+        let mut iter = 0usize;
+        while delta.total() > 0 {
+            iter += 1;
+            stats.iterations += 1;
+            self.metrics.rounds.incr();
+            if iter > self.opts.max_iterations {
+                return Err(NdlogError::Eval {
+                    msg: format!("iteration limit exceeded in stratum {s}"),
+                });
+            }
+            // Absorb delta into db.
+            for i in 0..delta.num_rels() {
+                let rel = RelId::from_index(i);
+                for t in delta.relation(rel).cloned().collect::<Vec<_>>() {
+                    if db.insert(rel, t) {
+                        stats.new_tuples += 1;
+                    }
+                }
+            }
+            if db.total() > self.opts.max_tuples {
+                return Err(NdlogError::Eval {
+                    msg: "tuple limit exceeded".into(),
+                });
+            }
+            // Derive the next delta: substitute the delta at each recursive
+            // positive occurrence against the absorbed database.
+            let mut next = IdDatabase::new();
+            for (r, positions) in &rec_positions {
+                let head = &r.rule.head;
+                for &pos in positions {
+                    let mut sink = |env: &Env| -> Result<()> {
+                        let t = instantiate_head(head, env)?;
+                        count_derivation(&mut stats.derivations, &self.metrics.derivations);
+                        if !db.contains(r.head, &t) {
+                            next.insert(r.head, SharedTuple::from(t));
+                        }
+                        Ok(())
+                    };
+                    eval_body_id(
+                        &r.rule.body,
+                        &r.body,
+                        0,
+                        db,
+                        Some(pos),
+                        Some(&delta),
+                        &Env::new(),
+                        &mut sink,
+                    )?;
+                }
             }
             delta = next;
         }
@@ -913,6 +1347,34 @@ mod tests {
         assert!(stats.new_tuples > 0);
         assert!(stats.derivations >= stats.new_tuples);
         assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn interned_run_matches_named_run_exactly() {
+        // Path vector (recursion + aggregates + builtins), stratified
+        // negation, and bounded arithmetic all agree byte-for-byte —
+        // databases AND statistics — between the name-keyed reference
+        // evaluator and the id-native oracle path.
+        for src in [
+            line3(),
+            "a reach(X,Y) :- edge(X,Y).
+             b reach(X,Y) :- reach(X,Z), edge(Z,Y).
+             c unreach(X,Y) :- node(X), node(Y), X != Y, !reach(X,Y).
+             d deg(X, count<Y>) :- edge(X,Y).
+             node(#0). node(#1). node(#2).
+             edge(#0,#1). edge(#1,#2). edge(#2,#0)."
+                .to_string(),
+            "a q(N) :- q(M), M < 10, N = M + 1. q(0).".to_string(),
+        ] {
+            let prog = parse_program(&src).unwrap();
+            let ev = Evaluator::new(&prog).unwrap();
+            let mut named = Evaluator::base_database(&prog);
+            let named_stats = ev.run(&mut named).unwrap();
+            let mut interned = ev.base_database_interned(&prog);
+            let interned_stats = ev.run_interned(&mut interned).unwrap();
+            assert_eq!(named, interned.to_named(ev.symbols()));
+            assert_eq!(named_stats, interned_stats);
+        }
     }
 
     #[test]

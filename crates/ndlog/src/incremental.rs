@@ -13,10 +13,18 @@
 //!   (`Δ(R₁ ⋈ … ⋈ Rₙ) = Σᵢ new[<i] ⋈ Δᵢ ⋈ old[>i]`), and a tuple dies
 //!   exactly when its count reaches zero.  Stratified negation is handled by
 //!   sign-flipping the delta of the negated relation.
-//! * **DRed** (delete–rederive, Gupta–Mumick–Subrahmanian) for recursive
-//!   strata, where counting is unsound: over-delete everything reachable
-//!   from a deletion against the old database, rederive what has alternative
-//!   support, then semi-naively insert the additions.
+//! * **Z-set maintenance** (the default, [`Maintenance::ZSet`]) for
+//!   recursive strata: the same signed-count delta propagation as the
+//!   counting path — retractions travel as negative multiplicities — plus a
+//!   backward well-foundedness check on the tuples that actually lost a
+//!   firing, so deletion cost is proportional to the true support change
+//!   instead of the overdelete/rederive cascade.  Strata are split into
+//!   per-SCC sub-plans so only genuine cycles pay the verification pass.
+//! * **DRed** (delete–rederive, Gupta–Mumick–Subrahmanian,
+//!   [`Maintenance::Dred`]) kept as a differential baseline for recursive
+//!   strata: over-delete everything reachable from a deletion against the
+//!   old database, rederive what has alternative support, then semi-naively
+//!   insert the additions.
 //! * **Recompute-diff** for aggregate rules (`min`/`max`/`count`/`sum`):
 //!   their bodies live strictly below their stratum, so when an input
 //!   changed the rule is re-evaluated over the maintained inputs and the
@@ -169,6 +177,32 @@ pub struct InternedOutcome {
     pub stats: BatchStats,
 }
 
+/// Maintenance algorithm for recursive strata (non-recursive strata always
+/// use counting; aggregates always use group-incremental recompute).
+///
+/// The engines are differential twins: both maintain the exact stratified
+/// fixpoint and the visible databases they produce are byte-identical, so
+/// either can serve as the oracle for the other.  They differ in *how*
+/// deletions travel and what the internal support counts mean, which is why
+/// the knob must be set **before any deltas are applied** — DRed clamps
+/// recursive-stratum support to 0/1 flags that z-set propagation would
+/// misread as exact firing counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Maintenance {
+    /// Difference-based signed-count (z-set) maintenance: retractions
+    /// propagate as negative multiplicities through the same telescoped
+    /// delta rules as insertions, and only tuples that actually lost a
+    /// firing are checked for well-founded support.  Deletion work scales
+    /// with the true change (DESIGN.md §11).
+    #[default]
+    ZSet,
+    /// Classic delete–rederive: overdelete the deletion's downward closure
+    /// against the old database, rederive survivors, re-insert.  On densely
+    /// connected recursive relations the overdeletion degrades to epoch
+    /// cost; kept as the differential baseline (DESIGN.md §11).
+    Dred,
+}
+
 /// A rule compiled against the engine's symbol table: the AST plus the
 /// interned ids of its head and body atoms, resolved once at construction
 /// so the maintenance inner loops never look up a name.
@@ -220,11 +254,22 @@ impl CompiledRule {
     }
 }
 
-/// Per-stratum maintenance plan, fixed at engine construction.
+/// One maintenance sub-plan: the rules of a single SCC of a stratum's
+/// positive head-dependency graph, fixed at engine construction.
+///
+/// Strata are decomposed into SCC sub-plans in topological order (see
+/// [`build_plans`]): batch visibility marks accumulate until
+/// `take_changes`, so running the sub-plans sequentially is exactly the
+/// existing stratum sequencing — each sub-plan sees the lower components'
+/// changes as finalized deltas.  Only components with a genuine cycle are
+/// `recursive`; everything else keeps plain counting even when it shares a
+/// stratum with a cycle.
 #[derive(Debug, Clone)]
 pub(crate) struct StratumPlan {
     /// Aggregate rules, keyed by their global rule index (stable key for the
-    /// previous-output cache).
+    /// previous-output cache).  Attached to the stratum's first sub-plan:
+    /// aggregate bodies live strictly below their stratum, so they are
+    /// final before any of the stratum's plain components run.
     pub(crate) aggs: Vec<(usize, CompiledRule)>,
     /// Plain rules in safe body order.
     pub(crate) plain: Vec<CompiledRule>,
@@ -232,8 +277,8 @@ pub(crate) struct StratumPlan {
     body_preds: BTreeSet<RelId>,
     /// Relations occurring under negation in plain-rule bodies.
     neg_preds: BTreeSet<RelId>,
-    /// True when the plain head predicates form a dependency cycle — the
-    /// stratum is maintained with DRed instead of counting.
+    /// True when the component's head predicates form a dependency cycle —
+    /// maintained by z-set or DRed instead of counting.
     recursive: bool,
 }
 
@@ -269,6 +314,19 @@ pub(crate) struct EngineMetrics {
     phase_rederive: Histogram,
     /// `ndlog_phase_dred_insert_ns`: DRed phase C.
     phase_insert: Histogram,
+    /// `ndlog_phase_zset_propagate_ns`: signed-count delta propagation in
+    /// z-set maintenance (initial batch and death rounds).
+    phase_zset_propagate: Histogram,
+    /// `ndlog_phase_zset_verify_ns`: the well-foundedness verification loop
+    /// (spans death re-propagation, so it overlaps the propagate series).
+    phase_zset_verify: Histogram,
+    /// `ndlog_zset_retraction_work`: per recursive-component batch, the
+    /// suspects examined + verification derivations + death-round
+    /// propagation derivations — the z-set cost of retractions, which
+    /// EXP-14 pins proportional to the true support change.  Deterministic
+    /// across runs *and* shard counts (propagation partitions sink calls
+    /// exactly; verification is single-threaded on a deterministic state).
+    zset_work: Histogram,
     /// `ndlog_shard_derivations_total{shard="k"}`: rule firings per worker
     /// — the live form of EXP-10's load-balance table.
     shard_derivations: Vec<Counter>,
@@ -296,6 +354,9 @@ impl EngineMetrics {
             phase_overdelete: t.histogram("ndlog_phase_dred_overdelete_ns"),
             phase_rederive: t.histogram("ndlog_phase_dred_rederive_ns"),
             phase_insert: t.histogram("ndlog_phase_dred_insert_ns"),
+            phase_zset_propagate: t.histogram("ndlog_phase_zset_propagate_ns"),
+            phase_zset_verify: t.histogram("ndlog_phase_zset_verify_ns"),
+            zset_work: t.histogram("ndlog_zset_retraction_work"),
             shard_derivations: series("ndlog_shard_derivations_total"),
             shard_tuples: series("ndlog_shard_tuples_total"),
         }
@@ -334,8 +395,8 @@ impl EngineMetrics {
 /// .unwrap();
 /// let mut engine = IncrementalEngine::new(&prog).unwrap();
 /// assert!(engine.contains("reach", &vec![Value::Int(1), Value::Int(3)]));
-/// // A retraction maintains the fixpoint delta-by-delta (DRed here:
-/// // `reach` is recursive), reporting the net changes:
+/// // A retraction maintains the fixpoint delta-by-delta (z-set
+/// // maintenance here: `reach` is recursive), reporting the net changes:
 /// let out = engine
 ///     .apply(&[TupleDelta::remove("edge", vec![Value::Int(2), Value::Int(3)])])
 ///     .unwrap();
@@ -359,6 +420,9 @@ pub struct IncrementalEngine {
     /// shard workers (see [`crate::sharded`]); results are byte-identical
     /// either way, so this is purely an execution-strategy knob.
     sharding: Option<Arc<ShardRouter>>,
+    /// Recursive-stratum maintenance algorithm (z-set by default, DRed as
+    /// the differential baseline).  Must be chosen before any deltas apply.
+    maintenance: Maintenance,
     /// Telemetry sinks (no-op by default); excluded from equality, which
     /// compares canonical database state only.
     metrics: EngineMetrics,
@@ -466,8 +530,26 @@ impl IncrementalEngine {
             agg_prev: BTreeMap::new(),
             init_stats: BatchStats::default(),
             sharding: None,
+            maintenance: Maintenance::default(),
             metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Select the recursive-stratum maintenance algorithm.
+    ///
+    /// Must be called **before any deltas are applied** (including the
+    /// program's seed facts): the two algorithms store
+    /// different support counts for recursive strata — z-set keeps exact
+    /// signed firing counts where DRed clamps to 0/1 flags — so switching
+    /// mid-stream on a populated store is unsound.  The visible databases
+    /// they maintain are byte-identical.
+    pub fn set_maintenance(&mut self, maintenance: Maintenance) {
+        self.maintenance = maintenance;
+    }
+
+    /// The recursive-stratum maintenance algorithm in effect.
+    pub fn maintenance(&self) -> Maintenance {
+        self.maintenance
     }
 
     /// Fan maintenance rounds out across `router`'s shard workers (`None`
@@ -630,15 +712,26 @@ impl IncrementalEngine {
                 &self.metrics,
             )?;
             if plan.recursive {
-                maintain_dred(
-                    &mut self.storage,
-                    plan,
-                    &self.opts,
-                    router,
-                    &edb_losses,
-                    &mut stats,
-                    &self.metrics,
-                )?;
+                match self.maintenance {
+                    Maintenance::ZSet => maintain_zset(
+                        &mut self.storage,
+                        plan,
+                        &self.opts,
+                        router,
+                        &edb_losses,
+                        &mut stats,
+                        &self.metrics,
+                    )?,
+                    Maintenance::Dred => maintain_dred(
+                        &mut self.storage,
+                        plan,
+                        &self.opts,
+                        router,
+                        &edb_losses,
+                        &mut stats,
+                        &self.metrics,
+                    )?,
+                }
             } else {
                 maintain_counting(
                     &mut self.storage,
@@ -723,49 +816,80 @@ fn register_pattern(
     }
 }
 
+/// Build the maintenance sub-plans: each stratum is decomposed into the
+/// SCCs of its positive head-dependency graph, emitted in topological
+/// order.  Negative same-stratum edges cannot exist (stratified negation
+/// forces negated predicates strictly lower), so the condensation order is
+/// well-defined over the positive edges alone.  Aggregates attach to the
+/// stratum's first sub-plan: their bodies live strictly below the stratum,
+/// and plain rules consuming aggregate heads run in later components, so
+/// the existing aggregates-first sequencing is preserved.
 fn build_plans(analysis: &Analysis) -> Vec<StratumPlan> {
-    (0..analysis.num_strata)
-        .map(|s| {
-            let mut aggs = Vec::new();
-            let mut plain = Vec::new();
-            for (i, r) in analysis.rules.iter().enumerate() {
-                if analysis.stratum_of.get(&r.head.pred).copied().unwrap_or(0) != s {
-                    continue;
-                }
-                let compiled = CompiledRule::compile(r.clone(), &analysis.symbols);
-                if r.head.has_agg() {
-                    aggs.push((i, compiled));
-                } else {
-                    plain.push(compiled);
-                }
+    let mut plans = Vec::new();
+    for s in 0..analysis.num_strata {
+        let mut aggs = Vec::new();
+        let mut plain = Vec::new();
+        for (i, r) in analysis.rules.iter().enumerate() {
+            if analysis.stratum_of.get(&r.head.pred).copied().unwrap_or(0) != s {
+                continue;
             }
-            let head_preds: BTreeSet<RelId> = plain.iter().map(|r| r.head).collect();
-            let mut body_preds = BTreeSet::new();
-            let mut neg_preds = BTreeSet::new();
-            for r in &plain {
-                for (_, rel, negated) in r.delta_positions() {
-                    body_preds.insert(rel);
-                    if negated {
-                        neg_preds.insert(rel);
-                    }
-                }
+            let compiled = CompiledRule::compile(r.clone(), &analysis.symbols);
+            if r.head.has_agg() {
+                aggs.push((i, compiled));
+            } else {
+                plain.push(compiled);
             }
-            let recursive = heads_form_cycle(&plain, &head_preds);
-            StratumPlan {
-                aggs,
-                plain,
-                body_preds,
-                neg_preds,
-                recursive,
-            }
-        })
-        .collect()
+        }
+        let head_preds: BTreeSet<RelId> = plain.iter().map(|r| r.head).collect();
+        for scc in scc_condensation(&plain, &head_preds) {
+            let sub: Vec<CompiledRule> = plain
+                .iter()
+                .filter(|r| scc.contains(&r.head))
+                .cloned()
+                .collect();
+            let recursive = sub.iter().any(|r| {
+                r.delta_positions()
+                    .any(|(_, rel, neg)| !neg && scc.contains(&rel))
+            });
+            plans.push(make_plan(std::mem::take(&mut aggs), sub, recursive));
+        }
+        if !aggs.is_empty() {
+            // Aggregate-only stratum: still needs a plan so the rules run.
+            plans.push(make_plan(aggs, Vec::new(), false));
+        }
+    }
+    plans
 }
 
-/// Do the plain head predicates of a stratum depend on each other cyclically
-/// (through positive body atoms)?  Aggregate heads cannot participate:
-/// stratification forces their bodies strictly lower.
-fn heads_form_cycle(plain: &[CompiledRule], head_preds: &BTreeSet<RelId>) -> bool {
+fn make_plan(
+    aggs: Vec<(usize, CompiledRule)>,
+    plain: Vec<CompiledRule>,
+    recursive: bool,
+) -> StratumPlan {
+    let mut body_preds = BTreeSet::new();
+    let mut neg_preds = BTreeSet::new();
+    for r in &plain {
+        for (_, rel, negated) in r.delta_positions() {
+            body_preds.insert(rel);
+            if negated {
+                neg_preds.insert(rel);
+            }
+        }
+    }
+    StratumPlan {
+        aggs,
+        plain,
+        body_preds,
+        neg_preds,
+        recursive,
+    }
+}
+
+/// The SCCs of a stratum's positive head-dependency graph, in topological
+/// (dependencies-first) order of the condensation; ties broken by smallest
+/// member id so the decomposition is deterministic.
+fn scc_condensation(plain: &[CompiledRule], head_preds: &BTreeSet<RelId>) -> Vec<BTreeSet<RelId>> {
+    // body-pred -> head-pred edges ("head depends on body").
     let mut edges: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
     for r in plain {
         for (_, rel, negated) in r.delta_positions() {
@@ -774,20 +898,61 @@ fn heads_form_cycle(plain: &[CompiledRule], head_preds: &BTreeSet<RelId>) -> boo
             }
         }
     }
-    // DFS from every node looking for a path back to itself.
-    for &start in head_preds {
+    let reach_from = |start: RelId| -> BTreeSet<RelId> {
+        let mut seen = BTreeSet::new();
         let mut stack: Vec<RelId> = edges.get(&start).into_iter().flatten().copied().collect();
-        let mut seen: BTreeSet<RelId> = BTreeSet::new();
         while let Some(v) = stack.pop() {
-            if v == start {
-                return true;
-            }
             if seen.insert(v) {
                 stack.extend(edges.get(&v).into_iter().flatten().copied());
             }
         }
+        seen
+    };
+    let reachable: BTreeMap<RelId, BTreeSet<RelId>> =
+        head_preds.iter().map(|&p| (p, reach_from(p))).collect();
+    // Mutually-reachable predicates share a component, keyed by min member.
+    let mut rep_of: BTreeMap<RelId, RelId> = BTreeMap::new();
+    let mut members: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
+    for &p in head_preds {
+        let rep = head_preds
+            .iter()
+            .copied()
+            .filter(|&q| q == p || (reachable[&p].contains(&q) && reachable[&q].contains(&p)))
+            .min()
+            .expect("component contains at least p");
+        rep_of.insert(p, rep);
+        members.entry(rep).or_default().insert(p);
     }
-    false
+    // Kahn's algorithm over the condensation, smallest-rep-first.
+    let mut cedges: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
+    let mut indeg: BTreeMap<RelId, usize> = members.keys().map(|&r| (r, 0)).collect();
+    for (&b, hs) in &edges {
+        for &h in hs {
+            let (cb, ch) = (rep_of[&b], rep_of[&h]);
+            if cb != ch && cedges.entry(cb).or_default().insert(ch) {
+                *indeg.get_mut(&ch).expect("component registered") += 1;
+            }
+        }
+    }
+    let mut ready: BTreeSet<RelId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&r, _)| r)
+        .collect();
+    let mut order = Vec::with_capacity(members.len());
+    while let Some(&rep) = ready.iter().next() {
+        ready.remove(&rep);
+        order.push(members.remove(&rep).expect("each component emitted once"));
+        for &next in cedges.get(&rep).into_iter().flatten() {
+            let d = indeg.get_mut(&next).expect("component registered");
+            *d -= 1;
+            if *d == 0 {
+                ready.insert(next);
+            }
+        }
+    }
+    debug_assert!(members.is_empty(), "condensation of a DAG is acyclic");
+    order
 }
 
 // ---------------------------------------------------------------------
@@ -1332,6 +1497,440 @@ fn maintain_counting(
         vis_delta = next;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Z-set maintenance (recursive strata, the default).
+// ---------------------------------------------------------------------
+//
+// Phase P propagates the batch's visibility deltas as **signed counts** —
+// the exact telescoped delta rules the counting path runs, negative
+// multiplicities included — so every tuple's support count stays the exact
+// number of rule firings over the visible database.  On its own that is
+// unsound for recursion in one specific way: a tuple kept alive only by a
+// derivation cycle through itself produces *no* visibility delta when its
+// last well-founded support disappears (the circular firings still count).
+// Phase V closes the gap: every still-visible head tuple that lost at least
+// one firing (or lost its last external assertion) is a *suspect*, and a
+// backward search checks it still has a derivation grounded outside the
+// cycle.  Suspects that fail are force-killed and their loss re-propagates
+// as fresh negative deltas, which may produce new suspects; the loop ends
+// on the first death-free pass.
+//
+// Cost model (EXP-14): Phase P is proportional to the firings actually
+// gained/lost, Phase V to the support of the tuples that lost a firing —
+// never to the downward closure DRed overdeletes.
+
+/// Difference-based maintenance of one recursive component.
+fn maintain_zset(
+    storage: &mut RelationStorage,
+    plan: &StratumPlan,
+    opts: &EvalOptions,
+    router: Option<&ShardRouter>,
+    edb_losses: &BTreeMap<RelId, BTreeSet<SharedTuple>>,
+    stats: &mut BatchStats,
+    metrics: &EngineMetrics,
+) -> Result<()> {
+    let head_preds: BTreeSet<RelId> = plan.plain.iter().map(|r| r.head).collect();
+
+    // Sticky suspect set: tuples whose remaining support may be circular.
+    // Seeded from external-assertion losses that left a derived flag
+    // standing (no visibility delta, so Phase P alone would never revisit
+    // them); Phase P adds every still-visible head that lost a firing.
+    let mut suspects: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
+    for (&p, ts) in edb_losses {
+        if !head_preds.contains(&p) {
+            continue;
+        }
+        for t in ts {
+            if storage.edb_count_id(p, t) == 0 && storage.derived_count_id(p, t) > 0 {
+                suspects.entry(p).or_default().insert(t.clone());
+            }
+        }
+    }
+    let mut dead: BTreeMap<RelId, BTreeSet<SharedTuple>> = BTreeMap::new();
+
+    // --- Phase P: propagate the batch's visibility deltas. ---------------
+    let vis0: SignedDeltas = storage.batch_deltas_for(plan.body_preds.iter().copied());
+    zset_propagate(
+        storage,
+        plan,
+        opts,
+        router,
+        vis0,
+        &dead,
+        &mut suspects,
+        stats,
+        metrics,
+    )?;
+
+    // --- Phase V: verify well-founded support, kill, re-propagate. -------
+    // `work` is the z-set retraction cost: suspects examined + verification
+    // derivations + death-round propagation derivations.
+    let mut work = 0usize;
+    if !suspects.is_empty() {
+        let vspan = metrics.phase_zset_verify.start_timer();
+        let mut passes = 0usize;
+        loop {
+            passes += 1;
+            if passes > opts.max_iterations {
+                return Err(NdlogError::Eval {
+                    msg: "iteration limit exceeded in z-set verification".into(),
+                });
+            }
+            // The dead set is frozen for the pass (`blocked` borrows it):
+            // proofs found this pass may lean on tuples that die later in
+            // the same pass, but any pass with deaths triggers a full
+            // re-pass with a fresh memo, and the terminating pass is
+            // death-free — so every surviving proof holds against the
+            // final dead set.
+            let blocked: SignedDeltas = dead
+                .iter()
+                .map(|(&p, ts)| (p, ts.iter().map(|t| (t.clone(), 1)).collect()))
+                .collect();
+            let mut state = VerifyState::default();
+            let mut newly_dead: Vec<(RelId, SharedTuple)> = Vec::new();
+            {
+                let vctx = VerifyCtx {
+                    storage,
+                    plan,
+                    head_preds: &head_preds,
+                    blocked: &blocked,
+                };
+                for (&p, ts) in &suspects {
+                    for t in ts {
+                        if dead.get(&p).is_some_and(|s| s.contains(t)) {
+                            continue;
+                        }
+                        if !storage.contains_id(p, t) || storage.edb_count_id(p, t) > 0 {
+                            continue;
+                        }
+                        work += 1;
+                        if !wf_derivable(&vctx, &mut state, p, t)? {
+                            newly_dead.push((p, t.clone()));
+                        }
+                    }
+                }
+            }
+            work += state.derivations;
+            stats.derivations += state.derivations;
+            if newly_dead.is_empty() {
+                break;
+            }
+            stats.rounds += 1;
+            // Kill: force the counts to zero (records the visibility mark)
+            // and propagate the loss as a fresh negative delta.  Decrements
+            // aimed at already-dead tuples are skipped inside
+            // `zset_propagate` — their counts are already zeroed.
+            let mut seed: SignedDeltas = BTreeMap::new();
+            for (p, t) in newly_dead {
+                storage.set_derived_flag_id(p, &t, false);
+                dead.entry(p).or_default().insert(t.clone());
+                if !storage.is_exported_id(p, &t) {
+                    seed.entry(p).or_default().insert(t, -1);
+                }
+            }
+            work += zset_propagate(
+                storage,
+                plan,
+                opts,
+                router,
+                seed,
+                &dead,
+                &mut suspects,
+                stats,
+                metrics,
+            )?;
+        }
+        vspan.stop();
+    }
+    metrics.zset_work.record(work as u64);
+    Ok(())
+}
+
+/// Signed-count fixpoint over one recursive component: structurally the
+/// counting loop, plus (a) the caller seeds the initial delta (external
+/// batch or death round), (b) updates aimed at `dead` tuples are skipped
+/// (their counts were force-zeroed), and (c) every still-visible head that
+/// lost a firing is recorded as a verification suspect.  Returns the
+/// derivations evaluated (for the retraction-work accounting).
+#[allow(clippy::too_many_arguments)]
+fn zset_propagate(
+    storage: &mut RelationStorage,
+    plan: &StratumPlan,
+    opts: &EvalOptions,
+    router: Option<&ShardRouter>,
+    mut vis_delta: SignedDeltas,
+    dead: &BTreeMap<RelId, BTreeSet<SharedTuple>>,
+    suspects: &mut BTreeMap<RelId, BTreeSet<SharedTuple>>,
+    stats: &mut BatchStats,
+    metrics: &EngineMetrics,
+) -> Result<usize> {
+    let _span = metrics.phase_zset_propagate.start_timer();
+    let mut total_derivations = 0usize;
+    let mut round = 0usize;
+    while !vis_delta.is_empty() {
+        round += 1;
+        stats.rounds += 1;
+        if round > opts.max_iterations {
+            return Err(NdlogError::Eval {
+                msg: "iteration limit exceeded in z-set propagation".into(),
+            });
+        }
+        // Same worker shape as counting: each worker evaluates every delta
+        // rule driven by its shard of the deltas against the frozen store;
+        // signed head counts and the lost-a-firing sets merge at the
+        // barrier (sum and union are both order-insensitive, which is what
+        // keeps the result byte-identical at every shard count).
+        let mut owned = Vec::new();
+        let parts = partition_round(&vis_delta, router, &mut owned);
+        let frozen: &RelationStorage = storage;
+        let vis_ref = &vis_delta;
+        let partials = fan_out(router.map(ShardRouter::pool), parts.len(), &|k| {
+            let mut head_net: BTreeMap<(RelId, Tuple), i64> = BTreeMap::new();
+            let mut neg_heads: BTreeSet<(RelId, Tuple)> = BTreeSet::new();
+            let mut derivations = 0usize;
+            for rule in &plan.plain {
+                for (pos, rel, negated) in rule.delta_positions() {
+                    let Some(dm) = parts[k].get(&rel) else {
+                        continue;
+                    };
+                    let head_rel = rule.head;
+                    let head = &rule.rule.head;
+                    let mut sink = |env: &Env, sign: i64| -> Result<bool> {
+                        derivations += 1;
+                        let t = instantiate_head(head, env)?;
+                        if sign < 0 {
+                            // Any lost firing makes the head a suspect —
+                            // net change alone would miss a lost firing
+                            // cancelled by a gained one.
+                            neg_heads.insert((head_rel, t.clone()));
+                        }
+                        *head_net.entry((head_rel, t)).or_insert(0) += sign;
+                        Ok(true)
+                    };
+                    let seq = delta_seq(&rule.rule.body, pos);
+                    let ctx = DeltaCtx {
+                        storage: frozen,
+                        body: &rule.rule.body,
+                        body_rels: &rule.body_rels,
+                        seq: &seq,
+                        delta_at: Some(pos),
+                        delta: Some(dm),
+                        delta_sign: if negated { -1 } else { 1 },
+                        adjust: Some(vis_ref),
+                        old_before_delta: false,
+                    };
+                    eval_body_delta(&ctx, 0, &Env::new(), 1, &mut sink)?;
+                }
+            }
+            Ok((head_net, neg_heads, derivations))
+        })?;
+        let mut head_net: BTreeMap<(RelId, Tuple), i64> = BTreeMap::new();
+        let mut neg_heads: BTreeSet<(RelId, Tuple)> = BTreeSet::new();
+        for (k, (partial, negs, derivations)) in partials.into_iter().enumerate() {
+            stats.derivations += derivations;
+            total_derivations += derivations;
+            metrics.shard_load(k, partial.len(), derivations);
+            for (key, v) in partial {
+                *head_net.entry(key).or_insert(0) += v;
+            }
+            neg_heads.extend(negs);
+        }
+        let mut next = SignedDeltas::new();
+        for ((p, t), k) in head_net {
+            if k == 0 {
+                continue;
+            }
+            if dead.get(&p).is_some_and(|s| s.contains(&t[..])) {
+                continue;
+            }
+            let change = storage.add_derived_id(p, &t, k);
+            if storage.derived_count_id(p, &t) < 0 {
+                return Err(NdlogError::Eval {
+                    msg: format!(
+                        "negative support for {} tuple (z-set invariant broken)",
+                        storage.symbols().name(p)
+                    ),
+                });
+            }
+            // Export-side tuples never join locally: report, don't propagate.
+            if storage.is_exported_id(p, &t) {
+                continue;
+            }
+            match change {
+                VisibilityChange::Appeared => {
+                    next.entry(p).or_default().insert(SharedTuple::from(t), 1);
+                }
+                VisibilityChange::Disappeared => {
+                    next.entry(p).or_default().insert(SharedTuple::from(t), -1);
+                }
+                VisibilityChange::Unchanged => {}
+            }
+        }
+        // Still-visible heads that lost a firing may now rest on circular
+        // support only; exported tuples cannot (local rules never read
+        // them, so no cycle runs through them and their counts are exact).
+        for (p, t) in neg_heads {
+            if dead.get(&p).is_some_and(|s| s.contains(&t[..])) {
+                continue;
+            }
+            if storage.contains_id(p, &t)
+                && storage.edb_count_id(p, &t) == 0
+                && !storage.is_exported_id(p, &t)
+            {
+                suspects.entry(p).or_default().insert(SharedTuple::from(t));
+            }
+        }
+        vis_delta = next;
+    }
+    Ok(total_derivations)
+}
+
+/// Shared read-only context for one well-foundedness verification pass.
+struct VerifyCtx<'a> {
+    storage: &'a RelationStorage,
+    plan: &'a StratumPlan,
+    /// Head predicates of the component — the relations whose body
+    /// occurrences need recursive verification.
+    head_preds: &'a BTreeSet<RelId>,
+    /// The pass's frozen dead set as a `+1` adjust map: dead tuples read
+    /// as absent through the adjusted storage views.
+    blocked: &'a SignedDeltas,
+}
+
+/// Mutable state threaded through one verification pass.
+#[derive(Default)]
+struct VerifyState {
+    /// Tuples proven well-founded this pass.  Sound to memoize: a proof
+    /// never depends on what was in progress when it was found (blocking
+    /// in-progress tuples only *removes* candidate firings).
+    proved: BTreeSet<(RelId, SharedTuple)>,
+    /// The recursion stack: tuples whose proof is currently being sought.
+    /// A firing that cites one of these would be circular support.
+    in_progress: BTreeSet<(RelId, SharedTuple)>,
+    derivations: usize,
+}
+
+/// Does `tuple` have a **well-founded** derivation — one grounded outside
+/// every cycle through the tuples currently under examination?
+///
+/// For each rule deriving `rel`, the head is unified with the ground tuple
+/// and the body enumerated over the visible store minus the blocked (dead)
+/// tuples.  A firing counts only if every positive same-component body
+/// tuple is itself well-founded; citing a tuple on the recursion stack
+/// fails that firing (circular), and a failed sub-proof fails the firing
+/// without being memoized (failure is relative to the stack, success is
+/// not).  The first surviving firing proves the tuple.
+fn wf_derivable(
+    vctx: &VerifyCtx<'_>,
+    state: &mut VerifyState,
+    rel: RelId,
+    tuple: &SharedTuple,
+) -> Result<bool> {
+    let key = (rel, tuple.clone());
+    if state.proved.contains(&key) {
+        return Ok(true);
+    }
+    state.in_progress.insert(key.clone());
+    let mut found = false;
+    for rule in vctx.plan.plain.iter().filter(|r| r.head == rel) {
+        // Unify the ground tuple with the head to pre-bind variables
+        // (exactly the DRed rederivation probe shape).
+        let mut env = Env::new();
+        let mut ok = true;
+        for (arg, val) in rule.rule.head.args.iter().zip(tuple.iter()) {
+            match arg {
+                HeadArg::Term(Term::Const(c)) => {
+                    if c != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                HeadArg::Term(Term::Var(v)) => match env.get(v) {
+                    Some(b) if b != val => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        env.insert(v.clone(), val.clone());
+                    }
+                },
+                HeadArg::Agg(..) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Positive body occurrences of component heads: the atoms whose
+        // ground instances need their own well-foundedness proof.
+        let rec_atoms: Vec<(usize, RelId)> = rule
+            .delta_positions()
+            .filter(|(_, r, neg)| !neg && vctx.head_preds.contains(r))
+            .map(|(pos, r, _)| (pos, r))
+            .collect();
+        let body = &rule.rule.body;
+        let mut sink = |env: &Env, _sign: i64| -> Result<bool> {
+            state.derivations += 1;
+            for &(pos, brel) in &rec_atoms {
+                let atom = match &body[pos] {
+                    Literal::Pos(a) => a,
+                    _ => unreachable!("rec_atoms are positive atoms"),
+                };
+                let mut bt: Tuple = Vec::with_capacity(atom.args.len());
+                for term in &atom.args {
+                    match term {
+                        Term::Const(c) => bt.push(c.clone()),
+                        Term::Var(v) => {
+                            bt.push(env.get(v).cloned().ok_or_else(|| NdlogError::Eval {
+                                msg: format!("unbound var {v} in verified body"),
+                            })?)
+                        }
+                    }
+                }
+                let bkey = (brel, SharedTuple::from(bt));
+                if state.proved.contains(&bkey) {
+                    continue;
+                }
+                if state.in_progress.contains(&bkey) {
+                    return Ok(true); // circular — reject this firing
+                }
+                if !wf_derivable(vctx, state, bkey.0, &bkey.1)? {
+                    return Ok(true); // unfounded support — reject
+                }
+            }
+            found = true;
+            Ok(false) // a well-founded firing suffices
+        };
+        // `delta_at` = body.len() puts every position "before the delta"
+        // so the blocked view applies everywhere; no position ever equals
+        // it, so the absent delta map is never read.
+        let seq: Vec<usize> = (0..body.len()).collect();
+        let ctx = DeltaCtx {
+            storage: vctx.storage,
+            body,
+            body_rels: &rule.body_rels,
+            seq: &seq,
+            delta_at: Some(body.len()),
+            delta: None,
+            delta_sign: 1,
+            adjust: Some(vctx.blocked),
+            old_before_delta: true,
+        };
+        eval_body_delta(&ctx, 0, &env, 1, &mut sink)?;
+        if found {
+            break;
+        }
+    }
+    state.in_progress.remove(&key);
+    if found {
+        state.proved.insert(key);
+    }
+    Ok(found)
 }
 
 // ---------------------------------------------------------------------

@@ -18,9 +18,10 @@
 //!   rules into link-local rules for distributed execution;
 //! * [`storage`] / [`incremental`] — the incremental maintenance subsystem:
 //!   indexed relation storage with per-relation delta sets, counting-based
-//!   maintenance for non-recursive strata and DRed (delete–rederive) for
-//!   recursive strata, so topology churn is absorbed as tuple deltas instead
-//!   of epoch recomputation;
+//!   maintenance for non-recursive strata and difference-based z-set
+//!   maintenance for recursive ones (DRed kept as a differential baseline
+//!   behind [`incremental::Maintenance`]), so topology churn is absorbed as
+//!   tuple deltas instead of epoch recomputation;
 //! * [`symbols`] — the relation-name interner: dense [`symbols::RelId`]s
 //!   and shared tuples ([`value::SharedTuple`]) keep the join-probe /
 //!   support-update hot path free of `String` clones and deep tuple copies;
@@ -81,10 +82,10 @@ pub use fvn_telemetry as telemetry;
 
 pub use ast::{Atom, Expr, Head, HeadArg, Literal, Program, Rule, Term};
 pub use error::{NdlogError, Result};
-pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator};
+pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator, IdDatabase};
 pub use explain::{Explanation, Support};
 pub use incremental::{
-    BatchOutcome, BatchStats, IncrementalEngine, InternedOutcome, RelDelta, TupleDelta,
+    BatchOutcome, BatchStats, IncrementalEngine, InternedOutcome, Maintenance, RelDelta, TupleDelta,
 };
 pub use parser::{parse_program, parse_rule};
 pub use pool::ShardPool;

@@ -39,9 +39,9 @@
 
 use crate::ast::{Lifetime, Program};
 use crate::error::Result;
-use crate::eval::{Database, EvalOptions, Evaluator};
+use crate::eval::{Database, EvalOptions, Evaluator, IdDatabase};
 use crate::explain::Explanation;
-use crate::incremental::{BatchStats, IncrementalEngine, RelDelta, TupleDelta};
+use crate::incremental::{BatchStats, IncrementalEngine, Maintenance, RelDelta, TupleDelta};
 use crate::sharded::ShardRouter;
 use crate::storage::RelationStorage;
 use crate::symbols::{RelId, Symbols};
@@ -340,6 +340,7 @@ pub struct SessionBuilder {
     opts: EvalOptions,
     ttl: Option<TtlPolicy>,
     telemetry: Telemetry,
+    maintenance: Maintenance,
 }
 
 impl SessionBuilder {
@@ -361,6 +362,22 @@ impl SessionBuilder {
     pub fn eval_options(mut self, opts: EvalOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Recursive-stratum maintenance algorithm:
+    /// [`Maintenance::ZSet`] (the default — difference-based signed-count
+    /// maintenance, deletion cost proportional to the true change) or
+    /// [`Maintenance::Dred`] (classic delete–rederive, kept as the
+    /// differential baseline).  The visible databases are byte-identical
+    /// either way; only the maintenance work differs (EXP-14).
+    pub fn maintenance(mut self, maintenance: Maintenance) -> Self {
+        self.maintenance = maintenance;
+        self
+    }
+
+    /// The configured recursive-stratum maintenance algorithm.
+    pub fn maintenance_mode(&self) -> Maintenance {
+        self.maintenance
     }
 
     /// Attach a soft-state TTL policy: assertions of covered relations
@@ -427,13 +444,17 @@ impl SessionBuilder {
         &self.telemetry
     }
 
-    /// Build an **incremental** session (counting/DRed maintenance, the
-    /// production backend), evaluating the program's facts to a first
-    /// fixpoint — on the configured shard workers when `sharding > 1`.
+    /// Build an **incremental** session (counting/z-set maintenance by
+    /// default, see [`maintenance`](Self::maintenance); the production
+    /// backend), evaluating the program's facts to a first fixpoint — on
+    /// the configured shard workers when `sharding > 1`.
     pub fn build(self) -> Result<Session> {
         let analysis = crate::safety::analyze(&self.prog)?;
         let router = (self.shards > 1).then(|| Arc::new(ShardRouter::new(&analysis, self.shards)));
         let mut engine = IncrementalEngine::from_analysis(analysis, self.opts);
+        // The maintenance algorithm must be fixed before the first batch
+        // (the two paths store different recursive-stratum counts).
+        engine.set_maintenance(self.maintenance);
         engine.set_sharding(router.clone());
         // Resolve metric handles before the initial fixpoint so seeding is
         // counted like any other batch.
@@ -475,7 +496,7 @@ impl SessionBuilder {
             ev,
             symbols,
             edb: BTreeMap::new(),
-            db: Database::new(),
+            db: IdDatabase::new(),
             init_stats: BatchStats::default(),
         };
         // Seed the base multiset with the program's ground facts.
@@ -575,12 +596,17 @@ enum Backend {
         engine: IncrementalEngine,
         router: Option<Arc<ShardRouter>>,
     },
-    /// From-scratch re-evaluation over a maintained base multiset.
+    /// From-scratch re-evaluation over a maintained base multiset.  Fully
+    /// id-native: the base multiset, the evaluated [`IdDatabase`], and the
+    /// diff all run on `RelId`/[`SharedTuple`] handles ([`Evaluator::run_interned`]);
+    /// names are rendered only for the changed tuples of each flush.
+    /// `symbols` is a superset clone of the evaluator's table (program
+    /// predicates share ids; churn-only relations extend it).
     Oracle {
         ev: Evaluator,
         symbols: Symbols,
         edb: BTreeMap<RelId, BTreeMap<SharedTuple, i64>>,
-        db: Database,
+        db: IdDatabase,
         init_stats: BatchStats,
     },
 }
@@ -628,28 +654,26 @@ impl Backend {
                         m.remove(&d.tuple);
                     }
                 }
-                let mut next = Database::new();
+                let mut next = IdDatabase::new();
                 for (&rel, m) in edb.iter() {
-                    let name = symbols.name(rel);
                     for (t, &c) in m {
                         if c > 0 {
-                            next.insert(name, t.to_tuple());
+                            next.insert(rel, t.clone());
                         }
                     }
                 }
-                let ev_stats = ev.run(&mut next)?;
+                let ev_stats = ev.run_interned(&mut next)?;
                 let mut changes: Vec<TupleDelta> = Vec::new();
-                let preds: std::collections::BTreeSet<&str> =
-                    db.relations().chain(next.relations()).collect();
-                for pred in preds {
-                    for t in db.relation(pred) {
-                        if !next.contains(pred, t) {
-                            changes.push(TupleDelta::remove(pred, t.clone()));
+                for i in 0..db.num_rels().max(next.num_rels()) {
+                    let rel = RelId::from_index(i);
+                    for t in db.relation(rel) {
+                        if !next.contains(rel, t) {
+                            changes.push(TupleDelta::remove(symbols.name(rel), t.to_tuple()));
                         }
                     }
-                    for t in next.relation(pred) {
-                        if !db.contains(pred, t) {
-                            changes.push(TupleDelta::insert(pred, t.clone()));
+                    for t in next.relation(rel) {
+                        if !db.contains(rel, t) {
+                            changes.push(TupleDelta::insert(symbols.name(rel), t.to_tuple()));
                         }
                     }
                 }
@@ -728,6 +752,7 @@ impl Session {
             opts: EvalOptions::default(),
             ttl: None,
             telemetry: Telemetry::disabled(),
+            maintenance: Maintenance::default(),
         }
     }
 
@@ -905,7 +930,7 @@ impl Session {
     pub fn database(&self) -> Database {
         match &self.backend {
             Backend::Incremental { engine, .. } => engine.database(),
-            Backend::Oracle { db, .. } => db.clone(),
+            Backend::Oracle { db, symbols, .. } => db.to_named(symbols),
         }
     }
 
@@ -913,7 +938,9 @@ impl Session {
     pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
         match &self.backend {
             Backend::Incremental { engine, .. } => engine.contains(pred, tuple),
-            Backend::Oracle { db, .. } => db.relation(pred).any(|t| t.as_slice() == tuple),
+            Backend::Oracle { db, symbols, .. } => symbols
+                .lookup(pred)
+                .is_some_and(|rel| db.contains(rel, tuple)),
         }
     }
 
@@ -921,7 +948,9 @@ impl Session {
     pub fn len_of(&self, pred: &str) -> usize {
         match &self.backend {
             Backend::Incremental { engine, .. } => engine.len_of(pred),
-            Backend::Oracle { db, .. } => db.len_of(pred),
+            Backend::Oracle { db, symbols, .. } => {
+                symbols.lookup(pred).map_or(0, |rel| db.len_of(rel))
+            }
         }
     }
 
@@ -973,9 +1002,10 @@ impl Session {
     /// the current database.
     ///
     /// Counter families are order-insensitive sums and therefore identical
-    /// across shard counts; phase-timing histograms and DRed round counters
-    /// are schedule-dependent (see `DESIGN.md` §10 for the exact
-    /// determinism contract, pinned by the golden telemetry test).
+    /// across shard counts, as is the z-set retraction-work histogram;
+    /// phase-timing histograms and the DRed baseline's round counters are
+    /// schedule-dependent (see `DESIGN.md` §10 for the exact determinism
+    /// contract, pinned by the golden telemetry test).
     pub fn metrics(&self) -> Snapshot {
         match &self.backend {
             Backend::Incremental { engine, router } => {
@@ -984,11 +1014,16 @@ impl Session {
                     r.record_pool_gauges(&self.telemetry);
                 }
             }
-            Backend::Oracle { db, .. } => {
+            Backend::Oracle { db, symbols, .. } => {
                 if self.telemetry.is_enabled() {
-                    for rel in db.relations() {
+                    for i in 0..db.num_rels() {
+                        let rel = RelId::from_index(i);
+                        if db.len_of(rel) == 0 {
+                            continue;
+                        }
+                        let name = symbols.name(rel);
                         self.telemetry
-                            .gauge(&format!("ndlog_relation_tuples{{rel=\"{rel}\"}}"))
+                            .gauge(&format!("ndlog_relation_tuples{{rel=\"{name}\"}}"))
                             .set(db.len_of(rel) as i64);
                     }
                 }

@@ -79,6 +79,55 @@ fn scenarios() -> Vec<(&'static str, Program, Vec<Vec<TupleDelta>>)> {
     ]
 }
 
+/// Dense-SCC deletion workloads (ISSUE 7): one strongly-connected
+/// component under link deletions that range from fully redundant (no
+/// visible change — the adversarial case for overdeletion) to
+/// support-destroying, plus a recovery.  Blessed from the **DRed** engine;
+/// the z-set default must reproduce every stage byte-for-byte.
+fn dense_scc_scenarios() -> Vec<(&'static str, Program, Vec<Vec<TupleDelta>>)> {
+    let del = |a: u32, b: u32| TupleDelta {
+        pred: "link".into(),
+        tuple: link(a, b, 1),
+        delta: -1,
+    };
+    let add = |a: u32, b: u32| TupleDelta {
+        pred: "link".into(),
+        tuple: link(a, b, 1),
+        delta: 1,
+    };
+
+    // Directed 8-ring plus a stride-3 chord out of every node: one dense SCC.
+    let ring8: Vec<(u32, u32, i64)> = (0..8u32).map(|i| (i, (i + 1) % 8, 1)).collect();
+    let chords8: Vec<(u32, u32, i64)> = (0..8u32).map(|i| (i, (i + 3) % 8, 1)).collect();
+    let mut reach = ndlog::programs::reachability();
+    ndlog::programs::add_directed_links(&mut reach, &ring8);
+    ndlog::programs::add_directed_links(&mut reach, &chords8);
+    let reach_churn = vec![
+        vec![del(1, 4)],                                  // redundant chord
+        vec![del(0, 3), del(2, 5), del(4, 7), del(6, 1)], // thin the chords
+        vec![del(2, 3)],                                  // node 2 loses its last out-edge
+        vec![add(2, 3)],                                  // recovery
+    ];
+
+    // Complete 5-node digraph under the RIP-bounded distance vector: the
+    // aggregate (min-cost) strata ride the dense component too.
+    let complete5: Vec<(u32, u32, i64)> = (0..5u32)
+        .flat_map(|a| (0..5u32).filter(move |&b| b != a).map(move |b| (a, b, 1)))
+        .collect();
+    let mut dv = ndlog::programs::distance_vector(4);
+    ndlog::programs::add_directed_links(&mut dv, &complete5);
+    let dv_churn = vec![
+        vec![del(0, 1)], // direct route lost, two-hop survives
+        vec![del(1, 2), del(2, 1)],
+        vec![add(0, 1)], // recovery
+    ];
+
+    vec![
+        ("zset_dense_scc_reachability", reach, reach_churn),
+        ("zset_dense_scc_distance_vector", dv, dv_churn),
+    ]
+}
+
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
@@ -144,6 +193,59 @@ fn sharded_session_matches_golden_snapshots_at_every_shard_count() {
             assert_eq!(
                 stages, want,
                 "{name}: {shards}-shard run diverges from the golden snapshot"
+            );
+        }
+    }
+}
+
+/// ISSUE 7: z-set maintenance is pinned byte-identical to DRed on dense-SCC
+/// deletion workloads.  The snapshots are blessed from the **DRed**
+/// baseline (`UPDATE_GOLDEN=1` writes the DRed rendering only); the z-set
+/// default must then reproduce every staged state at shard counts 1/2/4/8
+/// through the session layer, and DRed itself must keep matching its own
+/// blessing.
+#[test]
+fn zset_dense_scc_deletions_match_dred_blessed_goldens() {
+    use ndlog::Maintenance;
+
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for (name, prog, churn) in dense_scc_scenarios() {
+        let run = |mode: Maintenance, shards: usize| -> String {
+            let mut session = Session::open(&prog)
+                .maintenance(mode)
+                .sharding(shards)
+                .build()
+                .unwrap();
+            let mut stages = String::new();
+            writeln!(stages, "== initial ==").unwrap();
+            stages.push_str(&render(&session.database()));
+            for (i, batch) in churn.iter().enumerate() {
+                commit(&mut session, batch);
+                writeln!(stages, "== after batch {i} ==").unwrap();
+                stages.push_str(&render(&session.database()));
+            }
+            stages
+        };
+
+        let dred = run(Maintenance::Dred, 1);
+        let path = golden_path(name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &dred).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        assert_eq!(
+            dred, want,
+            "{name}: DRed baseline diverged from its own blessed snapshot \
+             (UPDATE_GOLDEN=1 to regenerate after an intentional change)"
+        );
+        for shards in [1usize, 2, 4, 8] {
+            assert_eq!(
+                run(Maintenance::ZSet, shards),
+                want,
+                "{name}: z-set at {shards} shards diverges from the DRed-blessed snapshot"
             );
         }
     }

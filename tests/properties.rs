@@ -14,6 +14,38 @@ fn arb_edge() -> impl Strategy<Value = (u32, u32)> {
     (0u32..5, 0u32..5)
 }
 
+/// Case count for the differential maintenance harness: fast by default so
+/// tier-1 stays quick; `FVN_DIFF_DEEP=1` (the nightly-ish CI knob) raises it
+/// for an adversarial soak.
+fn diff_cases() -> u32 {
+    match std::env::var("FVN_DIFF_DEEP") {
+        Ok(v) if v != "0" && !v.is_empty() => 96,
+        _ => 12,
+    }
+}
+
+/// Exact support counts of a session's incremental store: visible tuple →
+/// (derived count, edb count).  `None` for the oracle backend (from-scratch
+/// evaluation keeps no counts).  Counts are maintenance-strategy-specific
+/// (z-set keeps exact multiplicities, DRed clamps derived support to a
+/// flag), so equality is asserted *within* a strategy across shard counts
+/// and batch windows — the order-insensitive-merge claim of DESIGN.md §11.
+fn support_snapshot(
+    s: &ndlog::Session,
+) -> Option<std::collections::BTreeMap<(ndlog::RelId, ndlog::SharedTuple), (i64, i64)>> {
+    let st = s.storage()?;
+    let mut out = std::collections::BTreeMap::new();
+    for rel in st.relation_ids().collect::<Vec<_>>() {
+        for t in st.visible_id(rel) {
+            out.insert(
+                (rel, t.clone()),
+                (st.derived_count_id(rel, t), st.edb_count_id(rel, t)),
+            );
+        }
+    }
+    Some(out)
+}
+
 fn program_src(edges: &[(u32, u32)], use_neg: bool) -> String {
     let mut src = String::new();
     src.push_str("r1 p(X,Y) :- e(X,Y).\n");
@@ -489,6 +521,146 @@ proptest! {
                 ndlog::eval_program(&scratch).unwrap(),
                 "divergence after toggling {}-{} {}", a, b, if up { "up" } else { "down" }
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(diff_cases()))]
+
+    /// The z-set differential harness (ISSUE 7): randomized recursive
+    /// programs — optionally with stratified negation and aggregate strata
+    /// — over dense-SCC topologies (a directed 6-ring plus random chords)
+    /// under mixed assert/retract/metric churn, run through the ZSet and
+    /// DRed maintenance paths at shard counts 1/2/4 × batch windows 0/4 and
+    /// through the from-scratch oracle.  At every quiescent point (mid-
+    /// stream flush and final drain) all sessions must agree byte-for-byte
+    /// on the database, and support counts must be identical within each
+    /// maintenance strategy across every shard/window combination.
+    #[test]
+    fn zset_matches_dred_and_oracle_under_churn(
+        chords in prop::collection::vec((0u32..6, 0u32..6), 0..8),
+        events in prop::collection::vec((0u64..3, 0u32..6, 0u32..6, 0u8..3), 1..10),
+        neg in any::<bool>(),
+        agg in any::<bool>(),
+    ) {
+        use ndlog::incremental::TupleDelta;
+        use ndlog::update::replay;
+        use ndlog::{Maintenance, Session, Update, Value};
+        use std::collections::BTreeMap;
+
+        // Recursive closure over weighted edges; negation and aggregates
+        // ride in their own (higher) strata when enabled.
+        let mut src = String::from(
+            "r1 p(X,Y) :- e(X,Y,W).\n\
+             r2 p(X,Y) :- e(X,Z,W), p(Z,Y).\n",
+        );
+        if neg {
+            src.push_str("r3 q(X,Y) :- n(X), n(Y), X != Y, !p(X,Y).\n");
+        }
+        if agg {
+            src.push_str("r4 deg(X, count<Y>) :- p(X,Y).\n");
+            src.push_str("r5 wsum(X, sum<W>) :- e(X,Y,W).\n");
+        }
+        for i in 0..6 {
+            src.push_str(&format!("n(#{i}).\n"));
+        }
+        // Dense SCC: directed 6-ring plus deduplicated random chords.
+        let mut live: BTreeMap<(u32, u32), i64> = (0..6u32).map(|i| ((i, (i + 1) % 6), 1)).collect();
+        for &(a, b) in &chords {
+            live.entry((a, b)).or_insert(1);
+        }
+        for (&(a, b), &w) in &live {
+            src.push_str(&format!("e(#{a},#{b},{w}).\n"));
+        }
+        let prog = ndlog::parse_program(&src).unwrap();
+
+        let mut sessions: Vec<(String, Maintenance, Session)> = Vec::new();
+        for &mode in &[Maintenance::ZSet, Maintenance::Dred] {
+            for shards in [1usize, 2, 4] {
+                for window in [0u64, 4] {
+                    sessions.push((
+                        format!("{mode:?}/s{shards}/w{window}"),
+                        mode,
+                        Session::open(&prog)
+                            .maintenance(mode)
+                            .sharding(shards)
+                            .batch_window(window)
+                            .build()
+                            .unwrap(),
+                    ));
+                }
+            }
+        }
+        let mut oracle = Session::open(&prog).batch_window(4).oracle().unwrap();
+
+        // Mixed churn stream: toggles assert/retract edges, metric events
+        // swap an edge's weight — all consistent with the live-edge map so
+        // retractions always name the visible tuple.
+        let edge = |a: u32, b: u32, w: i64| vec![Value::Addr(a), Value::Addr(b), Value::Int(w)];
+        let mut stream: Vec<(u64, Update)> = Vec::new();
+        for &(dt, a, b, kind) in &events {
+            let mut push = |delta: TupleDelta, dt: u64| {
+                stream.push((dt, Update::from(&delta)));
+            };
+            match (kind, live.get(&(a, b)).copied()) {
+                // Metric change on a live edge: retract old, assert new.
+                (2, Some(w)) => {
+                    let new = w % 3 + 1;
+                    live.insert((a, b), new);
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, w), delta: -1 }, dt);
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, new), delta: 1 }, 0);
+                }
+                // Toggle down…
+                (_, Some(w)) => {
+                    live.remove(&(a, b));
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, w), delta: -1 }, dt);
+                }
+                // …or up.
+                (_, None) => {
+                    live.insert((a, b), 1);
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, 1), delta: 1 }, dt);
+                }
+            }
+        }
+
+        // Two quiescent points: after each half of the stream, flush every
+        // session and require byte-identical databases and (per-strategy)
+        // identical support counts.
+        let halves = [&stream[..stream.len() / 2], &stream[stream.len() / 2..]];
+        for (point, half) in halves.iter().enumerate() {
+            replay(&mut oracle, half).unwrap();
+            oracle.flush().unwrap();
+            let want = oracle.database();
+            let mut per_mode: BTreeMap<&'static str, _> = BTreeMap::new();
+            for (name, mode, s) in sessions.iter_mut() {
+                replay(s, half).unwrap();
+                s.flush().unwrap();
+                prop_assert_eq!(
+                    &want,
+                    &s.database(),
+                    "{} diverges from the oracle at quiescent point {}",
+                    name,
+                    point
+                );
+                let counts = support_snapshot(s).expect("incremental backend keeps counts");
+                let key = match mode {
+                    Maintenance::ZSet => "zset",
+                    Maintenance::Dred => "dred",
+                };
+                match per_mode.get(key) {
+                    None => {
+                        per_mode.insert(key, counts);
+                    }
+                    Some(reference) => prop_assert_eq!(
+                        reference,
+                        &counts,
+                        "{} support counts diverge at quiescent point {}",
+                        name,
+                        point
+                    ),
+                }
+            }
         }
     }
 }

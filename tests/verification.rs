@@ -147,6 +147,104 @@ fn generated_bgp_protocol_translates_to_logic() {
     assert!(block.contains("route(") && block.contains("INDUCTIVE bool"));
 }
 
+/// ISSUE 7: the model checker explores churn interleavings against a
+/// **z-set-backed** engine on an SCC topology and re-verifies the paper's
+/// route-validity invariants at every reachable state — §2.2's loop
+/// freedom (the `f_inPath` guard keeps every derived path simple and
+/// endpoint-anchored) and §3.1's `bestPathStrong` (a selected best path
+/// admits no cheaper alternative), the same statements
+/// `tests/paper_fidelity.rs` pins in their proof-theoretic form.  The DRed
+/// baseline then explores the identical interleaving space, satisfies the
+/// identical invariants, and converges to the identical fixpoint —
+/// model-checked equivalence of the two maintenance strategies.
+#[test]
+fn zset_churn_interleavings_preserve_route_validity_on_scc() {
+    use fvn_mc::{check_invariant, stable_states, ChurnState, ChurnTs, ExploreOptions};
+    use ndlog::{Maintenance, Update};
+    use std::collections::BTreeSet;
+
+    // Path vector on a dense SCC: a symmetric 4-ring plus the 0–2 chord
+    // (links are bidirectional, matching the symmetric link_up/link_down
+    // lowering), so every deletion has alternate support.
+    let mut prog = ndlog::programs::path_vector();
+    let edges = [
+        (0u32, 1u32, 1i64),
+        (1, 2, 1),
+        (2, 3, 1),
+        (3, 0, 1),
+        (0, 2, 3),
+    ];
+    ndlog::programs::add_links(&mut prog, &edges);
+
+    // A failure, a metric change, and the recovery: the checker covers
+    // every interleaving (all 2^3 applied-subsets of the schedule).
+    let updates = vec![
+        ("fail01".to_string(), vec![Update::link_down(0, 1, 1)]),
+        (
+            "metric02".to_string(),
+            vec![Update::metric_change(0, 2, 3, 2)],
+        ),
+        ("recover01".to_string(), vec![Update::link_up(0, 1, 1)]),
+    ];
+
+    let route_validity = |s: &ChurnState| -> bool {
+        let db = s.database();
+        // §2.2 loop freedom: no node repeats, and the path runs S -> D.
+        let simple = db.relation("path").all(|t| {
+            let p = t[2].as_list().expect("path component is a list");
+            let mut seen = BTreeSet::new();
+            p.iter().all(|n| seen.insert(n)) && p.first() == Some(&t[0]) && p.last() == Some(&t[1])
+        });
+        // §3.1 bestPathStrong: nothing cheaper than a selected best path.
+        let strong = db.relation("bestPath").all(|b| {
+            db.relation("path")
+                .filter(|p| p[0] == b[0] && p[1] == b[1])
+                .all(|p| p[3] >= b[3])
+        });
+        // The selected cost agrees with the min-aggregate relation.
+        let consistent = db.relation("bestPath").all(|b| {
+            db.contains(
+                "bestPathCost",
+                &vec![b[0].clone(), b[1].clone(), b[3].clone()],
+            )
+        });
+        simple && strong && consistent
+    };
+
+    let explore_with = |maintenance: Maintenance| -> (usize, ndlog::Database) {
+        let ts = ChurnTs::with_maintenance(
+            &prog,
+            updates.clone(),
+            ndlog::EvalOptions::default(),
+            maintenance,
+        )
+        .unwrap();
+        let visited = check_invariant(&ts, ExploreOptions::default(), route_validity)
+            .unwrap_or_else(|e| panic!("{maintenance:?} violates route validity: {e:?}"));
+        assert!(!ts.truncated(), "{maintenance:?} exploration was pruned");
+        // Confluence: every interleaving drains to one fixpoint.
+        let stable = stable_states(&ts, ExploreOptions::default());
+        assert_eq!(stable.len(), 1, "{maintenance:?}: unique drained state");
+        (visited, stable[0].database())
+    };
+
+    let (zset_visited, zset_final) = explore_with(Maintenance::ZSet);
+    assert!(
+        zset_visited >= 8,
+        "all 2^3 churn subsets reached: {zset_visited}"
+    );
+
+    let (dred_visited, dred_final) = explore_with(Maintenance::Dred);
+    assert_eq!(
+        zset_visited, dred_visited,
+        "both strategies explore the same interleaving space"
+    );
+    assert_eq!(
+        zset_final, dred_final,
+        "both strategies drain to the same fixpoint"
+    );
+}
+
 /// Proof logs record every step with goal counts, supporting the EXP-1/5
 /// accounting.
 #[test]
