@@ -819,6 +819,84 @@ fn bench_zset_deletion(c: &mut Criterion) {
     );
 }
 
+/// EXP-15: fault tolerance of the distributed runtime (DESIGN.md §3 and
+/// §12).  A path-vector network converges through a seeded crash/restart
+/// campaign while the links lose and duplicate messages; the same
+/// campaign runs at loss 0% / 10% / 30%.  Asserts the acceptance bar:
+/// the quiescent database is **byte-identical** at every loss rate, and
+/// the ack/retransmit layer's overhead keeps total messages ≤ **3×** the
+/// loss-free run.
+fn bench_fault_tolerance(c: &mut Criterion) {
+    use ndlog::update::Session;
+
+    let topo = Topology::random_connected(12, 0.25, 3, 15);
+    let mut prog = ndlog::programs::path_vector();
+    link_facts(&mut prog, &topo);
+    // One seeded crash/restart campaign, identical across loss rates.
+    let crashes = topo.crash_restart_schedule(2, 80, 60, 15);
+    println!(
+        "exp15: {} nodes / {} links, {} crash/restart events, duplication 10%",
+        topo.num_nodes(),
+        topo.num_edges(),
+        crashes.len()
+    );
+
+    let run = |loss: f64| {
+        let cfg = SimConfig {
+            loss,
+            duplication: 0.1,
+            jitter: 2,
+            seed: 15,
+            ..Default::default()
+        };
+        let mut rt = DistRuntime::open(&Session::open(&prog).checkpoint_every(16), &topo, cfg)
+            .expect("runtime builds");
+        rt.schedule_crashes(&crashes);
+        let stats = rt.run();
+        assert!(stats.quiescent, "loss {loss} must quiesce: {stats:?}");
+        (stats.messages, stats.last_change, rt.global_database())
+    };
+    let (m0, t0, db0) = run(0.0);
+    println!("exp15: loss  0% -> {m0:>6} msgs (100.0%)  conv {t0}");
+    for loss in [0.1, 0.3] {
+        let (m, t, db) = run(loss);
+        println!(
+            "exp15: loss {:>2.0}% -> {m:>6} msgs ({:>5.1}%)  conv {t}",
+            loss * 100.0,
+            100.0 * m as f64 / m0 as f64
+        );
+        assert_eq!(
+            db, db0,
+            "loss {loss} must not change the quiescent database"
+        );
+        assert!(
+            m as f64 <= 3.0 * m0 as f64,
+            "retransmission overhead at loss {loss} must stay <= 3x loss-free ({m} vs {m0})"
+        );
+    }
+
+    let mut g = c.benchmark_group("exp15_fault_tolerance");
+    g.sample_size(10);
+    for loss in [0.0f64, 0.1, 0.3] {
+        let builder = Session::open(&prog).checkpoint_every(16);
+        g.bench_with_input(BenchmarkId::from_parameter(loss), &builder, |b, builder| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    loss,
+                    duplication: 0.1,
+                    jitter: 2,
+                    seed: 15,
+                    ..Default::default()
+                };
+                let mut rt = DistRuntime::open(builder, &topo, cfg).expect("runtime builds");
+                rt.schedule_crashes(&crashes);
+                black_box(rt.run().messages)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// FIG-1 / arc 7: distributed execution.
 fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_arc7_distributed");
@@ -847,6 +925,7 @@ criterion_group! {
               bench_declarative_vs_imperative, bench_translation,
               bench_softstate, bench_incremental_vs_epoch, bench_shard_scaling,
               bench_interned_hot_path, bench_batch_window,
-              bench_telemetry_overhead, bench_zset_deletion, bench_runtime
+              bench_telemetry_overhead, bench_zset_deletion,
+              bench_fault_tolerance, bench_runtime
 }
 criterion_main!(benches);

@@ -17,7 +17,9 @@
 //!   the evaluator's; [`ChurnTs`] extends this to *delta transitions*, so
 //!   invariants are checked across every interleaving of topology churn
 //!   (link failures, recoveries, metric changes) under incremental
-//!   maintenance.
+//!   maintenance, and [`FaultTs`] to *fault campaigns*: crash/restart,
+//!   link flap, and duplicate-delivery interleavings over a symmetric
+//!   topology, re-verifying safety in every reachable fault configuration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +30,7 @@ pub mod spvp;
 pub mod ts;
 
 pub use dv::{costs_bounded, DvState, DvSystem, Route};
-pub use ndlog_ts::{ChurnState, ChurnTs, NdlogTs};
+pub use ndlog_ts::{ChurnState, ChurnTs, FaultOp, FaultState, FaultTs, NdlogTs};
 pub use spvp::{Path, SppInstance, SpvpState, SpvpSystem};
 pub use ts::{
     check_invariant, explore, find_oscillation, stable_states, Exploration, ExploreOptions, Trace,

@@ -273,6 +273,219 @@ impl TransitionSystem for ChurnTs {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fault transitions: verified programs stay verified under node faults.
+// ---------------------------------------------------------------------
+
+/// One fault-campaign event over a symmetric topology.
+///
+/// The model is the *observable* fault vocabulary of the distributed
+/// runtime's reliable-delivery layer (`ndlog_runtime::engine`): message
+/// **loss** is a delayed delivery (the checker already covers every
+/// delivery order as an interleaving), message **duplication** is absorbed
+/// by the sequence space (explored as explicit re-delivery self-loops, see
+/// [`FaultTs`]), and **crash/restart** retracts and re-asserts every link
+/// fact incident to the node — exactly the purge-and-re-ship a crashed
+/// node's neighbors perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// The symmetric link between two nodes fails.
+    LinkDown(u32, u32),
+    /// The symmetric link between two nodes recovers.
+    LinkUp(u32, u32),
+    /// The node crashes: every incident link fact vanishes.
+    Crash(u32),
+    /// The node restarts: incident links to live neighbors (that are not
+    /// administratively down) come back.
+    Restart(u32),
+}
+
+/// An NDlog program under a **fault campaign** — link flaps plus node
+/// crash/restart — as a transition system.
+///
+/// A state is the maintained database of an [`IncrementalEngine`] together
+/// with the fault configuration (which links are administratively down,
+/// which nodes are dead) and the set of campaign events already delivered.
+/// A transition delivers one pending event whose precondition holds (a
+/// node can only crash while alive, restart while dead, a link can only
+/// fail while up, recover while down); its effect is the *difference*
+/// between the old and new effective link sets — an edge is effective iff
+/// it is administratively up **and** both endpoints are alive — applied
+/// through incremental maintenance as symmetric link updates.
+///
+/// Exploration therefore covers every interleaving of drops (a lost
+/// delivery is a later delivery), duplicates (re-delivering an event whose
+/// effect already holds is an explicit `dup`-labelled self-loop with an
+/// empty delta — the model-level image of the runtime's seq-space
+/// suppression), and crash/restart faults; an invariant checked with
+/// [`crate::ts::check_invariant`] (e.g. §2.2 loop freedom, §3.1
+/// `bestPathStrong`) holds in every reachable fault configuration, not
+/// just the final one.
+#[derive(Debug, Clone)]
+pub struct FaultTs {
+    start: IncrementalEngine,
+    edges: Vec<(u32, u32, i64)>,
+    events: Vec<(String, FaultOp)>,
+    /// First pruned interleaving (maintenance error), as in [`ChurnTs`].
+    prune_error: std::cell::RefCell<Option<String>>,
+}
+
+/// A fault-campaign state: delivered events, fault configuration, and the
+/// maintained engine (compared by canonical database state).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultState {
+    /// Indices (into the campaign) of the events delivered so far.
+    pub applied: BTreeSet<usize>,
+    /// Administratively-down links, endpoint-sorted.
+    pub down: BTreeSet<(u32, u32)>,
+    /// Crashed-and-not-restarted nodes.
+    pub dead: BTreeSet<u32>,
+    engine: IncrementalEngine,
+}
+
+impl FaultState {
+    /// The maintained database in this state.
+    pub fn database(&self) -> Database {
+        self.engine.database()
+    }
+
+    /// Is the tuple visible in this state?
+    pub fn contains(&self, pred: &str, tuple: &ndlog::value::Tuple) -> bool {
+        self.engine.contains(pred, tuple)
+    }
+}
+
+fn norm_edge(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+impl FaultTs {
+    /// Build the system: evaluate `prog` (which must already carry the
+    /// symmetric `link` facts for `edges`, e.g. via
+    /// `ndlog::programs::add_links`) to its initial fixpoint and record the
+    /// campaign.  All links start up and all nodes start alive.
+    pub fn new(
+        prog: &Program,
+        edges: &[(u32, u32, i64)],
+        events: Vec<(String, FaultOp)>,
+    ) -> Result<Self> {
+        let session = Session::open(prog).build()?;
+        let start = session
+            .engine()
+            .expect("incremental backend always has an engine")
+            .clone();
+        Ok(FaultTs {
+            start,
+            edges: edges.to_vec(),
+            events,
+            prune_error: std::cell::RefCell::new(None),
+        })
+    }
+
+    /// The effective edge set of a fault configuration: administratively up
+    /// with both endpoints alive.
+    fn live_edges(
+        &self,
+        down: &BTreeSet<(u32, u32)>,
+        dead: &BTreeSet<u32>,
+    ) -> BTreeSet<(u32, u32, i64)> {
+        self.edges
+            .iter()
+            .filter(|(a, b, _)| {
+                !down.contains(&norm_edge(*a, *b)) && !dead.contains(a) && !dead.contains(b)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// True if any interleaving was pruned because its maintenance batch
+    /// errored (see [`ChurnTs::truncated`]).
+    pub fn truncated(&self) -> bool {
+        self.prune_error.borrow().is_some()
+    }
+
+    /// The first pruned interleaving's label and error, if any.
+    pub fn prune_error(&self) -> Option<String> {
+        self.prune_error.borrow().clone()
+    }
+}
+
+impl TransitionSystem for FaultTs {
+    type State = FaultState;
+
+    fn initial(&self) -> Vec<FaultState> {
+        vec![FaultState {
+            applied: BTreeSet::new(),
+            down: BTreeSet::new(),
+            dead: BTreeSet::new(),
+            engine: self.start.clone(),
+        }]
+    }
+
+    fn successors(&self, s: &FaultState) -> Vec<(String, FaultState)> {
+        let mut out = Vec::new();
+        for (i, (label, op)) in self.events.iter().enumerate() {
+            if s.applied.contains(&i) {
+                // Duplicate delivery of a link event whose effect already
+                // holds: the runtime's seq space suppresses it; the model
+                // shows it as an empty-delta self-loop.
+                let absorbed = match *op {
+                    FaultOp::LinkDown(a, b) => s.down.contains(&norm_edge(a, b)),
+                    FaultOp::LinkUp(a, b) => !s.down.contains(&norm_edge(a, b)),
+                    _ => false, // crashes are faults, not messages
+                };
+                if absorbed {
+                    out.push((format!("dup {label}"), s.clone()));
+                }
+                continue;
+            }
+            let mut down = s.down.clone();
+            let mut dead = s.dead.clone();
+            // Precondition = the mutation actually changes the fault
+            // configuration; an event whose precondition fails stays
+            // pending (it may become deliverable after another event).
+            let enabled = match *op {
+                FaultOp::LinkDown(a, b) => down.insert(norm_edge(a, b)),
+                FaultOp::LinkUp(a, b) => down.remove(&norm_edge(a, b)),
+                FaultOp::Crash(v) => dead.insert(v),
+                FaultOp::Restart(v) => dead.remove(&v),
+            };
+            if !enabled {
+                continue;
+            }
+            let before = self.live_edges(&s.down, &s.dead);
+            let after = self.live_edges(&down, &dead);
+            let mut updates = Vec::new();
+            for &(a, b, c) in before.difference(&after) {
+                updates.push(Update::link_down(a, b, c));
+            }
+            for &(a, b, c) in after.difference(&before) {
+                updates.push(Update::link_up(a, b, c));
+            }
+            let mut engine = s.engine.clone();
+            let batch = lower_updates(&updates, |p| engine.rel_id(p));
+            if let Err(e) = engine.apply_interned(&batch) {
+                self.prune_error
+                    .borrow_mut()
+                    .get_or_insert_with(|| format!("{label}: {e}"));
+                continue;
+            }
+            let mut applied = s.applied.clone();
+            applied.insert(i);
+            out.push((
+                label.clone(),
+                FaultState {
+                    applied,
+                    down,
+                    dead,
+                    engine,
+                },
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,5 +721,102 @@ mod tests {
         })
         .unwrap();
         assert_eq!(visited, 2);
+    }
+
+    // ------------------------------------------------------------------
+    // fault transitions
+    // ------------------------------------------------------------------
+
+    /// Triangle 0-1-2: the cheap route 0->2 goes through 1 (cost 2), the
+    /// direct link is the fallback (cost 5).
+    fn fault_system(events: Vec<(String, FaultOp)>) -> FaultTs {
+        let edges = [(0, 1, 1), (1, 2, 1), (0, 2, 5)];
+        let mut prog = ndlog::programs::path_vector();
+        ndlog::programs::add_links(&mut prog, &edges);
+        FaultTs::new(&prog, &edges, events).unwrap()
+    }
+
+    fn best(a: u32, b: u32, c: i64) -> ndlog::value::Tuple {
+        vec![Value::Addr(a), Value::Addr(b), Value::Int(c)]
+    }
+
+    #[test]
+    fn crash_and_restart_round_trip_to_the_start_fixpoint() {
+        let ts = fault_system(vec![
+            ("crash 1".into(), FaultOp::Crash(1)),
+            ("restart 1".into(), FaultOp::Restart(1)),
+        ]);
+        let ex = explore(&ts, ExploreOptions::default());
+        assert!(!ex.truncated && !ts.truncated());
+        // The restart is gated on its crash, so the campaign is a line:
+        // start -> crashed -> recovered.
+        assert_eq!(ex.states.len(), 3);
+        let start = ts.initial().pop().unwrap().database();
+        for s in &ex.states {
+            match s.applied.len() {
+                1 => {
+                    // With 1 dead, only the direct 0-2 link survives.
+                    assert!(s.dead.contains(&1));
+                    assert!(s.contains("bestPathCost", &best(0, 2, 5)));
+                    assert!(!s.contains("bestPathCost", &best(0, 1, 1)));
+                }
+                _ => assert_eq!(s.database(), start, "round trip restores the fixpoint"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_link_deliveries_are_absorbed() {
+        let ts = fault_system(vec![
+            ("down 0-1".into(), FaultOp::LinkDown(0, 1)),
+            ("up 0-1".into(), FaultOp::LinkUp(0, 1)),
+        ]);
+        let ex = explore(&ts, ExploreOptions::default());
+        assert_eq!(ex.states.len(), 3, "dup self-loops add no states");
+        // Mid-campaign, re-delivering the down is an empty-delta self-loop
+        // next to the real recovery transition.
+        let mid = ex.states.iter().find(|s| s.applied.len() == 1).unwrap();
+        let succ = ts.successors(mid);
+        assert_eq!(succ.len(), 2);
+        let dup = succ.iter().find(|(l, _)| l == "dup down 0-1").unwrap();
+        assert_eq!(&dup.1, mid, "duplicates are observationally no-ops");
+        // Fully drained, only the stale up can be re-delivered.
+        let end = ex.states.iter().find(|s| s.applied.len() == 2).unwrap();
+        let succ = ts.successors(end);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0, "dup up 0-1");
+        assert_eq!(&succ[0].1, end);
+    }
+
+    #[test]
+    fn overlapping_faults_stay_consistent_in_every_interleaving() {
+        // A crash that overlaps an administrative link failure: the
+        // effective-edge diff must not retract the shared link twice, in
+        // any delivery order.
+        let ts = fault_system(vec![
+            ("down 0-1".into(), FaultOp::LinkDown(0, 1)),
+            ("crash 0".into(), FaultOp::Crash(0)),
+            ("restart 0".into(), FaultOp::Restart(0)),
+            ("up 0-1".into(), FaultOp::LinkUp(0, 1)),
+        ]);
+        // Loop freedom holds in every reachable fault configuration.
+        let visited = check_invariant(&ts, ExploreOptions::default(), |s| {
+            s.database().relation("path").all(|t| {
+                let hops = t[2].as_list().expect("path component is a list");
+                let mut seen = BTreeSet::new();
+                hops.iter().all(|h| seen.insert(h.clone()))
+            })
+        })
+        .unwrap();
+        assert!(!ts.truncated(), "{:?}", ts.prune_error());
+        assert!(visited >= 6, "visited: {visited}");
+        // Every fully-drained interleaving returns to the start fixpoint.
+        let ex = explore(&ts, ExploreOptions::default());
+        let start = ts.initial().pop().unwrap().database();
+        let drained: Vec<_> = ex.states.iter().filter(|s| s.applied.len() == 4).collect();
+        assert!(!drained.is_empty());
+        for s in drained {
+            assert_eq!(s.database(), start);
+        }
     }
 }

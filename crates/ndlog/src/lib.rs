@@ -85,7 +85,8 @@ pub use error::{NdlogError, Result};
 pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator, IdDatabase};
 pub use explain::{Explanation, Support};
 pub use incremental::{
-    BatchOutcome, BatchStats, IncrementalEngine, InternedOutcome, Maintenance, RelDelta, TupleDelta,
+    BatchOutcome, BatchStats, EngineSnapshot, IncrementalEngine, InternedOutcome, Maintenance,
+    RelDelta, TupleDelta,
 };
 pub use parser::{parse_program, parse_rule};
 pub use pool::ShardPool;

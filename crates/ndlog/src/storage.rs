@@ -542,6 +542,30 @@ impl RelationStorage {
         self.exported_total
     }
 
+    /// Approximate in-memory footprint of the stored data in bytes:
+    /// support-map entries (visible and exported) priced at their tuple
+    /// widths plus per-entry bookkeeping, indexes at one reference per
+    /// indexed tuple.  A sizing signal for checkpoint telemetry, not an
+    /// allocator-exact measure.
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 48; // map node + Support + Arc header
+        let mut bytes = 0usize;
+        for rel in &self.rels {
+            for support in [&rel.support, &rel.exported_support] {
+                for tuple in support.keys() {
+                    bytes += ENTRY_OVERHEAD + tuple.len() * std::mem::size_of::<Value>();
+                }
+            }
+            for map in rel.indexes.values() {
+                for (key, set) in map {
+                    bytes += key.len() * std::mem::size_of::<Value>();
+                    bytes += set.len() * std::mem::size_of::<SharedTuple>();
+                }
+            }
+        }
+        bytes
+    }
+
     /// All **interned** relation names, in name-sorted order.  Unlike the
     /// former `BTreeMap`-keyed layout, this includes program relations that
     /// currently hold no tuples (stores built from an analysis pre-intern

@@ -38,10 +38,12 @@
 //! the from-scratch oracle backend.
 
 use crate::ast::{Lifetime, Program};
-use crate::error::Result;
+use crate::error::{NdlogError, Result};
 use crate::eval::{Database, EvalOptions, Evaluator, IdDatabase};
 use crate::explain::Explanation;
-use crate::incremental::{BatchStats, IncrementalEngine, Maintenance, RelDelta, TupleDelta};
+use crate::incremental::{
+    BatchStats, EngineSnapshot, IncrementalEngine, Maintenance, RelDelta, TupleDelta,
+};
 use crate::sharded::ShardRouter;
 use crate::storage::RelationStorage;
 use crate::symbols::{RelId, Symbols};
@@ -341,6 +343,7 @@ pub struct SessionBuilder {
     ttl: Option<TtlPolicy>,
     telemetry: Telemetry,
     maintenance: Maintenance,
+    checkpoint_every: u64,
 }
 
 impl SessionBuilder {
@@ -378,6 +381,24 @@ impl SessionBuilder {
     /// The configured recursive-stratum maintenance algorithm.
     pub fn maintenance_mode(&self) -> Maintenance {
         self.maintenance
+    }
+
+    /// Checkpoint cadence in ticks (0 = no automatic checkpoints).
+    ///
+    /// Consumers that own a clock take an [`EngineSnapshot`] of engine
+    /// state roughly every `ticks` ticks of activity: the distributed
+    /// runtime arms a per-node checkpoint timer with this period so a
+    /// crashed node can restore the snapshot and rejoin warm.  Local
+    /// sessions can checkpoint explicitly at any time with
+    /// [`Session::checkpoint`].
+    pub fn checkpoint_every(mut self, ticks: u64) -> Self {
+        self.checkpoint_every = ticks;
+        self
+    }
+
+    /// The configured checkpoint cadence (0 = disabled).
+    pub fn checkpoint_cadence(&self) -> u64 {
+        self.checkpoint_every
     }
 
     /// Attach a soft-state TTL policy: assertions of covered relations
@@ -753,6 +774,7 @@ impl Session {
             ttl: None,
             telemetry: Telemetry::disabled(),
             maintenance: Maintenance::default(),
+            checkpoint_every: 0,
         }
     }
 
@@ -985,6 +1007,32 @@ impl Session {
         match &self.backend {
             Backend::Incremental { engine, .. } => Some(engine),
             Backend::Oracle { .. } => None,
+        }
+    }
+
+    /// Checkpoint the incremental backend's state as a versioned
+    /// [`EngineSnapshot`] (`None` for the oracle backend, which keeps no
+    /// restartable state).  Flush pending batched commits first if the
+    /// snapshot must include them — the snapshot captures the *applied*
+    /// fixpoint, not the open window.
+    pub fn checkpoint(&self) -> Option<EngineSnapshot> {
+        self.engine().map(|e| e.snapshot())
+    }
+
+    /// Restore a [`checkpoint`](Self::checkpoint) into the incremental
+    /// backend: the database rewinds to the snapshotted fixpoint and
+    /// maintenance resumes from there.  Pending (unflushed) commits are
+    /// discarded — they describe a timeline the restore abandons.  Errors
+    /// on the oracle backend or on a snapshot from a different program.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<()> {
+        self.pending.clear();
+        self.expiries.clear();
+        self.metrics.pending.set(0);
+        match &mut self.backend {
+            Backend::Incremental { engine, .. } => engine.restore(snap),
+            Backend::Oracle { .. } => Err(NdlogError::Eval {
+                msg: "the oracle backend keeps no restorable engine state".into(),
+            }),
         }
     }
 
@@ -1221,6 +1269,29 @@ mod tests {
         assert_eq!(got.changes, want.changes);
         assert_eq!(got.stats, want.stats);
         assert_eq!(session.database(), engine.database());
+    }
+
+    #[test]
+    fn session_checkpoint_restore_rewinds_and_resumes() {
+        let edges = [(0, 1, 1), (1, 2, 2), (0, 2, 9)];
+        let prog = pv(&edges);
+        let mut session = Session::open(&prog).checkpoint_every(16).build().unwrap();
+        let snap = session.checkpoint().expect("incremental backend");
+        let before = session.database();
+        session.txn().link_down(0, 1, 1).commit().unwrap();
+        assert_ne!(session.database(), before);
+        session.restore(&snap).unwrap();
+        assert_eq!(session.database(), before);
+        // Maintenance resumes cleanly from the restored fixpoint.
+        session.txn().link_down(0, 1, 1).commit().unwrap();
+        assert_eq!(
+            session.database(),
+            crate::eval::eval_program(&pv(&[(1, 2, 2), (0, 2, 9)])).unwrap()
+        );
+        // The oracle backend has nothing to checkpoint.
+        let mut oracle = Session::open(&prog).oracle().unwrap();
+        assert!(oracle.checkpoint().is_none());
+        assert!(oracle.restore(&snap).is_err());
     }
 
     #[test]

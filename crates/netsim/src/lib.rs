@@ -8,8 +8,9 @@
 //!
 //! * [`topology`] — graph shapes (line/ring/star/grid/tree/mesh, seeded
 //!   Erdős–Rényi) with Dijkstra ground truth;
-//! * [`sim`] — event queue, per-link latency/jitter/loss, link up/down
-//!   schedules, quiescence and convergence-time measurement.
+//! * [`sim`] — event queue, per-link latency/jitter/loss/duplication, link
+//!   up/down schedules, node crash/restart schedules, quiescence and
+//!   convergence-time measurement.
 //!
 //! Protocols implement [`sim::Protocol`] and are driven by polled events, in
 //! the event-driven style of the session's networking guides (no async
@@ -22,6 +23,7 @@ pub mod sim;
 pub mod topology;
 
 pub use sim::{
-    Context, Event, LinkEvent, LinkSchedule, Protocol, SimConfig, SimStats, Simulator, Time,
+    Context, CrashSchedule, Event, LinkEvent, LinkSchedule, NodeEvent, Protocol, SimConfig,
+    SimStats, Simulator, Time,
 };
 pub use topology::{NodeId, Topology};

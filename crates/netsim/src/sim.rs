@@ -48,6 +48,24 @@ pub enum Event<M> {
         /// The link's new cost.
         cost: i64,
     },
+    /// This node crashed: volatile protocol state is lost.  Delivered to
+    /// the crashing node itself (the simulator has already marked it dead,
+    /// so anything it tries to send from the handler is dropped); each
+    /// live neighbor sees the incident links as `LinkChange { up: false }`.
+    Crash,
+    /// This node restarted after a crash.  Incident links that are
+    /// administratively up (with a live peer) come back as
+    /// `LinkChange { up: true }` events dispatched to both endpoints
+    /// immediately after this one, each followed by a
+    /// [`MetricChange`](Event::MetricChange) to the restarted node carrying
+    /// the link's current cost (it may have missed recosts while dead).
+    Restart {
+        /// Monotonic per-node restart count (1 on the first restart).
+        /// Strictly increases across the node's lifetimes, so protocols can
+        /// mint session identifiers that never collide with a previous
+        /// incarnation's.
+        incarnation: u64,
+    },
 }
 
 /// Side effects a node can request while handling an event.
@@ -106,6 +124,9 @@ pub struct SimConfig {
     pub jitter: Time,
     /// Probability a message is dropped in flight (seeded).
     pub loss: f64,
+    /// Probability a message is delivered twice (seeded; the duplicate
+    /// takes an independent jitter draw, so it may also arrive reordered).
+    pub duplication: f64,
     /// Hard stop time.
     pub max_time: Time,
     /// Hard stop on number of processed events (guards livelock).
@@ -120,6 +141,7 @@ impl Default for SimConfig {
             latency: 1,
             jitter: 0,
             loss: 0.0,
+            duplication: 0.0,
             max_time: 1_000_000,
             max_events: 10_000_000,
             seed: 0,
@@ -236,6 +258,47 @@ impl LinkSchedule {
     }
 }
 
+/// What happens to a node at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodeEvent {
+    /// The node crashes, losing volatile state.
+    Crash,
+    /// The node restarts with a fresh incarnation number.
+    Restart,
+}
+
+/// A scheduled node crash or restart — the node-fault analogue of
+/// [`LinkSchedule`], consumed through [`Simulator::schedule_crashes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// When the fault happens.
+    pub at: Time,
+    /// The node it happens to.
+    pub node: NodeId,
+    /// Crash or restart.
+    pub event: NodeEvent,
+}
+
+impl CrashSchedule {
+    /// Schedule `node` to crash at `at`.
+    pub fn crash(at: Time, node: NodeId) -> Self {
+        CrashSchedule {
+            at,
+            node,
+            event: NodeEvent::Crash,
+        }
+    }
+
+    /// Schedule `node` to restart at `at`.
+    pub fn restart(at: Time, node: NodeId) -> Self {
+        CrashSchedule {
+            at,
+            node,
+            event: NodeEvent::Restart,
+        }
+    }
+}
+
 /// Statistics of a finished run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -245,6 +308,8 @@ pub struct SimStats {
     pub messages: u64,
     /// Messages dropped by loss or down links.
     pub dropped: u64,
+    /// Extra copies injected by the duplication knob.
+    pub duplicated: u64,
     /// Time of the last event processed (quiescence time).
     pub end_time: Time,
     /// Time of the last event after which some node reported a state change
@@ -269,6 +334,10 @@ enum QueuedEvent<M> {
         b: NodeId,
         event: LinkEvent,
     },
+    Node {
+        node: NodeId,
+        event: NodeEvent,
+    },
 }
 
 /// The discrete-event simulator.
@@ -281,6 +350,8 @@ pub struct Simulator<P: Protocol> {
     seq: u64,
     rng: StdRng,
     link_down: std::collections::BTreeSet<(NodeId, NodeId)>,
+    crashed: std::collections::BTreeSet<NodeId>,
+    incarnations: Vec<u64>,
     stats: SimStats,
 }
 
@@ -293,6 +364,7 @@ impl<P: Protocol> Simulator<P> {
             "one node per topology vertex"
         );
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let incarnations = vec![0; topo.num_nodes() as usize];
         Simulator {
             topo,
             nodes,
@@ -302,6 +374,8 @@ impl<P: Protocol> Simulator<P> {
             seq: 0,
             rng,
             link_down: Default::default(),
+            crashed: Default::default(),
+            incarnations,
             stats: SimStats::default(),
         }
     }
@@ -350,9 +424,29 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+    /// Schedule node crashes and restarts before running — the node-fault
+    /// counterpart of [`schedule_links`](Self::schedule_links).
+    pub fn schedule_crashes(&mut self, schedule: &[CrashSchedule]) {
+        for s in schedule {
+            self.push(
+                s.at,
+                QueuedEvent::Node {
+                    node: s.node,
+                    event: s.event,
+                },
+            );
+        }
+    }
+
+    /// Administrative link state: the edge exists and no schedule took it
+    /// down.  Ignores whether the endpoints are alive.
+    fn link_admin_up(&self, a: NodeId, b: NodeId) -> bool {
         let key = if a < b { (a, b) } else { (b, a) };
         self.topo.has_edge(a, b) && !self.link_down.contains(&key)
+    }
+
+    fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.link_admin_up(a, b) && !self.crashed.contains(&a) && !self.crashed.contains(&b)
     }
 
     fn dispatch(&mut self, node: NodeId, event: Event<P::Msg>, now: Time) {
@@ -376,6 +470,26 @@ impl<P: Protocol> Simulator<P> {
             if self.cfg.loss > 0.0 && self.rng.random::<f64>() < self.cfg.loss {
                 self.stats.dropped += 1;
                 continue;
+            }
+            // Gated draws so runs with the knobs off consume the exact RNG
+            // stream of the pre-fault simulator (replayability across the
+            // API change).
+            if self.cfg.duplication > 0.0 && self.rng.random::<f64>() < self.cfg.duplication {
+                self.stats.duplicated += 1;
+                let jitter = if self.cfg.jitter > 0 {
+                    self.rng.random_range(0..=self.cfg.jitter)
+                } else {
+                    0
+                };
+                let at = now + self.cfg.latency.max(1) + jitter;
+                self.push(
+                    at,
+                    QueuedEvent::Deliver {
+                        from: node,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
             }
             let jitter = if self.cfg.jitter > 0 {
                 self.rng.random_range(0..=self.cfg.jitter)
@@ -424,6 +538,12 @@ impl<P: Protocol> Simulator<P> {
                     self.dispatch(to, Event::Message { from, msg }, at);
                 }
                 QueuedEvent::Timer { node, tag } => {
+                    // A crashed node's pending timers die with it; timers
+                    // armed before a crash that outlive the restart are
+                    // delivered (protocols epoch-tag them to stay safe).
+                    if self.crashed.contains(&node) {
+                        continue;
+                    }
                     self.dispatch(node, Event::Timer { tag }, at);
                 }
                 QueuedEvent::Link { a, b, event } => match event {
@@ -436,17 +556,128 @@ impl<P: Protocol> Simulator<P> {
                             self.link_down.insert(key);
                         }
                         self.stats.last_change = at;
-                        self.dispatch(a, Event::LinkChange { neighbor: b, up }, at);
-                        self.dispatch(b, Event::LinkChange { neighbor: a, up }, at);
+                        if up {
+                            // An admin-up is only an *effective* up if both
+                            // endpoints are alive; with a crashed endpoint
+                            // nobody is told (the live peer would ship into a
+                            // black hole forever).  The crashed node's
+                            // restart re-delivers the up to both ends.
+                            if self.link_is_up(a, b) {
+                                self.dispatch(a, Event::LinkChange { neighbor: b, up }, at);
+                                self.dispatch(b, Event::LinkChange { neighbor: a, up }, at);
+                                // Every effective up is followed by a metric
+                                // sync to both ends: an endpoint may have
+                                // restarted while this link was down and
+                                // missed a cost change from its dead window
+                                // (a no-op when its cost is current).
+                                if let Some(cost) = self.topo.cost_of(a, b) {
+                                    self.dispatch(a, Event::MetricChange { neighbor: b, cost }, at);
+                                    self.dispatch(b, Event::MetricChange { neighbor: a, cost }, at);
+                                }
+                            }
+                        } else {
+                            // Downs go to each live endpoint (a crashed one
+                            // already considers every link down); a peer that
+                            // crashed earlier makes this a duplicate down,
+                            // which protocols treat as a no-op.
+                            if !self.crashed.contains(&a) {
+                                self.dispatch(a, Event::LinkChange { neighbor: b, up }, at);
+                            }
+                            if !self.crashed.contains(&b) {
+                                self.dispatch(b, Event::LinkChange { neighbor: a, up }, at);
+                            }
+                        }
                     }
                     LinkEvent::Metric { cost } => {
                         // A metric change on a non-existent edge has no
                         // effect at all (nothing to recost, nobody to
-                        // notify, no convergence-clock bump).
+                        // notify, no convergence-clock bump).  Crashed
+                        // endpoints are not notified — they re-learn costs
+                        // on restart (see `NodeEvent::Restart` below).
                         if self.topo.set_cost(a, b, cost) {
                             self.stats.last_change = at;
-                            self.dispatch(a, Event::MetricChange { neighbor: b, cost }, at);
-                            self.dispatch(b, Event::MetricChange { neighbor: a, cost }, at);
+                            if !self.crashed.contains(&a) {
+                                self.dispatch(a, Event::MetricChange { neighbor: b, cost }, at);
+                            }
+                            if !self.crashed.contains(&b) {
+                                self.dispatch(b, Event::MetricChange { neighbor: a, cost }, at);
+                            }
+                        }
+                    }
+                },
+                QueuedEvent::Node { node, event } => match event {
+                    NodeEvent::Crash => {
+                        // Idempotent: crashing a dead node is a no-op.
+                        if self.crashed.insert(node) {
+                            self.stats.last_change = at;
+                            // Mark dead *first* so anything the dying node
+                            // tries to send from its crash handler drops.
+                            self.dispatch(node, Event::Crash, at);
+                            for (n, _) in self.topo.neighbors(node) {
+                                if !self.crashed.contains(&n) && self.link_admin_up(node, n) {
+                                    self.dispatch(
+                                        n,
+                                        Event::LinkChange {
+                                            neighbor: node,
+                                            up: false,
+                                        },
+                                        at,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    NodeEvent::Restart => {
+                        if self.crashed.remove(&node) {
+                            self.stats.last_change = at;
+                            self.incarnations[node as usize] += 1;
+                            let incarnation = self.incarnations[node as usize];
+                            self.dispatch(node, Event::Restart { incarnation }, at);
+                            // Administratively-up links to live neighbors
+                            // come back as link-up at both ends — the
+                            // restarted node learns its working links, and
+                            // neighbors re-ship state they sent into the
+                            // void while the node was down.  Each up is
+                            // followed by a metric re-sync to *both* ends:
+                            // the restarted node may have missed cost
+                            // changes while dead, and the neighbor may
+                            // itself hold a stale cost from an earlier
+                            // crash window whose admin-up was swallowed
+                            // while this node was down (a no-op when the
+                            // cost never moved).
+                            for (n, cost) in self.topo.neighbors(node) {
+                                if self.link_is_up(node, n) {
+                                    self.dispatch(
+                                        node,
+                                        Event::LinkChange {
+                                            neighbor: n,
+                                            up: true,
+                                        },
+                                        at,
+                                    );
+                                    self.dispatch(
+                                        n,
+                                        Event::LinkChange {
+                                            neighbor: node,
+                                            up: true,
+                                        },
+                                        at,
+                                    );
+                                    self.dispatch(
+                                        node,
+                                        Event::MetricChange { neighbor: n, cost },
+                                        at,
+                                    );
+                                    self.dispatch(
+                                        n,
+                                        Event::MetricChange {
+                                            neighbor: node,
+                                            cost,
+                                        },
+                                        at,
+                                    );
+                                }
+                            }
                         }
                     }
                 },
@@ -673,6 +904,222 @@ mod tests {
         assert_eq!(sim.node(0).metrics, vec![(1, 7)]);
         assert_eq!(sim.node(1).metrics, vec![(0, 7)]);
         assert_eq!(sim.topology().cost_of(0, 1), Some(7));
+    }
+
+    #[test]
+    fn duplication_injects_extra_copies() {
+        #[derive(Default)]
+        struct CountRecv {
+            got: u64,
+        }
+        impl Protocol for CountRecv {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, ctx: &mut Context<()>) {
+                match event {
+                    Event::Start if ctx.me() == 0 => {
+                        for _ in 0..50 {
+                            ctx.send(1, ());
+                        }
+                    }
+                    Event::Message { .. } => self.got += 1,
+                    _ => {}
+                }
+            }
+        }
+        let cfg = SimConfig {
+            duplication: 0.5,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(
+            Topology::line(2),
+            vec![CountRecv::default(), CountRecv::default()],
+            cfg,
+        );
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert!(stats.duplicated > 0, "some duplicates injected");
+        assert_eq!(sim.node(1).got, 50 + stats.duplicated);
+        assert_eq!(stats.messages, 50 + stats.duplicated);
+    }
+
+    #[test]
+    fn duplication_zero_preserves_rng_stream() {
+        // duplication = 0 must consume the exact RNG stream of the
+        // pre-fault simulator: with jitter on, delivery times are
+        // seed-determined, so identical stats prove identical draws.
+        let run = |dup: f64| {
+            let cfg = SimConfig {
+                jitter: 5,
+                loss: 0.2,
+                duplication: dup,
+                seed: 33,
+                ..Default::default()
+            };
+            let topo = Topology::random_connected(8, 0.4, 3, 5);
+            let mut sim = Simulator::new(topo, flood_nodes(8), cfg);
+            sim.run()
+        };
+        assert_eq!(run(0.0), run(0.0));
+        assert_eq!(run(0.0).end_time, run(0.0).end_time);
+    }
+
+    #[test]
+    fn crash_cuts_node_off_and_restart_relinks() {
+        #[derive(Default)]
+        struct Lifeline {
+            crashes: u64,
+            incarnation: u64,
+            links: Vec<(NodeId, bool)>,
+        }
+        impl Protocol for Lifeline {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, _ctx: &mut Context<()>) {
+                match event {
+                    Event::Crash => self.crashes += 1,
+                    Event::Restart { incarnation } => self.incarnation = incarnation,
+                    Event::LinkChange { neighbor, up } => self.links.push((neighbor, up)),
+                    _ => {}
+                }
+            }
+        }
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(
+            topo,
+            (0..3).map(|_| Lifeline::default()).collect(),
+            SimConfig::default(),
+        );
+        sim.schedule_crashes(&[CrashSchedule::crash(10, 1), CrashSchedule::restart(20, 1)]);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(sim.node(1).crashes, 1);
+        assert_eq!(sim.node(1).incarnation, 1);
+        // Neighbors saw the crash as link-down, the restart as link-up.
+        assert_eq!(sim.node(0).links, vec![(1, false), (1, true)]);
+        assert_eq!(sim.node(2).links, vec![(1, false), (1, true)]);
+        // The restarted node relearned both incident links.
+        assert_eq!(sim.node(1).links, vec![(0, true), (2, true)]);
+    }
+
+    #[test]
+    fn messages_to_and_from_crashed_nodes_drop() {
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, ctx: &mut Context<()>) {
+                if let Event::Timer { .. } = event {
+                    ctx.send(1 - ctx.me(), ());
+                } else if let Event::Start = event {
+                    ctx.set_timer(15, 0);
+                }
+            }
+        }
+        let mut sim = Simulator::new(
+            Topology::line(2),
+            vec![Chatter, Chatter],
+            SimConfig::default(),
+        );
+        // Node 1 is dead from t=10 on; node 0's t=15 send must drop.
+        sim.schedule_crashes(&[CrashSchedule::crash(10, 1)]);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(stats.messages, 0);
+        // Node 0's send dropped (dead peer); node 1's timer died with it.
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn crashed_links_stay_down_if_admin_down() {
+        #[derive(Default)]
+        struct Watcher {
+            links: Vec<(NodeId, bool)>,
+        }
+        impl Protocol for Watcher {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, _ctx: &mut Context<()>) {
+                if let Event::LinkChange { neighbor, up } = event {
+                    self.links.push((neighbor, up));
+                }
+            }
+        }
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(
+            topo,
+            (0..3).map(|_| Watcher::default()).collect(),
+            SimConfig::default(),
+        );
+        // Link 1-2 goes admin-down before the crash: the crash only
+        // reports 0-1 down, and the restart only brings 0-1 back.
+        sim.schedule_links(&[LinkSchedule::down(5, 1, 2)]);
+        sim.schedule_crashes(&[CrashSchedule::crash(10, 1), CrashSchedule::restart(20, 1)]);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(sim.node(0).links, vec![(1, false), (1, true)]);
+        assert_eq!(sim.node(2).links, vec![(1, false)], "admin-down stays down");
+        // The restarted node only relearns the admin-up link (its own
+        // crash arrives as `Event::Crash`, not as link churn).
+        assert_eq!(sim.node(1).links, vec![(2, false), (0, true)]);
+    }
+
+    #[test]
+    fn admin_up_while_peer_crashed_defers_to_restart() {
+        #[derive(Default)]
+        struct Watcher {
+            links: Vec<(NodeId, bool)>,
+        }
+        impl Protocol for Watcher {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, _ctx: &mut Context<()>) {
+                if let Event::LinkChange { neighbor, up } = event {
+                    self.links.push((neighbor, up));
+                }
+            }
+        }
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(
+            topo,
+            vec![Watcher::default(), Watcher::default()],
+            SimConfig::default(),
+        );
+        // The link is admin-restored while node 1 is dead: nobody is told
+        // until the restart makes it effective.
+        sim.schedule_links(&[LinkSchedule::down(5, 0, 1), LinkSchedule::up(12, 0, 1)]);
+        sim.schedule_crashes(&[CrashSchedule::crash(8, 1), CrashSchedule::restart(20, 1)]);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(sim.node(0).links, vec![(1, false), (1, true)]);
+        assert_eq!(sim.node(1).links, vec![(0, false), (0, true)]);
+    }
+
+    #[test]
+    fn restart_resyncs_missed_metric_changes() {
+        #[derive(Default)]
+        struct Watcher {
+            metrics: Vec<(NodeId, i64)>,
+        }
+        impl Protocol for Watcher {
+            type Msg = ();
+            fn handle(&mut self, event: Event<()>, _ctx: &mut Context<()>) {
+                if let Event::MetricChange { neighbor, cost } = event {
+                    self.metrics.push((neighbor, cost));
+                }
+            }
+        }
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(
+            topo,
+            vec![Watcher::default(), Watcher::default()],
+            SimConfig::default(),
+        );
+        // The recost lands while node 1 is dead: only node 0 hears it live;
+        // node 1 learns the new cost through the restart re-sync, which
+        // also re-confirms (idempotently) the cost at the live peer.
+        sim.schedule_links(&[LinkSchedule::metric(10, 0, 1, 9)]);
+        sim.schedule_crashes(&[CrashSchedule::crash(5, 1), CrashSchedule::restart(20, 1)]);
+        let stats = sim.run();
+        assert!(stats.quiescent);
+        assert_eq!(sim.node(0).metrics, vec![(1, 9), (1, 9)]);
+        assert_eq!(sim.node(1).metrics, vec![(0, 9)]);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! rings, stars, grids, trees, full meshes, seeded Erdős–Rényi graphs) plus
 //! the BGP gadget shapes from Griffin et al. used by EXP‑2/EXP‑3.
 
-use crate::sim::{LinkSchedule, Time};
+use crate::sim::{CrashSchedule, LinkSchedule, Time};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -409,6 +409,55 @@ impl Topology {
         }
         out
     }
+
+    /// A seeded crash/restart schedule: `events` node faults spaced `gap`
+    /// ticks apart starting at `start`.  Each event either crashes a random
+    /// live node or restarts a random crashed one (alternating consistently
+    /// per node, crash first), keeping a strict majority of nodes alive at
+    /// all times; every node still down after the last event is restarted
+    /// in a tail, so the schedule always heals.  Deterministic per seed.
+    pub fn crash_restart_schedule(
+        &self,
+        events: u32,
+        start: Time,
+        gap: Time,
+        seed: u64,
+    ) -> Vec<CrashSchedule> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gap = gap.max(1);
+        // Strict majority stays alive: with n nodes at most (n - 1) / 2
+        // may be down at once (0 for n <= 2 still allows one transient
+        // crash so tiny topologies get coverage).
+        let max_down = (((self.n as usize).saturating_sub(1)) / 2).max(1);
+        let mut crashed: Vec<NodeId> = Vec::new();
+        let mut out = Vec::with_capacity(events as usize + max_down);
+        let mut at = start;
+        for _ in 0..events {
+            let want_restart =
+                !crashed.is_empty() && (crashed.len() >= max_down || rng.random::<f64>() < 0.5);
+            if want_restart {
+                let i = rng.random_range(0..crashed.len());
+                let node = crashed.swap_remove(i);
+                out.push(CrashSchedule::restart(at, node));
+            } else {
+                let alive: Vec<NodeId> = (0..self.n).filter(|v| !crashed.contains(v)).collect();
+                let node = alive[rng.random_range(0..alive.len())];
+                crashed.push(node);
+                out.push(CrashSchedule::crash(at, node));
+            }
+            at += gap;
+        }
+        // Heal: restart everything still down, in scheduled order.
+        crashed.sort_unstable();
+        for node in crashed {
+            out.push(CrashSchedule::restart(at, node));
+            at += gap;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +627,33 @@ mod tests {
     #[should_panic(expected = "non-existent edge")]
     fn flap_schedule_rejects_missing_edge() {
         Topology::line(3).flap_schedule(0, 2, 0, 1, 1);
+    }
+
+    #[test]
+    fn crash_schedule_alternates_bounds_and_heals() {
+        use crate::sim::NodeEvent;
+        let t = Topology::grid(3, 3);
+        let s1 = t.crash_restart_schedule(20, 100, 10, 42);
+        assert_eq!(s1, t.crash_restart_schedule(20, 100, 10, 42));
+        assert!(s1.len() >= 20);
+        let mut down: BTreeSet<NodeId> = BTreeSet::new();
+        let mut max_down = 0usize;
+        let mut last_at = 0;
+        for ev in &s1 {
+            assert!(ev.at >= 100 && ev.at > last_at || ev.at == 100);
+            last_at = ev.at;
+            match ev.event {
+                NodeEvent::Crash => {
+                    assert!(down.insert(ev.node), "crash of an already-dead node");
+                }
+                NodeEvent::Restart => {
+                    assert!(down.remove(&ev.node), "restart of a live node");
+                }
+            }
+            max_down = max_down.max(down.len());
+        }
+        assert!(down.is_empty(), "schedule heals every crash");
+        assert!((1..=4).contains(&max_down), "majority stays alive");
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //!   status toggles *and* first-class metric changes — is absorbed as
 //!   tuple deltas (see `DESIGN.md` §5 and §9), and distributed results
 //!   provably match centralized evaluation over the final topology on
-//!   every tested shape.  Construction goes through the unified churn API
-//!   ([`DistRuntime::open`] over an `ndlog::update::SessionBuilder`):
-//!   sharding runs each node on N shard workers (`DESIGN.md` §7) and a
-//!   batch window makes nodes maintain one merged batch per window
-//!   (`DESIGN.md` §9) — neither changes any result.
+//!   every tested shape.  The engine is **fault tolerant** (`DESIGN.md`
+//!   §12): an ack/retransmit layer with sender-chosen sessions and
+//!   bounded reorder buffers survives message loss, duplication, and
+//!   reordering, and nodes recover from crash–restart via versioned
+//!   checkpoints (warm) or genesis facts (cold).  Construction goes
+//!   through the unified churn API ([`DistRuntime::open`] over an
+//!   `ndlog::update::SessionBuilder`): sharding runs each node on N shard
+//!   workers (`DESIGN.md` §7) and a batch window makes nodes maintain one
+//!   merged batch per window (`DESIGN.md` §9) — neither changes any
+//!   result.
 //! * [`baseline`] — imperative comparators for EXP‑6: centralized
 //!   Bellman–Ford and an event-driven distance-vector protocol.
 
@@ -25,4 +30,4 @@ pub mod baseline;
 pub mod engine;
 
 pub use baseline::{bellman_ford_all_pairs, DvAdvert, DvNode};
-pub use engine::{link_facts, DistRuntime, NdlogNode, TupleMsg};
+pub use engine::{link_facts, DistRuntime, Msg, NdlogNode, TupleMsg, REORDER_CAP, SEND_WINDOW};

@@ -24,6 +24,15 @@ fn diff_cases() -> u32 {
     }
 }
 
+/// Case count for the fault-injection harness, mirroring `FVN_DIFF_DEEP`:
+/// `FVN_FAULT_DEEP=1` raises it for the scheduled deep soak.
+fn fault_cases() -> u32 {
+    match std::env::var("FVN_FAULT_DEEP") {
+        Ok(v) if v != "0" && !v.is_empty() => 96,
+        _ => 12,
+    }
+}
+
 /// Exact support counts of a session's incremental store: visible tuple →
 /// (derived count, edb count).  `None` for the oracle backend (from-scratch
 /// evaluation keeps no counts).  Counts are maintenance-strategy-specific
@@ -661,6 +670,75 @@ proptest! {
                     ),
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_cases()))]
+
+    /// The fault-injection harness (ISSUE 8): random connected topologies
+    /// under mixed link/metric churn, message loss, duplication, jitter,
+    /// and a seeded crash/restart campaign, executed at shard counts 1 and
+    /// 4.  Every run must quiesce, and the distributed quiescent database
+    /// must be byte-identical — across both shard counts — to the
+    /// `Session::oracle()` from-scratch fixpoint over the schedule's final
+    /// topology (the reliable-oracle contract of DESIGN.md §12).
+    /// `FVN_FAULT_DEEP=1` raises the case count for the scheduled soak.
+    #[test]
+    fn lossy_runtime_matches_reliable_oracle(
+        seed in 0u64..500,
+        loss_pick in 0usize..3,
+    ) {
+        use ndlog::Session;
+
+        let loss = [0.0, 0.1, 0.3][loss_pick];
+        let topo = netsim::Topology::random_connected(6, 0.4, 3, seed);
+        let mut prog = ndlog::programs::path_vector();
+        ndlog_runtime::link_facts(&mut prog, &topo);
+
+        // Churn both link status and metrics; the crash campaign restarts
+        // every crashed node, so the final topology is schedule-defined.
+        let churn = topo.random_churn_schedule_mix(4, 60, 30, seed, 0.4, 3);
+        let crashes = topo.crash_restart_schedule(2, 100, 60, seed);
+
+        // The reliable oracle: from-scratch evaluation over the final
+        // topology, through the public session API.
+        let final_topo = netsim::LinkSchedule::final_topology(&churn, &topo);
+        let mut oprog = ndlog::programs::path_vector();
+        ndlog_runtime::link_facts(&mut oprog, &final_topo);
+        let mut oracle = Session::open(&oprog).oracle().unwrap();
+        oracle.flush().unwrap();
+        let want = oracle.database();
+
+        let run = |shards: usize| {
+            let cfg = netsim::SimConfig {
+                loss,
+                duplication: 0.15,
+                jitter: 2,
+                seed,
+                ..Default::default()
+            };
+            let mut rt = ndlog_runtime::DistRuntime::open(
+                &Session::open(&prog).sharding(shards).checkpoint_every(16),
+                &topo,
+                cfg,
+            )
+            .unwrap();
+            rt.schedule_links(&churn);
+            rt.schedule_crashes(&crashes);
+            let stats = rt.run();
+            (stats.quiescent, rt.global_database())
+        };
+
+        let (q1, db1) = run(1);
+        let (q4, db4) = run(4);
+        prop_assert!(q1 && q4, "both shard counts must quiesce (loss {})", loss);
+        prop_assert_eq!(&db1, &db4, "shard counts 1 and 4 diverge");
+        for pred in ["path", "bestPathCost", "bestPath"] {
+            let w: Vec<_> = want.relation(pred).cloned().collect();
+            let g: Vec<_> = db1.relation(pred).cloned().collect();
+            prop_assert_eq!(w, g, "{} diverges from the reliable oracle", pred);
         }
     }
 }

@@ -245,6 +245,92 @@ fn zset_churn_interleavings_preserve_route_validity_on_scc() {
     );
 }
 
+/// ISSUE 8: the model checker explores a **fault campaign** — node
+/// crash/restart overlapping a link flap, plus duplicate deliveries — on
+/// the same SCC topology, and re-verifies §2.2 loop freedom and §3.1
+/// `bestPathStrong` in every reachable fault configuration.  Message
+/// drops are covered as interleavings (a lost delivery is a later
+/// delivery), duplicates as explicit empty-delta self-loops (the model
+/// image of the runtime's seq-space suppression, `DESIGN.md` §12), and
+/// crash/restart as the purge-and-re-ship the runtime's neighbors
+/// perform.  Every fully-drained interleaving returns to the loss-free
+/// fixpoint.
+#[test]
+fn fault_campaign_preserves_route_validity_on_scc() {
+    use fvn_mc::{check_invariant, explore, ExploreOptions, FaultOp, FaultState, FaultTs};
+    use std::collections::BTreeSet;
+
+    // The §2.2 SCC: symmetric 4-ring plus the 0–2 chord, so the graph
+    // stays connected while node 1 is down, the chord is down, or both.
+    let mut prog = ndlog::programs::path_vector();
+    let edges = [
+        (0u32, 1u32, 1i64),
+        (1, 2, 1),
+        (2, 3, 1),
+        (3, 0, 1),
+        (0, 2, 3),
+    ];
+    ndlog::programs::add_links(&mut prog, &edges);
+
+    let events = vec![
+        ("crash 1".to_string(), FaultOp::Crash(1)),
+        ("restart 1".to_string(), FaultOp::Restart(1)),
+        ("down 0-2".to_string(), FaultOp::LinkDown(0, 2)),
+        ("up 0-2".to_string(), FaultOp::LinkUp(0, 2)),
+    ];
+    let ts = FaultTs::new(&prog, &edges, events).unwrap();
+
+    // The same route-validity statement as the churn campaign above, on
+    // fault states: loop freedom, bestPathStrong, aggregate consistency.
+    let route_validity = |s: &FaultState| -> bool {
+        let db = s.database();
+        let simple = db.relation("path").all(|t| {
+            let p = t[2].as_list().expect("path component is a list");
+            let mut seen = BTreeSet::new();
+            p.iter().all(|n| seen.insert(n)) && p.first() == Some(&t[0]) && p.last() == Some(&t[1])
+        });
+        let strong = db.relation("bestPath").all(|b| {
+            db.relation("path")
+                .filter(|p| p[0] == b[0] && p[1] == b[1])
+                .all(|p| p[3] >= b[3])
+        });
+        let consistent = db.relation("bestPath").all(|b| {
+            db.contains(
+                "bestPathCost",
+                &vec![b[0].clone(), b[1].clone(), b[3].clone()],
+            )
+        });
+        simple && strong && consistent
+    };
+
+    let visited = check_invariant(&ts, ExploreOptions::default(), route_validity)
+        .unwrap_or_else(|e| panic!("fault campaign violates route validity: {e:?}"));
+    assert!(
+        !ts.truncated(),
+        "exploration was pruned: {:?}",
+        ts.prune_error()
+    );
+    // Preconditions gate restart-after-crash and up-after-down, so the
+    // reachable applied-subsets number 3 x 3.
+    assert!(visited >= 9, "all gated fault subsets reached: {visited}");
+
+    // Confluence: every fully-drained interleaving (all faults healed)
+    // returns to the loss-free fixpoint.  Drained states keep duplicate
+    // self-loop successors, so we filter by campaign completion rather
+    // than using stable_states.
+    let ex = explore(&ts, ExploreOptions::default());
+    let want = ndlog::eval_program(&prog).unwrap();
+    let drained: Vec<_> = ex.states.iter().filter(|s| s.applied.len() == 4).collect();
+    assert!(!drained.is_empty());
+    for s in drained {
+        assert_eq!(
+            s.database(),
+            want,
+            "healed campaign matches the loss-free fixpoint"
+        );
+    }
+}
+
 /// Proof logs record every step with goal counts, supporting the EXP-1/5
 /// accounting.
 #[test]
