@@ -249,6 +249,21 @@ pub(crate) fn match_atom(atom: &Atom, tuple: &[Value], env: &mut Env) -> bool {
     true
 }
 
+/// Cheap pre-check of an atom against a tuple under the current bindings:
+/// constants and already-bound variables must agree on every position.
+/// Allocation-free — join loops run it first so the environment is cloned
+/// only for tuples that can actually match (a repeated unbound variable can
+/// still fail the full [`match_atom`], which stays authoritative).
+pub(crate) fn atom_matches_bound(atom: &Atom, tuple: &[Value], env: &Env) -> bool {
+    if atom.args.len() != tuple.len() {
+        return false;
+    }
+    atom.args.iter().zip(tuple).all(|(t, v)| match t {
+        Term::Const(c) => c == v,
+        Term::Var(name) => env.get(name).is_none_or(|b| b == v),
+    })
+}
+
 /// Instantiate a (non-aggregate) head under an environment.
 pub(crate) fn instantiate_head(head: &Head, env: &Env) -> Result<Tuple> {
     let mut out = Vec::with_capacity(head.args.len());
@@ -294,6 +309,9 @@ fn eval_body(
                 Box::new(db.relation(&atom.pred))
             };
             for tuple in iter {
+                if !atom_matches_bound(atom, tuple, env) {
+                    continue;
+                }
                 let mut env2 = env.clone();
                 if match_atom(atom, tuple, &mut env2) {
                     eval_body(body, idx + 1, db, delta_at, delta, &env2, sink)?;
@@ -369,6 +387,9 @@ fn eval_body_id(
                 Box::new(db.relation(rel))
             };
             for tuple in iter {
+                if !atom_matches_bound(atom, tuple, env) {
+                    continue;
+                }
                 let mut env2 = env.clone();
                 if match_atom(atom, tuple, &mut env2) {
                     eval_body_id(body, rels, idx + 1, db, delta_at, delta, &env2, sink)?;

@@ -55,7 +55,9 @@
 
 use crate::ast::{HeadArg, Literal, Program, Rule, Term};
 use crate::error::{NdlogError, Result};
-use crate::eval::{aggregate, eval_expr, instantiate_head, match_atom, Database, Env, EvalOptions};
+use crate::eval::{
+    aggregate, eval_expr, instantiate_head, match_atom, Database, Env, EvalOptions, IdDatabase,
+};
 use crate::safety::{analyze, Analysis};
 use crate::sharded::{chunk_by, fan_out, ShardRouter};
 use crate::storage::{RelationStorage, SignedDeltas, VisibilityChange};
@@ -709,6 +711,20 @@ impl IncrementalEngine {
     /// Materialize the current visible database.
     pub fn database(&self) -> Database {
         self.storage.to_database()
+    }
+
+    /// Materialize the current visible database id-native: tuples stay
+    /// [`SharedTuple`] handles keyed by this engine's
+    /// [`symbols`](Self::symbols), skipping [`database`](Self::database)'s
+    /// name rendering and deep tuple clones.
+    pub fn id_database(&self) -> IdDatabase {
+        let mut db = IdDatabase::new();
+        for rel in self.storage.relation_ids() {
+            for t in self.storage.visible_id(rel) {
+                db.insert(rel, t.clone());
+            }
+        }
+        db
     }
 
     /// Apply one batch of external deltas and maintain every stratum.

@@ -38,8 +38,15 @@
 //! * [`softstate`] — the §4.2 soft-state → hard-state rewrite with explicit
 //!   timestamps and lifetimes (the static alternative to
 //!   [`update::TtlPolicy`]'s live expiry deltas);
-//! * [`explain`] — derivation provenance: `Session::explain(rel, tuple)`
-//!   walks the support map to a rule-level derivation tree, the
+//! * [`query`] — demand-driven point queries: a typed [`query::Query`]
+//!   (predicate + per-column binding pattern) compiled via a magic-sets
+//!   rewrite of the stratified program and evaluated semi-naively over
+//!   only the demanded sub-goal — the scoped read path behind
+//!   `Session::query`, next to `Session::relation` (single-relation read)
+//!   and `Session::database()` (bulk/debug);
+//! * [`explain`] — derivation provenance: `Session::explain(&Query)`
+//!   walks the support map to rule-level derivation trees for every
+//!   visible tuple matching the query's binding pattern, the
 //!   observability counterpart of the paper's proof obligations (metrics
 //!   live in the re-exported [`telemetry`] crate);
 //! * [`builtins`] — `f_init`, `f_concatPath`, `f_inPath` and friends;
@@ -66,6 +73,7 @@ pub mod localize;
 pub mod parser;
 pub mod pool;
 pub mod programs;
+pub mod query;
 pub mod safety;
 pub mod sharded;
 pub mod softstate;
@@ -90,6 +98,7 @@ pub use incremental::{
 };
 pub use parser::{parse_program, parse_rule};
 pub use pool::ShardPool;
+pub use query::{Query, QueryEngine, QueryResult, QueryStats};
 pub use safety::{analyze, Analysis};
 pub use sharded::{ShardRouter, ShardedEngine};
 pub use storage::RelationStorage;

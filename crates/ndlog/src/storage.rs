@@ -513,6 +513,20 @@ impl RelationStorage {
             .map(|(t, _)| t)
     }
 
+    /// Externally-supported tuples of a relation (positive base
+    /// multiplicity), in deterministic order: ground facts and asserted
+    /// churn, not derivations.  One pass over the support map — this is
+    /// the seed set of the demand-driven query path, where a
+    /// per-tuple [`edb_count_id`](Self::edb_count_id) re-probe would pay
+    /// an extra logarithmic lookup per visible tuple.
+    pub fn external_id(&self, rel: RelId) -> impl Iterator<Item = &SharedTuple> {
+        self.rel(rel)
+            .support
+            .iter()
+            .filter(|(_, s)| s.edb > 0)
+            .map(|(t, _)| t)
+    }
+
     /// Number of visible tuples of a relation.
     pub fn len_of(&self, pred: &str) -> usize {
         self.symbols

@@ -44,6 +44,7 @@ use crate::explain::Explanation;
 use crate::incremental::{
     BatchStats, EngineSnapshot, IncrementalEngine, Maintenance, RelDelta, TupleDelta,
 };
+use crate::query::{Query, QueryEngine, QueryResult};
 use crate::sharded::ShardRouter;
 use crate::storage::RelationStorage;
 use crate::symbols::{RelId, Symbols};
@@ -472,6 +473,7 @@ impl SessionBuilder {
     pub fn build(self) -> Result<Session> {
         let analysis = crate::safety::analyze(&self.prog)?;
         let router = (self.shards > 1).then(|| Arc::new(ShardRouter::new(&analysis, self.shards)));
+        let queries = QueryEngine::new(&analysis, self.opts);
         let mut engine = IncrementalEngine::from_analysis(analysis, self.opts);
         // The maintenance algorithm must be fixed before the first batch
         // (the two paths store different recursive-stratum counts).
@@ -493,6 +495,7 @@ impl SessionBuilder {
             stats: SessionStats::default(),
             metrics: SessionMetrics::resolve(&self.telemetry),
             telemetry: self.telemetry,
+            queries,
         })
     }
 
@@ -512,6 +515,7 @@ impl SessionBuilder {
     /// Sharding is ignored (the oracle is the single-threaded reference).
     pub fn oracle(self) -> Result<Session> {
         let ev = Evaluator::with_options(&self.prog, self.opts)?.with_telemetry(&self.telemetry);
+        let queries = QueryEngine::new(ev.analysis(), self.opts);
         let symbols = ev.analysis().symbols.clone();
         let mut backend = Backend::Oracle {
             ev,
@@ -549,6 +553,7 @@ impl SessionBuilder {
             stats: SessionStats::default(),
             metrics: SessionMetrics::resolve(&self.telemetry),
             telemetry: self.telemetry,
+            queries,
         })
     }
 }
@@ -565,6 +570,9 @@ struct SessionMetrics {
     ttl_expired: Counter,
     flush_batch: Histogram,
     pending: Gauge,
+    queries: Counter,
+    query_derivations: Counter,
+    query_answers: Counter,
 }
 
 impl SessionMetrics {
@@ -577,6 +585,9 @@ impl SessionMetrics {
             ttl_expired: t.counter("session_ttl_expired_total"),
             flush_batch: t.histogram("session_flush_batch_size"),
             pending: t.gauge("session_pending_deltas"),
+            queries: t.counter("session_queries_total"),
+            query_derivations: t.counter("session_query_derivations_total"),
+            query_answers: t.counter("session_query_answers_total"),
         }
     }
 }
@@ -761,6 +772,10 @@ pub struct Session {
     stats: SessionStats,
     metrics: SessionMetrics,
     telemetry: Telemetry,
+    /// Demand-driven read path: compiles binding patterns to magic-sets
+    /// plans (cached per shape) evaluated over the backend's external
+    /// tuples.
+    queries: QueryEngine,
 }
 
 impl Session {
@@ -949,11 +964,102 @@ impl Session {
 
     /// The currently visible database (pending/buffered deltas excluded —
     /// they have not reached the engine yet).
+    ///
+    /// This is the **bulk/debug** read path: it clones and name-keys every
+    /// visible tuple of every relation.  Point and partial reads should go
+    /// through [`query`](Self::query) (demanded evaluation), a single
+    /// relation through [`relation`](Self::relation), and id-native bulk
+    /// consumers through [`id_database`](Self::id_database).
     pub fn database(&self) -> Database {
         match &self.backend {
             Backend::Incremental { engine, .. } => engine.database(),
             Backend::Oracle { db, symbols, .. } => db.to_named(symbols),
         }
+    }
+
+    /// The visible database as an id-native [`IdDatabase`] keyed by this
+    /// session's [`symbols`](Self::symbols) — the bulk read for callers
+    /// that would otherwise re-intern [`database`](Self::database)'s
+    /// name-keyed clone tuple by tuple.
+    pub fn id_database(&self) -> IdDatabase {
+        match &self.backend {
+            Backend::Incremental { engine, .. } => engine.id_database(),
+            Backend::Oracle { db, .. } => db.clone(),
+        }
+    }
+
+    /// The relation-name interner shared by [`id_database`](Self::id_database)
+    /// and the backend's storage.
+    pub fn symbols(&self) -> &Symbols {
+        match &self.backend {
+            Backend::Incremental { engine, .. } => engine.symbols(),
+            Backend::Oracle { symbols, .. } => symbols,
+        }
+    }
+
+    /// All visible tuples of one relation, in sorted order — the cheap
+    /// scoped read for single-relation scans (no full-database clone).
+    pub fn relation(&self, pred: &str) -> Vec<Tuple> {
+        match &self.backend {
+            Backend::Incremental { engine, .. } => engine
+                .symbols()
+                .lookup(pred)
+                .map(|rel| {
+                    engine
+                        .storage()
+                        .visible_id(rel)
+                        .map(SharedTuple::to_tuple)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            Backend::Oracle { db, symbols, .. } => symbols
+                .lookup(pred)
+                .map(|rel| db.relation(rel).map(SharedTuple::to_tuple).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Answer a demand-driven [`Query`] against the current visible state.
+    ///
+    /// The binding pattern compiles (once per shape, cached) to a
+    /// magic-sets rewrite of the program, evaluated semi-naively over a
+    /// scratch database seeded from the backend's *externally-supported*
+    /// tuples — the incrementally-maintained relations are read for
+    /// seeding only and never touched.  Answers are byte-identical to
+    /// filtering [`database`](Self::database) with [`Query::matches`];
+    /// [`QueryResult::stats`] reports how much smaller the demanded
+    /// evaluation was.
+    pub fn query(&self, q: &Query) -> Result<QueryResult> {
+        let out = match &self.backend {
+            Backend::Incremental { engine, .. } => {
+                let storage = engine.storage();
+                let symbols = engine.symbols();
+                self.queries.query(q, |pred, sink| {
+                    if let Some(rel) = symbols.lookup(pred) {
+                        for t in storage.external_id(rel) {
+                            sink(t.clone());
+                        }
+                    }
+                })
+            }
+            Backend::Oracle { edb, symbols, .. } => self.queries.query(q, |pred, sink| {
+                if let Some(rel) = symbols.lookup(pred) {
+                    if let Some(m) = edb.get(&rel) {
+                        for (t, &c) in m {
+                            if c > 0 {
+                                sink(t.clone());
+                            }
+                        }
+                    }
+                }
+            }),
+        }?;
+        self.metrics.queries.incr();
+        self.metrics
+            .query_derivations
+            .add(out.stats.derivations as u64);
+        self.metrics.query_answers.add(out.stats.answers as u64);
+        Ok(out)
     }
 
     /// Is the tuple currently visible?
@@ -1080,14 +1186,27 @@ impl Session {
         self.telemetry.snapshot()
     }
 
-    /// Why is this tuple visible?  Walks the incremental backend's support
-    /// map to a rule-level derivation tree ([`Explanation`]) — `None` when
-    /// the tuple is not visible, or for the oracle backend (from-scratch
-    /// re-evaluation keeps no support counts to walk).
-    pub fn explain(&self, pred: &str, tuple: &[Value]) -> Option<Explanation> {
+    /// Why are these tuples visible?  Provenance over the same addressing
+    /// scheme as [`query`](Self::query): walks the incremental backend's
+    /// support map to one rule-level derivation tree ([`Explanation`]) per
+    /// visible tuple matching the query's binding pattern, in sorted tuple
+    /// order.  Empty when nothing matches, and always empty on the oracle
+    /// backend (from-scratch re-evaluation keeps no support counts to
+    /// walk).
+    pub fn explain(&self, q: &Query) -> Vec<Explanation> {
         match &self.backend {
-            Backend::Incremental { engine, .. } => engine.explain(pred, tuple),
-            Backend::Oracle { .. } => None,
+            Backend::Incremental { engine, .. } => {
+                let Some(rel) = engine.symbols().lookup(q.pred()) else {
+                    return Vec::new();
+                };
+                engine
+                    .storage()
+                    .visible_id(rel)
+                    .filter(|t| q.matches(t))
+                    .filter_map(|t| engine.explain(q.pred(), t))
+                    .collect()
+            }
+            Backend::Oracle { .. } => Vec::new(),
         }
     }
 }

@@ -87,6 +87,7 @@ use ndlog::ast::Program;
 use ndlog::eval::{Database, EvalOptions};
 use ndlog::incremental::{BatchStats, EngineSnapshot, IncrementalEngine, RelDelta};
 use ndlog::localize::localize_program;
+use ndlog::query::{Query, QueryEngine, QueryResult};
 use ndlog::safety::analyze;
 use ndlog::symbols::RelId;
 use ndlog::update::{Session, SessionBuilder};
@@ -1278,6 +1279,10 @@ pub struct DistRuntime {
     sim: Simulator<NdlogNode>,
     stats: Option<SimStats>,
     telemetry: Telemetry,
+    /// Demand-driven read path over the *original* (pre-localization)
+    /// program: point queries compile once per binding shape and evaluate
+    /// against the union of live nodes' externally-supported tuples.
+    queries: QueryEngine,
 }
 
 impl DistRuntime {
@@ -1388,6 +1393,10 @@ impl DistRuntime {
         let shards = session.shards();
         let batch_window = session.window();
         let checkpoint_every = session.checkpoint_cadence();
+        // Point queries answer over the operator-facing program, not the
+        // localized rewrite: the rewrite's auxiliary link-local relations
+        // are an execution detail the read API must not expose.
+        let queries = QueryEngine::new(&analyze(program)?, eval_opts);
         let localized = localize_program(program)?;
         let mut compiled_prog = localized.into_program();
         compiled_prog.facts = program.facts.clone();
@@ -1517,6 +1526,7 @@ impl DistRuntime {
             sim: Simulator::new(topo.clone(), nodes, cfg),
             stats: None,
             telemetry,
+            queries,
         })
     }
 
@@ -1557,6 +1567,31 @@ impl DistRuntime {
             out.absorb(self.sim.node(v).database());
         }
         out
+    }
+
+    /// Answer a demand-driven [`Query`] against the network's current
+    /// state: the magic-sets plan (compiled over the *original* program,
+    /// shared with `Session::query`) evaluates over the union of live
+    /// nodes' externally-supported tuples — ground facts plus received
+    /// shipments; crashed nodes contribute nothing, exactly like
+    /// [`global_database`](Self::global_database).  After a quiescent run
+    /// the answers are byte-identical to filtering the global database.
+    pub fn query(&self, q: &Query) -> Result<QueryResult> {
+        let n = self.sim.topology().num_nodes();
+        self.queries.query(q, |pred, sink| {
+            for v in 0..n {
+                let node = self.sim.node(v);
+                if node.dead {
+                    continue;
+                }
+                let storage = node.engine.storage();
+                if let Some(rel) = storage.symbols().lookup(pred) {
+                    for t in storage.external_id(rel) {
+                        sink(t.clone());
+                    }
+                }
+            }
+        })
     }
 
     /// Stats of the last run.

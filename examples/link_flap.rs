@@ -13,12 +13,14 @@
 //! Both must land on byte-identical databases; the derivation counters —
 //! read back from `Session::metrics()` rather than hand-maintained tallies —
 //! show why the incremental subsystem opens the dynamic-network workload
-//! class.  The finale asks the engine to *explain* a surviving route
-//! (`Session::explain`), walking its provenance down to ground `link` facts.
+//! class.  The finale looks up the recovered route with a demand-driven
+//! point query (`Session::query`) instead of scanning the full database,
+//! and asks the engine to *explain* it (`Session::explain` takes the same
+//! `Query`), walking its provenance down to ground `link` facts.
 //!
 //! Run with: `cargo run --release --example link_flap`
 
-use ndlog::{Evaluator, Session, Value};
+use ndlog::{Evaluator, Query, Session, Value};
 use netsim::Topology;
 
 fn main() {
@@ -119,16 +121,27 @@ fn main() {
         }
     }
 
-    // Why is this route in the table?  Walk its provenance.
-    let best = session
-        .database()
-        .relation("bestPath")
-        .find(|t| t.first() == Some(&Value::Addr(fa)) && t.get(1) == Some(&Value::Addr(fb)))
-        .cloned();
-    if let Some(t) = best {
-        if let Some(why) = session.explain("bestPath", &t) {
-            println!("\nprovenance of the recovered {fa}->{fb} route:");
-            println!("{why}");
-        }
+    // Is the flapped route back?  Ask with a point query — the magic-sets
+    // rewrite evaluates only the demanded {fa}->{fb} sub-goal instead of
+    // rematerializing (or cloning) the all-pairs database.
+    let q = Query::on("bestPath")
+        .bind(Value::Addr(fa))
+        .bind(Value::Addr(fb))
+        .free()
+        .free();
+    let ans = session.query(&q).expect("point query");
+    println!(
+        "\npoint query {q}: {} answer(s); demanded {} derivations vs {} per full \
+         epoch recomputation",
+        ans.len(),
+        ans.stats.derivations,
+        epoch_total / 6
+    );
+
+    // Why is this route in the table?  Walk its provenance — explain
+    // addresses tuples with the same binding-pattern query.
+    if let Some(why) = session.explain(&q).first() {
+        println!("\nprovenance of the recovered {fa}->{fb} route:");
+        println!("{why}");
     }
 }

@@ -20,7 +20,7 @@
 //! Run with: `cargo run --release --example partition_heal`
 
 use fvn_telemetry::{MetricData, Snapshot};
-use ndlog::{Session, Value};
+use ndlog::{Query, Session, Value};
 use netsim::{CrashSchedule, LinkSchedule, SimConfig, Topology};
 
 /// Sum a per-node counter family (`name{node="i"}`) across the network.
@@ -146,29 +146,47 @@ fn main() {
     oracle.flush().expect("oracle flush");
     let global = rt.global_database();
     for pred in ["path", "bestPathCost", "bestPath"] {
-        let want: Vec<_> = oracle.database().relation(pred).cloned().collect();
+        // Scoped oracle read: no full-database clone per relation.
+        let want = oracle.relation(pred);
         let got: Vec<_> = global.relation(pred).cloned().collect();
         assert_eq!(want, got, "{pred} diverges from the centralized oracle");
     }
     println!(
         "\nre-converged: path/bestPathCost/bestPath byte-identical to centralized \
          evaluation over the healed topology ({} path tuples).",
-        global.relation("path").count()
+        oracle.len_of("path")
+    );
+
+    // Did a specific cross-partition route come back?  Ask the *distributed*
+    // runtime with a demand-driven point query: the magic-sets plan runs
+    // over the union of the live nodes' link facts, deriving only the
+    // demanded bridge-crossing sub-goal.
+    let (src, dst) = (bridges[0].0, bridges[0].1); // a healed bridge's ends
+    let q = Query::on("bestPath")
+        .bind(Value::Addr(src))
+        .bind(Value::Addr(dst))
+        .free()
+        .free();
+    let ans = rt.query(&q).expect("distributed point query");
+    let full = oracle.init_stats().derivations;
+    println!(
+        "\npoint query {q} on the live network: {} answer(s); demanded {} \
+         derivations vs {} for full materialization",
+        ans.len(),
+        ans.stats.derivations,
+        full
+    );
+    assert_eq!(
+        ans.tuples,
+        oracle.query(&q).expect("oracle point query").tuples,
+        "demanded answers diverge from the centralized oracle"
     );
 
     // Why is this cross-partition route back?  Explain it from the oracle
-    // session (same database, just asserted) down to ground link facts.
-    let best = global
-        .relation("bestPath")
-        .find(|t| {
-            matches!(t.first(), Some(Value::Addr(s)) if *s < 15)
-                && matches!(t.get(1), Some(Value::Addr(d)) if *d >= 15)
-        })
-        .cloned();
-    if let Some(t) = best {
-        if let Some(why) = oracle.explain("bestPath", &t) {
-            println!("\nprovenance of a re-converged cross-partition route:");
-            println!("{why}");
-        }
+    // session (same database, just asserted) down to ground link facts —
+    // provenance shares the query's binding-pattern addressing.
+    if let Some(why) = oracle.explain(&q).first() {
+        println!("\nprovenance of a re-converged cross-partition route:");
+        println!("{why}");
     }
 }

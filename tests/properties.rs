@@ -675,6 +675,137 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(diff_cases()))]
+
+    /// The demand-driven read path (ISSUE 9): randomized recursive programs
+    /// — optionally with stratified negation and aggregate strata — over
+    /// random topologies under mixed churn.  At every quiescent point,
+    /// point/partial/scan queries through `Session::query` must return
+    /// exactly the tuples obtained by filtering the fully-materialized
+    /// oracle database with the query's binding pattern — across shard
+    /// counts 1/4, both maintenance modes, and the oracle backend itself —
+    /// and the id-native bulk read must round-trip to `database()`.
+    #[test]
+    fn query_answers_equal_oracle_filtering_under_churn(
+        chords in prop::collection::vec((0u32..6, 0u32..6), 0..8),
+        events in prop::collection::vec((0u32..6, 0u32..6, 0u8..3), 1..10),
+        probes in prop::collection::vec((0u32..6, 0u32..6), 1..5),
+        neg in any::<bool>(),
+        agg in any::<bool>(),
+    ) {
+        use ndlog::incremental::TupleDelta;
+        use ndlog::update::replay;
+        use ndlog::{Maintenance, Query, Session, Update, Value};
+        use std::collections::BTreeMap;
+
+        let mut src = String::from(
+            "r1 p(X,Y) :- e(X,Y,W).\n\
+             r2 p(X,Y) :- e(X,Z,W), p(Z,Y).\n",
+        );
+        if neg {
+            src.push_str("r3 q(X,Y) :- n(X), n(Y), X != Y, !p(X,Y).\n");
+        }
+        if agg {
+            src.push_str("r4 deg(X, count<Y>) :- p(X,Y).\n");
+            src.push_str("r5 wsum(X, sum<W>) :- e(X,Y,W).\n");
+        }
+        for i in 0..6 {
+            src.push_str(&format!("n(#{i}).\n"));
+        }
+        let mut live: BTreeMap<(u32, u32), i64> = (0..6u32).map(|i| ((i, (i + 1) % 6), 1)).collect();
+        for &(a, b) in &chords {
+            live.entry((a, b)).or_insert(1);
+        }
+        for (&(a, b), &w) in &live {
+            src.push_str(&format!("e(#{a},#{b},{w}).\n"));
+        }
+        let prog = ndlog::parse_program(&src).unwrap();
+
+        let mut sessions: Vec<(String, Session)> = Vec::new();
+        for &mode in &[Maintenance::ZSet, Maintenance::Dred] {
+            for shards in [1usize, 4] {
+                sessions.push((
+                    format!("{mode:?}/s{shards}"),
+                    Session::open(&prog).maintenance(mode).sharding(shards).build().unwrap(),
+                ));
+            }
+        }
+        sessions.push(("oracle".into(), Session::open(&prog).oracle().unwrap()));
+
+        let edge = |a: u32, b: u32, w: i64| vec![Value::Addr(a), Value::Addr(b), Value::Int(w)];
+        let mut stream: Vec<(u64, Update)> = Vec::new();
+        for &(a, b, kind) in &events {
+            let mut push = |delta: TupleDelta| stream.push((0, Update::from(&delta)));
+            match (kind, live.get(&(a, b)).copied()) {
+                (2, Some(w)) => {
+                    let new = w % 3 + 1;
+                    live.insert((a, b), new);
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, w), delta: -1 });
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, new), delta: 1 });
+                }
+                (_, Some(w)) => {
+                    live.remove(&(a, b));
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, w), delta: -1 });
+                }
+                (_, None) => {
+                    live.insert((a, b), 1);
+                    push(TupleDelta { pred: "e".into(), tuple: edge(a, b, 1), delta: 1 });
+                }
+            }
+        }
+
+        // The binding-pattern workload: points, partials, scans, bound
+        // aggregate outputs, negation, and an EDB read.
+        let mut queries = vec![Query::scan("p", 2), Query::scan("e", 3)];
+        for &(a, b) in &probes {
+            queries.push(Query::point("p", &[Value::Addr(a), Value::Addr(b)]));
+            queries.push(Query::on("p").bind(Value::Addr(a)).free());
+            queries.push(Query::on("e").bind(Value::Addr(a)).free().free());
+            if neg {
+                queries.push(Query::on("q").bind(Value::Addr(a)).free());
+            }
+            if agg {
+                queries.push(Query::on("deg").bind(Value::Addr(a)).free());
+                // A bound aggregate output is answered by post-filtering.
+                queries.push(Query::point("deg", &[Value::Addr(a), Value::Int(i64::from(b) + 1)]));
+                queries.push(Query::scan("wsum", 2));
+            }
+        }
+
+        let halves = [&stream[..stream.len() / 2], &stream[stream.len() / 2..]];
+        for (point, half) in halves.iter().enumerate() {
+            for (name, s) in sessions.iter_mut() {
+                replay(s, half).unwrap();
+                s.flush().unwrap();
+                let want = s.database();
+                for q in &queries {
+                    let got = s.query(q).unwrap();
+                    let filtered: Vec<_> = want
+                        .relation(q.pred())
+                        .filter(|t| q.matches(t))
+                        .cloned()
+                        .collect();
+                    prop_assert_eq!(
+                        &got.tuples, &filtered,
+                        "{} answers diverge from database filtering for {} at quiescent point {}",
+                        name, q, point
+                    );
+                    prop_assert_eq!(got.stats.answers, got.tuples.len());
+                }
+                // Satellite: the id-native bulk read round-trips to the
+                // name-keyed clone.
+                prop_assert_eq!(
+                    s.id_database().to_named(s.symbols()),
+                    want,
+                    "{} id_database diverges from database() at point {}",
+                    name, point
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(fault_cases()))]
 
     /// The fault-injection harness (ISSUE 8): random connected topologies

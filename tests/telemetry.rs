@@ -223,25 +223,34 @@ proptest! {
             txn.commit().unwrap();
         }
 
-        let db = session.database();
-        for pred in ["link", "path", "bestPathCost", "bestPath"] {
-            for tuple in db.relation(pred) {
-                let why = session
-                    .explain(pred, tuple)
-                    .unwrap_or_else(|| panic!("visible {pred} tuple has no explanation"));
+        for (pred, arity) in [("link", 3), ("path", 4), ("bestPathCost", 3), ("bestPath", 4)] {
+            // One binding-pattern query addresses the whole relation: the
+            // scan must yield exactly one explanation per visible tuple.
+            let scanned = session.relation(pred);
+            let trees = session.explain(&ndlog::Query::scan(pred, arity));
+            prop_assert_eq!(trees.len(), scanned.len(), "one tree per visible {} tuple", pred);
+            for why in &trees {
                 for (p, t) in why.cited() {
                     prop_assert!(
                         session.contains(p, t),
-                        "explanation of {}{:?} cites invisible {}{:?}",
-                        pred, tuple, p, t
+                        "explanation of {:?} cites invisible {}{:?}",
+                        why, p, t
                     );
                 }
+            }
+            // Point-query addressing agrees with the scan.
+            for tuple in &scanned {
+                prop_assert_eq!(
+                    session.explain(&ndlog::Query::point(pred, tuple)).len(),
+                    1,
+                    "visible {} tuple has no explanation", pred
+                );
             }
         }
 
         // Invisible tuples must have no explanation.
         prop_assert!(session
-            .explain("link", &link(99, 98, 1))
-            .is_none());
+            .explain(&ndlog::Query::point("link", &link(99, 98, 1)))
+            .is_empty());
     }
 }
