@@ -736,8 +736,12 @@ fn bench_zset_deletion(c: &mut Criterion) {
         let (da, db) = (edges[N as usize].0, edges[N as usize].1);
         let fail = [TupleDelta::remove("link", link(da, db))];
 
-        let zs = Session::open(&prog).build().unwrap(); // ZSet is the default
+        // Pin to the generic engines: this experiment measures the z-set
+        // vs DRed deletion cliff, which the native closure operator would
+        // otherwise short-circuit (EXP-17 covers the native path).
+        let zs = Session::open(&prog).native_ops(false).build().unwrap(); // ZSet is the default
         let dr = Session::open(&prog)
+            .native_ops(false)
             .maintenance(Maintenance::Dred)
             .build()
             .unwrap();
@@ -1028,6 +1032,109 @@ fn bench_point_query(c: &mut Criterion) {
     g.finish();
 }
 
+/// EXP-17: native graph-algorithm operators (DESIGN.md §3 and §14).  The
+/// recognizer swaps the recursive strata of the EXP-10-style 200-node
+/// reachability fixpoint and the §2.2 path-vector fixpoint for the native
+/// BFS closure / cost-ordered path enumerator; the generic engine keeps
+/// maintaining the downstream aggregate and join strata either way.
+///
+/// Asserts the acceptance bars:
+///  * final databases **byte-identical** across `native_ops` on/off ×
+///    shards 1/2/4 for both programs;
+///  * the closure fixpoint materializes **≥ 2×** faster natively
+///    (best-of-5; ~3× is typical on this workload — the recursion is the
+///    whole program, so the operator's advantage is undiluted);
+///  * the path-vector fixpoint is never slower natively (its downstream
+///    aggregate/join strata run on the generic engine in both
+///    configurations, so Amdahl caps the end-to-end ratio well below the
+///    closure's).
+fn bench_native_operators(c: &mut Criterion) {
+    use ndlog::update::Session;
+    use std::time::{Duration, Instant};
+
+    let topo = Topology::random_connected(200, 0.02, 1, 7);
+    let mut reach = ndlog::programs::reachability();
+    link_facts(&mut reach, &topo);
+    let tree: Vec<(u32, u32, i64)> = (1..200u32)
+        .map(|i| (i / 2, i, i64::from(i % 7) + 1))
+        .collect();
+    let mut pv = ndlog::programs::path_vector();
+    ndlog::programs::add_links(&mut pv, &tree);
+
+    // Byte-identity matrix: native on/off × shards 1/2/4, both programs.
+    for (name, prog) in [("reachability", &reach), ("path_vector", &pv)] {
+        let reference = Session::open(prog)
+            .native_ops(false)
+            .build()
+            .expect("semi-naive fixpoint");
+        for shards in [1usize, 2, 4] {
+            let native = Session::open(prog)
+                .sharding(shards)
+                .build()
+                .expect("native fixpoint");
+            assert_eq!(
+                reference.database(),
+                native.database(),
+                "native {name} database diverges at shards={shards}"
+            );
+        }
+    }
+
+    let best_of = |prog: &ndlog::Program, native: bool| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let t = Instant::now();
+            let s = Session::open(prog)
+                .native_ops(native)
+                .build()
+                .expect("fixpoint");
+            let dt = t.elapsed();
+            black_box(s.database().total());
+            best = best.min(dt);
+        }
+        best
+    };
+    let (rn, rg) = (best_of(&reach, true), best_of(&reach, false));
+    let (pn, pg) = (best_of(&pv, true), best_of(&pv, false));
+    let ratio = |n: Duration, g: Duration| g.as_secs_f64() / n.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "exp17: closure native {rn:?} vs semi-naive {rg:?} ({:.1}x), \
+         path-vector native {pn:?} vs semi-naive {pg:?} ({:.1}x)",
+        ratio(rn, rg),
+        ratio(pn, pg)
+    );
+    assert!(
+        ratio(rn, rg) >= 2.0,
+        "native closure must be >= 2x semi-naive, got {:.2}x ({rn:?} vs {rg:?})",
+        ratio(rn, rg)
+    );
+    assert!(
+        rn < rg && pn < pg,
+        "native operators must never lose to semi-naive: \
+         closure {rn:?} vs {rg:?}, paths {pn:?} vs {pg:?}"
+    );
+
+    let mut g = c.benchmark_group("exp17_native_operators");
+    g.sample_size(10);
+    for (label, prog, native) in [
+        ("closure_native", &reach, true),
+        ("closure_semi_naive", &reach, false),
+        ("paths_native", &pv, true),
+        ("paths_semi_naive", &pv, false),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let s = Session::open(prog)
+                    .native_ops(native)
+                    .build()
+                    .expect("fixpoint");
+                black_box(s.init_stats().derivations)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// FIG-1 / arc 7: distributed execution.
 fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_arc7_distributed");
@@ -1057,6 +1164,7 @@ criterion_group! {
               bench_softstate, bench_incremental_vs_epoch, bench_shard_scaling,
               bench_interned_hot_path, bench_batch_window,
               bench_telemetry_overhead, bench_zset_deletion,
-              bench_fault_tolerance, bench_point_query, bench_runtime
+              bench_fault_tolerance, bench_point_query, bench_native_operators,
+              bench_runtime
 }
 criterion_main!(benches);

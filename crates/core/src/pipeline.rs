@@ -166,8 +166,8 @@ pub fn full_pipeline(seed: u64) -> PipelineReport {
     let mut small = ndlog::programs::reachability();
     ndlog::programs::add_directed_links(&mut small, &[(0, 1, 1), (1, 2, 1)]);
     let ts = NdlogTs::new(&small).expect("reachability has no aggregates");
-    let inv_ok = check_invariant(&ts, ExploreOptions::default(), |db| {
-        db.relation("reachable").all(|t| t[0] != t[1])
+    let inv_ok = check_invariant(&ts, ExploreOptions::default(), |s| {
+        s.database().relation("reachable").all(|t| t[0] != t[1])
     })
     .is_ok();
     let dv = DvSystem::classic(16, false);

@@ -30,7 +30,7 @@ pub mod spvp;
 pub mod ts;
 
 pub use dv::{costs_bounded, DvState, DvSystem, Route};
-pub use ndlog_ts::{ChurnState, ChurnTs, FaultOp, FaultState, FaultTs, NdlogTs};
+pub use ndlog_ts::{ChurnState, ChurnTs, FaultOp, FaultState, FaultTs, FiringState, NdlogTs};
 pub use spvp::{Path, SppInstance, SpvpState, SpvpSystem};
 pub use ts::{
     check_invariant, explore, find_oscillation, stable_states, Exploration, ExploreOptions, Trace,

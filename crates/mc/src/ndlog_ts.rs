@@ -14,19 +14,71 @@
 
 use crate::ts::TransitionSystem;
 use ndlog::ast::Program;
-use ndlog::eval::{derive_rule, Database, Evaluator};
+use ndlog::eval::{derive_rule_id, Database, Evaluator, IdDatabase};
 use ndlog::incremental::{IncrementalEngine, RelDelta};
 use ndlog::safety::analyze;
+use ndlog::symbols::{RelId, Symbols};
 use ndlog::update::{lower_updates, Session, Update};
 use ndlog::value::display_tuple;
 use ndlog::{NdlogError, Result, Rule};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// An NDlog program viewed as a (nondeterministic) transition system.
+///
+/// States are interned: an [`IdDatabase`] of dense [`RelId`]s and shared
+/// tuples, mirroring [`ChurnTs`]'s engine states.  Exploration clones a
+/// state per transition, so the interning (no `String` relation keys, no
+/// deep tuple copies) multiplies across the whole explored space.
 #[derive(Debug, Clone)]
 pub struct NdlogTs {
     rules: Vec<Rule>,
-    start: Database,
+    /// Head relation of each rule, resolved once (index-aligned with
+    /// `rules`).
+    heads: Vec<RelId>,
+    symbols: Arc<Symbols>,
+    start: FiringState,
+}
+
+/// A firing state: the interned database reached by some sequence of rule
+/// firings (compared by database content).
+#[derive(Debug, Clone)]
+pub struct FiringState {
+    db: IdDatabase,
+    symbols: Arc<Symbols>,
+}
+
+impl FiringState {
+    /// The database in this state, rendered name-keyed.
+    pub fn database(&self) -> Database {
+        self.db.to_named(&self.symbols)
+    }
+
+    /// Is the tuple visible in this state?
+    pub fn contains(&self, pred: &str, tuple: &ndlog::value::Tuple) -> bool {
+        self.symbols
+            .lookup(pred)
+            .is_some_and(|rel| self.db.contains(rel, tuple))
+    }
+}
+
+// Comparison is by database content only; every state of one system shares
+// the same symbol table.
+impl PartialEq for FiringState {
+    fn eq(&self, other: &Self) -> bool {
+        self.db == other.db
+    }
+}
+impl Eq for FiringState {}
+impl PartialOrd for FiringState {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FiringState {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.db.cmp(&other.db)
+    }
 }
 
 impl NdlogTs {
@@ -45,31 +97,52 @@ impl NdlogTs {
                 });
             }
         }
+        let mut symbols = analysis.symbols;
+        let heads = analysis
+            .rules
+            .iter()
+            .map(|r| symbols.intern(&r.head.pred))
+            .collect();
+        // Intern the start database once; successors then clone and insert
+        // shared tuples only.  Pre-sizing keeps content-equal states
+        // structurally equal regardless of which relation fired first.
+        let mut db = IdDatabase::new();
+        let base = Evaluator::base_database(prog);
+        for pred in base.relations() {
+            let rel = symbols.intern(pred);
+            for t in base.relation(pred) {
+                db.insert(rel, t.clone().into());
+            }
+        }
+        db.reserve_rels(symbols.len());
+        let symbols = Arc::new(symbols);
         Ok(NdlogTs {
             rules: analysis.rules,
-            start: Evaluator::base_database(prog),
+            heads,
+            symbols: symbols.clone(),
+            start: FiringState { db, symbols },
         })
     }
 }
 
 impl TransitionSystem for NdlogTs {
-    type State = Database;
+    type State = FiringState;
 
-    fn initial(&self) -> Vec<Database> {
+    fn initial(&self) -> Vec<FiringState> {
         vec![self.start.clone()]
     }
 
-    fn successors(&self, db: &Database) -> Vec<(String, Database)> {
+    fn successors(&self, s: &FiringState) -> Vec<(String, FiringState)> {
         let mut out = Vec::new();
-        for rule in &self.rules {
-            if let Ok(tuples) = derive_rule(rule, db) {
+        for (rule, &head) in self.rules.iter().zip(&self.heads) {
+            if let Ok(tuples) = derive_rule_id(rule, &s.db, &self.symbols) {
                 for t in tuples {
-                    if !db.contains(&rule.head.pred, &t) {
-                        let mut next = db.clone();
+                    if !s.db.contains(head, &t) {
+                        let mut next = s.clone();
                         // Single-pass lazy rendering: the label string is
                         // built once, with no per-value intermediates.
                         let label = format!("{}{}", rule.name, display_tuple(&t));
-                        next.insert(rule.head.pred.clone(), t);
+                        next.db.insert(head, t);
                         out.push((label, next));
                     }
                 }
@@ -511,7 +584,7 @@ mod tests {
         // least model restricted to reachable states from the base facts.
         assert_eq!(stable.len(), 1, "confluence: unique fixpoint");
         let central = ndlog::eval_program(&prog).unwrap();
-        assert_eq!(stable[0], central);
+        assert_eq!(stable[0].database(), central);
     }
 
     #[test]
@@ -529,8 +602,8 @@ mod tests {
         let prog = reach_prog();
         let ts = NdlogTs::new(&prog).unwrap();
         // Invariant: reach never contains a self-loop (no link is reflexive).
-        let visited = check_invariant(&ts, ExploreOptions::default(), |db| {
-            db.relation("reach").all(|t| t[0] != t[1])
+        let visited = check_invariant(&ts, ExploreOptions::default(), |s| {
+            s.database().relation("reach").all(|t| t[0] != t[1])
         })
         .unwrap();
         assert!(visited > 1);
@@ -541,8 +614,8 @@ mod tests {
         let prog = reach_prog();
         let ts = NdlogTs::new(&prog).unwrap();
         // Claim (false): reach never derives (0 -> 2).
-        let err = check_invariant(&ts, ExploreOptions::default(), |db| {
-            !db.contains("reach", &vec![Value::Addr(0), Value::Addr(2)])
+        let err = check_invariant(&ts, ExploreOptions::default(), |s| {
+            !s.contains("reach", &vec![Value::Addr(0), Value::Addr(2)])
         })
         .unwrap_err();
         assert!(err.labels.last().unwrap().starts_with("r2"));

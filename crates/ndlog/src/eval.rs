@@ -96,7 +96,7 @@ impl Database {
 /// [`Symbols`] table ([`Evaluator::symbols`]); `analyze` interns every
 /// program predicate in sorted name order, so id order coincides with name
 /// order and [`to_named`](IdDatabase::to_named) round-trips byte-identical.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct IdDatabase {
     rels: Vec<BTreeSet<SharedTuple>>,
 }
@@ -117,6 +117,17 @@ impl IdDatabase {
     /// Insert a tuple; returns true if it was new.
     pub fn insert(&mut self, rel: RelId, tuple: SharedTuple) -> bool {
         self.slot(rel).insert(tuple)
+    }
+
+    /// Pre-size the relation table to `n` slots.  The derived comparisons
+    /// see trailing empty slots, so databases that should compare by
+    /// *content* (e.g. explorer states diverging from one start by inserts
+    /// alone) must start from a table already sized for every interned
+    /// relation.
+    pub fn reserve_rels(&mut self, n: usize) {
+        if self.rels.len() < n {
+            self.rels.resize_with(n, BTreeSet::new);
+        }
     }
 
     /// Remove a tuple; returns true if it was present.
@@ -1170,6 +1181,35 @@ pub fn derive_rule(rule: &Rule, db: &Database) -> Result<Vec<Tuple>> {
         Ok(())
     };
     eval_body(&rule.body, 0, db, None, None, &Env::new(), &mut sink)?;
+    Ok(out)
+}
+
+/// Evaluate a single (non-aggregate) rule once over an id-keyed database,
+/// returning the head tuples it derives — the id-native sibling of
+/// [`derive_rule`].  Exhaustive explorers (`fvn-mc`'s `NdlogTs`) call this
+/// per state, so body predicates resolve against `symbols` once per call
+/// instead of once per probed tuple.  Errs if a body predicate is not
+/// interned in `symbols`.
+pub fn derive_rule_id(rule: &Rule, db: &IdDatabase, symbols: &Symbols) -> Result<Vec<SharedTuple>> {
+    let mut rels = Vec::with_capacity(rule.body.len());
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                let rel = symbols.lookup(&a.pred).ok_or_else(|| NdlogError::Eval {
+                    msg: format!("predicate {} is not interned", a.pred),
+                })?;
+                rels.push(Some(rel));
+            }
+            _ => rels.push(None),
+        }
+    }
+    let mut out = Vec::new();
+    let head = &rule.head;
+    let mut sink = |env: &Env| -> Result<()> {
+        out.push(instantiate_head(head, env)?.into());
+        Ok(())
+    };
+    eval_body_id(&rule.body, &rels, 0, db, None, None, &Env::new(), &mut sink)?;
     Ok(out)
 }
 

@@ -53,6 +53,7 @@
 //! retracting it leaves the tuple alive.  This is what the distributed
 //! runtime needs to pipe link-change retractions through the network.
 
+use crate::algo::{BfsReachability, DijkstraPaths, NativeShape};
 use crate::ast::{HeadArg, Literal, Program, Rule, Term};
 use crate::error::{NdlogError, Result};
 use crate::eval::{
@@ -282,6 +283,13 @@ pub(crate) struct StratumPlan {
     /// True when the component's head predicates form a dependency cycle —
     /// maintained by z-set or DRed instead of counting.
     recursive: bool,
+    /// Native-operator plan for this component, when the recognizer proved
+    /// the component equivalent to a graph algorithm **and** the component
+    /// is exactly the recognized rule pair (checked at attachment).  Only
+    /// consulted when the engine's `native_ops` knob is on and the store is
+    /// not in distributed mode; `plain` stays intact either way so the
+    /// provenance walker and the semi-naive fallback see the same rules.
+    pub(crate) native: Option<crate::algo::NativeShape>,
 }
 
 /// Pre-resolved telemetry handles for the incremental engine.
@@ -329,6 +337,19 @@ pub(crate) struct EngineMetrics {
     /// across runs *and* shard counts (propagation partitions sink calls
     /// exactly; verification is single-threaded on a deterministic state).
     zset_work: Histogram,
+    /// `ndlog_algo_invocations_total`: native-operator runs (initial
+    /// materializations and scoped churn re-runs).  Shard-independent:
+    /// native operators execute single-threaded on the main store.
+    algo_invocations: Counter,
+    /// `ndlog_algo_fallbacks_total`: recursive-stratum batches the native
+    /// layer declined — unrecognized shapes plus runtime hand-backs (e.g.
+    /// path-vector churn goes back to the delta engine).
+    algo_fallbacks: Counter,
+    /// `ndlog_algo_output_tuples_total`: tuples materialized by native
+    /// operators (computed rows, before diffing against the store).
+    algo_output: Counter,
+    /// `ndlog_phase_algo_ns`: wall time inside native operator runs.
+    phase_algo: Histogram,
     /// `ndlog_shard_derivations_total{shard="k"}`: rule firings per worker
     /// — the live form of EXP-10's load-balance table.
     shard_derivations: Vec<Counter>,
@@ -359,6 +380,10 @@ impl EngineMetrics {
             phase_zset_propagate: t.histogram("ndlog_phase_zset_propagate_ns"),
             phase_zset_verify: t.histogram("ndlog_phase_zset_verify_ns"),
             zset_work: t.histogram("ndlog_zset_retraction_work"),
+            algo_invocations: t.counter("ndlog_algo_invocations_total"),
+            algo_fallbacks: t.counter("ndlog_algo_fallbacks_total"),
+            algo_output: t.counter("ndlog_algo_output_tuples_total"),
+            phase_algo: t.histogram("ndlog_phase_algo_ns"),
             shard_derivations: series("ndlog_shard_derivations_total"),
             shard_tuples: series("ndlog_shard_tuples_total"),
         }
@@ -425,6 +450,11 @@ pub struct IncrementalEngine {
     /// Recursive-stratum maintenance algorithm (z-set by default, DRed as
     /// the differential baseline).  Must be chosen before any deltas apply.
     maintenance: Maintenance,
+    /// Execute recognized recursive strata with native graph operators
+    /// (default on; off is the differential baseline).  Unlike the
+    /// maintenance knob this may be toggled at any quiescent point: both
+    /// paths store identical support counts.
+    native_ops: bool,
     /// Telemetry sinks (no-op by default); excluded from equality, which
     /// compares canonical database state only.
     metrics: EngineMetrics,
@@ -564,8 +594,32 @@ impl IncrementalEngine {
             init_stats: BatchStats::default(),
             sharding: None,
             maintenance: Maintenance::default(),
+            native_ops: true,
             metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Enable or disable native graph operators for recognized recursive
+    /// strata (on by default).  Disabled, every stratum runs pure
+    /// semi-naive maintenance — the differential baseline; the visible
+    /// databases *and* support maps are byte-identical either way.
+    pub fn set_native_ops(&mut self, on: bool) {
+        self.native_ops = on;
+    }
+
+    /// Whether native graph operators are enabled.
+    pub fn native_ops(&self) -> bool {
+        self.native_ops
+    }
+
+    /// One line per stratum plan carrying a native operator, for plan
+    /// snapshots (`tests/golden`); empty when nothing was recognized.
+    pub fn native_plan_descriptions(&self) -> Vec<String> {
+        self.plans
+            .iter()
+            .filter_map(|p| p.native.as_ref())
+            .map(|shape| shape.describe(self.storage.symbols()))
+            .collect()
     }
 
     /// Select the recursive-stratum maintenance algorithm.
@@ -802,6 +856,40 @@ impl IncrementalEngine {
                 &self.metrics,
             )?;
             if plan.recursive {
+                // Native dispatch: a recognized component runs its graph
+                // operator instead of semi-naive maintenance.  The operator
+                // installs the exact support counts the selected maintenance
+                // algorithm would store, so a hand-back (`false`) on a later
+                // batch resumes delta maintenance seamlessly.  Distributed
+                // stores are left to the general engine: localized rules
+                // split strata across nodes and export-side routing breaks
+                // the whole-graph view the operators assume.
+                let mut handled = false;
+                if self.native_ops && !self.storage.is_distributed() {
+                    if let Some(shape) = plan.native.as_ref() {
+                        handled = maintain_native(
+                            &mut self.storage,
+                            shape,
+                            self.maintenance,
+                            &edb_losses,
+                            &mut stats,
+                            &self.metrics,
+                        )?;
+                        if !handled {
+                            self.metrics.algo_fallbacks.incr();
+                        }
+                    } else {
+                        self.metrics.algo_fallbacks.incr();
+                    }
+                }
+                if handled {
+                    if self.storage.total() + self.storage.exported_total() > self.opts.max_tuples {
+                        return Err(NdlogError::Eval {
+                            msg: "tuple limit exceeded".into(),
+                        });
+                    }
+                    continue;
+                }
                 match self.maintenance {
                     Maintenance::ZSet => maintain_zset(
                         &mut self.storage,
@@ -941,11 +1029,29 @@ fn build_plans(analysis: &Analysis) -> Vec<StratumPlan> {
                 r.delta_positions()
                     .any(|(_, rel, neg)| !neg && scc.contains(&rel))
             });
-            plans.push(make_plan(std::mem::take(&mut aggs), sub, recursive));
+            // Attach a native plan only when this component is *exactly*
+            // the recognized rule pair: same single head, same two rule
+            // names.  That re-check makes the recognizer's per-head view
+            // sound — any extra rule in the cycle (mutual recursion pulls
+            // the edge relation's rules into the same SCC) breaks the
+            // match and the component stays on semi-naive.
+            let native = analysis
+                .native
+                .iter()
+                .find(|shape| {
+                    recursive && sub.len() == 2 && sub.iter().all(|r| r.head == shape.head()) && {
+                        let (a, b) = shape.rule_names();
+                        let names: BTreeSet<&str> =
+                            sub.iter().map(|r| r.rule.name.as_str()).collect();
+                        names == BTreeSet::from([a, b])
+                    }
+                })
+                .cloned();
+            plans.push(make_plan(std::mem::take(&mut aggs), sub, recursive, native));
         }
         if !aggs.is_empty() {
             // Aggregate-only stratum: still needs a plan so the rules run.
-            plans.push(make_plan(aggs, Vec::new(), false));
+            plans.push(make_plan(aggs, Vec::new(), false, None));
         }
     }
     plans
@@ -955,6 +1061,7 @@ fn make_plan(
     aggs: Vec<(usize, CompiledRule)>,
     plain: Vec<CompiledRule>,
     recursive: bool,
+    native: Option<crate::algo::NativeShape>,
 ) -> StratumPlan {
     let mut body_preds = BTreeSet::new();
     let mut neg_preds = BTreeSet::new();
@@ -972,6 +1079,7 @@ fn make_plan(
         body_preds,
         neg_preds,
         recursive,
+        native,
     }
 }
 
@@ -1480,6 +1588,127 @@ fn partition_round<'a>(
             owned.iter().collect()
         }
         _ => vec![deltas],
+    }
+}
+
+/// Run a recognized component's native graph operator for this batch.
+///
+/// Returns `Ok(true)` when the operator fully maintained the component
+/// (including deciding the batch cannot affect it), `Ok(false)` to hand
+/// the batch back to the general delta engine (which then runs the
+/// selected z-set/DRed maintenance over the exact counts installed by
+/// earlier native runs).
+fn maintain_native(
+    storage: &mut RelationStorage,
+    shape: &NativeShape,
+    maintenance: Maintenance,
+    edb_losses: &BTreeMap<RelId, BTreeSet<SharedTuple>>,
+    stats: &mut BatchStats,
+    metrics: &EngineMetrics,
+) -> Result<bool> {
+    let _span = metrics.phase_algo.start_timer();
+    match shape {
+        NativeShape::LinearTc(spec) => {
+            let op = BfsReachability::new(spec.clone());
+            let empty = BTreeSet::new();
+            let losses = edb_losses.get(&spec.head).unwrap_or(&empty);
+            // Churn policy for closures: re-run scoped to the affected
+            // component — the reverse step-closure of every changed
+            // tuple's source row.  `None` = the batch cannot change the
+            // stratum; skip the invocation entirely.
+            let Some(scope) = op.churn_scope(storage, losses) else {
+                return Ok(true);
+            };
+            let computed = op.run_scoped(storage, Some(&scope));
+            metrics.algo_invocations.incr();
+            metrics.algo_output.add(computed.len() as u64);
+            stats.rounds += 1;
+            stats.derivations += computed.len();
+            let spec = spec.clone();
+            install_native(storage, spec.head, maintenance, computed, |t| {
+                scope.contains(spec.head_src(t))
+            });
+            Ok(true)
+        }
+        NativeShape::PathVector(spec) => {
+            // Churn policy for the path-vector shape: native owns the
+            // initial materialization only.  Once the relation is
+            // populated (or externally seeded — arbitrary asserted path
+            // tuples join the recursion under builtin semantics the
+            // enumerator does not model), the delta engine takes over
+            // from the exact counts installed here.
+            if storage.len_of_id(spec.head) > 0 {
+                return Ok(false);
+            }
+            let (ea, ed) = storage.batch_marks_id(spec.edge);
+            let (ha, hd) = storage.batch_marks_id(spec.head);
+            if ea.is_empty() && ed.is_empty() && ha.is_empty() && hd.is_empty() {
+                // Empty head and no relevant changes: fixpoint is intact.
+                return Ok(true);
+            }
+            let op = DijkstraPaths::new(spec.clone());
+            // Non-integer link costs: the general engine owns the exact
+            // semantics, including the arithmetic type error r2 raises.
+            let Some(computed) = op.try_run(storage) else {
+                return Ok(false);
+            };
+            metrics.algo_invocations.incr();
+            metrics.algo_output.add(computed.len() as u64);
+            stats.rounds += 1;
+            stats.derivations += computed.len();
+            install_native(storage, spec.head, maintenance, computed, |_| true);
+            Ok(true)
+        }
+    }
+}
+
+/// Diff a native operator's computed `(tuple, firing count)` output against
+/// the store and install the difference — signed counts under z-set, 0/1
+/// flags under DRed — exactly as rule-derived support would land.  Only
+/// tuples passing `in_scope` are reconciled; rows outside the scope were
+/// proven unaffected and keep their support untouched.  Visibility marks
+/// are recorded (and cancelled) by the storage layer as usual, so
+/// downstream strata and `take_changes` see native results as ordinary
+/// derived deltas.
+fn install_native<F: Fn(&[Value]) -> bool>(
+    storage: &mut RelationStorage,
+    head: RelId,
+    maintenance: Maintenance,
+    computed: Vec<(SharedTuple, i64)>,
+    in_scope: F,
+) {
+    let computed: BTreeMap<SharedTuple, i64> = computed.into_iter().collect();
+    // Stored tuples in scope that the recomputation no longer derives.
+    let stale: Vec<(SharedTuple, i64)> = storage
+        .visible_id(head)
+        .filter(|t| in_scope(t) && !computed.contains_key(*t))
+        .map(|t| (t.clone(), storage.derived_count_id(head, t)))
+        .filter(|(_, d)| *d != 0)
+        .collect();
+    for (t, k) in &computed {
+        match maintenance {
+            Maintenance::ZSet => {
+                let delta = k - storage.derived_count_id(head, t);
+                if delta != 0 {
+                    storage.add_derived_id(head, t, delta);
+                }
+            }
+            Maintenance::Dred => {
+                if storage.derived_count_id(head, t) == 0 {
+                    storage.set_derived_flag_id(head, t, true);
+                }
+            }
+        }
+    }
+    for (t, d) in stale {
+        match maintenance {
+            Maintenance::ZSet => {
+                storage.add_derived_id(head, &t, -d);
+            }
+            Maintenance::Dred => {
+                storage.set_derived_flag_id(head, &t, false);
+            }
+        }
     }
 }
 

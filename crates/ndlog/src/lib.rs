@@ -62,6 +62,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod ast;
 pub mod builtins;
 pub mod error;
@@ -88,6 +89,7 @@ pub mod value;
 /// [`update::SessionBuilder::telemetry`] and `Session::metrics()`.
 pub use fvn_telemetry as telemetry;
 
+pub use algo::{AlgoOp, BfsReachability, DijkstraPaths, KShortestPaths, NativeShape};
 pub use ast::{Atom, Expr, Head, HeadArg, Literal, Program, Rule, Term};
 pub use error::{NdlogError, Result};
 pub use eval::{eval_program, Database, EvalOptions, EvalStats, Evaluator, IdDatabase};

@@ -40,6 +40,11 @@ pub struct Analysis {
     /// across independently-built engines over this analysis (the property
     /// that lets stores, routers, and wire messages exchange raw ids).
     pub symbols: Symbols,
+    /// Recursive strata the native-operator recognizer proved equivalent
+    /// to a graph algorithm (see [`crate::algo`]).  The incremental
+    /// engine's plan builder swaps these in when `native_ops` is enabled;
+    /// the oracle and the distributed per-node engines ignore them.
+    pub native: Vec<crate::algo::NativeShape>,
 }
 
 impl Analysis {
@@ -272,6 +277,10 @@ pub fn analyze(prog: &Program) -> Result<Analysis> {
         symbols.intern(p);
     }
 
+    // Pattern-match recursive strata against the proven native-operator
+    // shapes (sound: exact structural match or nothing; see crate::algo).
+    let native = crate::algo::recognize(&rules, &symbols);
+
     Ok(Analysis {
         stratum_of,
         num_strata,
@@ -279,6 +288,7 @@ pub fn analyze(prog: &Program) -> Result<Analysis> {
         arity,
         location,
         symbols,
+        native,
     })
 }
 

@@ -253,6 +253,13 @@ impl RelationStorage {
         }
     }
 
+    /// True once [`Self::set_home`] has put the store in distributed mode
+    /// (derived tuples may route to the export side).  Native operators
+    /// check this and leave localized programs to the general engine.
+    pub fn is_distributed(&self) -> bool {
+        self.home.is_some()
+    }
+
     /// Would a derived tuple of this relation be export-only (homed at
     /// another node)?  Always false outside distributed mode.
     pub fn is_exported(&self, pred: &str, tuple: &[Value]) -> bool {
@@ -713,22 +720,33 @@ impl RelationStorage {
             }
         }
         // Tuples deleted this batch/round are part of the old view.  When
-        // the bound columns form a tuple prefix (the common case for the
-        // registered join keys), a sorted-range scan of the delta map
-        // replaces the full iteration — overdeletion probes this on every
-        // inner-loop join, so the difference is quadratic vs near-linear in
-        // the batch size.
+        // the bound columns start with a run of leading tuple positions
+        // (`cols` is sorted, so [0,1,3] has the run [0,1]), a sorted-range
+        // scan over that run replaces the full delta iteration, with the
+        // remaining columns checked per candidate — overdeletion and
+        // counting maintenance probe this on every inner-loop join, so the
+        // difference is quadratic vs near-linear in the batch size.
         if let Some(d) = dm {
-            let is_prefix = !cols.is_empty() && cols.iter().enumerate().all(|(i, &c)| c == i);
-            if is_prefix {
+            let run = cols
+                .iter()
+                .enumerate()
+                .take_while(|&(i, &c)| c == i)
+                .count();
+            if run > 0 {
                 for (t, sign) in d.range::<[Value], _>((
-                    std::ops::Bound::Included(key),
+                    std::ops::Bound::Included(&key[..run]),
                     std::ops::Bound::Unbounded,
                 )) {
-                    if t.get(..key.len()) != Some(key) {
+                    if t.get(..run) != Some(&key[..run]) {
                         break;
                     }
-                    if *sign < 0 && !self.contains_id(rel, t) {
+                    if *sign < 0
+                        && !self.contains_id(rel, t)
+                        && cols[run..]
+                            .iter()
+                            .zip(&key[run..])
+                            .all(|(&c, k)| t.get(c) == Some(k))
+                    {
                         out.push(t);
                     }
                 }

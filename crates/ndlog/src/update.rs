@@ -345,6 +345,7 @@ pub struct SessionBuilder {
     telemetry: Telemetry,
     maintenance: Maintenance,
     checkpoint_every: u64,
+    native_ops: bool,
 }
 
 impl SessionBuilder {
@@ -382,6 +383,20 @@ impl SessionBuilder {
     /// The configured recursive-stratum maintenance algorithm.
     pub fn maintenance_mode(&self) -> Maintenance {
         self.maintenance
+    }
+
+    /// Execute recognized recursive strata with native graph operators
+    /// (see [`crate::algo`]; on by default).  Off runs pure semi-naive
+    /// maintenance everywhere — the differential baseline; visible
+    /// databases and support maps are byte-identical either way.
+    pub fn native_ops(mut self, on: bool) -> Self {
+        self.native_ops = on;
+        self
+    }
+
+    /// Whether native graph operators are enabled.
+    pub fn native_ops_enabled(&self) -> bool {
+        self.native_ops
     }
 
     /// Checkpoint cadence in ticks (0 = no automatic checkpoints).
@@ -478,6 +493,7 @@ impl SessionBuilder {
         // The maintenance algorithm must be fixed before the first batch
         // (the two paths store different recursive-stratum counts).
         engine.set_maintenance(self.maintenance);
+        engine.set_native_ops(self.native_ops);
         engine.set_sharding(router.clone());
         // Resolve metric handles before the initial fixpoint so seeding is
         // counted like any other batch.
@@ -790,6 +806,7 @@ impl Session {
             telemetry: Telemetry::disabled(),
             maintenance: Maintenance::default(),
             checkpoint_every: 0,
+            native_ops: true,
         }
     }
 

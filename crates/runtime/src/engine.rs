@@ -1476,6 +1476,12 @@ impl DistRuntime {
         let router = (shards > 1).then(|| Arc::new(ndlog::ShardRouter::new(&analysis, shards)));
         let telemetry = session.telemetry_handle().clone();
         let mut proto = IncrementalEngine::from_analysis(analysis, eval_opts);
+        // Per-node engines inherit the session's native-operator knob; the
+        // operators themselves still bail on distributed stores (set_home
+        // below), so this only matters for diagnostics and future
+        // node-local plans — the localized program's split strata are
+        // maintained by the general delta engine either way.
+        proto.set_native_ops(session.native_ops_enabled());
         proto.set_sharding(router);
         // The prototype's metric handles are Arc-shared by every node clone:
         // engine-level counters (`ndlog_*`) aggregate across the whole

@@ -294,3 +294,116 @@ fn batched_session_matches_golden_snapshot() {
     }
     assert_eq!(session.database(), engine.database());
 }
+
+/// The native-operator recognizer (ISSUE 10), pinned against a blessed
+/// snapshot: for a corpus of programs — both proven shapes, a left-linear
+/// closure, and recursions that must *not* match (the guarded
+/// distance-vector recursion, a nonlinear closure, a three-rule head) —
+/// render exactly which strata get native plans.  Any recognizer change
+/// that silently widens or narrows the matched set fails here.
+///
+/// The non-matching programs additionally pin runtime behavior: their
+/// recursive strata must fall back (`ndlog_algo_fallbacks_total > 0`,
+/// zero invocations), while the matched programs run native.
+#[test]
+fn native_recognizer_matches_golden_snapshot() {
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let edges = [(0u32, 1u32, 1i64), (1, 2, 2), (2, 0, 3)];
+
+    let mut corpus: Vec<(&'static str, Program)> = Vec::new();
+    let mut reach = ndlog::programs::reachability();
+    ndlog::programs::add_links(&mut reach, &edges);
+    corpus.push(("reachability", reach));
+    let mut pv = ndlog::programs::path_vector();
+    ndlog::programs::add_links(&mut pv, &edges);
+    corpus.push(("path_vector", pv));
+    let mut dv = ndlog::programs::distance_vector(16);
+    ndlog::programs::add_links(&mut dv, &edges);
+    corpus.push(("distance_vector", dv));
+    corpus.push((
+        "left_linear_closure",
+        ndlog::parse_program(
+            "r1 anc(X,Y) :- parent(X,Y).\n\
+             r2 anc(X,Y) :- anc(X,Z), parent(Z,Y).\n\
+             parent(#0,#1). parent(#1,#2).",
+        )
+        .unwrap(),
+    ));
+    corpus.push((
+        "nonlinear_closure",
+        ndlog::parse_program(
+            "r1 p(X,Y) :- e(X,Y).\n\
+             r2 p(X,Y) :- p(X,Z), p(Z,Y).\n\
+             e(#0,#1). e(#1,#2).",
+        )
+        .unwrap(),
+    ));
+    corpus.push((
+        "three_rule_head",
+        ndlog::parse_program(
+            "r1 p(X,Y) :- e(X,Y).\n\
+             r2 p(X,Y) :- e(X,Z), p(Z,Y).\n\
+             r3 p(X,X) :- e(X,Y).\n\
+             e(#0,#1). e(#1,#2).",
+        )
+        .unwrap(),
+    ));
+
+    let mut out = String::new();
+    for (name, prog) in &corpus {
+        writeln!(out, "== {name} ==").unwrap();
+        let session = Session::open(prog).telemetry(true).build().unwrap();
+        let plans = session
+            .engine()
+            .expect("incremental backend")
+            .native_plan_descriptions();
+        if plans.is_empty() {
+            writeln!(out, "(no native plans; all strata semi-naive)").unwrap();
+        }
+        for p in &plans {
+            writeln!(out, "{p}").unwrap();
+        }
+
+        // Runtime pin: drive one churn batch so every recursive stratum is
+        // exercised, then check the counters agree with the plan set.
+        let mut session = session;
+        session
+            .txn()
+            .retract("link", link(0, 1, 1))
+            .retract("link", link(1, 0, 1))
+            .commit()
+            .unwrap();
+        let snap = session.metrics();
+        let invocations = snap.counter("ndlog_algo_invocations_total").unwrap_or(0);
+        let fallbacks = snap.counter("ndlog_algo_fallbacks_total").unwrap_or(0);
+        if plans.is_empty() {
+            assert_eq!(invocations, 0, "{name}: native op fired without a plan");
+        }
+        if ["distance_vector", "nonlinear_closure", "three_rule_head"].contains(name) {
+            assert!(
+                fallbacks > 0,
+                "{name}: unmatched recursion must report fallbacks (got {fallbacks})"
+            );
+        }
+        if ["reachability", "left_linear_closure"].contains(name) {
+            assert!(
+                invocations > 0,
+                "{name}: matched closure must run native (got {invocations})"
+            );
+        }
+    }
+
+    let path = golden_path("native_recognizer");
+    if bless {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &out).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        out, want,
+        "recognizer coverage diverged from the blessed snapshot \
+         (UPDATE_GOLDEN=1 to regenerate after an intentional change)"
+    );
+}

@@ -33,6 +33,15 @@ fn fault_cases() -> u32 {
     }
 }
 
+/// Case count for the native-operator differential harness, mirroring
+/// `FVN_DIFF_DEEP`: `FVN_ALGO_DEEP=1` raises it for the scheduled deep soak.
+fn algo_cases() -> u32 {
+    match std::env::var("FVN_ALGO_DEEP") {
+        Ok(v) if v != "0" && !v.is_empty() => 96,
+        _ => 12,
+    }
+}
+
 /// Exact support counts of a session's incremental store: visible tuple →
 /// (derived count, edb count).  `None` for the oracle backend (from-scratch
 /// evaluation keeps no counts).  Counts are maintenance-strategy-specific
@@ -591,10 +600,16 @@ proptest! {
                     sessions.push((
                         format!("{mode:?}/s{shards}/w{window}"),
                         mode,
+                        // `native_ops(false)`: this harness exists to soak the
+                        // generic z-set/DRed delta engines; the recognizer
+                        // would otherwise claim the closure stratum (native
+                        // coverage lives in
+                        // `native_ops_match_semi_naive_under_churn`).
                         Session::open(&prog)
                             .maintenance(mode)
                             .sharding(shards)
                             .batch_window(window)
+                            .native_ops(false)
                             .build()
                             .unwrap(),
                     ));
@@ -870,6 +885,170 @@ proptest! {
             let w: Vec<_> = want.relation(pred).cloned().collect();
             let g: Vec<_> = db1.relation(pred).cloned().collect();
             prop_assert_eq!(w, g, "{} diverges from the reliable oracle", pred);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(algo_cases()))]
+
+    /// The native graph-operator subsystem (ISSUE 10): a program holding
+    /// both recognized shapes — two-rule transitive closure (BFS operator)
+    /// and the paper's path-vector recursion (shortest-path enumerator) —
+    /// plus the aggregate strata consuming the native-derived tuples, over
+    /// random weighted topologies under mixed churn.  At every quiescent
+    /// point the visible databases must equal the from-scratch oracle for
+    /// **every** cell of {native on, native off} x {ZSet, DRed} x {shards
+    /// 1, 4}, and within a maintenance mode the full support snapshots
+    /// (derived + edb counts) must be byte-identical across native on/off
+    /// and shard counts — natively installed tuples are indistinguishable
+    /// from rule-derived ones.  Explain trees for every native-derived
+    /// tuple must exist and ground in EDB `link` facts.
+    #[test]
+    fn native_ops_match_semi_naive_under_churn(
+        chords in prop::collection::vec((0u32..6, 0u32..6, 1i64..4), 0..8),
+        events in prop::collection::vec((0u32..6, 0u32..6, 0u8..3), 1..10),
+    ) {
+        use ndlog::incremental::TupleDelta;
+        use ndlog::update::replay;
+        use ndlog::{Maintenance, Query, Session, Update, Value};
+        use std::collections::BTreeMap;
+
+        // Both proven shapes side by side on the same `link` EDB, with the
+        // paper's aggregate strata (`min<C>` + join-back) downstream of the
+        // natively maintained `path` stratum.
+        let src = "t1 reachable(@S,D):-link(@S,D,C).\n\
+             t2 reachable(@S,D):-link(@S,Z,C), reachable(@Z,D).\n\
+             p1 path(@S,D,P,C):-link(@S,D,C), P=f_init(S,D).\n\
+             p2 path(@S,D,P,C):-link(@S,Z,C1), path(@Z,D,P2,C2), C=C1+C2, \
+                P=f_concatPath(S,P2), f_inPath(P2,S)=false.\n\
+             b1 bestPathCost(@S,D,min<C>):-path(@S,D,P,C).\n\
+             b2 bestPath(@S,D,P,C):-bestPathCost(@S,D,C), path(@S,D,P,C).\n";
+        let mut prog = ndlog::parse_program(src).unwrap();
+        // Directed 6-ring plus deduplicated random weighted chords.
+        let mut live: BTreeMap<(u32, u32), i64> = (0..6u32).map(|i| ((i, (i + 1) % 6), 1)).collect();
+        for &(a, b, w) in &chords {
+            live.entry((a, b)).or_insert(w);
+        }
+        let edges: Vec<(u32, u32, i64)> = live.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+        ndlog::programs::add_directed_links(&mut prog, &edges);
+
+        let mut sessions: Vec<(String, Maintenance, bool, Session)> = Vec::new();
+        for &native in &[true, false] {
+            for &mode in &[Maintenance::ZSet, Maintenance::Dred] {
+                for shards in [1usize, 4] {
+                    sessions.push((
+                        format!("native={native}/{mode:?}/s{shards}"),
+                        mode,
+                        native,
+                        Session::open(&prog)
+                            .maintenance(mode)
+                            .sharding(shards)
+                            .native_ops(native)
+                            .build()
+                            .unwrap(),
+                    ));
+                }
+            }
+        }
+        let mut oracle = Session::open(&prog).oracle().unwrap();
+
+        // Mixed churn: toggle edges up/down, or swap a live edge's weight.
+        let edge = |a: u32, b: u32, w: i64| vec![Value::Addr(a), Value::Addr(b), Value::Int(w)];
+        let mut stream: Vec<(u64, Update)> = Vec::new();
+        for &(a, b, kind) in &events {
+            let mut push = |delta: TupleDelta| stream.push((0, Update::from(&delta)));
+            match (kind, live.get(&(a, b)).copied()) {
+                (2, Some(w)) => {
+                    let new = w % 3 + 1;
+                    live.insert((a, b), new);
+                    push(TupleDelta { pred: "link".into(), tuple: edge(a, b, w), delta: -1 });
+                    push(TupleDelta { pred: "link".into(), tuple: edge(a, b, new), delta: 1 });
+                }
+                (_, Some(w)) => {
+                    live.remove(&(a, b));
+                    push(TupleDelta { pred: "link".into(), tuple: edge(a, b, w), delta: -1 });
+                }
+                (_, None) => {
+                    live.insert((a, b), 1);
+                    push(TupleDelta { pred: "link".into(), tuple: edge(a, b, 1), delta: 1 });
+                }
+            }
+        }
+
+        // Leaves of a well-formed tree are facts (no aggregates below the
+        // recursive strata being checked).
+        fn grounded(e: &ndlog::Explanation) -> bool {
+            match &e.support {
+                ndlog::Support::Fact { count } => e.pred == "link" && *count > 0,
+                ndlog::Support::Rule { premises, .. } => premises.iter().all(grounded),
+                ndlog::Support::Aggregate { .. } => false,
+            }
+        }
+
+        let halves = [&stream[..stream.len() / 2], &stream[stream.len() / 2..]];
+        for (point, half) in halves.iter().enumerate() {
+            replay(&mut oracle, half).unwrap();
+            oracle.flush().unwrap();
+            let want = oracle.database();
+            let mut per_mode: BTreeMap<&'static str, _> = BTreeMap::new();
+            for (name, mode, _native, s) in sessions.iter_mut() {
+                replay(s, half).unwrap();
+                s.flush().unwrap();
+                prop_assert_eq!(
+                    &want,
+                    &s.database(),
+                    "{} diverges from the oracle at quiescent point {}",
+                    name,
+                    point
+                );
+                let counts = support_snapshot(s).expect("incremental backend keeps counts");
+                let key = match mode {
+                    Maintenance::ZSet => "zset",
+                    Maintenance::Dred => "dred",
+                };
+                match per_mode.get(key) {
+                    None => {
+                        per_mode.insert(key, counts);
+                    }
+                    Some(reference) => prop_assert_eq!(
+                        reference,
+                        &counts,
+                        "{} support counts diverge at quiescent point {}",
+                        name,
+                        point
+                    ),
+                }
+            }
+
+            // Provenance for native-derived tuples: the native=true / ZSet /
+            // 1-shard cell must explain every reachable and path tuple with
+            // a tree grounding in visible `link` facts.
+            let (name, _, _, s) = sessions
+                .iter_mut()
+                .find(|(n, ..)| n == "native=true/ZSet/s1")
+                .unwrap();
+            for (pred, arity) in [("reachable", 2), ("path", 4)] {
+                let visible = want.relation(pred).count();
+                let trees = s.explain(&Query::scan(pred, arity));
+                prop_assert_eq!(
+                    trees.len(),
+                    visible,
+                    "{}: {} explain trees missing at point {}",
+                    name,
+                    pred,
+                    point
+                );
+                for tree in &trees {
+                    prop_assert!(
+                        grounded(tree),
+                        "{}: ungrounded explain tree at point {}:\n{}",
+                        name,
+                        pred,
+                        tree
+                    );
+                }
+            }
         }
     }
 }

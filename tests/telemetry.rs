@@ -85,6 +85,9 @@ fn deterministic(name: &str) -> bool {
         "session_updates_total",
         "session_flushes_total",
         "ndlog_zset_retraction_work",
+        "ndlog_algo_invocations_total",
+        "ndlog_algo_fallbacks_total",
+        "ndlog_algo_output_tuples_total",
     ]
     .contains(&name)
         || name.starts_with("ndlog_relation_tuples{")
